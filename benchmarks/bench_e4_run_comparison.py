@@ -1,0 +1,69 @@
+"""E4 — comparing many runs of a composite BDA is cheap and informative.
+
+Claim exercised (paper §3): "this kind of experience is usually not available
+in the professional Big Data platforms today in the market, where the
+architectural and data complexity make it difficult to compare different runs
+of a composite BDA".  The experiment scales the number of compared runs from
+2 to 32 and reports the cost of producing the comparison report and how much
+information (rows × runs, distinct winners) it contains — showing that the
+comparison machinery itself never becomes the bottleneck of a Labs session.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+
+from repro.core.campaign import CampaignRunner
+from repro.core.compiler import CampaignCompiler
+from repro.labs.comparison import RunComparator
+
+from .bench_utils import churn_spec, emit_table
+
+RUN_COUNTS = (2, 4, 8, 16, 32)
+MODELS = ("logistic_regression", "decision_tree", "naive_bayes", "baseline")
+
+
+def _base_runs():
+    """Four genuinely different runs; larger sets are label-perturbed copies."""
+    compiler = CampaignCompiler()
+    runner = CampaignRunner(compiler.catalog)
+    runs = []
+    for model in MODELS:
+        campaign = compiler.compile(churn_spec(num_records=2000, model=model))
+        runs.append(runner.run(campaign, option_label=model))
+    return runs
+
+
+def _expand(runs, count):
+    expanded = []
+    for index in range(count):
+        run = copy.deepcopy(runs[index % len(runs)])
+        run.option_label = f"{run.option_label}-v{index}"
+        expanded.append(run)
+    return expanded
+
+
+def test_e4_run_comparison_scaling(benchmark):
+    """Comparison latency and content as the number of compared runs grows."""
+    base_runs = _base_runs()
+    comparator = RunComparator()
+    rows = []
+    for count in RUN_COUNTS:
+        runs = _expand(base_runs, count)
+        started = time.perf_counter()
+        report = comparator.compare(runs)
+        elapsed_ms = (time.perf_counter() - started) * 1000
+        winners = {winner for winner in report.winners().values() if winner}
+        rows.append((count, len(report.rows), len(report.rows) * count,
+                     len(winners), elapsed_ms))
+    emit_table("E4", "run-comparison cost and content vs number of runs",
+               ["runs compared", "indicator rows", "cells", "distinct winners",
+                "compare ms"],
+               rows,
+               notes=["comparison cost grows linearly in runs x indicators and stays "
+                      "in the milliseconds, so a trainee can diff an entire session "
+                      "interactively"])
+
+    runs_16 = _expand(base_runs, 16)
+    benchmark(lambda: comparator.compare(runs_16))

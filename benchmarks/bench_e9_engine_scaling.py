@@ -1,0 +1,87 @@
+"""E9 — the execution substrate scales with data volume and partitioning.
+
+Every other experiment is only meaningful if the engine underneath behaves
+like a dataflow engine: per-record cost roughly constant as volume grows,
+shuffles dominating wide operations, partitioning trading task overhead for
+parallelism.  The experiment measures three canonical jobs (wordcount-style
+aggregation, per-key average, join) across data scales and partition counts.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config import EngineConfig
+from repro.engine.context import EngineContext
+
+from .bench_utils import emit_table
+
+SCALES = (1_000, 10_000, 100_000)
+PARTITION_COUNTS = (1, 4, 8)
+
+
+def _aggregate_job(engine, size, partitions):
+    return (engine.range(size, num_partitions=partitions)
+            .map(lambda value: (value % 997, 1))
+            .reduce_by_key(lambda left, right: left + right)
+            .count())
+
+
+def _average_job(engine, size, partitions):
+    return (engine.range(size, num_partitions=partitions)
+            .map(lambda value: (value % 50, float(value)))
+            .aggregate_by_key((0.0, 0), lambda acc, v: (acc[0] + v, acc[1] + 1),
+                              lambda a, b: (a[0] + b[0], a[1] + b[1]))
+            .map_values(lambda acc: acc[0] / acc[1])
+            .count())
+
+
+def _join_job(engine, size, partitions):
+    left = engine.range(size, num_partitions=partitions).map(
+        lambda value: (value % 1000, value))
+    right = engine.range(1000, num_partitions=partitions).map(
+        lambda value: (value, f"dim-{value}"))
+    return left.join(right).count()
+
+
+JOBS = (("aggregate", _aggregate_job), ("per-key average", _average_job),
+        ("join", _join_job))
+
+
+def test_e9_engine_scaling(benchmark):
+    """Wall-clock per job type, data scale and partition count."""
+    rows = []
+    for job_name, job in JOBS:
+        for size in SCALES:
+            for partitions in PARTITION_COUNTS:
+                with EngineContext(EngineConfig(num_workers=min(4, partitions),
+                                                default_parallelism=partitions)) as engine:
+                    started = time.perf_counter()
+                    job(engine, size, partitions)
+                    elapsed = time.perf_counter() - started
+                    summary = engine.metrics.summary()
+                rows.append((job_name, size, partitions, elapsed,
+                             size / elapsed, summary["shuffle_bytes"] / 1024.0))
+    emit_table("E9", "engine scaling: job type x data scale x partitions",
+               ["job", "records", "partitions", "wall s", "records/s",
+                "shuffle KiB"],
+               rows,
+               notes=["throughput (records/s) grows with data size as per-task "
+                      "overheads amortise",
+                      "adding partitions does not speed up the local wall-clock "
+                      "(CPU-bound Python under the GIL); partitioning instead bounds "
+                      "per-task memory and produces the task structure the cluster "
+                      "cost model extrapolates from (see E6)",
+                      "shuffle volume scales linearly with input for the aggregate "
+                      "and join jobs, as a real engine's would"])
+
+    # throughput at the largest scale must beat the smallest scale (overhead amortised)
+    aggregate_rows = [row for row in rows if row[0] == "aggregate" and row[2] == 4]
+    assert aggregate_rows[-1][4] > aggregate_rows[0][4]
+
+    # benchmarked quantity: the canonical aggregation at mid scale
+    def run_aggregate():
+        with EngineContext(EngineConfig(num_workers=4, default_parallelism=8)) as engine:
+            return _aggregate_job(engine, 20_000, 8)
+
+    benchmark.pedantic(run_aggregate, rounds=3, iterations=1)

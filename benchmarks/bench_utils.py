@@ -1,0 +1,95 @@
+"""Shared helpers of the benchmark harness.
+
+Every experiment (E1-E10, see DESIGN.md) produces a plain-text result table.
+Because pytest captures stdout, each harness also writes its table to
+``benchmarks/results/<experiment>.txt`` so the regenerated "paper" tables can
+be inspected after a ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_table(experiment: str, title: str, headers: Sequence[str],
+               rows: List[Sequence[object]], notes: Sequence[str] = ()) -> str:
+    """Format, print and persist one experiment's result table."""
+    widths = [max(len(str(header)), *(len(_fmt(row[index])) for row in rows))
+              if rows else len(str(header))
+              for index, header in enumerate(headers)]
+    lines = [f"== {experiment}: {title} =="]
+    lines.append("  ".join(str(header).ljust(width)
+                           for header, width in zip(headers, widths)))
+    lines.append("-" * len(lines[-1]))
+    for row in rows:
+        lines.append("  ".join(_fmt(value).ljust(width)
+                               for value, width in zip(row, widths)))
+    for note in notes:
+        lines.append(f"note: {note}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment.lower()}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return text
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def churn_spec(num_records: int = 4000, num_partitions: int = 4,
+               model: str | None = None, policy: str = "gdpr_baseline",
+               optimize_for: str = "quality") -> Dict:
+    """The churn classification campaign used by several experiments."""
+    goal = {
+        "id": "churn",
+        "task": "classification",
+        "params": {"label": "churned",
+                   "features": ["tenure_months", "monthly_charges",
+                                "num_support_calls", "data_usage_gb"],
+                   "categorical_features": ["contract_type", "payment_method"]},
+        "optimize_for": optimize_for,
+        "objectives": [{"indicator": "accuracy", "target": 0.65},
+                       {"indicator": "execution_time", "target": 120, "hard": False}],
+    }
+    if model is not None:
+        goal["model"] = model
+    return {
+        "name": "bench-churn",
+        "purpose": "analytics",
+        "policy": policy,
+        "source": {"scenario": "churn", "num_records": num_records},
+        "deployment": {"num_partitions": num_partitions, "num_workers": 2},
+        "goals": [goal],
+    }
+
+
+def multi_goal_spec(num_goals: int, num_records: int = 2000) -> Dict:
+    """A campaign with ``num_goals`` descriptive goals (compiler stress input)."""
+    goals = []
+    for index in range(num_goals):
+        goals.append({
+            "id": f"goal-{index}",
+            "task": "aggregation" if index % 2 == 0 else "descriptive",
+            "params": ({"group_field": "region", "value_field": "monthly_charges",
+                        "aggregation": "mean"} if index % 2 == 0
+                       else {"fields": ["monthly_charges", "tenure_months"]}),
+            "objectives": [{"indicator": "execution_time", "target": 300,
+                            "hard": False}],
+        })
+    return {
+        "name": f"bench-multi-{num_goals}",
+        "policy": "gdpr_baseline",
+        "source": {"scenario": "churn", "num_records": num_records},
+        "deployment": {"num_partitions": 2, "num_workers": 1},
+        "goals": goals,
+    }

@@ -1,0 +1,75 @@
+"""TOREADOR Labs: the trial-and-error loop on the churn challenge.
+
+A trainee on the free-limited tier works through the telecom-churn challenge:
+they try four alternative analytics options, compare the runs side by side
+(the feature the paper highlights as missing from production platforms), and
+get scored against the challenge's success criteria.
+
+Run with::
+
+    python examples/churn_labs_challenge.py
+"""
+
+from __future__ import annotations
+
+from repro import (BDAaaSPlatform, ChallengeScorer, LabSession,
+                   build_default_challenges)
+
+
+def main() -> None:
+    platform = BDAaaSPlatform()
+    trainee = platform.register_user("ada", role="trainee", organisation="sme-telco")
+
+    challenges = build_default_challenges()
+    print(challenges.overview())
+    print()
+
+    challenge = challenges.get("churn-retention")
+    session = LabSession(platform, trainee, challenge)
+
+    print("=== Challenge brief ===")
+    print(session.brief())
+    print()
+    print(f"Free-tier budget: {session.remaining_budget()} campaign executions")
+    print()
+
+    # Trial and error: one option per design dimension, four configurations.
+    print("=== Running alternative options ===")
+    for selections in (
+        {"model": "baseline"},
+        {"model": "logistic"},
+        {"model": "tree"},
+        {"model": "logistic", "features": "minimal"},
+    ):
+        trial = session.run_option(selections)
+        if trial.succeeded:
+            print(f"  {trial.label:35s} accuracy={trial.run.indicator('accuracy'):.3f} "
+                  f"recall={trial.run.indicator('recall'):.3f} "
+                  f"time={trial.run.indicator('execution_time_s'):.2f}s")
+        else:
+            print(f"  {trial.label:35s} FAILED: {trial.error}")
+    print()
+
+    # Compare the runs: who wins on which indicator, relative to the first run.
+    print("=== Run comparison ===")
+    report = session.compare()
+    print(report.format_table())
+    print(f"overall winner: {report.overall_winner()}")
+    print()
+
+    # Grade the session against the challenge's success criteria.
+    print("=== Challenge score ===")
+    score = ChallengeScorer().score(session)
+    print(f"best trial:          {score.best_trial_label}")
+    print(f"achievement points:  {score.achievement_points}")
+    print(f"exploration points:  {score.exploration_points}")
+    print(f"total:               {score.total_points} / 100  "
+          f"({'PASSED' if score.passed else 'NOT PASSED'})")
+    for line in score.feedback:
+        print(f"  - {line}")
+    print()
+    print(f"Remaining free-tier budget: {session.remaining_budget()} executions")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Deployment scouting: what-if analysis across cluster profiles.
+
+A web-operations campaign is executed once, locally, and its measured
+execution profile is replayed by the cluster simulator against every built-in
+cluster profile.  This is how TOREADOR lets a customer "scout" the deployment
+stage of a campaign before paying for infrastructure: the interference
+between data volume, pipeline shape and cluster size becomes visible without
+re-running anything.
+
+Run with::
+
+    python examples/deployment_whatif.py
+"""
+
+from __future__ import annotations
+
+from repro import BDAaaSPlatform, DeploymentSimulator
+
+
+def weblog_spec(num_records: int) -> dict:
+    """Operational analytics over the web service logs."""
+    return {
+        "name": f"web-operations-{num_records}",
+        "purpose": "service_improvement",
+        "policy": "gdpr_baseline",
+        "source": {"scenario": "web_logs", "num_records": num_records},
+        "privacy": {"mask_identifiers": True},
+        "deployment": {"num_partitions": 8},
+        "goals": [
+            {"id": "latency-by-service", "task": "aggregation",
+             "params": {"group_field": "service", "value_field": "latency_ms",
+                        "aggregation": "mean"}},
+            {"id": "top-urls", "task": "ranking",
+             "params": {"value_field": "latency_ms", "group_field": "url", "k": 5}},
+            {"id": "error-hunt", "task": "anomaly_detection",
+             "params": {"value_field": "latency_ms", "group_field": "service"}},
+        ],
+    }
+
+
+def main() -> None:
+    platform = BDAaaSPlatform()
+    operator = platform.register_user("web-ops", role="analyst")
+    workspace = platform.create_workspace(operator, "operations")
+
+    for num_records in (5_000, 20_000):
+        print(f"=== Campaign over {num_records} log lines ===")
+        run = platform.run_campaign(operator, workspace, weblog_spec(num_records),
+                                    option_label=f"{num_records}-records")
+        print(f"  measured locally: {run.indicator('execution_time_s'):.2f}s wall clock, "
+              f"{run.indicator('num_tasks'):.0f} tasks, "
+              f"{run.indicator('shuffle_bytes') / 1024:.0f} KiB shuffled")
+        print(f"  mean latency per service: "
+              f"{[ (row['group'], round(row['value'], 1)) for row in run.artifacts['analytics-latency-by-service']['table'] ]}")
+        print()
+        print(f"  {'profile':12s} {'workers':>7s} {'est. wall clock':>15s} "
+              f"{'est. cost':>10s}")
+        for estimate in sorted(run.deployment_estimates,
+                               key=lambda item: item["estimated_wall_clock_s"]):
+            print(f"  {estimate['profile']:12s} {estimate['num_workers']:>7.0f} "
+                  f"{estimate['estimated_wall_clock_s']:>14.2f}s "
+                  f"${estimate['estimated_cost_usd']:>9.4f}")
+        print()
+
+    print("Scouting conclusion: at one day of logs the local executor is already")
+    print("fast enough and every paid profile is wasted money; at a week of logs")
+    print("the crossover appears — the medium profiles cut the wall-clock time for")
+    print("cents, while the premium profile only pays off for much larger volumes.")
+
+    simulator = DeploymentSimulator()
+    print()
+    print(f"Profiles known to the simulator: {sorted(simulator.profiles)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""The regulatory barrier made executable: privacy vs. utility on health data.
+
+The hospital-readmission campaign runs under the strict health-data policy.
+This example sweeps the declared k-anonymity level and shows how the compiler
+always inserts the protection step the policy demands, how the achieved k and
+the information loss grow with the requirement, and how much analytical
+utility (classification accuracy) survives each level — the crossover the E5
+benchmark measures systematically.
+
+Run with::
+
+    python examples/privacy_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro import BDAaaSPlatform
+
+
+def readmission_spec(k_anonymity: int) -> dict:
+    """The readmission campaign with an explicit k-anonymity requirement."""
+    return {
+        "name": f"readmission-k{k_anonymity}",
+        "purpose": "research",
+        "policy": "health_strict",
+        "region": "eu",
+        "source": {"scenario": "patients", "num_records": 5000},
+        "privacy": {"k_anonymity": k_anonymity, "mask_identifiers": True},
+        "deployment": {"num_partitions": 4},
+        "goals": [
+            {
+                "id": "predict-readmission",
+                "task": "classification",
+                "params": {
+                    "label": "readmitted",
+                    "features": ["age", "length_of_stay", "treatment_cost"],
+                    "categorical_features": ["diagnosis"],
+                },
+                "optimize_for": "interpretability",
+                "objectives": [
+                    {"indicator": "accuracy", "target": 0.6, "hard": False},
+                    {"indicator": "k_anonymity", "target": 10},
+                    {"indicator": "policy_violations", "target": 0, "comparator": "<="},
+                ],
+            }
+        ],
+    }
+
+
+def main() -> None:
+    platform = BDAaaSPlatform()
+    researcher = platform.register_user("hospital-research", role="analyst")
+    workspace = platform.create_workspace(researcher, "readmission-study")
+
+    print("Policy in force: health_strict "
+          "(mask identifiers, 10-anonymity, research purpose only, no raw export)")
+    print()
+    header = (f"{'declared k':>10s} {'achieved k':>10s} {'records kept':>12s} "
+              f"{'info loss':>9s} {'accuracy':>8s} {'violations':>10s}")
+    print(header)
+    print("-" * len(header))
+
+    for declared_k in (2, 10, 50, 200, 600):
+        run = platform.run_campaign(researcher, workspace,
+                                    readmission_spec(declared_k),
+                                    option_label=f"k={declared_k}")
+        print(f"{declared_k:>10d} "
+              f"{run.indicator('achieved_k', 0):>10.0f} "
+              f"{run.indicator('records_after', 0):>12.0f} "
+              f"{run.indicator('information_loss', 0):>9.3f} "
+              f"{run.indicator('accuracy', 0):>8.3f} "
+              f"{run.indicator('policy_violations', 0):>10.0f}")
+
+    print()
+    print("Reading the table:")
+    print(" - the policy minimum is 10: declaring k=2 still yields k>=10, because")
+    print("   the compiler applies the stricter of the two requirements;")
+    print(" - beyond the minimum, stronger anonymity forces coarser quasi-identifiers")
+    print("   and suppresses more records, so information loss grows and accuracy")
+    print("   drifts down — the cost of the regulatory barrier, now measurable")
+    print("   instead of being a legal unknown.")
+    print()
+
+    comparison = platform.runner  # noqa: F841 - the run history lives in the workspace
+    runs = platform.runs_for(workspace)
+    from repro import RunComparator
+    report = RunComparator(metric_keys=("accuracy", "achieved_k", "information_loss",
+                                        "records_after", "policy_violations")) \
+        .compare(runs, labels=[run.option_label for run in runs])
+    print("=== Side-by-side comparison of the five runs ===")
+    print(report.format_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Quickstart: the BDAaaS function — goals in, executed pipeline out.
+
+This is the smallest end-to-end use of the platform: declare a business goal
+(predict churn with at least 65% accuracy, under the GDPR baseline policy),
+let the compiler produce the pipeline, execute it, and read the results.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import BDAaaSPlatform
+
+
+def main() -> None:
+    platform = BDAaaSPlatform()
+
+    # 1. A customer account and a workspace to keep specs and run history.
+    customer = platform.register_user("acme-telco", role="analyst")
+    workspace = platform.create_workspace(customer, "churn-analytics")
+
+    # 2. The declarative specification: business goals, no technology choices.
+    spec = {
+        "name": "churn-quickstart",
+        "description": "Which customers are about to leave, and are we GDPR-clean?",
+        "purpose": "analytics",
+        "policy": "gdpr_baseline",
+        "region": "eu",
+        "source": {"scenario": "churn", "num_records": 8000},
+        "goals": [
+            {
+                "id": "predict-churn",
+                "task": "classification",
+                "description": "Spot the customers the retention team should call",
+                "params": {
+                    "label": "churned",
+                    "features": ["tenure_months", "monthly_charges",
+                                 "num_support_calls", "data_usage_gb"],
+                    "categorical_features": ["contract_type", "payment_method"],
+                },
+                "optimize_for": "quality",
+                "objectives": [
+                    {"indicator": "accuracy", "target": 0.65},
+                    {"indicator": "execution_time", "target": 120, "hard": False},
+                ],
+            }
+        ],
+    }
+
+    # 3. Preview what the compiler will build (design-time, nothing executes).
+    campaign = platform.compile_campaign(spec)
+    print("=== Compiled pipeline ===")
+    print(campaign.procedural.describe())
+    print()
+
+    # 4. Execute: compile + quota check + provision + run + record.
+    run = platform.run_campaign(customer, workspace, spec)
+
+    print("=== Outcome ===")
+    print(f"run id:               {run.run_id}")
+    print(f"analytics option:     {run.option_signature}")
+    print(f"accuracy:             {run.indicator('accuracy'):.3f}")
+    print(f"recall:               {run.indicator('recall'):.3f}")
+    print(f"achieved k-anonymity: {run.indicator('achieved_k'):.0f}")
+    print(f"policy violations:    {run.indicator('policy_violations'):.0f}")
+    print(f"execution time:       {run.indicator('execution_time_s'):.2f}s")
+    print(f"all hard objectives:  {run.satisfied_all_hard_objectives}")
+    print()
+
+    print("=== Objective evaluation ===")
+    for evaluation in run.objective_evaluations:
+        status = "met" if evaluation.satisfied else "NOT met"
+        print(f"  {evaluation.objective.describe():30s} "
+              f"measured={evaluation.value:.3f}  [{status}]")
+    print()
+
+    print("=== What-if deployment estimates ===")
+    for estimate in run.deployment_estimates:
+        print(f"  {estimate['profile']:10s} "
+              f"wall-clock ~{estimate['estimated_wall_clock_s']:.2f}s  "
+              f"cost ~${estimate['estimated_cost_usd']:.4f}")
+    print()
+
+    print("=== Campaign report ===")
+    print(run.artifacts["report"]["report"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Streaming vertical scenario: smart-meter anomaly detection in micro-batches.
+
+The same declarative goal (flag anomalous meter readings) is executed twice:
+as a nightly batch campaign and as a micro-batch streaming campaign.  The
+example then contrasts detection quality, latency and throughput — the
+batch/streaming interference a trainee explores in the energy challenge.
+
+Run with::
+
+    python examples/streaming_energy_monitor.py
+"""
+
+from __future__ import annotations
+
+from repro import BDAaaSPlatform, RunComparator
+
+
+def energy_spec(streaming: bool) -> dict:
+    """The anomaly-detection campaign, in batch or streaming mode."""
+    return {
+        "name": "meter-anomalies",
+        "purpose": "service_improvement",
+        "policy": "gdpr_baseline",
+        "source": {"scenario": "energy", "num_records": 6000,
+                   "streaming": streaming, "batch_size": 500},
+        "privacy": {"k_anonymity": 2},
+        "deployment": {"num_partitions": 4, "max_batches": 10},
+        "goals": [
+            {
+                "id": "detect",
+                "task": "anomaly_detection",
+                "params": {"value_field": "kwh", "label_field": "is_anomaly",
+                           "group_field": "household_size", "z_threshold": 2.5},
+                "objectives": [
+                    {"indicator": "anomaly_recall", "target": 0.4},
+                    {"indicator": "anomaly_precision", "target": 0.5, "hard": False},
+                    {"indicator": "latency", "target": 10.0, "hard": False},
+                ],
+            }
+        ],
+    }
+
+
+def main() -> None:
+    platform = BDAaaSPlatform()
+    utility = platform.register_user("grid-operator", role="analyst")
+    workspace = platform.create_workspace(utility, "meter-monitoring")
+
+    print("=== Nightly batch campaign ===")
+    batch_run = platform.run_campaign(utility, workspace, energy_spec(streaming=False),
+                                      option_label="batch")
+    print(f"  detector precision: {batch_run.indicator('precision'):.3f}")
+    print(f"  detector recall:    {batch_run.indicator('recall'):.3f}")
+    print(f"  wall-clock:         {batch_run.indicator('execution_time_s'):.2f}s")
+    print()
+
+    print("=== Micro-batch streaming campaign ===")
+    stream_run = platform.run_campaign(utility, workspace, energy_spec(streaming=True),
+                                       option_label="streaming")
+    print(f"  batches processed:  {stream_run.indicator('num_batches'):.0f}")
+    print(f"  mean batch latency: {stream_run.indicator('mean_latency_s') * 1000:.1f} ms")
+    print(f"  throughput:         "
+          f"{stream_run.indicator('throughput_records_per_s'):.0f} records/s")
+    print(f"  detector precision: {stream_run.indicator('precision'):.3f} "
+          f"(last batch)")
+    print()
+
+    print("=== Batch vs. streaming, side by side ===")
+    report = RunComparator(metric_keys=(
+        "precision", "recall", "anomalies_flagged", "execution_time_s",
+        "mean_latency_s", "throughput_records_per_s", "records_processed")) \
+        .compare([batch_run, stream_run], labels=["batch", "streaming"])
+    print(report.format_table())
+    print()
+    print("Reading the comparison: the batch run sees the whole history at once, so")
+    print("its per-group statistics (and hence recall) are slightly better; the")
+    print("streaming run bounds the reaction time to one batch interval, which is")
+    print("what an operations team needs to dispatch an engineer early.")
+
+
+if __name__ == "__main__":
+    main()

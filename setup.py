@@ -1,0 +1,24 @@
+"""Packaging script for the TOREADOR Labs reproduction library.
+
+The classic ``setup.py`` form is used (instead of a PEP 517 build-system
+declaration) so the package installs in fully offline environments that lack
+the ``wheel`` build backend.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Scouting Big Data Campaigns using TOREADOR Labs' "
+        "(EDBT 2017): a model-driven Big Data Analytics-as-a-Service platform "
+        "with a trial-and-error training lab"
+    ),
+    author="Reproduction Authors",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,76 @@
+"""Reproduction of "Scouting Big Data Campaigns using TOREADOR Labs" (EDBT 2017).
+
+The package implements the complete system the paper describes:
+
+* :mod:`repro.engine` — the dataflow execution substrate (Spark-like datasets,
+  DAG scheduler, streaming, cluster cost simulator);
+* :mod:`repro.data` — synthetic vertical-scenario data with ground truth;
+* :mod:`repro.services` — the catalogue of ingestion / preparation /
+  analytics / display services campaigns are composed from;
+* :mod:`repro.governance` — data-protection policies, anonymisation,
+  compliance checking and auditing (the "regulatory barrier");
+* :mod:`repro.core` — the model-driven chain: declarative goals →
+  procedural service composition → deployment model → executed campaign;
+* :mod:`repro.platform` — the multi-tenant BDAaaS facade with the
+  free-limited (Labs) tier;
+* :mod:`repro.labs` — the TOREADOR Labs challenges, trial-and-error sessions,
+  run comparison and scoring;
+* :mod:`repro.baselines` — hand-coded expert pipelines used as comparison.
+
+Quickstart::
+
+    from repro import BDAaaSPlatform, build_default_challenges, LabSession
+
+    platform = BDAaaSPlatform()
+    trainee = platform.register_user("ada", role="trainee")
+    challenge = build_default_challenges().get("churn-retention")
+    session = LabSession(platform, trainee, challenge)
+    session.run_option({"model": "logistic"})
+    session.run_option({"model": "tree"})
+    print(session.compare().format_table())
+"""
+
+from .config import EngineConfig, PlatformConfig
+from .errors import ReproError
+from .engine import EngineContext, DeploymentSimulator, ClusterProfile
+from .core import (Campaign, CampaignCompiler, CampaignRun, CampaignRunner,
+                   DeclarativeModel, Objective, parse_spec, spec_to_dict,
+                   build_default_catalog)
+from .governance import (AuditLog, BUILTIN_POLICIES, ComplianceChecker,
+                         DataProtectionPolicy, KAnonymizer)
+from .platform import BDAaaSPlatform
+from .labs import (Challenge, ChallengeCatalog, ChallengeScorer, LabSession,
+                   RunComparator, build_default_challenges)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "EngineConfig",
+    "PlatformConfig",
+    "EngineContext",
+    "DeploymentSimulator",
+    "ClusterProfile",
+    "Objective",
+    "DeclarativeModel",
+    "parse_spec",
+    "spec_to_dict",
+    "build_default_catalog",
+    "Campaign",
+    "CampaignRun",
+    "CampaignCompiler",
+    "CampaignRunner",
+    "DataProtectionPolicy",
+    "BUILTIN_POLICIES",
+    "ComplianceChecker",
+    "KAnonymizer",
+    "AuditLog",
+    "BDAaaSPlatform",
+    "Challenge",
+    "ChallengeCatalog",
+    "LabSession",
+    "RunComparator",
+    "ChallengeScorer",
+    "build_default_challenges",
+]

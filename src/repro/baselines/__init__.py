@@ -1,0 +1,9 @@
+"""Baselines the model-driven approach is compared against (experiment E7)."""
+
+from .manual_pipeline import ManualPipelineResult, expert_churn_pipeline, expert_basket_pipeline
+
+__all__ = [
+    "ManualPipelineResult",
+    "expert_churn_pipeline",
+    "expert_basket_pipeline",
+]

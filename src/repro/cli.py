@@ -1,0 +1,191 @@
+"""Command-line interface of the reproduction.
+
+The CLI is the head-less stand-in for the TOREADOR PaaS front-end: it lets a
+user inspect the service catalogue and the Labs challenges, compile a
+declarative specification to see the pipeline it would produce, execute a
+campaign, and run a Labs challenge option — all from a shell.
+
+Usage::
+
+    python -m repro.cli catalog
+    python -m repro.cli challenges
+    python -m repro.cli compile spec.json
+    python -m repro.cli run spec.json --output run.json
+    python -m repro.cli challenge churn-retention --select model=tree --score
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .core.compiler import CampaignCompiler
+from .errors import ReproError
+from .labs.catalog import build_default_challenges
+from .labs.scoring import ChallengeScorer
+from .labs.session import LabSession
+from .platform.api import BDAaaSPlatform
+
+
+def _load_spec(path: str) -> Dict:
+    """Read a JSON specification file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _parse_selections(pairs: Optional[Sequence[str]]) -> Dict[str, str]:
+    """Turn repeated ``--select dimension=option`` flags into a dict."""
+    selections: Dict[str, str] = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise ReproError(f"--select expects dimension=option, got {pair!r}")
+        dimension, option = pair.split("=", 1)
+        selections[dimension.strip()] = option.strip()
+    return selections
+
+
+# ---------------------------------------------------------------------------
+# Sub-commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_catalog(_args: argparse.Namespace) -> int:
+    """List every service of the default catalogue."""
+    print(CampaignCompiler().catalog.describe())
+    return 0
+
+
+def cmd_challenges(_args: argparse.Namespace) -> int:
+    """List the built-in Labs challenges."""
+    catalog = build_default_challenges()
+    print(catalog.overview())
+    print()
+    for challenge in catalog.challenges:
+        print(challenge.describe())
+        print()
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    """Compile a specification and show the pipeline it produces."""
+    campaign = CampaignCompiler().compile(_load_spec(args.spec))
+    print(campaign.describe())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Execute a campaign specification on a fresh platform."""
+    platform = BDAaaSPlatform()
+    user = platform.register_user("cli-user", role="analyst")
+    workspace = platform.create_workspace(user, "cli-workspace")
+    run = platform.run_campaign(user, workspace, _load_spec(args.spec),
+                                option_label=args.option_label)
+    print(f"run {run.run_id}: campaign {run.campaign_name!r}")
+    print(f"  option: {run.option_signature}")
+    print(f"  hard objectives met: {run.satisfied_all_hard_objectives}")
+    print(f"  weighted score: {run.weighted_score:.3f}")
+    for evaluation in run.objective_evaluations:
+        status = "met" if evaluation.satisfied else "NOT met"
+        value = "n/a" if evaluation.value is None else f"{evaluation.value:.3f}"
+        print(f"  {evaluation.objective.describe():35s} measured={value} [{status}]")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(run.as_dict(), handle, indent=2, default=str)
+        print(f"  full run record written to {args.output}")
+    return 0 if run.satisfied_all_hard_objectives else 1
+
+
+def cmd_challenge(args: argparse.Namespace) -> int:
+    """Run one (or every) option of a Labs challenge as a trainee would."""
+    catalog = build_default_challenges()
+    challenge = catalog.get(args.key)
+    platform = BDAaaSPlatform()
+    trainee = platform.register_user("cli-trainee", role="trainee")
+    session = LabSession(platform, trainee, challenge)
+    print(session.brief())
+    print()
+
+    selections = _parse_selections(args.select)
+    trial = session.run_option(selections or None)
+    if not trial.succeeded:
+        print(f"configuration failed: {trial.error}")
+        return 1
+    print(f"trial {trial.label}:")
+    for key in ("accuracy", "recall", "f1", "num_rules", "achieved_k",
+                "policy_violations", "execution_time_s"):
+        value = trial.run.indicator(key)
+        if value is not None:
+            print(f"  {key}: {value:.3f}")
+    if args.compare_with_defaults and selections:
+        session.run_option(None, label="defaults")
+        print()
+        print(session.compare().format_table())
+    if args.score:
+        score = ChallengeScorer().score(session)
+        print()
+        print(f"score: {score.total_points}/100 "
+              f"({'passed' if score.passed else 'not passed'})")
+        for line in score.feedback:
+            print(f"  - {line}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser of the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TOREADOR Labs reproduction command-line interface")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("catalog", help="list the service catalogue") \
+        .set_defaults(func=cmd_catalog)
+    subparsers.add_parser("challenges", help="list the Labs challenges") \
+        .set_defaults(func=cmd_challenges)
+
+    compile_parser = subparsers.add_parser(
+        "compile", help="compile a specification and show the pipeline")
+    compile_parser.add_argument("spec", help="path to a JSON specification")
+    compile_parser.set_defaults(func=cmd_compile)
+
+    run_parser = subparsers.add_parser("run", help="execute a campaign specification")
+    run_parser.add_argument("spec", help="path to a JSON specification")
+    run_parser.add_argument("--option-label", default="cli")
+    run_parser.add_argument("--output", default=None,
+                            help="write the full run record to this JSON file")
+    run_parser.set_defaults(func=cmd_run)
+
+    challenge_parser = subparsers.add_parser(
+        "challenge", help="run a Labs challenge configuration")
+    challenge_parser.add_argument("key", help="challenge key (see 'challenges')")
+    challenge_parser.add_argument("--select", action="append", metavar="DIM=OPT",
+                                  help="choose an option for a design dimension")
+    challenge_parser.add_argument("--compare-with-defaults", action="store_true",
+                                  help="also run the default configuration and compare")
+    challenge_parser.add_argument("--score", action="store_true",
+                                  help="score the session against the success criteria")
+    challenge_parser.set_defaults(func=cmd_challenge)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Global configuration objects shared by the engine and the platform.
+
+The configuration is deliberately a plain, explicit dataclass: every knob a
+user can turn is a named field with a default, mirroring the style of
+``SparkConf`` but without string-keyed magic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict
+
+from .errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Configuration of the local dataflow engine.
+
+    Attributes
+    ----------
+    num_workers:
+        Number of worker threads used by the executor.  ``1`` gives fully
+        deterministic, sequential execution which is useful in tests.
+    default_parallelism:
+        Default number of partitions for datasets created without an explicit
+        partition count.
+    max_task_retries:
+        How many times a failed task is retried before the job is aborted.
+    memory_budget_bytes:
+        Soft budget of the in-memory cache.  When exceeded the least recently
+        used cached partitions are evicted.
+    shuffle_compression:
+        Whether shuffle byte accounting applies the simulated compression
+        ratio (it never changes results, only the reported metrics).
+    failure_rate:
+        Probability that any task fails spuriously; used by tests and by the
+        fault-injection benchmarks.  ``0.0`` disables fault injection.
+    seed:
+        Seed for the engine's own random decisions (fault injection,
+        sampling of shuffle sizes).
+    """
+
+    num_workers: int = 4
+    default_parallelism: int = 4
+    max_task_retries: int = 2
+    memory_budget_bytes: int = 256 * 1024 * 1024
+    shuffle_compression: bool = True
+    failure_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ConfigurationError("num_workers must be >= 1")
+        if self.default_parallelism < 1:
+            raise ConfigurationError("default_parallelism must be >= 1")
+        if self.max_task_retries < 0:
+            raise ConfigurationError("max_task_retries must be >= 0")
+        if self.memory_budget_bytes < 0:
+            raise ConfigurationError("memory_budget_bytes must be >= 0")
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ConfigurationError("failure_rate must be in [0, 1)")
+
+    def with_overrides(self, **overrides: Any) -> "EngineConfig":
+        """Return a copy of this configuration with some fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Configuration of the BDAaaS platform facade.
+
+    Attributes
+    ----------
+    free_tier_max_jobs:
+        Number of campaign executions a free-limited (Labs) account may run.
+    free_tier_max_rows:
+        Maximum dataset size, in rows, a free-limited account may process.
+    free_tier_max_workers:
+        Maximum cluster size a free-limited account may provision.
+    audit_enabled:
+        Whether every platform operation is written to the audit log.
+    """
+
+    free_tier_max_jobs: int = 25
+    free_tier_max_rows: int = 100_000
+    free_tier_max_workers: int = 4
+    audit_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.free_tier_max_jobs < 1:
+            raise ConfigurationError("free_tier_max_jobs must be >= 1")
+        if self.free_tier_max_rows < 1:
+            raise ConfigurationError("free_tier_max_rows must be >= 1")
+        if self.free_tier_max_workers < 1:
+            raise ConfigurationError("free_tier_max_workers must be >= 1")
+
+    def with_overrides(self, **overrides: Any) -> "PlatformConfig":
+        """Return a copy of this configuration with some fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass
+class RuntimeOptions:
+    """Free-form options attached to a single campaign execution.
+
+    These are the per-run knobs a trainee can tweak in the Labs without
+    changing the declarative specification (for instance the cluster profile
+    used for a what-if deployment).
+    """
+
+    cluster_profile: str = "local"
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def merged_with(self, other: Dict[str, Any]) -> "RuntimeOptions":
+        """Return new options whose ``extra`` dict is updated with ``other``."""
+        merged = dict(self.extra)
+        merged.update(other)
+        return RuntimeOptions(cluster_profile=self.cluster_profile, extra=merged)
+
+
+DEFAULT_ENGINE_CONFIG = EngineConfig()
+DEFAULT_PLATFORM_CONFIG = PlatformConfig()

@@ -1,0 +1,58 @@
+"""Model-driven core of the BDAaaS platform (the paper's contribution).
+
+The core implements the TOREADOR model-driven chain:
+
+1. a **declarative model** captures the customer's Big Data goals as
+   indicators and objectives over a standard vocabulary
+   (:mod:`repro.core.vocabulary`, :mod:`repro.core.declarative`,
+   :mod:`repro.core.dsl`);
+2. the **declarative-to-procedural compiler** matches goals against the
+   service catalogue and produces an abstract service composition
+   (:mod:`repro.core.catalog`, :mod:`repro.core.procedural`,
+   :mod:`repro.core.compiler`);
+3. the **procedural-to-deployment compiler** binds the composition to an
+   execution platform — engine configuration, partitioning, cluster profile
+   (:mod:`repro.core.deployment`);
+4. a **campaign** object carries the three models plus the execution results,
+   and the campaign runner executes the deployment model on the engine
+   (:mod:`repro.core.campaign`, :mod:`repro.core.indicators`).
+"""
+
+from .vocabulary import (INDICATORS, Indicator, Objective, indicator,
+                         validate_objective)
+from .declarative import (DataSourceDeclaration, DeclarativeModel, Goal,
+                          VALID_TASKS)
+from .dsl import parse_spec, spec_to_dict
+from .catalog import ServiceCatalog, build_default_catalog
+from .procedural import ProceduralModel, ServiceStep
+from .deployment import DeploymentModel
+from .compiler import CampaignCompiler, DeclarativeToProcedural, ProceduralToDeployment
+from .indicators import IndicatorEvaluation, IndicatorEvaluator
+from .campaign import Campaign, CampaignRun, CampaignRunner
+
+__all__ = [
+    "Indicator",
+    "Objective",
+    "INDICATORS",
+    "indicator",
+    "validate_objective",
+    "Goal",
+    "DataSourceDeclaration",
+    "DeclarativeModel",
+    "VALID_TASKS",
+    "parse_spec",
+    "spec_to_dict",
+    "ServiceCatalog",
+    "build_default_catalog",
+    "ProceduralModel",
+    "ServiceStep",
+    "DeploymentModel",
+    "DeclarativeToProcedural",
+    "ProceduralToDeployment",
+    "CampaignCompiler",
+    "IndicatorEvaluator",
+    "IndicatorEvaluation",
+    "Campaign",
+    "CampaignRun",
+    "CampaignRunner",
+]

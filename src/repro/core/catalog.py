@@ -1,0 +1,145 @@
+"""The service catalogue: what the compiler can compose.
+
+The catalogue maps service names to service classes and lets the compiler
+query by area, capability and task.  The default catalogue contains every
+built-in service of :mod:`repro.services` plus the governance anonymisation
+service; platforms and tests can register additional services.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from ..errors import CompositionError, ServiceConfigurationError
+from ..services.base import Service, ServiceMetadata
+from ..services import ingestion as _ingestion
+from ..services import preparation as _preparation
+from ..services import display as _display
+from ..services import analytics as _analytics
+from ..governance.anonymization import AnonymizationService
+
+
+class ServiceCatalog:
+    """Registry of service classes, queried by the compiler."""
+
+    def __init__(self) -> None:
+        self._services: Dict[str, Type[Service]] = {}
+
+    # -- registration -------------------------------------------------------------
+
+    def register(self, service_class: Type[Service]) -> None:
+        """Add a service class (its metadata name must be unique)."""
+        metadata = getattr(service_class, "metadata", None)
+        if not isinstance(metadata, ServiceMetadata):
+            raise ServiceConfigurationError(
+                f"{service_class.__name__} does not declare ServiceMetadata")
+        self._services[metadata.name] = service_class
+
+    def register_all(self, service_classes) -> None:
+        """Register several service classes."""
+        for service_class in service_classes:
+            self.register(service_class)
+
+    # -- lookups --------------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    @property
+    def names(self) -> List[str]:
+        """All registered service names, sorted."""
+        return sorted(self._services)
+
+    def get(self, name: str) -> Type[Service]:
+        """Return the service class called ``name``."""
+        if name not in self._services:
+            raise CompositionError(
+                f"service {name!r} is not in the catalogue; known: {self.names}")
+        return self._services[name]
+
+    def metadata(self, name: str) -> ServiceMetadata:
+        """Return the metadata of the service called ``name``."""
+        return self.get(name).metadata
+
+    def all_metadata(self) -> List[ServiceMetadata]:
+        """Metadata of every registered service."""
+        return [cls.metadata for cls in self._services.values()]
+
+    def by_area(self, area: str) -> List[ServiceMetadata]:
+        """Metadata of the services in ``area``."""
+        return [metadata for metadata in self.all_metadata() if metadata.area == area]
+
+    def with_capability(self, capability: str) -> List[ServiceMetadata]:
+        """Metadata of the services declaring ``capability``."""
+        return [metadata for metadata in self.all_metadata()
+                if metadata.has_capability(capability)]
+
+    def find_for_task(self, task: str) -> List[ServiceMetadata]:
+        """Analytics services able to perform declarative task ``task``."""
+        return self.with_capability(f"task:{task}")
+
+    # -- instantiation -----------------------------------------------------------------
+
+    def instantiate(self, name: str, **params) -> Service:
+        """Create a configured instance of the service called ``name``."""
+        return self.get(name)(**params)
+
+    def describe(self) -> str:
+        """Human-readable listing of the catalogue, grouped by area."""
+        lines: List[str] = []
+        areas: Dict[str, List[ServiceMetadata]] = {}
+        for metadata in self.all_metadata():
+            areas.setdefault(metadata.area, []).append(metadata)
+        for area in sorted(areas):
+            lines.append(f"[{area}]")
+            for metadata in sorted(areas[area], key=lambda m: m.name):
+                capabilities = ", ".join(metadata.capabilities)
+                lines.append(f"  {metadata.name}: {metadata.description} ({capabilities})")
+        return "\n".join(lines)
+
+
+#: Service classes registered in the default catalogue.
+DEFAULT_SERVICE_CLASSES = (
+    # ingestion
+    _ingestion.SourceIngestionService,
+    _ingestion.GeneratorIngestionService,
+    _ingestion.InMemoryIngestionService,
+    _ingestion.CSVIngestionService,
+    # preparation
+    _preparation.FieldProjectionService,
+    _preparation.FilterService,
+    _preparation.MissingValueImputationService,
+    _preparation.NormalizationService,
+    _preparation.CategoricalEncodingService,
+    _preparation.TrainTestSplitService,
+    _preparation.DeduplicationService,
+    AnonymizationService,
+    # analytics
+    _analytics.LogisticRegressionService,
+    _analytics.DecisionTreeService,
+    _analytics.NaiveBayesService,
+    _analytics.MajorityClassService,
+    _analytics.KMeansService,
+    _analytics.LinearRegressionService,
+    _analytics.AssociationRulesService,
+    _analytics.ZScoreAnomalyService,
+    _analytics.IQRAnomalyService,
+    _analytics.DescriptiveStatsService,
+    _analytics.GroupAggregationService,
+    _analytics.TopKService,
+    # display
+    _display.ReportService,
+    _display.TableExportService,
+    _display.ChartDataService,
+    _display.DashboardService,
+)
+
+
+def build_default_catalog() -> ServiceCatalog:
+    """Build the catalogue containing every built-in service."""
+    catalog = ServiceCatalog()
+    catalog.register_all(DEFAULT_SERVICE_CLASSES)
+    return catalog

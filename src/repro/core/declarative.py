@@ -1,0 +1,214 @@
+"""The declarative model: business goals, data declaration, preferences.
+
+The declarative model is the input of the BDAaaS function described in
+Section 2 of the paper: "users' Big Data goals and preferences".  It is
+technology-agnostic — nothing in it names a service, an algorithm, a cluster
+or a file format; those appear only after compilation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import SpecificationError
+from .vocabulary import Objective
+
+#: Analytics tasks the vocabulary knows how to compile.
+VALID_TASKS = ("classification", "clustering", "regression", "association_rules",
+               "anomaly_detection", "descriptive", "aggregation", "ranking")
+
+#: Optimisation preferences a user can express for a goal.
+VALID_OPTIMIZE_FOR = ("quality", "cost", "speed", "interpretability")
+
+
+@dataclass(frozen=True)
+class DataSourceDeclaration:
+    """Where the campaign's data comes from, in business terms.
+
+    Exactly one of ``scenario``, ``csv_path`` or ``records`` must be given.
+
+    Attributes
+    ----------
+    scenario:
+        Key of a built-in vertical scenario (churn, energy, web_logs, retail,
+        patients); the platform will generate its synthetic data.
+    csv_path:
+        Path of a CSV file to ingest.
+    records:
+        Literal in-memory records (used by tests and small demos).
+    num_records:
+        How many records to generate for scenario sources.
+    streaming:
+        Whether the data arrives as a stream (micro-batch execution).
+    batch_size:
+        Stream batch size (streaming sources only).
+    contains_personal_data:
+        Overrides the schema-based detection of personal data when set.
+    """
+
+    scenario: Optional[str] = None
+    csv_path: Optional[str] = None
+    records: Optional[tuple] = None
+    num_records: int = 10_000
+    streaming: bool = False
+    batch_size: int = 500
+    contains_personal_data: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        provided = [value for value in (self.scenario, self.csv_path, self.records)
+                    if value is not None]
+        if len(provided) != 1:
+            raise SpecificationError(
+                "a data source declaration needs exactly one of scenario, "
+                "csv_path or records")
+        if self.num_records < 1:
+            raise SpecificationError("num_records must be >= 1")
+        if self.batch_size < 1:
+            raise SpecificationError("batch_size must be >= 1")
+
+    @property
+    def kind(self) -> str:
+        """One of ``scenario``, ``csv`` or ``records``."""
+        if self.scenario is not None:
+            return "scenario"
+        if self.csv_path is not None:
+            return "csv"
+        return "records"
+
+
+@dataclass(frozen=True)
+class Goal:
+    """One business goal: an analytics task plus its objectives.
+
+    Attributes
+    ----------
+    goal_id:
+        Unique identifier within the campaign.
+    task:
+        One of :data:`VALID_TASKS`.
+    description:
+        The business question, in the customer's words.
+    objectives:
+        Targets on vocabulary indicators (analytics quality, performance,
+        cost, privacy, coverage).
+    task_params:
+        Task-specific declarative hints (label field, feature fields, value
+        field, number of clusters...).  These stay in business vocabulary:
+        they name *data attributes*, never services.
+    optimize_for:
+        Which dimension to favour when several services satisfy the task.
+    preferred_model:
+        Optional explicit request for a model family (e.g. ``decision_tree``)
+        — the handle the Labs uses to express alternative options.
+    """
+
+    goal_id: str
+    task: str
+    description: str = ""
+    objectives: Tuple[Objective, ...] = ()
+    task_params: Tuple[Tuple[str, Any], ...] = ()
+    optimize_for: str = "quality"
+    preferred_model: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.goal_id:
+            raise SpecificationError("a goal needs a non-empty goal_id")
+        if self.task not in VALID_TASKS:
+            raise SpecificationError(
+                f"goal {self.goal_id!r} has unknown task {self.task!r}; "
+                f"valid tasks: {VALID_TASKS}")
+        if self.optimize_for not in VALID_OPTIMIZE_FOR:
+            raise SpecificationError(
+                f"goal {self.goal_id!r} has unknown optimize_for "
+                f"{self.optimize_for!r}; valid: {VALID_OPTIMIZE_FOR}")
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        """Task parameters as a plain dictionary."""
+        return dict(self.task_params)
+
+    def objective_for(self, indicator_name: str) -> Optional[Objective]:
+        """Return the objective targeting ``indicator_name`` if declared."""
+        for objective in self.objectives:
+            if objective.indicator_name == indicator_name:
+                return objective
+        return None
+
+
+@dataclass(frozen=True)
+class DeclarativeModel:
+    """The complete declarative specification of a Big Data campaign.
+
+    Attributes
+    ----------
+    name:
+        Campaign name.
+    purpose:
+        Declared processing purpose (checked against policy purpose rules).
+    source:
+        The data declaration.
+    goals:
+        One or more business goals.
+    policy_name:
+        Name of the data-protection policy the campaign must respect.
+    privacy:
+        Optional privacy requirements declared directly by the user
+        (``{"k_anonymity": 5, "mask_identifiers": True}``); the compiler
+        merges them with what the policy requires.
+    preparation:
+        Declarative preparation requests (``{"normalize": [...],
+        "impute": [...], "deduplicate": True, "filters": [...]}``).
+    deployment_preferences:
+        Hints for the deployment compiler (``{"cluster_profile": "small-4",
+        "max_cost_usd": 1.0, "num_partitions": 8}``).
+    region:
+        Where the campaign will run (checked against policy region rules).
+    """
+
+    name: str
+    source: DataSourceDeclaration
+    goals: Tuple[Goal, ...]
+    purpose: str = "analytics"
+    policy_name: str = "open_data"
+    privacy: Tuple[Tuple[str, Any], ...] = ()
+    preparation: Tuple[Tuple[str, Any], ...] = ()
+    deployment_preferences: Tuple[Tuple[str, Any], ...] = ()
+    region: str = "eu"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("a declarative model needs a name")
+        if not self.goals:
+            raise SpecificationError(f"campaign {self.name!r} declares no goals")
+        goal_ids = [goal.goal_id for goal in self.goals]
+        if len(goal_ids) != len(set(goal_ids)):
+            raise SpecificationError(f"campaign {self.name!r} has duplicate goal ids")
+
+    @property
+    def privacy_params(self) -> Dict[str, Any]:
+        """Privacy requirements as a dictionary."""
+        return dict(self.privacy)
+
+    @property
+    def preparation_params(self) -> Dict[str, Any]:
+        """Preparation requests as a dictionary."""
+        return dict(self.preparation)
+
+    @property
+    def deployment_params(self) -> Dict[str, Any]:
+        """Deployment preferences as a dictionary."""
+        return dict(self.deployment_preferences)
+
+    @property
+    def all_objectives(self) -> List[Objective]:
+        """Objectives of every goal, in goal order."""
+        return [objective for goal in self.goals for objective in goal.objectives]
+
+    def goal(self, goal_id: str) -> Goal:
+        """Return the goal called ``goal_id``."""
+        for goal in self.goals:
+            if goal.goal_id == goal_id:
+                return goal
+        raise SpecificationError(f"campaign {self.name!r} has no goal {goal_id!r}")

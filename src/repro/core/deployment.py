@@ -1,0 +1,88 @@
+"""The deployment model: a procedural model bound to an execution platform.
+
+The deployment model fixes everything the procedural model left abstract:
+engine configuration (parallelism, workers), data partitioning, the target
+cluster profile used for cost estimation, the execution mode (batch or
+micro-batch streaming) and the region.  It is the "ready-to-be executed Big
+Data pipeline" the paper's Section 2 describes as the output of BDAaaS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..config import EngineConfig
+from ..errors import DeploymentError
+from ..engine.simulator import BUILTIN_PROFILES, ClusterProfile
+from .procedural import ProceduralModel
+
+
+@dataclass
+class DeploymentModel:
+    """A procedural model plus all platform bindings needed to execute it."""
+
+    procedural: ProceduralModel
+    cluster_profile_name: str = "local"
+    engine_config: EngineConfig = field(default_factory=EngineConfig)
+    num_partitions: int = 4
+    region: str = "eu"
+    streaming: bool = False
+    batch_size: int = 500
+    max_batches: Optional[int] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_partitions < 1:
+            raise DeploymentError("num_partitions must be >= 1")
+        if self.batch_size < 1:
+            raise DeploymentError("batch_size must be >= 1")
+        if self.cluster_profile_name not in BUILTIN_PROFILES and \
+                "cluster_profile" not in self.extra:
+            raise DeploymentError(
+                f"unknown cluster profile {self.cluster_profile_name!r}; "
+                f"known: {sorted(BUILTIN_PROFILES)}")
+
+    @property
+    def cluster_profile(self) -> ClusterProfile:
+        """The resolved cluster profile object."""
+        custom = self.extra.get("cluster_profile")
+        if isinstance(custom, ClusterProfile):
+            return custom
+        return BUILTIN_PROFILES[self.cluster_profile_name]
+
+    @property
+    def name(self) -> str:
+        """Deployment name, derived from the procedural model."""
+        return f"{self.procedural.name}@{self.cluster_profile_name}"
+
+    def describe(self) -> str:
+        """Human-readable deployment summary."""
+        mode = (f"streaming (batch size {self.batch_size})"
+                if self.streaming else "batch")
+        lines = [
+            f"Deployment model: {self.name}",
+            f"  mode: {mode}",
+            f"  region: {self.region}",
+            f"  partitions: {self.num_partitions}",
+            f"  engine workers: {self.engine_config.num_workers}",
+            f"  cluster profile: {self.cluster_profile_name} "
+            f"({self.cluster_profile.num_workers} workers, "
+            f"${self.cluster_profile.usd_per_hour}/h)",
+            "",
+            self.procedural.describe(),
+        ]
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Serialisable view of the deployment bindings."""
+        return {
+            "procedural": self.procedural.as_dict(),
+            "cluster_profile": self.cluster_profile_name,
+            "num_partitions": self.num_partitions,
+            "num_workers": self.engine_config.num_workers,
+            "region": self.region,
+            "streaming": self.streaming,
+            "batch_size": self.batch_size,
+            "max_batches": self.max_batches,
+        }

@@ -1,0 +1,181 @@
+"""Parsing and serialising declarative specifications.
+
+Users (and the Labs challenges) express campaigns as plain dictionaries /
+JSON documents; :func:`parse_spec` turns them into a validated
+:class:`~repro.core.declarative.DeclarativeModel` and :func:`spec_to_dict`
+round-trips the model back to a dictionary.
+
+The specification format::
+
+    {
+      "name": "churn-campaign",
+      "purpose": "analytics",
+      "policy": "gdpr_baseline",
+      "region": "eu",
+      "source": {"scenario": "churn", "num_records": 20000},
+      "privacy": {"k_anonymity": 5, "mask_identifiers": true},
+      "preparation": {"normalize": ["monthly_charges"], "deduplicate": false},
+      "deployment": {"cluster_profile": "small-4", "num_partitions": 8},
+      "goals": [
+        {
+          "id": "predict-churn",
+          "task": "classification",
+          "description": "Which customers are about to leave?",
+          "params": {"label": "churned",
+                     "features": ["tenure_months", "monthly_charges"],
+                     "categorical_features": ["contract_type"]},
+          "optimize_for": "quality",
+          "model": "logistic_regression",
+          "objectives": [
+            {"indicator": "accuracy", "target": 0.7},
+            {"indicator": "execution_time", "target": 60, "hard": false}
+          ]
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Union
+
+from ..errors import SpecificationError
+from .declarative import DataSourceDeclaration, DeclarativeModel, Goal
+from .vocabulary import Objective, validate_objective
+
+SpecLike = Union[str, Dict[str, Any], DeclarativeModel]
+
+
+def _parse_source(data: Dict[str, Any]) -> DataSourceDeclaration:
+    if not isinstance(data, dict):
+        raise SpecificationError("'source' must be a mapping")
+    records = data.get("records")
+    return DataSourceDeclaration(
+        scenario=data.get("scenario"),
+        csv_path=data.get("csv_path"),
+        records=tuple(records) if records is not None else None,
+        num_records=int(data.get("num_records", 10_000)),
+        streaming=bool(data.get("streaming", False)),
+        batch_size=int(data.get("batch_size", 500)),
+        contains_personal_data=data.get("contains_personal_data"),
+    )
+
+
+def _parse_goal(data: Dict[str, Any], index: int) -> Goal:
+    if not isinstance(data, dict):
+        raise SpecificationError("each goal must be a mapping")
+    if "task" not in data:
+        raise SpecificationError(f"goal #{index} lacks the 'task' key")
+    objectives = tuple(validate_objective(item)
+                       for item in data.get("objectives", ()))
+    params = data.get("params", {})
+    if not isinstance(params, dict):
+        raise SpecificationError(f"goal #{index} 'params' must be a mapping")
+    return Goal(
+        goal_id=str(data.get("id", f"goal-{index}")),
+        task=str(data["task"]),
+        description=str(data.get("description", "")),
+        objectives=objectives,
+        task_params=tuple(sorted(params.items())),
+        optimize_for=str(data.get("optimize_for", "quality")),
+        preferred_model=data.get("model"),
+    )
+
+
+def parse_spec(spec: SpecLike) -> DeclarativeModel:
+    """Parse a JSON string or dictionary into a :class:`DeclarativeModel`.
+
+    Passing an already-built model returns it unchanged, so every public API
+    accepts either form.
+    """
+    if isinstance(spec, DeclarativeModel):
+        return spec
+    if isinstance(spec, str):
+        try:
+            spec = json.loads(spec)
+        except json.JSONDecodeError as error:
+            raise SpecificationError(f"specification is not valid JSON: {error}") from error
+    if not isinstance(spec, dict):
+        raise SpecificationError(
+            f"a specification must be a dict, JSON string or DeclarativeModel, "
+            f"got {type(spec).__name__}")
+    if "name" not in spec:
+        raise SpecificationError("the specification lacks the 'name' key")
+    if "source" not in spec:
+        raise SpecificationError("the specification lacks the 'source' key")
+    goals_data = spec.get("goals")
+    if not goals_data or not isinstance(goals_data, list):
+        raise SpecificationError("the specification needs a non-empty 'goals' list")
+    goals = tuple(_parse_goal(goal, index) for index, goal in enumerate(goals_data))
+
+    def as_items(key: str) -> tuple:
+        value = spec.get(key, {})
+        if not isinstance(value, dict):
+            raise SpecificationError(f"{key!r} must be a mapping")
+        return tuple(sorted(value.items()))
+
+    return DeclarativeModel(
+        name=str(spec["name"]),
+        purpose=str(spec.get("purpose", "analytics")),
+        source=_parse_source(spec["source"]),
+        goals=goals,
+        policy_name=str(spec.get("policy", "open_data")),
+        privacy=as_items("privacy"),
+        preparation=as_items("preparation"),
+        deployment_preferences=as_items("deployment"),
+        region=str(spec.get("region", "eu")),
+        description=str(spec.get("description", "")),
+    )
+
+
+def _objective_to_dict(objective: Objective) -> Dict[str, Any]:
+    data = {"indicator": objective.indicator_name, "target": objective.target,
+            "weight": objective.weight, "hard": objective.hard}
+    if objective.comparator:
+        data["comparator"] = objective.comparator
+    return data
+
+
+def spec_to_dict(model: DeclarativeModel) -> Dict[str, Any]:
+    """Serialise a declarative model back to its dictionary form."""
+    source: Dict[str, Any] = {"num_records": model.source.num_records,
+                              "streaming": model.source.streaming,
+                              "batch_size": model.source.batch_size}
+    if model.source.scenario is not None:
+        source["scenario"] = model.source.scenario
+    if model.source.csv_path is not None:
+        source["csv_path"] = model.source.csv_path
+    if model.source.records is not None:
+        source["records"] = list(model.source.records)
+    if model.source.contains_personal_data is not None:
+        source["contains_personal_data"] = model.source.contains_personal_data
+    return {
+        "name": model.name,
+        "description": model.description,
+        "purpose": model.purpose,
+        "policy": model.policy_name,
+        "region": model.region,
+        "source": source,
+        "privacy": model.privacy_params,
+        "preparation": model.preparation_params,
+        "deployment": model.deployment_params,
+        "goals": [
+            {
+                "id": goal.goal_id,
+                "task": goal.task,
+                "description": goal.description,
+                "params": goal.params,
+                "optimize_for": goal.optimize_for,
+                "model": goal.preferred_model,
+                "objectives": [_objective_to_dict(objective)
+                               for objective in goal.objectives],
+            }
+            for goal in model.goals
+        ],
+    }
+
+
+def spec_to_json(model: DeclarativeModel, indent: int = 2) -> str:
+    """Serialise a declarative model to a JSON string."""
+    return json.dumps(spec_to_dict(model), indent=indent, default=str)

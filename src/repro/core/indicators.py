@@ -1,0 +1,105 @@
+"""Evaluating declared objectives against measured campaign metrics.
+
+After a campaign run, every metric produced by the pipeline (plus the
+engine-level execution profile) is gathered into one dictionary of indicator
+values.  The evaluator checks each declared objective against that dictionary,
+computes a satisfaction flag and a normalised score, and aggregates the
+weighted overall score used by the Labs to rank alternative options.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .vocabulary import MAXIMIZE, Objective
+
+
+@dataclass
+class IndicatorEvaluation:
+    """Outcome of checking one objective against the measured value."""
+
+    objective: Objective
+    value: Optional[float]
+    satisfied: bool
+    score: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serialisable view used in run reports."""
+        return {
+            "indicator": self.objective.indicator_name,
+            "target": self.objective.target,
+            "comparator": self.objective.effective_comparator,
+            "hard": self.objective.hard,
+            "weight": self.objective.weight,
+            "value": self.value,
+            "satisfied": self.satisfied,
+            "score": self.score,
+        }
+
+
+class IndicatorEvaluator:
+    """Evaluates objectives against a flat dictionary of measured metrics."""
+
+    def evaluate(self, objectives: Sequence[Objective],
+                 metrics: Dict[str, float]) -> List[IndicatorEvaluation]:
+        """Return one evaluation per objective, in declaration order."""
+        evaluations = []
+        for objective in objectives:
+            value = self._lookup(objective, metrics)
+            satisfied = objective.is_satisfied(value)
+            evaluations.append(IndicatorEvaluation(
+                objective=objective, value=value, satisfied=satisfied,
+                score=self._score(objective, value)))
+        return evaluations
+
+    @staticmethod
+    def _lookup(objective: Objective, metrics: Dict[str, float]) -> Optional[float]:
+        """Find the measured value of the objective's indicator."""
+        key = objective.indicator.metric_key
+        if key in metrics:
+            return float(metrics[key])
+        # fall back to namespaced step metrics, e.g. "analytics-goal.accuracy"
+        candidates = [value for name, value in metrics.items()
+                      if name.endswith(f".{key}")]
+        if candidates:
+            # the worst value is the honest one to report against a target
+            return float(min(candidates) if objective.indicator.direction == MAXIMIZE
+                         else max(candidates))
+        return None
+
+    @staticmethod
+    def _score(objective: Objective, value: Optional[float]) -> float:
+        """Normalised score in [0, 1.5]: 1.0 means exactly on target."""
+        if value is None:
+            return 0.0
+        target = objective.target
+        if objective.indicator.direction == MAXIMIZE:
+            if target <= 0:
+                return 1.0 if value >= target else 0.0
+            return max(0.0, min(1.5, value / target))
+        # minimise: smaller is better
+        if value <= 0:
+            return 1.5
+        if target <= 0:
+            return 0.0
+        return max(0.0, min(1.5, target / value))
+
+    def summary(self, evaluations: Sequence[IndicatorEvaluation]) -> Dict[str, float]:
+        """Aggregate evaluations into the campaign-level satisfaction summary."""
+        if not evaluations:
+            return {"objectives": 0.0, "satisfied": 0.0, "satisfaction_rate": 1.0,
+                    "hard_objectives_met": 1.0, "weighted_score": 1.0}
+        satisfied = sum(1 for evaluation in evaluations if evaluation.satisfied)
+        hard = [evaluation for evaluation in evaluations if evaluation.objective.hard]
+        hard_met = all(evaluation.satisfied for evaluation in hard) if hard else True
+        total_weight = sum(evaluation.objective.weight for evaluation in evaluations)
+        weighted_score = sum(evaluation.score * evaluation.objective.weight
+                             for evaluation in evaluations) / total_weight
+        return {
+            "objectives": float(len(evaluations)),
+            "satisfied": float(satisfied),
+            "satisfaction_rate": satisfied / len(evaluations),
+            "hard_objectives_met": 1.0 if hard_met else 0.0,
+            "weighted_score": weighted_score,
+        }

@@ -1,0 +1,170 @@
+"""The procedural model: an abstract composition of catalogue services.
+
+A procedural model is a DAG of :class:`ServiceStep` nodes.  It is *abstract*
+in the sense that steps reference services by catalogue name and carry their
+parameters, but nothing is bound to an execution platform yet — partitioning,
+cluster profile and engine configuration only appear in the deployment model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import CompilationError
+
+
+@dataclass
+class ServiceStep:
+    """One node of the service composition.
+
+    Attributes
+    ----------
+    step_id:
+        Unique identifier within the procedural model.
+    service_name:
+        Catalogue name of the service to run.
+    area:
+        TOREADOR area of the step (copied from the service metadata so the
+        model can be inspected without the catalogue).
+    params:
+        Parameters the service will be instantiated with.
+    depends_on:
+        Step ids whose results this step consumes.  The first dependency that
+        produced a dataset provides this step's input dataset.
+    goal_id:
+        The declarative goal this step realises (analytics steps only).
+    rationale:
+        Why the compiler inserted the step (shown in Labs feedback).
+    """
+
+    step_id: str
+    service_name: str
+    area: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    depends_on: Tuple[str, ...] = ()
+    goal_id: Optional[str] = None
+    rationale: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Serialisable view (parameters that are complex objects are named only)."""
+        def safe(value: Any) -> Any:
+            if isinstance(value, (str, int, float, bool, type(None))):
+                return value
+            if isinstance(value, (list, tuple)):
+                return [safe(item) for item in value]
+            if isinstance(value, dict):
+                return {key: safe(item) for key, item in value.items()}
+            return f"<{type(value).__name__}>"
+        return {
+            "step_id": self.step_id,
+            "service": self.service_name,
+            "area": self.area,
+            "params": {key: safe(value) for key, value in self.params.items()},
+            "depends_on": list(self.depends_on),
+            "goal_id": self.goal_id,
+            "rationale": self.rationale,
+        }
+
+
+@dataclass
+class ProceduralModel:
+    """A validated DAG of service steps."""
+
+    name: str
+    steps: List[ServiceStep] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- validation -----------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check uniqueness of step ids, dependency existence and acyclicity."""
+        ids = [step.step_id for step in self.steps]
+        if len(ids) != len(set(ids)):
+            raise CompilationError(f"procedural model {self.name!r} has duplicate step ids")
+        known = set(ids)
+        for step in self.steps:
+            unknown = [dep for dep in step.depends_on if dep not in known]
+            if unknown:
+                raise CompilationError(
+                    f"step {step.step_id!r} depends on unknown steps {unknown}")
+        self.topological_order()  # raises on cycles
+
+    # -- graph helpers ------------------------------------------------------------------
+
+    def step(self, step_id: str) -> ServiceStep:
+        """Return the step called ``step_id``."""
+        for step in self.steps:
+            if step.step_id == step_id:
+                return step
+        raise CompilationError(f"procedural model {self.name!r} has no step {step_id!r}")
+
+    def topological_order(self) -> List[ServiceStep]:
+        """Steps ordered so that every dependency precedes its dependants."""
+        order: List[ServiceStep] = []
+        visited: Dict[str, int] = {}  # 0 = visiting, 1 = done
+        steps_by_id = {step.step_id: step for step in self.steps}
+
+        def visit(step: ServiceStep) -> None:
+            state = visited.get(step.step_id)
+            if state == 1:
+                return
+            if state == 0:
+                raise CompilationError(
+                    f"procedural model {self.name!r} has a dependency cycle "
+                    f"through {step.step_id!r}")
+            visited[step.step_id] = 0
+            for dep in step.depends_on:
+                visit(steps_by_id[dep])
+            visited[step.step_id] = 1
+            order.append(step)
+
+        for step in self.steps:
+            visit(step)
+        return order
+
+    # -- queries ----------------------------------------------------------------------------
+
+    def steps_in_area(self, area: str) -> List[ServiceStep]:
+        """Every step belonging to a TOREADOR area."""
+        return [step for step in self.steps if step.area == area]
+
+    @property
+    def analytics_steps(self) -> List[ServiceStep]:
+        """The analytics steps, in declaration order."""
+        return self.steps_in_area("analytics")
+
+    @property
+    def num_steps(self) -> int:
+        """Number of steps in the composition."""
+        return len(self.steps)
+
+    def service_names(self) -> List[str]:
+        """Catalogue names of every step, in topological order."""
+        return [step.service_name for step in self.topological_order()]
+
+    def capabilities(self, catalog) -> Tuple[str, ...]:
+        """Union of the capability tags of every step's service."""
+        tags: List[str] = []
+        for step in self.steps:
+            if step.service_name in catalog:
+                tags.extend(catalog.metadata(step.service_name).capabilities)
+        return tuple(sorted(set(tags)))
+
+    # -- presentation ------------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable composition listing."""
+        lines = [f"Procedural model: {self.name} ({self.num_steps} steps)"]
+        for step in self.topological_order():
+            deps = f" <- {', '.join(step.depends_on)}" if step.depends_on else ""
+            rationale = f"  # {step.rationale}" if step.rationale else ""
+            lines.append(f"  [{step.area}] {step.step_id}: {step.service_name}{deps}{rationale}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Serialisable view of the whole composition."""
+        return {"name": self.name,
+                "steps": [step.as_dict() for step in self.topological_order()]}

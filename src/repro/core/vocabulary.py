@@ -1,0 +1,222 @@
+"""The standard vocabulary of indicators and objectives.
+
+Section 2 of the paper argues that "identifying a core set of standard
+indicators is an important step towards increasing transparency of the
+commitments taken by Big Data service providers".  This module is that core
+set: every indicator has a stable name, a category, a unit, a direction of
+improvement, and the metric key under which campaign executions report its
+measured value.  Declarative goals attach :class:`Objective` targets to these
+indicators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..errors import VocabularyError
+
+#: Indicator categories.
+CATEGORY_QUALITY = "analytics_quality"
+CATEGORY_PERFORMANCE = "performance"
+CATEGORY_COST = "cost"
+CATEGORY_PRIVACY = "privacy"
+CATEGORY_COVERAGE = "coverage"
+
+VALID_CATEGORIES = (CATEGORY_QUALITY, CATEGORY_PERFORMANCE, CATEGORY_COST,
+                    CATEGORY_PRIVACY, CATEGORY_COVERAGE)
+
+#: Directions of improvement.
+MAXIMIZE = "maximize"
+MINIMIZE = "minimize"
+
+VALID_DIRECTIONS = (MAXIMIZE, MINIMIZE)
+
+VALID_COMPARATORS = (">=", "<=", ">", "<", "==")
+
+
+@dataclass(frozen=True)
+class Indicator:
+    """One standard indicator of the vocabulary.
+
+    Attributes
+    ----------
+    name:
+        Stable vocabulary name used in declarative specifications.
+    category:
+        One of :data:`VALID_CATEGORIES`.
+    unit:
+        Unit of the measured value (documentation only).
+    direction:
+        Whether larger (:data:`MAXIMIZE`) or smaller (:data:`MINIMIZE`)
+        values are better.
+    metric_key:
+        Key under which campaign executions report the measured value.
+    description:
+        One-line documentation.
+    """
+
+    name: str
+    category: str
+    unit: str
+    direction: str
+    metric_key: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.category not in VALID_CATEGORIES:
+            raise VocabularyError(
+                f"indicator {self.name!r} has unknown category {self.category!r}")
+        if self.direction not in VALID_DIRECTIONS:
+            raise VocabularyError(
+                f"indicator {self.name!r} has unknown direction {self.direction!r}")
+
+    def default_comparator(self) -> str:
+        """The comparator an objective uses when none is given."""
+        return ">=" if self.direction == MAXIMIZE else "<="
+
+
+#: The core indicator set.  Keys are the vocabulary names.
+INDICATORS: Dict[str, Indicator] = {
+    ind.name: ind for ind in (
+        # analytics quality
+        Indicator("accuracy", CATEGORY_QUALITY, "fraction", MAXIMIZE, "accuracy",
+                  "Fraction of correctly classified test records"),
+        Indicator("precision", CATEGORY_QUALITY, "fraction", MAXIMIZE, "precision",
+                  "Positive predictive value on the test split"),
+        Indicator("recall", CATEGORY_QUALITY, "fraction", MAXIMIZE, "recall",
+                  "True-positive rate on the test split"),
+        Indicator("f1", CATEGORY_QUALITY, "fraction", MAXIMIZE, "f1",
+                  "Harmonic mean of precision and recall"),
+        Indicator("r2", CATEGORY_QUALITY, "fraction", MAXIMIZE, "r2",
+                  "Coefficient of determination of a regression"),
+        Indicator("rmse", CATEGORY_QUALITY, "target units", MINIMIZE, "rmse",
+                  "Root mean squared error of a regression"),
+        Indicator("cluster_inertia", CATEGORY_QUALITY, "sum of squares", MINIMIZE,
+                  "inertia", "Within-cluster sum of squared distances"),
+        Indicator("cluster_balance", CATEGORY_QUALITY, "fraction", MAXIMIZE,
+                  "cluster_balance", "Smallest/largest cluster size ratio"),
+        Indicator("rules_found", CATEGORY_QUALITY, "count", MAXIMIZE, "num_rules",
+                  "Number of association rules above the thresholds"),
+        Indicator("max_lift", CATEGORY_QUALITY, "ratio", MAXIMIZE, "max_lift",
+                  "Lift of the strongest association rule"),
+        Indicator("anomaly_precision", CATEGORY_QUALITY, "fraction", MAXIMIZE,
+                  "precision", "Precision of anomaly detection vs. ground truth"),
+        Indicator("anomaly_recall", CATEGORY_QUALITY, "fraction", MAXIMIZE,
+                  "recall", "Recall of anomaly detection vs. ground truth"),
+        # performance
+        Indicator("execution_time", CATEGORY_PERFORMANCE, "seconds", MINIMIZE,
+                  "execution_time_s", "Wall-clock time of the campaign execution"),
+        Indicator("training_time", CATEGORY_PERFORMANCE, "seconds", MINIMIZE,
+                  "training_time_s", "Time spent fitting the analytics model"),
+        Indicator("throughput", CATEGORY_PERFORMANCE, "records/second", MAXIMIZE,
+                  "throughput_records_per_s", "Records processed per second"),
+        Indicator("latency", CATEGORY_PERFORMANCE, "seconds", MINIMIZE,
+                  "mean_latency_s", "Mean micro-batch latency of a streaming campaign"),
+        Indicator("shuffle_volume", CATEGORY_PERFORMANCE, "bytes", MINIMIZE,
+                  "shuffle_bytes", "Bytes moved through the shuffle"),
+        # cost
+        Indicator("monetary_cost", CATEGORY_COST, "USD", MINIMIZE,
+                  "estimated_cost_usd", "Estimated cost of the campaign on the target cluster"),
+        Indicator("compute_cost", CATEGORY_COST, "task-seconds", MINIMIZE,
+                  "total_task_time_s", "Total task time consumed on the cluster"),
+        # privacy
+        Indicator("k_anonymity", CATEGORY_PRIVACY, "k", MAXIMIZE, "achieved_k",
+                  "k-anonymity level achieved on quasi-identifiers"),
+        Indicator("information_loss", CATEGORY_PRIVACY, "fraction", MINIMIZE,
+                  "information_loss", "Utility lost to anonymisation (0 = none)"),
+        Indicator("policy_violations", CATEGORY_PRIVACY, "count", MINIMIZE,
+                  "policy_violations", "Blocking policy violations after execution"),
+        # coverage
+        Indicator("records_processed", CATEGORY_COVERAGE, "records", MAXIMIZE,
+                  "records_processed", "Records ingested by the campaign"),
+        Indicator("records_retained", CATEGORY_COVERAGE, "records", MAXIMIZE,
+                  "records_after", "Records surviving preparation (e.g. anonymisation)"),
+    )
+}
+
+
+def indicator(name: str) -> Indicator:
+    """Look up an indicator by vocabulary name."""
+    if name not in INDICATORS:
+        raise VocabularyError(
+            f"unknown indicator {name!r}; known indicators: {sorted(INDICATORS)}")
+    return INDICATORS[name]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A target attached to an indicator, e.g. ``accuracy >= 0.7``.
+
+    Attributes
+    ----------
+    indicator_name:
+        Name of a vocabulary indicator.
+    target:
+        The target value.
+    comparator:
+        One of ``>=, <=, >, <, ==``; defaults to the indicator's natural
+        comparator when omitted in a specification.
+    weight:
+        Relative importance used for the weighted satisfaction score.
+    hard:
+        Hard objectives must be satisfied for the campaign to be declared
+        successful; soft objectives only contribute to the score.
+    """
+
+    indicator_name: str
+    target: float
+    comparator: str = ""
+    weight: float = 1.0
+    hard: bool = True
+
+    def __post_init__(self) -> None:
+        indicator(self.indicator_name)  # raises on unknown names
+        if self.comparator and self.comparator not in VALID_COMPARATORS:
+            raise VocabularyError(
+                f"objective on {self.indicator_name!r} has invalid comparator "
+                f"{self.comparator!r}")
+        if self.weight <= 0:
+            raise VocabularyError("objective weight must be positive")
+
+    @property
+    def indicator(self) -> Indicator:
+        """The indicator the objective targets."""
+        return indicator(self.indicator_name)
+
+    @property
+    def effective_comparator(self) -> str:
+        """The comparator, defaulting to the indicator's natural one."""
+        return self.comparator or self.indicator.default_comparator()
+
+    def is_satisfied(self, value: Optional[float]) -> bool:
+        """True when ``value`` meets the target (``None`` never satisfies)."""
+        if value is None:
+            return False
+        comparator = self.effective_comparator
+        if comparator == ">=":
+            return value >= self.target
+        if comparator == "<=":
+            return value <= self.target
+        if comparator == ">":
+            return value > self.target
+        if comparator == "<":
+            return value < self.target
+        return value == self.target
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. ``accuracy >= 0.7``."""
+        return f"{self.indicator_name} {self.effective_comparator} {self.target}"
+
+
+def validate_objective(data: Dict[str, Any]) -> Objective:
+    """Build an :class:`Objective` from a specification dictionary."""
+    if "indicator" not in data:
+        raise VocabularyError(f"objective specification {data!r} lacks 'indicator'")
+    if "target" not in data:
+        raise VocabularyError(f"objective specification {data!r} lacks 'target'")
+    return Objective(indicator_name=str(data["indicator"]),
+                     target=float(data["target"]),
+                     comparator=str(data.get("comparator", "")),
+                     weight=float(data.get("weight", 1.0)),
+                     hard=bool(data.get("hard", True)))

@@ -1,0 +1,38 @@
+"""Synthetic data substrate for the TOREADOR vertical scenarios.
+
+The original TOREADOR pilots used proprietary customer data.  This package
+replaces them with reproducible, schema-rich synthetic generators that embed
+known ground-truth patterns, so the Labs challenges have genuinely different
+outcomes depending on the design options a trainee picks.
+"""
+
+from .schemas import (CHURN_SCHEMA, ENERGY_SCHEMA, PATIENT_SCHEMA, RETAIL_SCHEMA,
+                      WEB_LOG_SCHEMA, Field, Schema)
+from .generators import (ChurnDataGenerator, DataGenerator, EnergyDataGenerator,
+                         PatientRecordGenerator, RetailTransactionGenerator,
+                         WebLogGenerator, generator_for_scenario)
+from .sources import (CSVFileSource, DataSource, GeneratorSource, GeneratorStreamSource,
+                      InMemorySource, ReplayStreamSource)
+
+__all__ = [
+    "Field",
+    "Schema",
+    "CHURN_SCHEMA",
+    "ENERGY_SCHEMA",
+    "WEB_LOG_SCHEMA",
+    "RETAIL_SCHEMA",
+    "PATIENT_SCHEMA",
+    "DataGenerator",
+    "ChurnDataGenerator",
+    "EnergyDataGenerator",
+    "WebLogGenerator",
+    "RetailTransactionGenerator",
+    "PatientRecordGenerator",
+    "generator_for_scenario",
+    "DataSource",
+    "InMemorySource",
+    "GeneratorSource",
+    "CSVFileSource",
+    "GeneratorStreamSource",
+    "ReplayStreamSource",
+]

@@ -1,0 +1,275 @@
+"""Record schemas of the vertical scenarios.
+
+Schemas serve three purposes in the reproduction:
+
+* they validate generated and ingested records;
+* they flag *sensitive* attributes and *quasi-identifiers*, which is what the
+  governance layer needs to decide whether a campaign is affected by
+  data-protection policies (the paper's "regulatory barrier");
+* they document the shape of each vertical scenario's data for the Labs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..errors import SchemaError
+
+#: Data types a field may declare.
+VALID_DTYPES = ("int", "float", "str", "bool", "timestamp", "category", "list")
+
+_PYTHON_TYPES = {
+    "int": (int,),
+    "float": (int, float),
+    "str": (str,),
+    "bool": (bool,),
+    "timestamp": (int, float),
+    "category": (str,),
+    "list": (list, tuple),
+}
+
+
+@dataclass(frozen=True)
+class Field:
+    """One attribute of a schema.
+
+    Attributes
+    ----------
+    name:
+        Attribute name, unique within the schema.
+    dtype:
+        One of :data:`VALID_DTYPES`.
+    nullable:
+        Whether ``None`` is an acceptable value.
+    sensitive:
+        True for attributes that directly identify or harm a person if
+        disclosed (names, diagnoses, exact addresses).
+    quasi_identifier:
+        True for attributes that can re-identify a person when combined
+        (age, zip code, gender); k-anonymity operates on these.
+    categories:
+        Optional closed set of admissible values for ``category`` fields.
+    description:
+        Free-text documentation shown in Labs challenge briefs.
+    """
+
+    name: str
+    dtype: str
+    nullable: bool = False
+    sensitive: bool = False
+    quasi_identifier: bool = False
+    categories: Optional[tuple] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.dtype not in VALID_DTYPES:
+            raise SchemaError(f"field {self.name!r} has unknown dtype {self.dtype!r}")
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`SchemaError` when ``value`` does not fit the field."""
+        if value is None:
+            if self.nullable:
+                return
+            raise SchemaError(f"field {self.name!r} is not nullable")
+        expected = _PYTHON_TYPES[self.dtype]
+        if self.dtype == "float" and isinstance(value, bool):
+            raise SchemaError(f"field {self.name!r} expects a number, got bool")
+        if self.dtype == "int" and isinstance(value, bool):
+            raise SchemaError(f"field {self.name!r} expects an int, got bool")
+        if not isinstance(value, expected):
+            raise SchemaError(
+                f"field {self.name!r} expects {self.dtype}, got {type(value).__name__}")
+        if self.dtype == "category" and self.categories is not None:
+            if value not in self.categories:
+                raise SchemaError(
+                    f"field {self.name!r} value {value!r} not in categories "
+                    f"{self.categories}")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of fields describing one record type."""
+
+    name: str
+    fields: tuple = dataclass_field(default_factory=tuple)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"schema {self.name!r} has duplicate field names")
+
+    # -- lookups ------------------------------------------------------------
+
+    @property
+    def field_names(self) -> List[str]:
+        """Names of every field, in declaration order."""
+        return [f.name for f in self.fields]
+
+    def field(self, name: str) -> Field:
+        """Return the field called ``name``."""
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise SchemaError(f"schema {self.name!r} has no field {name!r}")
+
+    def has_field(self, name: str) -> bool:
+        """True when the schema declares a field called ``name``."""
+        return any(f.name == name for f in self.fields)
+
+    @property
+    def sensitive_fields(self) -> List[str]:
+        """Names of fields flagged as sensitive."""
+        return [f.name for f in self.fields if f.sensitive]
+
+    @property
+    def quasi_identifiers(self) -> List[str]:
+        """Names of fields flagged as quasi-identifiers."""
+        return [f.name for f in self.fields if f.quasi_identifier]
+
+    @property
+    def is_personal_data(self) -> bool:
+        """True when the schema contains sensitive data or quasi-identifiers."""
+        return bool(self.sensitive_fields or self.quasi_identifiers)
+
+    # -- validation -----------------------------------------------------------
+
+    def validate_record(self, record: Dict[str, Any]) -> None:
+        """Raise :class:`SchemaError` when the record violates the schema."""
+        if not isinstance(record, dict):
+            raise SchemaError(f"records of {self.name!r} must be dicts")
+        for f in self.fields:
+            if f.name not in record:
+                if f.nullable:
+                    continue
+                raise SchemaError(f"record is missing field {f.name!r}")
+            f.validate(record[f.name])
+
+    def validate_records(self, records: Iterable[Dict[str, Any]]) -> int:
+        """Validate every record; return how many were checked."""
+        count = 0
+        for record in records:
+            self.validate_record(record)
+            count += 1
+        return count
+
+    # -- derivation -------------------------------------------------------------
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Return a schema keeping only the listed fields (in that order)."""
+        names = list(names)
+        missing = [n for n in names if not self.has_field(n)]
+        if missing:
+            raise SchemaError(f"cannot project unknown fields {missing} of {self.name!r}")
+        return Schema(name=f"{self.name}_projected",
+                      fields=tuple(self.field(n) for n in names),
+                      description=self.description)
+
+    def drop(self, names: Iterable[str]) -> "Schema":
+        """Return a schema without the listed fields."""
+        names = set(names)
+        return Schema(name=f"{self.name}_dropped",
+                      fields=tuple(f for f in self.fields if f.name not in names),
+                      description=self.description)
+
+
+# ---------------------------------------------------------------------------
+# Built-in vertical scenario schemas
+# ---------------------------------------------------------------------------
+
+CHURN_SCHEMA = Schema(
+    name="telecom_churn",
+    description="Telecom customer records with a churn ground-truth label",
+    fields=(
+        Field("customer_id", "str", sensitive=True,
+              description="Unique customer identifier"),
+        Field("age", "int", quasi_identifier=True),
+        Field("region", "category", quasi_identifier=True,
+              categories=("north", "south", "east", "west", "centre")),
+        Field("tenure_months", "int"),
+        Field("contract_type", "category",
+              categories=("monthly", "one_year", "two_year")),
+        Field("payment_method", "category",
+              categories=("card", "bank_transfer", "electronic", "mailed_check")),
+        Field("monthly_charges", "float"),
+        Field("total_charges", "float"),
+        Field("num_support_calls", "int"),
+        Field("data_usage_gb", "float"),
+        Field("churned", "int", description="1 when the customer churned"),
+    ),
+)
+
+ENERGY_SCHEMA = Schema(
+    name="smart_meter_energy",
+    description="Hourly smart-meter readings with injected anomalies",
+    fields=(
+        Field("meter_id", "str", quasi_identifier=True),
+        Field("timestamp", "timestamp"),
+        Field("hour_of_day", "int"),
+        Field("kwh", "float"),
+        Field("voltage", "float"),
+        Field("household_size", "int", quasi_identifier=True),
+        Field("region", "category",
+              categories=("north", "south", "east", "west", "centre")),
+        Field("is_anomaly", "int", description="1 for injected anomalous readings"),
+    ),
+)
+
+WEB_LOG_SCHEMA = Schema(
+    name="web_service_logs",
+    description="HTTP access log entries of a multi-service web application",
+    fields=(
+        Field("timestamp", "timestamp"),
+        Field("ip", "str", sensitive=True),
+        Field("user_id", "str", sensitive=True, nullable=True),
+        Field("url", "str"),
+        Field("method", "category", categories=("GET", "POST", "PUT", "DELETE")),
+        Field("status", "int"),
+        Field("latency_ms", "float"),
+        Field("bytes", "int"),
+        Field("service", "category",
+              categories=("frontend", "catalog", "cart", "payment", "auth")),
+    ),
+)
+
+RETAIL_SCHEMA = Schema(
+    name="retail_transactions",
+    description="Point-of-sale baskets with embedded association patterns",
+    fields=(
+        Field("transaction_id", "str"),
+        Field("customer_id", "str", sensitive=True),
+        Field("timestamp", "timestamp"),
+        Field("store", "category",
+              categories=("milan", "rome", "madrid", "paris", "online")),
+        Field("basket", "list", description="List of product names"),
+        Field("total_amount", "float"),
+    ),
+)
+
+PATIENT_SCHEMA = Schema(
+    name="patient_records",
+    description="Hospital discharge records used by the privacy challenges",
+    fields=(
+        Field("patient_id", "str", sensitive=True),
+        Field("age", "int", quasi_identifier=True),
+        Field("gender", "category", quasi_identifier=True,
+              categories=("female", "male", "other")),
+        Field("zip_code", "str", quasi_identifier=True),
+        Field("diagnosis", "category", sensitive=True,
+              categories=("cardiac", "oncology", "orthopedic", "respiratory",
+                          "neurology", "other")),
+        Field("length_of_stay", "int"),
+        Field("treatment_cost", "float"),
+        Field("readmitted", "int", description="1 when readmitted within 30 days"),
+    ),
+)
+
+#: All built-in schemas by scenario key, used by the Labs challenge catalogue.
+BUILTIN_SCHEMAS: Dict[str, Schema] = {
+    "churn": CHURN_SCHEMA,
+    "energy": ENERGY_SCHEMA,
+    "web_logs": WEB_LOG_SCHEMA,
+    "retail": RETAIL_SCHEMA,
+    "patients": PATIENT_SCHEMA,
+}

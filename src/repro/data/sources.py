@@ -1,0 +1,185 @@
+"""Data sources: how campaign pipelines read their input.
+
+A :class:`DataSource` is what the ingestion services of the catalogue bind to:
+it exposes a partitioned read interface consumed by
+:class:`repro.engine.dataset.SourceDataset`, plus an estimated size used for
+quota checks and planning.  Stream sources feed the micro-batch streaming
+context.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..errors import SourceError
+from ..engine.streaming import StreamSource
+from .generators import DataGenerator
+from .schemas import Schema
+
+Record = Dict[str, Any]
+
+
+class DataSource:
+    """Interface of a partitioned, re-readable batch data source."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def estimated_size(self) -> int:
+        """Number of records the source is expected to produce."""
+        raise NotImplementedError
+
+    def read_partition(self, partition: int, num_partitions: int) -> Iterator[Record]:
+        """Yield the records belonging to ``partition`` of ``num_partitions``."""
+        raise NotImplementedError
+
+    def read_all(self) -> Iterator[Record]:
+        """Yield every record (single-partition convenience read)."""
+        return self.read_partition(0, 1)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} ~{self.estimated_size()} records>"
+
+
+class InMemorySource(DataSource):
+    """A source backed by an in-memory list of records."""
+
+    def __init__(self, name: str, records: List[Record], schema: Optional[Schema] = None):
+        super().__init__(name)
+        self._records = list(records)
+        self.schema = schema
+
+    def estimated_size(self) -> int:
+        return len(self._records)
+
+    def read_partition(self, partition: int, num_partitions: int) -> Iterator[Record]:
+        total = len(self._records)
+        start = (partition * total) // num_partitions
+        end = ((partition + 1) * total) // num_partitions
+        return iter(self._records[start:end])
+
+
+class GeneratorSource(DataSource):
+    """A source producing records on demand from a :class:`DataGenerator`.
+
+    Records are generated per partition from disjoint index ranges, so the
+    full dataset never needs to exist in memory at once and the content does
+    not depend on the partition count.
+    """
+
+    def __init__(self, generator: DataGenerator, num_records: int,
+                 name: Optional[str] = None):
+        if num_records < 0:
+            raise SourceError("num_records must be >= 0")
+        super().__init__(name or f"{generator.scenario}_source")
+        self.generator = generator
+        self.num_records = num_records
+        self.schema = generator.schema
+
+    def estimated_size(self) -> int:
+        return self.num_records
+
+    def read_partition(self, partition: int, num_partitions: int) -> Iterator[Record]:
+        start = (partition * self.num_records) // num_partitions
+        end = ((partition + 1) * self.num_records) // num_partitions
+        return self.generator.generate_range(start, end)
+
+
+class CSVFileSource(DataSource):
+    """A source reading a CSV file, optionally converting types via a schema."""
+
+    def __init__(self, path: str, schema: Optional[Schema] = None,
+                 name: Optional[str] = None):
+        super().__init__(name or f"csv({path})")
+        self.path = path
+        self.schema = schema
+        try:
+            with open(path, "r", encoding="utf-8", newline="") as handle:
+                reader = csv.DictReader(handle)
+                self._records = [self._convert(row) for row in reader]
+        except OSError as error:
+            raise SourceError(f"cannot read CSV file {path!r}: {error}") from error
+
+    def _convert(self, row: Dict[str, str]) -> Record:
+        if self.schema is None:
+            return dict(row)
+        converted: Record = {}
+        for field in self.schema.fields:
+            if field.name not in row:
+                continue
+            raw = row[field.name]
+            if raw == "" and field.nullable:
+                converted[field.name] = None
+            elif field.dtype == "int":
+                converted[field.name] = int(float(raw))
+            elif field.dtype in ("float", "timestamp"):
+                converted[field.name] = float(raw)
+            elif field.dtype == "bool":
+                converted[field.name] = raw.lower() in ("1", "true", "yes")
+            elif field.dtype == "list":
+                converted[field.name] = [item for item in raw.split(";") if item]
+            else:
+                converted[field.name] = raw
+        return converted
+
+    def estimated_size(self) -> int:
+        return len(self._records)
+
+    def read_partition(self, partition: int, num_partitions: int) -> Iterator[Record]:
+        total = len(self._records)
+        start = (partition * total) // num_partitions
+        end = ((partition + 1) * total) // num_partitions
+        return iter(self._records[start:end])
+
+
+def write_csv(path: str, records: List[Record], schema: Schema) -> int:
+    """Write records to a CSV file following the schema's field order."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=schema.field_names)
+        writer.writeheader()
+        for record in records:
+            row = {}
+            for field in schema.fields:
+                value = record.get(field.name)
+                if field.dtype == "list" and value is not None:
+                    value = ";".join(str(item) for item in value)
+                row[field.name] = value
+            writer.writerow(row)
+    return len(records)
+
+
+class GeneratorStreamSource(StreamSource):
+    """Micro-batch stream that draws successive batches from a generator."""
+
+    def __init__(self, generator: DataGenerator, batch_size: int,
+                 max_batches: Optional[int] = None, name: Optional[str] = None):
+        if batch_size < 1:
+            raise SourceError("batch_size must be >= 1")
+        self.generator = generator
+        self.batch_size = batch_size
+        self.max_batches = max_batches
+        self.name = name or f"{generator.scenario}_stream"
+
+    def next_batch(self, batch_index: int) -> Optional[List[Record]]:
+        if self.max_batches is not None and batch_index >= self.max_batches:
+            return None
+        start = batch_index * self.batch_size
+        return list(self.generator.generate_range(start, start + self.batch_size))
+
+
+class ReplayStreamSource(StreamSource):
+    """Micro-batch stream that replays a fixed list of records."""
+
+    def __init__(self, records: List[Record], batch_size: int, name: str = "replay"):
+        if batch_size < 1:
+            raise SourceError("batch_size must be >= 1")
+        self._records = list(records)
+        self.batch_size = batch_size
+        self.name = name
+
+    def next_batch(self, batch_index: int) -> Optional[List[Record]]:
+        start = batch_index * self.batch_size
+        if start >= len(self._records):
+            return None
+        return self._records[start:start + self.batch_size]

@@ -1,0 +1,39 @@
+"""The dataflow engine substrate of the TOREADOR reproduction.
+
+This package provides a self-contained, Spark-like execution engine used as
+the deployment target of compiled Big Data campaigns: lazy partitioned
+datasets, a DAG scheduler with shuffle stages, an in-memory cache, micro-batch
+streaming and a cluster cost simulator for what-if deployment analysis.
+"""
+
+from .context import EngineContext
+from .dataset import Dataset
+from .metrics import JobMetrics, MetricsRegistry, StageMetrics, TaskMetrics, merge_job_metrics
+from .partitioner import HashPartitioner, Partitioner, RangePartitioner, RoundRobinPartitioner
+from .simulator import (BUILTIN_PROFILES, ClusterProfile, CostModel,
+                        DeploymentEstimate, DeploymentSimulator)
+from .streaming import BatchResult, DStream, StreamingContext, StreamRunReport, StreamSource
+
+__all__ = [
+    "EngineContext",
+    "Dataset",
+    "JobMetrics",
+    "StageMetrics",
+    "TaskMetrics",
+    "MetricsRegistry",
+    "merge_job_metrics",
+    "Partitioner",
+    "HashPartitioner",
+    "RangePartitioner",
+    "RoundRobinPartitioner",
+    "ClusterProfile",
+    "CostModel",
+    "DeploymentEstimate",
+    "DeploymentSimulator",
+    "BUILTIN_PROFILES",
+    "StreamingContext",
+    "StreamSource",
+    "DStream",
+    "BatchResult",
+    "StreamRunReport",
+]

@@ -1,0 +1,123 @@
+"""The engine context: entry point of the dataflow substrate.
+
+An :class:`EngineContext` plays the role of a ``SparkContext``: it owns the
+configuration, the shuffle manager, the block store (cache), the metrics
+registry and the DAG scheduler, and offers factory methods to create datasets.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence
+
+from ..config import DEFAULT_ENGINE_CONFIG, EngineConfig
+from ..errors import EngineError, SourceError
+from .dataset import Dataset, ParallelCollectionDataset, SourceDataset
+from .metrics import MetricsRegistry
+from .scheduler import DAGScheduler
+from .shuffle import ShuffleManager
+from .storage import BlockStore
+
+
+class EngineContext:
+    """Owns every engine-wide resource and creates datasets."""
+
+    def __init__(self, config: Optional[EngineConfig] = None, name: str = "repro-engine"):
+        self.config = config or DEFAULT_ENGINE_CONFIG
+        self.name = name
+        self.shuffle_manager = ShuffleManager(compression=self.config.shuffle_compression)
+        self.block_store = BlockStore(memory_budget_bytes=self.config.memory_budget_bytes)
+        self.metrics = MetricsRegistry()
+        self.scheduler = DAGScheduler(self.config, self.shuffle_manager,
+                                      self.block_store, self.metrics)
+        self._dataset_counter = itertools.count()
+        self._shuffle_counter = itertools.count()
+        self._lock = threading.Lock()
+        self._stopped = False
+
+    # -- id generation ----------------------------------------------------------
+
+    def _next_dataset_id(self) -> int:
+        with self._lock:
+            return next(self._dataset_counter)
+
+    def _next_shuffle_id(self) -> int:
+        with self._lock:
+            return next(self._shuffle_counter)
+
+    # -- dataset factories ---------------------------------------------------------
+
+    def parallelize(self, data: Iterable[Any],
+                    num_partitions: Optional[int] = None) -> Dataset:
+        """Create a dataset from an in-memory iterable."""
+        self._check_active()
+        data = list(data)
+        if num_partitions is None:
+            num_partitions = min(self.config.default_parallelism, max(1, len(data)))
+        return ParallelCollectionDataset(self, data, num_partitions)
+
+    def range(self, start: int, end: Optional[int] = None, step: int = 1,
+              num_partitions: Optional[int] = None) -> Dataset:
+        """Create a dataset of integers, like :func:`range`."""
+        if end is None:
+            start, end = 0, start
+        return self.parallelize(range(start, end, step), num_partitions)
+
+    def from_source(self, source, num_partitions: Optional[int] = None) -> Dataset:
+        """Create a dataset from a :class:`repro.data.sources.DataSource`."""
+        self._check_active()
+        num_partitions = num_partitions or self.config.default_parallelism
+        return SourceDataset(self, source, num_partitions)
+
+    def text_file(self, path: str, num_partitions: Optional[int] = None) -> Dataset:
+        """Create a dataset whose records are the lines of a text file."""
+        self._check_active()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = [line.rstrip("\n") for line in handle]
+        except OSError as error:
+            raise SourceError(f"cannot read text file {path!r}: {error}") from error
+        return self.parallelize(lines, num_partitions).set_name(f"text_file({path})")
+
+    def empty(self) -> Dataset:
+        """Create an empty dataset with a single empty partition."""
+        return ParallelCollectionDataset(self, [], 1).set_name("empty")
+
+    # -- job execution ---------------------------------------------------------------
+
+    def run_job(self, dataset: Dataset, func: Callable[[Iterator[Any]], Any],
+                partitions: Optional[Sequence[int]] = None,
+                description: str = "") -> List[Any]:
+        """Run an action; normally called through dataset methods."""
+        self._check_active()
+        return self.scheduler.run_job(dataset, func, partitions, description)
+
+    def explain(self, dataset: Dataset) -> str:
+        """Return the textual lineage of a dataset (its logical plan)."""
+        return "\n".join(self.scheduler.explain(dataset))
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def _check_active(self) -> None:
+        if self._stopped:
+            raise EngineError("this engine context has been stopped")
+
+    @property
+    def is_active(self) -> bool:
+        """False once :meth:`stop` has been called."""
+        return not self._stopped
+
+    def stop(self) -> None:
+        """Release every resource owned by the context."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self.shuffle_manager.clear()
+        self.block_store.clear()
+
+    def __enter__(self) -> "EngineContext":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()

@@ -1,0 +1,848 @@
+"""Lazy, partitioned datasets with Spark-like semantics.
+
+A :class:`Dataset` is an immutable description of a distributed collection:
+it knows how many partitions it has, which parent datasets it derives from,
+and how to compute one of its partitions given its parents.  Narrow
+transformations (``map``, ``filter`` ...) are pipelined inside a single task;
+wide transformations (``group_by_key``, ``join``, ``sort_by`` ...) introduce a
+shuffle boundary handled by the scheduler.
+
+Nothing is computed until an *action* (``collect``, ``count``, ``reduce`` ...)
+is invoked, at which point the owning :class:`repro.engine.context.EngineContext`
+runs a job through its scheduler and executor.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
+                    Tuple)
+
+from ..errors import PlanError
+from .partitioner import HashPartitioner, Partitioner, RangePartitioner, RoundRobinPartitioner
+
+
+class TaskContext:
+    """Per-task mutable counters, filled in while a partition is computed."""
+
+    def __init__(self) -> None:
+        self.records_read = 0
+        self.records_written = 0
+        self.shuffle_bytes_read = 0
+        self.shuffle_bytes_written = 0
+        self.cache_hits = 0
+
+
+# ---------------------------------------------------------------------------
+# Dependencies
+# ---------------------------------------------------------------------------
+
+
+class Dependency:
+    """A link from a dataset to one of its parents."""
+
+    def __init__(self, parent: "Dataset"):
+        self.parent = parent
+
+
+class NarrowDependency(Dependency):
+    """Each child partition depends on a bounded set of parent partitions."""
+
+
+class ShuffleDependency(Dependency):
+    """Child partitions depend on *all* parent partitions through a shuffle.
+
+    ``map_side`` receives the iterator of one parent partition and returns a
+    dict mapping reduce-partition index to the list of records bound for it.
+    """
+
+    def __init__(self, parent: "Dataset", partitioner: Partitioner,
+                 map_side: Callable[[Iterator[Any]], Dict[int, List[Any]]],
+                 shuffle_id: int):
+        super().__init__(parent)
+        self.partitioner = partitioner
+        self.map_side = map_side
+        self.shuffle_id = shuffle_id
+
+
+# ---------------------------------------------------------------------------
+# Base dataset
+# ---------------------------------------------------------------------------
+
+
+class Dataset:
+    """An immutable, lazily evaluated, partitioned collection of records."""
+
+    def __init__(self, ctx, num_partitions: int, dependencies: List[Dependency],
+                 name: str = ""):
+        if num_partitions < 1:
+            raise PlanError("a dataset needs at least one partition")
+        self.ctx = ctx
+        self.id = ctx._next_dataset_id()
+        self.num_partitions = int(num_partitions)
+        self.dependencies = list(dependencies)
+        self.name = name or type(self).__name__
+        self.is_cached = False
+
+    # -- plumbing -------------------------------------------------------------
+
+    def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
+        """Compute the records of one partition (narrow evaluation)."""
+        raise NotImplementedError
+
+    def iterator(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
+        """Compute a partition, honouring the cache when the dataset is persisted."""
+        if self.is_cached:
+            cached = self.ctx.block_store.get(self.id, partition)
+            if cached is not None:
+                task_context.cache_hits += 1
+                return iter(cached)
+            records = list(self.compute(partition, task_context))
+            self.ctx.block_store.put(self.id, partition, records)
+            return iter(records)
+        return self.compute(partition, task_context)
+
+    @property
+    def parents(self) -> List["Dataset"]:
+        """The parent datasets this dataset is derived from."""
+        return [dep.parent for dep in self.dependencies]
+
+    def set_name(self, name: str) -> "Dataset":
+        """Give the dataset a human-readable name (shown in plans/metrics)."""
+        self.name = name
+        return self
+
+    def __repr__(self) -> str:
+        return f"<{self.name} id={self.id} partitions={self.num_partitions}>"
+
+    # -- persistence ------------------------------------------------------------
+
+    def cache(self) -> "Dataset":
+        """Mark the dataset so computed partitions are kept in memory."""
+        self.is_cached = True
+        return self
+
+    persist = cache
+
+    def unpersist(self) -> "Dataset":
+        """Drop any cached partitions and stop caching new ones."""
+        self.is_cached = False
+        self.ctx.block_store.evict_dataset(self.id)
+        return self
+
+    # -- narrow transformations --------------------------------------------------
+
+    def map(self, func: Callable[[Any], Any]) -> "Dataset":
+        """Apply ``func`` to every record."""
+        return MappedDataset(self, func)
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "Dataset":
+        """Keep only the records for which ``predicate`` is true."""
+        return FilteredDataset(self, predicate)
+
+    def flat_map(self, func: Callable[[Any], Iterable[Any]]) -> "Dataset":
+        """Apply ``func`` to every record and flatten the resulting iterables."""
+        return FlatMappedDataset(self, func)
+
+    def map_partitions(self, func: Callable[[Iterator[Any]], Iterable[Any]]) -> "Dataset":
+        """Apply ``func`` to the whole iterator of each partition."""
+        return MapPartitionsDataset(self, func)
+
+    def map_partitions_with_index(
+            self, func: Callable[[int, Iterator[Any]], Iterable[Any]]) -> "Dataset":
+        """Like :meth:`map_partitions` but ``func`` also receives the partition index."""
+        return MapPartitionsDataset(self, func, with_index=True)
+
+    def union(self, other: "Dataset") -> "Dataset":
+        """Concatenate two datasets (partitions are appended, not merged)."""
+        return UnionDataset(self.ctx, [self, other])
+
+    def sample(self, fraction: float, seed: int = 0) -> "Dataset":
+        """Return a random sample of approximately ``fraction`` of the records."""
+        if not 0.0 <= fraction <= 1.0:
+            raise PlanError("sample fraction must be in [0, 1]")
+        return SampleDataset(self, fraction, seed)
+
+    def zip_with_index(self) -> "Dataset":
+        """Pair each record with its global index (triggers a size job)."""
+        sizes = self.ctx.run_job(self, lambda it: sum(1 for _ in it),
+                                 description=f"zip_with_index sizes of {self.name}")
+        offsets = [0]
+        for size in sizes[:-1]:
+            offsets.append(offsets[-1] + size)
+
+        def add_index(index: int, iterator: Iterator[Any]) -> Iterator[Any]:
+            for position, record in enumerate(iterator):
+                yield (record, offsets[index] + position)
+
+        return MapPartitionsDataset(self, add_index, with_index=True)
+
+    def key_by(self, func: Callable[[Any], Any]) -> "Dataset":
+        """Turn each record ``r`` into the pair ``(func(r), r)``."""
+        return self.map(lambda record: (func(record), record))
+
+    def keys(self) -> "Dataset":
+        """Project the key of each key-value pair."""
+        return self.map(lambda pair: pair[0])
+
+    def values(self) -> "Dataset":
+        """Project the value of each key-value pair."""
+        return self.map(lambda pair: pair[1])
+
+    def map_values(self, func: Callable[[Any], Any]) -> "Dataset":
+        """Apply ``func`` to the value of each key-value pair."""
+        return self.map(lambda pair: (pair[0], func(pair[1])))
+
+    def flat_map_values(self, func: Callable[[Any], Iterable[Any]]) -> "Dataset":
+        """Apply ``func`` to each value and emit one pair per produced element."""
+        return self.flat_map(
+            lambda pair: ((pair[0], value) for value in func(pair[1])))
+
+    def coalesce(self, num_partitions: int) -> "Dataset":
+        """Reduce the number of partitions without a shuffle."""
+        if num_partitions < 1:
+            raise PlanError("coalesce needs at least one partition")
+        if num_partitions >= self.num_partitions:
+            return self
+        return CoalescedDataset(self, num_partitions)
+
+    def glom(self) -> "Dataset":
+        """Turn each partition into a single list record."""
+        return self.map_partitions(lambda iterator: [list(iterator)])
+
+    # -- wide transformations -------------------------------------------------------
+
+    def repartition(self, num_partitions: int) -> "Dataset":
+        """Redistribute records evenly over ``num_partitions`` via a shuffle."""
+        partitioner = RoundRobinPartitioner(num_partitions, seed=self.ctx.config.seed)
+
+        def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
+            buckets: Dict[int, List[Any]] = {}
+            for record in iterator:
+                buckets.setdefault(partitioner.partition_for(record), []).append(record)
+            return buckets
+
+        return ShuffledDataset(self, partitioner, map_side,
+                               name=f"repartition({num_partitions})")
+
+    def distinct(self, num_partitions: Optional[int] = None) -> "Dataset":
+        """Remove duplicate records (records must be hashable)."""
+        num_partitions = num_partitions or self.num_partitions
+        partitioner = HashPartitioner(num_partitions)
+
+        def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
+            buckets: Dict[int, List[Any]] = {}
+            seen = set()
+            for record in iterator:
+                if record in seen:
+                    continue
+                seen.add(record)
+                buckets.setdefault(partitioner.partition_for(record), []).append(record)
+            return buckets
+
+        def reduce_side(records: List[Any]) -> Iterable[Any]:
+            seen = set()
+            for record in records:
+                if record not in seen:
+                    seen.add(record)
+                    yield record
+
+        return ShuffledDataset(self, partitioner, map_side, reduce_side=reduce_side,
+                               name="distinct")
+
+    def group_by_key(self, num_partitions: Optional[int] = None) -> "Dataset":
+        """Group values sharing a key: ``(k, v) -> (k, [v, ...])``."""
+        num_partitions = num_partitions or self.num_partitions
+        partitioner = HashPartitioner(num_partitions)
+
+        def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
+            buckets: Dict[int, List[Any]] = {}
+            for key, value in iterator:
+                buckets.setdefault(partitioner.partition_for(key), []).append((key, value))
+            return buckets
+
+        def reduce_side(records: List[Any]) -> Iterable[Any]:
+            grouped: Dict[Any, List[Any]] = {}
+            for key, value in records:
+                grouped.setdefault(key, []).append(value)
+            return grouped.items()
+
+        return ShuffledDataset(self, partitioner, map_side, reduce_side=reduce_side,
+                               name="group_by_key")
+
+    def group_by(self, func: Callable[[Any], Any],
+                 num_partitions: Optional[int] = None) -> "Dataset":
+        """Group records by ``func(record)``."""
+        return self.map(lambda record: (func(record), record)).group_by_key(num_partitions)
+
+    def combine_by_key(self, create_combiner: Callable[[Any], Any],
+                       merge_value: Callable[[Any, Any], Any],
+                       merge_combiners: Callable[[Any, Any], Any],
+                       num_partitions: Optional[int] = None) -> "Dataset":
+        """General per-key aggregation with map-side combining."""
+        num_partitions = num_partitions or self.num_partitions
+        partitioner = HashPartitioner(num_partitions)
+
+        def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
+            combined: Dict[Any, Any] = {}
+            for key, value in iterator:
+                if key in combined:
+                    combined[key] = merge_value(combined[key], value)
+                else:
+                    combined[key] = create_combiner(value)
+            buckets: Dict[int, List[Any]] = {}
+            for key, combiner in combined.items():
+                buckets.setdefault(partitioner.partition_for(key), []).append((key, combiner))
+            return buckets
+
+        def reduce_side(records: List[Any]) -> Iterable[Any]:
+            merged: Dict[Any, Any] = {}
+            for key, combiner in records:
+                if key in merged:
+                    merged[key] = merge_combiners(merged[key], combiner)
+                else:
+                    merged[key] = combiner
+            return merged.items()
+
+        return ShuffledDataset(self, partitioner, map_side, reduce_side=reduce_side,
+                               name="combine_by_key")
+
+    def reduce_by_key(self, func: Callable[[Any, Any], Any],
+                      num_partitions: Optional[int] = None) -> "Dataset":
+        """Merge the values of each key with an associative function."""
+        return self.combine_by_key(lambda value: value, func, func, num_partitions)
+
+    def aggregate_by_key(self, zero: Any, seq_func: Callable[[Any, Any], Any],
+                         comb_func: Callable[[Any, Any], Any],
+                         num_partitions: Optional[int] = None) -> "Dataset":
+        """Aggregate the values of each key starting from a neutral element."""
+        return self.combine_by_key(lambda value: seq_func(zero, value),
+                                   seq_func, comb_func, num_partitions)
+
+    def sort_by(self, key_func: Callable[[Any], Any], ascending: bool = True,
+                num_partitions: Optional[int] = None) -> "Dataset":
+        """Globally sort the records by ``key_func`` (range shuffle + local sort)."""
+        num_partitions = num_partitions or self.num_partitions
+        sample_fraction = min(1.0, 2000.0 / max(1, self._estimated_size()))
+        sample = self.sample(sample_fraction, seed=self.ctx.config.seed).collect()
+        if not sample:
+            sample = self.take(100)
+        partitioner = RangePartitioner.from_sample(sample, num_partitions,
+                                                   key_func=key_func,
+                                                   ascending=ascending)
+
+        def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
+            buckets: Dict[int, List[Any]] = {}
+            for record in iterator:
+                buckets.setdefault(partitioner.partition_for(record), []).append(record)
+            return buckets
+
+        def reduce_side(records: List[Any]) -> Iterable[Any]:
+            return sorted(records, key=key_func, reverse=not ascending)
+
+        return ShuffledDataset(self, partitioner, map_side, reduce_side=reduce_side,
+                               name="sort_by")
+
+    def sort_by_key(self, ascending: bool = True,
+                    num_partitions: Optional[int] = None) -> "Dataset":
+        """Sort key-value pairs by key."""
+        return self.sort_by(lambda pair: pair[0], ascending, num_partitions)
+
+    def cogroup(self, other: "Dataset",
+                num_partitions: Optional[int] = None) -> "Dataset":
+        """Group both datasets by key: ``(k, ([self values], [other values]))``."""
+        num_partitions = num_partitions or max(self.num_partitions, other.num_partitions)
+        return CoGroupedDataset(self, other, HashPartitioner(num_partitions))
+
+    def join(self, other: "Dataset",
+             num_partitions: Optional[int] = None) -> "Dataset":
+        """Inner join two key-value datasets: ``(k, (v_self, v_other))``."""
+        def emit(pair):
+            key, (left_values, right_values) = pair
+            return ((key, (left, right))
+                    for left in left_values for right in right_values)
+        return self.cogroup(other, num_partitions).flat_map(emit).set_name("join")
+
+    def left_outer_join(self, other: "Dataset",
+                        num_partitions: Optional[int] = None) -> "Dataset":
+        """Left outer join: unmatched left records pair with ``None``."""
+        def emit(pair):
+            key, (left_values, right_values) = pair
+            if not left_values:
+                return []
+            rights = right_values or [None]
+            return ((key, (left, right)) for left in left_values for right in rights)
+        return self.cogroup(other, num_partitions).flat_map(emit).set_name("left_outer_join")
+
+    def right_outer_join(self, other: "Dataset",
+                         num_partitions: Optional[int] = None) -> "Dataset":
+        """Right outer join: unmatched right records pair with ``None``."""
+        def emit(pair):
+            key, (left_values, right_values) = pair
+            if not right_values:
+                return []
+            lefts = left_values or [None]
+            return ((key, (left, right)) for left in lefts for right in right_values)
+        return self.cogroup(other, num_partitions).flat_map(emit).set_name("right_outer_join")
+
+    def full_outer_join(self, other: "Dataset",
+                        num_partitions: Optional[int] = None) -> "Dataset":
+        """Full outer join: unmatched records on either side pair with ``None``."""
+        def emit(pair):
+            key, (left_values, right_values) = pair
+            lefts = left_values or [None]
+            rights = right_values or [None]
+            return ((key, (left, right)) for left in lefts for right in rights)
+        return self.cogroup(other, num_partitions).flat_map(emit).set_name("full_outer_join")
+
+    def subtract_by_key(self, other: "Dataset",
+                        num_partitions: Optional[int] = None) -> "Dataset":
+        """Keep pairs whose key does not appear in ``other``."""
+        def emit(pair):
+            key, (left_values, right_values) = pair
+            if right_values:
+                return []
+            return ((key, left) for left in left_values)
+        return self.cogroup(other, num_partitions).flat_map(emit).set_name("subtract_by_key")
+
+    # -- actions ----------------------------------------------------------------
+
+    def collect(self) -> List[Any]:
+        """Return every record as a local list."""
+        partitions = self.ctx.run_job(self, list, description=f"collect {self.name}")
+        return list(itertools.chain.from_iterable(partitions))
+
+    def collect_as_map(self) -> Dict[Any, Any]:
+        """Collect key-value pairs into a dict (later keys overwrite earlier)."""
+        return dict(self.collect())
+
+    def count(self) -> int:
+        """Return the number of records."""
+        partitions = self.ctx.run_job(self, lambda it: sum(1 for _ in it),
+                                      description=f"count {self.name}")
+        return sum(partitions)
+
+    def count_by_value(self) -> Dict[Any, int]:
+        """Return a dict mapping each distinct record to its multiplicity."""
+        def count_partition(iterator: Iterator[Any]) -> Dict[Any, int]:
+            counts: Dict[Any, int] = {}
+            for record in iterator:
+                counts[record] = counts.get(record, 0) + 1
+            return counts
+        partials = self.ctx.run_job(self, count_partition,
+                                    description=f"count_by_value {self.name}")
+        merged: Dict[Any, int] = {}
+        for partial in partials:
+            for key, value in partial.items():
+                merged[key] = merged.get(key, 0) + value
+        return merged
+
+    def count_by_key(self) -> Dict[Any, int]:
+        """Count records per key of a key-value dataset."""
+        return self.keys().count_by_value()
+
+    def first(self) -> Any:
+        """Return the first record (raises if the dataset is empty)."""
+        taken = self.take(1)
+        if not taken:
+            raise PlanError(f"dataset {self.name} is empty")
+        return taken[0]
+
+    def take(self, n: int) -> List[Any]:
+        """Return the first ``n`` records, scanning as few partitions as possible."""
+        if n <= 0:
+            return []
+        collected: List[Any] = []
+        for partition in range(self.num_partitions):
+            needed = n - len(collected)
+            if needed <= 0:
+                break
+            results = self.ctx.run_job(
+                self, lambda it, needed=needed: list(itertools.islice(it, needed)),
+                partitions=[partition], description=f"take {self.name}")
+            collected.extend(results[0])
+        return collected[:n]
+
+    def top(self, n: int, key: Callable[[Any], Any] = None) -> List[Any]:
+        """Return the ``n`` largest records according to ``key``."""
+        def top_partition(iterator: Iterator[Any]) -> List[Any]:
+            return heapq.nlargest(n, iterator, key=key)
+        partials = self.ctx.run_job(self, top_partition,
+                                    description=f"top {self.name}")
+        return heapq.nlargest(n, itertools.chain.from_iterable(partials), key=key)
+
+    def reduce(self, func: Callable[[Any, Any], Any]) -> Any:
+        """Reduce all records with an associative binary function."""
+        def reduce_partition(iterator: Iterator[Any]) -> List[Any]:
+            accumulator = None
+            empty = True
+            for record in iterator:
+                if empty:
+                    accumulator = record
+                    empty = False
+                else:
+                    accumulator = func(accumulator, record)
+            return [] if empty else [accumulator]
+        partials = self.ctx.run_job(self, reduce_partition,
+                                    description=f"reduce {self.name}")
+        flattened = list(itertools.chain.from_iterable(partials))
+        if not flattened:
+            raise PlanError(f"cannot reduce empty dataset {self.name}")
+        accumulator = flattened[0]
+        for value in flattened[1:]:
+            accumulator = func(accumulator, value)
+        return accumulator
+
+    def fold(self, zero: Any, func: Callable[[Any, Any], Any]) -> Any:
+        """Reduce with a neutral element (safe on empty datasets)."""
+        def fold_partition(iterator: Iterator[Any]) -> Any:
+            accumulator = zero
+            for record in iterator:
+                accumulator = func(accumulator, record)
+            return accumulator
+        partials = self.ctx.run_job(self, fold_partition,
+                                    description=f"fold {self.name}")
+        # combine the per-partition results without re-applying the zero value,
+        # so fold(z, f) over an empty dataset returns z exactly once
+        accumulator = partials[0]
+        for value in partials[1:]:
+            accumulator = func(accumulator, value)
+        return accumulator
+
+    def aggregate(self, zero: Any, seq_func: Callable[[Any, Any], Any],
+                  comb_func: Callable[[Any, Any], Any]) -> Any:
+        """Aggregate with different intra- and inter-partition functions."""
+        def aggregate_partition(iterator: Iterator[Any]) -> Any:
+            accumulator = zero
+            for record in iterator:
+                accumulator = seq_func(accumulator, record)
+            return accumulator
+        partials = self.ctx.run_job(self, aggregate_partition,
+                                    description=f"aggregate {self.name}")
+        accumulator = zero
+        for value in partials:
+            accumulator = comb_func(accumulator, value)
+        return accumulator
+
+    def sum(self) -> float:
+        """Sum numeric records."""
+        return self.fold(0, lambda acc, record: acc + record)
+
+    def mean(self) -> float:
+        """Arithmetic mean of numeric records."""
+        total, count = self.aggregate(
+            (0.0, 0),
+            lambda acc, record: (acc[0] + record, acc[1] + 1),
+            lambda left, right: (left[0] + right[0], left[1] + right[1]))
+        if count == 0:
+            raise PlanError(f"cannot take the mean of empty dataset {self.name}")
+        return total / count
+
+    def min(self, key: Callable[[Any], Any] = None) -> Any:
+        """Smallest record."""
+        key = key or (lambda value: value)
+        return self.reduce(lambda left, right: left if key(left) <= key(right) else right)
+
+    def max(self, key: Callable[[Any], Any] = None) -> Any:
+        """Largest record."""
+        key = key or (lambda value: value)
+        return self.reduce(lambda left, right: left if key(left) >= key(right) else right)
+
+    def stats(self) -> Dict[str, float]:
+        """Count, mean, min, max, variance and stdev of numeric records."""
+        def seq(acc, value):
+            count, total, total_sq, minimum, maximum = acc
+            return (count + 1, total + value, total_sq + value * value,
+                    value if minimum is None else min(minimum, value),
+                    value if maximum is None else max(maximum, value))
+
+        def comb(left, right):
+            if left[0] == 0:
+                return right
+            if right[0] == 0:
+                return left
+            return (left[0] + right[0], left[1] + right[1], left[2] + right[2],
+                    min(left[3], right[3]), max(left[4], right[4]))
+
+        count, total, total_sq, minimum, maximum = self.aggregate(
+            (0, 0.0, 0.0, None, None), seq, comb)
+        if count == 0:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    "variance": 0.0, "stdev": 0.0, "sum": 0.0}
+        mean = total / count
+        variance = max(0.0, total_sq / count - mean * mean)
+        return {"count": count, "mean": mean, "min": minimum, "max": maximum,
+                "variance": variance, "stdev": variance ** 0.5, "sum": total}
+
+    def lookup(self, key: Any) -> List[Any]:
+        """Return every value associated with ``key`` in a key-value dataset."""
+        return self.filter(lambda pair: pair[0] == key).values().collect()
+
+    def foreach(self, func: Callable[[Any], None]) -> None:
+        """Apply a side-effecting function to every record."""
+        def run_partition(iterator: Iterator[Any]) -> int:
+            count = 0
+            for record in iterator:
+                func(record)
+                count += 1
+            return count
+        self.ctx.run_job(self, run_partition, description=f"foreach {self.name}")
+
+    def to_local_iterator(self) -> Iterator[Any]:
+        """Iterate over all records partition by partition."""
+        for partition in range(self.num_partitions):
+            results = self.ctx.run_job(self, list, partitions=[partition],
+                                       description=f"to_local_iterator {self.name}")
+            for record in results[0]:
+                yield record
+
+    def histogram(self, buckets: int) -> Tuple[List[float], List[int]]:
+        """Histogram of numeric records over equally sized buckets."""
+        if buckets < 1:
+            raise PlanError("histogram needs at least one bucket")
+        statistics = self.stats()
+        if statistics["count"] == 0:
+            return [], []
+        low, high = statistics["min"], statistics["max"]
+        if low == high:
+            return [low, high], [int(statistics["count"])]
+        width = (high - low) / buckets
+        edges = [low + i * width for i in range(buckets + 1)]
+
+        def bucket_of(value: float) -> int:
+            index = int((value - low) / width)
+            return min(buckets - 1, max(0, index))
+
+        counts_by_bucket = self.map(bucket_of).count_by_value()
+        counts = [counts_by_bucket.get(i, 0) for i in range(buckets)]
+        return edges, counts
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _estimated_size(self) -> int:
+        """Cheap, possibly inaccurate estimate of the number of records."""
+        node = self
+        while node.dependencies:
+            node = node.dependencies[0].parent
+        return getattr(node, "_size_hint", 10_000)
+
+
+# ---------------------------------------------------------------------------
+# Concrete narrow datasets
+# ---------------------------------------------------------------------------
+
+
+class ParallelCollectionDataset(Dataset):
+    """A dataset created from an in-memory Python sequence."""
+
+    def __init__(self, ctx, data: Iterable[Any], num_partitions: int):
+        super().__init__(ctx, num_partitions, [], name="parallelize")
+        self._data = list(data)
+        self._size_hint = len(self._data)
+
+    def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
+        total = len(self._data)
+        start = (partition * total) // self.num_partitions
+        end = ((partition + 1) * total) // self.num_partitions
+        for record in self._data[start:end]:
+            task_context.records_read += 1
+            yield record
+
+
+class SourceDataset(Dataset):
+    """A dataset backed by a :class:`repro.data.sources.DataSource`."""
+
+    def __init__(self, ctx, source, num_partitions: int):
+        super().__init__(ctx, num_partitions, [], name=f"source({source.name})")
+        self._source = source
+        self._size_hint = source.estimated_size()
+
+    def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
+        for record in self._source.read_partition(partition, self.num_partitions):
+            task_context.records_read += 1
+            yield record
+
+
+class MappedDataset(Dataset):
+    """Result of :meth:`Dataset.map`."""
+
+    def __init__(self, parent: Dataset, func: Callable[[Any], Any]):
+        super().__init__(parent.ctx, parent.num_partitions,
+                         [NarrowDependency(parent)], name="map")
+        self._func = func
+
+    def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
+        parent = self.dependencies[0].parent
+        return map(self._func, parent.iterator(partition, task_context))
+
+
+class FilteredDataset(Dataset):
+    """Result of :meth:`Dataset.filter`."""
+
+    def __init__(self, parent: Dataset, predicate: Callable[[Any], bool]):
+        super().__init__(parent.ctx, parent.num_partitions,
+                         [NarrowDependency(parent)], name="filter")
+        self._predicate = predicate
+
+    def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
+        parent = self.dependencies[0].parent
+        return filter(self._predicate, parent.iterator(partition, task_context))
+
+
+class FlatMappedDataset(Dataset):
+    """Result of :meth:`Dataset.flat_map`."""
+
+    def __init__(self, parent: Dataset, func: Callable[[Any], Iterable[Any]]):
+        super().__init__(parent.ctx, parent.num_partitions,
+                         [NarrowDependency(parent)], name="flat_map")
+        self._func = func
+
+    def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
+        parent = self.dependencies[0].parent
+        for record in parent.iterator(partition, task_context):
+            for produced in self._func(record):
+                yield produced
+
+
+class MapPartitionsDataset(Dataset):
+    """Result of :meth:`Dataset.map_partitions`."""
+
+    def __init__(self, parent: Dataset,
+                 func: Callable[..., Iterable[Any]], with_index: bool = False):
+        super().__init__(parent.ctx, parent.num_partitions,
+                         [NarrowDependency(parent)], name="map_partitions")
+        self._func = func
+        self._with_index = with_index
+
+    def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
+        parent = self.dependencies[0].parent
+        iterator = parent.iterator(partition, task_context)
+        if self._with_index:
+            produced = self._func(partition, iterator)
+        else:
+            produced = self._func(iterator)
+        return iter(produced)
+
+
+class UnionDataset(Dataset):
+    """Concatenation of several datasets."""
+
+    def __init__(self, ctx, parents: List[Dataset]):
+        if not parents:
+            raise PlanError("union needs at least one parent")
+        num_partitions = sum(parent.num_partitions for parent in parents)
+        super().__init__(ctx, num_partitions,
+                         [NarrowDependency(parent) for parent in parents],
+                         name="union")
+        self._offsets: List[Tuple[Dataset, int]] = []
+        for parent in parents:
+            for index in range(parent.num_partitions):
+                self._offsets.append((parent, index))
+
+    def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
+        parent, parent_partition = self._offsets[partition]
+        return parent.iterator(parent_partition, task_context)
+
+
+class SampleDataset(Dataset):
+    """Bernoulli sample of a parent dataset."""
+
+    def __init__(self, parent: Dataset, fraction: float, seed: int):
+        super().__init__(parent.ctx, parent.num_partitions,
+                         [NarrowDependency(parent)], name="sample")
+        self._fraction = fraction
+        self._seed = seed
+
+    def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
+        parent = self.dependencies[0].parent
+        rng = random.Random(f"{self._seed}:{partition}")
+        for record in parent.iterator(partition, task_context):
+            if rng.random() < self._fraction:
+                yield record
+
+
+class CoalescedDataset(Dataset):
+    """Merge parent partitions into fewer child partitions without a shuffle."""
+
+    def __init__(self, parent: Dataset, num_partitions: int):
+        super().__init__(parent.ctx, num_partitions,
+                         [NarrowDependency(parent)], name="coalesce")
+        self._groups: List[List[int]] = [[] for _ in range(num_partitions)]
+        for index in range(parent.num_partitions):
+            self._groups[index % num_partitions].append(index)
+
+    def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
+        parent = self.dependencies[0].parent
+        for parent_partition in self._groups[partition]:
+            for record in parent.iterator(parent_partition, task_context):
+                yield record
+
+
+# ---------------------------------------------------------------------------
+# Wide datasets
+# ---------------------------------------------------------------------------
+
+
+class ShuffledDataset(Dataset):
+    """A dataset whose partitions are produced by a shuffle."""
+
+    def __init__(self, parent: Dataset, partitioner: Partitioner,
+                 map_side: Callable[[Iterator[Any]], Dict[int, List[Any]]],
+                 reduce_side: Optional[Callable[[List[Any]], Iterable[Any]]] = None,
+                 name: str = "shuffle"):
+        ctx = parent.ctx
+        shuffle_id = ctx._next_shuffle_id()
+        dependency = ShuffleDependency(parent, partitioner, map_side, shuffle_id)
+        super().__init__(ctx, partitioner.num_partitions, [dependency], name=name)
+        self._reduce_side = reduce_side
+
+    @property
+    def shuffle_dependency(self) -> ShuffleDependency:
+        """The single shuffle dependency feeding this dataset."""
+        return self.dependencies[0]
+
+    def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
+        dependency = self.shuffle_dependency
+        records, size = self.ctx.shuffle_manager.read_reduce_input(
+            dependency.shuffle_id, partition)
+        task_context.shuffle_bytes_read += size
+        if self._reduce_side is None:
+            return iter(records)
+        return iter(self._reduce_side(records))
+
+
+class CoGroupedDataset(Dataset):
+    """Shuffle-based cogroup of two key-value datasets."""
+
+    def __init__(self, left: Dataset, right: Dataset, partitioner: Partitioner):
+        ctx = left.ctx
+
+        def tagged_map_side(tag: int) -> Callable[[Iterator[Any]], Dict[int, List[Any]]]:
+            def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
+                buckets: Dict[int, List[Any]] = {}
+                for key, value in iterator:
+                    buckets.setdefault(partitioner.partition_for(key), []).append(
+                        (key, tag, value))
+                return buckets
+            return map_side
+
+        left_dep = ShuffleDependency(left, partitioner, tagged_map_side(0),
+                                     ctx._next_shuffle_id())
+        right_dep = ShuffleDependency(right, partitioner, tagged_map_side(1),
+                                      ctx._next_shuffle_id())
+        super().__init__(ctx, partitioner.num_partitions, [left_dep, right_dep],
+                         name="cogroup")
+
+    def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
+        grouped: Dict[Any, Tuple[List[Any], List[Any]]] = {}
+        for dependency in self.dependencies:
+            records, size = self.ctx.shuffle_manager.read_reduce_input(
+                dependency.shuffle_id, partition)
+            task_context.shuffle_bytes_read += size
+            for key, tag, value in records:
+                if key not in grouped:
+                    grouped[key] = ([], [])
+                grouped[key][tag].append(value)
+        return iter(grouped.items())

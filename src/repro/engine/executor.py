@@ -1,0 +1,107 @@
+"""Task executor with a thread pool, retries and fault injection.
+
+The executor is deliberately simple: tasks are Python callables operating on
+in-memory partitions, run on a pool of worker threads.  What matters for the
+reproduction is that the execution exposes the same *shape* as a distributed
+engine — per-task metrics, stragglers, retried attempts — so that campaign
+runs can be compared and the cluster simulator can extrapolate costs.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, List, Sequence, Tuple
+
+from ..config import EngineConfig
+from ..errors import TaskError
+from .dataset import TaskContext
+from .metrics import StageMetrics, TaskMetrics
+
+
+class InjectedFailure(RuntimeError):
+    """Raised by the fault injector to simulate a spurious task failure."""
+
+
+class Task:
+    """A unit of work: compute one partition of one stage."""
+
+    def __init__(self, task_id: str, stage_id: int, partition: int):
+        self.task_id = task_id
+        self.stage_id = stage_id
+        self.partition = partition
+
+    def run(self, task_context: TaskContext) -> Any:
+        """Execute the task and return its result."""
+        raise NotImplementedError
+
+
+class TaskResult:
+    """The outcome of a successfully completed task."""
+
+    def __init__(self, task: Task, value: Any, metrics: TaskMetrics):
+        self.task = task
+        self.value = value
+        self.metrics = metrics
+
+
+class Executor:
+    """Runs tasks on a thread pool, honouring retries and fault injection."""
+
+    def __init__(self, config: EngineConfig):
+        self.config = config
+
+    def _should_inject_failure(self, task: Task, attempt: int) -> bool:
+        if self.config.failure_rate <= 0.0:
+            return False
+        rng = random.Random(f"{self.config.seed}:{task.task_id}:{attempt}")
+        return rng.random() < self.config.failure_rate
+
+    def _run_one(self, task: Task, stage: StageMetrics) -> TaskResult:
+        last_error: Exception | None = None
+        for attempt in range(self.config.max_task_retries + 1):
+            task_context = TaskContext()
+            metrics = TaskMetrics(task_id=task.task_id, stage_id=task.stage_id,
+                                  partition_index=task.partition, attempt=attempt)
+            started = time.perf_counter()
+            try:
+                if self._should_inject_failure(task, attempt):
+                    raise InjectedFailure(
+                        f"injected failure for {task.task_id} attempt {attempt}")
+                value = task.run(task_context)
+            except Exception as error:  # noqa: BLE001 - retried below
+                metrics.duration_s = time.perf_counter() - started
+                metrics.failed = True
+                stage.add_task(metrics)
+                last_error = error
+                continue
+            metrics.duration_s = time.perf_counter() - started
+            metrics.records_read = task_context.records_read
+            metrics.records_written = task_context.records_written
+            metrics.shuffle_bytes_read = task_context.shuffle_bytes_read
+            metrics.shuffle_bytes_written = task_context.shuffle_bytes_written
+            metrics.cache_hits = task_context.cache_hits
+            stage.add_task(metrics)
+            return TaskResult(task, value, metrics)
+        raise TaskError(
+            f"task {task.task_id} failed after "
+            f"{self.config.max_task_retries + 1} attempts: {last_error}",
+            task_id=task.task_id, cause=last_error)
+
+    def execute_stage(self, tasks: Sequence[Task], stage: StageMetrics) -> List[TaskResult]:
+        """Run every task of a stage and return results in task order."""
+        started = time.perf_counter()
+        results: List[Tuple[int, TaskResult]] = []
+        if self.config.num_workers <= 1 or len(tasks) <= 1:
+            for index, task in enumerate(tasks):
+                results.append((index, self._run_one(task, stage)))
+        else:
+            with ThreadPoolExecutor(max_workers=self.config.num_workers) as pool:
+                futures = [(index, pool.submit(self._run_one, task, stage))
+                           for index, task in enumerate(tasks)]
+                for index, future in futures:
+                    results.append((index, future.result()))
+        stage.wall_clock_s = time.perf_counter() - started
+        results.sort(key=lambda pair: pair[0])
+        return [result for _, result in results]

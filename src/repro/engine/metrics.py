@@ -1,0 +1,230 @@
+"""Execution metrics collected by the dataflow engine.
+
+Metrics are the raw material of the TOREADOR Labs "compare different runs"
+feature: every task reports what it did, stages aggregate tasks, and jobs
+aggregate stages.  The campaign layer then attaches job metrics to indicator
+values so that alternative design options can be contrasted quantitatively.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+@dataclass
+class TaskMetrics:
+    """Metrics of a single task (one partition of one stage)."""
+
+    task_id: str = ""
+    stage_id: int = -1
+    partition_index: int = -1
+    attempt: int = 0
+    duration_s: float = 0.0
+    records_read: int = 0
+    records_written: int = 0
+    shuffle_bytes_written: int = 0
+    shuffle_bytes_read: int = 0
+    cache_hits: int = 0
+    failed: bool = False
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a plain dictionary view useful for reports."""
+        return {
+            "task_id": self.task_id,
+            "stage_id": self.stage_id,
+            "partition_index": self.partition_index,
+            "attempt": self.attempt,
+            "duration_s": self.duration_s,
+            "records_read": self.records_read,
+            "records_written": self.records_written,
+            "shuffle_bytes_written": self.shuffle_bytes_written,
+            "shuffle_bytes_read": self.shuffle_bytes_read,
+            "cache_hits": self.cache_hits,
+            "failed": self.failed,
+        }
+
+
+@dataclass
+class StageMetrics:
+    """Aggregated metrics of a stage (all tasks over all partitions)."""
+
+    stage_id: int
+    name: str = ""
+    is_shuffle_map: bool = False
+    num_tasks: int = 0
+    num_failed_attempts: int = 0
+    duration_s: float = 0.0
+    wall_clock_s: float = 0.0
+    records_read: int = 0
+    records_written: int = 0
+    shuffle_bytes_written: int = 0
+    shuffle_bytes_read: int = 0
+    cache_hits: int = 0
+    tasks: List[TaskMetrics] = field(default_factory=list)
+
+    def add_task(self, task: TaskMetrics) -> None:
+        """Fold one task's metrics into the stage aggregate."""
+        self.tasks.append(task)
+        self.num_tasks += 1
+        if task.failed:
+            self.num_failed_attempts += 1
+        self.duration_s += task.duration_s
+        self.records_read += task.records_read
+        self.records_written += task.records_written
+        self.shuffle_bytes_written += task.shuffle_bytes_written
+        self.shuffle_bytes_read += task.shuffle_bytes_read
+        self.cache_hits += task.cache_hits
+
+    @property
+    def max_task_duration_s(self) -> float:
+        """Duration of the slowest successful task (straggler indicator)."""
+        durations = [t.duration_s for t in self.tasks if not t.failed]
+        return max(durations) if durations else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a plain dictionary view useful for reports."""
+        return {
+            "stage_id": self.stage_id,
+            "name": self.name,
+            "is_shuffle_map": self.is_shuffle_map,
+            "num_tasks": self.num_tasks,
+            "num_failed_attempts": self.num_failed_attempts,
+            "duration_s": self.duration_s,
+            "wall_clock_s": self.wall_clock_s,
+            "records_read": self.records_read,
+            "records_written": self.records_written,
+            "shuffle_bytes_written": self.shuffle_bytes_written,
+            "shuffle_bytes_read": self.shuffle_bytes_read,
+            "cache_hits": self.cache_hits,
+        }
+
+
+@dataclass
+class JobMetrics:
+    """Aggregated metrics of a whole job (an action on a dataset)."""
+
+    job_id: int
+    description: str = ""
+    started_at: float = field(default_factory=time.time)
+    finished_at: Optional[float] = None
+    stages: List[StageMetrics] = field(default_factory=list)
+
+    def add_stage(self, stage: StageMetrics) -> None:
+        """Attach a completed stage to the job."""
+        self.stages.append(stage)
+
+    def finish(self) -> None:
+        """Mark the job as finished now."""
+        self.finished_at = time.time()
+
+    # -- aggregate views ----------------------------------------------------
+
+    @property
+    def wall_clock_s(self) -> float:
+        """Elapsed wall-clock time of the job, in seconds."""
+        end = self.finished_at if self.finished_at is not None else time.time()
+        return max(0.0, end - self.started_at)
+
+    @property
+    def total_task_time_s(self) -> float:
+        """Sum of all task durations (the "cluster time" consumed)."""
+        return sum(s.duration_s for s in self.stages)
+
+    @property
+    def num_stages(self) -> int:
+        """Number of stages the job executed."""
+        return len(self.stages)
+
+    @property
+    def num_tasks(self) -> int:
+        """Total number of tasks across all stages."""
+        return sum(s.num_tasks for s in self.stages)
+
+    @property
+    def num_failed_attempts(self) -> int:
+        """Total number of failed task attempts (fault injection / retries)."""
+        return sum(s.num_failed_attempts for s in self.stages)
+
+    @property
+    def records_read(self) -> int:
+        """Total number of records read from sources and caches."""
+        return sum(s.records_read for s in self.stages)
+
+    @property
+    def records_written(self) -> int:
+        """Total number of records produced by result and shuffle tasks."""
+        return sum(s.records_written for s in self.stages)
+
+    @property
+    def shuffle_bytes(self) -> int:
+        """Total bytes moved through the shuffle (written side)."""
+        return sum(s.shuffle_bytes_written for s in self.stages)
+
+    @property
+    def cache_hits(self) -> int:
+        """Number of partitions served from the cache."""
+        return sum(s.cache_hits for s in self.stages)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a flat dictionary summary, the unit of run comparison."""
+        return {
+            "job_id": self.job_id,
+            "description": self.description,
+            "wall_clock_s": self.wall_clock_s,
+            "total_task_time_s": self.total_task_time_s,
+            "num_stages": self.num_stages,
+            "num_tasks": self.num_tasks,
+            "num_failed_attempts": self.num_failed_attempts,
+            "records_read": self.records_read,
+            "records_written": self.records_written,
+            "shuffle_bytes": self.shuffle_bytes,
+            "cache_hits": self.cache_hits,
+        }
+
+
+def merge_job_metrics(jobs: Iterable[JobMetrics]) -> Dict[str, float]:
+    """Merge several jobs' metrics into one summary dictionary.
+
+    A campaign typically runs several engine jobs (one per action of each
+    service); run comparison wants a single per-campaign execution profile.
+    """
+    jobs = list(jobs)
+    summary: Dict[str, float] = {
+        "num_jobs": len(jobs),
+        "wall_clock_s": sum(j.wall_clock_s for j in jobs),
+        "total_task_time_s": sum(j.total_task_time_s for j in jobs),
+        "num_stages": sum(j.num_stages for j in jobs),
+        "num_tasks": sum(j.num_tasks for j in jobs),
+        "num_failed_attempts": sum(j.num_failed_attempts for j in jobs),
+        "records_read": sum(j.records_read for j in jobs),
+        "records_written": sum(j.records_written for j in jobs),
+        "shuffle_bytes": sum(j.shuffle_bytes for j in jobs),
+        "cache_hits": sum(j.cache_hits for j in jobs),
+    }
+    return summary
+
+
+class MetricsRegistry:
+    """Collects the metrics of every job run by an engine context."""
+
+    def __init__(self) -> None:
+        self._jobs: List[JobMetrics] = []
+
+    def register(self, job: JobMetrics) -> None:
+        """Record a finished (or running) job."""
+        self._jobs.append(job)
+
+    @property
+    def jobs(self) -> List[JobMetrics]:
+        """All recorded jobs, in submission order."""
+        return list(self._jobs)
+
+    def reset(self) -> None:
+        """Forget every recorded job (used between campaign executions)."""
+        self._jobs.clear()
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate all recorded jobs into a single execution profile."""
+        return merge_job_metrics(self._jobs)

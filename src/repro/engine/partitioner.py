@@ -1,0 +1,139 @@
+"""Partitioners decide which reduce partition a key belongs to.
+
+They are used by every wide (shuffle) transformation: ``group_by_key``,
+``reduce_by_key``, ``join``, ``distinct``, ``sort_by`` and ``repartition``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Any, Callable, List, Sequence
+
+from ..errors import PlanError
+
+
+def _stable_hash(value: Any) -> int:
+    """Return a deterministic non-negative hash for ``value``.
+
+    Python's built-in ``hash`` is randomised per process for strings; the
+    engine needs run-to-run stable placement so that tests and benchmarks are
+    reproducible.  Tuples and frozensets are hashed structurally.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return int(value) + 1
+    if isinstance(value, int):
+        return value & 0x7FFFFFFF
+    if isinstance(value, float):
+        return hash(value) & 0x7FFFFFFF
+    if isinstance(value, str):
+        acc = 2166136261
+        for ch in value:
+            acc = (acc ^ ord(ch)) * 16777619 & 0xFFFFFFFF
+        return acc & 0x7FFFFFFF
+    if isinstance(value, bytes):
+        acc = 2166136261
+        for b in value:
+            acc = (acc ^ b) * 16777619 & 0xFFFFFFFF
+        return acc & 0x7FFFFFFF
+    if isinstance(value, (tuple, list)):
+        acc = 1
+        for item in value:
+            acc = (acc * 31 + _stable_hash(item)) & 0x7FFFFFFF
+        return acc
+    if isinstance(value, frozenset):
+        acc = 0
+        for item in value:
+            acc ^= _stable_hash(item)
+        return acc & 0x7FFFFFFF
+    return hash(value) & 0x7FFFFFFF
+
+
+class Partitioner:
+    """Base class: maps a key to a partition index in ``[0, num_partitions)``."""
+
+    def __init__(self, num_partitions: int):
+        if num_partitions < 1:
+            raise PlanError("a partitioner needs at least one partition")
+        self.num_partitions = int(num_partitions)
+
+    def partition_for(self, key: Any) -> int:
+        """Return the partition index the key is assigned to."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:  # pragma: no cover - partitioners rarely hashed
+        return hash((type(self).__name__, self.num_partitions))
+
+
+class HashPartitioner(Partitioner):
+    """Assign keys to partitions by stable hashing (the default)."""
+
+    def partition_for(self, key: Any) -> int:
+        return _stable_hash(key) % self.num_partitions
+
+    def __repr__(self) -> str:
+        return f"HashPartitioner({self.num_partitions})"
+
+
+class RangePartitioner(Partitioner):
+    """Assign keys to contiguous ranges; used by ``sort_by``.
+
+    The boundaries are computed from a sample of the keys so that the output
+    partitions are roughly balanced.
+    """
+
+    def __init__(self, num_partitions: int, boundaries: Sequence[Any],
+                 key_func: Callable[[Any], Any] | None = None,
+                 ascending: bool = True):
+        super().__init__(num_partitions)
+        self.boundaries = list(boundaries)
+        self.key_func = key_func or (lambda value: value)
+        self.ascending = ascending
+
+    @classmethod
+    def from_sample(cls, sample: Sequence[Any], num_partitions: int,
+                    key_func: Callable[[Any], Any] | None = None,
+                    ascending: bool = True) -> "RangePartitioner":
+        """Build a partitioner whose boundaries split ``sample`` evenly."""
+        key_func = key_func or (lambda value: value)
+        keys = sorted(key_func(item) for item in sample)
+        boundaries: List[Any] = []
+        if keys and num_partitions > 1:
+            step = len(keys) / num_partitions
+            for i in range(1, num_partitions):
+                index = min(len(keys) - 1, int(round(i * step)))
+                boundaries.append(keys[index])
+        return cls(num_partitions, boundaries, key_func=key_func, ascending=ascending)
+
+    def partition_for(self, key: Any) -> int:
+        projected = self.key_func(key)
+        index = bisect.bisect_right(self.boundaries, projected)
+        if not self.ascending:
+            index = len(self.boundaries) - index
+        return max(0, min(self.num_partitions - 1, index))
+
+    def __repr__(self) -> str:
+        return (f"RangePartitioner({self.num_partitions}, "
+                f"boundaries={len(self.boundaries)}, ascending={self.ascending})")
+
+
+class RoundRobinPartitioner(Partitioner):
+    """Spread records evenly regardless of key; used by ``repartition``."""
+
+    def __init__(self, num_partitions: int, seed: int = 0):
+        super().__init__(num_partitions)
+        self._seed = seed
+        self._counter = random.Random(seed).randrange(num_partitions)
+
+    def partition_for(self, key: Any) -> int:
+        index = self._counter % self.num_partitions
+        self._counter += 1
+        return index
+
+    def __repr__(self) -> str:
+        return f"RoundRobinPartitioner({self.num_partitions})"

@@ -1,0 +1,161 @@
+"""DAG scheduler: splits a dataset lineage into stages and runs them.
+
+The scheduler walks the lineage of the dataset an action was invoked on,
+executes one *shuffle-map stage* for every shuffle dependency whose output is
+not yet available, and finally runs the *result stage* that applies the
+action's partition function.  Shuffle outputs are kept between jobs so that
+re-running an action on the same dataset (or on a descendant) does not repeat
+the shuffle, mirroring the behaviour of production engines.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+from ..config import EngineConfig
+from .dataset import Dataset, ShuffleDependency, TaskContext
+from .executor import Executor, Task
+from .metrics import JobMetrics, StageMetrics
+
+
+class ShuffleMapTask(Task):
+    """Computes one parent partition and buckets it for a shuffle."""
+
+    def __init__(self, task_id: str, stage_id: int, partition: int,
+                 dependency: ShuffleDependency, shuffle_manager):
+        super().__init__(task_id, stage_id, partition)
+        self._dependency = dependency
+        self._shuffle_manager = shuffle_manager
+
+    def run(self, task_context: TaskContext) -> Any:
+        parent = self._dependency.parent
+        iterator = parent.iterator(self.partition, task_context)
+        buckets = self._dependency.map_side(iterator)
+        written_records = sum(len(records) for records in buckets.values())
+        written_bytes = self._shuffle_manager.write_map_output(
+            self._dependency.shuffle_id, self.partition, buckets)
+        task_context.records_written += written_records
+        task_context.shuffle_bytes_written += written_bytes
+        return written_records
+
+
+class ResultTask(Task):
+    """Computes one partition of the final dataset and applies the action."""
+
+    def __init__(self, task_id: str, stage_id: int, partition: int,
+                 dataset: Dataset, func: Callable[[Iterator[Any]], Any]):
+        super().__init__(task_id, stage_id, partition)
+        self._dataset = dataset
+        self._func = func
+
+    def run(self, task_context: TaskContext) -> Any:
+        iterator = self._dataset.iterator(self.partition, task_context)
+
+        def counting(source: Iterator[Any]) -> Iterator[Any]:
+            for record in source:
+                task_context.records_written += 1
+                yield record
+
+        return self._func(counting(iterator))
+
+
+class DAGScheduler:
+    """Turns actions on datasets into stages of tasks and executes them."""
+
+    def __init__(self, config: EngineConfig, shuffle_manager, block_store,
+                 metrics_registry):
+        self.config = config
+        self.shuffle_manager = shuffle_manager
+        self.block_store = block_store
+        self.metrics_registry = metrics_registry
+        self.executor = Executor(config)
+        self._job_counter = itertools.count()
+        self._stage_counter = itertools.count()
+
+    # -- public entry point ----------------------------------------------------
+
+    def run_job(self, dataset: Dataset, func: Callable[[Iterator[Any]], Any],
+                partitions: Optional[Sequence[int]] = None,
+                description: str = "") -> List[Any]:
+        """Run ``func`` over the requested partitions of ``dataset``."""
+        job = JobMetrics(job_id=next(self._job_counter), description=description)
+        try:
+            visited: Dict[int, bool] = {}
+            self._ensure_shuffle_outputs(dataset, job, visited)
+            if partitions is None:
+                partitions = range(dataset.num_partitions)
+            stage = StageMetrics(stage_id=next(self._stage_counter),
+                                 name=f"result:{dataset.name}", is_shuffle_map=False)
+            tasks = [ResultTask(task_id=f"job{job.job_id}-s{stage.stage_id}-p{p}",
+                                stage_id=stage.stage_id, partition=p,
+                                dataset=dataset, func=func)
+                     for p in partitions]
+            try:
+                results = self.executor.execute_stage(tasks, stage)
+            finally:
+                job.add_stage(stage)
+            return [result.value for result in results]
+        finally:
+            # failed jobs are registered too, so their attempts stay inspectable
+            job.finish()
+            self.metrics_registry.register(job)
+
+    # -- shuffle stages ----------------------------------------------------------
+
+    def _is_fully_cached(self, dataset: Dataset) -> bool:
+        if not dataset.is_cached:
+            return False
+        return all(self.block_store.contains(dataset.id, partition)
+                   for partition in range(dataset.num_partitions))
+
+    def _ensure_shuffle_outputs(self, dataset: Dataset, job: JobMetrics,
+                                visited: Dict[int, bool]) -> None:
+        """Recursively run the map stage of every missing shuffle under ``dataset``."""
+        if dataset.id in visited:
+            return
+        visited[dataset.id] = True
+        if self._is_fully_cached(dataset):
+            return
+        for dependency in dataset.dependencies:
+            if isinstance(dependency, ShuffleDependency):
+                if self.shuffle_manager.is_complete(dependency.shuffle_id):
+                    continue
+                self._ensure_shuffle_outputs(dependency.parent, job, visited)
+                self._run_shuffle_stage(dependency, job)
+            else:
+                self._ensure_shuffle_outputs(dependency.parent, job, visited)
+
+    def _run_shuffle_stage(self, dependency: ShuffleDependency, job: JobMetrics) -> None:
+        parent = dependency.parent
+        self.shuffle_manager.register_shuffle(dependency.shuffle_id,
+                                              parent.num_partitions)
+        stage = StageMetrics(stage_id=next(self._stage_counter),
+                             name=f"shuffle:{parent.name}", is_shuffle_map=True)
+        tasks = [ShuffleMapTask(
+            task_id=f"job{job.job_id}-s{stage.stage_id}-p{p}",
+            stage_id=stage.stage_id, partition=p,
+            dependency=dependency, shuffle_manager=self.shuffle_manager)
+            for p in range(parent.num_partitions)]
+        self.executor.execute_stage(tasks, stage)
+        job.add_stage(stage)
+
+    # -- introspection ------------------------------------------------------------
+
+    def explain(self, dataset: Dataset) -> List[str]:
+        """Return a textual description of the lineage of ``dataset``."""
+        lines: List[str] = []
+
+        def walk(node: Dataset, depth: int) -> None:
+            indent = "  " * depth
+            lines.append(f"{indent}{node.name} "
+                         f"[id={node.id}, partitions={node.num_partitions}"
+                         f"{', cached' if node.is_cached else ''}]")
+            for dependency in node.dependencies:
+                marker = "(shuffle)" if isinstance(dependency, ShuffleDependency) else ""
+                if marker:
+                    lines.append(f"{indent}  {marker}")
+                walk(dependency.parent, depth + 1)
+
+        walk(dataset, 0)
+        return lines

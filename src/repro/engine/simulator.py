@@ -1,0 +1,198 @@
+"""Cluster simulator and analytic cost model.
+
+TOREADOR lets a user ask "what if I deployed this very same campaign on a
+bigger cluster?" without re-running it.  The simulator answers that question
+from the *measured* execution profile of a local run: it replays the per-stage
+task structure against a cluster profile (number of workers, per-core speed,
+network bandwidth, hourly price) and produces an estimated wall-clock time and
+monetary cost.  This is what experiment E6 sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import ConfigurationError
+from .metrics import JobMetrics
+
+
+@dataclass(frozen=True)
+class ClusterProfile:
+    """Description of a (simulated) target cluster.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier used in deployment specifications.
+    num_workers:
+        Number of worker nodes.
+    cores_per_worker:
+        Parallel task slots per worker.
+    cpu_speed_factor:
+        Relative single-core speed; ``1.0`` is the speed of the machine that
+        produced the measured profile.
+    network_gbps:
+        Aggregate shuffle bandwidth in gigabits per second.
+    usd_per_hour:
+        Price of the whole cluster per hour.
+    startup_s:
+        Fixed provisioning latency added to every estimate.
+    """
+
+    name: str
+    num_workers: int
+    cores_per_worker: int = 2
+    cpu_speed_factor: float = 1.0
+    network_gbps: float = 1.0
+    usd_per_hour: float = 0.0
+    startup_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ConfigurationError("a cluster profile needs at least one worker")
+        if self.cores_per_worker < 1:
+            raise ConfigurationError("cores_per_worker must be >= 1")
+        if self.cpu_speed_factor <= 0:
+            raise ConfigurationError("cpu_speed_factor must be > 0")
+        if self.network_gbps <= 0:
+            raise ConfigurationError("network_gbps must be > 0")
+
+    @property
+    def total_slots(self) -> int:
+        """Total number of parallel task slots in the cluster."""
+        return self.num_workers * self.cores_per_worker
+
+
+#: Profiles available out of the box; platform deployments refer to them by name.
+BUILTIN_PROFILES: Dict[str, ClusterProfile] = {
+    "local": ClusterProfile("local", num_workers=1, cores_per_worker=4,
+                            cpu_speed_factor=1.0, network_gbps=10.0,
+                            usd_per_hour=0.0, startup_s=0.0),
+    "dev-2": ClusterProfile("dev-2", num_workers=2, cores_per_worker=4,
+                            cpu_speed_factor=1.0, network_gbps=1.0,
+                            usd_per_hour=0.40, startup_s=20.0),
+    "small-4": ClusterProfile("small-4", num_workers=4, cores_per_worker=4,
+                              cpu_speed_factor=1.0, network_gbps=1.0,
+                              usd_per_hour=0.80, startup_s=30.0),
+    "medium-8": ClusterProfile("medium-8", num_workers=8, cores_per_worker=4,
+                               cpu_speed_factor=1.1, network_gbps=2.0,
+                               usd_per_hour=1.90, startup_s=45.0),
+    "large-16": ClusterProfile("large-16", num_workers=16, cores_per_worker=8,
+                               cpu_speed_factor=1.2, network_gbps=10.0,
+                               usd_per_hour=5.50, startup_s=60.0),
+    "premium-8": ClusterProfile("premium-8", num_workers=8, cores_per_worker=8,
+                                cpu_speed_factor=1.6, network_gbps=10.0,
+                                usd_per_hour=4.80, startup_s=45.0),
+}
+
+#: Fixed per-task scheduling overhead of the simulated cluster, in seconds.
+TASK_OVERHEAD_S = 0.01
+
+
+@dataclass
+class DeploymentEstimate:
+    """Estimated behaviour of an execution profile on a cluster profile."""
+
+    profile: ClusterProfile
+    estimated_wall_clock_s: float
+    estimated_cost_usd: float
+    compute_time_s: float
+    shuffle_time_s: float
+    overhead_s: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary view for reports and benchmarks."""
+        return {
+            "profile": self.profile.name,
+            "num_workers": self.profile.num_workers,
+            "total_slots": self.profile.total_slots,
+            "estimated_wall_clock_s": self.estimated_wall_clock_s,
+            "estimated_cost_usd": self.estimated_cost_usd,
+            "compute_time_s": self.compute_time_s,
+            "shuffle_time_s": self.shuffle_time_s,
+            "overhead_s": self.overhead_s,
+        }
+
+
+class CostModel:
+    """Analytic model translating measured job metrics into cluster estimates."""
+
+    def __init__(self, task_overhead_s: float = TASK_OVERHEAD_S):
+        self.task_overhead_s = task_overhead_s
+
+    def estimate_job(self, job: JobMetrics, profile: ClusterProfile) -> DeploymentEstimate:
+        """Estimate one job on ``profile`` using its per-stage task structure."""
+        compute_time = 0.0
+        overhead = 0.0
+        for stage in job.stages:
+            scaled_total = stage.duration_s / profile.cpu_speed_factor
+            scaled_longest = stage.max_task_duration_s / profile.cpu_speed_factor
+            waves = scaled_total / max(profile.total_slots, 1)
+            # a stage can never finish faster than its slowest task
+            compute_time += max(scaled_longest, waves)
+            overhead += self.task_overhead_s * stage.num_tasks / max(profile.total_slots, 1)
+        shuffle_bytes = sum(stage.shuffle_bytes_written for stage in job.stages)
+        network_bytes_per_s = profile.network_gbps * 1e9 / 8.0
+        # a single-node cluster shuffles through memory, not the network
+        shuffle_time = 0.0 if profile.num_workers == 1 else shuffle_bytes / network_bytes_per_s
+        wall_clock = compute_time + shuffle_time + overhead
+        cost = (wall_clock + profile.startup_s) / 3600.0 * profile.usd_per_hour
+        return DeploymentEstimate(profile=profile,
+                                  estimated_wall_clock_s=wall_clock,
+                                  estimated_cost_usd=cost,
+                                  compute_time_s=compute_time,
+                                  shuffle_time_s=shuffle_time,
+                                  overhead_s=overhead)
+
+    def estimate_jobs(self, jobs: Iterable[JobMetrics],
+                      profile: ClusterProfile) -> DeploymentEstimate:
+        """Estimate a whole campaign (several jobs run back to back)."""
+        jobs = list(jobs)
+        estimates = [self.estimate_job(job, profile) for job in jobs]
+        return DeploymentEstimate(
+            profile=profile,
+            estimated_wall_clock_s=sum(e.estimated_wall_clock_s for e in estimates),
+            estimated_cost_usd=sum(e.estimated_cost_usd for e in estimates)
+            + profile.startup_s / 3600.0 * profile.usd_per_hour,
+            compute_time_s=sum(e.compute_time_s for e in estimates),
+            shuffle_time_s=sum(e.shuffle_time_s for e in estimates),
+            overhead_s=sum(e.overhead_s for e in estimates))
+
+
+class DeploymentSimulator:
+    """Compare the same execution profile across several cluster profiles."""
+
+    def __init__(self, profiles: Optional[Dict[str, ClusterProfile]] = None,
+                 cost_model: Optional[CostModel] = None):
+        self.profiles = dict(profiles or BUILTIN_PROFILES)
+        self.cost_model = cost_model or CostModel()
+
+    def profile(self, name: str) -> ClusterProfile:
+        """Return a profile by name."""
+        if name not in self.profiles:
+            raise ConfigurationError(
+                f"unknown cluster profile {name!r}; known: {sorted(self.profiles)}")
+        return self.profiles[name]
+
+    def register(self, profile: ClusterProfile) -> None:
+        """Add or replace a cluster profile."""
+        self.profiles[profile.name] = profile
+
+    def compare(self, jobs: Iterable[JobMetrics],
+                profile_names: Optional[List[str]] = None) -> List[DeploymentEstimate]:
+        """Estimate the same jobs on several profiles, cheapest-first."""
+        jobs = list(jobs)
+        names = profile_names or sorted(self.profiles)
+        estimates = [self.cost_model.estimate_jobs(jobs, self.profile(name))
+                     for name in names]
+        return sorted(estimates, key=lambda e: (e.estimated_wall_clock_s,
+                                                e.estimated_cost_usd))
+
+    def best_under_budget(self, jobs: Iterable[JobMetrics], max_cost_usd: float,
+                          profile_names: Optional[List[str]] = None
+                          ) -> Optional[DeploymentEstimate]:
+        """Fastest profile whose estimated cost stays under ``max_cost_usd``."""
+        candidates = [estimate for estimate in self.compare(list(jobs), profile_names)
+                      if estimate.estimated_cost_usd <= max_cost_usd]
+        return candidates[0] if candidates else None

@@ -1,0 +1,108 @@
+"""In-memory cache of computed dataset partitions.
+
+Datasets marked with :meth:`repro.engine.dataset.Dataset.cache` store their
+computed partitions here so that subsequent jobs reuse them instead of
+recomputing the lineage.  The store enforces a soft memory budget with LRU
+eviction, which lets benchmarks demonstrate the cost of under-provisioned
+caches.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from .shuffle import estimate_bytes
+
+
+class StorageLevel:
+    """Symbolic persistence levels (only memory is actually implemented)."""
+
+    NONE = "none"
+    MEMORY = "memory"
+
+
+class BlockStore:
+    """LRU cache of partition blocks keyed by ``(dataset_id, partition)``."""
+
+    def __init__(self, memory_budget_bytes: int = 256 * 1024 * 1024):
+        self._lock = threading.Lock()
+        self._blocks: "OrderedDict[Tuple[int, int], List[Any]]" = OrderedDict()
+        self._sizes: Dict[Tuple[int, int], int] = {}
+        self.memory_budget_bytes = memory_budget_bytes
+        self.bytes_stored = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- write ----------------------------------------------------------------
+
+    def put(self, dataset_id: int, partition: int, records: List[Any]) -> None:
+        """Cache the records of a partition, evicting LRU blocks if needed."""
+        key = (dataset_id, partition)
+        size = estimate_bytes(records, compressed=False)
+        with self._lock:
+            if key in self._blocks:
+                self.bytes_stored -= self._sizes[key]
+                del self._blocks[key]
+                del self._sizes[key]
+            self._blocks[key] = list(records)
+            self._sizes[key] = size
+            self.bytes_stored += size
+            self._evict_if_needed()
+
+    def _evict_if_needed(self) -> None:
+        while self.bytes_stored > self.memory_budget_bytes and self._blocks:
+            key, _ = self._blocks.popitem(last=False)
+            self.bytes_stored -= self._sizes.pop(key)
+            self.evictions += 1
+
+    # -- read -----------------------------------------------------------------
+
+    def get(self, dataset_id: int, partition: int) -> Optional[List[Any]]:
+        """Return the cached records, or ``None`` on a miss."""
+        key = (dataset_id, partition)
+        with self._lock:
+            if key in self._blocks:
+                self._blocks.move_to_end(key)
+                self.hits += 1
+                return self._blocks[key]
+            self.misses += 1
+            return None
+
+    def contains(self, dataset_id: int, partition: int) -> bool:
+        """True when the partition is currently cached."""
+        with self._lock:
+            return (dataset_id, partition) in self._blocks
+
+    # -- management -------------------------------------------------------------
+
+    def evict_dataset(self, dataset_id: int) -> int:
+        """Drop every cached partition of a dataset; return blocks dropped."""
+        dropped = 0
+        with self._lock:
+            keys = [key for key in self._blocks if key[0] == dataset_id]
+            for key in keys:
+                del self._blocks[key]
+                self.bytes_stored -= self._sizes.pop(key)
+                dropped += 1
+        return dropped
+
+    def clear(self) -> None:
+        """Drop every cached block."""
+        with self._lock:
+            self._blocks.clear()
+            self._sizes.clear()
+            self.bytes_stored = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Return cache statistics for reports and tests."""
+        with self._lock:
+            return {
+                "blocks": len(self._blocks),
+                "bytes_stored": self.bytes_stored,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,39 @@
+"""Governance substrate: the executable form of the "regulatory barrier".
+
+The paper's introduction singles out regulatory concerns (data access, sharing
+and custody rules, cost of legal clearance) as a major obstacle to Big Data
+adoption.  This package makes those concerns machine-checkable:
+
+* :mod:`repro.governance.policies` — declarative data-protection policies;
+* :mod:`repro.governance.compliance` — checking a campaign against policies,
+  producing violations and required transforms;
+* :mod:`repro.governance.anonymization` — k-anonymity, masking and
+  generalisation transforms (and the preparation service exposing them);
+* :mod:`repro.governance.audit` — an append-only audit trail of platform and
+  campaign operations.
+"""
+
+from .policies import (GDPR_BASELINE, HEALTH_STRICT, OPEN_DATA, BUILTIN_POLICIES,
+                       DataProtectionPolicy, PolicyRule)
+from .compliance import ComplianceChecker, ComplianceReport, Violation
+from .anonymization import (AnonymizationService, KAnonymizer, mask_value,
+                            measure_k_anonymity)
+from .audit import AuditEvent, AuditLog
+
+__all__ = [
+    "PolicyRule",
+    "DataProtectionPolicy",
+    "GDPR_BASELINE",
+    "OPEN_DATA",
+    "HEALTH_STRICT",
+    "BUILTIN_POLICIES",
+    "ComplianceChecker",
+    "ComplianceReport",
+    "Violation",
+    "KAnonymizer",
+    "AnonymizationService",
+    "mask_value",
+    "measure_k_anonymity",
+    "AuditEvent",
+    "AuditLog",
+]

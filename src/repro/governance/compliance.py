@@ -1,0 +1,176 @@
+"""Compliance checking of campaigns against data-protection policies.
+
+The checker works on a *description* of the campaign — the schema of the data
+it touches, its declared purpose, the privacy measures present in its
+pipeline, and where it is deployed — so it can be invoked at three moments:
+
+* before compilation, to tell the compiler which protective steps to insert;
+* after compilation, to verify the produced pipeline (gate-keeping);
+* after execution, to re-verify using the *measured* privacy metrics
+  (e.g. the k actually achieved by the anonymisation step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..data.schemas import Schema
+from ..errors import ComplianceError
+from .policies import (FORBID_EXPORT, REQUIRE_K_ANONYMITY, REQUIRE_MASKING,
+                       REQUIRE_PURPOSE, REQUIRE_REGION, TARGET_PERSONAL_DATA,
+                       TARGET_QUASI_IDENTIFIERS, TARGET_SENSITIVE,
+                       DataProtectionPolicy)
+
+
+@dataclass
+class CampaignDescription:
+    """What the compliance checker needs to know about a campaign."""
+
+    schema: Optional[Schema] = None
+    purpose: str = "analytics"
+    deployment_region: str = "eu"
+    #: Capability tags of every pipeline step (e.g. ``privacy:k_anonymity``).
+    pipeline_capabilities: Tuple[str, ...] = ()
+    #: The k the pipeline promises (declared) or achieved (measured).
+    k_anonymity: Optional[int] = None
+    #: Whether direct identifiers are masked by some pipeline step.
+    masks_identifiers: bool = False
+    #: Whether a display step exports raw record-level data.
+    exports_raw_records: bool = False
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One policy rule a campaign does not satisfy."""
+
+    rule_id: str
+    requirement: str
+    message: str
+    severity: str = "blocking"
+
+    def as_dict(self) -> Dict[str, str]:
+        """Serialisable view of the violation."""
+        return {"rule_id": self.rule_id, "requirement": self.requirement,
+                "message": self.message, "severity": self.severity}
+
+
+@dataclass
+class ComplianceReport:
+    """Outcome of checking one campaign against one policy."""
+
+    policy_name: str
+    violations: List[Violation] = field(default_factory=list)
+    required_transforms: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def compliant(self) -> bool:
+        """True when no blocking violation was found."""
+        return not any(v.severity == "blocking" for v in self.violations)
+
+    def raise_if_blocking(self) -> None:
+        """Raise :class:`ComplianceError` when the campaign must not run."""
+        if not self.compliant:
+            messages = "; ".join(v.message for v in self.violations
+                                 if v.severity == "blocking")
+            raise ComplianceError(
+                f"campaign violates policy {self.policy_name!r}: {messages}",
+                violations=[v.as_dict() for v in self.violations])
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serialisable view of the report."""
+        return {"policy": self.policy_name, "compliant": self.compliant,
+                "violations": [v.as_dict() for v in self.violations],
+                "required_transforms": list(self.required_transforms)}
+
+
+class ComplianceChecker:
+    """Checks campaign descriptions against a data-protection policy."""
+
+    def __init__(self, policy: DataProtectionPolicy):
+        self.policy = policy
+
+    # -- rule dispatch -------------------------------------------------------------
+
+    def check(self, campaign: CampaignDescription) -> ComplianceReport:
+        """Return a full compliance report for ``campaign``."""
+        report = ComplianceReport(policy_name=self.policy.name)
+        schema = campaign.schema
+        has_sensitive = bool(schema and schema.sensitive_fields)
+        has_quasi = bool(schema and schema.quasi_identifiers)
+        is_personal = bool(schema and schema.is_personal_data)
+
+        for rule in self.policy.rules:
+            applies = (
+                (rule.target == TARGET_SENSITIVE and has_sensitive)
+                or (rule.target == TARGET_QUASI_IDENTIFIERS and has_quasi)
+                or (rule.target == TARGET_PERSONAL_DATA and is_personal)
+            )
+            if not applies:
+                continue
+            if rule.requirement == REQUIRE_MASKING:
+                self._check_masking(rule, campaign, report)
+            elif rule.requirement == REQUIRE_K_ANONYMITY:
+                self._check_k_anonymity(rule, campaign, report)
+            elif rule.requirement == REQUIRE_PURPOSE:
+                self._check_purpose(rule, campaign, report)
+            elif rule.requirement == REQUIRE_REGION:
+                self._check_region(rule, campaign, report)
+            elif rule.requirement == FORBID_EXPORT:
+                self._check_export(rule, campaign, report)
+        return report
+
+    # -- individual requirements -----------------------------------------------------
+
+    def _check_masking(self, rule, campaign: CampaignDescription,
+                       report: ComplianceReport) -> None:
+        if campaign.masks_identifiers or \
+                "privacy:masking" in campaign.pipeline_capabilities:
+            return
+        report.violations.append(Violation(
+            rule.rule_id, rule.requirement,
+            "direct identifiers are processed without masking"))
+        report.required_transforms.append(
+            {"service_capability": "privacy:masking",
+             "reason": rule.description or rule.rule_id})
+
+    def _check_k_anonymity(self, rule, campaign: CampaignDescription,
+                           report: ComplianceReport) -> None:
+        required_k = int(rule.parameter("k", 2))
+        provided = campaign.k_anonymity or 0
+        has_service = "privacy:k_anonymity" in campaign.pipeline_capabilities
+        if provided >= required_k or (has_service and campaign.k_anonymity is None):
+            return
+        report.violations.append(Violation(
+            rule.rule_id, rule.requirement,
+            f"quasi-identifiers require {required_k}-anonymity, campaign provides "
+            f"{provided or 'none'}"))
+        report.required_transforms.append(
+            {"service_capability": "privacy:k_anonymity", "k": required_k,
+             "reason": rule.description or rule.rule_id})
+
+    def _check_purpose(self, rule, campaign: CampaignDescription,
+                       report: ComplianceReport) -> None:
+        allowed = tuple(rule.parameter("purposes", ()))
+        if not allowed or campaign.purpose in allowed:
+            return
+        report.violations.append(Violation(
+            rule.rule_id, rule.requirement,
+            f"purpose {campaign.purpose!r} is not among the allowed purposes {allowed}"))
+
+    def _check_region(self, rule, campaign: CampaignDescription,
+                      report: ComplianceReport) -> None:
+        allowed = tuple(rule.parameter("regions", ()))
+        if not allowed or campaign.deployment_region in allowed:
+            return
+        report.violations.append(Violation(
+            rule.rule_id, rule.requirement,
+            f"deployment region {campaign.deployment_region!r} is outside {allowed}"))
+
+    def _check_export(self, rule, campaign: CampaignDescription,
+                      report: ComplianceReport) -> None:
+        if not campaign.exports_raw_records:
+            return
+        report.violations.append(Violation(
+            rule.rule_id, rule.requirement,
+            "the pipeline exports raw record-level personal data"))

@@ -1,0 +1,178 @@
+"""Data-protection policies.
+
+A policy is a named set of rules.  Each rule states a *requirement* that a
+campaign must satisfy when its data matches the rule's target (sensitive
+fields, quasi-identifiers, or any personal data).  Rules are deliberately
+simple and machine-checkable; the point of the reproduction is not to encode
+the GDPR, but to make the regulatory barrier an explicit, checkable part of
+campaign design, as TOREADOR's declarative privacy objectives do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import PolicyError
+
+#: What part of the data a rule applies to.
+TARGET_SENSITIVE = "sensitive"
+TARGET_QUASI_IDENTIFIERS = "quasi_identifiers"
+TARGET_PERSONAL_DATA = "personal_data"
+
+VALID_TARGETS = (TARGET_SENSITIVE, TARGET_QUASI_IDENTIFIERS, TARGET_PERSONAL_DATA)
+
+#: Kinds of requirement a rule can impose.
+REQUIRE_MASKING = "require_masking"
+REQUIRE_K_ANONYMITY = "require_k_anonymity"
+REQUIRE_PURPOSE = "restrict_purposes"
+REQUIRE_REGION = "restrict_regions"
+FORBID_EXPORT = "forbid_raw_export"
+
+VALID_REQUIREMENTS = (REQUIRE_MASKING, REQUIRE_K_ANONYMITY, REQUIRE_PURPOSE,
+                      REQUIRE_REGION, FORBID_EXPORT)
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One machine-checkable requirement of a data-protection policy.
+
+    Attributes
+    ----------
+    rule_id:
+        Unique identifier within the policy (used in violation reports).
+    target:
+        Which attributes trigger the rule (:data:`VALID_TARGETS`).
+    requirement:
+        The obligation imposed (:data:`VALID_REQUIREMENTS`).
+    parameters:
+        Requirement-specific values, e.g. ``{"k": 5}`` for k-anonymity or
+        ``{"purposes": ("research",)}`` for purpose restriction.
+    description:
+        Human-readable explanation shown to trainees when violated.
+    """
+
+    rule_id: str
+    target: str
+    requirement: str
+    parameters: Tuple[Tuple[str, Any], ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.target not in VALID_TARGETS:
+            raise PolicyError(f"rule {self.rule_id!r} has unknown target {self.target!r}")
+        if self.requirement not in VALID_REQUIREMENTS:
+            raise PolicyError(
+                f"rule {self.rule_id!r} has unknown requirement {self.requirement!r}")
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        """Parameters as a plain dictionary."""
+        return dict(self.parameters)
+
+    def parameter(self, name: str, default: Any = None) -> Any:
+        """Return one parameter value."""
+        return self.params.get(name, default)
+
+
+@dataclass(frozen=True)
+class DataProtectionPolicy:
+    """A named collection of policy rules."""
+
+    name: str
+    rules: Tuple[PolicyRule, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        identifiers = [rule.rule_id for rule in self.rules]
+        if len(identifiers) != len(set(identifiers)):
+            raise PolicyError(f"policy {self.name!r} has duplicate rule ids")
+
+    def rules_for_target(self, target: str) -> List[PolicyRule]:
+        """All rules applying to ``target``."""
+        return [rule for rule in self.rules if rule.target == target]
+
+    def rule(self, rule_id: str) -> PolicyRule:
+        """Return the rule called ``rule_id``."""
+        for rule in self.rules:
+            if rule.rule_id == rule_id:
+                return rule
+        raise PolicyError(f"policy {self.name!r} has no rule {rule_id!r}")
+
+    @property
+    def minimum_k(self) -> Optional[int]:
+        """The strongest k-anonymity requirement of the policy, if any."""
+        values = [rule.parameter("k", 0) for rule in self.rules
+                  if rule.requirement == REQUIRE_K_ANONYMITY]
+        return max(values) if values else None
+
+    @property
+    def allowed_purposes(self) -> Optional[Tuple[str, ...]]:
+        """The intersection of every purpose restriction, ``None`` if unrestricted."""
+        restrictions = [tuple(rule.parameter("purposes", ()))
+                        for rule in self.rules if rule.requirement == REQUIRE_PURPOSE]
+        if not restrictions:
+            return None
+        allowed = set(restrictions[0])
+        for restriction in restrictions[1:]:
+            allowed &= set(restriction)
+        return tuple(sorted(allowed))
+
+    @property
+    def requires_masking(self) -> bool:
+        """True when direct identifiers must be masked."""
+        return any(rule.requirement == REQUIRE_MASKING for rule in self.rules)
+
+
+# ---------------------------------------------------------------------------
+# Built-in policies
+# ---------------------------------------------------------------------------
+
+OPEN_DATA = DataProtectionPolicy(
+    name="open_data",
+    description="No personal-data constraints (already anonymous or synthetic data)",
+    rules=(),
+)
+
+GDPR_BASELINE = DataProtectionPolicy(
+    name="gdpr_baseline",
+    description="Baseline obligations for campaigns processing personal data",
+    rules=(
+        PolicyRule("gdpr-mask-direct", TARGET_SENSITIVE, REQUIRE_MASKING,
+                   description="Direct identifiers must be masked before analytics"),
+        PolicyRule("gdpr-k-anon", TARGET_QUASI_IDENTIFIERS, REQUIRE_K_ANONYMITY,
+                   parameters=(("k", 5),),
+                   description="Quasi-identifiers must satisfy 5-anonymity"),
+        PolicyRule("gdpr-purpose", TARGET_PERSONAL_DATA, REQUIRE_PURPOSE,
+                   parameters=(("purposes", ("analytics", "research", "service_improvement")),),
+                   description="Processing purpose must be among the declared ones"),
+        PolicyRule("gdpr-region", TARGET_PERSONAL_DATA, REQUIRE_REGION,
+                   parameters=(("regions", ("eu",)),),
+                   description="Personal data must be processed on EU infrastructure"),
+    ),
+)
+
+HEALTH_STRICT = DataProtectionPolicy(
+    name="health_strict",
+    description="Strict obligations for health data (hospital discharge records)",
+    rules=(
+        PolicyRule("health-mask-direct", TARGET_SENSITIVE, REQUIRE_MASKING,
+                   description="Direct identifiers and diagnoses must be masked or generalised"),
+        PolicyRule("health-k-anon", TARGET_QUASI_IDENTIFIERS, REQUIRE_K_ANONYMITY,
+                   parameters=(("k", 10),),
+                   description="Quasi-identifiers must satisfy 10-anonymity"),
+        PolicyRule("health-purpose", TARGET_PERSONAL_DATA, REQUIRE_PURPOSE,
+                   parameters=(("purposes", ("research",)),),
+                   description="Health data may only be processed for research"),
+        PolicyRule("health-no-export", TARGET_PERSONAL_DATA, FORBID_EXPORT,
+                   description="Raw records may not be exported by display services"),
+        PolicyRule("health-region", TARGET_PERSONAL_DATA, REQUIRE_REGION,
+                   parameters=(("regions", ("eu",)),),
+                   description="Health data must remain on EU infrastructure"),
+    ),
+)
+
+#: Policies available out of the box, keyed by name.
+BUILTIN_POLICIES: Dict[str, DataProtectionPolicy] = {
+    policy.name: policy for policy in (OPEN_DATA, GDPR_BASELINE, HEALTH_STRICT)
+}

@@ -1,0 +1,41 @@
+"""TOREADOR Labs: the trial-and-error training environment of the paper.
+
+The Labs offer "a simplified version of real-life vertical scenarios and
+success stories organised in a set of challenges, where the trainees are
+requested to identify alternative options, and investigate the consequences
+of their choices" (Section 3).  Concretely:
+
+* a :class:`~repro.labs.challenge.Challenge` is a business brief, a base
+  declarative specification, a set of named *design options* grouped by
+  design dimension (analytics choice, preparation choice, privacy choice,
+  deployment choice), and success criteria;
+* a :class:`~repro.labs.session.LabSession` lets a trainee pick options,
+  executes the resulting campaign on the free-limited platform tier and keeps
+  the trial history;
+* the :class:`~repro.labs.comparison.RunComparator` contrasts runs across
+  indicator values — the feature the paper notes is "usually not available in
+  the professional Big Data platforms today in the market";
+* the :class:`~repro.labs.scoring.ChallengeScorer` grades the trainee's best
+  run against the challenge's success criteria and rewards exploration.
+"""
+
+from .challenge import Challenge, DesignDimension, DesignOption, merge_spec
+from .catalog import ChallengeCatalog, build_default_challenges
+from .comparison import ComparisonReport, RunComparator
+from .scoring import ChallengeScore, ChallengeScorer
+from .session import LabSession, TrialRecord
+
+__all__ = [
+    "Challenge",
+    "DesignDimension",
+    "DesignOption",
+    "merge_spec",
+    "ChallengeCatalog",
+    "build_default_challenges",
+    "LabSession",
+    "TrialRecord",
+    "RunComparator",
+    "ComparisonReport",
+    "ChallengeScorer",
+    "ChallengeScore",
+]

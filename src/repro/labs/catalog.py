@@ -1,0 +1,72 @@
+"""Challenge catalogue: the set of challenges a Labs deployment offers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import ChallengeError
+from .challenge import Challenge
+from .scenarios import all_builtin_challenges
+
+
+class ChallengeCatalog:
+    """Registry of Labs challenges."""
+
+    def __init__(self) -> None:
+        self._challenges: Dict[str, Challenge] = {}
+
+    def register(self, challenge: Challenge) -> None:
+        """Add a challenge (keys must be unique)."""
+        if challenge.key in self._challenges:
+            raise ChallengeError(f"challenge {challenge.key!r} is already registered")
+        self._challenges[challenge.key] = challenge
+
+    def get(self, key: str) -> Challenge:
+        """Return the challenge called ``key``."""
+        if key not in self._challenges:
+            raise ChallengeError(
+                f"unknown challenge {key!r}; available: {self.keys}")
+        return self._challenges[key]
+
+    @property
+    def keys(self) -> List[str]:
+        """Keys of every registered challenge."""
+        return sorted(self._challenges)
+
+    @property
+    def challenges(self) -> List[Challenge]:
+        """Every registered challenge."""
+        return [self._challenges[key] for key in self.keys]
+
+    def by_difficulty(self, difficulty: str) -> List[Challenge]:
+        """Challenges with the given difficulty label."""
+        return [challenge for challenge in self.challenges
+                if challenge.difficulty == difficulty]
+
+    def by_scenario(self, scenario: str) -> List[Challenge]:
+        """Challenges built on a given vertical scenario."""
+        return [challenge for challenge in self.challenges
+                if challenge.scenario == scenario]
+
+    def overview(self) -> str:
+        """Human-readable listing of the catalogue."""
+        lines = ["TOREADOR Labs challenges:"]
+        for challenge in self.challenges:
+            lines.append(f"  - {challenge.key} [{challenge.difficulty}] "
+                         f"({challenge.num_combinations()} option combinations): "
+                         f"{challenge.title}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._challenges)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._challenges
+
+
+def build_default_challenges() -> ChallengeCatalog:
+    """Catalogue containing every built-in challenge."""
+    catalog = ChallengeCatalog()
+    for challenge in all_builtin_challenges():
+        catalog.register(challenge)
+    return catalog

@@ -1,0 +1,181 @@
+"""Challenge model: briefs, design dimensions, options and success criteria."""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.vocabulary import Objective
+from ..errors import ChallengeError
+
+
+def merge_spec(base: Dict[str, Any], patch: Dict[str, Any]) -> Dict[str, Any]:
+    """Deep-merge ``patch`` into a copy of ``base``.
+
+    Dictionaries are merged recursively; lists and scalars are replaced.  The
+    special key ``"goals"`` merges goal-by-goal on the goal ``id`` so an
+    option can tweak a single goal without repeating the others.
+    """
+    merged = copy.deepcopy(base)
+    for key, value in patch.items():
+        if key == "goals" and isinstance(value, list) and "goals" in merged:
+            merged["goals"] = _merge_goals(merged["goals"], value)
+        elif isinstance(value, dict) and isinstance(merged.get(key), dict):
+            merged[key] = merge_spec(merged[key], value)
+        else:
+            merged[key] = copy.deepcopy(value)
+    return merged
+
+
+def _merge_goals(base_goals: List[Dict[str, Any]],
+                 patch_goals: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    merged = [copy.deepcopy(goal) for goal in base_goals]
+    index_by_id = {goal.get("id"): position for position, goal in enumerate(merged)}
+    for patch_goal in patch_goals:
+        goal_id = patch_goal.get("id")
+        if goal_id in index_by_id:
+            merged[index_by_id[goal_id]] = merge_spec(merged[index_by_id[goal_id]],
+                                                      patch_goal)
+        else:
+            merged.append(copy.deepcopy(patch_goal))
+    return merged
+
+
+@dataclass(frozen=True)
+class DesignOption:
+    """One selectable alternative within a design dimension."""
+
+    key: str
+    title: str
+    spec_patch: Tuple[Tuple[str, Any], ...]
+    description: str = ""
+    hint: str = ""
+
+    @property
+    def patch(self) -> Dict[str, Any]:
+        """The specification patch as a dictionary."""
+        return dict(self.spec_patch)
+
+    @classmethod
+    def from_patch(cls, key: str, title: str, patch: Dict[str, Any],
+                   description: str = "", hint: str = "") -> "DesignOption":
+        """Build an option from a plain patch dictionary."""
+        return cls(key=key, title=title, spec_patch=tuple(patch.items()),
+                   description=description, hint=hint)
+
+
+@dataclass(frozen=True)
+class DesignDimension:
+    """A design decision the trainee must make, with its alternatives."""
+
+    key: str
+    title: str
+    options: Tuple[DesignOption, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.options:
+            raise ChallengeError(f"design dimension {self.key!r} has no options")
+        keys = [option.key for option in self.options]
+        if len(keys) != len(set(keys)):
+            raise ChallengeError(f"design dimension {self.key!r} has duplicate option keys")
+
+    def option(self, key: str) -> DesignOption:
+        """Return the option called ``key``."""
+        for option in self.options:
+            if option.key == key:
+                return option
+        raise ChallengeError(
+            f"dimension {self.key!r} has no option {key!r}; "
+            f"available: {[option.key for option in self.options]}")
+
+    @property
+    def option_keys(self) -> List[str]:
+        """Keys of every option."""
+        return [option.key for option in self.options]
+
+    @property
+    def default_option(self) -> DesignOption:
+        """The first option (used when the trainee does not choose)."""
+        return self.options[0]
+
+
+@dataclass(frozen=True)
+class Challenge:
+    """One Labs challenge: a simplified real-life vertical scenario."""
+
+    key: str
+    title: str
+    brief: str
+    scenario: str
+    base_spec: Tuple[Tuple[str, Any], ...]
+    dimensions: Tuple[DesignDimension, ...] = ()
+    success_criteria: Tuple[Objective, ...] = ()
+    learning_points: Tuple[str, ...] = ()
+    difficulty: str = "beginner"
+
+    def __post_init__(self) -> None:
+        keys = [dimension.key for dimension in self.dimensions]
+        if len(keys) != len(set(keys)):
+            raise ChallengeError(f"challenge {self.key!r} has duplicate dimension keys")
+
+    @property
+    def spec(self) -> Dict[str, Any]:
+        """The base declarative specification as a dictionary."""
+        return dict(self.base_spec)
+
+    def dimension(self, key: str) -> DesignDimension:
+        """Return the design dimension called ``key``."""
+        for dimension in self.dimensions:
+            if dimension.key == key:
+                return dimension
+        raise ChallengeError(
+            f"challenge {self.key!r} has no dimension {key!r}; "
+            f"available: {[dimension.key for dimension in self.dimensions]}")
+
+    @property
+    def dimension_keys(self) -> List[str]:
+        """Keys of every design dimension."""
+        return [dimension.key for dimension in self.dimensions]
+
+    def num_combinations(self) -> int:
+        """How many distinct full option combinations the challenge offers."""
+        total = 1
+        for dimension in self.dimensions:
+            total *= len(dimension.options)
+        return total
+
+    def build_spec(self, selections: Optional[Dict[str, str]] = None) -> Dict[str, Any]:
+        """Apply the selected options (by dimension) to the base specification.
+
+        Unspecified dimensions fall back to their default option; unknown
+        dimension or option keys raise :class:`ChallengeError`.
+        """
+        selections = dict(selections or {})
+        unknown = sorted(set(selections) - set(self.dimension_keys))
+        if unknown:
+            raise ChallengeError(
+                f"challenge {self.key!r} has no dimensions {unknown}; "
+                f"available: {self.dimension_keys}")
+        spec = self.spec
+        for dimension in self.dimensions:
+            option_key = selections.get(dimension.key, dimension.default_option.key)
+            option = dimension.option(option_key)
+            spec = merge_spec(spec, option.patch)
+        return spec
+
+    def describe(self) -> str:
+        """Human-readable challenge brief with its design space."""
+        lines = [f"Challenge: {self.title} [{self.difficulty}]", "", self.brief, "",
+                 f"Scenario data: {self.scenario}",
+                 f"Design dimensions ({self.num_combinations()} combinations):"]
+        for dimension in self.dimensions:
+            lines.append(f"  - {dimension.title} ({dimension.key})")
+            for option in dimension.options:
+                lines.append(f"      * {option.key}: {option.title}")
+        if self.success_criteria:
+            lines.append("Success criteria:")
+            for objective in self.success_criteria:
+                lines.append(f"  - {objective.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,474 @@
+"""Built-in Labs challenges: the simplified real-life vertical scenarios.
+
+Five challenges cover the verticals the TOREADOR pilots targeted (telecom,
+retail, energy/IoT, health, web operations).  Each challenge exposes the
+design dimensions whose interferences the paper wants trainees to discover:
+the analytics model, the preparation choices, the privacy level, the
+execution mode and the deployment size.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.vocabulary import Objective
+from .challenge import Challenge, DesignDimension, DesignOption
+
+
+def _option(key: str, title: str, patch: dict, description: str = "",
+            hint: str = "") -> DesignOption:
+    return DesignOption.from_patch(key, title, patch, description, hint)
+
+
+# ---------------------------------------------------------------------------
+# 1. Telecom churn retention
+# ---------------------------------------------------------------------------
+
+def churn_retention_challenge() -> Challenge:
+    """Predict which telecom customers will churn, under GDPR constraints."""
+    base_spec = {
+        "name": "churn-retention",
+        "description": "Predict churners so the retention team can call them first",
+        "purpose": "analytics",
+        "policy": "gdpr_baseline",
+        "region": "eu",
+        "source": {"scenario": "churn", "num_records": 6000},
+        "privacy": {"k_anonymity": 5},
+        "preparation": {},
+        "deployment": {"num_partitions": 4},
+        "goals": [
+            {"id": "predict-churn", "task": "classification",
+             "description": "Which customers are about to leave?",
+             "params": {"label": "churned",
+                        "features": ["tenure_months", "monthly_charges",
+                                     "num_support_calls", "data_usage_gb"],
+                        "categorical_features": ["contract_type", "payment_method"]},
+             "optimize_for": "quality",
+             "objectives": [{"indicator": "accuracy", "target": 0.68},
+                            {"indicator": "recall", "target": 0.5, "hard": False}]},
+        ],
+    }
+    dimensions = (
+        DesignDimension(
+            key="model", title="Analytics model",
+            description="Which classifier realises the churn-prediction goal",
+            options=(
+                _option("logistic", "Logistic regression",
+                        {"goals": [{"id": "predict-churn", "model": "logistic_regression"}]},
+                        "Probabilistic linear model",
+                        "Works well when the churn drivers combine additively"),
+                _option("tree", "Decision tree",
+                        {"goals": [{"id": "predict-churn", "model": "decision_tree"}]},
+                        "Interpretable if/then rules",
+                        "Rules are easy to hand to the retention team"),
+                _option("bayes", "Naive Bayes",
+                        {"goals": [{"id": "predict-churn", "model": "naive_bayes"}]},
+                        "Very cheap probabilistic model",
+                        "Fast, but assumes independent features"),
+                _option("baseline", "Majority baseline",
+                        {"goals": [{"id": "predict-churn", "model": "baseline"}]},
+                        "Always predicts the most frequent class",
+                        "The sanity check every campaign should beat"),
+            )),
+        DesignDimension(
+            key="features", title="Feature preparation",
+            description="How much signal the preparation stage hands to the model",
+            options=(
+                _option("core", "Core usage features", {},
+                        "Tenure, charges, support calls, data usage"),
+                _option("normalized", "Core features, normalised",
+                        {"preparation": {"normalize": ["monthly_charges",
+                                                       "total_charges",
+                                                       "data_usage_gb"]}},
+                        "Adds z-score normalisation of the monetary fields"),
+                _option("minimal", "Contract features only",
+                        {"goals": [{"id": "predict-churn",
+                                    "params": {"label": "churned",
+                                               "features": ["tenure_months"],
+                                               "categorical_features": ["contract_type"]}}]},
+                        "Drops the usage signals",
+                        "What happens when preparation starves the model?"),
+            )),
+        DesignDimension(
+            key="volume", title="Data volume",
+            description="How much history the campaign ingests",
+            options=(
+                _option("recent", "Recent customers (6k records)",
+                        {"source": {"num_records": 6000}}),
+                _option("full", "Full history (20k records)",
+                        {"source": {"num_records": 20000},
+                         "deployment": {"num_partitions": 8}},
+                        "More data, more compute"),
+            )),
+    )
+    return Challenge(
+        key="churn-retention",
+        title="Telecom churn retention campaign",
+        brief=("A telecom operator loses customers to competitors every month. "
+               "The retention team can call 100 customers a week and wants to call "
+               "the right ones. Design a campaign that predicts churners accurately "
+               "while respecting the GDPR obligations on customer data."),
+        scenario="churn",
+        base_spec=tuple(base_spec.items()),
+        dimensions=dimensions,
+        success_criteria=(
+            Objective("accuracy", 0.68),
+            Objective("k_anonymity", 5),
+            Objective("execution_time", 120.0, hard=False),
+        ),
+        learning_points=(
+            "The majority baseline looks accurate but never finds a churner",
+            "Dropping usage features cripples every model equally",
+            "Anonymisation is required by policy and costs a little accuracy",
+        ),
+        difficulty="beginner",
+    )
+
+
+# ---------------------------------------------------------------------------
+# 2. Retail market-basket analysis
+# ---------------------------------------------------------------------------
+
+def market_basket_challenge() -> Challenge:
+    """Find cross-selling rules in point-of-sale baskets."""
+    base_spec = {
+        "name": "market-basket",
+        "description": "Find which products to co-promote",
+        "purpose": "analytics",
+        "policy": "gdpr_baseline",
+        "region": "eu",
+        "source": {"scenario": "retail", "num_records": 4000},
+        "privacy": {"mask_identifiers": True},
+        "deployment": {"num_partitions": 4},
+        "goals": [
+            {"id": "find-rules", "task": "association_rules",
+             "description": "Which products are bought together?",
+             "params": {"basket_field": "basket", "min_support": 0.05,
+                        "min_confidence": 0.4},
+             "objectives": [{"indicator": "rules_found", "target": 5},
+                            {"indicator": "max_lift", "target": 2.0, "hard": False}]},
+        ],
+    }
+    dimensions = (
+        DesignDimension(
+            key="thresholds", title="Mining thresholds",
+            description="Support/confidence thresholds of the rule mining",
+            options=(
+                _option("balanced", "Balanced (support 5%, confidence 40%)", {}),
+                _option("strict", "Strict (support 10%, confidence 70%)",
+                        {"goals": [{"id": "find-rules",
+                                    "params": {"basket_field": "basket",
+                                               "min_support": 0.10,
+                                               "min_confidence": 0.7}}]},
+                        "Fewer, stronger rules"),
+                _option("permissive", "Permissive (support 2%, confidence 25%)",
+                        {"goals": [{"id": "find-rules",
+                                    "params": {"basket_field": "basket",
+                                               "min_support": 0.02,
+                                               "min_confidence": 0.25}}]},
+                        "Many rules, many of them weak — and much more compute"),
+            )),
+        DesignDimension(
+            key="volume", title="Transaction volume",
+            options=(
+                _option("month", "One month of sales (4k baskets)",
+                        {"source": {"num_records": 4000}}),
+                _option("quarter", "A quarter of sales (12k baskets)",
+                        {"source": {"num_records": 12000},
+                         "deployment": {"num_partitions": 8}}),
+            )),
+    )
+    return Challenge(
+        key="market-basket",
+        title="Retail cross-selling rules",
+        brief=("A retail chain wants to co-promote products that customers already "
+               "buy together. Mine association rules from the point-of-sale baskets "
+               "and tune the thresholds so marketing gets a short list of strong, "
+               "actionable rules — not noise."),
+        scenario="retail",
+        base_spec=tuple(base_spec.items()),
+        dimensions=dimensions,
+        success_criteria=(
+            Objective("rules_found", 5),
+            Objective("max_lift", 2.0),
+            Objective("execution_time", 120.0, hard=False),
+        ),
+        learning_points=(
+            "Permissive thresholds explode both the rule count and the runtime",
+            "Strict thresholds may miss the embedded pasta/sauce pattern",
+            "Customer identifiers must be masked even when mining baskets",
+        ),
+        difficulty="beginner",
+    )
+
+
+# ---------------------------------------------------------------------------
+# 3. Smart-meter anomaly detection
+# ---------------------------------------------------------------------------
+
+def energy_anomaly_challenge() -> Challenge:
+    """Detect anomalous smart-meter readings, in batch or streaming mode."""
+    base_spec = {
+        "name": "energy-anomaly",
+        "description": "Spot meter outages and consumption spikes",
+        "purpose": "service_improvement",
+        "policy": "gdpr_baseline",
+        "region": "eu",
+        "source": {"scenario": "energy", "num_records": 6000, "streaming": False,
+                   "batch_size": 500},
+        "privacy": {"k_anonymity": 2},
+        "deployment": {"num_partitions": 4},
+        "goals": [
+            {"id": "detect-anomalies", "task": "anomaly_detection",
+             "description": "Which readings need an engineer's attention?",
+             "model": "zscore",
+             "params": {"value_field": "kwh", "label_field": "is_anomaly",
+                        "z_threshold": 3.0},
+             "objectives": [{"indicator": "anomaly_recall", "target": 0.4},
+                            {"indicator": "anomaly_precision", "target": 0.5,
+                             "hard": False}]},
+        ],
+    }
+    dimensions = (
+        DesignDimension(
+            key="detector", title="Detection method",
+            options=(
+                _option("zscore", "Z-score detector", {}),
+                _option("zscore-sensitive", "Z-score, sensitive threshold",
+                        {"goals": [{"id": "detect-anomalies",
+                                    "params": {"value_field": "kwh",
+                                               "label_field": "is_anomaly",
+                                               "z_threshold": 1.0}}]},
+                        "Catches the outages too, at the cost of many false alarms"),
+                _option("iqr", "Inter-quartile-range detector",
+                        {"goals": [{"id": "detect-anomalies", "model": "iqr",
+                                    "params": {"value_field": "kwh",
+                                               "label_field": "is_anomaly"}}]},
+                        "Robust to the skewed consumption distribution"),
+            )),
+        DesignDimension(
+            key="grouping", title="Statistical grouping",
+            options=(
+                _option("global", "Global statistics", {}),
+                _option("per-household", "Per household-size statistics",
+                        {"goals": [{"id": "detect-anomalies",
+                                    "params": {"value_field": "kwh",
+                                               "label_field": "is_anomaly",
+                                               "group_field": "household_size"}}]},
+                        "Large households are not anomalies of small ones"),
+            )),
+        DesignDimension(
+            key="mode", title="Execution mode",
+            options=(
+                _option("batch", "Nightly batch", {}),
+                _option("streaming", "Micro-batch streaming",
+                        {"source": {"streaming": True, "batch_size": 500},
+                         "deployment": {"max_batches": 8}},
+                        "Process readings as they arrive"),
+            )),
+    )
+    return Challenge(
+        key="energy-anomaly",
+        title="Smart-meter anomaly detection",
+        brief=("A utility collects hourly smart-meter readings and wants to spot "
+               "outages and abnormal consumption early. Choose a detector, decide "
+               "whether statistics are global or per household profile, and decide "
+               "whether the campaign runs nightly or on the live stream."),
+        scenario="energy",
+        base_spec=tuple(base_spec.items()),
+        dimensions=dimensions,
+        success_criteria=(
+            Objective("anomaly_recall", 0.4),
+            Objective("anomaly_precision", 0.5, hard=False),
+            Objective("execution_time", 120.0, hard=False),
+        ),
+        learning_points=(
+            "Sensitive thresholds trade precision for recall",
+            "Per-group statistics change which readings look anomalous",
+            "Streaming execution bounds latency but repeats fixed costs per batch",
+        ),
+        difficulty="intermediate",
+    )
+
+
+# ---------------------------------------------------------------------------
+# 4. Hospital readmission under strict privacy
+# ---------------------------------------------------------------------------
+
+def patient_privacy_challenge() -> Challenge:
+    """Analyse readmissions under the strict health-data policy."""
+    base_spec = {
+        "name": "patient-readmission",
+        "description": "Understand which discharges come back within 30 days",
+        "purpose": "research",
+        "policy": "health_strict",
+        "region": "eu",
+        "source": {"scenario": "patients", "num_records": 5000},
+        "privacy": {"k_anonymity": 10, "mask_identifiers": True},
+        "deployment": {"num_partitions": 4},
+        "goals": [
+            {"id": "predict-readmission", "task": "classification",
+             "description": "Which patients are likely to be readmitted?",
+             "params": {"label": "readmitted",
+                        "features": ["age", "length_of_stay", "treatment_cost"],
+                        "categorical_features": ["diagnosis"]},
+             "optimize_for": "interpretability",
+             "objectives": [{"indicator": "accuracy", "target": 0.6},
+                            {"indicator": "k_anonymity", "target": 10},
+                            {"indicator": "policy_violations", "target": 0,
+                             "comparator": "<="}]},
+        ],
+    }
+    dimensions = (
+        DesignDimension(
+            key="privacy", title="Privacy level",
+            description="How strongly quasi-identifiers are protected",
+            options=(
+                _option("strict", "10-anonymity (policy minimum)", {}),
+                _option("stronger", "25-anonymity",
+                        {"privacy": {"k_anonymity": 25, "mask_identifiers": True}},
+                        "Stronger guarantee, more information loss"),
+                _option("weak", "2-anonymity (below policy)",
+                        {"privacy": {"k_anonymity": 2, "mask_identifiers": True}},
+                        "What the checker says when protection is insufficient"),
+            )),
+        DesignDimension(
+            key="analysis", title="Analysis",
+            options=(
+                _option("classify", "Classify readmissions", {}),
+                _option("cost-model", "Model treatment cost",
+                        {"goals": [{"id": "predict-readmission",
+                                    "task": "regression",
+                                    "params": {"target": "treatment_cost",
+                                               "features": ["age", "length_of_stay"],
+                                               "categorical_features": ["diagnosis"]},
+                                    "objectives": [{"indicator": "r2", "target": 0.5},
+                                                   {"indicator": "k_anonymity",
+                                                    "target": 10},
+                                                   {"indicator": "policy_violations",
+                                                    "target": 0,
+                                                    "comparator": "<="}]}]},
+                        "A regression view of the same data"),
+            )),
+    )
+    return Challenge(
+        key="patient-privacy",
+        title="Hospital readmissions under strict privacy",
+        brief=("A hospital research group wants to understand 30-day readmissions. "
+               "Health records fall under the strictest data-protection policy: "
+               "identifiers and diagnoses must be masked, quasi-identifiers must be "
+               "10-anonymous, and raw records may never leave the platform. Explore "
+               "how much analytical utility survives each privacy level."),
+        scenario="patients",
+        base_spec=tuple(base_spec.items()),
+        dimensions=dimensions,
+        success_criteria=(
+            Objective("k_anonymity", 10),
+            Objective("policy_violations", 0, comparator="<="),
+            Objective("accuracy", 0.6, hard=False),
+        ),
+        learning_points=(
+            "The compiler inserts the anonymisation step the policy demands",
+            "Stronger anonymity suppresses more records and erodes model quality",
+            "Declaring less protection than the policy requires is flagged, not silently fixed",
+        ),
+        difficulty="advanced",
+    )
+
+
+# ---------------------------------------------------------------------------
+# 5. Web operations dashboard
+# ---------------------------------------------------------------------------
+
+def web_operations_challenge() -> Challenge:
+    """Operational analytics over web service logs."""
+    base_spec = {
+        "name": "web-operations",
+        "description": "Give the operations team a view of traffic and latency",
+        "purpose": "service_improvement",
+        "policy": "gdpr_baseline",
+        "region": "eu",
+        "source": {"scenario": "web_logs", "num_records": 8000},
+        "privacy": {"mask_identifiers": True},
+        "deployment": {"num_partitions": 4},
+        "goals": [
+            {"id": "traffic-by-service", "task": "aggregation",
+             "description": "How much traffic does each service take?",
+             "params": {"group_field": "service", "value_field": "latency_ms",
+                        "aggregation": "mean"},
+             "objectives": [{"indicator": "execution_time", "target": 120,
+                             "hard": False}]},
+        ],
+    }
+    dimensions = (
+        DesignDimension(
+            key="analysis", title="Operational question",
+            options=(
+                _option("latency", "Mean latency per service", {}),
+                _option("top-urls", "Top requested URLs",
+                        {"goals": [{"id": "traffic-by-service",
+                                    "task": "ranking",
+                                    "params": {"value_field": "latency_ms",
+                                               "group_field": "url", "k": 10},
+                                    "objectives": [{"indicator": "execution_time",
+                                                    "target": 120, "hard": False}]}]}),
+                _option("latency-anomalies", "Latency anomaly detection",
+                        {"goals": [{"id": "traffic-by-service",
+                                    "task": "anomaly_detection",
+                                    "params": {"value_field": "latency_ms",
+                                               "group_field": "service"},
+                                    "objectives": [{"indicator": "execution_time",
+                                                    "target": 120, "hard": False}]}]}),
+            )),
+        DesignDimension(
+            key="deployment", title="Deployment size",
+            options=(
+                _option("local", "Shared local executor", {}),
+                _option("small-cluster", "Dedicated 4-worker cluster",
+                        {"deployment": {"cluster_profile": "small-4",
+                                        "num_partitions": 8, "num_workers": 4}},
+                        "Lower latency, non-zero hourly cost"),
+            )),
+        DesignDimension(
+            key="volume", title="Log volume",
+            options=(
+                _option("day", "One day of logs (8k lines)",
+                        {"source": {"num_records": 8000}}),
+                _option("week", "A week of logs (40k lines)",
+                        {"source": {"num_records": 40000},
+                         "deployment": {"num_partitions": 8}}),
+            )),
+    )
+    return Challenge(
+        key="web-operations",
+        title="Web operations analytics",
+        brief=("The operations team of a web shop wants quick answers about traffic, "
+               "latency and errors across its five services. Pick the analysis that "
+               "answers their question and size the deployment so answers come fast "
+               "without paying for an idle cluster."),
+        scenario="web_logs",
+        base_spec=tuple(base_spec.items()),
+        dimensions=dimensions,
+        success_criteria=(
+            Objective("execution_time", 120.0),
+            Objective("records_processed", 8000),
+            Objective("monetary_cost", 0.5, comparator="<=", hard=False),
+        ),
+        learning_points=(
+            "Different operational questions compile to very different pipelines",
+            "A bigger cluster only pays off once the log volume grows",
+            "User identifiers in logs are personal data and must be masked",
+        ),
+        difficulty="intermediate",
+    )
+
+
+def all_builtin_challenges() -> Tuple[Challenge, ...]:
+    """Every built-in challenge, in recommended training order."""
+    return (
+        churn_retention_challenge(),
+        market_basket_challenge(),
+        energy_anomaly_challenge(),
+        patient_privacy_challenge(),
+        web_operations_challenge(),
+    )

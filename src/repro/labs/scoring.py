@@ -1,0 +1,139 @@
+"""Scoring trainee sessions against challenge success criteria.
+
+The score has two ingredients, mirroring what the Labs want to teach:
+
+* **achievement** — how many of the challenge's success criteria the
+  trainee's best run satisfies (the campaign must actually work);
+* **exploration** — how much of the design space the trainee covered
+  (trial and error is the point; a single lucky run earns less than an
+  informed comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.indicators import IndicatorEvaluator
+from ..errors import SessionError
+from .session import LabSession, TrialRecord
+
+
+@dataclass
+class CriterionOutcome:
+    """Evaluation of one success criterion against the best run."""
+
+    description: str
+    satisfied: bool
+    value: Optional[float]
+    target: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serialisable view."""
+        return {"criterion": self.description, "satisfied": self.satisfied,
+                "value": self.value, "target": self.target}
+
+
+@dataclass
+class ChallengeScore:
+    """The grade of one session."""
+
+    challenge_key: str
+    best_trial_label: str
+    criteria: List[CriterionOutcome] = field(default_factory=list)
+    achievement_points: float = 0.0
+    exploration_points: float = 0.0
+    feedback: List[str] = field(default_factory=list)
+
+    @property
+    def total_points(self) -> float:
+        """Achievement plus exploration, on a 0-100 scale."""
+        return round(self.achievement_points + self.exploration_points, 1)
+
+    @property
+    def passed(self) -> bool:
+        """True when every hard criterion is satisfied."""
+        return all(outcome.satisfied for outcome in self.criteria)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serialisable view."""
+        return {"challenge": self.challenge_key, "best_trial": self.best_trial_label,
+                "criteria": [outcome.as_dict() for outcome in self.criteria],
+                "achievement_points": self.achievement_points,
+                "exploration_points": self.exploration_points,
+                "total_points": self.total_points, "passed": self.passed,
+                "feedback": list(self.feedback)}
+
+
+class ChallengeScorer:
+    """Grades a lab session."""
+
+    #: Points available for meeting the success criteria.
+    ACHIEVEMENT_POINTS = 70.0
+    #: Points available for exploring the design space.
+    EXPLORATION_POINTS = 30.0
+    #: Distinct configurations needed for full exploration credit.
+    FULL_EXPLORATION_TRIALS = 4
+
+    def __init__(self) -> None:
+        self.evaluator = IndicatorEvaluator()
+
+    def score(self, session: LabSession,
+              best_trial: Optional[TrialRecord] = None) -> ChallengeScore:
+        """Grade ``session``, using its best trial (by weighted score) by default."""
+        if not session.successful_trials:
+            raise SessionError("cannot score a session with no successful trial")
+        best = best_trial or session.best_trial()
+        challenge = session.challenge
+
+        evaluations = self.evaluator.evaluate(list(challenge.success_criteria),
+                                              best.run.indicator_values)
+        criteria = [CriterionOutcome(description=evaluation.objective.describe(),
+                                     satisfied=evaluation.satisfied,
+                                     value=evaluation.value,
+                                     target=evaluation.objective.target)
+                    for evaluation in evaluations]
+        satisfied = sum(1 for outcome in criteria if outcome.satisfied)
+        achievement = (self.ACHIEVEMENT_POINTS * satisfied / len(criteria)
+                       if criteria else self.ACHIEVEMENT_POINTS)
+
+        distinct = len({tuple(sorted(record.selections.items()))
+                        for record in session.trials})
+        exploration = self.EXPLORATION_POINTS * min(
+            1.0, distinct / self.FULL_EXPLORATION_TRIALS)
+
+        feedback = self._feedback(session, criteria, distinct)
+        return ChallengeScore(
+            challenge_key=challenge.key, best_trial_label=best.label,
+            criteria=criteria, achievement_points=round(achievement, 1),
+            exploration_points=round(exploration, 1), feedback=feedback)
+
+    def _feedback(self, session: LabSession, criteria: List[CriterionOutcome],
+                  distinct: int) -> List[str]:
+        feedback: List[str] = []
+        for outcome in criteria:
+            if outcome.satisfied:
+                feedback.append(f"met: {outcome.description} "
+                                f"(measured {self._fmt(outcome.value)})")
+            else:
+                feedback.append(f"NOT met: {outcome.description} "
+                                f"(measured {self._fmt(outcome.value)})")
+        if distinct < self.FULL_EXPLORATION_TRIALS:
+            feedback.append(
+                f"explore more of the design space: {distinct} distinct "
+                f"configuration(s) tried, {self.FULL_EXPLORATION_TRIALS} earn full "
+                f"exploration credit")
+        else:
+            feedback.append(f"good exploration: {distinct} distinct configurations tried")
+        failures = [record for record in session.trials if not record.succeeded]
+        if failures:
+            feedback.append(
+                f"{len(failures)} configuration(s) failed to execute — inspect their "
+                f"errors, they usually reveal a policy or quota constraint")
+        for point in session.challenge.learning_points:
+            feedback.append(f"takeaway: {point}")
+        return feedback
+
+    @staticmethod
+    def _fmt(value: Optional[float]) -> str:
+        return "n/a" if value is None else f"{value:.3f}"

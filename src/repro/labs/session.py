@@ -1,0 +1,178 @@
+"""Lab sessions: a trainee working on one challenge, trial by trial."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.campaign import CampaignRun
+from ..errors import SessionError
+from ..platform.api import BDAaaSPlatform
+from ..platform.auth import User
+from ..platform.workspace import Workspace
+from .challenge import Challenge
+from .comparison import ComparisonReport, RunComparator
+
+
+@dataclass
+class TrialRecord:
+    """One trial: the options the trainee picked and the resulting run."""
+
+    trial_id: int
+    label: str
+    selections: Dict[str, str]
+    run: Optional[CampaignRun]
+    error: str = ""
+    started_at: float = field(default_factory=time.time)
+
+    @property
+    def succeeded(self) -> bool:
+        """True when the campaign executed and produced a run."""
+        return self.run is not None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Serialisable view of the trial."""
+        return {"trial_id": self.trial_id, "label": self.label,
+                "selections": dict(self.selections), "succeeded": self.succeeded,
+                "error": self.error,
+                "run": self.run.as_dict() if self.run is not None else None}
+
+
+class LabSession:
+    """A trainee's interactive session on one challenge.
+
+    The session is the "trial and error" loop of the paper: the trainee picks
+    one option per design dimension, the platform compiles and executes the
+    resulting campaign under the free-limited quota, the outcome is recorded,
+    and at any point the trainee can compare any subset of their trials.
+    """
+
+    def __init__(self, platform: BDAaaSPlatform, user: User, challenge: Challenge,
+                 workspace: Optional[Workspace] = None):
+        self.platform = platform
+        self.user = user
+        self.challenge = challenge
+        self.workspace = workspace or platform.create_workspace(
+            user, f"labs-{challenge.key}-{user.user_id}")
+        self.trials: List[TrialRecord] = []
+        self.comparator = RunComparator()
+
+    # -- guidance ----------------------------------------------------------------------
+
+    def brief(self) -> str:
+        """The challenge brief and design space, as shown to the trainee."""
+        return self.challenge.describe()
+
+    def available_options(self) -> Dict[str, List[str]]:
+        """Option keys per design dimension."""
+        return {dimension.key: dimension.option_keys
+                for dimension in self.challenge.dimensions}
+
+    def remaining_budget(self) -> Optional[int]:
+        """Campaign executions left on the trainee's free-limited quota."""
+        return self.platform.users.remaining_jobs(self.user)
+
+    # -- the trial-and-error loop --------------------------------------------------------
+
+    def run_option(self, selections: Optional[Dict[str, str]] = None,
+                   label: Optional[str] = None) -> TrialRecord:
+        """Execute the campaign obtained by applying ``selections``.
+
+        Unselected dimensions use their default option.  Failures (quota
+        exhausted, policy violation, execution error) are captured in the
+        trial record rather than ending the session, because discovering a
+        failing configuration is a legitimate learning outcome.
+        """
+        selections = dict(selections or {})
+        spec = self.challenge.build_spec(selections)
+        label = label or self._label_of(selections)
+        trial = TrialRecord(trial_id=len(self.trials) + 1, label=label,
+                            selections=selections, run=None)
+        try:
+            job = self.platform.submit_campaign(self.user, self.workspace, spec,
+                                                option_label=label)
+            if job.run is None:
+                trial.error = job.error
+            else:
+                trial.run = job.run
+        except Exception as error:  # noqa: BLE001 - trainees see the message
+            trial.error = str(error)
+        self.trials.append(trial)
+        return trial
+
+    def run_all_options(self, dimension_key: str,
+                        fixed: Optional[Dict[str, str]] = None) -> List[TrialRecord]:
+        """Sweep every option of one dimension, keeping the others fixed."""
+        dimension = self.challenge.dimension(dimension_key)
+        fixed = dict(fixed or {})
+        records = []
+        for option in dimension.options:
+            selections = dict(fixed)
+            selections[dimension_key] = option.key
+            records.append(self.run_option(selections))
+        return records
+
+    def _label_of(self, selections: Dict[str, str]) -> str:
+        if not selections:
+            return "defaults"
+        parts = [f"{key}={selections[key]}" for key in sorted(selections)]
+        return ",".join(parts)
+
+    # -- history and comparison -----------------------------------------------------------
+
+    @property
+    def successful_trials(self) -> List[TrialRecord]:
+        """Trials whose campaign executed successfully."""
+        return [trial for trial in self.trials if trial.succeeded]
+
+    def trial(self, label: str) -> TrialRecord:
+        """Return the trial with a given label."""
+        for record in self.trials:
+            if record.label == label:
+                return record
+        raise SessionError(f"no trial labelled {label!r}; "
+                           f"known: {[record.label for record in self.trials]}")
+
+    def compare(self, labels: Optional[Sequence[str]] = None) -> ComparisonReport:
+        """Compare the selected trials (all successful ones by default)."""
+        if labels is None:
+            records = self.successful_trials
+        else:
+            records = [self.trial(label) for label in labels]
+            missing = [record.label for record in records if not record.succeeded]
+            if missing:
+                raise SessionError(f"trials {missing} did not produce a run to compare")
+        if len(records) < 2:
+            raise SessionError("comparison needs at least two successful trials")
+        return self.comparator.compare([record.run for record in records],
+                                       labels=[record.label for record in records])
+
+    def best_trial(self, metric_key: str = "",
+                   higher_is_better: bool = True) -> TrialRecord:
+        """The successful trial with the best indicator value (or best score)."""
+        candidates = self.successful_trials
+        if not candidates:
+            raise SessionError("no successful trial yet")
+        if not metric_key:
+            return max(candidates, key=lambda record: record.run.weighted_score)
+        valued = [record for record in candidates
+                  if record.run.indicator(metric_key) is not None]
+        if not valued:
+            raise SessionError(f"no trial reports the indicator {metric_key!r}")
+        chooser = max if higher_is_better else min
+        return chooser(valued, key=lambda record: record.run.indicator(metric_key))
+
+    def summary(self) -> Dict[str, Any]:
+        """Session statistics shown at the end of a training exercise."""
+        return {
+            "challenge": self.challenge.key,
+            "trials": len(self.trials),
+            "successful": len(self.successful_trials),
+            "distinct_configurations": len({tuple(sorted(record.selections.items()))
+                                            for record in self.trials}),
+            "remaining_budget": self.remaining_budget(),
+            "best_score": (max(record.run.weighted_score
+                               for record in self.successful_trials)
+                           if self.successful_trials else 0.0),
+        }

@@ -1,0 +1,31 @@
+"""BDAaaS platform layer: the multi-tenant facade in front of the core.
+
+The platform is what the paper calls the Platform-as-a-Service solution: user
+accounts with roles and free-limited (Labs) quotas, per-customer workspaces
+holding campaign specifications and run histories, a job manager tracking
+executions, provisioning of deployments onto (simulated) clusters, and the
+:class:`~repro.platform.api.BDAaaSPlatform` facade exposing the single
+``submit_goals → executed pipeline`` entry point of Section 2.
+"""
+
+from .auth import ROLE_ADMIN, ROLE_ANALYST, ROLE_TRAINEE, User, UserRegistry
+from .workspace import Workspace, WorkspaceManager
+from .jobs import Job, JobManager, JobStatus
+from .provisioning import ProvisionedCluster, Provisioner
+from .api import BDAaaSPlatform
+
+__all__ = [
+    "User",
+    "UserRegistry",
+    "ROLE_ADMIN",
+    "ROLE_ANALYST",
+    "ROLE_TRAINEE",
+    "Workspace",
+    "WorkspaceManager",
+    "Job",
+    "JobManager",
+    "JobStatus",
+    "Provisioner",
+    "ProvisionedCluster",
+    "BDAaaSPlatform",
+]

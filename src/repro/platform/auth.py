@@ -1,0 +1,141 @@
+"""Users, roles and the free-limited (Labs) tier.
+
+TOREADOR Labs "provide a free-limited access to TOREADOR" (Section 3 of the
+paper).  The user model therefore distinguishes three roles:
+
+* ``admin`` — operates the platform, no quotas;
+* ``analyst`` — a paying customer, no quotas;
+* ``trainee`` — a Labs user on the free-limited tier, subject to the quotas
+  of :class:`repro.config.PlatformConfig` (max campaign executions, max rows,
+  max cluster size).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import PlatformConfig
+from ..errors import AuthorizationError, QuotaExceededError
+
+ROLE_ADMIN = "admin"
+ROLE_ANALYST = "analyst"
+ROLE_TRAINEE = "trainee"
+
+VALID_ROLES = (ROLE_ADMIN, ROLE_ANALYST, ROLE_TRAINEE)
+
+#: Permission names used by the platform facade.
+PERMISSION_SUBMIT = "campaign.submit"
+PERMISSION_MANAGE_USERS = "users.manage"
+PERMISSION_VIEW_AUDIT = "audit.view"
+PERMISSION_PROVISION_LARGE = "clusters.provision_large"
+
+_ROLE_PERMISSIONS = {
+    ROLE_ADMIN: {PERMISSION_SUBMIT, PERMISSION_MANAGE_USERS, PERMISSION_VIEW_AUDIT,
+                 PERMISSION_PROVISION_LARGE},
+    ROLE_ANALYST: {PERMISSION_SUBMIT, PERMISSION_PROVISION_LARGE},
+    ROLE_TRAINEE: {PERMISSION_SUBMIT},
+}
+
+
+@dataclass
+class User:
+    """A platform account."""
+
+    user_id: str
+    name: str
+    role: str = ROLE_TRAINEE
+    organisation: str = ""
+    jobs_submitted: int = 0
+
+    def __post_init__(self) -> None:
+        if self.role not in VALID_ROLES:
+            raise AuthorizationError(f"unknown role {self.role!r}; valid: {VALID_ROLES}")
+
+    @property
+    def is_free_tier(self) -> bool:
+        """True for Labs trainees subject to the free-limited quotas."""
+        return self.role == ROLE_TRAINEE
+
+    def can(self, permission: str) -> bool:
+        """True when the user's role grants ``permission``."""
+        return permission in _ROLE_PERMISSIONS[self.role]
+
+    def require(self, permission: str) -> None:
+        """Raise :class:`AuthorizationError` unless the permission is granted."""
+        if not self.can(permission):
+            raise AuthorizationError(
+                f"user {self.name!r} (role {self.role}) lacks permission {permission!r}")
+
+
+class UserRegistry:
+    """In-memory account store with quota tracking."""
+
+    def __init__(self, config: Optional[PlatformConfig] = None):
+        self.config = config or PlatformConfig()
+        self._users: Dict[str, User] = {}
+        self._counter = itertools.count(1)
+
+    # -- account management ---------------------------------------------------------
+
+    def register(self, name: str, role: str = ROLE_TRAINEE,
+                 organisation: str = "") -> User:
+        """Create an account and return it."""
+        user = User(user_id=f"u{next(self._counter):05d}", name=name, role=role,
+                    organisation=organisation)
+        self._users[user.user_id] = user
+        return user
+
+    def get(self, user_id: str) -> User:
+        """Return the account with ``user_id``."""
+        if user_id not in self._users:
+            raise AuthorizationError(f"unknown user {user_id!r}")
+        return self._users[user_id]
+
+    def by_name(self, name: str) -> User:
+        """Return the first account whose name matches."""
+        for user in self._users.values():
+            if user.name == name:
+                return user
+        raise AuthorizationError(f"unknown user name {name!r}")
+
+    @property
+    def users(self) -> List[User]:
+        """Every registered account."""
+        return list(self._users.values())
+
+    # -- quota enforcement ------------------------------------------------------------
+
+    def check_job_quota(self, user: User) -> None:
+        """Raise when a free-tier user has exhausted their execution quota."""
+        if user.is_free_tier and user.jobs_submitted >= self.config.free_tier_max_jobs:
+            raise QuotaExceededError(
+                f"free-tier user {user.name!r} reached the quota of "
+                f"{self.config.free_tier_max_jobs} campaign executions")
+
+    def check_data_quota(self, user: User, num_records: int) -> None:
+        """Raise when a free-tier user asks for more rows than allowed."""
+        if user.is_free_tier and num_records > self.config.free_tier_max_rows:
+            raise QuotaExceededError(
+                f"free-tier user {user.name!r} may process at most "
+                f"{self.config.free_tier_max_rows} records per campaign "
+                f"(asked for {num_records})")
+
+    def check_cluster_quota(self, user: User, num_workers: int) -> None:
+        """Raise when a free-tier user asks for a cluster that is too large."""
+        if user.is_free_tier and num_workers > self.config.free_tier_max_workers:
+            raise QuotaExceededError(
+                f"free-tier user {user.name!r} may provision at most "
+                f"{self.config.free_tier_max_workers} workers "
+                f"(asked for {num_workers})")
+
+    def record_job(self, user: User) -> None:
+        """Count one campaign execution against the user's quota."""
+        user.jobs_submitted += 1
+
+    def remaining_jobs(self, user: User) -> Optional[int]:
+        """Executions left on the free tier, ``None`` for unlimited accounts."""
+        if not user.is_free_tier:
+            return None
+        return max(0, self.config.free_tier_max_jobs - user.jobs_submitted)

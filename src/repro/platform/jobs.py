@@ -1,0 +1,169 @@
+"""Job management: tracking campaign executions on the platform.
+
+Every submitted campaign becomes a :class:`Job` with a lifecycle
+(``pending → running → succeeded | failed | cancelled``); the
+:class:`JobManager` keeps the queue and the terminal records, enforces
+ordering, and provides the aggregate statistics the multi-tenancy experiment
+(E8) reports.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import JobError
+
+
+class JobStatus:
+    """Symbolic job states."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    TERMINAL = (SUCCEEDED, FAILED, CANCELLED)
+
+
+@dataclass
+class Job:
+    """One campaign execution tracked by the platform."""
+
+    job_id: str
+    campaign_name: str
+    owner_id: str
+    workspace_id: str
+    status: str = JobStatus.PENDING
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    run: Any = None
+    error: str = ""
+    option_label: str = "default"
+
+    @property
+    def is_terminal(self) -> bool:
+        """True once the job reached a terminal state."""
+        return self.status in JobStatus.TERMINAL
+
+    @property
+    def queue_time_s(self) -> float:
+        """Time spent waiting before execution started."""
+        if self.started_at is None:
+            return 0.0
+        return max(0.0, self.started_at - self.submitted_at)
+
+    @property
+    def run_time_s(self) -> float:
+        """Execution time (0 until the job finishes)."""
+        if self.started_at is None or self.finished_at is None:
+            return 0.0
+        return max(0.0, self.finished_at - self.started_at)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Serialisable view of the job."""
+        return {
+            "job_id": self.job_id,
+            "campaign": self.campaign_name,
+            "owner": self.owner_id,
+            "workspace": self.workspace_id,
+            "status": self.status,
+            "option_label": self.option_label,
+            "queue_time_s": self.queue_time_s,
+            "run_time_s": self.run_time_s,
+            "error": self.error,
+        }
+
+
+class JobManager:
+    """FIFO job tracker for the platform facade."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, Job] = {}
+        self._counter = itertools.count(1)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def submit(self, campaign_name: str, owner_id: str, workspace_id: str,
+               option_label: str = "default") -> Job:
+        """Create a pending job."""
+        job = Job(job_id=f"job-{next(self._counter):06d}",
+                  campaign_name=campaign_name, owner_id=owner_id,
+                  workspace_id=workspace_id, option_label=option_label)
+        self._jobs[job.job_id] = job
+        return job
+
+    def mark_running(self, job_id: str) -> Job:
+        """Transition a pending job to running."""
+        job = self.get(job_id)
+        if job.status != JobStatus.PENDING:
+            raise JobError(f"job {job_id} cannot start from state {job.status!r}")
+        job.status = JobStatus.RUNNING
+        job.started_at = time.time()
+        return job
+
+    def mark_succeeded(self, job_id: str, run: Any) -> Job:
+        """Record a successful execution and its campaign run."""
+        job = self.get(job_id)
+        if job.status != JobStatus.RUNNING:
+            raise JobError(f"job {job_id} cannot succeed from state {job.status!r}")
+        job.status = JobStatus.SUCCEEDED
+        job.finished_at = time.time()
+        job.run = run
+        return job
+
+    def mark_failed(self, job_id: str, error: str) -> Job:
+        """Record a failed execution."""
+        job = self.get(job_id)
+        if job.is_terminal:
+            raise JobError(f"job {job_id} is already terminal ({job.status!r})")
+        job.status = JobStatus.FAILED
+        job.finished_at = time.time()
+        job.error = error
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job that has not finished yet."""
+        job = self.get(job_id)
+        if job.is_terminal:
+            raise JobError(f"job {job_id} is already terminal ({job.status!r})")
+        job.status = JobStatus.CANCELLED
+        job.finished_at = time.time()
+        return job
+
+    # -- queries ------------------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        """Return the job with ``job_id``."""
+        if job_id not in self._jobs:
+            raise JobError(f"unknown job {job_id!r}")
+        return self._jobs[job_id]
+
+    def jobs(self, owner_id: Optional[str] = None,
+             status: Optional[str] = None) -> List[Job]:
+        """Jobs filtered by owner and/or status, in submission order."""
+        selected = list(self._jobs.values())
+        if owner_id is not None:
+            selected = [job for job in selected if job.owner_id == owner_id]
+        if status is not None:
+            selected = [job for job in selected if job.status == status]
+        return selected
+
+    def statistics(self) -> Dict[str, float]:
+        """Aggregate job statistics (throughput / fairness reporting)."""
+        jobs = list(self._jobs.values())
+        finished = [job for job in jobs if job.status == JobStatus.SUCCEEDED]
+        failed = [job for job in jobs if job.status == JobStatus.FAILED]
+        return {
+            "submitted": float(len(jobs)),
+            "succeeded": float(len(finished)),
+            "failed": float(len(failed)),
+            "mean_queue_time_s": (sum(job.queue_time_s for job in finished)
+                                  / len(finished)) if finished else 0.0,
+            "mean_run_time_s": (sum(job.run_time_s for job in finished)
+                                / len(finished)) if finished else 0.0,
+        }

@@ -1,0 +1,103 @@
+"""Provisioning of deployments onto (simulated) clusters.
+
+In production TOREADOR this step talks to a cloud orchestrator; here it binds
+a deployment model to a cluster profile of the simulator, applies the
+free-tier restrictions, and returns a handle carrying the engine
+configuration actually used for the run plus the cost estimate basis.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import EngineConfig
+from ..engine.simulator import BUILTIN_PROFILES, ClusterProfile, DeploymentSimulator
+from ..errors import ProvisioningError
+from ..core.deployment import DeploymentModel
+
+
+@dataclass
+class ProvisionedCluster:
+    """A cluster slot the platform allocated for one campaign execution."""
+
+    cluster_id: str
+    profile: ClusterProfile
+    engine_config: EngineConfig
+    region: str
+    provisioned_at: float = field(default_factory=time.time)
+    released_at: Optional[float] = None
+
+    @property
+    def is_active(self) -> bool:
+        """True until :meth:`Provisioner.release` is called."""
+        return self.released_at is None
+
+    @property
+    def uptime_s(self) -> float:
+        """How long the cluster has been (or was) held."""
+        end = self.released_at if self.released_at is not None else time.time()
+        return max(0.0, end - self.provisioned_at)
+
+
+class Provisioner:
+    """Allocates simulated clusters for deployment models."""
+
+    def __init__(self, simulator: Optional[DeploymentSimulator] = None):
+        self.simulator = simulator or DeploymentSimulator()
+        self._counter = itertools.count(1)
+        self._active: Dict[str, ProvisionedCluster] = {}
+        self._released: List[ProvisionedCluster] = []
+
+    def provision(self, deployment: DeploymentModel,
+                  max_workers: Optional[int] = None) -> ProvisionedCluster:
+        """Allocate a cluster for ``deployment``.
+
+        ``max_workers`` (the free-tier restriction) caps the engine worker
+        count; the declared cluster profile is kept for cost estimation but a
+        profile larger than the cap is rejected for free-tier users.
+        """
+        profile = deployment.cluster_profile
+        engine_config = deployment.engine_config
+        if max_workers is not None:
+            if profile.num_workers > max_workers and profile.name != "local":
+                raise ProvisioningError(
+                    f"cluster profile {profile.name!r} ({profile.num_workers} workers) "
+                    f"exceeds the allowed maximum of {max_workers} workers")
+            if engine_config.num_workers > max_workers:
+                engine_config = engine_config.with_overrides(num_workers=max_workers)
+        cluster = ProvisionedCluster(
+            cluster_id=f"cluster-{next(self._counter):05d}",
+            profile=profile, engine_config=engine_config,
+            region=deployment.region)
+        self._active[cluster.cluster_id] = cluster
+        return cluster
+
+    def release(self, cluster: ProvisionedCluster) -> None:
+        """Give the cluster back."""
+        if cluster.cluster_id not in self._active:
+            raise ProvisioningError(f"cluster {cluster.cluster_id!r} is not active")
+        cluster.released_at = time.time()
+        self._released.append(self._active.pop(cluster.cluster_id))
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def active_clusters(self) -> List[ProvisionedCluster]:
+        """Clusters currently held."""
+        return list(self._active.values())
+
+    @property
+    def released_clusters(self) -> List[ProvisionedCluster]:
+        """Clusters already released (the history)."""
+        return list(self._released)
+
+    def available_profiles(self, max_workers: Optional[int] = None) -> List[str]:
+        """Names of the profiles an account may use."""
+        profiles = self.simulator.profiles
+        if max_workers is None:
+            return sorted(profiles)
+        return sorted(name for name, profile in profiles.items()
+                      if profile.num_workers <= max_workers or name == "local")

@@ -1,0 +1,102 @@
+"""Workspaces: per-customer containers of specifications and run history.
+
+A workspace is where a customer (or a Labs trainee) keeps their campaign
+specifications and the record of every execution.  Keeping the run history in
+the workspace is what makes the Labs "compare different runs of a composite
+BDA" possible.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import WorkspaceError
+
+
+@dataclass
+class Workspace:
+    """One customer workspace."""
+
+    workspace_id: str
+    name: str
+    owner_id: str
+    created_at: float = field(default_factory=time.time)
+    specs: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    runs: List[Any] = field(default_factory=list)
+    tags: Dict[str, str] = field(default_factory=dict)
+
+    # -- specifications ---------------------------------------------------------------
+
+    def save_spec(self, name: str, spec: Dict[str, Any]) -> None:
+        """Store (or overwrite) a named campaign specification."""
+        self.specs[name] = dict(spec)
+
+    def get_spec(self, name: str) -> Dict[str, Any]:
+        """Return a stored specification."""
+        if name not in self.specs:
+            raise WorkspaceError(
+                f"workspace {self.name!r} has no specification {name!r}")
+        return dict(self.specs[name])
+
+    def list_specs(self) -> List[str]:
+        """Names of every stored specification."""
+        return sorted(self.specs)
+
+    # -- run history ------------------------------------------------------------------
+
+    def record_run(self, run: Any) -> None:
+        """Append a campaign run to the workspace history."""
+        self.runs.append(run)
+
+    def run_history(self, campaign_name: Optional[str] = None) -> List[Any]:
+        """Runs in chronological order, optionally filtered by campaign."""
+        if campaign_name is None:
+            return list(self.runs)
+        return [run for run in self.runs if run.campaign_name == campaign_name]
+
+    def latest_run(self, campaign_name: Optional[str] = None) -> Optional[Any]:
+        """Most recent run, if any."""
+        history = self.run_history(campaign_name)
+        return history[-1] if history else None
+
+
+class WorkspaceManager:
+    """Creates and looks up workspaces."""
+
+    def __init__(self) -> None:
+        self._workspaces: Dict[str, Workspace] = {}
+        self._counter = itertools.count(1)
+
+    def create(self, name: str, owner_id: str) -> Workspace:
+        """Create a workspace; names must be unique per owner."""
+        for workspace in self._workspaces.values():
+            if workspace.name == name and workspace.owner_id == owner_id:
+                raise WorkspaceError(
+                    f"owner {owner_id!r} already has a workspace called {name!r}")
+        workspace = Workspace(workspace_id=f"w{next(self._counter):05d}",
+                              name=name, owner_id=owner_id)
+        self._workspaces[workspace.workspace_id] = workspace
+        return workspace
+
+    def get(self, workspace_id: str) -> Workspace:
+        """Return the workspace with ``workspace_id``."""
+        if workspace_id not in self._workspaces:
+            raise WorkspaceError(f"unknown workspace {workspace_id!r}")
+        return self._workspaces[workspace_id]
+
+    def for_owner(self, owner_id: str) -> List[Workspace]:
+        """Every workspace owned by ``owner_id``."""
+        return [workspace for workspace in self._workspaces.values()
+                if workspace.owner_id == owner_id]
+
+    def delete(self, workspace_id: str) -> None:
+        """Remove a workspace and its history."""
+        if workspace_id not in self._workspaces:
+            raise WorkspaceError(f"unknown workspace {workspace_id!r}")
+        del self._workspaces[workspace_id]
+
+    def __len__(self) -> int:
+        return len(self._workspaces)

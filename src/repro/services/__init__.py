@@ -1,0 +1,54 @@
+"""Service library of the BDAaaS platform.
+
+Services are the executable building blocks the model-driven compiler composes
+into pipelines.  Each service declares *metadata* (area, capabilities, cost,
+privacy properties, parameters) used for matching against declarative goals,
+and an ``execute`` method that runs on the dataflow engine.
+
+The library is organised by TOREADOR service area:
+
+* :mod:`repro.services.ingestion` — getting data into the platform;
+* :mod:`repro.services.preparation` — cleaning, encoding, splitting, protecting;
+* :mod:`repro.services.analytics` — the model-building / pattern-finding tasks;
+* :mod:`repro.services.display` — turning results into reports and exports.
+"""
+
+from .base import (AREA_ANALYTICS, AREA_DISPLAY, AREA_INGESTION, AREA_PREPARATION,
+                   AREA_PROCESSING, Service, ServiceContext, ServiceMetadata,
+                   ServiceParameter, ServiceResult)
+from .ingestion import (CSVIngestionService, GeneratorIngestionService,
+                        InMemoryIngestionService, SourceIngestionService)
+from .preparation import (CategoricalEncodingService, DeduplicationService,
+                          FieldProjectionService, FilterService,
+                          MissingValueImputationService, NormalizationService,
+                          TrainTestSplitService)
+from .display import (ChartDataService, DashboardService, ReportService,
+                      TableExportService)
+
+__all__ = [
+    "Service",
+    "ServiceContext",
+    "ServiceMetadata",
+    "ServiceParameter",
+    "ServiceResult",
+    "AREA_INGESTION",
+    "AREA_PREPARATION",
+    "AREA_ANALYTICS",
+    "AREA_PROCESSING",
+    "AREA_DISPLAY",
+    "SourceIngestionService",
+    "GeneratorIngestionService",
+    "InMemoryIngestionService",
+    "CSVIngestionService",
+    "FieldProjectionService",
+    "FilterService",
+    "MissingValueImputationService",
+    "NormalizationService",
+    "CategoricalEncodingService",
+    "TrainTestSplitService",
+    "DeduplicationService",
+    "ReportService",
+    "TableExportService",
+    "ChartDataService",
+    "DashboardService",
+]

@@ -1,0 +1,37 @@
+"""Analytics services: the model-building and pattern-finding catalogue.
+
+This is the part of the service library a declarative *analytics goal* is
+matched against.  Several services usually satisfy the same task capability
+(e.g. ``task:classification`` is provided by logistic regression, a decision
+tree, naive Bayes and a majority baseline); which one the compiler picks
+depends on the declared objectives (accuracy vs. interpretability vs. cost),
+and trying the alternatives is precisely the Labs "trial and error" exercise.
+"""
+
+from .base import AnalyticsService, evaluate_binary_classification, train_test_split_records
+from .classification import (DecisionTreeService, LogisticRegressionService,
+                             MajorityClassService, NaiveBayesService)
+from .clustering import KMeansService
+from .regression import LinearRegressionService
+from .association import AssociationRulesService
+from .anomaly import IQRAnomalyService, ZScoreAnomalyService
+from .descriptive import (DescriptiveStatsService, GroupAggregationService,
+                          TopKService)
+
+__all__ = [
+    "AnalyticsService",
+    "evaluate_binary_classification",
+    "train_test_split_records",
+    "LogisticRegressionService",
+    "DecisionTreeService",
+    "NaiveBayesService",
+    "MajorityClassService",
+    "KMeansService",
+    "LinearRegressionService",
+    "AssociationRulesService",
+    "ZScoreAnomalyService",
+    "IQRAnomalyService",
+    "DescriptiveStatsService",
+    "GroupAggregationService",
+    "TopKService",
+]

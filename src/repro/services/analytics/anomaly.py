@@ -1,0 +1,172 @@
+"""Anomaly-detection services for the smart-meter / log scenarios.
+
+Both detectors are single-pass transformations over the data, which makes them
+usable inside the micro-batch streaming pipelines (E10) as well as in batch
+campaigns.  When the records carry a ground-truth label field the services
+also report precision/recall against it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from ...errors import ServiceConfigurationError, ServiceExecutionError
+from ..base import (AREA_ANALYTICS, ServiceContext, ServiceMetadata, ServiceParameter,
+                    ServiceResult)
+from .base import AnalyticsService, evaluate_binary_classification
+
+Record = Dict[str, Any]
+
+
+class _AnomalyService(AnalyticsService):
+    """Shared skeleton: compute thresholds, flag records, evaluate."""
+
+    flag_field = "is_flagged"
+
+    def _thresholds(self, dataset, value_field: str, group_field: Optional[str]) -> Dict[Any, tuple]:
+        raise NotImplementedError
+
+    def _is_anomalous(self, value: float, thresholds: tuple) -> bool:
+        raise NotImplementedError
+
+    def execute(self, context: ServiceContext) -> ServiceResult:
+        value_field = self.params["value_field"]
+        group_field = self.params["group_field"]
+        label_field = self.params["label_field"]
+        dataset = context.require_dataset().cache()
+        total = dataset.count()
+        if total == 0:
+            raise ServiceExecutionError("anomaly detection received an empty dataset")
+
+        started = time.perf_counter()
+        thresholds = self._thresholds(dataset, value_field, group_field)
+        service = self
+
+        def flag(record: Record) -> Record:
+            group = record.get(group_field) if group_field else None
+            group_thresholds = thresholds.get(group) or thresholds.get(None)
+            value = float(record.get(value_field) or 0.0)
+            flagged = (service._is_anomalous(value, group_thresholds)
+                       if group_thresholds else False)
+            return {**record, service.flag_field: int(flagged)}
+
+        flagged_dataset = dataset.map(flag).cache()
+        num_flagged = flagged_dataset.filter(
+            lambda record: record[service.flag_field] == 1).count()
+        detection_time = time.perf_counter() - started
+
+        metrics: Dict[str, float] = {
+            "records_scanned": float(total),
+            "anomalies_flagged": float(num_flagged),
+            "anomaly_rate": num_flagged / total,
+            "training_time_s": detection_time,
+        }
+        if label_field:
+            labelled = flagged_dataset.map(
+                lambda record: (int(record.get(label_field) or 0),
+                                int(record[service.flag_field]))).collect()
+            actual = [pair[0] for pair in labelled]
+            predicted = [pair[1] for pair in labelled]
+            metrics.update(evaluate_binary_classification(actual, predicted))
+        return ServiceResult(dataset=flagged_dataset, schema=None,
+                             artifacts={"thresholds": {str(key): value
+                                                       for key, value in thresholds.items()}},
+                             metrics=metrics)
+
+
+class ZScoreAnomalyService(_AnomalyService):
+    """Flag records whose value deviates more than ``z_threshold`` sigmas."""
+
+    metadata = ServiceMetadata(
+        name="detect_anomalies_zscore",
+        area=AREA_ANALYTICS,
+        capabilities=("task:anomaly_detection", "model:zscore"),
+        parameters=(
+            ServiceParameter("value_field", "str", required=True),
+            ServiceParameter("group_field", "str", default=None,
+                             description="Optional field to compute per-group statistics"),
+            ServiceParameter("label_field", "str", default=None,
+                             description="Optional ground-truth 0/1 anomaly label"),
+            ServiceParameter("z_threshold", "float", default=3.0),
+        ),
+        relative_cost=2.0,
+        supports_streaming=True,
+        description="Z-score anomaly detector",
+    )
+
+    def _thresholds(self, dataset, value_field, group_field):
+        z_threshold = self.params["z_threshold"]
+        if group_field:
+            grouped = (dataset
+                       .map(lambda record: (record.get(group_field),
+                                            float(record.get(value_field) or 0.0)))
+                       .aggregate_by_key((0, 0.0, 0.0),
+                                         lambda acc, value: (acc[0] + 1, acc[1] + value,
+                                                             acc[2] + value * value),
+                                         lambda left, right: (left[0] + right[0],
+                                                              left[1] + right[1],
+                                                              left[2] + right[2]))
+                       .collect())
+            thresholds = {}
+            for group, (count, total, total_sq) in grouped:
+                mean = total / count
+                variance = max(0.0, total_sq / count - mean * mean)
+                thresholds[group] = (mean, variance ** 0.5, z_threshold)
+            return thresholds
+        stats = dataset.map(lambda record: float(record.get(value_field) or 0.0)).stats()
+        return {None: (stats["mean"], stats["stdev"], z_threshold)}
+
+    def _is_anomalous(self, value, thresholds):
+        mean, stdev, z_threshold = thresholds
+        if stdev == 0:
+            return False
+        return abs(value - mean) / stdev > z_threshold
+
+
+class IQRAnomalyService(_AnomalyService):
+    """Flag records outside ``[q1 - k*iqr, q3 + k*iqr]``."""
+
+    metadata = ServiceMetadata(
+        name="detect_anomalies_iqr",
+        area=AREA_ANALYTICS,
+        capabilities=("task:anomaly_detection", "model:iqr"),
+        parameters=(
+            ServiceParameter("value_field", "str", required=True),
+            ServiceParameter("group_field", "str", default=None),
+            ServiceParameter("label_field", "str", default=None),
+            ServiceParameter("iqr_multiplier", "float", default=1.5),
+        ),
+        relative_cost=2.5,
+        supports_streaming=True,
+        description="Inter-quartile-range anomaly detector",
+    )
+
+    def _quartiles(self, values: List[float]) -> tuple:
+        ordered = sorted(values)
+        if not ordered:
+            return (0.0, 0.0)
+        q1 = ordered[int(0.25 * (len(ordered) - 1))]
+        q3 = ordered[int(0.75 * (len(ordered) - 1))]
+        return (q1, q3)
+
+    def _thresholds(self, dataset, value_field, group_field):
+        multiplier = self.params["iqr_multiplier"]
+        if group_field:
+            grouped = (dataset
+                       .map(lambda record: (record.get(group_field),
+                                            float(record.get(value_field) or 0.0)))
+                       .group_by_key().collect())
+            thresholds = {}
+            for group, values in grouped:
+                q1, q3 = self._quartiles(list(values))
+                thresholds[group] = (q1, q3, multiplier)
+            return thresholds
+        values = dataset.map(lambda record: float(record.get(value_field) or 0.0)).collect()
+        q1, q3 = self._quartiles(values)
+        return {None: (q1, q3, multiplier)}
+
+    def _is_anomalous(self, value, thresholds):
+        q1, q3, multiplier = thresholds
+        iqr = q3 - q1
+        return value < q1 - multiplier * iqr or value > q3 + multiplier * iqr

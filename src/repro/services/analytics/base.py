@@ -1,0 +1,105 @@
+"""Shared helpers for analytics services: splits and evaluation metrics."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ...errors import ServiceExecutionError
+from ..base import AREA_ANALYTICS, Service
+
+Record = Dict[str, Any]
+
+#: Field added by the train/test preparation service.
+SPLIT_FIELD = "__split__"
+
+
+class AnalyticsService(Service):
+    """Base class adding helpers common to every analytics service."""
+
+    area_default = AREA_ANALYTICS
+
+    @staticmethod
+    def collect_records(dataset, limit: int = 200_000) -> List[Record]:
+        """Materialise the dataset for model fitting, bounding memory use."""
+        records = dataset.take(limit + 1)
+        if len(records) > limit:
+            raise ServiceExecutionError(
+                f"analytics services materialise at most {limit} records; "
+                "add a sampling or filtering preparation step")
+        return records
+
+
+def train_test_split_records(records: Sequence[Record], test_fraction: float,
+                             seed: int) -> Tuple[List[Record], List[Record]]:
+    """Split records into train/test sets.
+
+    Records already tagged by the preparation split service (field
+    ``__split__``) keep their tag; otherwise a deterministic pseudo-random
+    assignment based on ``seed`` is used.
+    """
+    train: List[Record] = []
+    test: List[Record] = []
+    rng = random.Random(seed)
+    for record in records:
+        tag = record.get(SPLIT_FIELD)
+        if tag is None:
+            tag = "test" if rng.random() < test_fraction else "train"
+        (test if tag == "test" else train).append(record)
+    if not train or not test:
+        # degenerate split: fall back to an 70/30 cut preserving order
+        cut = max(1, int(len(records) * (1 - test_fraction)))
+        train, test = list(records[:cut]), list(records[cut:]) or list(records[:1])
+    return train, test
+
+
+def evaluate_binary_classification(actual: Sequence[int],
+                                   predicted: Sequence[int]) -> Dict[str, float]:
+    """Accuracy, precision, recall and F1 for binary labels (positive = 1)."""
+    if len(actual) != len(predicted):
+        raise ServiceExecutionError("actual and predicted lengths differ")
+    if not actual:
+        return {"accuracy": 0.0, "precision": 0.0, "recall": 0.0, "f1": 0.0,
+                "positives": 0.0, "negatives": 0.0}
+    true_positive = false_positive = true_negative = false_negative = 0
+    for truth, guess in zip(actual, predicted):
+        if truth == 1 and guess == 1:
+            true_positive += 1
+        elif truth == 0 and guess == 1:
+            false_positive += 1
+        elif truth == 0 and guess == 0:
+            true_negative += 1
+        else:
+            false_negative += 1
+    total = len(actual)
+    accuracy = (true_positive + true_negative) / total
+    precision = (true_positive / (true_positive + false_positive)
+                 if true_positive + false_positive else 0.0)
+    recall = (true_positive / (true_positive + false_negative)
+              if true_positive + false_negative else 0.0)
+    f1 = (2 * precision * recall / (precision + recall)
+          if precision + recall else 0.0)
+    return {
+        "accuracy": accuracy,
+        "precision": precision,
+        "recall": recall,
+        "f1": f1,
+        "positives": float(sum(1 for value in actual if value == 1)),
+        "negatives": float(sum(1 for value in actual if value == 0)),
+    }
+
+
+def evaluate_regression(actual: Sequence[float],
+                        predicted: Sequence[float]) -> Dict[str, float]:
+    """RMSE, MAE and R^2 for numeric predictions."""
+    if len(actual) != len(predicted) or not actual:
+        raise ServiceExecutionError("regression evaluation needs matching non-empty vectors")
+    n = len(actual)
+    errors = [a - p for a, p in zip(actual, predicted)]
+    mse = sum(e * e for e in errors) / n
+    mae = sum(abs(e) for e in errors) / n
+    mean_actual = sum(actual) / n
+    ss_total = sum((a - mean_actual) ** 2 for a in actual)
+    ss_residual = sum(e * e for e in errors)
+    r2 = 1.0 - ss_residual / ss_total if ss_total else 0.0
+    return {"rmse": float(mse ** 0.5), "mae": float(mae), "r2": float(r2)}

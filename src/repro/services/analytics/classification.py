@@ -1,0 +1,328 @@
+"""Classification services.
+
+Four alternative implementations of the ``task:classification`` capability.
+They trade off accuracy, interpretability and cost differently, which is what
+the churn Labs challenge asks trainees to explore:
+
+* :class:`LogisticRegressionService` — usually the most accurate on the
+  synthetic churn data (whose ground truth is logistic), moderate cost,
+  coefficients are interpretable;
+* :class:`DecisionTreeService` — interpretable rules, good accuracy, higher
+  training cost at depth;
+* :class:`NaiveBayesService` — very cheap, slightly lower accuracy;
+* :class:`MajorityClassService` — the sanity baseline every comparison needs.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...errors import ServiceConfigurationError, ServiceExecutionError
+from ..base import (AREA_ANALYTICS, ServiceContext, ServiceMetadata, ServiceParameter,
+                    ServiceResult, records_to_vectors)
+from .base import (AnalyticsService, evaluate_binary_classification,
+                   train_test_split_records)
+
+Record = Dict[str, Any]
+
+
+def _common_parameters() -> Tuple[ServiceParameter, ...]:
+    return (
+        ServiceParameter("label", "str", required=True,
+                         description="Field holding the 0/1 class label"),
+        ServiceParameter("features", "list", required=True,
+                         description="Numeric feature fields"),
+        ServiceParameter("categorical_features", "list", default=None,
+                         description="Categorical feature fields (one-hot encoded)"),
+        ServiceParameter("test_fraction", "float", default=0.3),
+        ServiceParameter("seed", "int", default=13),
+    )
+
+
+class _ClassificationService(AnalyticsService):
+    """Shared execute() skeleton: split, fit, predict, evaluate."""
+
+    def _fit(self, vectors: np.ndarray, labels: np.ndarray,
+             columns: List[str]) -> Any:
+        raise NotImplementedError
+
+    def _predict(self, model: Any, vectors: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _model_artifacts(self, model: Any, columns: List[str]) -> Dict[str, Any]:
+        return {}
+
+    def execute(self, context: ServiceContext) -> ServiceResult:
+        label = self.params["label"]
+        features = self.params["features"]
+        categorical = self.params["categorical_features"] or []
+        records = self.collect_records(context.require_dataset())
+        if not records:
+            raise ServiceExecutionError("classification received an empty dataset")
+        missing = [f for f in [label, *features, *categorical]
+                   if f not in records[0]]
+        if missing:
+            raise ServiceConfigurationError(
+                f"classification fields {missing} are absent from the records; "
+                f"available: {sorted(records[0])}")
+        train, test = train_test_split_records(records, self.params["test_fraction"],
+                                               self.params["seed"])
+        all_vectors, columns = records_to_vectors(train + test, features, categorical)
+        train_vectors = np.asarray(all_vectors[:len(train)], dtype=float)
+        test_vectors = np.asarray(all_vectors[len(train):], dtype=float)
+        train_labels = np.asarray([int(record[label]) for record in train])
+        test_labels = [int(record[label]) for record in test]
+
+        started = time.perf_counter()
+        model = self._fit(train_vectors, train_labels, columns)
+        training_time = time.perf_counter() - started
+        predictions = [int(value) for value in self._predict(model, test_vectors)]
+
+        metrics = evaluate_binary_classification(test_labels, predictions)
+        metrics["training_time_s"] = training_time
+        metrics["train_records"] = float(len(train))
+        metrics["test_records"] = float(len(test))
+        artifacts = {"model_type": self.metadata.name,
+                     "feature_columns": columns}
+        artifacts.update(self._model_artifacts(model, columns))
+        predictions_dataset = context.engine.parallelize(
+            [{"actual": actual, "predicted": predicted}
+             for actual, predicted in zip(test_labels, predictions)])
+        return ServiceResult(dataset=context.dataset, schema=context.schema,
+                             artifacts={**artifacts,
+                                        "predictions": predictions_dataset},
+                             metrics=metrics)
+
+
+class LogisticRegressionService(_ClassificationService):
+    """Binary logistic regression trained with batch gradient descent."""
+
+    metadata = ServiceMetadata(
+        name="classify_logistic_regression",
+        area=AREA_ANALYTICS,
+        capabilities=("task:classification", "model:logistic_regression",
+                      "output:probabilities"),
+        parameters=_common_parameters() + (
+            ServiceParameter("learning_rate", "float", default=0.1),
+            ServiceParameter("epochs", "int", default=150),
+            ServiceParameter("l2", "float", default=0.001,
+                             description="L2 regularisation strength"),
+        ),
+        relative_cost=3.0,
+        interpretable=True,
+        description="Logistic regression classifier (gradient descent)",
+    )
+
+    def _fit(self, vectors: np.ndarray, labels: np.ndarray, columns: List[str]):
+        if vectors.size == 0:
+            raise ServiceExecutionError("logistic regression needs at least one feature")
+        # standardise for stable gradients
+        mean = vectors.mean(axis=0)
+        std = vectors.std(axis=0)
+        std[std == 0.0] = 1.0
+        scaled = (vectors - mean) / std
+        scaled = np.hstack([np.ones((scaled.shape[0], 1)), scaled])
+        weights = np.zeros(scaled.shape[1])
+        rate = self.params["learning_rate"]
+        l2 = self.params["l2"]
+        for _ in range(self.params["epochs"]):
+            logits = scaled @ weights
+            probabilities = 1.0 / (1.0 + np.exp(-np.clip(logits, -30, 30)))
+            gradient = scaled.T @ (probabilities - labels) / len(labels) + l2 * weights
+            weights -= rate * gradient
+        return {"weights": weights, "mean": mean, "std": std}
+
+    def _predict(self, model, vectors: np.ndarray) -> np.ndarray:
+        if vectors.size == 0:
+            return np.zeros(0, dtype=int)
+        scaled = (vectors - model["mean"]) / model["std"]
+        scaled = np.hstack([np.ones((scaled.shape[0], 1)), scaled])
+        logits = scaled @ model["weights"]
+        return (logits >= 0.0).astype(int)
+
+    def _model_artifacts(self, model, columns: List[str]) -> Dict[str, Any]:
+        weights = model["weights"]
+        return {"intercept": float(weights[0]),
+                "coefficients": {column: float(weight)
+                                 for column, weight in zip(columns, weights[1:])}}
+
+
+class NaiveBayesService(_ClassificationService):
+    """Gaussian naive Bayes classifier."""
+
+    metadata = ServiceMetadata(
+        name="classify_naive_bayes",
+        area=AREA_ANALYTICS,
+        capabilities=("task:classification", "model:naive_bayes"),
+        parameters=_common_parameters(),
+        relative_cost=1.5,
+        interpretable=True,
+        description="Gaussian naive Bayes classifier",
+    )
+
+    def _fit(self, vectors: np.ndarray, labels: np.ndarray, columns: List[str]):
+        model = {}
+        for cls in (0, 1):
+            mask = labels == cls
+            subset = vectors[mask]
+            if len(subset) == 0:
+                subset = vectors
+            model[cls] = {
+                "prior": max(1e-9, mask.mean()),
+                "mean": subset.mean(axis=0),
+                "var": subset.var(axis=0) + 1e-6,
+            }
+        return model
+
+    def _predict(self, model, vectors: np.ndarray) -> np.ndarray:
+        if vectors.size == 0:
+            return np.zeros(0, dtype=int)
+        scores = []
+        for cls in (0, 1):
+            stats = model[cls]
+            log_likelihood = -0.5 * (np.log(2 * math.pi * stats["var"])
+                                     + (vectors - stats["mean"]) ** 2 / stats["var"])
+            scores.append(log_likelihood.sum(axis=1) + math.log(stats["prior"]))
+        return (scores[1] > scores[0]).astype(int)
+
+
+class MajorityClassService(_ClassificationService):
+    """Baseline that always predicts the most frequent training class."""
+
+    metadata = ServiceMetadata(
+        name="classify_majority_baseline",
+        area=AREA_ANALYTICS,
+        capabilities=("task:classification", "model:baseline"),
+        parameters=_common_parameters(),
+        relative_cost=0.5,
+        interpretable=True,
+        description="Majority-class baseline classifier",
+    )
+
+    def _fit(self, vectors: np.ndarray, labels: np.ndarray, columns: List[str]):
+        return {"majority": int(round(labels.mean())) if len(labels) else 0}
+
+    def _predict(self, model, vectors: np.ndarray) -> np.ndarray:
+        return np.full(len(vectors), model["majority"], dtype=int)
+
+    def _model_artifacts(self, model, columns: List[str]) -> Dict[str, Any]:
+        return {"majority_class": model["majority"]}
+
+
+class _TreeNode:
+    """Internal node of the CART decision tree."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "prediction")
+
+    def __init__(self, feature: Optional[int] = None, threshold: float = 0.0,
+                 left: Optional["_TreeNode"] = None, right: Optional["_TreeNode"] = None,
+                 prediction: Optional[int] = None):
+        self.feature = feature
+        self.threshold = threshold
+        self.left = left
+        self.right = right
+        self.prediction = prediction
+
+    def predict_one(self, vector: Sequence[float]) -> int:
+        node = self
+        while node.prediction is None:
+            node = node.left if vector[node.feature] <= node.threshold else node.right
+        return node.prediction
+
+    def depth(self) -> int:
+        if self.prediction is not None:
+            return 0
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def num_leaves(self) -> int:
+        if self.prediction is not None:
+            return 1
+        return self.left.num_leaves() + self.right.num_leaves()
+
+    def to_rules(self, columns: List[str], prefix: str = "") -> List[str]:
+        """Flatten the tree into human-readable decision rules."""
+        if self.prediction is not None:
+            return [f"{prefix or 'always'} => class {self.prediction}"]
+        name = columns[self.feature] if self.feature < len(columns) else f"x{self.feature}"
+        left_prefix = f"{prefix} and {name} <= {self.threshold:.3f}" if prefix else \
+            f"{name} <= {self.threshold:.3f}"
+        right_prefix = f"{prefix} and {name} > {self.threshold:.3f}" if prefix else \
+            f"{name} > {self.threshold:.3f}"
+        return (self.left.to_rules(columns, left_prefix)
+                + self.right.to_rules(columns, right_prefix))
+
+
+def _gini(labels: np.ndarray) -> float:
+    if len(labels) == 0:
+        return 0.0
+    positive = labels.mean()
+    return 2.0 * positive * (1.0 - positive)
+
+
+def _build_tree(vectors: np.ndarray, labels: np.ndarray, max_depth: int,
+                min_samples_split: int) -> _TreeNode:
+    if (max_depth == 0 or len(labels) < min_samples_split
+            or len(np.unique(labels)) == 1):
+        return _TreeNode(prediction=int(round(labels.mean())) if len(labels) else 0)
+    best_gain, best_feature, best_threshold = 0.0, None, 0.0
+    parent_impurity = _gini(labels)
+    num_features = vectors.shape[1]
+    for feature in range(num_features):
+        values = np.unique(vectors[:, feature])
+        if len(values) <= 1:
+            continue
+        if len(values) > 20:
+            candidates = np.percentile(vectors[:, feature], np.linspace(5, 95, 19))
+        else:
+            candidates = (values[:-1] + values[1:]) / 2.0
+        for threshold in np.unique(candidates):
+            mask = vectors[:, feature] <= threshold
+            left, right = labels[mask], labels[~mask]
+            if len(left) == 0 or len(right) == 0:
+                continue
+            weighted = (len(left) * _gini(left) + len(right) * _gini(right)) / len(labels)
+            gain = parent_impurity - weighted
+            if gain > best_gain:
+                best_gain, best_feature, best_threshold = gain, feature, float(threshold)
+    if best_feature is None or best_gain <= 1e-9:
+        return _TreeNode(prediction=int(round(labels.mean())))
+    mask = vectors[:, best_feature] <= best_threshold
+    left = _build_tree(vectors[mask], labels[mask], max_depth - 1, min_samples_split)
+    right = _build_tree(vectors[~mask], labels[~mask], max_depth - 1, min_samples_split)
+    return _TreeNode(feature=best_feature, threshold=best_threshold, left=left, right=right)
+
+
+class DecisionTreeService(_ClassificationService):
+    """CART decision tree with Gini impurity splits."""
+
+    metadata = ServiceMetadata(
+        name="classify_decision_tree",
+        area=AREA_ANALYTICS,
+        capabilities=("task:classification", "model:decision_tree",
+                      "output:rules"),
+        parameters=_common_parameters() + (
+            ServiceParameter("max_depth", "int", default=4),
+            ServiceParameter("min_samples_split", "int", default=20),
+        ),
+        relative_cost=4.0,
+        interpretable=True,
+        description="CART decision tree classifier",
+    )
+
+    def _fit(self, vectors: np.ndarray, labels: np.ndarray, columns: List[str]):
+        if vectors.size == 0:
+            raise ServiceExecutionError("decision tree needs at least one feature")
+        return _build_tree(vectors, labels, self.params["max_depth"],
+                           self.params["min_samples_split"])
+
+    def _predict(self, model: _TreeNode, vectors: np.ndarray) -> np.ndarray:
+        return np.asarray([model.predict_one(vector) for vector in vectors], dtype=int)
+
+    def _model_artifacts(self, model: _TreeNode, columns: List[str]) -> Dict[str, Any]:
+        return {"tree_depth": model.depth(),
+                "tree_leaves": model.num_leaves(),
+                "rules": model.to_rules(columns)}

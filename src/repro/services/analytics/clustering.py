@@ -1,0 +1,133 @@
+"""Clustering services.
+
+K-means is implemented *on the engine* (the assignment and update steps are
+dataset transformations/aggregations), so its execution profile — stages,
+shuffles, task counts — scales with data and partitions exactly like a real
+distributed implementation would.  This matters for the deployment what-if
+experiment (E6): iterative analytics behave differently from single-pass ones.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Dict, List, Sequence
+
+from ...errors import ServiceConfigurationError, ServiceExecutionError
+from ..base import (AREA_ANALYTICS, ServiceContext, ServiceMetadata, ServiceParameter,
+                    ServiceResult, feature_to_float)
+from .base import AnalyticsService
+
+Record = Dict[str, Any]
+
+
+def _distance_squared(left: Sequence[float], right: Sequence[float]) -> float:
+    return sum((a - b) ** 2 for a, b in zip(left, right))
+
+
+def _closest_center(vector: Sequence[float],
+                    centers: List[Sequence[float]]) -> int:
+    best_index, best_distance = 0, float("inf")
+    for index, center in enumerate(centers):
+        distance = _distance_squared(vector, center)
+        if distance < best_distance:
+            best_index, best_distance = index, distance
+    return best_index
+
+
+class KMeansService(AnalyticsService):
+    """Lloyd's k-means on the dataflow engine."""
+
+    metadata = ServiceMetadata(
+        name="cluster_kmeans",
+        area=AREA_ANALYTICS,
+        capabilities=("task:clustering", "model:kmeans"),
+        parameters=(
+            ServiceParameter("features", "list", required=True,
+                             description="Numeric feature fields"),
+            ServiceParameter("k", "int", default=3, description="Number of clusters"),
+            ServiceParameter("max_iterations", "int", default=10),
+            ServiceParameter("tolerance", "float", default=1e-3,
+                             description="Stop when centres move less than this"),
+            ServiceParameter("seed", "int", default=11),
+        ),
+        relative_cost=5.0,
+        interpretable=True,
+        description="K-means clustering (engine-parallel Lloyd iterations)",
+    )
+
+    def execute(self, context: ServiceContext) -> ServiceResult:
+        features: List[str] = self.params["features"]
+        k = self.params["k"]
+        if k < 1:
+            raise ServiceConfigurationError("k must be >= 1")
+        dataset = context.require_dataset()
+
+        def to_vector(record: Record) -> tuple:
+            return tuple(feature_to_float(record.get(feature)) for feature in features)
+
+        vectors = dataset.map(to_vector).cache()
+        total = vectors.count()
+        if total == 0:
+            raise ServiceExecutionError("k-means received an empty dataset")
+        if total < k:
+            raise ServiceExecutionError(
+                f"k-means needs at least k={k} records, got {total}")
+
+        sample = vectors.take(min(total, 10 * k + 50))
+        rng = random.Random(self.params["seed"])
+        centers = [list(vector) for vector in rng.sample(sample, k)]
+
+        started = time.perf_counter()
+        iterations_run = 0
+        for _ in range(self.params["max_iterations"]):
+            iterations_run += 1
+            current = [tuple(center) for center in centers]
+            assigned = vectors.map(
+                lambda vector, current=current: (_closest_center(vector, current),
+                                                 (vector, 1)))
+            sums = assigned.reduce_by_key(
+                lambda left, right: (tuple(a + b for a, b in zip(left[0], right[0])),
+                                     left[1] + right[1])).collect_as_map()
+            movement = 0.0
+            new_centers = list(centers)
+            for index in range(k):
+                if index not in sums:
+                    continue
+                vector_sum, count = sums[index]
+                updated = [value / count for value in vector_sum]
+                movement += _distance_squared(updated, centers[index]) ** 0.5
+                new_centers[index] = updated
+            centers = new_centers
+            if movement < self.params["tolerance"]:
+                break
+        training_time = time.perf_counter() - started
+
+        final_centers = [tuple(center) for center in centers]
+        inertia = vectors.map(
+            lambda vector, final=final_centers: _distance_squared(
+                vector, final[_closest_center(vector, final)])).sum()
+        cluster_sizes = vectors.map(
+            lambda vector, final=final_centers: _closest_center(vector, final)
+        ).count_by_value()
+
+        clustered = dataset.map(
+            lambda record, final=final_centers, features=features: {
+                **record,
+                "cluster": _closest_center(
+                    tuple(feature_to_float(record.get(feature)) for feature in features),
+                    final),
+            })
+        sizes = [cluster_sizes.get(index, 0) for index in range(k)]
+        balance = (min(sizes) / max(sizes)) if max(sizes) else 0.0
+        return ServiceResult(
+            dataset=clustered, schema=None,
+            artifacts={"centers": [list(center) for center in final_centers],
+                       "cluster_sizes": sizes,
+                       "feature_columns": list(features)},
+            metrics={"inertia": float(inertia),
+                     "iterations": float(iterations_run),
+                     "clusters": float(k),
+                     "cluster_balance": float(balance),
+                     "training_time_s": training_time,
+                     "clustered_records": float(total)})

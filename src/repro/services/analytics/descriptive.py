@@ -1,0 +1,158 @@
+"""Descriptive analytics: statistics, group aggregations, top-k rankings.
+
+These are the "reason on data to find out hidden patterns" entry points the
+paper mentions for users who are not data scientists: no model is trained,
+but the services still run on the engine and produce indicator values
+(row counts, aggregate tables, rankings) usable by display services.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List
+
+from ...errors import ServiceConfigurationError, ServiceExecutionError
+from ..base import (AREA_ANALYTICS, ServiceContext, ServiceMetadata, ServiceParameter,
+                    ServiceResult)
+from .base import AnalyticsService
+
+Record = Dict[str, Any]
+
+
+class DescriptiveStatsService(AnalyticsService):
+    """Count/mean/min/max/stdev of one or more numeric fields."""
+
+    metadata = ServiceMetadata(
+        name="analyze_descriptive_stats",
+        area=AREA_ANALYTICS,
+        capabilities=("task:descriptive", "output:statistics"),
+        parameters=(
+            ServiceParameter("fields", "list", required=True,
+                             description="Numeric fields to summarise"),
+        ),
+        relative_cost=1.0,
+        supports_streaming=True,
+        description="Descriptive statistics of numeric fields",
+    )
+
+    def execute(self, context: ServiceContext) -> ServiceResult:
+        fields: List[str] = self.params["fields"]
+        dataset = context.require_dataset()
+        started = time.perf_counter()
+        summaries: Dict[str, Dict[str, float]] = {}
+        for field in fields:
+            summaries[field] = dataset.map(
+                lambda record, field=field: float(record.get(field) or 0.0)).stats()
+        elapsed = time.perf_counter() - started
+        metrics: Dict[str, float] = {"training_time_s": elapsed}
+        for field, summary in summaries.items():
+            metrics[f"{field}.mean"] = summary["mean"]
+            metrics[f"{field}.stdev"] = summary["stdev"]
+        metrics["records_analyzed"] = next(iter(summaries.values()))["count"] if summaries else 0.0
+        return ServiceResult(dataset=dataset, schema=context.schema,
+                             artifacts={"statistics": summaries}, metrics=metrics)
+
+
+class GroupAggregationService(AnalyticsService):
+    """Group records by a field and aggregate another field per group."""
+
+    _AGGREGATIONS = ("count", "sum", "mean", "min", "max")
+
+    metadata = ServiceMetadata(
+        name="analyze_group_aggregate",
+        area=AREA_ANALYTICS,
+        capabilities=("task:descriptive", "task:aggregation", "output:table"),
+        parameters=(
+            ServiceParameter("group_field", "str", required=True),
+            ServiceParameter("value_field", "str", default=None,
+                             description="Field to aggregate (not needed for count)"),
+            ServiceParameter("aggregation", "str", default="count",
+                             description="count, sum, mean, min or max"),
+        ),
+        relative_cost=1.5,
+        supports_streaming=True,
+        description="Group-by aggregation producing a per-group table",
+    )
+
+    def execute(self, context: ServiceContext) -> ServiceResult:
+        group_field = self.params["group_field"]
+        value_field = self.params["value_field"]
+        aggregation = self.params["aggregation"]
+        if aggregation not in self._AGGREGATIONS:
+            raise ServiceConfigurationError(
+                f"unknown aggregation {aggregation!r}; known: {self._AGGREGATIONS}")
+        if aggregation != "count" and not value_field:
+            raise ServiceConfigurationError(
+                f"aggregation {aggregation!r} needs a value_field")
+        dataset = context.require_dataset()
+        started = time.perf_counter()
+        pairs = dataset.map(
+            lambda record: (record.get(group_field),
+                            float(record.get(value_field) or 0.0) if value_field else 1.0))
+        aggregated = pairs.aggregate_by_key(
+            (0, 0.0, float("inf"), float("-inf")),
+            lambda acc, value: (acc[0] + 1, acc[1] + value,
+                                min(acc[2], value), max(acc[3], value)),
+            lambda left, right: (left[0] + right[0], left[1] + right[1],
+                                 min(left[2], right[2]), max(left[3], right[3])))
+        rows = []
+        for group, (count, total, minimum, maximum) in sorted(
+                aggregated.collect(), key=lambda pair: str(pair[0])):
+            value = {"count": float(count), "sum": total,
+                     "mean": total / count if count else 0.0,
+                     "min": minimum if count else 0.0,
+                     "max": maximum if count else 0.0}[aggregation]
+            rows.append({"group": group, "value": value, "count": count})
+        elapsed = time.perf_counter() - started
+        return ServiceResult(
+            dataset=context.engine.parallelize(rows) if rows else context.engine.empty(),
+            schema=None,
+            artifacts={"table": rows, "group_field": group_field,
+                       "aggregation": aggregation},
+            metrics={"groups": float(len(rows)), "training_time_s": elapsed})
+
+
+class TopKService(AnalyticsService):
+    """Return the k records (or groups) with the largest value of a field."""
+
+    metadata = ServiceMetadata(
+        name="analyze_top_k",
+        area=AREA_ANALYTICS,
+        capabilities=("task:descriptive", "task:ranking", "output:table"),
+        parameters=(
+            ServiceParameter("value_field", "str", required=True),
+            ServiceParameter("k", "int", default=10),
+            ServiceParameter("group_field", "str", default=None,
+                             description="Rank groups by count of the value instead of records"),
+        ),
+        relative_cost=1.0,
+        supports_streaming=True,
+        description="Top-k ranking by a numeric field or by group frequency",
+    )
+
+    def execute(self, context: ServiceContext) -> ServiceResult:
+        value_field = self.params["value_field"]
+        k = self.params["k"]
+        if k < 1:
+            raise ServiceConfigurationError("k must be >= 1")
+        group_field = self.params["group_field"]
+        dataset = context.require_dataset()
+        started = time.perf_counter()
+        if group_field:
+            counts = (dataset.map(lambda record: (record.get(group_field), 1))
+                      .reduce_by_key(lambda left, right: left + right)
+                      .top(k, key=lambda pair: pair[1]))
+            rows = [{"rank": index + 1, "group": group, "value": float(count)}
+                    for index, (group, count) in enumerate(counts)]
+        else:
+            top_records = dataset.top(
+                k, key=lambda record: float(record.get(value_field) or 0.0))
+            rows = [{"rank": index + 1, **record}
+                    for index, record in enumerate(top_records)]
+        elapsed = time.perf_counter() - started
+        if not rows:
+            raise ServiceExecutionError("top-k ranking received an empty dataset")
+        return ServiceResult(
+            dataset=context.engine.parallelize(rows), schema=None,
+            artifacts={"table": rows},
+            metrics={"rows": float(len(rows)), "training_time_s": elapsed})

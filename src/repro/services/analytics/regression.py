@@ -1,0 +1,78 @@
+"""Regression services."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ...errors import ServiceConfigurationError, ServiceExecutionError
+from ..base import (AREA_ANALYTICS, ServiceContext, ServiceMetadata, ServiceParameter,
+                    ServiceResult, feature_to_float, records_to_vectors)
+from .base import AnalyticsService, evaluate_regression, train_test_split_records
+
+Record = Dict[str, Any]
+
+
+class LinearRegressionService(AnalyticsService):
+    """Ordinary least squares regression (normal equations via numpy)."""
+
+    metadata = ServiceMetadata(
+        name="regress_linear",
+        area=AREA_ANALYTICS,
+        capabilities=("task:regression", "model:linear_regression"),
+        parameters=(
+            ServiceParameter("target", "str", required=True,
+                             description="Numeric field to predict"),
+            ServiceParameter("features", "list", required=True),
+            ServiceParameter("categorical_features", "list", default=None),
+            ServiceParameter("test_fraction", "float", default=0.3),
+            ServiceParameter("seed", "int", default=13),
+            ServiceParameter("ridge", "float", default=1e-6,
+                             description="Ridge regularisation added to the normal equations"),
+        ),
+        relative_cost=2.0,
+        interpretable=True,
+        description="Ordinary least squares linear regression",
+    )
+
+    def execute(self, context: ServiceContext) -> ServiceResult:
+        target = self.params["target"]
+        features = self.params["features"]
+        categorical = self.params["categorical_features"] or []
+        records = self.collect_records(context.require_dataset())
+        if not records:
+            raise ServiceExecutionError("regression received an empty dataset")
+        missing = [f for f in [target, *features, *categorical] if f not in records[0]]
+        if missing:
+            raise ServiceConfigurationError(
+                f"regression fields {missing} are absent from the records")
+        train, test = train_test_split_records(records, self.params["test_fraction"],
+                                               self.params["seed"])
+        all_vectors, columns = records_to_vectors(train + test, features, categorical)
+        matrix = np.asarray(all_vectors, dtype=float)
+        design = np.hstack([np.ones((matrix.shape[0], 1)), matrix])
+        train_design = design[:len(train)]
+        test_design = design[len(train):]
+        train_target = np.asarray([feature_to_float(record[target]) for record in train])
+        test_target = [feature_to_float(record[target]) for record in test]
+
+        started = time.perf_counter()
+        gram = train_design.T @ train_design
+        gram += self.params["ridge"] * np.eye(gram.shape[0])
+        weights = np.linalg.solve(gram, train_design.T @ train_target)
+        training_time = time.perf_counter() - started
+
+        predictions = list(test_design @ weights)
+        metrics = evaluate_regression(test_target, predictions)
+        metrics["training_time_s"] = training_time
+        metrics["train_records"] = float(len(train))
+        metrics["test_records"] = float(len(test))
+        return ServiceResult(
+            dataset=context.dataset, schema=context.schema,
+            artifacts={"intercept": float(weights[0]),
+                       "coefficients": {column: float(weight)
+                                        for column, weight in zip(columns, weights[1:])},
+                       "feature_columns": columns},
+            metrics=metrics)

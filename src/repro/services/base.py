@@ -1,0 +1,272 @@
+"""Service abstraction: metadata, execution context, and results.
+
+A *service* is the unit of composition of the procedural model: it declares
+what it needs and provides (its area, capabilities, parameters, relative
+cost and privacy properties) and knows how to execute on the dataflow engine.
+The declarative-to-procedural compiler never looks inside a service; it only
+reasons on :class:`ServiceMetadata`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..engine.context import EngineContext
+from ..engine.dataset import Dataset
+from ..errors import ServiceConfigurationError
+from ..data.schemas import Schema
+
+#: The TOREADOR service areas a pipeline is composed from, in pipeline order.
+AREA_INGESTION = "ingestion"
+AREA_PREPARATION = "preparation"
+AREA_ANALYTICS = "analytics"
+AREA_PROCESSING = "processing"
+AREA_DISPLAY = "display"
+
+AREA_ORDER = (AREA_INGESTION, AREA_PREPARATION, AREA_ANALYTICS, AREA_PROCESSING,
+              AREA_DISPLAY)
+
+
+@dataclass(frozen=True)
+class ServiceParameter:
+    """Declaration of one configurable parameter of a service."""
+
+    name: str
+    dtype: str = "str"
+    default: Any = None
+    required: bool = False
+    description: str = ""
+
+    def coerce(self, value: Any) -> Any:
+        """Best-effort conversion of ``value`` to the declared type."""
+        if value is None:
+            return value
+        try:
+            if self.dtype == "int":
+                return int(value)
+            if self.dtype == "float":
+                return float(value)
+            if self.dtype == "bool":
+                if isinstance(value, str):
+                    return value.lower() in ("1", "true", "yes")
+                return bool(value)
+            if self.dtype == "list":
+                if isinstance(value, (list, tuple)):
+                    return list(value)
+                return [item.strip() for item in str(value).split(",") if item.strip()]
+        except (TypeError, ValueError) as error:
+            raise ServiceConfigurationError(
+                f"parameter {self.name!r} cannot be converted to {self.dtype}: {error}"
+            ) from error
+        return value
+
+
+@dataclass(frozen=True)
+class ServiceMetadata:
+    """Machine-readable description of a service, used for goal matching.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier of the service in the catalogue.
+    area:
+        One of the TOREADOR areas (:data:`AREA_ORDER`).
+    capabilities:
+        Free-form capability tags, e.g. ``task:classification`` or
+        ``model:decision_tree``; declarative objectives are matched against
+        these tags.
+    parameters:
+        Declared configuration parameters.
+    relative_cost:
+        Rough relative execution cost (1.0 = cheap preparation step); used by
+        the compiler to rank alternative compositions against cost objectives.
+    supports_streaming:
+        Whether the service can run inside a micro-batch streaming pipeline.
+    privacy_preserving:
+        Whether the service reduces the personal-data footprint of the
+        pipeline (anonymisation, masking...).
+    interpretable:
+        Whether the produced model/insight is human-interpretable; matched
+        against transparency objectives.
+    description:
+        One-line documentation shown in Labs challenge briefs.
+    """
+
+    name: str
+    area: str
+    capabilities: Tuple[str, ...] = ()
+    parameters: Tuple[ServiceParameter, ...] = ()
+    relative_cost: float = 1.0
+    supports_streaming: bool = False
+    privacy_preserving: bool = False
+    interpretable: bool = True
+    description: str = ""
+
+    def has_capability(self, capability: str) -> bool:
+        """True when the service declares ``capability``."""
+        return capability in self.capabilities
+
+    def parameter(self, name: str) -> Optional[ServiceParameter]:
+        """Return the declared parameter called ``name`` if any."""
+        for parameter in self.parameters:
+            if parameter.name == name:
+                return parameter
+        return None
+
+
+@dataclass
+class ServiceContext:
+    """Everything a service needs while executing one pipeline step."""
+
+    engine: EngineContext
+    dataset: Optional[Dataset] = None
+    schema: Optional[Schema] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    upstream: Dict[str, "ServiceResult"] = field(default_factory=dict)
+    seed: int = 0
+
+    def require_dataset(self) -> Dataset:
+        """Return the input dataset or raise when the step has none."""
+        if self.dataset is None:
+            raise ServiceConfigurationError(
+                "this service requires an input dataset but none was provided")
+        return self.dataset
+
+
+@dataclass
+class ServiceResult:
+    """What a service produces.
+
+    ``dataset`` is the (possibly transformed) data handed to the next step;
+    ``artifacts`` carries models, rules, reports and other non-tabular
+    outputs; ``metrics`` carries the numeric measurements that feed the
+    declarative indicators; ``schema`` describes the output records.
+    """
+
+    dataset: Optional[Dataset] = None
+    schema: Optional[Schema] = None
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def merged_metrics(self, prefix: str = "") -> Dict[str, float]:
+        """Return metrics, optionally namespaced with ``prefix``."""
+        if not prefix:
+            return dict(self.metrics)
+        return {f"{prefix}.{key}": value for key, value in self.metrics.items()}
+
+
+class Service:
+    """Base class every concrete service extends."""
+
+    #: Subclasses must provide their metadata as a class attribute.
+    metadata: ServiceMetadata = None  # type: ignore[assignment]
+
+    def __init__(self, **params: Any):
+        self.params = self._validate_params(params)
+
+    # -- parameter handling ------------------------------------------------------
+
+    def _validate_params(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        if self.metadata is None:
+            raise ServiceConfigurationError(
+                f"{type(self).__name__} does not declare metadata")
+        declared = {parameter.name: parameter for parameter in self.metadata.parameters}
+        unknown = sorted(set(params) - set(declared))
+        if unknown:
+            raise ServiceConfigurationError(
+                f"service {self.metadata.name!r} got unknown parameters {unknown}; "
+                f"declared: {sorted(declared)}")
+        resolved: Dict[str, Any] = {}
+        for name, parameter in declared.items():
+            if name in params:
+                resolved[name] = parameter.coerce(params[name])
+            elif parameter.required:
+                raise ServiceConfigurationError(
+                    f"service {self.metadata.name!r} is missing required "
+                    f"parameter {name!r}")
+            else:
+                resolved[name] = parameter.default
+        return resolved
+
+    # -- execution ------------------------------------------------------------------
+
+    def execute(self, context: ServiceContext) -> ServiceResult:
+        """Run the service; must be implemented by subclasses."""
+        raise NotImplementedError
+
+    # -- convenience -------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The catalogue name of the service."""
+        return self.metadata.name
+
+    @property
+    def area(self) -> str:
+        """The TOREADOR area of the service."""
+        return self.metadata.area
+
+    def __repr__(self) -> str:
+        return f"<service {self.metadata.name} area={self.metadata.area} params={self.params}>"
+
+
+def feature_to_float(value: Any) -> float:
+    """Convert a feature value to a float, tolerating anonymised values.
+
+    The k-anonymisation step generalises numeric quasi-identifiers into range
+    labels such as ``"[60-80)"``; analytics running downstream of it map such
+    a bucket to its midpoint so the campaign keeps working with coarser (less
+    useful) values instead of failing — the privacy/utility trade-off becomes
+    measurable.  Unparseable values (fully suppressed ``"*"`` included) count
+    as ``0.0``.
+    """
+    if value is None:
+        return 0.0
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    text = str(value).strip()
+    if text.startswith("[") and "-" in text:
+        try:
+            low, high = text.strip("[)").split("-", 1)
+            return (float(low) + float(high)) / 2.0
+        except ValueError:
+            return 0.0
+    try:
+        return float(text)
+    except ValueError:
+        return 0.0
+
+
+def records_to_vectors(records: List[Dict[str, Any]], features: List[str],
+                       categorical_features: Optional[List[str]] = None
+                       ) -> Tuple[List[List[float]], List[str]]:
+    """Turn dict records into dense numeric vectors.
+
+    Numeric ``features`` are converted with :func:`feature_to_float` (``None``
+    becomes ``0.0``, anonymised range labels become their midpoint);
+    ``categorical_features`` are one-hot encoded against the categories
+    observed in ``records``.  Returns the vectors and the generated column
+    names, so models can report interpretable coefficients.
+    """
+    categorical_features = categorical_features or []
+    categories: Dict[str, List[Any]] = {}
+    for feature in categorical_features:
+        observed = sorted({record.get(feature) for record in records
+                           if record.get(feature) is not None},
+                          key=lambda value: str(value))
+        categories[feature] = observed
+    columns: List[str] = list(features)
+    for feature in categorical_features:
+        columns.extend(f"{feature}={value}" for value in categories[feature])
+    vectors: List[List[float]] = []
+    for record in records:
+        vector = [feature_to_float(record.get(feature)) for feature in features]
+        for feature in categorical_features:
+            value = record.get(feature)
+            vector.extend(1.0 if value == candidate else 0.0
+                          for candidate in categories[feature])
+        vectors.append(vector)
+    return vectors, columns

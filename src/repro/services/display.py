@@ -1,0 +1,132 @@
+"""Display services: turn campaign results into human-readable artefacts.
+
+Display is the last TOREADOR area of a pipeline.  The services here do not
+plot anything (the environment is head-less); they produce structured report
+artefacts — text summaries, exportable tables, chart-ready series — that the
+Labs interface and the examples print or save.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..errors import ServiceConfigurationError
+from .base import (AREA_DISPLAY, Service, ServiceContext, ServiceMetadata,
+                   ServiceParameter, ServiceResult)
+
+
+class ReportService(Service):
+    """Assemble a plain-text report of upstream metrics and artefacts."""
+
+    metadata = ServiceMetadata(
+        name="display_report",
+        area=AREA_DISPLAY,
+        capabilities=("display:report", "output:text"),
+        parameters=(
+            ServiceParameter("title", "str", default="Campaign report"),
+            ServiceParameter("include_artifacts", "bool", default=False,
+                             description="Whether artefact summaries are embedded"),
+        ),
+        relative_cost=0.5,
+        supports_streaming=True,
+        description="Plain-text report of upstream results",
+    )
+
+    def execute(self, context: ServiceContext) -> ServiceResult:
+        lines: List[str] = [self.params["title"], "=" * len(self.params["title"])]
+        for step_name, result in context.upstream.items():
+            lines.append(f"\n[{step_name}]")
+            for key, value in sorted(result.metrics.items()):
+                lines.append(f"  {key}: {value:.4f}" if isinstance(value, float)
+                             else f"  {key}: {value}")
+            if self.params["include_artifacts"]:
+                for key, value in result.artifacts.items():
+                    if isinstance(value, (str, int, float, list, dict)):
+                        summary = json.dumps(value, default=str)[:400]
+                        lines.append(f"  artifact {key}: {summary}")
+        report = "\n".join(lines)
+        return ServiceResult(dataset=context.dataset, schema=context.schema,
+                             artifacts={"report": report},
+                             metrics={"report_lines": float(len(lines))})
+
+
+class TableExportService(Service):
+    """Export the incoming dataset (assumed dict records) as list-of-rows."""
+
+    metadata = ServiceMetadata(
+        name="display_table",
+        area=AREA_DISPLAY,
+        capabilities=("display:table", "output:table"),
+        parameters=(
+            ServiceParameter("max_rows", "int", default=100),
+        ),
+        relative_cost=0.5,
+        supports_streaming=True,
+        description="Materialise result records as an exportable table",
+    )
+
+    def execute(self, context: ServiceContext) -> ServiceResult:
+        max_rows = self.params["max_rows"]
+        if max_rows < 1:
+            raise ServiceConfigurationError("max_rows must be >= 1")
+        rows = context.require_dataset().take(max_rows)
+        columns = sorted({key for row in rows if isinstance(row, dict) for key in row})
+        return ServiceResult(dataset=context.dataset, schema=context.schema,
+                             artifacts={"rows": rows, "columns": columns},
+                             metrics={"exported_rows": float(len(rows))})
+
+
+class ChartDataService(Service):
+    """Produce chart-ready series (histogram) of a numeric field."""
+
+    metadata = ServiceMetadata(
+        name="display_chart",
+        area=AREA_DISPLAY,
+        capabilities=("display:chart", "output:series"),
+        parameters=(
+            ServiceParameter("value_field", "str", required=True),
+            ServiceParameter("buckets", "int", default=10),
+        ),
+        relative_cost=1.0,
+        description="Histogram series of a numeric field",
+    )
+
+    def execute(self, context: ServiceContext) -> ServiceResult:
+        values = context.require_dataset().map(
+            lambda record: float(record.get(self.params["value_field"]) or 0.0)
+            if isinstance(record, dict) else float(record))
+        edges, counts = values.histogram(self.params["buckets"])
+        return ServiceResult(dataset=context.dataset, schema=context.schema,
+                             artifacts={"edges": edges, "counts": counts,
+                                        "field": self.params["value_field"]},
+                             metrics={"buckets": float(len(counts))})
+
+
+class DashboardService(Service):
+    """Collect the key metric of every upstream step into one dashboard dict."""
+
+    metadata = ServiceMetadata(
+        name="display_dashboard",
+        area=AREA_DISPLAY,
+        capabilities=("display:dashboard", "output:summary"),
+        parameters=(
+            ServiceParameter("highlight_metrics", "list", default=None,
+                             description="Metric names to surface; all if omitted"),
+        ),
+        relative_cost=0.5,
+        supports_streaming=True,
+        description="Dashboard summary of upstream metrics",
+    )
+
+    def execute(self, context: ServiceContext) -> ServiceResult:
+        highlights: Optional[List[str]] = self.params["highlight_metrics"]
+        dashboard: Dict[str, Dict[str, float]] = {}
+        for step_name, result in context.upstream.items():
+            selected = {key: value for key, value in result.metrics.items()
+                        if highlights is None or key in highlights}
+            if selected:
+                dashboard[step_name] = selected
+        return ServiceResult(dataset=context.dataset, schema=context.schema,
+                             artifacts={"dashboard": dashboard},
+                             metrics={"panels": float(len(dashboard))})

@@ -1,0 +1,132 @@
+"""Ingestion services: how data enters a campaign pipeline.
+
+Every ingestion service produces a dataset of dict records plus the schema
+describing them.  The compiler selects an ingestion service based on the
+``source`` declaration of the declarative model (a scenario generator, a CSV
+file, an in-memory list, or a pre-built :class:`repro.data.sources.DataSource`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..data.generators import generator_for_scenario
+from ..data.schemas import BUILTIN_SCHEMAS, Schema
+from ..data.sources import CSVFileSource, DataSource, GeneratorSource, InMemorySource
+from ..errors import ServiceConfigurationError
+from .base import (AREA_INGESTION, Service, ServiceContext, ServiceMetadata,
+                   ServiceParameter, ServiceResult)
+
+
+class SourceIngestionService(Service):
+    """Ingest records from an explicit :class:`DataSource` object."""
+
+    metadata = ServiceMetadata(
+        name="ingest_source",
+        area=AREA_INGESTION,
+        capabilities=("ingest:source", "format:records"),
+        parameters=(
+            ServiceParameter("source", "str", required=True,
+                             description="A DataSource instance to read from"),
+            ServiceParameter("num_partitions", "int", default=None,
+                             description="Partition count of the resulting dataset"),
+        ),
+        relative_cost=1.0,
+        supports_streaming=False,
+        description="Read records from a registered data source",
+    )
+
+    def execute(self, context: ServiceContext) -> ServiceResult:
+        source = self.params["source"]
+        if not isinstance(source, DataSource):
+            raise ServiceConfigurationError(
+                "ingest_source expects a DataSource instance as its 'source' parameter")
+        dataset = context.engine.from_source(source, self.params["num_partitions"])
+        schema = getattr(source, "schema", None)
+        return ServiceResult(dataset=dataset, schema=schema,
+                             metrics={"ingested_records": float(source.estimated_size())})
+
+
+class GeneratorIngestionService(Service):
+    """Ingest synthetic records of one of the built-in vertical scenarios."""
+
+    metadata = ServiceMetadata(
+        name="ingest_scenario",
+        area=AREA_INGESTION,
+        capabilities=("ingest:scenario", "format:records"),
+        parameters=(
+            ServiceParameter("scenario", "str", required=True,
+                             description="Scenario key: churn, energy, web_logs, retail, patients"),
+            ServiceParameter("num_records", "int", default=10_000,
+                             description="Number of records to generate"),
+            ServiceParameter("seed", "int", default=7,
+                             description="Generator seed"),
+            ServiceParameter("num_partitions", "int", default=None,
+                             description="Partition count of the resulting dataset"),
+        ),
+        relative_cost=1.0,
+        description="Generate the synthetic data of a built-in vertical scenario",
+    )
+
+    def execute(self, context: ServiceContext) -> ServiceResult:
+        scenario = self.params["scenario"]
+        generator = generator_for_scenario(scenario, seed=self.params["seed"])
+        source = GeneratorSource(generator, self.params["num_records"])
+        dataset = context.engine.from_source(source, self.params["num_partitions"])
+        return ServiceResult(dataset=dataset, schema=BUILTIN_SCHEMAS[scenario],
+                             metrics={"ingested_records": float(self.params["num_records"])})
+
+
+class InMemoryIngestionService(Service):
+    """Ingest an in-memory list of dict records (mainly used by tests)."""
+
+    metadata = ServiceMetadata(
+        name="ingest_records",
+        area=AREA_INGESTION,
+        capabilities=("ingest:memory", "format:records"),
+        parameters=(
+            ServiceParameter("records", "list", required=True,
+                             description="List of dict records"),
+            ServiceParameter("schema", "str", default=None,
+                             description="Optional Schema instance of the records"),
+            ServiceParameter("num_partitions", "int", default=None),
+        ),
+        relative_cost=0.5,
+        description="Read records already held in memory",
+    )
+
+    def execute(self, context: ServiceContext) -> ServiceResult:
+        records: List[Dict[str, Any]] = self.params["records"]
+        schema = self.params["schema"]
+        if schema is not None and not isinstance(schema, Schema):
+            raise ServiceConfigurationError("'schema' must be a Schema instance")
+        source = InMemorySource("memory", records, schema)
+        dataset = context.engine.from_source(source, self.params["num_partitions"])
+        return ServiceResult(dataset=dataset, schema=schema,
+                             metrics={"ingested_records": float(len(records))})
+
+
+class CSVIngestionService(Service):
+    """Ingest a CSV file, converting values through the scenario schema."""
+
+    metadata = ServiceMetadata(
+        name="ingest_csv",
+        area=AREA_INGESTION,
+        capabilities=("ingest:csv", "format:records"),
+        parameters=(
+            ServiceParameter("path", "str", required=True, description="CSV file path"),
+            ServiceParameter("scenario", "str", default=None,
+                             description="Optional scenario key providing the schema"),
+            ServiceParameter("num_partitions", "int", default=None),
+        ),
+        relative_cost=1.2,
+        description="Read and type-convert a CSV file",
+    )
+
+    def execute(self, context: ServiceContext) -> ServiceResult:
+        scenario = self.params["scenario"]
+        schema = BUILTIN_SCHEMAS.get(scenario) if scenario else None
+        source = CSVFileSource(self.params["path"], schema)
+        dataset = context.engine.from_source(source, self.params["num_partitions"])
+        return ServiceResult(dataset=dataset, schema=schema,
+                             metrics={"ingested_records": float(source.estimated_size())})

@@ -1,0 +1,127 @@
+"""Shared fixtures of the test suite.
+
+Expensive objects (engine contexts, compiled campaign runs, lab sessions) are
+module- or session-scoped so the several hundred tests stay fast; anything a
+test mutates gets its own function-scoped instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineConfig, PlatformConfig
+from repro.core.campaign import CampaignRunner
+from repro.core.catalog import build_default_catalog
+from repro.core.compiler import CampaignCompiler
+from repro.data.generators import (ChurnDataGenerator, EnergyDataGenerator,
+                                   PatientRecordGenerator,
+                                   RetailTransactionGenerator, WebLogGenerator)
+from repro.engine.context import EngineContext
+from repro.platform.api import BDAaaSPlatform
+
+
+@pytest.fixture()
+def engine():
+    """A fresh, small, deterministic engine context."""
+    ctx = EngineContext(EngineConfig(num_workers=2, default_parallelism=4, seed=1))
+    yield ctx
+    ctx.stop()
+
+
+@pytest.fixture()
+def sequential_engine():
+    """A single-worker engine for tests that need strict determinism."""
+    ctx = EngineContext(EngineConfig(num_workers=1, default_parallelism=3, seed=1))
+    yield ctx
+    ctx.stop()
+
+
+@pytest.fixture(scope="session")
+def churn_records():
+    """A small churn dataset reused across analytics tests."""
+    return ChurnDataGenerator(seed=5).generate(1200)
+
+
+@pytest.fixture(scope="session")
+def retail_records():
+    """A small retail basket dataset."""
+    return RetailTransactionGenerator(seed=5).generate(800)
+
+
+@pytest.fixture(scope="session")
+def energy_records():
+    """A small smart-meter dataset."""
+    return EnergyDataGenerator(seed=5, num_meters=20).generate(1500)
+
+
+@pytest.fixture(scope="session")
+def patient_records():
+    """A small hospital dataset."""
+    return PatientRecordGenerator(seed=5).generate(1000)
+
+
+@pytest.fixture(scope="session")
+def weblog_records():
+    """A small web log dataset."""
+    return WebLogGenerator(seed=5).generate(1500)
+
+
+@pytest.fixture(scope="session")
+def default_catalog():
+    """The default service catalogue (read-only)."""
+    return build_default_catalog()
+
+
+@pytest.fixture(scope="session")
+def compiler(default_catalog):
+    """A campaign compiler over the default catalogue."""
+    return CampaignCompiler(default_catalog)
+
+
+@pytest.fixture(scope="session")
+def runner(default_catalog):
+    """A campaign runner over the default catalogue."""
+    return CampaignRunner(default_catalog)
+
+
+@pytest.fixture()
+def platform():
+    """A fresh BDAaaS platform with small free-tier quotas for quota tests."""
+    return BDAaaSPlatform(PlatformConfig(free_tier_max_jobs=10,
+                                         free_tier_max_rows=50_000,
+                                         free_tier_max_workers=4))
+
+
+def small_churn_spec(num_records: int = 1500, **overrides):
+    """A compact churn classification specification used by many tests."""
+    spec = {
+        "name": "test-churn",
+        "purpose": "analytics",
+        "policy": "open_data",
+        "source": {"scenario": "churn", "num_records": num_records},
+        "deployment": {"num_partitions": 2, "num_workers": 1},
+        "goals": [
+            {"id": "churn", "task": "classification",
+             "params": {"label": "churned",
+                        "features": ["tenure_months", "monthly_charges",
+                                     "num_support_calls"],
+                        "categorical_features": ["contract_type"]},
+             "optimize_for": "cost",
+             "objectives": [{"indicator": "accuracy", "target": 0.55}]},
+        ],
+    }
+    spec.update(overrides)
+    return spec
+
+
+@pytest.fixture(scope="session")
+def churn_spec():
+    """The compact churn specification as a session fixture."""
+    return small_churn_spec()
+
+
+@pytest.fixture(scope="session")
+def churn_run(compiler, runner, churn_spec):
+    """One executed churn campaign run, shared by read-only tests."""
+    campaign = compiler.compile(churn_spec)
+    return runner.run(campaign, option_label="shared")

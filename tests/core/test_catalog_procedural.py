@@ -1,0 +1,136 @@
+"""Service catalogue and procedural model (composition DAG)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.catalog import ServiceCatalog, build_default_catalog
+from repro.core.procedural import ProceduralModel, ServiceStep
+from repro.errors import CompilationError, CompositionError, ServiceConfigurationError
+from repro.services.analytics.classification import LogisticRegressionService
+from repro.services.base import AREA_ANALYTICS
+
+
+class TestServiceCatalog:
+    def test_default_catalog_is_populated(self, default_catalog):
+        assert len(default_catalog) >= 25
+        assert "classify_logistic_regression" in default_catalog
+        assert "prepare_anonymize" in default_catalog
+        assert "display_report" in default_catalog
+
+    def test_areas_all_covered(self, default_catalog):
+        for area in ("ingestion", "preparation", "analytics", "display"):
+            assert default_catalog.by_area(area)
+
+    def test_every_declarative_task_has_a_service(self, default_catalog):
+        from repro.core.declarative import VALID_TASKS
+        for task in VALID_TASKS:
+            assert default_catalog.find_for_task(task), f"no service for {task}"
+
+    def test_capability_query(self, default_catalog):
+        classifiers = default_catalog.with_capability("task:classification")
+        assert len(classifiers) == 4
+        assert all(metadata.area == AREA_ANALYTICS for metadata in classifiers)
+
+    def test_get_unknown_service(self, default_catalog):
+        with pytest.raises(CompositionError):
+            default_catalog.get("not_a_service")
+
+    def test_instantiate_with_params(self, default_catalog):
+        service = default_catalog.instantiate("classify_logistic_regression",
+                                               label="y", features=["x"])
+        assert isinstance(service, LogisticRegressionService)
+        assert service.params["label"] == "y"
+
+    def test_register_rejects_class_without_metadata(self):
+        catalog = ServiceCatalog()
+        class NotAService:
+            metadata = None
+        with pytest.raises(ServiceConfigurationError):
+            catalog.register(NotAService)
+
+    def test_register_custom_service(self):
+        catalog = build_default_catalog()
+        class CustomService(LogisticRegressionService):
+            metadata = LogisticRegressionService.metadata.__class__(
+                name="custom_classifier", area=AREA_ANALYTICS,
+                capabilities=("task:classification", "model:custom"),
+                parameters=LogisticRegressionService.metadata.parameters)
+        catalog.register(CustomService)
+        assert "custom_classifier" in catalog
+        assert any(metadata.name == "custom_classifier"
+                   for metadata in catalog.find_for_task("classification"))
+
+    def test_describe_lists_every_area(self, default_catalog):
+        description = default_catalog.describe()
+        for area in ("ingestion", "preparation", "analytics", "display"):
+            assert f"[{area}]" in description
+
+
+class TestProceduralModel:
+    def _steps(self):
+        return [
+            ServiceStep("ingest", "ingest_scenario", "ingestion"),
+            ServiceStep("prepare", "prepare_split", "preparation", depends_on=("ingest",)),
+            ServiceStep("analyze", "classify_naive_bayes", "analytics",
+                        depends_on=("prepare",), goal_id="g"),
+            ServiceStep("report", "display_report", "display", depends_on=("analyze",)),
+        ]
+
+    def test_valid_model_topological_order(self):
+        model = ProceduralModel("m", self._steps())
+        order = [step.step_id for step in model.topological_order()]
+        assert order.index("ingest") < order.index("prepare") < order.index("analyze")
+
+    def test_duplicate_step_ids_rejected(self):
+        steps = self._steps() + [ServiceStep("ingest", "ingest_csv", "ingestion")]
+        with pytest.raises(CompilationError):
+            ProceduralModel("m", steps)
+
+    def test_unknown_dependency_rejected(self):
+        steps = [ServiceStep("a", "x", "analytics", depends_on=("ghost",))]
+        with pytest.raises(CompilationError):
+            ProceduralModel("m", steps)
+
+    def test_cycle_detected(self):
+        steps = [ServiceStep("a", "x", "analytics", depends_on=("b",)),
+                 ServiceStep("b", "y", "analytics", depends_on=("a",))]
+        with pytest.raises(CompilationError):
+            ProceduralModel("m", steps)
+
+    def test_step_lookup(self):
+        model = ProceduralModel("m", self._steps())
+        assert model.step("analyze").goal_id == "g"
+        with pytest.raises(CompilationError):
+            model.step("missing")
+
+    def test_area_queries(self):
+        model = ProceduralModel("m", self._steps())
+        assert [step.step_id for step in model.analytics_steps] == ["analyze"]
+        assert len(model.steps_in_area("preparation")) == 1
+        assert model.num_steps == 4
+
+    def test_capabilities_aggregated_from_catalog(self, default_catalog):
+        model = ProceduralModel("m", self._steps())
+        capabilities = model.capabilities(default_catalog)
+        assert "task:classification" in capabilities
+        assert "display:report" in capabilities
+
+    def test_describe_and_as_dict(self):
+        model = ProceduralModel("m", self._steps())
+        text = model.describe()
+        assert "classify_naive_bayes" in text
+        as_dict = model.as_dict()
+        assert as_dict["name"] == "m"
+        assert len(as_dict["steps"]) == 4
+
+    def test_as_dict_hides_complex_parameter_values(self):
+        step = ServiceStep("s", "ingest_source", "ingestion",
+                           params={"source": object(), "n": 3})
+        as_dict = step.as_dict()
+        assert as_dict["params"]["source"] == "<object>"
+        assert as_dict["params"]["n"] == 3
+
+    def test_service_names_in_order(self):
+        model = ProceduralModel("m", self._steps())
+        assert model.service_names()[0] == "ingest_scenario"

@@ -1,0 +1,230 @@
+"""The declarative→procedural→deployment compiler chain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import (CampaignCompiler, DeclarativeToProcedural,
+                                 ProceduralToDeployment)
+from repro.core.dsl import parse_spec
+from repro.errors import CompilationError, CompositionError, DeploymentError
+from tests.conftest import small_churn_spec
+
+
+class TestDeclarativeToProcedural:
+    def test_basic_pipeline_shape(self, compiler):
+        campaign = compiler.compile(small_churn_spec())
+        services = campaign.procedural.service_names()
+        assert services[0] == "ingest_scenario"
+        assert "prepare_split" in services            # supervised goal
+        assert "display_report" in services
+        assert "display_dashboard" in services
+        assert campaign.procedural.analytics_steps[0].goal_id == "churn"
+
+    def test_policy_inserts_anonymization(self, compiler):
+        spec = small_churn_spec(policy="gdpr_baseline")
+        campaign = compiler.compile(spec)
+        services = campaign.procedural.service_names()
+        assert "prepare_anonymize" in services
+        protect = campaign.procedural.step("protect")
+        assert protect.params["k"] == 5  # the GDPR baseline minimum
+
+    def test_open_data_policy_skips_anonymization(self, compiler):
+        campaign = compiler.compile(small_churn_spec(policy="open_data"))
+        assert "prepare_anonymize" not in campaign.procedural.service_names()
+
+    def test_user_privacy_request_honoured_even_without_policy(self, compiler):
+        spec = small_churn_spec(policy="open_data", privacy={"k_anonymity": 7})
+        campaign = compiler.compile(spec)
+        assert campaign.procedural.step("protect").params["k"] == 7
+
+    def test_strongest_k_wins(self, compiler):
+        spec = small_churn_spec(policy="gdpr_baseline", privacy={"k_anonymity": 12})
+        campaign = compiler.compile(spec)
+        assert campaign.procedural.step("protect").params["k"] == 12
+
+    def test_unknown_policy_rejected(self, compiler):
+        with pytest.raises(CompilationError):
+            compiler.compile(small_churn_spec(policy="non_existent_policy"))
+
+    def test_preparation_requests_become_steps(self, compiler):
+        spec = small_churn_spec(preparation={
+            "normalize": ["monthly_charges"],
+            "impute": ["total_charges"],
+            "deduplicate": True,
+            "filters": [{"field": "age", "operator": ">=", "value": 18}],
+        })
+        campaign = compiler.compile(spec)
+        services = campaign.procedural.service_names()
+        for expected in ("prepare_normalize", "prepare_impute", "prepare_dedup",
+                         "prepare_filter"):
+            assert expected in services
+
+    def test_unsupervised_goal_gets_no_split(self, compiler):
+        spec = small_churn_spec()
+        spec["goals"] = [{"id": "seg", "task": "clustering",
+                          "params": {"features": ["age"], "k": 2}}]
+        campaign = compiler.compile(spec)
+        assert "prepare_split" not in campaign.procedural.service_names()
+
+    def test_quality_preference_picks_most_sophisticated(self, compiler):
+        spec = small_churn_spec()
+        spec["goals"][0]["optimize_for"] = "quality"
+        campaign = compiler.compile(spec)
+        assert campaign.option_signature()["churn"] == "classify_decision_tree"
+
+    def test_cost_preference_picks_cheapest_non_baseline(self, compiler):
+        spec = small_churn_spec()
+        spec["goals"][0]["optimize_for"] = "cost"
+        campaign = compiler.compile(spec)
+        assert campaign.option_signature()["churn"] == "classify_naive_bayes"
+
+    def test_interpretability_preference_prefers_rules(self, compiler):
+        spec = small_churn_spec()
+        spec["goals"][0]["optimize_for"] = "interpretability"
+        campaign = compiler.compile(spec)
+        assert campaign.option_signature()["churn"] == "classify_decision_tree"
+
+    def test_preferred_model_forces_selection(self, compiler):
+        spec = small_churn_spec()
+        spec["goals"][0]["model"] = "baseline"
+        campaign = compiler.compile(spec)
+        assert campaign.option_signature()["churn"] == "classify_majority_baseline"
+
+    def test_unknown_model_fails_composition(self, compiler):
+        spec = small_churn_spec()
+        spec["goals"][0]["model"] = "quantum_forest"
+        with pytest.raises(CompositionError):
+            compiler.compile(spec)
+
+    def test_streaming_source_requires_streaming_capable_service(self, compiler):
+        spec = small_churn_spec()
+        spec["source"]["streaming"] = True
+        # classification does not support streaming
+        with pytest.raises(CompositionError):
+            compiler.compile(spec)
+
+    def test_streaming_anomaly_detection_composes(self, compiler):
+        spec = {
+            "name": "stream-anomaly",
+            "source": {"scenario": "energy", "num_records": 2000, "streaming": True,
+                       "batch_size": 250},
+            "goals": [{"id": "detect", "task": "anomaly_detection",
+                       "params": {"value_field": "kwh", "label_field": "is_anomaly"}}],
+        }
+        campaign = compiler.compile(spec)
+        assert campaign.deployment.streaming
+        assert campaign.option_signature()["detect"].startswith("detect_anomalies")
+
+    def test_goal_params_filtered_to_service_parameters(self, compiler):
+        spec = small_churn_spec()
+        spec["goals"][0]["params"]["irrelevant_setting"] = 42
+        campaign = compiler.compile(spec)
+        analytics = campaign.procedural.analytics_steps[0]
+        assert "irrelevant_setting" not in analytics.params
+
+    def test_multiple_goals_share_preparation_chain(self, compiler):
+        spec = small_churn_spec()
+        spec["goals"].append({"id": "segments", "task": "clustering",
+                              "params": {"features": ["age"], "k": 3}})
+        campaign = compiler.compile(spec)
+        analytics = campaign.procedural.analytics_steps
+        assert len(analytics) == 2
+        assert analytics[0].depends_on == analytics[1].depends_on
+
+    def test_export_table_step_only_when_requested_and_allowed(self, compiler):
+        spec = small_churn_spec(deployment={"num_partitions": 2, "export_table": True})
+        assert "display_table" in compiler.compile(spec).procedural.service_names()
+        health_spec = {
+            "name": "h", "policy": "health_strict", "purpose": "research",
+            "source": {"scenario": "patients", "num_records": 1000},
+            "deployment": {"export_table": True},
+            "goals": [{"id": "g", "task": "descriptive", "params": {"fields": ["age"]}}],
+        }
+        assert "display_table" not in \
+            compiler.compile(health_spec).procedural.service_names()
+
+    def test_csv_and_records_sources(self, compiler, tmp_path, churn_records):
+        from repro.data.schemas import CHURN_SCHEMA
+        from repro.data.sources import write_csv
+        path = str(tmp_path / "c.csv")
+        write_csv(path, churn_records[:20], CHURN_SCHEMA)
+        csv_spec = small_churn_spec()
+        csv_spec["source"] = {"csv_path": path}
+        assert compiler.compile(csv_spec).procedural.step("ingest").service_name == \
+            "ingest_csv"
+        records_spec = small_churn_spec()
+        records_spec["source"] = {"records": [{"v": 1}]}
+        assert compiler.compile(records_spec).procedural.step("ingest").service_name == \
+            "ingest_records"
+
+
+class TestProceduralToDeployment:
+    def test_defaults_derived_from_data_size(self, compiler):
+        declarative = parse_spec(small_churn_spec())
+        procedural = DeclarativeToProcedural(compiler.catalog).compile(declarative)
+        spec_no_prefs = small_churn_spec()
+        spec_no_prefs.pop("deployment")
+        declarative2 = parse_spec(spec_no_prefs)
+        deployment = ProceduralToDeployment().compile(procedural, declarative2)
+        assert deployment.num_partitions == 2  # 1500 records -> minimum partitions
+        assert deployment.engine_config.num_workers <= 4
+        assert not deployment.streaming
+
+    def test_partition_heuristic_scales_with_records(self):
+        assert ProceduralToDeployment._default_partitions(1_000) == 2
+        assert ProceduralToDeployment._default_partitions(25_000) == 10
+        assert ProceduralToDeployment._default_partitions(10_000_000) == 16
+
+    def test_preferences_respected(self, compiler):
+        spec = small_churn_spec(deployment={"cluster_profile": "small-4",
+                                            "num_partitions": 6, "num_workers": 3,
+                                            "failure_rate": 0.1})
+        campaign = compiler.compile(spec)
+        deployment = campaign.deployment
+        assert deployment.cluster_profile_name == "small-4"
+        assert deployment.num_partitions == 6
+        assert deployment.engine_config.num_workers == 3
+        assert deployment.engine_config.failure_rate == 0.1
+
+    def test_unknown_cluster_profile_rejected(self, compiler):
+        spec = small_churn_spec(deployment={"cluster_profile": "mega-cluster"})
+        with pytest.raises(DeploymentError):
+            compiler.compile(spec)
+
+    def test_streaming_deployment_defaults_max_batches(self, compiler):
+        spec = {
+            "name": "s", "source": {"scenario": "energy", "num_records": 1000,
+                                    "streaming": True, "batch_size": 100},
+            "goals": [{"id": "d", "task": "anomaly_detection",
+                       "params": {"value_field": "kwh"}}],
+        }
+        deployment = compiler.compile(spec).deployment
+        assert deployment.streaming
+        assert deployment.max_batches == 10
+
+    def test_deployment_describe_and_dict(self, compiler):
+        campaign = compiler.compile(small_churn_spec())
+        text = campaign.deployment.describe()
+        assert "cluster profile" in text
+        as_dict = campaign.deployment.as_dict()
+        assert as_dict["cluster_profile"] == "local"
+        assert as_dict["num_partitions"] == 2
+
+
+class TestCampaignCompilerFacade:
+    def test_compile_returns_all_three_models(self, compiler):
+        campaign = compiler.compile(small_churn_spec())
+        assert campaign.declarative.name == campaign.procedural.name == "test-churn"
+        assert campaign.deployment.procedural is campaign.procedural
+        assert campaign.name == "test-churn"
+
+    def test_describe_mentions_goals_and_policy(self, compiler):
+        description = compiler.compile(small_churn_spec()).describe()
+        assert "churn" in description
+        assert "open_data" in description
+
+    def test_compile_accepts_json_string(self, compiler):
+        import json
+        campaign = compiler.compile(json.dumps(small_churn_spec()))
+        assert campaign.name == "test-churn"

@@ -1,0 +1,200 @@
+"""Declarative model and the specification DSL (parsing + round-trip)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.declarative import (DataSourceDeclaration, DeclarativeModel, Goal,
+                                    VALID_TASKS)
+from repro.core.dsl import parse_spec, spec_to_dict, spec_to_json
+from repro.core.vocabulary import Objective
+from repro.errors import SpecificationError
+from tests.conftest import small_churn_spec
+
+
+class TestDataSourceDeclaration:
+    def test_exactly_one_source_kind_required(self):
+        with pytest.raises(SpecificationError):
+            DataSourceDeclaration()
+        with pytest.raises(SpecificationError):
+            DataSourceDeclaration(scenario="churn", csv_path="x.csv")
+
+    def test_kind_property(self):
+        assert DataSourceDeclaration(scenario="churn").kind == "scenario"
+        assert DataSourceDeclaration(csv_path="a.csv").kind == "csv"
+        assert DataSourceDeclaration(records=({"a": 1},)).kind == "records"
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(SpecificationError):
+            DataSourceDeclaration(scenario="churn", num_records=0)
+        with pytest.raises(SpecificationError):
+            DataSourceDeclaration(scenario="churn", batch_size=0)
+
+
+class TestGoal:
+    def test_valid_tasks_only(self):
+        with pytest.raises(SpecificationError):
+            Goal("g", "prediction")
+        for task in VALID_TASKS:
+            Goal("g", task)
+
+    def test_goal_id_required(self):
+        with pytest.raises(SpecificationError):
+            Goal("", "classification")
+
+    def test_optimize_for_validation(self):
+        with pytest.raises(SpecificationError):
+            Goal("g", "classification", optimize_for="vibes")
+
+    def test_params_and_objective_lookup(self):
+        goal = Goal("g", "classification",
+                    objectives=(Objective("accuracy", 0.7),),
+                    task_params=(("label", "churned"),))
+        assert goal.params == {"label": "churned"}
+        assert goal.objective_for("accuracy").target == 0.7
+        assert goal.objective_for("recall") is None
+
+
+class TestDeclarativeModel:
+    def test_needs_name_and_goals(self):
+        source = DataSourceDeclaration(scenario="churn")
+        with pytest.raises(SpecificationError):
+            DeclarativeModel(name="", source=source,
+                             goals=(Goal("g", "classification"),))
+        with pytest.raises(SpecificationError):
+            DeclarativeModel(name="x", source=source, goals=())
+
+    def test_duplicate_goal_ids_rejected(self):
+        source = DataSourceDeclaration(scenario="churn")
+        goals = (Goal("g", "classification"), Goal("g", "clustering"))
+        with pytest.raises(SpecificationError):
+            DeclarativeModel(name="x", source=source, goals=goals)
+
+    def test_goal_lookup(self):
+        source = DataSourceDeclaration(scenario="churn")
+        model = DeclarativeModel(name="x", source=source,
+                                 goals=(Goal("g", "classification"),))
+        assert model.goal("g").task == "classification"
+        with pytest.raises(SpecificationError):
+            model.goal("missing")
+
+    def test_all_objectives_flattened(self):
+        goals = (Goal("a", "classification", objectives=(Objective("accuracy", 0.7),)),
+                 Goal("b", "clustering", objectives=(Objective("cluster_balance", 0.1),)))
+        model = DeclarativeModel(name="x", source=DataSourceDeclaration(scenario="churn"),
+                                 goals=goals)
+        assert [objective.indicator_name for objective in model.all_objectives] == \
+            ["accuracy", "cluster_balance"]
+
+
+class TestParseSpec:
+    def test_parse_minimal_spec(self):
+        model = parse_spec(small_churn_spec())
+        assert model.name == "test-churn"
+        assert model.source.scenario == "churn"
+        assert model.goals[0].task == "classification"
+        assert model.goals[0].objectives[0].indicator_name == "accuracy"
+
+    def test_parse_json_string(self):
+        model = parse_spec(json.dumps(small_churn_spec()))
+        assert model.name == "test-churn"
+
+    def test_parse_existing_model_is_identity(self):
+        model = parse_spec(small_churn_spec())
+        assert parse_spec(model) is model
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SpecificationError):
+            parse_spec("{not json")
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(SpecificationError):
+            parse_spec(42)
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(SpecificationError):
+            parse_spec({"source": {"scenario": "churn"}, "goals": [{"task": "descriptive"}]})
+        with pytest.raises(SpecificationError):
+            parse_spec({"name": "x", "goals": [{"task": "descriptive"}]})
+        with pytest.raises(SpecificationError):
+            parse_spec({"name": "x", "source": {"scenario": "churn"}, "goals": []})
+
+    def test_goal_without_task_rejected(self):
+        spec = small_churn_spec()
+        spec["goals"] = [{"id": "g"}]
+        with pytest.raises(SpecificationError):
+            parse_spec(spec)
+
+    def test_goal_ids_defaulted_by_position(self):
+        spec = small_churn_spec()
+        del spec["goals"][0]["id"]
+        model = parse_spec(spec)
+        assert model.goals[0].goal_id == "goal-0"
+
+    def test_bad_section_types_rejected(self):
+        spec = small_churn_spec()
+        spec["privacy"] = ["not", "a", "mapping"]
+        with pytest.raises(SpecificationError):
+            parse_spec(spec)
+
+    def test_unknown_indicator_in_objective_rejected(self):
+        spec = small_churn_spec()
+        spec["goals"][0]["objectives"] = [{"indicator": "coolness", "target": 1}]
+        from repro.errors import VocabularyError
+        with pytest.raises(VocabularyError):
+            parse_spec(spec)
+
+    def test_defaults_applied(self):
+        spec = {"name": "d", "source": {"scenario": "churn"},
+                "goals": [{"task": "descriptive", "params": {"fields": ["age"]}}]}
+        model = parse_spec(spec)
+        assert model.policy_name == "open_data"
+        assert model.purpose == "analytics"
+        assert model.region == "eu"
+        assert model.source.num_records == 10_000
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_model(self):
+        original = parse_spec(small_churn_spec())
+        roundtripped = parse_spec(spec_to_dict(original))
+        assert roundtripped == original
+
+    def test_json_roundtrip(self):
+        original = parse_spec(small_churn_spec())
+        assert parse_spec(spec_to_json(original)) == original
+
+    def test_records_source_roundtrip(self):
+        spec = {"name": "r", "source": {"records": [{"v": 1}, {"v": 2}]},
+                "goals": [{"task": "descriptive", "params": {"fields": ["v"]}}]}
+        original = parse_spec(spec)
+        assert parse_spec(spec_to_dict(original)) == original
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        name=st.text(min_size=1, max_size=20),
+        num_records=st.integers(1, 100_000),
+        task=st.sampled_from(VALID_TASKS),
+        target=st.floats(0.01, 100.0, allow_nan=False),
+        policy=st.sampled_from(["open_data", "gdpr_baseline", "health_strict"]),
+        optimize_for=st.sampled_from(["quality", "cost", "speed", "interpretability"]),
+        streaming=st.booleans(),
+    )
+    def test_property_roundtrip_for_generated_specs(self, name, num_records, task,
+                                                    target, policy, optimize_for,
+                                                    streaming):
+        spec = {
+            "name": name,
+            "policy": policy,
+            "source": {"scenario": "churn", "num_records": num_records,
+                       "streaming": streaming},
+            "goals": [{"id": "g", "task": task, "optimize_for": optimize_for,
+                       "objectives": [{"indicator": "execution_time",
+                                       "target": target}]}],
+        }
+        original = parse_spec(spec)
+        assert parse_spec(spec_to_dict(original)) == original

@@ -1,0 +1,162 @@
+"""Indicator vocabulary, objectives and the indicator evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.indicators import IndicatorEvaluator
+from repro.core.vocabulary import (INDICATORS, Indicator, Objective, indicator,
+                                   validate_objective)
+from repro.errors import VocabularyError
+
+
+class TestVocabulary:
+    def test_core_indicators_present(self):
+        for name in ("accuracy", "execution_time", "monetary_cost", "k_anonymity",
+                     "records_processed", "rules_found", "r2", "latency"):
+            assert name in INDICATORS
+
+    def test_every_category_covered(self):
+        categories = {ind.category for ind in INDICATORS.values()}
+        assert categories == {"analytics_quality", "performance", "cost", "privacy",
+                              "coverage"}
+
+    def test_lookup_unknown_indicator(self):
+        with pytest.raises(VocabularyError):
+            indicator("unknown_metric")
+
+    def test_invalid_indicator_definitions_rejected(self):
+        with pytest.raises(VocabularyError):
+            Indicator("x", "bad_category", "u", "maximize", "x")
+        with pytest.raises(VocabularyError):
+            Indicator("x", "cost", "u", "sideways", "x")
+
+    def test_default_comparators_follow_direction(self):
+        assert indicator("accuracy").default_comparator() == ">="
+        assert indicator("execution_time").default_comparator() == "<="
+
+
+class TestObjective:
+    def test_unknown_indicator_rejected(self):
+        with pytest.raises(VocabularyError):
+            Objective("not_an_indicator", 1.0)
+
+    def test_invalid_comparator_rejected(self):
+        with pytest.raises(VocabularyError):
+            Objective("accuracy", 0.5, comparator="~~")
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(VocabularyError):
+            Objective("accuracy", 0.5, weight=0)
+
+    def test_satisfaction_maximize(self):
+        objective = Objective("accuracy", 0.7)
+        assert objective.is_satisfied(0.7)
+        assert objective.is_satisfied(0.9)
+        assert not objective.is_satisfied(0.6)
+        assert not objective.is_satisfied(None)
+
+    def test_satisfaction_minimize(self):
+        objective = Objective("execution_time", 10.0)
+        assert objective.is_satisfied(5.0)
+        assert not objective.is_satisfied(20.0)
+
+    def test_explicit_comparator_overrides_default(self):
+        objective = Objective("policy_violations", 0, comparator="<=")
+        assert objective.is_satisfied(0)
+        assert not objective.is_satisfied(1)
+
+    def test_strict_comparators(self):
+        assert Objective("accuracy", 0.5, comparator=">").is_satisfied(0.51)
+        assert not Objective("accuracy", 0.5, comparator=">").is_satisfied(0.5)
+        assert Objective("rmse", 1.0, comparator="<").is_satisfied(0.9)
+        assert Objective("accuracy", 0.5, comparator="==").is_satisfied(0.5)
+
+    def test_describe(self):
+        assert Objective("accuracy", 0.7).describe() == "accuracy >= 0.7"
+
+    def test_validate_objective_from_dict(self):
+        objective = validate_objective({"indicator": "f1", "target": 0.6,
+                                        "weight": 2, "hard": False})
+        assert objective.indicator_name == "f1"
+        assert objective.weight == 2.0
+        assert objective.hard is False
+
+    def test_validate_objective_missing_keys(self):
+        with pytest.raises(VocabularyError):
+            validate_objective({"indicator": "f1"})
+        with pytest.raises(VocabularyError):
+            validate_objective({"target": 1.0})
+
+
+class TestIndicatorEvaluator:
+    def test_lookup_direct_metric_key(self):
+        evaluations = IndicatorEvaluator().evaluate(
+            [Objective("accuracy", 0.7)], {"accuracy": 0.8})
+        assert evaluations[0].value == 0.8
+        assert evaluations[0].satisfied
+
+    def test_lookup_falls_back_to_namespaced_key(self):
+        evaluations = IndicatorEvaluator().evaluate(
+            [Objective("accuracy", 0.7)], {"analytics-goal.accuracy": 0.75})
+        assert evaluations[0].value == 0.75
+
+    def test_namespaced_fallback_uses_worst_value(self):
+        metrics = {"a.accuracy": 0.9, "b.accuracy": 0.6}
+        evaluations = IndicatorEvaluator().evaluate([Objective("accuracy", 0.7)], metrics)
+        assert evaluations[0].value == 0.6
+        metrics_time = {"a.training_time_s": 1.0, "b.training_time_s": 5.0}
+        evaluations = IndicatorEvaluator().evaluate(
+            [Objective("training_time", 2.0)], metrics_time)
+        assert evaluations[0].value == 5.0
+
+    def test_missing_metric_not_satisfied(self):
+        evaluations = IndicatorEvaluator().evaluate([Objective("accuracy", 0.7)], {})
+        assert evaluations[0].value is None
+        assert not evaluations[0].satisfied
+        assert evaluations[0].score == 0.0
+
+    def test_scores_scale_with_distance_from_target(self):
+        evaluator = IndicatorEvaluator()
+        low = evaluator.evaluate([Objective("accuracy", 0.8)], {"accuracy": 0.4})[0]
+        high = evaluator.evaluate([Objective("accuracy", 0.8)], {"accuracy": 0.8})[0]
+        assert low.score == pytest.approx(0.5)
+        assert high.score == pytest.approx(1.0)
+
+    def test_minimize_score(self):
+        evaluator = IndicatorEvaluator()
+        good = evaluator.evaluate([Objective("execution_time", 10.0)],
+                                  {"execution_time_s": 5.0})[0]
+        bad = evaluator.evaluate([Objective("execution_time", 10.0)],
+                                 {"execution_time_s": 40.0})[0]
+        assert good.score > 1.0
+        assert bad.score == pytest.approx(0.25)
+
+    def test_summary_aggregates(self):
+        evaluator = IndicatorEvaluator()
+        objectives = [Objective("accuracy", 0.7), Objective("execution_time", 10.0),
+                      Objective("recall", 0.9, hard=False)]
+        metrics = {"accuracy": 0.75, "execution_time_s": 5.0, "recall": 0.3}
+        summary = evaluator.summary(evaluator.evaluate(objectives, metrics))
+        assert summary["objectives"] == 3
+        assert summary["satisfied"] == 2
+        assert summary["hard_objectives_met"] == 1.0  # the failing one is soft
+        assert 0 < summary["weighted_score"] <= 1.5
+
+    def test_summary_hard_failure(self):
+        evaluator = IndicatorEvaluator()
+        summary = evaluator.summary(evaluator.evaluate(
+            [Objective("accuracy", 0.9)], {"accuracy": 0.5}))
+        assert summary["hard_objectives_met"] == 0.0
+
+    def test_summary_of_no_objectives(self):
+        summary = IndicatorEvaluator().summary([])
+        assert summary["satisfaction_rate"] == 1.0
+        assert summary["weighted_score"] == 1.0
+
+    def test_evaluation_serialisation(self):
+        evaluation = IndicatorEvaluator().evaluate(
+            [Objective("accuracy", 0.7)], {"accuracy": 0.8})[0]
+        as_dict = evaluation.as_dict()
+        assert as_dict["indicator"] == "accuracy"
+        assert as_dict["satisfied"] is True

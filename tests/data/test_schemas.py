@@ -1,0 +1,119 @@
+"""Schemas: validation, personal-data flags, projection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.schemas import (BUILTIN_SCHEMAS, CHURN_SCHEMA, ENERGY_SCHEMA,
+                                PATIENT_SCHEMA, RETAIL_SCHEMA, WEB_LOG_SCHEMA,
+                                Field, Schema)
+from repro.errors import SchemaError
+
+
+class TestField:
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(SchemaError):
+            Field("x", "decimal")
+
+    def test_validate_accepts_matching_type(self):
+        Field("x", "int").validate(5)
+        Field("x", "float").validate(5)       # int is an acceptable float
+        Field("x", "str").validate("a")
+        Field("x", "list").validate([1, 2])
+
+    def test_validate_rejects_wrong_type(self):
+        with pytest.raises(SchemaError):
+            Field("x", "int").validate("5")
+        with pytest.raises(SchemaError):
+            Field("x", "str").validate(3)
+
+    def test_bool_is_not_a_number(self):
+        with pytest.raises(SchemaError):
+            Field("x", "int").validate(True)
+        with pytest.raises(SchemaError):
+            Field("x", "float").validate(False)
+
+    def test_nullable_controls_none(self):
+        Field("x", "int", nullable=True).validate(None)
+        with pytest.raises(SchemaError):
+            Field("x", "int").validate(None)
+
+    def test_category_membership(self):
+        field = Field("x", "category", categories=("a", "b"))
+        field.validate("a")
+        with pytest.raises(SchemaError):
+            field.validate("c")
+
+
+class TestSchema:
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("s", (Field("a", "int"), Field("a", "str")))
+
+    def test_field_lookup(self):
+        assert CHURN_SCHEMA.field("age").dtype == "int"
+        assert CHURN_SCHEMA.has_field("churned")
+        assert not CHURN_SCHEMA.has_field("nope")
+        with pytest.raises(SchemaError):
+            CHURN_SCHEMA.field("nope")
+
+    def test_validate_record_happy_path(self):
+        record = {"a": 1, "b": "x"}
+        Schema("s", (Field("a", "int"), Field("b", "str"))).validate_record(record)
+
+    def test_validate_record_missing_required_field(self):
+        schema = Schema("s", (Field("a", "int"),))
+        with pytest.raises(SchemaError):
+            schema.validate_record({})
+
+    def test_validate_record_missing_nullable_field_ok(self):
+        schema = Schema("s", (Field("a", "int", nullable=True),))
+        schema.validate_record({})
+
+    def test_validate_record_rejects_non_dict(self):
+        with pytest.raises(SchemaError):
+            Schema("s", (Field("a", "int"),)).validate_record([1])
+
+    def test_validate_records_counts(self):
+        schema = Schema("s", (Field("a", "int"),))
+        assert schema.validate_records([{"a": 1}, {"a": 2}]) == 2
+
+    def test_project_keeps_order_and_fields(self):
+        projected = CHURN_SCHEMA.project(["age", "churned"])
+        assert projected.field_names == ["age", "churned"]
+
+    def test_project_unknown_field_rejected(self):
+        with pytest.raises(SchemaError):
+            CHURN_SCHEMA.project(["does_not_exist"])
+
+    def test_drop_removes_fields(self):
+        dropped = CHURN_SCHEMA.drop(["customer_id"])
+        assert not dropped.has_field("customer_id")
+        assert dropped.has_field("age")
+
+    def test_personal_data_flags(self):
+        assert CHURN_SCHEMA.is_personal_data
+        assert "customer_id" in CHURN_SCHEMA.sensitive_fields
+        assert "age" in CHURN_SCHEMA.quasi_identifiers
+        assert PATIENT_SCHEMA.is_personal_data
+        assert "diagnosis" in PATIENT_SCHEMA.sensitive_fields
+
+
+class TestBuiltinSchemas:
+    @pytest.mark.parametrize("schema", [CHURN_SCHEMA, ENERGY_SCHEMA, WEB_LOG_SCHEMA,
+                                        RETAIL_SCHEMA, PATIENT_SCHEMA])
+    def test_every_builtin_schema_has_fields(self, schema):
+        assert len(schema.fields) >= 5
+        assert schema.name
+
+    def test_builtin_registry_covers_all_scenarios(self):
+        assert set(BUILTIN_SCHEMAS) == {"churn", "energy", "web_logs", "retail",
+                                        "patients"}
+
+    def test_patient_schema_quasi_identifiers(self):
+        assert set(PATIENT_SCHEMA.quasi_identifiers) == {"age", "gender", "zip_code"}
+
+    def test_weblog_user_id_is_nullable_and_sensitive(self):
+        field = WEB_LOG_SCHEMA.field("user_id")
+        assert field.nullable
+        assert field.sensitive

@@ -1,0 +1,128 @@
+"""Data sources: partitioned reads, CSV round-trips, stream sources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.generators import ChurnDataGenerator
+from repro.data.schemas import CHURN_SCHEMA, RETAIL_SCHEMA
+from repro.data.sources import (CSVFileSource, GeneratorSource, GeneratorStreamSource,
+                                InMemorySource, ReplayStreamSource, write_csv)
+from repro.errors import SourceError
+
+
+class TestInMemorySource:
+    def test_partitions_cover_all_records(self):
+        records = [{"v": i} for i in range(10)]
+        source = InMemorySource("mem", records)
+        gathered = []
+        for partition in range(3):
+            gathered.extend(source.read_partition(partition, 3))
+        assert gathered == records
+
+    def test_estimated_size(self):
+        assert InMemorySource("mem", [{"v": 1}] * 7).estimated_size() == 7
+
+    def test_read_all(self):
+        source = InMemorySource("mem", [{"v": 1}, {"v": 2}])
+        assert list(source.read_all()) == [{"v": 1}, {"v": 2}]
+
+    def test_repr_mentions_name(self):
+        assert "mem" in repr(InMemorySource("mem", []))
+
+
+class TestGeneratorSource:
+    def test_partition_contents_independent_of_partition_count(self):
+        generator = ChurnDataGenerator(seed=3)
+        source = GeneratorSource(generator, 100)
+        two_parts = [record for p in range(2) for record in source.read_partition(p, 2)]
+        five_parts = [record for p in range(5) for record in source.read_partition(p, 5)]
+        assert two_parts == five_parts
+
+    def test_matches_direct_generation(self):
+        generator = ChurnDataGenerator(seed=3)
+        source = GeneratorSource(generator, 50)
+        assert list(source.read_partition(0, 1)) == ChurnDataGenerator(seed=3).generate(50)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SourceError):
+            GeneratorSource(ChurnDataGenerator(), -1)
+
+    def test_schema_is_exposed(self):
+        assert GeneratorSource(ChurnDataGenerator(), 10).schema is CHURN_SCHEMA
+
+    def test_source_works_with_engine(self, engine):
+        source = GeneratorSource(ChurnDataGenerator(seed=1), 200)
+        ds = engine.from_source(source, 4)
+        assert ds.count() == 200
+
+
+class TestCSVSource:
+    def test_roundtrip_with_schema_types(self, tmp_path):
+        records = ChurnDataGenerator(seed=2).generate(30)
+        path = str(tmp_path / "churn.csv")
+        assert write_csv(path, records, CHURN_SCHEMA) == 30
+        source = CSVFileSource(path, CHURN_SCHEMA)
+        loaded = list(source.read_all())
+        assert len(loaded) == 30
+        assert loaded[0]["age"] == records[0]["age"]
+        assert isinstance(loaded[0]["monthly_charges"], float)
+        assert isinstance(loaded[0]["tenure_months"], int)
+
+    def test_list_field_roundtrip(self, tmp_path):
+        from repro.data.generators import RetailTransactionGenerator
+        records = RetailTransactionGenerator(seed=2).generate(10)
+        path = str(tmp_path / "retail.csv")
+        write_csv(path, records, RETAIL_SCHEMA)
+        loaded = list(CSVFileSource(path, RETAIL_SCHEMA).read_all())
+        assert loaded[0]["basket"] == records[0]["basket"]
+
+    def test_missing_file_raises(self):
+        with pytest.raises(SourceError):
+            CSVFileSource("/does/not/exist.csv")
+
+    def test_without_schema_values_stay_strings(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("a,b\n1,x\n2,y\n", encoding="utf-8")
+        loaded = list(CSVFileSource(str(path)).read_all())
+        assert loaded == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+    def test_partitioned_read(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("a\n" + "\n".join(str(i) for i in range(10)), encoding="utf-8")
+        source = CSVFileSource(str(path))
+        assert source.estimated_size() == 10
+        first = list(source.read_partition(0, 2))
+        second = list(source.read_partition(1, 2))
+        assert len(first) + len(second) == 10
+
+
+class TestStreamSources:
+    def test_generator_stream_produces_disjoint_batches(self):
+        stream = GeneratorStreamSource(ChurnDataGenerator(seed=1), batch_size=10)
+        first = stream.next_batch(0)
+        second = stream.next_batch(1)
+        assert len(first) == len(second) == 10
+        assert first[0]["customer_id"] != second[0]["customer_id"]
+
+    def test_generator_stream_respects_max_batches(self):
+        stream = GeneratorStreamSource(ChurnDataGenerator(seed=1), batch_size=5,
+                                       max_batches=2)
+        assert stream.next_batch(0) is not None
+        assert stream.next_batch(1) is not None
+        assert stream.next_batch(2) is None
+
+    def test_generator_stream_invalid_batch_size(self):
+        with pytest.raises(SourceError):
+            GeneratorStreamSource(ChurnDataGenerator(), batch_size=0)
+
+    def test_replay_stream_ends_when_exhausted(self):
+        stream = ReplayStreamSource([{"v": i} for i in range(7)], batch_size=3)
+        assert len(stream.next_batch(0)) == 3
+        assert len(stream.next_batch(1)) == 3
+        assert len(stream.next_batch(2)) == 1
+        assert stream.next_batch(3) is None
+
+    def test_replay_stream_invalid_batch_size(self):
+        with pytest.raises(SourceError):
+            ReplayStreamSource([], batch_size=0)

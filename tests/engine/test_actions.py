@@ -1,0 +1,141 @@
+"""Dataset actions: collect, count, reduce, aggregates, take/top, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanError
+
+
+class TestCounting:
+    def test_count(self, engine):
+        assert engine.range(123, num_partitions=5).count() == 123
+
+    def test_count_empty(self, engine):
+        assert engine.empty().count() == 0
+
+    def test_count_by_value(self, engine):
+        ds = engine.parallelize(list("aabbbc"), 3)
+        assert ds.count_by_value() == {"a": 2, "b": 3, "c": 1}
+
+
+class TestTakeFirstTop:
+    def test_take_returns_prefix(self, engine):
+        assert engine.range(100, num_partitions=4).take(5) == [0, 1, 2, 3, 4]
+
+    def test_take_more_than_available(self, engine):
+        assert engine.parallelize([1, 2], 2).take(10) == [1, 2]
+
+    def test_take_zero(self, engine):
+        assert engine.range(10).take(0) == []
+
+    def test_take_scans_partitions_lazily(self, engine):
+        # only the first partition is needed to produce 2 records
+        ds = engine.range(100, num_partitions=4)
+        assert ds.take(2) == [0, 1]
+
+    def test_first(self, engine):
+        assert engine.parallelize(["x", "y"], 2).first() == "x"
+
+    def test_first_on_empty_raises(self, engine):
+        with pytest.raises(PlanError):
+            engine.empty().first()
+
+    def test_top_default_order(self, engine):
+        assert engine.parallelize([5, 1, 9, 3], 2).top(2) == [9, 5]
+
+    def test_top_with_key(self, engine):
+        words = ["bb", "a", "dddd", "ccc"]
+        assert engine.parallelize(words, 2).top(2, key=len) == ["dddd", "ccc"]
+
+
+class TestReductions:
+    def test_reduce_sum(self, engine):
+        assert engine.range(101, num_partitions=4).reduce(lambda a, b: a + b) == 5050
+
+    def test_reduce_empty_raises(self, engine):
+        with pytest.raises(PlanError):
+            engine.empty().reduce(lambda a, b: a + b)
+
+    def test_reduce_with_empty_partitions(self, engine):
+        ds = engine.parallelize([7], 4)
+        assert ds.reduce(lambda a, b: a + b) == 7
+
+    def test_fold(self, engine):
+        assert engine.range(10, num_partitions=3).fold(0, lambda a, b: a + b) == 45
+
+    def test_fold_on_empty_returns_zero_value(self, engine):
+        assert engine.empty().fold(99, lambda a, b: a + b) == 99
+
+    def test_aggregate_count_and_sum(self, engine):
+        count, total = engine.range(10, num_partitions=3).aggregate(
+            (0, 0), lambda acc, x: (acc[0] + 1, acc[1] + x),
+            lambda a, b: (a[0] + b[0], a[1] + b[1]))
+        assert (count, total) == (10, 45)
+
+    def test_sum_mean_min_max(self, engine):
+        ds = engine.parallelize([4.0, 8.0, 6.0], 2)
+        assert ds.sum() == pytest.approx(18.0)
+        assert ds.mean() == pytest.approx(6.0)
+        assert ds.min() == 4.0
+        assert ds.max() == 8.0
+
+    def test_mean_of_empty_raises(self, engine):
+        with pytest.raises(PlanError):
+            engine.empty().mean()
+
+    def test_min_max_with_key(self, engine):
+        records = [{"v": 3}, {"v": 9}, {"v": 1}]
+        ds = engine.parallelize(records, 2)
+        assert ds.min(key=lambda r: r["v"]) == {"v": 1}
+        assert ds.max(key=lambda r: r["v"]) == {"v": 9}
+
+
+class TestStatsAndHistogram:
+    def test_stats_basic(self, engine):
+        stats = engine.parallelize([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0], 3).stats()
+        assert stats["count"] == 8
+        assert stats["mean"] == pytest.approx(5.0)
+        assert stats["stdev"] == pytest.approx(2.0)
+        assert stats["min"] == 2.0
+        assert stats["max"] == 9.0
+
+    def test_stats_empty(self, engine):
+        stats = engine.empty().stats()
+        assert stats["count"] == 0
+
+    def test_histogram_even_buckets(self, engine):
+        edges, counts = engine.range(100, num_partitions=4).histogram(4)
+        assert len(edges) == 5
+        assert counts == [25, 25, 25, 25]
+
+    def test_histogram_constant_values(self, engine):
+        edges, counts = engine.parallelize([3.0] * 7, 2).histogram(5)
+        assert counts == [7]
+
+    def test_histogram_rejects_zero_buckets(self, engine):
+        with pytest.raises(PlanError):
+            engine.range(10).histogram(0)
+
+    def test_histogram_empty_dataset(self, engine):
+        assert engine.empty().histogram(3) == ([], [])
+
+
+class TestOtherActions:
+    def test_collect_as_map(self, engine):
+        assert engine.parallelize([("a", 1), ("b", 2)], 2).collect_as_map() == \
+            {"a": 1, "b": 2}
+
+    def test_lookup(self, engine):
+        pairs = engine.parallelize([("a", 1), ("b", 2), ("a", 3)], 3)
+        assert sorted(pairs.lookup("a")) == [1, 3]
+        assert pairs.lookup("missing") == []
+
+    def test_foreach_visits_every_record(self, engine):
+        seen = []
+        engine.range(10, num_partitions=1).foreach(seen.append)
+        assert sorted(seen) == list(range(10))
+
+    def test_to_local_iterator(self, engine):
+        ds = engine.range(25, num_partitions=5)
+        assert list(ds.to_local_iterator()) == list(range(25))

@@ -1,0 +1,155 @@
+"""Narrow transformations and basic actions of the dataset API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanError
+
+
+class TestCreation:
+    def test_parallelize_collect_roundtrip(self, engine):
+        data = list(range(50))
+        assert engine.parallelize(data, 4).collect() == data
+
+    def test_parallelize_respects_partition_count(self, engine):
+        ds = engine.parallelize(range(10), 3)
+        assert ds.num_partitions == 3
+
+    def test_parallelize_defaults_partitions_to_config(self, engine):
+        ds = engine.parallelize(range(100))
+        assert ds.num_partitions == engine.config.default_parallelism
+
+    def test_parallelize_empty_collection(self, engine):
+        assert engine.parallelize([], 1).collect() == []
+
+    def test_parallelize_fewer_records_than_partitions(self, engine):
+        ds = engine.parallelize([1, 2], 8)
+        assert sorted(ds.collect()) == [1, 2]
+
+    def test_range_matches_builtin(self, engine):
+        assert engine.range(5, 20, 3).collect() == list(range(5, 20, 3))
+
+    def test_range_single_argument(self, engine):
+        assert engine.range(7).collect() == list(range(7))
+
+    def test_empty_dataset(self, engine):
+        assert engine.empty().count() == 0
+
+    def test_zero_partition_dataset_rejected(self, engine):
+        with pytest.raises(PlanError):
+            engine.parallelize([1], 0)
+
+
+class TestMapFilter:
+    def test_map(self, engine):
+        assert engine.parallelize([1, 2, 3], 2).map(lambda x: x * 10).collect() == \
+            [10, 20, 30]
+
+    def test_filter(self, engine):
+        result = engine.range(20, num_partitions=4).filter(lambda x: x % 2 == 0).collect()
+        assert result == list(range(0, 20, 2))
+
+    def test_map_then_filter_pipeline(self, engine):
+        result = (engine.range(10, num_partitions=3)
+                  .map(lambda x: x * x)
+                  .filter(lambda x: x > 20)
+                  .collect())
+        assert result == [25, 36, 49, 64, 81]
+
+    def test_flat_map(self, engine):
+        result = engine.parallelize(["a b", "c"], 2).flat_map(str.split).collect()
+        assert result == ["a", "b", "c"]
+
+    def test_flat_map_empty_outputs(self, engine):
+        result = engine.range(6, num_partitions=2).flat_map(
+            lambda x: [x] * (x % 2)).collect()
+        assert result == [1, 3, 5]
+
+    def test_map_partitions(self, engine):
+        result = engine.range(10, num_partitions=2).map_partitions(
+            lambda it: [sum(it)]).collect()
+        assert sum(result) == sum(range(10))
+        assert len(result) == 2
+
+    def test_map_partitions_with_index(self, engine):
+        result = engine.range(8, num_partitions=4).map_partitions_with_index(
+            lambda index, it: [(index, len(list(it)))]).collect()
+        assert sorted(result) == [(0, 2), (1, 2), (2, 2), (3, 2)]
+
+    def test_laziness_no_execution_until_action(self, engine):
+        calls = []
+        engine.parallelize([1, 2, 3], 1).map(lambda x: calls.append(x) or x)
+        assert calls == []
+
+
+class TestKeyValueNarrow:
+    def test_key_by(self, engine):
+        assert engine.parallelize([3, 4], 1).key_by(lambda x: x % 2).collect() == \
+            [(1, 3), (0, 4)]
+
+    def test_keys_values(self, engine):
+        pairs = engine.parallelize([(1, "a"), (2, "b")], 2)
+        assert pairs.keys().collect() == [1, 2]
+        assert pairs.values().collect() == ["a", "b"]
+
+    def test_map_values(self, engine):
+        pairs = engine.parallelize([(1, 2), (3, 4)], 2)
+        assert pairs.map_values(lambda v: v * 10).collect() == [(1, 20), (3, 40)]
+
+    def test_flat_map_values(self, engine):
+        pairs = engine.parallelize([("a", [1, 2]), ("b", [])], 1)
+        assert pairs.flat_map_values(lambda v: v).collect() == [("a", 1), ("a", 2)]
+
+
+class TestStructural:
+    def test_union(self, engine):
+        left = engine.parallelize([1, 2], 2)
+        right = engine.parallelize([3, 4], 1)
+        union = left.union(right)
+        assert sorted(union.collect()) == [1, 2, 3, 4]
+        assert union.num_partitions == 3
+
+    def test_union_with_empty(self, engine):
+        ds = engine.parallelize([1, 2], 1).union(engine.empty())
+        assert sorted(ds.collect()) == [1, 2]
+
+    def test_sample_fraction_zero_and_one(self, engine):
+        ds = engine.range(100, num_partitions=4)
+        assert ds.sample(0.0).collect() == []
+        assert ds.sample(1.0).count() == 100
+
+    def test_sample_is_deterministic_for_seed(self, engine):
+        ds = engine.range(1000, num_partitions=4)
+        assert ds.sample(0.3, seed=9).collect() == ds.sample(0.3, seed=9).collect()
+
+    def test_sample_rejects_bad_fraction(self, engine):
+        with pytest.raises(PlanError):
+            engine.range(10).sample(1.5)
+
+    def test_coalesce_reduces_partitions(self, engine):
+        ds = engine.range(40, num_partitions=8).coalesce(3)
+        assert ds.num_partitions == 3
+        assert sorted(ds.collect()) == list(range(40))
+
+    def test_coalesce_to_more_partitions_is_noop(self, engine):
+        ds = engine.range(10, num_partitions=2)
+        assert ds.coalesce(5) is ds
+
+    def test_coalesce_rejects_zero(self, engine):
+        with pytest.raises(PlanError):
+            engine.range(10, num_partitions=2).coalesce(0)
+
+    def test_glom_returns_one_list_per_partition(self, engine):
+        ds = engine.range(9, num_partitions=3).glom()
+        lists = ds.collect()
+        assert len(lists) == 3
+        assert sorted(x for chunk in lists for x in chunk) == list(range(9))
+
+    def test_zip_with_index_is_global(self, engine):
+        ds = engine.parallelize(list("abcdef"), 3).zip_with_index()
+        assert ds.collect() == [("a", 0), ("b", 1), ("c", 2), ("d", 3), ("e", 4), ("f", 5)]
+
+    def test_set_name_and_repr(self, engine):
+        ds = engine.range(3).set_name("my-data")
+        assert "my-data" in repr(ds)

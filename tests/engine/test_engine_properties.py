@@ -1,0 +1,127 @@
+"""Property-based tests of the engine's core invariants (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import EngineConfig
+from repro.engine.context import EngineContext
+from repro.engine.partitioner import HashPartitioner, RangePartitioner
+
+_SETTINGS = settings(max_examples=30, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def _make_engine() -> EngineContext:
+    return EngineContext(EngineConfig(num_workers=1, default_parallelism=3, seed=0))
+
+
+class TestDatasetAlgebraProperties:
+    @_SETTINGS
+    @given(data=st.lists(st.integers(-1000, 1000), max_size=200),
+           partitions=st.integers(1, 7))
+    def test_collect_preserves_order_and_content(self, data, partitions):
+        with _make_engine() as ctx:
+            assert ctx.parallelize(data, partitions).collect() == data
+
+    @_SETTINGS
+    @given(data=st.lists(st.integers(-100, 100), max_size=150),
+           partitions=st.integers(1, 6))
+    def test_count_matches_len(self, data, partitions):
+        with _make_engine() as ctx:
+            assert ctx.parallelize(data, partitions).count() == len(data)
+
+    @_SETTINGS
+    @given(data=st.lists(st.integers(-50, 50), max_size=120))
+    def test_map_commutes_with_local_map(self, data):
+        with _make_engine() as ctx:
+            assert ctx.parallelize(data, 4).map(lambda x: x * 2 + 1).collect() == \
+                [x * 2 + 1 for x in data]
+
+    @_SETTINGS
+    @given(data=st.lists(st.integers(-50, 50), max_size=120))
+    def test_filter_commutes_with_local_filter(self, data):
+        with _make_engine() as ctx:
+            assert ctx.parallelize(data, 3).filter(lambda x: x % 3 == 0).collect() == \
+                [x for x in data if x % 3 == 0]
+
+    @_SETTINGS
+    @given(data=st.lists(st.integers(0, 30), min_size=1, max_size=150),
+           partitions=st.integers(1, 6))
+    def test_distinct_matches_set(self, data, partitions):
+        with _make_engine() as ctx:
+            assert sorted(ctx.parallelize(data, partitions).distinct().collect()) == \
+                sorted(set(data))
+
+    @_SETTINGS
+    @given(data=st.lists(st.integers(-1000, 1000), min_size=1, max_size=150))
+    def test_sum_matches_builtin(self, data):
+        with _make_engine() as ctx:
+            assert ctx.parallelize(data, 4).sum() == sum(data)
+
+    @_SETTINGS
+    @given(data=st.lists(st.integers(-1000, 1000), min_size=1, max_size=100),
+           partitions=st.integers(1, 5))
+    def test_sort_by_matches_sorted(self, data, partitions):
+        with _make_engine() as ctx:
+            assert ctx.parallelize(data, partitions).sort_by(lambda x: x).collect() == \
+                sorted(data)
+
+    @_SETTINGS
+    @given(pairs=st.lists(st.tuples(st.integers(0, 8), st.integers(-20, 20)),
+                          max_size=150),
+           partitions=st.integers(1, 5))
+    def test_reduce_by_key_matches_local_grouping(self, pairs, partitions):
+        expected = {}
+        for key, value in pairs:
+            expected[key] = expected.get(key, 0) + value
+        with _make_engine() as ctx:
+            result = dict(ctx.parallelize(pairs, partitions)
+                          .reduce_by_key(lambda a, b: a + b).collect())
+        assert result == expected
+
+    @_SETTINGS
+    @given(data=st.lists(st.integers(0, 100), max_size=120),
+           new_partitions=st.integers(1, 9))
+    def test_repartition_preserves_multiset(self, data, new_partitions):
+        with _make_engine() as ctx:
+            result = ctx.parallelize(data, 3).repartition(new_partitions).collect()
+        assert sorted(result) == sorted(data)
+
+    @_SETTINGS
+    @given(left=st.lists(st.tuples(st.integers(0, 5), st.integers(0, 9)), max_size=40),
+           right=st.lists(st.tuples(st.integers(0, 5), st.integers(0, 9)), max_size=40))
+    def test_join_matches_nested_loop_join(self, left, right):
+        expected = sorted((k, (lv, rv)) for k, lv in left for rk, rv in right if k == rk)
+        with _make_engine() as ctx:
+            result = sorted(ctx.parallelize(left, 2).join(
+                ctx.parallelize(right, 3)).collect())
+        assert result == expected
+
+    @_SETTINGS
+    @given(data=st.lists(st.integers(0, 1000), max_size=100),
+           n=st.integers(0, 20))
+    def test_take_is_prefix_of_collect(self, data, n):
+        with _make_engine() as ctx:
+            ds = ctx.parallelize(data, 4)
+            assert ds.take(n) == ds.collect()[:n]
+
+
+class TestPartitionerProperties:
+    @_SETTINGS
+    @given(keys=st.lists(st.one_of(st.integers(), st.text(max_size=12)), max_size=100),
+           partitions=st.integers(1, 16))
+    def test_hash_partitioner_within_bounds(self, keys, partitions):
+        partitioner = HashPartitioner(partitions)
+        assert all(0 <= partitioner.partition_for(key) < partitions for key in keys)
+
+    @_SETTINGS
+    @given(sample=st.lists(st.integers(-500, 500), min_size=1, max_size=100),
+           partitions=st.integers(1, 8),
+           probes=st.lists(st.integers(-1000, 1000), max_size=50))
+    def test_range_partitioner_is_monotone(self, sample, partitions, probes):
+        partitioner = RangePartitioner.from_sample(sample, partitions)
+        ordered = sorted(probes)
+        assigned = [partitioner.partition_for(key) for key in ordered]
+        assert assigned == sorted(assigned)

@@ -1,0 +1,112 @@
+"""Metrics dataclasses: task/stage/job aggregation and merging."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.engine.metrics import (JobMetrics, MetricsRegistry, StageMetrics,
+                                  TaskMetrics, merge_job_metrics)
+
+
+def _task(duration=0.5, records=10, failed=False, shuffle_write=100):
+    return TaskMetrics(task_id="t", stage_id=0, partition_index=0,
+                       duration_s=duration, records_read=records,
+                       records_written=records, shuffle_bytes_written=shuffle_write,
+                       failed=failed)
+
+
+class TestStageMetrics:
+    def test_add_task_aggregates(self):
+        stage = StageMetrics(stage_id=0, name="s")
+        stage.add_task(_task(duration=0.5, records=10))
+        stage.add_task(_task(duration=1.5, records=20))
+        assert stage.num_tasks == 2
+        assert stage.duration_s == pytest.approx(2.0)
+        assert stage.records_read == 30
+        assert stage.shuffle_bytes_written == 200
+        assert stage.max_task_duration_s == 1.5
+
+    def test_failed_tasks_counted_but_not_in_max_duration(self):
+        stage = StageMetrics(stage_id=0)
+        stage.add_task(_task(duration=9.0, failed=True))
+        stage.add_task(_task(duration=1.0))
+        assert stage.num_failed_attempts == 1
+        assert stage.max_task_duration_s == 1.0
+
+    def test_empty_stage(self):
+        stage = StageMetrics(stage_id=0)
+        assert stage.max_task_duration_s == 0.0
+        assert stage.as_dict()["num_tasks"] == 0
+
+    def test_as_dict_roundtrip_keys(self):
+        stage = StageMetrics(stage_id=3, name="shuffle:x", is_shuffle_map=True)
+        as_dict = stage.as_dict()
+        assert as_dict["stage_id"] == 3
+        assert as_dict["is_shuffle_map"] is True
+
+
+class TestJobMetrics:
+    def _job(self):
+        job = JobMetrics(job_id=1, description="test job")
+        stage = StageMetrics(stage_id=0)
+        stage.add_task(_task(duration=0.25, records=5))
+        job.add_stage(stage)
+        return job
+
+    def test_aggregates(self):
+        job = self._job()
+        assert job.num_stages == 1
+        assert job.num_tasks == 1
+        assert job.total_task_time_s == pytest.approx(0.25)
+        assert job.records_read == 5
+        assert job.shuffle_bytes == 100
+
+    def test_wall_clock_uses_finish_time(self):
+        job = self._job()
+        assert job.finished_at is None
+        running_wall_clock = job.wall_clock_s
+        assert running_wall_clock >= 0
+        job.finish()
+        assert job.finished_at is not None
+        assert job.wall_clock_s >= 0
+
+    def test_as_dict(self):
+        as_dict = self._job().as_dict()
+        assert as_dict["description"] == "test job"
+        assert as_dict["num_tasks"] == 1
+
+    def test_task_metrics_as_dict(self):
+        as_dict = _task().as_dict()
+        assert as_dict["duration_s"] == 0.5
+        assert as_dict["failed"] is False
+
+
+class TestMergeAndRegistry:
+    def test_merge_job_metrics(self):
+        jobs = []
+        for index in range(3):
+            job = JobMetrics(job_id=index)
+            stage = StageMetrics(stage_id=index)
+            stage.add_task(_task(duration=1.0, records=10))
+            job.add_stage(stage)
+            job.finish()
+            jobs.append(job)
+        merged = merge_job_metrics(jobs)
+        assert merged["num_jobs"] == 3
+        assert merged["total_task_time_s"] == pytest.approx(3.0)
+        assert merged["records_read"] == 30
+
+    def test_merge_empty(self):
+        assert merge_job_metrics([])["num_jobs"] == 0
+
+    def test_registry_collects_and_resets(self):
+        registry = MetricsRegistry()
+        job = JobMetrics(job_id=0)
+        job.finish()
+        registry.register(job)
+        assert len(registry.jobs) == 1
+        assert registry.summary()["num_jobs"] == 1
+        registry.reset()
+        assert registry.jobs == []

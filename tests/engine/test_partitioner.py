@@ -1,0 +1,101 @@
+"""Partitioners: stability, range partitioning, bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.partitioner import (HashPartitioner, RangePartitioner,
+                                      RoundRobinPartitioner, _stable_hash)
+from repro.errors import PlanError
+
+
+class TestStableHash:
+    def test_strings_are_stable_across_calls(self):
+        assert _stable_hash("customer-42") == _stable_hash("customer-42")
+
+    def test_different_strings_differ(self):
+        assert _stable_hash("abc") != _stable_hash("abd")
+
+    def test_handles_none_and_bools(self):
+        assert _stable_hash(None) == 0
+        assert _stable_hash(True) != _stable_hash(False)
+
+    def test_handles_tuples_structurally(self):
+        assert _stable_hash((1, "a")) == _stable_hash((1, "a"))
+        assert _stable_hash((1, "a")) != _stable_hash(("a", 1))
+
+    def test_handles_bytes_and_floats(self):
+        assert _stable_hash(b"xy") == _stable_hash(b"xy")
+        assert _stable_hash(2.5) == _stable_hash(2.5)
+
+    def test_always_non_negative(self):
+        for value in (-5, "z", (1, 2, 3), -3.7, frozenset({1, 2})):
+            assert _stable_hash(value) >= 0
+
+
+class TestHashPartitioner:
+    def test_partition_in_range(self):
+        partitioner = HashPartitioner(7)
+        assert all(0 <= partitioner.partition_for(key) < 7 for key in range(200))
+
+    def test_same_key_same_partition(self):
+        partitioner = HashPartitioner(5)
+        assert partitioner.partition_for("k") == partitioner.partition_for("k")
+
+    def test_equality(self):
+        assert HashPartitioner(4) == HashPartitioner(4)
+        assert HashPartitioner(4) != HashPartitioner(5)
+
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(PlanError):
+            HashPartitioner(0)
+
+    def test_spreads_keys_reasonably(self):
+        partitioner = HashPartitioner(4)
+        counts = [0] * 4
+        for key in range(1000):
+            counts[partitioner.partition_for(f"key-{key}")] += 1
+        assert min(counts) > 150
+
+
+class TestRangePartitioner:
+    def test_from_sample_orders_keys(self):
+        partitioner = RangePartitioner.from_sample(list(range(100)), 4)
+        assert partitioner.partition_for(1) <= partitioner.partition_for(50)
+        assert partitioner.partition_for(50) <= partitioner.partition_for(99)
+
+    def test_single_partition(self):
+        partitioner = RangePartitioner.from_sample([5, 1, 3], 1)
+        assert partitioner.partition_for(100) == 0
+
+    def test_descending_order(self):
+        partitioner = RangePartitioner.from_sample(list(range(100)), 4, ascending=False)
+        assert partitioner.partition_for(0) >= partitioner.partition_for(99)
+
+    def test_empty_sample_assigns_everything_to_partition_zero(self):
+        partitioner = RangePartitioner.from_sample([], 3)
+        assert partitioner.partition_for(42) == 0
+
+    def test_key_function_applied(self):
+        partitioner = RangePartitioner.from_sample(
+            ["a", "bbb", "cc", "dddd"], 2, key_func=len)
+        assert partitioner.partition_for("x") <= partitioner.partition_for("xxxxx")
+
+    def test_result_within_bounds(self):
+        partitioner = RangePartitioner.from_sample(list(range(10)), 4)
+        for key in (-100, 0, 5, 9, 1000):
+            assert 0 <= partitioner.partition_for(key) < 4
+
+
+class TestRoundRobinPartitioner:
+    def test_cycles_through_partitions(self):
+        partitioner = RoundRobinPartitioner(3, seed=0)
+        assigned = [partitioner.partition_for(None) for _ in range(9)]
+        assert sorted(assigned) == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_balanced_for_any_key(self):
+        partitioner = RoundRobinPartitioner(4, seed=2)
+        counts = [0] * 4
+        for _ in range(100):
+            counts[partitioner.partition_for("same-key")] += 1
+        assert max(counts) == 25

@@ -1,0 +1,156 @@
+"""Shuffle manager and block store (cache) behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.shuffle import ShuffleManager, estimate_bytes
+from repro.engine.storage import BlockStore
+from repro.errors import ShuffleError
+
+
+class TestEstimateBytes:
+    def test_empty_is_zero(self):
+        assert estimate_bytes([]) == 0
+
+    def test_positive_for_any_records(self):
+        assert estimate_bytes([1, 2, 3]) > 0
+
+    def test_scales_roughly_with_count(self):
+        small = estimate_bytes([{"a": 1}] * 10, compressed=False)
+        large = estimate_bytes([{"a": 1}] * 1000, compressed=False)
+        assert large > small * 50
+
+    def test_compression_reduces_estimate(self):
+        records = [{"field": i} for i in range(500)]
+        assert estimate_bytes(records, compressed=True) < \
+            estimate_bytes(records, compressed=False)
+
+
+class TestShuffleManager:
+    def test_write_then_read_roundtrip(self):
+        manager = ShuffleManager()
+        manager.register_shuffle(1, num_map_partitions=2)
+        manager.write_map_output(1, 0, {0: ["a"], 1: ["b"]})
+        manager.write_map_output(1, 1, {0: ["c"]})
+        records, size = manager.read_reduce_input(1, 0)
+        assert sorted(records) == ["a", "c"]
+        assert size > 0
+
+    def test_read_before_all_maps_complete_raises(self):
+        manager = ShuffleManager()
+        manager.register_shuffle(2, num_map_partitions=2)
+        manager.write_map_output(2, 0, {0: ["x"]})
+        with pytest.raises(ShuffleError):
+            manager.read_reduce_input(2, 0)
+
+    def test_unregistered_shuffle_raises(self):
+        manager = ShuffleManager()
+        with pytest.raises(ShuffleError):
+            manager.write_map_output(9, 0, {0: []})
+        with pytest.raises(ShuffleError):
+            manager.read_reduce_input(9, 0)
+
+    def test_is_complete_tracks_map_outputs(self):
+        manager = ShuffleManager()
+        manager.register_shuffle(3, num_map_partitions=2)
+        assert not manager.is_complete(3)
+        manager.write_map_output(3, 0, {})
+        assert not manager.is_complete(3)
+        manager.write_map_output(3, 1, {})
+        assert manager.is_complete(3)
+
+    def test_is_complete_for_unknown_shuffle(self):
+        assert not ShuffleManager().is_complete(42)
+
+    def test_bytes_written_accumulates(self):
+        manager = ShuffleManager()
+        manager.register_shuffle(4, num_map_partitions=1)
+        assert manager.bytes_written(4) == 0
+        manager.write_map_output(4, 0, {0: list(range(100))})
+        assert manager.bytes_written(4) > 0
+
+    def test_remove_shuffle_clears_data(self):
+        manager = ShuffleManager()
+        manager.register_shuffle(5, num_map_partitions=1)
+        manager.write_map_output(5, 0, {0: ["x"]})
+        manager.remove_shuffle(5)
+        assert not manager.is_complete(5)
+
+    def test_clear_resets_everything(self):
+        manager = ShuffleManager()
+        manager.register_shuffle(6, num_map_partitions=1)
+        manager.write_map_output(6, 0, {0: ["x"]})
+        manager.clear()
+        assert not manager.is_complete(6)
+
+    def test_missing_bucket_reads_as_empty(self):
+        manager = ShuffleManager()
+        manager.register_shuffle(7, num_map_partitions=1)
+        manager.write_map_output(7, 0, {0: ["only-partition-zero"]})
+        records, _ = manager.read_reduce_input(7, 3)
+        assert records == []
+
+
+class TestBlockStore:
+    def test_put_get_roundtrip(self):
+        store = BlockStore()
+        store.put(1, 0, ["a", "b"])
+        assert store.get(1, 0) == ["a", "b"]
+
+    def test_miss_returns_none_and_counts(self):
+        store = BlockStore()
+        assert store.get(1, 0) is None
+        assert store.stats()["misses"] == 1
+
+    def test_hit_counts(self):
+        store = BlockStore()
+        store.put(1, 0, [1])
+        store.get(1, 0)
+        assert store.stats()["hits"] == 1
+
+    def test_contains(self):
+        store = BlockStore()
+        store.put(2, 1, [1, 2])
+        assert store.contains(2, 1)
+        assert not store.contains(2, 0)
+
+    def test_overwrite_same_block(self):
+        store = BlockStore()
+        store.put(1, 0, [1])
+        store.put(1, 0, [2, 3])
+        assert store.get(1, 0) == [2, 3]
+        assert store.stats()["blocks"] == 1
+
+    def test_evict_dataset(self):
+        store = BlockStore()
+        store.put(1, 0, [1])
+        store.put(1, 1, [2])
+        store.put(2, 0, [3])
+        assert store.evict_dataset(1) == 2
+        assert not store.contains(1, 0)
+        assert store.contains(2, 0)
+
+    def test_lru_eviction_under_budget(self):
+        store = BlockStore(memory_budget_bytes=600)
+        store.put(1, 0, list(range(100)))
+        store.put(1, 1, list(range(100)))
+        store.put(1, 2, list(range(100)))
+        stats = store.stats()
+        assert stats["evictions"] >= 1
+        assert stats["bytes_stored"] <= 600
+
+    def test_lru_keeps_recently_used_block(self):
+        store = BlockStore(memory_budget_bytes=900)
+        store.put(1, 0, list(range(100)))
+        store.put(1, 1, list(range(100)))
+        store.get(1, 0)  # touch block 0 so block 1 is the LRU victim
+        store.put(1, 2, list(range(100)))
+        assert store.contains(1, 0)
+
+    def test_clear(self):
+        store = BlockStore()
+        store.put(1, 0, [1])
+        store.clear()
+        assert store.stats()["blocks"] == 0
+        assert store.stats()["bytes_stored"] == 0

@@ -1,0 +1,131 @@
+"""Cluster simulator and cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.metrics import JobMetrics, StageMetrics, TaskMetrics
+from repro.engine.simulator import (BUILTIN_PROFILES, ClusterProfile, CostModel,
+                                    DeploymentSimulator)
+from repro.errors import ConfigurationError
+
+
+def synthetic_job(num_tasks: int = 8, task_duration: float = 0.5,
+                  shuffle_bytes: int = 1_000_000) -> JobMetrics:
+    """Build a job metrics object without running the engine."""
+    job = JobMetrics(job_id=0, description="synthetic")
+    stage = StageMetrics(stage_id=0, name="stage", is_shuffle_map=True)
+    for index in range(num_tasks):
+        stage.add_task(TaskMetrics(task_id=f"t{index}", stage_id=0,
+                                   partition_index=index,
+                                   duration_s=task_duration,
+                                   shuffle_bytes_written=shuffle_bytes // num_tasks))
+    job.add_stage(stage)
+    job.finish()
+    return job
+
+
+class TestClusterProfile:
+    def test_total_slots(self):
+        profile = ClusterProfile("p", num_workers=4, cores_per_worker=8)
+        assert profile.total_slots == 32
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterProfile("p", num_workers=0)
+        with pytest.raises(ConfigurationError):
+            ClusterProfile("p", num_workers=1, cpu_speed_factor=0)
+        with pytest.raises(ConfigurationError):
+            ClusterProfile("p", num_workers=1, network_gbps=0)
+
+    def test_builtin_profiles_exist(self):
+        assert "local" in BUILTIN_PROFILES
+        assert "large-16" in BUILTIN_PROFILES
+        assert BUILTIN_PROFILES["large-16"].num_workers == 16
+
+
+class TestCostModel:
+    def test_more_slots_means_less_wall_clock(self):
+        job = synthetic_job(num_tasks=32, task_duration=0.5)
+        model = CostModel()
+        small = model.estimate_job(job, BUILTIN_PROFILES["dev-2"])
+        large = model.estimate_job(job, BUILTIN_PROFILES["large-16"])
+        assert large.estimated_wall_clock_s < small.estimated_wall_clock_s
+
+    def test_wall_clock_never_below_slowest_task(self):
+        job = synthetic_job(num_tasks=4, task_duration=2.0)
+        estimate = CostModel().estimate_job(job, BUILTIN_PROFILES["large-16"])
+        assert estimate.compute_time_s >= 2.0 / BUILTIN_PROFILES["large-16"].cpu_speed_factor
+
+    def test_single_node_has_no_network_shuffle_time(self):
+        job = synthetic_job(shuffle_bytes=50_000_000)
+        local = CostModel().estimate_job(job, BUILTIN_PROFILES["local"])
+        remote = CostModel().estimate_job(job, BUILTIN_PROFILES["dev-2"])
+        assert local.shuffle_time_s == 0.0
+        assert remote.shuffle_time_s > 0.0
+
+    def test_cost_scales_with_price(self):
+        job = synthetic_job()
+        model = CostModel()
+        cheap = model.estimate_job(job, BUILTIN_PROFILES["dev-2"])
+        pricey = model.estimate_job(job, BUILTIN_PROFILES["premium-8"])
+        assert pricey.estimated_cost_usd > cheap.estimated_cost_usd * 0.5
+
+    def test_free_local_profile_costs_nothing(self):
+        estimate = CostModel().estimate_job(synthetic_job(), BUILTIN_PROFILES["local"])
+        assert estimate.estimated_cost_usd == 0.0
+
+    def test_estimate_jobs_accumulates(self):
+        jobs = [synthetic_job(), synthetic_job()]
+        single = CostModel().estimate_job(jobs[0], BUILTIN_PROFILES["dev-2"])
+        combined = CostModel().estimate_jobs(jobs, BUILTIN_PROFILES["dev-2"])
+        assert combined.estimated_wall_clock_s == pytest.approx(
+            2 * single.estimated_wall_clock_s)
+
+    def test_estimate_dict_shape(self):
+        estimate = CostModel().estimate_job(synthetic_job(), BUILTIN_PROFILES["small-4"])
+        as_dict = estimate.as_dict()
+        assert as_dict["profile"] == "small-4"
+        assert as_dict["estimated_wall_clock_s"] > 0
+
+
+class TestDeploymentSimulator:
+    def test_compare_sorts_by_wall_clock(self):
+        simulator = DeploymentSimulator()
+        estimates = simulator.compare([synthetic_job(num_tasks=64)],
+                                      ["local", "small-4", "large-16"])
+        wall_clocks = [estimate.estimated_wall_clock_s for estimate in estimates]
+        assert wall_clocks == sorted(wall_clocks)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeploymentSimulator().profile("does-not-exist")
+
+    def test_register_custom_profile(self):
+        simulator = DeploymentSimulator()
+        simulator.register(ClusterProfile("huge", num_workers=64, cores_per_worker=8,
+                                          usd_per_hour=20.0))
+        assert "huge" in simulator.profiles
+        estimates = simulator.compare([synthetic_job(num_tasks=128)],
+                                      ["local", "huge"])
+        assert {estimate.profile.name for estimate in estimates} == {"local", "huge"}
+
+    def test_best_under_budget(self):
+        simulator = DeploymentSimulator()
+        job = synthetic_job(num_tasks=64, task_duration=1.0)
+        best = simulator.best_under_budget([job], max_cost_usd=0.0,
+                                           profile_names=["local", "large-16"])
+        assert best is not None
+        assert best.profile.name == "local"
+
+    def test_best_under_budget_none_when_impossible(self):
+        simulator = DeploymentSimulator()
+        job = synthetic_job()
+        assert simulator.best_under_budget([job], max_cost_usd=-1.0) is None
+
+    def test_simulation_from_real_engine_run(self, engine):
+        engine.range(2000, num_partitions=8).map(lambda x: (x % 10, x)) \
+            .reduce_by_key(lambda a, b: a + b).collect()
+        estimates = DeploymentSimulator().compare(engine.metrics.jobs,
+                                                  ["local", "medium-8"])
+        assert all(estimate.estimated_wall_clock_s > 0 for estimate in estimates)

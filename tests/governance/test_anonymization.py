@@ -1,0 +1,167 @@
+"""Anonymisation: masking, generalisation, k-anonymity (incl. property tests)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data.generators import PatientRecordGenerator
+from repro.data.schemas import PATIENT_SCHEMA
+from repro.errors import AnonymizationError
+from repro.governance.anonymization import (AnonymizationService, KAnonymizer,
+                                            generalize_value, mask_value,
+                                            measure_k_anonymity)
+from repro.services.base import ServiceContext
+
+
+class TestMasking:
+    def test_stable_tokens(self):
+        assert mask_value("alice") == mask_value("alice")
+
+    def test_different_values_different_tokens(self):
+        assert mask_value("alice") != mask_value("bob")
+
+    def test_salt_changes_token(self):
+        assert mask_value("alice", salt="a") != mask_value("alice", salt="b")
+
+    def test_token_does_not_leak_value(self):
+        assert "alice" not in mask_value("alice")
+
+    def test_token_format(self):
+        assert mask_value(12345).startswith("tok_")
+
+
+class TestGeneralisation:
+    def test_level_zero_is_identity(self):
+        assert generalize_value(37, 0) == 37
+        assert generalize_value("20133", 0) == "20133"
+
+    def test_numeric_generalisation_buckets(self):
+        assert generalize_value(37, 1, base_width=5) == "[35-40)"
+        assert generalize_value(37, 2, base_width=5) == "[30-40)"
+
+    def test_string_generalisation_truncates(self):
+        assert generalize_value("20133", 1) == "201**"
+        assert generalize_value("20133", 2) == "2****"
+        assert generalize_value("20133", 5) == "*"
+
+    def test_none_passes_through(self):
+        assert generalize_value(None, 3) is None
+
+
+class TestMeasureK:
+    def test_empty_records(self):
+        assert measure_k_anonymity([], ["age"]) == 0
+
+    def test_no_quasi_identifiers_means_full_k(self):
+        assert measure_k_anonymity([{"a": 1}, {"a": 2}], []) == 2
+
+    def test_unique_records_have_k_one(self):
+        records = [{"age": i} for i in range(5)]
+        assert measure_k_anonymity(records, ["age"]) == 1
+
+    def test_k_is_smallest_class(self):
+        records = [{"age": 30}] * 4 + [{"age": 40}] * 2
+        assert measure_k_anonymity(records, ["age"]) == 2
+
+
+class TestKAnonymizer:
+    def test_invalid_configuration(self):
+        with pytest.raises(AnonymizationError):
+            KAnonymizer(["age"], k=0)
+        with pytest.raises(AnonymizationError):
+            KAnonymizer([], k=3)
+
+    def test_already_anonymous_data_untouched(self):
+        records = [{"age": 30, "v": i} for i in range(10)]
+        anonymized, report = KAnonymizer(["age"], k=5).anonymize(records)
+        assert len(anonymized) == 10
+        assert report["level"] == 0
+        assert report["information_loss"] == 0.0
+
+    def test_reaches_target_k(self, patient_records):
+        anonymizer = KAnonymizer(["age", "gender", "zip_code"], k=5)
+        anonymized, report = anonymizer.anonymize(patient_records)
+        assert anonymized
+        assert measure_k_anonymity(anonymized,
+                                   ["age", "gender", "zip_code"]) >= 5
+        assert report["achieved_k"] >= 5
+
+    def test_higher_k_means_more_information_loss(self, patient_records):
+        loss_small = KAnonymizer(["age", "zip_code"], k=3) \
+            .anonymize(patient_records)[1]["information_loss"]
+        loss_large = KAnonymizer(["age", "zip_code"], k=40) \
+            .anonymize(patient_records)[1]["information_loss"]
+        assert loss_large >= loss_small
+
+    def test_empty_input(self):
+        anonymized, report = KAnonymizer(["age"], k=3).anonymize([])
+        assert anonymized == []
+        assert report["achieved_k"] == 0
+
+    def test_non_quasi_fields_untouched(self, patient_records):
+        anonymized, _ = KAnonymizer(["age", "zip_code"], k=5) \
+            .anonymize(patient_records[:200])
+        original_costs = {record["patient_id"]: record["treatment_cost"]
+                          for record in patient_records[:200]}
+        assert all(record["treatment_cost"] == original_costs[record["patient_id"]]
+                   for record in anonymized)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ages=st.lists(st.integers(0, 99), min_size=1, max_size=80),
+           k=st.integers(2, 8))
+    def test_property_output_is_k_anonymous_or_empty(self, ages, k):
+        records = [{"age": age, "payload": index} for index, age in enumerate(ages)]
+        anonymized, report = KAnonymizer(["age"], k=k, max_level=8).anonymize(records)
+        if anonymized:
+            assert measure_k_anonymity(anonymized, ["age"]) >= k
+        assert 0.0 <= report["information_loss"] <= 1.0
+        assert len(anonymized) + report["suppressed"] == len(records)
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(zips=st.lists(st.text(alphabet="0123456789", min_size=4, max_size=5),
+                         min_size=1, max_size=60))
+    def test_property_never_returns_more_records_than_input(self, zips):
+        records = [{"zip_code": z} for z in zips]
+        anonymized, _ = KAnonymizer(["zip_code"], k=3).anonymize(records)
+        assert len(anonymized) <= len(records)
+
+
+class TestAnonymizationService:
+    def test_masks_and_anonymizes_using_schema_defaults(self, engine, patient_records):
+        context = ServiceContext(engine=engine,
+                                 dataset=engine.parallelize(patient_records[:500], 2),
+                                 schema=PATIENT_SCHEMA)
+        result = AnonymizationService(k=5).execute(context)
+        record = result.dataset.first()
+        assert record["patient_id"].startswith("tok_")
+        assert result.metrics["achieved_k"] >= 5
+        assert result.metrics["masked_fields"] == len(PATIENT_SCHEMA.sensitive_fields)
+
+    def test_explicit_fields_override_schema(self, engine, patient_records):
+        context = ServiceContext(engine=engine,
+                                 dataset=engine.parallelize(patient_records[:300], 2),
+                                 schema=PATIENT_SCHEMA)
+        result = AnonymizationService(k=1, mask_fields=["patient_id"],
+                                      quasi_identifiers=[]).execute(context)
+        record = result.dataset.first()
+        assert record["patient_id"].startswith("tok_")
+        assert record["diagnosis"] in PatientRecordGenerator.DIAGNOSES
+
+    def test_k_one_without_masking_is_a_passthrough(self, engine):
+        records = [{"a": i} for i in range(10)]
+        context = ServiceContext(engine=engine, dataset=engine.parallelize(records, 1))
+        result = AnonymizationService(k=1, mask_fields=[], quasi_identifiers=[]) \
+            .execute(context)
+        assert result.dataset.collect() == records
+
+    def test_reports_information_loss(self, engine, patient_records):
+        context = ServiceContext(engine=engine,
+                                 dataset=engine.parallelize(patient_records[:500], 2),
+                                 schema=PATIENT_SCHEMA)
+        result = AnonymizationService(k=25).execute(context)
+        assert 0.0 <= result.metrics["information_loss"] <= 1.0
+        assert result.metrics["records_after"] <= 500

@@ -1,0 +1,74 @@
+"""Audit log behaviour."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.governance.audit import AuditLog
+
+
+class TestAuditLog:
+    def test_record_and_query(self):
+        log = AuditLog()
+        log.record("ada", "campaign.submit", "churn", job="j1")
+        log.record("bob", "campaign.submit", "basket")
+        log.record("ada", "campaign.finish", "churn")
+        assert len(log) == 3
+        assert len(log.query(actor="ada")) == 2
+        assert len(log.query(action="campaign.submit")) == 2
+        assert len(log.query(resource="basket")) == 1
+
+    def test_query_with_predicate(self):
+        log = AuditLog()
+        log.record("ada", "x", "r", size=10)
+        log.record("ada", "x", "r", size=99)
+        big = log.query(predicate=lambda event: event.details_dict.get("size", 0) > 50)
+        assert len(big) == 1
+
+    def test_disabled_log_records_nothing(self):
+        log = AuditLog(enabled=False)
+        assert log.record("ada", "x", "r") is None
+        assert len(log) == 0
+
+    def test_sequence_is_gap_free(self):
+        log = AuditLog()
+        for index in range(10):
+            log.record("ada", "tick", str(index))
+        assert log.verify_sequence()
+        assert [event.sequence for event in log.events] == list(range(10))
+
+    def test_actions_by_actor(self):
+        log = AuditLog()
+        log.record("ada", "x", "r")
+        log.record("ada", "y", "r")
+        log.record("bob", "x", "r")
+        assert log.actions_by_actor() == {"ada": 2, "bob": 1}
+
+    def test_export_json_is_valid(self):
+        log = AuditLog()
+        log.record("ada", "x", "r", detail="value")
+        exported = json.loads(log.export_json())
+        assert exported[0]["actor"] == "ada"
+        assert exported[0]["details"]["detail"] == "value"
+
+    def test_event_details_are_immutable_tuples(self):
+        log = AuditLog()
+        event = log.record("ada", "x", "r", a=1, b=2)
+        assert event.details_dict == {"a": 1, "b": 2}
+
+    def test_concurrent_recording_keeps_every_event(self):
+        log = AuditLog()
+
+        def worker(name):
+            for _ in range(50):
+                log.record(name, "tick", "resource")
+
+        threads = [threading.Thread(target=worker, args=(f"actor-{i}",))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(log) == 200
+        assert log.verify_sequence()

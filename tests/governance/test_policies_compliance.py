@@ -1,0 +1,147 @@
+"""Data-protection policies and compliance checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.schemas import CHURN_SCHEMA, ENERGY_SCHEMA, PATIENT_SCHEMA, Schema, Field
+from repro.errors import ComplianceError, PolicyError
+from repro.governance.compliance import (CampaignDescription, ComplianceChecker,
+                                         ComplianceReport, Violation)
+from repro.governance.policies import (BUILTIN_POLICIES, GDPR_BASELINE, HEALTH_STRICT,
+                                       OPEN_DATA, DataProtectionPolicy, PolicyRule,
+                                       REQUIRE_K_ANONYMITY, REQUIRE_MASKING,
+                                       TARGET_QUASI_IDENTIFIERS, TARGET_SENSITIVE)
+
+
+class TestPolicyModel:
+    def test_invalid_target_rejected(self):
+        with pytest.raises(PolicyError):
+            PolicyRule("r", "everything", REQUIRE_MASKING)
+
+    def test_invalid_requirement_rejected(self):
+        with pytest.raises(PolicyError):
+            PolicyRule("r", TARGET_SENSITIVE, "do_magic")
+
+    def test_duplicate_rule_ids_rejected(self):
+        rule = PolicyRule("same", TARGET_SENSITIVE, REQUIRE_MASKING)
+        with pytest.raises(PolicyError):
+            DataProtectionPolicy("p", (rule, rule))
+
+    def test_rule_lookup(self):
+        assert GDPR_BASELINE.rule("gdpr-k-anon").parameter("k") == 5
+        with pytest.raises(PolicyError):
+            GDPR_BASELINE.rule("nope")
+
+    def test_minimum_k(self):
+        assert GDPR_BASELINE.minimum_k == 5
+        assert HEALTH_STRICT.minimum_k == 10
+        assert OPEN_DATA.minimum_k is None
+
+    def test_allowed_purposes(self):
+        assert "research" in GDPR_BASELINE.allowed_purposes
+        assert HEALTH_STRICT.allowed_purposes == ("research",)
+        assert OPEN_DATA.allowed_purposes is None
+
+    def test_requires_masking(self):
+        assert GDPR_BASELINE.requires_masking
+        assert not OPEN_DATA.requires_masking
+
+    def test_builtin_policy_registry(self):
+        assert set(BUILTIN_POLICIES) == {"open_data", "gdpr_baseline", "health_strict"}
+
+    def test_rules_for_target(self):
+        assert len(GDPR_BASELINE.rules_for_target(TARGET_QUASI_IDENTIFIERS)) == 1
+
+
+class TestComplianceChecker:
+    def test_open_data_policy_always_compliant(self):
+        report = ComplianceChecker(OPEN_DATA).check(
+            CampaignDescription(schema=PATIENT_SCHEMA, purpose="whatever"))
+        assert report.compliant
+        assert report.violations == []
+
+    def test_unprotected_personal_data_violates_gdpr(self):
+        report = ComplianceChecker(GDPR_BASELINE).check(
+            CampaignDescription(schema=CHURN_SCHEMA))
+        assert not report.compliant
+        requirements = {violation.requirement for violation in report.violations}
+        assert REQUIRE_MASKING in requirements
+        assert REQUIRE_K_ANONYMITY in requirements
+
+    def test_required_transforms_point_to_privacy_services(self):
+        report = ComplianceChecker(GDPR_BASELINE).check(
+            CampaignDescription(schema=CHURN_SCHEMA))
+        capabilities = {transform["service_capability"]
+                        for transform in report.required_transforms}
+        assert capabilities == {"privacy:masking", "privacy:k_anonymity"}
+        k_transform = next(t for t in report.required_transforms
+                           if t["service_capability"] == "privacy:k_anonymity")
+        assert k_transform["k"] == 5
+
+    def test_protected_campaign_is_compliant(self):
+        description = CampaignDescription(
+            schema=CHURN_SCHEMA, purpose="analytics", deployment_region="eu",
+            pipeline_capabilities=("privacy:masking", "privacy:k_anonymity"),
+            k_anonymity=6, masks_identifiers=True)
+        assert ComplianceChecker(GDPR_BASELINE).check(description).compliant
+
+    def test_measured_k_below_requirement_violates(self):
+        description = CampaignDescription(
+            schema=CHURN_SCHEMA, pipeline_capabilities=("privacy:masking",
+                                                        "privacy:k_anonymity"),
+            k_anonymity=2, masks_identifiers=True)
+        report = ComplianceChecker(GDPR_BASELINE).check(description)
+        assert not report.compliant
+
+    def test_purpose_restriction(self):
+        description = CampaignDescription(
+            schema=PATIENT_SCHEMA, purpose="marketing", k_anonymity=10,
+            masks_identifiers=True,
+            pipeline_capabilities=("privacy:masking", "privacy:k_anonymity"))
+        report = ComplianceChecker(HEALTH_STRICT).check(description)
+        assert any(v.requirement == "restrict_purposes" for v in report.violations)
+
+    def test_region_restriction(self):
+        description = CampaignDescription(
+            schema=CHURN_SCHEMA, deployment_region="us", k_anonymity=5,
+            masks_identifiers=True,
+            pipeline_capabilities=("privacy:masking", "privacy:k_anonymity"))
+        report = ComplianceChecker(GDPR_BASELINE).check(description)
+        assert any(v.requirement == "restrict_regions" for v in report.violations)
+
+    def test_raw_export_forbidden_for_health_data(self):
+        description = CampaignDescription(
+            schema=PATIENT_SCHEMA, purpose="research", k_anonymity=10,
+            masks_identifiers=True, exports_raw_records=True,
+            pipeline_capabilities=("privacy:masking", "privacy:k_anonymity"))
+        report = ComplianceChecker(HEALTH_STRICT).check(description)
+        assert any(v.requirement == "forbid_raw_export" for v in report.violations)
+
+    def test_non_personal_schema_not_subject_to_sensitive_rules(self):
+        anonymous_schema = Schema("counts", (Field("value", "float"),))
+        report = ComplianceChecker(GDPR_BASELINE).check(
+            CampaignDescription(schema=anonymous_schema))
+        assert report.compliant
+
+    def test_quasi_identifier_only_schema_triggers_k_rule(self):
+        report = ComplianceChecker(GDPR_BASELINE).check(
+            CampaignDescription(schema=ENERGY_SCHEMA))
+        requirements = {violation.requirement for violation in report.violations}
+        assert REQUIRE_K_ANONYMITY in requirements
+        assert REQUIRE_MASKING not in requirements  # no sensitive fields in energy
+
+    def test_raise_if_blocking(self):
+        report = ComplianceChecker(GDPR_BASELINE).check(
+            CampaignDescription(schema=CHURN_SCHEMA))
+        with pytest.raises(ComplianceError) as excinfo:
+            report.raise_if_blocking()
+        assert excinfo.value.violations
+
+    def test_report_serialisation(self):
+        report = ComplianceReport(policy_name="p",
+                                  violations=[Violation("r", "require_masking", "m")])
+        as_dict = report.as_dict()
+        assert as_dict["policy"] == "p"
+        assert as_dict["compliant"] is False
+        assert as_dict["violations"][0]["rule_id"] == "r"

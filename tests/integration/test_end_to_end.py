@@ -1,0 +1,172 @@
+"""End-to-end scenarios exercising the whole stack together.
+
+These tests are the executable form of the paper's narrative: a user without
+data-science or data-engineering skills describes goals, the platform returns
+an executed pipeline, the Labs let them compare alternative designs, and the
+regulatory barrier is enforced rather than merely documented.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.manual_pipeline import expert_basket_pipeline, expert_churn_pipeline
+from repro.config import PlatformConfig
+from repro.labs.scoring import ChallengeScorer
+from repro.labs.session import LabSession
+from repro.platform.api import BDAaaSPlatform
+
+
+@pytest.fixture(scope="module")
+def shared_platform():
+    return BDAaaSPlatform(PlatformConfig(free_tier_max_jobs=50))
+
+
+class TestBDAaaSFunction:
+    """Section 2: goals and preferences in, executed pipeline out."""
+
+    def test_goals_in_pipeline_out(self, shared_platform):
+        analyst = shared_platform.register_user("pat", role="analyst")
+        workspace = shared_platform.create_workspace(analyst, "retail-analytics")
+        spec = {
+            "name": "cross-selling",
+            "purpose": "analytics",
+            "policy": "gdpr_baseline",
+            "source": {"scenario": "retail", "num_records": 2000},
+            "deployment": {"num_partitions": 2, "num_workers": 1},
+            "goals": [{"id": "rules", "task": "association_rules",
+                       "params": {"basket_field": "basket", "min_support": 0.05,
+                                  "min_confidence": 0.4},
+                       "objectives": [{"indicator": "rules_found", "target": 3}]}],
+        }
+        run = shared_platform.run_campaign(analyst, workspace, spec)
+        assert run.satisfied_all_hard_objectives
+        rules = run.artifacts["analytics-rules"]["rules"]
+        assert any(rule["antecedent"] == ["pasta"] and
+                   rule["consequent"] == ["tomato_sauce"] for rule in rules)
+        # GDPR: the customer identifiers were masked before mining
+        assert run.indicator("masked_fields") >= 1
+        assert "protect" in run.step_metrics
+
+    def test_regulatory_barrier_enforced_not_documented(self, shared_platform):
+        researcher = shared_platform.register_user("res", role="analyst")
+        workspace = shared_platform.create_workspace(researcher, "hospital")
+        spec = {
+            "name": "readmissions",
+            "purpose": "research",
+            "policy": "health_strict",
+            "source": {"scenario": "patients", "num_records": 2000},
+            "privacy": {"k_anonymity": 10},
+            "deployment": {"num_partitions": 2, "num_workers": 1},
+            "goals": [{"id": "readmit", "task": "classification",
+                       "params": {"label": "readmitted",
+                                  "features": ["age", "length_of_stay"],
+                                  "categorical_features": ["diagnosis"]},
+                       "optimize_for": "cost",
+                       "objectives": [{"indicator": "k_anonymity", "target": 10},
+                                      {"indicator": "policy_violations", "target": 0,
+                                       "comparator": "<="}]}],
+        }
+        run = shared_platform.run_campaign(researcher, workspace, spec)
+        assert run.indicator("achieved_k") >= 10
+        assert run.indicator("policy_violations") == 0
+        assert run.compliance["compliant"]
+        # identifiers masked: the audit trail shows the protection step ran
+        assert any(event.resource == "protect"
+                   for event in shared_platform.audit.events)
+
+    def test_wrong_purpose_is_rejected_by_policy(self, shared_platform):
+        marketer = shared_platform.register_user("mark", role="analyst")
+        workspace = shared_platform.create_workspace(marketer, "marketing")
+        spec = {
+            "name": "patient-marketing",
+            "purpose": "marketing",
+            "policy": "health_strict",
+            "source": {"scenario": "patients", "num_records": 1500},
+            "privacy": {"k_anonymity": 10},
+            "deployment": {"num_partitions": 2, "num_workers": 1},
+            "goals": [{"id": "agg", "task": "aggregation",
+                       "params": {"group_field": "diagnosis",
+                                  "value_field": "treatment_cost",
+                                  "aggregation": "mean"}}],
+        }
+        run = shared_platform.run_campaign(marketer, workspace, spec)
+        assert not run.compliance["compliant"]
+        assert run.indicator("policy_violations") >= 1
+
+
+class TestTrialAndErrorLoop:
+    """Section 3: alternative options, consequences, run comparison, scoring."""
+
+    def test_full_labs_exercise(self, shared_platform):
+        from tests.labs.test_session_scoring import _fast_churn_challenge
+        trainee = shared_platform.register_user("studentx", role="trainee")
+        session = LabSession(shared_platform, trainee, _fast_churn_challenge())
+        session.run_option({"model": "baseline"})
+        session.run_option({"model": "logistic"})
+        session.run_option({"model": "logistic", "features": "normalized"})
+
+        report = session.compare()
+        # the baseline never wins the quality indicators
+        assert report.row("f1").winner != "model=baseline"
+        score = ChallengeScorer().score(session)
+        assert score.passed
+        assert score.total_points > 60
+
+    def test_deployment_what_if_differs_across_profiles(self, shared_platform):
+        trainee = shared_platform.register_user("studenty", role="trainee")
+        workspace = shared_platform.create_workspace(trainee, "whatif")
+        spec = {
+            "name": "whatif",
+            "source": {"scenario": "web_logs", "num_records": 4000},
+            "deployment": {"num_partitions": 4, "num_workers": 2},
+            "goals": [{"id": "latency", "task": "aggregation",
+                       "params": {"group_field": "service",
+                                  "value_field": "latency_ms",
+                                  "aggregation": "mean"}}],
+        }
+        run = shared_platform.run_campaign(trainee, workspace, spec)
+        estimates = {estimate["profile"]: estimate
+                     for estimate in run.deployment_estimates}
+        assert estimates["large-16"]["estimated_wall_clock_s"] < \
+            estimates["local"]["estimated_wall_clock_s"] * 5
+        assert estimates["large-16"]["estimated_cost_usd"] > 0
+        assert estimates["local"]["estimated_cost_usd"] == 0
+
+
+class TestModelDrivenVsExpert:
+    """The skills-barrier motivation: automation reaches expert-level outcomes."""
+
+    def test_churn_parity_with_expert_pipeline(self, compiler, runner):
+        expert = expert_churn_pipeline(num_records=1500, seed=7, num_partitions=2)
+        spec = {
+            "name": "compiled-churn",
+            "source": {"scenario": "churn", "num_records": 1500},
+            "deployment": {"num_partitions": 2, "num_workers": 1},
+            "goals": [{"id": "churn", "task": "classification",
+                       "model": "decision_tree",
+                       "params": {"label": "churned",
+                                  "features": ["tenure_months", "monthly_charges",
+                                               "num_support_calls", "data_usage_gb"],
+                                  "categorical_features": ["contract_type",
+                                                           "payment_method"]}}],
+        }
+        compiled_run = runner.run(compiler.compile(spec))
+        assert abs(compiled_run.indicator("accuracy") -
+                   expert.metrics["accuracy"]) < 0.08
+        # the compiled campaign additionally carries governance & run records
+        assert compiled_run.compliance is not None
+        assert not expert.governance_applied
+
+    def test_basket_parity_with_expert_pipeline(self, compiler, runner):
+        expert = expert_basket_pipeline(num_records=1500, seed=7, num_partitions=2)
+        spec = {
+            "name": "compiled-basket",
+            "source": {"scenario": "retail", "num_records": 1500},
+            "deployment": {"num_partitions": 2, "num_workers": 1},
+            "goals": [{"id": "rules", "task": "association_rules",
+                       "params": {"basket_field": "basket", "min_support": 0.05,
+                                  "min_confidence": 0.4}}],
+        }
+        compiled_run = runner.run(compiler.compile(spec))
+        assert compiled_run.indicator("num_rules") == expert.metrics["num_rules"]

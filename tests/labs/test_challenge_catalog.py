@@ -1,0 +1,173 @@
+"""Challenge model, spec patching, and the challenge catalogue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dsl import parse_spec
+from repro.core.vocabulary import Objective
+from repro.errors import ChallengeError
+from repro.labs.catalog import ChallengeCatalog, build_default_challenges
+from repro.labs.challenge import Challenge, DesignDimension, DesignOption, merge_spec
+from repro.labs.scenarios import all_builtin_challenges, churn_retention_challenge
+
+
+class TestMergeSpec:
+    def test_scalar_replacement(self):
+        assert merge_spec({"a": 1}, {"a": 2}) == {"a": 2}
+
+    def test_nested_dict_merge(self):
+        base = {"source": {"scenario": "churn", "num_records": 100}}
+        patch = {"source": {"num_records": 200}}
+        merged = merge_spec(base, patch)
+        assert merged["source"] == {"scenario": "churn", "num_records": 200}
+
+    def test_original_not_mutated(self):
+        base = {"a": {"b": 1}}
+        merge_spec(base, {"a": {"b": 2}})
+        assert base["a"]["b"] == 1
+
+    def test_goal_merge_by_id(self):
+        base = {"goals": [{"id": "g1", "task": "classification", "params": {"label": "y"}},
+                          {"id": "g2", "task": "clustering"}]}
+        patch = {"goals": [{"id": "g1", "model": "decision_tree"}]}
+        merged = merge_spec(base, patch)
+        assert merged["goals"][0]["model"] == "decision_tree"
+        assert merged["goals"][0]["params"] == {"label": "y"}
+        assert merged["goals"][1] == {"id": "g2", "task": "clustering"}
+
+    def test_goal_merge_appends_new_goal(self):
+        base = {"goals": [{"id": "g1", "task": "classification"}]}
+        patch = {"goals": [{"id": "g3", "task": "ranking"}]}
+        merged = merge_spec(base, patch)
+        assert [goal["id"] for goal in merged["goals"]] == ["g1", "g3"]
+
+    def test_list_values_replaced_not_merged(self):
+        merged = merge_spec({"preparation": {"normalize": ["a"]}},
+                            {"preparation": {"normalize": ["b", "c"]}})
+        assert merged["preparation"]["normalize"] == ["b", "c"]
+
+
+class TestChallengeModel:
+    def test_dimension_lookup_and_defaults(self):
+        challenge = churn_retention_challenge()
+        dimension = challenge.dimension("model")
+        assert set(dimension.option_keys) == {"logistic", "tree", "bayes", "baseline"}
+        assert dimension.default_option.key == "logistic"
+        with pytest.raises(ChallengeError):
+            challenge.dimension("nonexistent")
+        with pytest.raises(ChallengeError):
+            dimension.option("nonexistent")
+
+    def test_num_combinations(self):
+        challenge = churn_retention_challenge()
+        assert challenge.num_combinations() == 4 * 3 * 2
+
+    def test_build_spec_defaults(self):
+        challenge = churn_retention_challenge()
+        spec = challenge.build_spec()
+        model = parse_spec(spec)
+        assert model.name == "churn-retention"
+        assert model.goals[0].preferred_model == "logistic_regression"
+
+    def test_build_spec_with_selection(self):
+        challenge = churn_retention_challenge()
+        spec = challenge.build_spec({"model": "tree", "volume": "full"})
+        model = parse_spec(spec)
+        assert model.goals[0].preferred_model == "decision_tree"
+        assert model.source.num_records == 20000
+
+    def test_build_spec_unknown_dimension_rejected(self):
+        with pytest.raises(ChallengeError):
+            churn_retention_challenge().build_spec({"made_up": "x"})
+
+    def test_build_spec_unknown_option_rejected(self):
+        with pytest.raises(ChallengeError):
+            churn_retention_challenge().build_spec({"model": "svm"})
+
+    def test_describe_lists_dimensions_and_criteria(self):
+        text = churn_retention_challenge().describe()
+        assert "Analytics model" in text
+        assert "accuracy >= 0.68" in text
+
+    def test_dimension_without_options_rejected(self):
+        with pytest.raises(ChallengeError):
+            DesignDimension("d", "t", options=())
+
+    def test_duplicate_option_keys_rejected(self):
+        option = DesignOption.from_patch("a", "A", {})
+        with pytest.raises(ChallengeError):
+            DesignDimension("d", "t", options=(option, option))
+
+    def test_duplicate_dimension_keys_rejected(self):
+        option = DesignOption.from_patch("a", "A", {})
+        dimension = DesignDimension("d", "t", options=(option,))
+        with pytest.raises(ChallengeError):
+            Challenge(key="c", title="t", brief="b", scenario="churn",
+                      base_spec=(), dimensions=(dimension, dimension))
+
+
+class TestBuiltinChallenges:
+    @pytest.mark.parametrize("challenge", all_builtin_challenges(),
+                             ids=lambda challenge: challenge.key)
+    def test_base_and_every_single_option_produce_valid_specs(self, challenge):
+        parse_spec(challenge.build_spec())
+        for dimension in challenge.dimensions:
+            for option in dimension.options:
+                parse_spec(challenge.build_spec({dimension.key: option.key}))
+
+    @pytest.mark.parametrize("challenge", all_builtin_challenges(),
+                             ids=lambda challenge: challenge.key)
+    def test_every_option_compiles(self, challenge, compiler):
+        compiler.compile(challenge.build_spec())
+        for dimension in challenge.dimensions:
+            for option in dimension.options:
+                compiler.compile(challenge.build_spec({dimension.key: option.key}))
+
+    @pytest.mark.parametrize("challenge", all_builtin_challenges(),
+                             ids=lambda challenge: challenge.key)
+    def test_challenges_have_briefs_and_criteria(self, challenge):
+        assert len(challenge.brief) > 50
+        assert challenge.success_criteria
+        assert challenge.learning_points
+        assert all(isinstance(objective, Objective)
+                   for objective in challenge.success_criteria)
+
+    def test_free_tier_data_volumes(self):
+        for challenge in all_builtin_challenges():
+            base = challenge.build_spec()
+            assert base["source"]["num_records"] <= 100_000
+
+
+class TestChallengeCatalog:
+    def test_default_catalog_contents(self):
+        catalog = build_default_challenges()
+        assert len(catalog) == 5
+        assert "churn-retention" in catalog
+        assert catalog.get("market-basket").scenario == "retail"
+
+    def test_unknown_challenge(self):
+        with pytest.raises(ChallengeError):
+            build_default_challenges().get("mystery")
+
+    def test_duplicate_registration_rejected(self):
+        catalog = build_default_challenges()
+        with pytest.raises(ChallengeError):
+            catalog.register(churn_retention_challenge())
+
+    def test_filters(self):
+        catalog = build_default_challenges()
+        assert {challenge.key for challenge in catalog.by_difficulty("beginner")} == \
+            {"churn-retention", "market-basket"}
+        assert [challenge.key for challenge in catalog.by_scenario("patients")] == \
+            ["patient-privacy"]
+
+    def test_overview_lists_every_challenge(self):
+        overview = build_default_challenges().overview()
+        for key in build_default_challenges().keys:
+            assert key in overview
+
+    def test_empty_catalog(self):
+        catalog = ChallengeCatalog()
+        assert len(catalog) == 0
+        assert "anything" not in catalog

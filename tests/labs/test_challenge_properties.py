@@ -1,0 +1,74 @@
+"""Property-based tests of the challenge spec-patching machinery."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dsl import parse_spec
+from repro.labs.challenge import merge_spec
+from repro.labs.scenarios import all_builtin_challenges
+
+_CHALLENGES = all_builtin_challenges()
+
+_scalars = st.one_of(st.integers(-100, 100), st.booleans(),
+                     st.text(max_size=8), st.none())
+_values = st.recursive(_scalars,
+                       lambda children: st.one_of(
+                           st.lists(children, max_size=3),
+                           st.dictionaries(st.text(min_size=1, max_size=6), children,
+                                           max_size=3)),
+                       max_leaves=8)
+_dicts = st.dictionaries(st.text(min_size=1, max_size=6), _values, max_size=4)
+
+
+class TestMergeSpecProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(base=_dicts, patch=_dicts)
+    def test_patch_keys_always_present_in_result(self, base, patch):
+        merged = merge_spec(base, patch)
+        assert set(patch).issubset(set(merged))
+
+    @settings(max_examples=50, deadline=None)
+    @given(base=_dicts)
+    def test_empty_patch_is_identity(self, base):
+        assert merge_spec(base, {}) == base
+
+    @settings(max_examples=50, deadline=None)
+    @given(base=_dicts, patch=_dicts)
+    def test_inputs_never_mutated(self, base, patch):
+        import copy
+        base_copy, patch_copy = copy.deepcopy(base), copy.deepcopy(patch)
+        merge_spec(base, patch)
+        assert base == base_copy
+        assert patch == patch_copy
+
+    @settings(max_examples=50, deadline=None)
+    @given(base=_dicts, patch=_dicts)
+    def test_merge_is_idempotent_for_same_patch(self, base, patch):
+        once = merge_spec(base, patch)
+        twice = merge_spec(once, patch)
+        assert once == twice
+
+
+class TestChallengeSelectionProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data(), challenge=st.sampled_from(_CHALLENGES))
+    def test_any_full_selection_produces_a_parseable_spec(self, data, challenge):
+        selections = {}
+        for dimension in challenge.dimensions:
+            selections[dimension.key] = data.draw(
+                st.sampled_from(dimension.option_keys), label=dimension.key)
+        model = parse_spec(challenge.build_spec(selections))
+        assert model.goals
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data(), challenge=st.sampled_from(_CHALLENGES))
+    def test_any_partial_selection_produces_a_parseable_spec(self, data, challenge):
+        dimension_keys = data.draw(
+            st.lists(st.sampled_from(challenge.dimension_keys), unique=True,
+                     max_size=len(challenge.dimension_keys)))
+        selections = {key: data.draw(
+            st.sampled_from(challenge.dimension(key).option_keys), label=key)
+            for key in dimension_keys}
+        parse_spec(challenge.build_spec(selections))

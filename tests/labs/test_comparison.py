@@ -1,0 +1,105 @@
+"""Run comparison: the Labs' core feature."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ComparisonError
+from repro.labs.comparison import RunComparator
+from tests.conftest import small_churn_spec
+
+
+@pytest.fixture(scope="module")
+def two_runs(compiler, runner):
+    """Two churn runs with different analytics options."""
+    quality_spec = small_churn_spec()
+    quality_spec["goals"][0]["optimize_for"] = "quality"
+    baseline_spec = small_churn_spec()
+    baseline_spec["goals"][0]["model"] = "baseline"
+    first = runner.run(compiler.compile(quality_spec), option_label="tree")
+    second = runner.run(compiler.compile(baseline_spec), option_label="baseline")
+    return first, second
+
+
+class TestRunComparator:
+    def test_needs_two_runs(self, two_runs):
+        with pytest.raises(ComparisonError):
+            RunComparator().compare([two_runs[0]])
+
+    def test_labels_must_match_and_be_unique(self, two_runs):
+        comparator = RunComparator()
+        with pytest.raises(ComparisonError):
+            comparator.compare(list(two_runs), labels=["only-one"])
+        with pytest.raises(ComparisonError):
+            comparator.compare(list(two_runs), labels=["same", "same"])
+        with pytest.raises(ComparisonError):
+            comparator.compare(list(two_runs), reference="not-a-label")
+
+    def test_default_labels_from_option_labels(self, two_runs):
+        report = RunComparator().compare(list(two_runs))
+        assert report.run_labels == ["tree", "baseline"]
+        assert report.reference_label == "tree"
+
+    def test_rows_cover_reported_metrics_only(self, two_runs):
+        report = RunComparator().compare(list(two_runs))
+        assert "accuracy" in report.metric_keys
+        assert "r2" not in report.metric_keys  # no regression goal in these runs
+
+    def test_winner_respects_direction(self, two_runs):
+        report = RunComparator().compare(list(two_runs))
+        assert report.row("accuracy").winner == "tree"
+        assert report.row("accuracy").direction == "maximize"
+        time_row = report.row("execution_time_s")
+        assert time_row.direction == "minimize"
+        best_time = min(value for value in time_row.values.values() if value is not None)
+        if time_row.winner is not None:
+            assert time_row.values[time_row.winner] == best_time
+
+    def test_deltas_relative_to_reference(self, two_runs):
+        report = RunComparator().compare(list(two_runs))
+        row = report.row("accuracy")
+        assert row.deltas["tree"] == 0.0
+        assert row.deltas["baseline"] == pytest.approx(
+            row.values["baseline"] - row.values["tree"])
+
+    def test_overall_winner_and_scores(self, two_runs):
+        report = RunComparator().compare(list(two_runs))
+        assert report.overall_winner() in report.run_labels
+        assert set(report.scores) == {"tree", "baseline"}
+
+    def test_format_table_mentions_runs_and_metrics(self, two_runs):
+        table = RunComparator().compare(list(two_runs)).format_table()
+        assert "tree" in table
+        assert "baseline" in table
+        assert "accuracy" in table
+        assert "*" in table  # winners are starred
+
+    def test_as_dict_serialisable(self, two_runs):
+        import json
+        report = RunComparator().compare(list(two_runs))
+        json.dumps(report.as_dict())
+
+    def test_unknown_metric_row_raises(self, two_runs):
+        report = RunComparator().compare(list(two_runs))
+        with pytest.raises(ComparisonError):
+            report.row("nonexistent_metric")
+
+    def test_custom_metric_selection(self, two_runs):
+        report = RunComparator(metric_keys=("accuracy", "f1")).compare(list(two_runs))
+        assert report.metric_keys == ["accuracy", "f1"]
+
+    def test_tie_has_no_winner(self, two_runs):
+        report = RunComparator(metric_keys=("records_processed",)) \
+            .compare(list(two_runs))
+        assert report.row("records_processed").winner is None
+
+    def test_explicit_reference(self, two_runs):
+        report = RunComparator().compare(list(two_runs), reference="baseline")
+        assert report.reference_label == "baseline"
+        assert report.row("accuracy").deltas["baseline"] == 0.0
+
+    def test_option_signatures_included(self, two_runs):
+        report = RunComparator().compare(list(two_runs))
+        assert report.option_signatures["tree"]["churn"] == "classify_decision_tree"
+        assert report.option_signatures["baseline"]["churn"] == \
+            "classify_majority_baseline"

@@ -1,0 +1,104 @@
+"""The built-in challenges actually teach what their learning points claim.
+
+Each test executes two specific option choices of a challenge (on shrunken
+data, to stay fast) and checks the designed contrast between them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.labs.catalog import build_default_challenges
+from repro.labs.challenge import merge_spec
+
+_SHRINK = {"deployment": {"num_partitions": 2, "num_workers": 1}}
+
+
+def _run(compiler, runner, challenge, selections, num_records, label):
+    spec = merge_spec(challenge.build_spec(selections),
+                      {**_SHRINK, "source": {"num_records": num_records}})
+    return runner.run(compiler.compile(spec), option_label=label)
+
+
+@pytest.fixture(scope="module")
+def challenges():
+    return build_default_challenges()
+
+
+class TestMarketBasketThresholds:
+    def test_permissive_thresholds_find_more_rules_than_strict(self, challenges,
+                                                                compiler, runner):
+        challenge = challenges.get("market-basket")
+        strict = _run(compiler, runner, challenge, {"thresholds": "strict"},
+                      1500, "strict")
+        permissive = _run(compiler, runner, challenge, {"thresholds": "permissive"},
+                          1500, "permissive")
+        assert permissive.indicator("num_rules") > strict.indicator("num_rules")
+        assert permissive.indicator("num_frequent_itemsets") > \
+            strict.indicator("num_frequent_itemsets")
+
+    def test_balanced_option_meets_the_success_criteria(self, challenges, compiler,
+                                                        runner):
+        challenge = challenges.get("market-basket")
+        run = _run(compiler, runner, challenge, {}, 1500, "balanced")
+        assert run.indicator("num_rules") >= 5
+        assert run.indicator("max_lift") >= 2.0
+        # customer identifiers were masked by the GDPR-mandated protection step
+        assert run.indicator("masked_fields") >= 1
+
+
+class TestEnergyDetectorOptions:
+    def test_sensitive_threshold_trades_precision_for_recall(self, challenges,
+                                                             compiler, runner):
+        challenge = challenges.get("energy-anomaly")
+        default = _run(compiler, runner, challenge, {"detector": "zscore"},
+                       2500, "zscore")
+        sensitive = _run(compiler, runner, challenge,
+                         {"detector": "zscore-sensitive"}, 2500, "sensitive")
+        assert sensitive.indicator("recall") >= default.indicator("recall")
+        assert sensitive.indicator("anomalies_flagged") > \
+            default.indicator("anomalies_flagged")
+
+    def test_streaming_mode_reports_latency_indicators(self, challenges, compiler,
+                                                       runner):
+        challenge = challenges.get("energy-anomaly")
+        run = _run(compiler, runner, challenge, {"mode": "streaming"}, 2000, "stream")
+        assert run.indicator("num_batches") >= 1
+        assert run.indicator("mean_latency_s") > 0
+
+
+class TestPatientPrivacyOptions:
+    def test_policy_floor_applies_even_when_trainee_declares_less(self, challenges,
+                                                                  compiler, runner):
+        challenge = challenges.get("patient-privacy")
+        weak = _run(compiler, runner, challenge, {"privacy": "weak"}, 2000, "weak")
+        # the declared k=2 is strengthened to the policy's k=10
+        assert weak.indicator("achieved_k") >= 10
+        assert weak.indicator("policy_violations") == 0
+
+    def test_regression_option_reports_r2(self, challenges, compiler, runner):
+        challenge = challenges.get("patient-privacy")
+        run = _run(compiler, runner, challenge, {"analysis": "cost-model"},
+                   2000, "cost-model")
+        assert run.indicator("r2") is not None
+        assert run.indicator("r2") > 0.3
+
+
+class TestWebOperationsOptions:
+    def test_different_questions_compile_to_different_pipelines(self, challenges,
+                                                                compiler):
+        challenge = challenges.get("web-operations")
+        latency = compiler.compile(challenge.build_spec({"analysis": "latency"}))
+        ranking = compiler.compile(challenge.build_spec({"analysis": "top-urls"}))
+        anomalies = compiler.compile(
+            challenge.build_spec({"analysis": "latency-anomalies"}))
+        services = {campaign.option_signature()["traffic-by-service"]
+                    for campaign in (latency, ranking, anomalies)}
+        assert len(services) == 3
+
+    def test_cluster_option_attaches_nonzero_cost_estimate(self, challenges,
+                                                           compiler, runner):
+        challenge = challenges.get("web-operations")
+        run = _run(compiler, runner, challenge,
+                   {"deployment": "small-cluster"}, 3000, "small-cluster")
+        assert run.indicator("estimated_cost_usd") > 0

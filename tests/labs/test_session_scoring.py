@@ -1,0 +1,158 @@
+"""Lab sessions (trial and error) and challenge scoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.errors import SessionError
+from repro.labs.catalog import build_default_challenges
+from repro.labs.scoring import ChallengeScorer
+from repro.labs.session import LabSession
+from repro.platform.api import BDAaaSPlatform
+
+
+def _fast_churn_challenge():
+    """The churn challenge with its data shrunk so session tests stay fast."""
+    from repro.labs.challenge import merge_spec
+    from repro.labs.scenarios import churn_retention_challenge
+    challenge = churn_retention_challenge()
+    shrunk = merge_spec(challenge.spec, {"source": {"num_records": 1500},
+                                         "deployment": {"num_partitions": 2,
+                                                        "num_workers": 1}})
+    return challenge.__class__(
+        key=challenge.key, title=challenge.title, brief=challenge.brief,
+        scenario=challenge.scenario, base_spec=tuple(shrunk.items()),
+        dimensions=challenge.dimensions,
+        success_criteria=challenge.success_criteria,
+        learning_points=challenge.learning_points,
+        difficulty=challenge.difficulty)
+
+
+@pytest.fixture(scope="module")
+def lab_session():
+    """One trainee session with three executed trials (module-scoped: expensive)."""
+    platform = BDAaaSPlatform(PlatformConfig(free_tier_max_jobs=20))
+    trainee = platform.register_user("ada", role="trainee")
+    session = LabSession(platform, trainee, _fast_churn_challenge())
+    session.run_option({"model": "logistic"})
+    session.run_option({"model": "baseline"})
+    session.run_option({"model": "logistic", "features": "minimal"},
+                       label="starved-features")
+    return session
+
+
+class TestLabSession:
+    def test_brief_and_options_exposed(self, lab_session):
+        assert "churn" in lab_session.brief().lower()
+        options = lab_session.available_options()
+        assert set(options) == {"model", "features", "volume"}
+        assert "logistic" in options["model"]
+
+    def test_trials_recorded_with_runs(self, lab_session):
+        assert len(lab_session.trials) == 3
+        assert all(trial.succeeded for trial in lab_session.trials)
+        assert lab_session.trials[0].label == "model=logistic"
+        assert lab_session.trials[2].label == "starved-features"
+
+    def test_budget_decreases_with_trials(self, lab_session):
+        assert lab_session.remaining_budget() == 20 - 3
+
+    def test_workspace_holds_run_history(self, lab_session):
+        assert len(lab_session.workspace.runs) == 3
+
+    def test_trial_lookup(self, lab_session):
+        assert lab_session.trial("model=baseline").selections == {"model": "baseline"}
+        with pytest.raises(SessionError):
+            lab_session.trial("never-ran")
+
+    def test_compare_all_successful_trials(self, lab_session):
+        report = lab_session.compare()
+        assert len(report.run_labels) == 3
+        assert report.row("accuracy").winner == "model=logistic"
+
+    def test_compare_subset(self, lab_session):
+        report = lab_session.compare(["model=logistic", "model=baseline"])
+        assert report.run_labels == ["model=logistic", "model=baseline"]
+
+    def test_best_trial_by_score_and_by_metric(self, lab_session):
+        assert lab_session.best_trial().label == "model=logistic"
+        assert lab_session.best_trial("accuracy").label == "model=logistic"
+        fastest = lab_session.best_trial("execution_time_s", higher_is_better=False)
+        assert fastest.label in {trial.label for trial in lab_session.trials}
+
+    def test_best_trial_unknown_metric(self, lab_session):
+        with pytest.raises(SessionError):
+            lab_session.best_trial("nonexistent_metric")
+
+    def test_summary(self, lab_session):
+        summary = lab_session.summary()
+        assert summary["trials"] == 3
+        assert summary["successful"] == 3
+        assert summary["distinct_configurations"] == 3
+        assert summary["best_score"] > 0
+
+    def test_failed_configuration_is_recorded_not_raised(self):
+        platform = BDAaaSPlatform(PlatformConfig(free_tier_max_rows=1000))
+        trainee = platform.register_user("bob", role="trainee")
+        session = LabSession(platform, trainee, _fast_churn_challenge())
+        # the "full" volume option asks for 20k records: above this tier's quota
+        trial = session.run_option({"volume": "full"})
+        assert not trial.succeeded
+        assert "quota" in trial.error.lower() or "records" in trial.error.lower()
+        with pytest.raises(SessionError):
+            session.compare()
+
+    def test_quota_exhaustion_surfaces_in_trials(self):
+        platform = BDAaaSPlatform(PlatformConfig(free_tier_max_jobs=1))
+        trainee = platform.register_user("carol", role="trainee")
+        session = LabSession(platform, trainee, _fast_churn_challenge())
+        assert session.run_option({"model": "baseline"}).succeeded
+        second = session.run_option({"model": "logistic"})
+        assert not second.succeeded
+        assert session.remaining_budget() == 0
+
+    def test_run_all_options_sweeps_one_dimension(self):
+        platform = BDAaaSPlatform(PlatformConfig(free_tier_max_jobs=20))
+        trainee = platform.register_user("dave", role="trainee")
+        session = LabSession(platform, trainee, _fast_churn_challenge())
+        records = session.run_all_options("features", fixed={"model": "bayes"})
+        assert len(records) == 3
+        assert all(record.selections["model"] == "bayes" for record in records)
+
+
+class TestChallengeScorer:
+    def test_score_shape(self, lab_session):
+        score = ChallengeScorer().score(lab_session)
+        assert score.challenge_key == "churn-retention"
+        assert score.best_trial_label == "model=logistic"
+        assert 0 <= score.total_points <= 100
+        assert score.achievement_points > 0
+        assert len(score.criteria) == 3
+
+    def test_exploration_credit_scales_with_distinct_trials(self, lab_session):
+        score = ChallengeScorer().score(lab_session)
+        assert score.exploration_points == pytest.approx(30.0 * 3 / 4)
+
+    def test_feedback_mentions_learning_points_and_criteria(self, lab_session):
+        score = ChallengeScorer().score(lab_session)
+        text = " ".join(score.feedback)
+        assert "takeaway" in text
+        assert "met:" in text
+
+    def test_scoring_requires_a_successful_trial(self):
+        platform = BDAaaSPlatform()
+        trainee = platform.register_user("eve", role="trainee")
+        session = LabSession(platform, trainee, _fast_churn_challenge())
+        with pytest.raises(SessionError):
+            ChallengeScorer().score(session)
+
+    def test_score_serialisable(self, lab_session):
+        import json
+        json.dumps(ChallengeScorer().score(lab_session).as_dict())
+
+    def test_explicit_best_trial_override(self, lab_session):
+        baseline_trial = lab_session.trial("model=baseline")
+        score = ChallengeScorer().score(lab_session, best_trial=baseline_trial)
+        assert score.best_trial_label == "model=baseline"
+        assert not score.passed  # the baseline misses the accuracy criterion

@@ -1,0 +1,247 @@
+"""Platform building blocks: users/roles/quotas, workspaces, jobs, provisioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.core.compiler import CampaignCompiler
+from repro.errors import (AuthorizationError, JobError, ProvisioningError,
+                          QuotaExceededError, WorkspaceError)
+from repro.platform.auth import (PERMISSION_MANAGE_USERS, PERMISSION_SUBMIT,
+                                 ROLE_ADMIN, ROLE_ANALYST, ROLE_TRAINEE, User,
+                                 UserRegistry)
+from repro.platform.jobs import JobManager, JobStatus
+from repro.platform.provisioning import Provisioner
+from repro.platform.workspace import WorkspaceManager
+from tests.conftest import small_churn_spec
+
+
+class TestUsersAndRoles:
+    def test_unknown_role_rejected(self):
+        with pytest.raises(AuthorizationError):
+            User("u1", "x", role="superuser")
+
+    def test_role_permissions(self):
+        admin = User("u1", "root", role=ROLE_ADMIN)
+        trainee = User("u2", "ada", role=ROLE_TRAINEE)
+        assert admin.can(PERMISSION_MANAGE_USERS)
+        assert trainee.can(PERMISSION_SUBMIT)
+        assert not trainee.can(PERMISSION_MANAGE_USERS)
+
+    def test_require_raises_for_missing_permission(self):
+        trainee = User("u", "ada", role=ROLE_TRAINEE)
+        with pytest.raises(AuthorizationError):
+            trainee.require(PERMISSION_MANAGE_USERS)
+
+    def test_free_tier_flag(self):
+        assert User("u", "ada", role=ROLE_TRAINEE).is_free_tier
+        assert not User("u", "bo", role=ROLE_ANALYST).is_free_tier
+
+    def test_registry_register_and_lookup(self):
+        registry = UserRegistry()
+        user = registry.register("ada", ROLE_TRAINEE, organisation="acme")
+        assert registry.get(user.user_id) is user
+        assert registry.by_name("ada") is user
+        assert len(registry.users) == 1
+
+    def test_registry_unknown_lookups(self):
+        registry = UserRegistry()
+        with pytest.raises(AuthorizationError):
+            registry.get("u999")
+        with pytest.raises(AuthorizationError):
+            registry.by_name("nobody")
+
+
+class TestQuotas:
+    def _registry(self):
+        return UserRegistry(PlatformConfig(free_tier_max_jobs=2,
+                                           free_tier_max_rows=1000,
+                                           free_tier_max_workers=2))
+
+    def test_job_quota_enforced_for_trainees(self):
+        registry = self._registry()
+        trainee = registry.register("ada", ROLE_TRAINEE)
+        registry.record_job(trainee)
+        registry.record_job(trainee)
+        with pytest.raises(QuotaExceededError):
+            registry.check_job_quota(trainee)
+        assert registry.remaining_jobs(trainee) == 0
+
+    def test_job_quota_not_applied_to_analysts(self):
+        registry = self._registry()
+        analyst = registry.register("bo", ROLE_ANALYST)
+        for _ in range(5):
+            registry.record_job(analyst)
+        registry.check_job_quota(analyst)
+        assert registry.remaining_jobs(analyst) is None
+
+    def test_data_quota(self):
+        registry = self._registry()
+        trainee = registry.register("ada", ROLE_TRAINEE)
+        registry.check_data_quota(trainee, 1000)
+        with pytest.raises(QuotaExceededError):
+            registry.check_data_quota(trainee, 5000)
+
+    def test_cluster_quota(self):
+        registry = self._registry()
+        trainee = registry.register("ada", ROLE_TRAINEE)
+        registry.check_cluster_quota(trainee, 2)
+        with pytest.raises(QuotaExceededError):
+            registry.check_cluster_quota(trainee, 8)
+
+
+class TestWorkspaces:
+    def test_create_and_lookup(self):
+        manager = WorkspaceManager()
+        workspace = manager.create("w", "owner-1")
+        assert manager.get(workspace.workspace_id) is workspace
+        assert manager.for_owner("owner-1") == [workspace]
+        assert len(manager) == 1
+
+    def test_duplicate_name_per_owner_rejected(self):
+        manager = WorkspaceManager()
+        manager.create("w", "owner-1")
+        with pytest.raises(WorkspaceError):
+            manager.create("w", "owner-1")
+        manager.create("w", "owner-2")  # other owners may reuse the name
+
+    def test_unknown_workspace(self):
+        manager = WorkspaceManager()
+        with pytest.raises(WorkspaceError):
+            manager.get("w999")
+
+    def test_delete(self):
+        manager = WorkspaceManager()
+        workspace = manager.create("w", "o")
+        manager.delete(workspace.workspace_id)
+        assert len(manager) == 0
+        with pytest.raises(WorkspaceError):
+            manager.delete(workspace.workspace_id)
+
+    def test_spec_storage(self):
+        manager = WorkspaceManager()
+        workspace = manager.create("w", "o")
+        workspace.save_spec("churn", {"name": "churn"})
+        assert workspace.get_spec("churn") == {"name": "churn"}
+        assert workspace.list_specs() == ["churn"]
+        with pytest.raises(WorkspaceError):
+            workspace.get_spec("missing")
+
+    def test_run_history(self, churn_run):
+        manager = WorkspaceManager()
+        workspace = manager.create("w", "o")
+        workspace.record_run(churn_run)
+        assert workspace.run_history() == [churn_run]
+        assert workspace.run_history("test-churn") == [churn_run]
+        assert workspace.run_history("other") == []
+        assert workspace.latest_run() is churn_run
+        assert manager.create("empty", "o").latest_run() is None
+
+
+class TestJobManager:
+    def test_lifecycle_success(self):
+        manager = JobManager()
+        job = manager.submit("churn", "u1", "w1")
+        assert job.status == JobStatus.PENDING
+        manager.mark_running(job.job_id)
+        manager.mark_succeeded(job.job_id, run="the-run")
+        refreshed = manager.get(job.job_id)
+        assert refreshed.status == JobStatus.SUCCEEDED
+        assert refreshed.run == "the-run"
+        assert refreshed.is_terminal
+        assert refreshed.run_time_s >= 0
+
+    def test_lifecycle_failure(self):
+        manager = JobManager()
+        job = manager.submit("churn", "u1", "w1")
+        manager.mark_running(job.job_id)
+        manager.mark_failed(job.job_id, "boom")
+        assert manager.get(job.job_id).status == JobStatus.FAILED
+        assert manager.get(job.job_id).error == "boom"
+
+    def test_cancel(self):
+        manager = JobManager()
+        job = manager.submit("churn", "u1", "w1")
+        manager.cancel(job.job_id)
+        assert manager.get(job.job_id).status == JobStatus.CANCELLED
+
+    def test_invalid_transitions(self):
+        manager = JobManager()
+        job = manager.submit("churn", "u1", "w1")
+        with pytest.raises(JobError):
+            manager.mark_succeeded(job.job_id, run=None)  # not running yet
+        manager.mark_running(job.job_id)
+        manager.mark_succeeded(job.job_id, run=None)
+        with pytest.raises(JobError):
+            manager.mark_failed(job.job_id, "late error")
+        with pytest.raises(JobError):
+            manager.cancel(job.job_id)
+
+    def test_unknown_job(self):
+        with pytest.raises(JobError):
+            JobManager().get("job-404")
+
+    def test_filters_and_statistics(self):
+        manager = JobManager()
+        first = manager.submit("a", "u1", "w1")
+        second = manager.submit("b", "u2", "w2")
+        manager.mark_running(first.job_id)
+        manager.mark_succeeded(first.job_id, run=None)
+        assert len(manager.jobs(owner_id="u1")) == 1
+        assert len(manager.jobs(status=JobStatus.PENDING)) == 1
+        stats = manager.statistics()
+        assert stats["submitted"] == 2
+        assert stats["succeeded"] == 1
+        assert stats["mean_run_time_s"] >= 0
+
+    def test_job_serialisation(self):
+        manager = JobManager()
+        job = manager.submit("a", "u1", "w1", option_label="opt")
+        as_dict = job.as_dict()
+        assert as_dict["campaign"] == "a"
+        assert as_dict["option_label"] == "opt"
+
+
+class TestProvisioner:
+    def _deployment(self, **deployment_prefs):
+        compiler = CampaignCompiler()
+        return compiler.compile(small_churn_spec(
+            deployment={"num_partitions": 2, **deployment_prefs})).deployment
+
+    def test_provision_and_release(self):
+        provisioner = Provisioner()
+        cluster = provisioner.provision(self._deployment())
+        assert cluster.is_active
+        assert provisioner.active_clusters == [cluster]
+        provisioner.release(cluster)
+        assert not cluster.is_active
+        assert provisioner.released_clusters == [cluster]
+        with pytest.raises(ProvisioningError):
+            provisioner.release(cluster)
+
+    def test_worker_cap_shrinks_engine_config(self):
+        provisioner = Provisioner()
+        cluster = provisioner.provision(self._deployment(num_workers=8), max_workers=2)
+        assert cluster.engine_config.num_workers == 2
+
+    def test_large_profile_rejected_for_capped_users(self):
+        provisioner = Provisioner()
+        deployment = self._deployment(cluster_profile="large-16")
+        with pytest.raises(ProvisioningError):
+            provisioner.provision(deployment, max_workers=4)
+
+    def test_available_profiles_filtered_by_cap(self):
+        provisioner = Provisioner()
+        unrestricted = provisioner.available_profiles()
+        capped = provisioner.available_profiles(max_workers=4)
+        assert "large-16" in unrestricted
+        assert "large-16" not in capped
+        assert "local" in capped
+
+    def test_uptime_tracked(self):
+        provisioner = Provisioner()
+        cluster = provisioner.provision(self._deployment())
+        assert cluster.uptime_s >= 0
+        provisioner.release(cluster)
+        assert cluster.uptime_s >= 0

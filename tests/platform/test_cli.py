@@ -1,0 +1,92 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import small_churn_spec
+
+
+@pytest.fixture()
+def spec_file(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(small_churn_spec()), encoding="utf-8")
+    return str(path)
+
+
+class TestInformationalCommands:
+    def test_catalog_lists_services(self, capsys):
+        assert main(["catalog"]) == 0
+        output = capsys.readouterr().out
+        assert "classify_logistic_regression" in output
+        assert "[analytics]" in output
+
+    def test_challenges_lists_briefs(self, capsys):
+        assert main(["challenges"]) == 0
+        output = capsys.readouterr().out
+        assert "churn-retention" in output
+        assert "Design dimensions" in output
+
+    def test_compile_shows_pipeline(self, capsys, spec_file):
+        assert main(["compile", spec_file]) == 0
+        output = capsys.readouterr().out
+        assert "Procedural model" in output
+        assert "ingest_scenario" in output
+
+    def test_compile_missing_file(self, capsys):
+        assert main(["compile", "/no/such/spec.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRunCommand:
+    def test_run_executes_and_reports_objectives(self, capsys, spec_file, tmp_path):
+        output_path = str(tmp_path / "run.json")
+        exit_code = main(["run", spec_file, "--output", output_path])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "hard objectives met: True" in output
+        assert "accuracy" in output
+        record = json.loads(open(output_path, encoding="utf-8").read())
+        assert record["campaign"] == "test-churn"
+        assert record["option_label"] == "cli"
+
+    def test_run_returns_nonzero_when_objectives_missed(self, tmp_path, capsys):
+        spec = small_churn_spec()
+        spec["goals"][0]["objectives"] = [{"indicator": "accuracy", "target": 0.999}]
+        path = tmp_path / "hard.json"
+        path.write_text(json.dumps(spec), encoding="utf-8")
+        assert main(["run", str(path)]) == 1
+        assert "NOT met" in capsys.readouterr().out
+
+    def test_run_invalid_spec_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "x"}), encoding="utf-8")
+        assert main(["run", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestChallengeCommand:
+    def test_challenge_with_selection_and_score(self, capsys):
+        exit_code = main(["challenge", "churn-retention",
+                          "--select", "model=bayes",
+                          "--select", "volume=recent", "--score"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "trial" in output
+        assert "accuracy" in output
+        assert "score:" in output
+
+    def test_challenge_unknown_key(self, capsys):
+        assert main(["challenge", "not-a-challenge"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_challenge_bad_selection_format(self, capsys):
+        assert main(["challenge", "churn-retention", "--select", "model:tree"]) == 2
+        assert "dimension=option" in capsys.readouterr().err
+
+    def test_challenge_unknown_option_fails_gracefully(self, capsys):
+        exit_code = main(["challenge", "churn-retention", "--select", "model=svm"])
+        assert exit_code == 2

@@ -1,0 +1,124 @@
+"""The BDAaaS platform facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.errors import AuthorizationError, PlatformError, QuotaExceededError
+from repro.platform.api import BDAaaSPlatform
+from repro.platform.jobs import JobStatus
+from tests.conftest import small_churn_spec
+
+
+@pytest.fixture()
+def trainee_setup(platform):
+    """A trainee user plus their workspace."""
+    user = platform.register_user("ada", role="trainee", organisation="acme")
+    workspace = platform.create_workspace(user, "ada-sandbox")
+    return user, workspace
+
+
+class TestSubmission:
+    def test_successful_submission_records_everything(self, platform, trainee_setup):
+        user, workspace = trainee_setup
+        job = platform.submit_campaign(user, workspace, small_churn_spec())
+        assert job.status == JobStatus.SUCCEEDED
+        assert job.run is not None
+        assert job.run.indicator("accuracy") > 0.5
+        # the workspace keeps both the spec and the run
+        assert workspace.list_specs() == ["test-churn"]
+        assert platform.runs_for(workspace) == [job.run]
+        # quotas and audit were touched
+        assert platform.users.remaining_jobs(user) == 9
+        actions = [event.action for event in platform.audit.events]
+        assert "campaign.submit" in actions
+        assert "campaign.succeeded" in actions
+
+    def test_run_campaign_returns_run_directly(self, platform, trainee_setup):
+        user, workspace = trainee_setup
+        run = platform.run_campaign(user, workspace, small_churn_spec(),
+                                    option_label="direct")
+        assert run.option_label == "direct"
+
+    def test_compile_without_execution(self, platform):
+        campaign = platform.compile_campaign(small_churn_spec())
+        assert campaign.procedural.num_steps >= 4
+
+    def test_failed_campaign_marks_job_failed(self, platform, trainee_setup):
+        user, workspace = trainee_setup
+        bad_spec = small_churn_spec()
+        bad_spec["goals"][0]["params"]["label"] = "ghost_field"
+        job = platform.submit_campaign(user, workspace, bad_spec)
+        assert job.status == JobStatus.FAILED
+        assert job.run is None
+        assert "ghost_field" in job.error or "absent" in job.error
+        with pytest.raises(PlatformError):
+            platform.run_campaign(user, workspace, bad_spec)
+
+    def test_failed_campaign_still_counts_against_quota(self, platform, trainee_setup):
+        user, workspace = trainee_setup
+        bad_spec = small_churn_spec()
+        bad_spec["goals"][0]["params"]["label"] = "ghost_field"
+        platform.submit_campaign(user, workspace, bad_spec)
+        assert platform.users.remaining_jobs(user) == 9
+
+    def test_clusters_released_after_execution(self, platform, trainee_setup):
+        user, workspace = trainee_setup
+        platform.submit_campaign(user, workspace, small_churn_spec())
+        assert platform.provisioner.active_clusters == []
+        assert len(platform.provisioner.released_clusters) == 1
+
+
+class TestQuotaEnforcement:
+    def test_row_quota_blocks_large_campaigns(self, platform, trainee_setup):
+        user, workspace = trainee_setup
+        huge = small_churn_spec(num_records=1_000_000)
+        huge["source"]["num_records"] = 1_000_000
+        with pytest.raises(QuotaExceededError):
+            platform.submit_campaign(user, workspace, huge)
+
+    def test_job_quota_exhausts(self, trainee_setup):
+        platform = BDAaaSPlatform(PlatformConfig(free_tier_max_jobs=2))
+        user = platform.register_user("bob", role="trainee")
+        workspace = platform.create_workspace(user, "w")
+        platform.submit_campaign(user, workspace, small_churn_spec())
+        platform.submit_campaign(user, workspace, small_churn_spec())
+        with pytest.raises(QuotaExceededError):
+            platform.submit_campaign(user, workspace, small_churn_spec())
+
+    def test_worker_quota_blocks_big_requests(self, platform, trainee_setup):
+        user, workspace = trainee_setup
+        spec = small_churn_spec(deployment={"num_partitions": 4, "num_workers": 16})
+        with pytest.raises(QuotaExceededError):
+            platform.submit_campaign(user, workspace, spec)
+
+    def test_analysts_are_not_quota_limited(self, platform):
+        analyst = platform.register_user("carol", role="analyst")
+        workspace = platform.create_workspace(analyst, "carol-space")
+        spec = small_churn_spec(deployment={"num_partitions": 4, "num_workers": 8})
+        job = platform.submit_campaign(analyst, workspace, spec)
+        assert job.status == JobStatus.SUCCEEDED
+
+
+class TestIntrospection:
+    def test_catalogue_overview(self, platform):
+        overview = platform.catalogue_overview()
+        assert "classify_logistic_regression" in overview
+
+    def test_job_statistics_aggregate(self, platform, trainee_setup):
+        user, workspace = trainee_setup
+        platform.submit_campaign(user, workspace, small_churn_spec())
+        stats = platform.job_statistics()
+        assert stats["submitted"] == 1
+        assert stats["succeeded"] == 1
+
+    def test_audit_is_ordered_and_gap_free(self, platform, trainee_setup):
+        user, workspace = trainee_setup
+        platform.submit_campaign(user, workspace, small_churn_spec())
+        assert platform.audit.verify_sequence()
+
+    def test_audit_can_be_disabled(self):
+        platform = BDAaaSPlatform(PlatformConfig(audit_enabled=False))
+        platform.register_user("quiet", role="trainee")
+        assert len(platform.audit) == 0

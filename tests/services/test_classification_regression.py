@@ -1,0 +1,193 @@
+"""Classification and regression analytics services."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.schemas import CHURN_SCHEMA, PATIENT_SCHEMA
+from repro.errors import ServiceConfigurationError, ServiceExecutionError
+from repro.services.base import ServiceContext
+from repro.services.analytics.base import (evaluate_binary_classification,
+                                           evaluate_regression,
+                                           train_test_split_records)
+from repro.services.analytics.classification import (DecisionTreeService,
+                                                     LogisticRegressionService,
+                                                     MajorityClassService,
+                                                     NaiveBayesService)
+from repro.services.analytics.regression import LinearRegressionService
+
+CHURN_FEATURES = ["tenure_months", "monthly_charges", "num_support_calls",
+                  "data_usage_gb"]
+CHURN_CATEGORICAL = ["contract_type", "payment_method"]
+
+
+@pytest.fixture()
+def churn_context(engine, churn_records):
+    dataset = engine.parallelize(churn_records, 4)
+    return ServiceContext(engine=engine, dataset=dataset, schema=CHURN_SCHEMA)
+
+
+@pytest.fixture()
+def patient_context(engine, patient_records):
+    dataset = engine.parallelize(patient_records, 4)
+    return ServiceContext(engine=engine, dataset=dataset, schema=PATIENT_SCHEMA)
+
+
+class TestEvaluationHelpers:
+    def test_binary_metrics_perfect_prediction(self):
+        metrics = evaluate_binary_classification([1, 0, 1, 0], [1, 0, 1, 0])
+        assert metrics["accuracy"] == 1.0
+        assert metrics["f1"] == 1.0
+
+    def test_binary_metrics_all_wrong(self):
+        metrics = evaluate_binary_classification([1, 0], [0, 1])
+        assert metrics["accuracy"] == 0.0
+        assert metrics["precision"] == 0.0
+
+    def test_binary_metrics_known_confusion_matrix(self):
+        actual = [1, 1, 1, 1, 0, 0, 0, 0, 0, 0]
+        predicted = [1, 1, 0, 0, 1, 0, 0, 0, 0, 0]
+        metrics = evaluate_binary_classification(actual, predicted)
+        assert metrics["accuracy"] == pytest.approx(0.7)
+        assert metrics["precision"] == pytest.approx(2 / 3)
+        assert metrics["recall"] == pytest.approx(0.5)
+
+    def test_binary_metrics_length_mismatch(self):
+        with pytest.raises(ServiceExecutionError):
+            evaluate_binary_classification([1], [1, 0])
+
+    def test_binary_metrics_empty(self):
+        assert evaluate_binary_classification([], [])["accuracy"] == 0.0
+
+    def test_regression_metrics_perfect(self):
+        metrics = evaluate_regression([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert metrics["rmse"] == 0.0
+        assert metrics["r2"] == pytest.approx(1.0)
+
+    def test_regression_metrics_mean_predictor_has_zero_r2(self):
+        actual = [1.0, 2.0, 3.0, 4.0]
+        metrics = evaluate_regression(actual, [2.5] * 4)
+        assert metrics["r2"] == pytest.approx(0.0)
+
+    def test_regression_metrics_empty_raises(self):
+        with pytest.raises(ServiceExecutionError):
+            evaluate_regression([], [])
+
+    def test_split_respects_existing_tags(self):
+        records = [{"__split__": "train", "v": i} for i in range(5)] + \
+                  [{"__split__": "test", "v": i} for i in range(3)]
+        train, test = train_test_split_records(records, 0.5, seed=1)
+        assert len(train) == 5
+        assert len(test) == 3
+
+    def test_split_without_tags_is_roughly_proportional(self):
+        records = [{"v": i} for i in range(1000)]
+        train, test = train_test_split_records(records, 0.3, seed=1)
+        assert 0.2 < len(test) / 1000 < 0.4
+
+    def test_split_degenerate_input_still_returns_both_sides(self):
+        records = [{"v": 1}, {"v": 2}]
+        train, test = train_test_split_records(records, 0.001, seed=1)
+        assert train and test
+
+
+class TestClassifiers:
+    @pytest.mark.parametrize("service_class", [LogisticRegressionService,
+                                               DecisionTreeService,
+                                               NaiveBayesService])
+    def test_learns_better_than_chance(self, churn_context, service_class):
+        service = service_class(label="churned", features=CHURN_FEATURES,
+                                categorical_features=CHURN_CATEGORICAL)
+        result = service.execute(churn_context)
+        assert result.metrics["accuracy"] > 0.6
+        assert result.metrics["f1"] > 0.3
+        assert result.metrics["training_time_s"] > 0
+
+    def test_all_classifiers_beat_the_baseline_f1(self, churn_context):
+        def f1_of(service_class):
+            return service_class(label="churned", features=CHURN_FEATURES,
+                                 categorical_features=CHURN_CATEGORICAL) \
+                .execute(churn_context).metrics["f1"]
+        baseline = f1_of(MajorityClassService)
+        assert f1_of(LogisticRegressionService) > baseline
+        assert f1_of(DecisionTreeService) > baseline
+
+    def test_baseline_has_zero_recall_on_minority_class(self, churn_context):
+        result = MajorityClassService(label="churned", features=CHURN_FEATURES) \
+            .execute(churn_context)
+        assert result.metrics["recall"] == 0.0
+
+    def test_missing_field_raises_configuration_error(self, churn_context):
+        service = LogisticRegressionService(label="churned", features=["not_a_field"])
+        with pytest.raises(ServiceConfigurationError):
+            service.execute(churn_context)
+
+    def test_empty_dataset_raises(self, engine):
+        context = ServiceContext(engine=engine, dataset=engine.empty())
+        service = NaiveBayesService(label="churned", features=["age"])
+        with pytest.raises(ServiceExecutionError):
+            service.execute(context)
+
+    def test_logistic_reports_coefficients(self, churn_context):
+        result = LogisticRegressionService(
+            label="churned", features=CHURN_FEATURES,
+            categorical_features=CHURN_CATEGORICAL).execute(churn_context)
+        coefficients = result.artifacts["coefficients"]
+        assert "num_support_calls" in coefficients
+        assert coefficients["num_support_calls"] > 0  # more calls, more churn
+        assert "contract_type=monthly" in coefficients
+
+    def test_decision_tree_reports_rules_and_respects_depth(self, churn_context):
+        result = DecisionTreeService(label="churned", features=CHURN_FEATURES,
+                                     categorical_features=CHURN_CATEGORICAL,
+                                     max_depth=3).execute(churn_context)
+        assert result.artifacts["tree_depth"] <= 3
+        assert result.artifacts["tree_leaves"] >= 2
+        assert any("=> class" in rule for rule in result.artifacts["rules"])
+
+    def test_depth_one_tree_is_a_stump(self, churn_context):
+        result = DecisionTreeService(label="churned", features=CHURN_FEATURES,
+                                     max_depth=1).execute(churn_context)
+        assert result.artifacts["tree_depth"] <= 1
+
+    def test_predictions_dataset_exposed(self, churn_context):
+        result = NaiveBayesService(label="churned", features=CHURN_FEATURES) \
+            .execute(churn_context)
+        predictions = result.artifacts["predictions"].collect()
+        assert all(set(p) == {"actual", "predicted"} for p in predictions)
+        assert len(predictions) == int(result.metrics["test_records"])
+
+    def test_respects_prepared_split_field(self, engine, churn_records):
+        tagged = [dict(record, __split__="train" if index % 2 else "test")
+                  for index, record in enumerate(churn_records)]
+        context = ServiceContext(engine=engine, dataset=engine.parallelize(tagged, 4))
+        result = NaiveBayesService(label="churned", features=CHURN_FEATURES) \
+            .execute(context)
+        assert result.metrics["test_records"] == len(churn_records) // 2
+
+
+class TestLinearRegression:
+    def test_recovers_cost_structure(self, patient_context):
+        result = LinearRegressionService(
+            target="treatment_cost", features=["age", "length_of_stay"],
+            categorical_features=["diagnosis"]).execute(patient_context)
+        assert result.metrics["r2"] > 0.7
+        assert result.artifacts["coefficients"]["length_of_stay"] > 0
+
+    def test_missing_target_raises(self, patient_context):
+        service = LinearRegressionService(target="nope", features=["age"])
+        with pytest.raises(ServiceConfigurationError):
+            service.execute(patient_context)
+
+    def test_empty_dataset_raises(self, engine):
+        context = ServiceContext(engine=engine, dataset=engine.empty())
+        with pytest.raises(ServiceExecutionError):
+            LinearRegressionService(target="y", features=["x"]).execute(context)
+
+    def test_perfect_linear_relationship(self, engine):
+        records = [{"x": float(i), "y": 3.0 * i + 7.0} for i in range(200)]
+        context = ServiceContext(engine=engine, dataset=engine.parallelize(records, 2))
+        result = LinearRegressionService(target="y", features=["x"]).execute(context)
+        assert result.metrics["r2"] == pytest.approx(1.0, abs=1e-6)
+        assert result.artifacts["coefficients"]["x"] == pytest.approx(3.0, abs=1e-6)
+        assert result.artifacts["intercept"] == pytest.approx(7.0, abs=1e-4)

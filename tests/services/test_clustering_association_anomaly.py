@@ -1,0 +1,233 @@
+"""Clustering, association-rule mining, anomaly detection and descriptive services."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceConfigurationError, ServiceExecutionError
+from repro.services.base import ServiceContext
+from repro.services.analytics.anomaly import IQRAnomalyService, ZScoreAnomalyService
+from repro.services.analytics.association import AssociationRulesService
+from repro.services.analytics.clustering import KMeansService
+from repro.services.analytics.descriptive import (DescriptiveStatsService,
+                                                  GroupAggregationService, TopKService)
+
+
+class TestKMeans:
+    @pytest.fixture()
+    def blob_context(self, engine):
+        import random
+        rng = random.Random(1)
+        records = []
+        for center in ((0.0, 0.0), (10.0, 10.0), (0.0, 10.0)):
+            records.extend({"x": rng.gauss(center[0], 0.5), "y": rng.gauss(center[1], 0.5)}
+                           for _ in range(60))
+        rng.shuffle(records)
+        return ServiceContext(engine=engine, dataset=engine.parallelize(records, 3))
+
+    def test_recovers_well_separated_blobs(self, blob_context):
+        result = KMeansService(features=["x", "y"], k=3, max_iterations=10, seed=2) \
+            .execute(blob_context)
+        sizes = sorted(result.artifacts["cluster_sizes"])
+        assert sizes == [60, 60, 60]
+        assert result.metrics["inertia"] < 500
+
+    def test_more_clusters_lower_inertia(self, blob_context):
+        inertia_2 = KMeansService(features=["x", "y"], k=2, seed=3) \
+            .execute(blob_context).metrics["inertia"]
+        inertia_4 = KMeansService(features=["x", "y"], k=4, seed=3) \
+            .execute(blob_context).metrics["inertia"]
+        assert inertia_4 < inertia_2
+
+    def test_output_records_carry_cluster_assignment(self, blob_context):
+        result = KMeansService(features=["x", "y"], k=3, seed=1).execute(blob_context)
+        record = result.dataset.first()
+        assert "cluster" in record
+        assert 0 <= record["cluster"] < 3
+
+    def test_k_larger_than_data_raises(self, engine):
+        context = ServiceContext(engine=engine,
+                                 dataset=engine.parallelize([{"x": 1.0}], 1))
+        with pytest.raises(ServiceExecutionError):
+            KMeansService(features=["x"], k=5).execute(context)
+
+    def test_empty_dataset_raises(self, engine):
+        context = ServiceContext(engine=engine, dataset=engine.empty())
+        with pytest.raises(ServiceExecutionError):
+            KMeansService(features=["x"], k=2).execute(context)
+
+    def test_invalid_k_rejected(self, engine):
+        context = ServiceContext(engine=engine,
+                                 dataset=engine.parallelize([{"x": 1.0}], 1))
+        with pytest.raises(ServiceConfigurationError):
+            KMeansService(features=["x"], k=0).execute(context)
+
+    def test_iterations_bounded_by_max(self, blob_context):
+        result = KMeansService(features=["x", "y"], k=3, max_iterations=2, seed=1) \
+            .execute(blob_context)
+        assert result.metrics["iterations"] <= 2
+
+
+class TestAssociationRules:
+    @pytest.fixture()
+    def basket_context(self, engine, retail_records):
+        return ServiceContext(engine=engine, dataset=engine.parallelize(retail_records, 4))
+
+    def test_finds_embedded_rules(self, basket_context):
+        result = AssociationRulesService(min_support=0.05, min_confidence=0.3) \
+            .execute(basket_context)
+        rules = result.artifacts["rules"]
+        assert result.metrics["num_rules"] >= 3
+        pairs = {(tuple(rule["antecedent"]), tuple(rule["consequent"])) for rule in rules}
+        assert (("pasta",), ("tomato_sauce",)) in pairs
+
+    def test_rule_measures_are_consistent(self, basket_context):
+        result = AssociationRulesService(min_support=0.05, min_confidence=0.3) \
+            .execute(basket_context)
+        for rule in result.artifacts["rules"]:
+            assert 0.0 < rule["support"] <= 1.0
+            assert 0.3 <= rule["confidence"] <= 1.0
+            assert rule["lift"] > 0.0
+            assert rule["confidence"] >= rule["support"]
+
+    def test_stricter_support_yields_fewer_itemsets(self, basket_context):
+        loose = AssociationRulesService(min_support=0.02, min_confidence=0.3) \
+            .execute(basket_context).metrics["num_frequent_itemsets"]
+        strict = AssociationRulesService(min_support=0.2, min_confidence=0.3) \
+            .execute(basket_context).metrics["num_frequent_itemsets"]
+        assert strict < loose
+
+    def test_itemset_size_cap_respected(self, basket_context):
+        result = AssociationRulesService(min_support=0.02, min_confidence=0.2,
+                                         max_itemset_size=2).execute(basket_context)
+        assert all(len(itemset) <= 2
+                   for itemset in result.artifacts["frequent_itemsets"])
+
+    def test_invalid_thresholds_rejected(self, basket_context):
+        with pytest.raises(ServiceConfigurationError):
+            AssociationRulesService(min_support=0.0).execute(basket_context)
+        with pytest.raises(ServiceConfigurationError):
+            AssociationRulesService(min_confidence=1.5).execute(basket_context)
+
+    def test_empty_dataset_raises(self, engine):
+        context = ServiceContext(engine=engine, dataset=engine.empty())
+        with pytest.raises(ServiceExecutionError):
+            AssociationRulesService().execute(context)
+
+
+class TestAnomalyDetection:
+    @pytest.fixture()
+    def energy_context(self, engine, energy_records):
+        return ServiceContext(engine=engine, dataset=engine.parallelize(energy_records, 4))
+
+    def test_zscore_detects_injected_anomalies(self, energy_context):
+        result = ZScoreAnomalyService(value_field="kwh", label_field="is_anomaly",
+                                      z_threshold=2.5).execute(energy_context)
+        assert result.metrics["precision"] > 0.5
+        assert result.metrics["recall"] > 0.2
+        assert result.metrics["anomalies_flagged"] > 0
+
+    def test_lower_threshold_raises_recall(self, energy_context):
+        strict = ZScoreAnomalyService(value_field="kwh", label_field="is_anomaly",
+                                      z_threshold=3.5).execute(energy_context)
+        sensitive = ZScoreAnomalyService(value_field="kwh", label_field="is_anomaly",
+                                         z_threshold=1.5).execute(energy_context)
+        assert sensitive.metrics["recall"] >= strict.metrics["recall"]
+        assert sensitive.metrics["anomalies_flagged"] >= strict.metrics["anomalies_flagged"]
+
+    def test_grouped_statistics_change_flags(self, energy_context):
+        global_run = ZScoreAnomalyService(value_field="kwh", label_field="is_anomaly",
+                                          z_threshold=2.5).execute(energy_context)
+        grouped_run = ZScoreAnomalyService(value_field="kwh", label_field="is_anomaly",
+                                           group_field="household_size",
+                                           z_threshold=2.5).execute(energy_context)
+        assert grouped_run.metrics["anomalies_flagged"] != \
+            global_run.metrics["anomalies_flagged"]
+
+    def test_output_records_flagged(self, energy_context):
+        result = ZScoreAnomalyService(value_field="kwh").execute(energy_context)
+        record = result.dataset.first()
+        assert record["is_flagged"] in (0, 1)
+
+    def test_iqr_detector_flags_outliers(self, energy_context):
+        result = IQRAnomalyService(value_field="kwh", label_field="is_anomaly",
+                                   iqr_multiplier=1.5).execute(energy_context)
+        assert result.metrics["anomalies_flagged"] > 0
+        assert result.metrics["precision"] > 0.2
+
+    def test_works_without_ground_truth_labels(self, engine):
+        records = [{"v": 1.0}] * 50 + [{"v": 100.0}]
+        context = ServiceContext(engine=engine, dataset=engine.parallelize(records, 2))
+        result = ZScoreAnomalyService(value_field="v", z_threshold=3.0).execute(context)
+        assert result.metrics["anomalies_flagged"] == 1
+        assert "precision" not in result.metrics
+
+    def test_constant_series_has_no_anomalies(self, engine):
+        records = [{"v": 5.0}] * 40
+        context = ServiceContext(engine=engine, dataset=engine.parallelize(records, 2))
+        result = ZScoreAnomalyService(value_field="v").execute(context)
+        assert result.metrics["anomalies_flagged"] == 0
+
+    def test_empty_dataset_raises(self, engine):
+        context = ServiceContext(engine=engine, dataset=engine.empty())
+        with pytest.raises(ServiceExecutionError):
+            ZScoreAnomalyService(value_field="v").execute(context)
+
+
+class TestDescriptiveServices:
+    @pytest.fixture()
+    def weblog_context(self, engine, weblog_records):
+        return ServiceContext(engine=engine, dataset=engine.parallelize(weblog_records, 4))
+
+    def test_descriptive_stats(self, weblog_context):
+        result = DescriptiveStatsService(fields=["latency_ms", "bytes"]) \
+            .execute(weblog_context)
+        stats = result.artifacts["statistics"]
+        assert stats["latency_ms"]["mean"] > 0
+        assert result.metrics["latency_ms.mean"] == stats["latency_ms"]["mean"]
+
+    def test_group_aggregation_mean(self, weblog_context):
+        result = GroupAggregationService(group_field="service",
+                                         value_field="latency_ms",
+                                         aggregation="mean").execute(weblog_context)
+        table = {row["group"]: row["value"] for row in result.artifacts["table"]}
+        assert set(table) == {"frontend", "catalog", "cart", "payment", "auth"}
+        assert table["payment"] > table["auth"]
+
+    def test_group_aggregation_count(self, weblog_context, weblog_records):
+        result = GroupAggregationService(group_field="method").execute(weblog_context)
+        total = sum(row["value"] for row in result.artifacts["table"])
+        assert total == len(weblog_records)
+
+    def test_group_aggregation_requires_value_field(self, weblog_context):
+        with pytest.raises(ServiceConfigurationError):
+            GroupAggregationService(group_field="service", aggregation="mean") \
+                .execute(weblog_context)
+
+    def test_group_aggregation_unknown_function(self, weblog_context):
+        with pytest.raises(ServiceConfigurationError):
+            GroupAggregationService(group_field="service", value_field="bytes",
+                                    aggregation="median").execute(weblog_context)
+
+    def test_top_k_records(self, weblog_context):
+        result = TopKService(value_field="latency_ms", k=5).execute(weblog_context)
+        rows = result.artifacts["table"]
+        assert len(rows) == 5
+        latencies = [row["latency_ms"] for row in rows]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_top_k_groups(self, weblog_context):
+        result = TopKService(value_field="latency_ms", k=3, group_field="url") \
+            .execute(weblog_context)
+        rows = result.artifacts["table"]
+        assert len(rows) == 3
+        assert rows[0]["value"] >= rows[1]["value"] >= rows[2]["value"]
+
+    def test_top_k_invalid_k(self, weblog_context):
+        with pytest.raises(ServiceConfigurationError):
+            TopKService(value_field="latency_ms", k=0).execute(weblog_context)
+
+    def test_top_k_empty_dataset(self, engine):
+        context = ServiceContext(engine=engine, dataset=engine.empty())
+        with pytest.raises(ServiceExecutionError):
+            TopKService(value_field="v", k=3).execute(context)

@@ -1,0 +1,92 @@
+"""Display services: reports, tables, chart data, dashboards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceConfigurationError
+from repro.services.base import ServiceContext, ServiceResult
+from repro.services.display import (ChartDataService, DashboardService, ReportService,
+                                    TableExportService)
+
+
+@pytest.fixture()
+def upstream_results(engine):
+    """Fake upstream step results feeding the display services."""
+    return {
+        "analytics-churn": ServiceResult(metrics={"accuracy": 0.72, "f1": 0.61},
+                                         artifacts={"model_type": "tree"}),
+        "protect": ServiceResult(metrics={"achieved_k": 5.0}),
+    }
+
+
+class TestReportService:
+    def test_report_contains_title_and_metrics(self, engine, upstream_results):
+        context = ServiceContext(engine=engine, upstream=upstream_results)
+        result = ReportService(title="Churn campaign").execute(context)
+        report = result.artifacts["report"]
+        assert report.startswith("Churn campaign")
+        assert "accuracy: 0.7200" in report
+        assert "[analytics-churn]" in report
+        assert "[protect]" in report
+
+    def test_report_includes_artifacts_when_asked(self, engine, upstream_results):
+        context = ServiceContext(engine=engine, upstream=upstream_results)
+        result = ReportService(include_artifacts=True).execute(context)
+        assert "model_type" in result.artifacts["report"]
+
+    def test_report_with_no_upstream(self, engine):
+        result = ReportService().execute(ServiceContext(engine=engine))
+        assert result.metrics["report_lines"] >= 2
+
+
+class TestTableExportService:
+    def test_exports_rows_and_columns(self, engine):
+        records = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        context = ServiceContext(engine=engine, dataset=engine.parallelize(records, 1))
+        result = TableExportService(max_rows=10).execute(context)
+        assert result.artifacts["rows"] == records
+        assert result.artifacts["columns"] == ["a", "b"]
+
+    def test_respects_max_rows(self, engine):
+        records = [{"a": i} for i in range(100)]
+        context = ServiceContext(engine=engine, dataset=engine.parallelize(records, 2))
+        result = TableExportService(max_rows=7).execute(context)
+        assert result.metrics["exported_rows"] == 7
+
+    def test_invalid_max_rows(self, engine):
+        context = ServiceContext(engine=engine, dataset=engine.parallelize([{"a": 1}], 1))
+        with pytest.raises(ServiceConfigurationError):
+            TableExportService(max_rows=0).execute(context)
+
+
+class TestChartDataService:
+    def test_histogram_series(self, engine):
+        records = [{"v": float(i)} for i in range(100)]
+        context = ServiceContext(engine=engine, dataset=engine.parallelize(records, 2))
+        result = ChartDataService(value_field="v", buckets=4).execute(context)
+        assert len(result.artifacts["counts"]) == 4
+        assert sum(result.artifacts["counts"]) == 100
+        assert len(result.artifacts["edges"]) == 5
+
+    def test_plain_numeric_records_supported(self, engine):
+        context = ServiceContext(engine=engine,
+                                 dataset=engine.parallelize([1.0, 2.0, 3.0], 1))
+        result = ChartDataService(value_field="ignored", buckets=2).execute(context)
+        assert sum(result.artifacts["counts"]) == 3
+
+
+class TestDashboardService:
+    def test_collects_all_metrics_by_default(self, engine, upstream_results):
+        context = ServiceContext(engine=engine, upstream=upstream_results)
+        result = DashboardService().execute(context)
+        dashboard = result.artifacts["dashboard"]
+        assert dashboard["analytics-churn"]["accuracy"] == 0.72
+        assert result.metrics["panels"] == 2
+
+    def test_highlight_filter(self, engine, upstream_results):
+        context = ServiceContext(engine=engine, upstream=upstream_results)
+        result = DashboardService(highlight_metrics=["accuracy"]).execute(context)
+        dashboard = result.artifacts["dashboard"]
+        assert list(dashboard) == ["analytics-churn"]
+        assert list(dashboard["analytics-churn"]) == ["accuracy"]

@@ -1,0 +1,147 @@
+"""Service base machinery: metadata, parameter validation, vectorisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceConfigurationError
+from repro.services.base import (AREA_ANALYTICS, Service, ServiceContext,
+                                 ServiceMetadata, ServiceParameter, ServiceResult,
+                                 records_to_vectors)
+
+
+class EchoService(Service):
+    """Tiny test service echoing its parameters."""
+
+    metadata = ServiceMetadata(
+        name="echo", area=AREA_ANALYTICS,
+        capabilities=("task:test",),
+        parameters=(
+            ServiceParameter("required_field", "str", required=True),
+            ServiceParameter("count", "int", default=3),
+            ServiceParameter("ratio", "float", default=0.5),
+            ServiceParameter("flag", "bool", default=False),
+            ServiceParameter("items", "list", default=None),
+        ))
+
+    def execute(self, context: ServiceContext) -> ServiceResult:
+        return ServiceResult(metrics={"count": float(self.params["count"])})
+
+
+class TestParameterValidation:
+    def test_defaults_applied(self):
+        service = EchoService(required_field="x")
+        assert service.params["count"] == 3
+        assert service.params["ratio"] == 0.5
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(ServiceConfigurationError):
+            EchoService()
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ServiceConfigurationError):
+            EchoService(required_field="x", bogus=1)
+
+    def test_type_coercion(self):
+        service = EchoService(required_field="x", count="7", ratio="0.25",
+                              flag="true", items="a, b ,c")
+        assert service.params["count"] == 7
+        assert service.params["ratio"] == 0.25
+        assert service.params["flag"] is True
+        assert service.params["items"] == ["a", "b", "c"]
+
+    def test_list_passthrough(self):
+        assert EchoService(required_field="x", items=[1, 2]).params["items"] == [1, 2]
+
+    def test_bad_int_coercion_raises(self):
+        with pytest.raises(ServiceConfigurationError):
+            EchoService(required_field="x", count="not-a-number")
+
+    def test_service_without_metadata_rejected(self):
+        class Broken(Service):
+            metadata = None
+        with pytest.raises(ServiceConfigurationError):
+            Broken()
+
+    def test_name_and_area_properties(self):
+        service = EchoService(required_field="x")
+        assert service.name == "echo"
+        assert service.area == AREA_ANALYTICS
+        assert "echo" in repr(service)
+
+
+class TestServiceMetadata:
+    def test_has_capability(self):
+        assert EchoService.metadata.has_capability("task:test")
+        assert not EchoService.metadata.has_capability("task:other")
+
+    def test_parameter_lookup(self):
+        assert EchoService.metadata.parameter("count").default == 3
+        assert EchoService.metadata.parameter("missing") is None
+
+
+class TestServiceContext:
+    def test_require_dataset_raises_without_dataset(self, engine):
+        context = ServiceContext(engine=engine)
+        with pytest.raises(ServiceConfigurationError):
+            context.require_dataset()
+
+    def test_require_dataset_returns_dataset(self, engine):
+        ds = engine.parallelize([1], 1)
+        assert ServiceContext(engine=engine, dataset=ds).require_dataset() is ds
+
+
+class TestServiceResult:
+    def test_merged_metrics_with_prefix(self):
+        result = ServiceResult(metrics={"a": 1.0})
+        assert result.merged_metrics("step") == {"step.a": 1.0}
+        assert result.merged_metrics() == {"a": 1.0}
+
+
+class TestFeatureToFloat:
+    def test_plain_numbers(self):
+        from repro.services.base import feature_to_float
+        assert feature_to_float(3) == 3.0
+        assert feature_to_float(2.5) == 2.5
+        assert feature_to_float(True) == 1.0
+        assert feature_to_float(None) == 0.0
+
+    def test_numeric_strings(self):
+        from repro.services.base import feature_to_float
+        assert feature_to_float("42") == 42.0
+
+    def test_anonymised_range_maps_to_midpoint(self):
+        from repro.services.base import feature_to_float
+        assert feature_to_float("[60-80)") == 70.0
+        assert feature_to_float("[0-5)") == 2.5
+
+    def test_suppressed_and_garbage_values(self):
+        from repro.services.base import feature_to_float
+        assert feature_to_float("*") == 0.0
+        assert feature_to_float("north") == 0.0
+        assert feature_to_float("[a-b)") == 0.0
+
+
+class TestRecordsToVectors:
+    def test_numeric_features(self):
+        records = [{"x": 1, "y": 2.5}, {"x": 3, "y": None}]
+        vectors, columns = records_to_vectors(records, ["x", "y"])
+        assert vectors == [[1.0, 2.5], [3.0, 0.0]]
+        assert columns == ["x", "y"]
+
+    def test_one_hot_encoding_of_categoricals(self):
+        records = [{"x": 1, "c": "a"}, {"x": 2, "c": "b"}, {"x": 3, "c": "a"}]
+        vectors, columns = records_to_vectors(records, ["x"], ["c"])
+        assert columns == ["x", "c=a", "c=b"]
+        assert vectors[0] == [1.0, 1.0, 0.0]
+        assert vectors[1] == [2.0, 0.0, 1.0]
+
+    def test_unseen_category_encodes_to_zeros(self):
+        records = [{"c": "a"}, {"c": None}]
+        vectors, columns = records_to_vectors(records, [], ["c"])
+        assert vectors[1] == [0.0]
+
+    def test_empty_records(self):
+        vectors, columns = records_to_vectors([], ["x"], ["c"])
+        assert vectors == []
+        assert columns == ["x"]
