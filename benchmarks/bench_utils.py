@@ -8,10 +8,34 @@ be inspected after a ``pytest benchmarks/ --benchmark-only`` run.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Dict, List, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_json(experiment: str, title: str, headers: Sequence[str],
+              rows: List[Sequence[object]], notes: Sequence[str] = ()) -> Dict:
+    """Persist one experiment's results as ``results/BENCH_<EXP>.json``.
+
+    The standard shape — ``experiment``, ``title``, ``headers``, ``rows``
+    (as header-keyed dicts) and ``notes`` — is what cross-PR tooling diffs,
+    so every machine-readable benchmark should emit it alongside its table.
+    """
+    payload = {
+        "experiment": experiment,
+        "title": title,
+        "headers": list(headers),
+        "rows": [dict(zip(headers, row)) for row in rows],
+        "notes": list(notes),
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{experiment.upper()}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
+    return payload
 
 
 def emit_table(experiment: str, title: str, headers: Sequence[str],

@@ -8,9 +8,21 @@ user can turn is a named field with a default, mirroring the style of
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict
+from typing import Any, Dict, Tuple
 
 from .errors import ConfigurationError
+
+#: Rewrite rules of the logical-plan optimizer, in application order.
+#: ``EngineConfig.optimizer_rules`` may hold any subset; an empty tuple
+#: disables the optimizer entirely and actions execute the plan the Dataset
+#: API recorded, verbatim.
+KNOWN_OPTIMIZER_RULES: Tuple[str, ...] = (
+    "cache_prune",       # replace fully cached subtrees by a cached scan
+    "pushdown",          # push filters/projections below shuffle boundaries
+    "shuffle_elim",      # drop a shuffle when the child partitioning matches
+    "map_side_combine",  # pre-aggregate on the map side of reduce_by_key &co
+    "fuse_narrow",       # fuse chains of narrow ops into one operator
+)
 
 
 @dataclass(frozen=True)
@@ -39,6 +51,10 @@ class EngineConfig:
     seed:
         Seed for the engine's own random decisions (fault injection,
         sampling of shuffle sizes).
+    optimizer_rules:
+        Which logical-plan rewrite rules are enabled (see
+        :data:`KNOWN_OPTIMIZER_RULES`).  An empty tuple disables plan
+        optimization; benchmarks toggle individual rules to A/B them.
     """
 
     num_workers: int = 4
@@ -48,6 +64,7 @@ class EngineConfig:
     shuffle_compression: bool = True
     failure_rate: float = 0.0
     seed: int = 0
+    optimizer_rules: Tuple[str, ...] = KNOWN_OPTIMIZER_RULES
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -60,6 +77,19 @@ class EngineConfig:
             raise ConfigurationError("memory_budget_bytes must be >= 0")
         if not 0.0 <= self.failure_rate < 1.0:
             raise ConfigurationError("failure_rate must be in [0, 1)")
+        if isinstance(self.optimizer_rules, str):
+            # tuple("pushdown") would explode into characters and produce a
+            # baffling unknown-rules error; demand a proper sequence instead
+            raise ConfigurationError(
+                "optimizer_rules must be a sequence of rule names, "
+                f"e.g. optimizer_rules=({self.optimizer_rules!r},)")
+        object.__setattr__(self, "optimizer_rules", tuple(self.optimizer_rules))
+        unknown = [rule for rule in self.optimizer_rules
+                   if rule not in KNOWN_OPTIMIZER_RULES]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown optimizer rules {unknown}; "
+                f"known: {list(KNOWN_OPTIMIZER_RULES)}")
 
     def with_overrides(self, **overrides: Any) -> "EngineConfig":
         """Return a copy of this configuration with some fields replaced."""

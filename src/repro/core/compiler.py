@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..config import EngineConfig
+from ..config import KNOWN_OPTIMIZER_RULES, EngineConfig
 from ..data.schemas import BUILTIN_SCHEMAS, Schema
 from ..errors import CompilationError, CompositionError
 from ..governance.compliance import CampaignDescription, ComplianceChecker
@@ -280,7 +280,13 @@ class DeclarativeToProcedural:
 
 
 class ProceduralToDeployment:
-    """Bind a procedural model to the execution platform."""
+    """Bind a procedural model to the execution platform.
+
+    Besides partitioning and engine configuration, the binding emits
+    *optimizer hints*: the deployment layer's way of steering the engine's
+    logical-plan optimizer (target partitions, map-side combining on/off,
+    streaming micro-batch sizing) without touching the composed services.
+    """
 
     def compile(self, procedural: ProceduralModel,
                 declarative: DeclarativeModel) -> DeploymentModel:
@@ -290,17 +296,26 @@ class ProceduralToDeployment:
         num_partitions = int(preferences.get("num_partitions", 0)) or \
             self._default_partitions(num_records)
         num_workers = int(preferences.get("num_workers", 0)) or min(4, num_partitions)
+        optimizer_rules = self._optimizer_rules(preferences)
         engine_config = EngineConfig(
             num_workers=num_workers,
             default_parallelism=num_partitions,
             max_task_retries=int(preferences.get("max_task_retries", 2)),
             failure_rate=float(preferences.get("failure_rate", 0.0)),
             seed=int(preferences.get("seed", 0)),
+            optimizer_rules=optimizer_rules,
         )
         cluster_profile = str(preferences.get("cluster_profile", "local"))
         max_batches = preferences.get("max_batches")
         if declarative.source.streaming and max_batches is None:
             max_batches = max(1, num_records // declarative.source.batch_size)
+        optimizer_hints = {
+            "target_partitions": num_partitions,
+            "map_side_combine": "map_side_combine" in optimizer_rules,
+            "optimizer_rules": list(optimizer_rules),
+            "micro_batch_records": (declarative.source.batch_size
+                                    if declarative.source.streaming else None),
+        }
         return DeploymentModel(
             procedural=procedural,
             cluster_profile_name=cluster_profile,
@@ -310,7 +325,26 @@ class ProceduralToDeployment:
             streaming=declarative.source.streaming,
             batch_size=declarative.source.batch_size,
             max_batches=int(max_batches) if max_batches is not None else None,
+            optimizer_hints=optimizer_hints,
         )
+
+    @staticmethod
+    def _optimizer_rules(preferences: Dict[str, Any]) -> Tuple[str, ...]:
+        """Resolve the engine optimizer rules from deployment preferences.
+
+        ``optimizer: false`` disables plan optimization entirely,
+        ``optimizer_rules: [...]`` picks an explicit subset, and
+        ``map_side_combine: false`` switches off just the combine rewrite
+        (e.g. for non-associative aggregation UDFs).
+        """
+        if not preferences.get("optimizer", True):
+            return ()
+        explicit = preferences.get("optimizer_rules")
+        rules = [str(rule) for rule in explicit] if explicit is not None \
+            else list(KNOWN_OPTIMIZER_RULES)
+        if not preferences.get("map_side_combine", True):
+            rules = [rule for rule in rules if rule != "map_side_combine"]
+        return tuple(rules)
 
     @staticmethod
     def _default_partitions(num_records: int) -> int:

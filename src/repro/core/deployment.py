@@ -30,6 +30,10 @@ class DeploymentModel:
     streaming: bool = False
     batch_size: int = 500
     max_batches: Optional[int] = None
+    #: Deployment-level steering of the engine's logical-plan optimizer:
+    #: target partitions, map-side combining, micro-batch sizing and the
+    #: exact rule set baked into ``engine_config.optimizer_rules``.
+    optimizer_hints: Dict[str, Any] = field(default_factory=dict)
     extra: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -69,9 +73,12 @@ class DeploymentModel:
             f"  cluster profile: {self.cluster_profile_name} "
             f"({self.cluster_profile.num_workers} workers, "
             f"${self.cluster_profile.usd_per_hour}/h)",
-            "",
-            self.procedural.describe(),
         ]
+        if self.optimizer_hints:
+            rules = self.optimizer_hints.get("optimizer_rules") or []
+            lines.append(
+                f"  optimizer: {', '.join(rules) if rules else 'disabled'}")
+        lines.extend(["", self.procedural.describe()])
         return "\n".join(lines)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -85,4 +92,5 @@ class DeploymentModel:
             "streaming": self.streaming,
             "batch_size": self.batch_size,
             "max_batches": self.max_batches,
+            "optimizer_hints": dict(self.optimizer_hints),
         }

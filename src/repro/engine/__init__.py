@@ -9,6 +9,8 @@ streaming and a cluster cost simulator for what-if deployment analysis.
 from .context import EngineContext
 from .dataset import Dataset
 from .metrics import JobMetrics, MetricsRegistry, StageMetrics, TaskMetrics, merge_job_metrics
+from .optimizer import OptimizationResult, PlanOptimizer, lower_plan
+from .plan import LogicalNode, count_shuffles, render_plan
 from .partitioner import HashPartitioner, Partitioner, RangePartitioner, RoundRobinPartitioner
 from .simulator import (BUILTIN_PROFILES, ClusterProfile, CostModel,
                         DeploymentEstimate, DeploymentSimulator)
@@ -17,6 +19,12 @@ from .streaming import BatchResult, DStream, StreamingContext, StreamRunReport, 
 __all__ = [
     "EngineContext",
     "Dataset",
+    "LogicalNode",
+    "PlanOptimizer",
+    "OptimizationResult",
+    "lower_plan",
+    "render_plan",
+    "count_shuffles",
     "JobMetrics",
     "StageMetrics",
     "TaskMetrics",

@@ -15,6 +15,8 @@ from ..config import DEFAULT_ENGINE_CONFIG, EngineConfig
 from ..errors import EngineError, SourceError
 from .dataset import Dataset, ParallelCollectionDataset, SourceDataset
 from .metrics import MetricsRegistry
+from .optimizer import PlanOptimizer, lower_plan
+from .plan import SourceNode, render_plan
 from .scheduler import DAGScheduler
 from .shuffle import ShuffleManager
 from .storage import BlockStore
@@ -31,6 +33,15 @@ class EngineContext:
         self.metrics = MetricsRegistry()
         self.scheduler = DAGScheduler(self.config, self.shuffle_manager,
                                       self.block_store, self.metrics)
+        self.optimizer = PlanOptimizer(self.config, self.block_store)
+        #: Structural signature -> physical dataset, shared by plan lowering
+        #: so sibling plans reuse identical rewritten subtrees (and their
+        #: shuffle outputs / cached blocks).
+        self._lowered_plans = {}
+        #: Bumped by Dataset.cache()/unpersist(); memoised executables from
+        #: an older epoch are re-planned so rewrites respect the new cache
+        #: state (fusion barriers, pruning, mirror caching).
+        self._cache_epoch = 0
         self._dataset_counter = itertools.count()
         self._shuffle_counter = itertools.count()
         self._lock = threading.Lock()
@@ -55,7 +66,9 @@ class EngineContext:
         data = list(data)
         if num_partitions is None:
             num_partitions = min(self.config.default_parallelism, max(1, len(data)))
-        return ParallelCollectionDataset(self, data, num_partitions)
+        dataset = ParallelCollectionDataset(self, data, num_partitions)
+        dataset.plan = SourceNode(dataset)
+        return dataset
 
     def range(self, start: int, end: Optional[int] = None, step: int = 1,
               num_partitions: Optional[int] = None) -> Dataset:
@@ -68,7 +81,9 @@ class EngineContext:
         """Create a dataset from a :class:`repro.data.sources.DataSource`."""
         self._check_active()
         num_partitions = num_partitions or self.config.default_parallelism
-        return SourceDataset(self, source, num_partitions)
+        dataset = SourceDataset(self, source, num_partitions)
+        dataset.plan = SourceNode(dataset)
+        return dataset
 
     def text_file(self, path: str, num_partitions: Optional[int] = None) -> Dataset:
         """Create a dataset whose records are the lines of a text file."""
@@ -82,20 +97,77 @@ class EngineContext:
 
     def empty(self) -> Dataset:
         """Create an empty dataset with a single empty partition."""
-        return ParallelCollectionDataset(self, [], 1).set_name("empty")
+        dataset = ParallelCollectionDataset(self, [], 1).set_name("empty")
+        dataset.plan = SourceNode(dataset)
+        return dataset
 
     # -- job execution ---------------------------------------------------------------
 
     def run_job(self, dataset: Dataset, func: Callable[[Iterator[Any]], Any],
                 partitions: Optional[Sequence[int]] = None,
                 description: str = "") -> List[Any]:
-        """Run an action; normally called through dataset methods."""
+        """Run an action; normally called through dataset methods.
+
+        The dataset's logical plan is optimized and lowered to a physical
+        plan first (memoised per dataset); with the optimizer disabled — or
+        when no rule fires — the dataset the API built runs verbatim.
+        """
         self._check_active()
-        return self.scheduler.run_job(dataset, func, partitions, description)
+        executable = self._executable_for(dataset)
+        return self.scheduler.run_job(executable, func, partitions, description)
+
+    def _executable_for(self, dataset: Dataset, result=None) -> Dataset:
+        """The physical dataset actions on ``dataset`` should execute.
+
+        Memoised per dataset, but invalidated when any dataset's cache flag
+        changes (the epoch): a plan optimized before ``parent.cache()`` would
+        otherwise keep bypassing the newly cached parent forever.  Callers
+        that already ran the optimizer (``explain``) pass their ``result``.
+        """
+        if not self.config.optimizer_rules or dataset.plan is None:
+            return dataset
+        if dataset._executable is not None and \
+                dataset._executable_epoch == self._cache_epoch:
+            return dataset._executable
+        if result is None:
+            result = self.optimizer.optimize(dataset.plan)
+        if result.changed:
+            executable = lower_plan(result.plan, self)
+        else:
+            executable = dataset
+        dataset._executable = executable
+        dataset._executable_epoch = self._cache_epoch
+        return executable
 
     def explain(self, dataset: Dataset) -> str:
-        """Return the textual lineage of a dataset (its logical plan)."""
+        """Return the textual physical lineage of a dataset."""
         return "\n".join(self.scheduler.explain(dataset))
+
+    def explain_dataset(self, dataset: Dataset) -> str:
+        """Render logical, optimized and physical plans (``Dataset.explain``)."""
+        lines: List[str] = ["== Logical Plan =="]
+        if dataset.plan is None:
+            lines.append("(no logical plan recorded; physical dataset)")
+        else:
+            lines.extend(render_plan(dataset.plan))
+        lines.append("")
+        lines.append("== Optimized Plan ==")
+        result = None
+        if dataset.plan is None or not self.config.optimizer_rules:
+            lines.append("(optimizer disabled)")
+        else:
+            result = self.optimizer.optimize(dataset.plan)
+            lines.extend(render_plan(result.plan))
+            if result.applied:
+                fired = sorted(set(result.applied))
+                lines.append(f"rules fired: {', '.join(fired)}")
+            else:
+                lines.append("rules fired: none")
+        lines.append("")
+        lines.append("== Physical Plan ==")
+        lines.extend(self.scheduler.explain(
+            self._executable_for(dataset, result=result)))
+        return "\n".join(lines)
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -115,6 +187,7 @@ class EngineContext:
         self._stopped = True
         self.shuffle_manager.clear()
         self.block_store.clear()
+        self._lowered_plans.clear()
 
     def __enter__(self) -> "EngineContext":
         return self

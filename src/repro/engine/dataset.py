@@ -21,7 +21,144 @@ from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
                     Tuple)
 
 from ..errors import PlanError
+from . import plan as logical
 from .partitioner import HashPartitioner, Partitioner, RangePartitioner, RoundRobinPartitioner
+
+
+# ---------------------------------------------------------------------------
+# Shuffle building blocks
+#
+# These module-level factories build the map-side and reduce-side functions of
+# every wide transformation.  They are shared between the Dataset API (which
+# records the *unoptimized* physical form) and the plan optimizer's lowering
+# (which may pick a different physical form, e.g. map-side combining).
+# ---------------------------------------------------------------------------
+
+
+def record_bucketer(partitioner: Partitioner):
+    """Map side: bucket whole records by ``partitioner`` (repartition, sort)."""
+    def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
+        buckets: Dict[int, List[Any]] = {}
+        for record in iterator:
+            buckets.setdefault(partitioner.partition_for(record), []).append(record)
+        return buckets
+    return map_side
+
+
+def key_bucketer(partitioner: Partitioner):
+    """Map side: bucket ``(key, value)`` pairs by key, without combining."""
+    def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
+        buckets: Dict[int, List[Any]] = {}
+        for key, value in iterator:
+            buckets.setdefault(partitioner.partition_for(key), []).append((key, value))
+        return buckets
+    return map_side
+
+
+def combining_map_side(create_combiner, merge_value, partitioner: Partitioner):
+    """Map side with per-key pre-aggregation (inserted by the optimizer)."""
+    def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
+        combined: Dict[Any, Any] = {}
+        for key, value in iterator:
+            if key in combined:
+                combined[key] = merge_value(combined[key], value)
+            else:
+                combined[key] = create_combiner(value)
+        buckets: Dict[int, List[Any]] = {}
+        for key, combiner in combined.items():
+            buckets.setdefault(partitioner.partition_for(key), []).append((key, combiner))
+        return buckets
+    return map_side
+
+
+def merge_combiners_reduce(merge_combiners):
+    """Reduce side matching :func:`combining_map_side`: merge combiners."""
+    def reduce_side(records: List[Any]) -> Iterable[Any]:
+        merged: Dict[Any, Any] = {}
+        for key, combiner in records:
+            if key in merged:
+                merged[key] = merge_combiners(merged[key], combiner)
+            else:
+                merged[key] = combiner
+        return merged.items()
+    return reduce_side
+
+
+def fold_values_reduce(create_combiner, merge_value):
+    """Fold raw ``(key, value)`` pairs per key (matches :func:`key_bucketer`).
+
+    Works on any iterable, so it doubles as the narrow per-partition
+    aggregation used when the optimizer eliminates the shuffle.
+    """
+    def reduce_side(records: Iterable[Any]) -> Iterable[Any]:
+        merged: Dict[Any, Any] = {}
+        for key, value in records:
+            if key in merged:
+                merged[key] = merge_value(merged[key], value)
+            else:
+                merged[key] = create_combiner(value)
+        return merged.items()
+    return reduce_side
+
+
+#: Narrow per-partition aggregation: same fold, applied to the partition
+#: iterator instead of fetched shuffle records.
+local_aggregate = fold_values_reduce
+
+
+def group_reduce(records: Iterable[Any]) -> Iterable[Any]:
+    """Group ``(key, value)`` pairs; reduce side of ``group_by_key``."""
+    grouped: Dict[Any, List[Any]] = {}
+    for key, value in records:
+        grouped.setdefault(key, []).append(value)
+    return grouped.items()
+
+
+#: Narrow per-partition grouping (shuffle eliminated by the optimizer).
+local_group = group_reduce
+
+
+def distinct_map_side(partitioner: Partitioner):
+    """Map side of ``distinct``: de-duplicate locally, bucket by record."""
+    def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
+        buckets: Dict[int, List[Any]] = {}
+        seen = set()
+        for record in iterator:
+            if record in seen:
+                continue
+            seen.add(record)
+            buckets.setdefault(partitioner.partition_for(record), []).append(record)
+        return buckets
+    return map_side
+
+
+def distinct_reduce(records: Iterable[Any]) -> Iterable[Any]:
+    """De-duplicate records; reduce side of ``distinct``."""
+    seen = set()
+    for record in records:
+        if record not in seen:
+            seen.add(record)
+            yield record
+
+
+#: Narrow per-partition distinct (shuffle eliminated by the optimizer).
+local_distinct = distinct_reduce
+
+
+def field_projector(fields: List[str]):
+    """Record function of ``project``: keep only the listed dict fields."""
+    def project(record: Any) -> Dict[str, Any]:
+        return {name: record.get(name) for name in fields}
+    return project
+
+
+def join_display_name(how: str) -> str:
+    """The dataset name of a join variant (shared by API and lowering)."""
+    if how == "inner":
+        return "join"
+    if how.endswith("_outer"):
+        return f"{how}_join"
+    return how
 
 
 class TaskContext:
@@ -85,6 +222,15 @@ class Dataset:
         self.dependencies = list(dependencies)
         self.name = name or type(self).__name__
         self.is_cached = False
+        #: Logical plan node recorded by the API method that built this
+        #: dataset; ``None`` for physical datasets built by plan lowering.
+        self.plan: Optional[logical.LogicalNode] = None
+        #: Memoised physical dataset actions execute (set by the context),
+        #: valid while the context's cache epoch is unchanged.
+        self._executable: Optional["Dataset"] = None
+        self._executable_epoch = -1
+        #: Lowered physical datasets that inherited this dataset's cache flag.
+        self._cache_mirrors: List["Dataset"] = []
 
     # -- plumbing -------------------------------------------------------------
 
@@ -98,9 +244,13 @@ class Dataset:
             cached = self.ctx.block_store.get(self.id, partition)
             if cached is not None:
                 task_context.cache_hits += 1
+                # records served from the cache are reads, like source reads
+                task_context.records_read += len(cached)
                 return iter(cached)
             records = list(self.compute(partition, task_context))
             self.ctx.block_store.put(self.id, partition, records)
+            # caching materialises the partition: that is written output
+            task_context.records_written += len(records)
             return iter(records)
         return self.compute(partition, task_context)
 
@@ -114,6 +264,30 @@ class Dataset:
         self.name = name
         return self
 
+    def _attach_plan(self, node_cls, *args, **kwargs) -> "Dataset":
+        """Record the logical node describing how this dataset was built.
+
+        Called by the API transformation methods; when the parent has no plan
+        (datasets built directly by plan lowering) the plan stays ``None`` and
+        actions on this dataset run its physical form verbatim.
+        """
+        parents_plans = [dep.parent.plan for dep in self.dependencies]
+        if all(p is not None for p in parents_plans):
+            if len(parents_plans) == 1:
+                self.plan = node_cls(parents_plans[0], *args, dataset=self, **kwargs)
+            else:
+                self.plan = node_cls(parents_plans, *args, dataset=self, **kwargs)
+        return self
+
+    def explain(self) -> str:
+        """Render the logical, optimized and physical plans of this dataset.
+
+        The three sections show the pipeline the API recorded, what the
+        rule-based optimizer made of it (with the list of rules that fired)
+        and the physical lineage the scheduler will actually execute.
+        """
+        return self.ctx.explain_dataset(self)
+
     def __repr__(self) -> str:
         return f"<{self.name} id={self.id} partitions={self.num_partitions}>"
 
@@ -122,6 +296,10 @@ class Dataset:
     def cache(self) -> "Dataset":
         """Mark the dataset so computed partitions are kept in memory."""
         self.is_cached = True
+        # the cache flag changes what the optimizer may rewrite: re-plan
+        # every memoised executable in this context, not just this dataset's
+        self._executable = None
+        self.ctx._cache_epoch += 1
         return self
 
     persist = cache
@@ -130,43 +308,71 @@ class Dataset:
         """Drop any cached partitions and stop caching new ones."""
         self.is_cached = False
         self.ctx.block_store.evict_dataset(self.id)
+        for mirror in self._cache_mirrors:
+            mirror.is_cached = False
+            self.ctx.block_store.evict_dataset(mirror.id)
+        self._cache_mirrors.clear()
+        self._executable = None
+        self.ctx._cache_epoch += 1
         return self
 
     # -- narrow transformations --------------------------------------------------
 
     def map(self, func: Callable[[Any], Any]) -> "Dataset":
         """Apply ``func`` to every record."""
-        return MappedDataset(self, func)
+        return MappedDataset(self, func)._attach_plan(logical.MapNode, func)
 
     def filter(self, predicate: Callable[[Any], bool]) -> "Dataset":
         """Keep only the records for which ``predicate`` is true."""
-        return FilteredDataset(self, predicate)
+        return FilteredDataset(self, predicate)._attach_plan(
+            logical.FilterNode, predicate)
 
     def flat_map(self, func: Callable[[Any], Iterable[Any]]) -> "Dataset":
         """Apply ``func`` to every record and flatten the resulting iterables."""
-        return FlatMappedDataset(self, func)
+        return FlatMappedDataset(self, func)._attach_plan(logical.FlatMapNode, func)
+
+    def project(self, fields: Iterable[str]) -> "Dataset":
+        """Keep only the listed fields of dict records.
+
+        Unlike a plain :meth:`map`, a projection is transparent to the
+        optimizer, which can push it below shuffle boundaries.
+        """
+        fields = list(fields)
+        ds = MappedDataset(self, field_projector(fields))
+        ds.name = "project"
+        return ds._attach_plan(logical.ProjectNode, fields)
 
     def map_partitions(self, func: Callable[[Iterator[Any]], Iterable[Any]]) -> "Dataset":
         """Apply ``func`` to the whole iterator of each partition."""
-        return MapPartitionsDataset(self, func)
+        return MapPartitionsDataset(self, func)._attach_plan(
+            logical.MapPartitionsNode, func)
 
     def map_partitions_with_index(
             self, func: Callable[[int, Iterator[Any]], Iterable[Any]]) -> "Dataset":
         """Like :meth:`map_partitions` but ``func`` also receives the partition index."""
-        return MapPartitionsDataset(self, func, with_index=True)
+        return MapPartitionsDataset(self, func, with_index=True)._attach_plan(
+            logical.MapPartitionsNode, func, with_index=True)
 
     def union(self, other: "Dataset") -> "Dataset":
         """Concatenate two datasets (partitions are appended, not merged)."""
-        return UnionDataset(self.ctx, [self, other])
+        return UnionDataset(self.ctx, [self, other])._attach_plan(logical.UnionNode)
 
     def sample(self, fraction: float, seed: int = 0) -> "Dataset":
         """Return a random sample of approximately ``fraction`` of the records."""
         if not 0.0 <= fraction <= 1.0:
             raise PlanError("sample fraction must be in [0, 1]")
-        return SampleDataset(self, fraction, seed)
+        return SampleDataset(self, fraction, seed)._attach_plan(
+            logical.SampleNode, fraction, seed)
 
     def zip_with_index(self) -> "Dataset":
-        """Pair each record with its global index (triggers a size job)."""
+        """Pair each record with its global index (triggers a size job).
+
+        The offsets are baked from the physical plan that ran the size job,
+        so the result is pinned to that exact plan: a later re-planning of
+        the input (e.g. after ``cache()`` changes which rewrites apply)
+        must not shift records between partitions under the offsets.
+        """
+        pinned = self.ctx._executable_for(self)
         sizes = self.ctx.run_job(self, lambda it: sum(1 for _ in it),
                                  description=f"zip_with_index sizes of {self.name}")
         offsets = [0]
@@ -177,7 +383,12 @@ class Dataset:
             for position, record in enumerate(iterator):
                 yield (record, offsets[index] + position)
 
-        return MapPartitionsDataset(self, add_index, with_index=True)
+        ds = MapPartitionsDataset(pinned, add_index, with_index=True)
+        ds.name = "zip_with_index"
+        ds.plan = logical.MapPartitionsNode(
+            logical.PhysicalScanNode(pinned), add_index, with_index=True,
+            dataset=ds)
+        return ds
 
     def key_by(self, func: Callable[[Any], Any]) -> "Dataset":
         """Turn each record ``r`` into the pair ``(func(r), r)``."""
@@ -206,7 +417,8 @@ class Dataset:
             raise PlanError("coalesce needs at least one partition")
         if num_partitions >= self.num_partitions:
             return self
-        return CoalescedDataset(self, num_partitions)
+        return CoalescedDataset(self, num_partitions)._attach_plan(
+            logical.CoalesceNode, num_partitions)
 
     def glom(self) -> "Dataset":
         """Turn each partition into a single list record."""
@@ -217,60 +429,25 @@ class Dataset:
     def repartition(self, num_partitions: int) -> "Dataset":
         """Redistribute records evenly over ``num_partitions`` via a shuffle."""
         partitioner = RoundRobinPartitioner(num_partitions, seed=self.ctx.config.seed)
-
-        def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
-            buckets: Dict[int, List[Any]] = {}
-            for record in iterator:
-                buckets.setdefault(partitioner.partition_for(record), []).append(record)
-            return buckets
-
-        return ShuffledDataset(self, partitioner, map_side,
-                               name=f"repartition({num_partitions})")
+        ds = ShuffledDataset(self, partitioner, record_bucketer(partitioner),
+                             name=f"repartition({num_partitions})")
+        return ds._attach_plan(logical.RepartitionNode, partitioner)
 
     def distinct(self, num_partitions: Optional[int] = None) -> "Dataset":
         """Remove duplicate records (records must be hashable)."""
         num_partitions = num_partitions or self.num_partitions
         partitioner = HashPartitioner(num_partitions)
-
-        def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
-            buckets: Dict[int, List[Any]] = {}
-            seen = set()
-            for record in iterator:
-                if record in seen:
-                    continue
-                seen.add(record)
-                buckets.setdefault(partitioner.partition_for(record), []).append(record)
-            return buckets
-
-        def reduce_side(records: List[Any]) -> Iterable[Any]:
-            seen = set()
-            for record in records:
-                if record not in seen:
-                    seen.add(record)
-                    yield record
-
-        return ShuffledDataset(self, partitioner, map_side, reduce_side=reduce_side,
-                               name="distinct")
+        ds = ShuffledDataset(self, partitioner, distinct_map_side(partitioner),
+                             reduce_side=distinct_reduce, name="distinct")
+        return ds._attach_plan(logical.DistinctNode, partitioner)
 
     def group_by_key(self, num_partitions: Optional[int] = None) -> "Dataset":
         """Group values sharing a key: ``(k, v) -> (k, [v, ...])``."""
         num_partitions = num_partitions or self.num_partitions
         partitioner = HashPartitioner(num_partitions)
-
-        def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
-            buckets: Dict[int, List[Any]] = {}
-            for key, value in iterator:
-                buckets.setdefault(partitioner.partition_for(key), []).append((key, value))
-            return buckets
-
-        def reduce_side(records: List[Any]) -> Iterable[Any]:
-            grouped: Dict[Any, List[Any]] = {}
-            for key, value in records:
-                grouped.setdefault(key, []).append(value)
-            return grouped.items()
-
-        return ShuffledDataset(self, partitioner, map_side, reduce_side=reduce_side,
-                               name="group_by_key")
+        ds = ShuffledDataset(self, partitioner, key_bucketer(partitioner),
+                             reduce_side=group_reduce, name="group_by_key")
+        return ds._attach_plan(logical.GroupByKeyNode, partitioner)
 
     def group_by(self, func: Callable[[Any], Any],
                  num_partitions: Optional[int] = None) -> "Dataset":
@@ -281,32 +458,20 @@ class Dataset:
                        merge_value: Callable[[Any, Any], Any],
                        merge_combiners: Callable[[Any, Any], Any],
                        num_partitions: Optional[int] = None) -> "Dataset":
-        """General per-key aggregation with map-side combining."""
+        """General per-key aggregation.
+
+        The logical plan records a plain key-partitioned aggregation; the
+        optimizer's ``map_side_combine`` rule (on by default) rewrites it to
+        pre-aggregate on the map side, shrinking the shuffle.
+        """
         num_partitions = num_partitions or self.num_partitions
         partitioner = HashPartitioner(num_partitions)
-
-        def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
-            combined: Dict[Any, Any] = {}
-            for key, value in iterator:
-                if key in combined:
-                    combined[key] = merge_value(combined[key], value)
-                else:
-                    combined[key] = create_combiner(value)
-            buckets: Dict[int, List[Any]] = {}
-            for key, combiner in combined.items():
-                buckets.setdefault(partitioner.partition_for(key), []).append((key, combiner))
-            return buckets
-
-        def reduce_side(records: List[Any]) -> Iterable[Any]:
-            merged: Dict[Any, Any] = {}
-            for key, combiner in records:
-                if key in merged:
-                    merged[key] = merge_combiners(merged[key], combiner)
-                else:
-                    merged[key] = combiner
-            return merged.items()
-
-        return ShuffledDataset(self, partitioner, map_side, reduce_side=reduce_side,
+        ds = ShuffledDataset(
+            self, partitioner, key_bucketer(partitioner),
+            reduce_side=fold_values_reduce(create_combiner, merge_value),
+            name="combine_by_key")
+        return ds._attach_plan(logical.AggregateNode, create_combiner,
+                               merge_value, merge_combiners, partitioner,
                                name="combine_by_key")
 
     def reduce_by_key(self, func: Callable[[Any, Any], Any],
@@ -333,17 +498,12 @@ class Dataset:
                                                    key_func=key_func,
                                                    ascending=ascending)
 
-        def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
-            buckets: Dict[int, List[Any]] = {}
-            for record in iterator:
-                buckets.setdefault(partitioner.partition_for(record), []).append(record)
-            return buckets
-
         def reduce_side(records: List[Any]) -> Iterable[Any]:
             return sorted(records, key=key_func, reverse=not ascending)
 
-        return ShuffledDataset(self, partitioner, map_side, reduce_side=reduce_side,
-                               name="sort_by")
+        ds = ShuffledDataset(self, partitioner, record_bucketer(partitioner),
+                             reduce_side=reduce_side, name="sort_by")
+        return ds._attach_plan(logical.SortNode, key_func, ascending, partitioner)
 
     def sort_by_key(self, ascending: bool = True,
                     num_partitions: Optional[int] = None) -> "Dataset":
@@ -354,7 +514,18 @@ class Dataset:
                 num_partitions: Optional[int] = None) -> "Dataset":
         """Group both datasets by key: ``(k, ([self values], [other values]))``."""
         num_partitions = num_partitions or max(self.num_partitions, other.num_partitions)
-        return CoGroupedDataset(self, other, HashPartitioner(num_partitions))
+        partitioner = HashPartitioner(num_partitions)
+        ds = CoGroupedDataset(self, other, partitioner)
+        return ds._attach_plan(logical.CoGroupNode, partitioner)
+
+    def _join_with(self, other: "Dataset", emit, how: str,
+                   num_partitions: Optional[int]) -> "Dataset":
+        """Common shape of every join: cogroup, then emit matched pairs."""
+        cogrouped = self.cogroup(other, num_partitions)
+        ds = cogrouped.flat_map(emit).set_name(join_display_name(how))
+        if cogrouped.plan is not None:
+            ds.plan = logical.JoinNode(cogrouped.plan, emit, how, dataset=ds)
+        return ds
 
     def join(self, other: "Dataset",
              num_partitions: Optional[int] = None) -> "Dataset":
@@ -363,7 +534,7 @@ class Dataset:
             key, (left_values, right_values) = pair
             return ((key, (left, right))
                     for left in left_values for right in right_values)
-        return self.cogroup(other, num_partitions).flat_map(emit).set_name("join")
+        return self._join_with(other, emit, "inner", num_partitions)
 
     def left_outer_join(self, other: "Dataset",
                         num_partitions: Optional[int] = None) -> "Dataset":
@@ -374,7 +545,7 @@ class Dataset:
                 return []
             rights = right_values or [None]
             return ((key, (left, right)) for left in left_values for right in rights)
-        return self.cogroup(other, num_partitions).flat_map(emit).set_name("left_outer_join")
+        return self._join_with(other, emit, "left_outer", num_partitions)
 
     def right_outer_join(self, other: "Dataset",
                          num_partitions: Optional[int] = None) -> "Dataset":
@@ -385,7 +556,7 @@ class Dataset:
                 return []
             lefts = left_values or [None]
             return ((key, (left, right)) for left in lefts for right in right_values)
-        return self.cogroup(other, num_partitions).flat_map(emit).set_name("right_outer_join")
+        return self._join_with(other, emit, "right_outer", num_partitions)
 
     def full_outer_join(self, other: "Dataset",
                         num_partitions: Optional[int] = None) -> "Dataset":
@@ -395,7 +566,7 @@ class Dataset:
             lefts = left_values or [None]
             rights = right_values or [None]
             return ((key, (left, right)) for left in lefts for right in rights)
-        return self.cogroup(other, num_partitions).flat_map(emit).set_name("full_outer_join")
+        return self._join_with(other, emit, "full_outer", num_partitions)
 
     def subtract_by_key(self, other: "Dataset",
                         num_partitions: Optional[int] = None) -> "Dataset":
@@ -405,7 +576,7 @@ class Dataset:
             if right_values:
                 return []
             return ((key, left) for left in left_values)
-        return self.cogroup(other, num_partitions).flat_map(emit).set_name("subtract_by_key")
+        return self._join_with(other, emit, "subtract_by_key", num_partitions)
 
     # -- actions ----------------------------------------------------------------
 
@@ -724,6 +895,40 @@ class MapPartitionsDataset(Dataset):
         else:
             produced = self._func(iterator)
         return iter(produced)
+
+
+class FusedDataset(Dataset):
+    """A chain of narrow operators evaluated as one physical operator.
+
+    Built by the optimizer's ``fuse_narrow`` rule from a chain of logical
+    map/filter/flat_map/project nodes.  ``stages`` is a list of
+    ``(kind, func)`` pairs applied bottom-to-top over the parent iterator, so
+    one task evaluates the whole pipeline without intermediate datasets.
+    """
+
+    _KINDS = ("map", "filter", "flat_map", "project")
+
+    def __init__(self, parent: Dataset, stages: List[Tuple[str, Callable]],
+                 name: str = ""):
+        super().__init__(parent.ctx, parent.num_partitions,
+                         [NarrowDependency(parent)],
+                         name=name or f"fused({'+'.join(k for k, _ in stages)})")
+        for kind, _ in stages:
+            if kind not in self._KINDS:
+                raise PlanError(f"cannot fuse operator kind {kind!r}")
+        self._stages = list(stages)
+
+    def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
+        parent = self.dependencies[0].parent
+        iterator = parent.iterator(partition, task_context)
+        for kind, func in self._stages:
+            if kind in ("map", "project"):
+                iterator = map(func, iterator)
+            elif kind == "filter":
+                iterator = filter(func, iterator)
+            else:  # flat_map
+                iterator = itertools.chain.from_iterable(map(func, iterator))
+        return iterator
 
 
 class UnionDataset(Dataset):

@@ -10,6 +10,7 @@ runs can be compared and the cluster simulator can extrapolate costs.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, List, Sequence, Tuple
@@ -51,6 +52,9 @@ class Executor:
 
     def __init__(self, config: EngineConfig):
         self.config = config
+        # StageMetrics.add_task mutates unguarded aggregate fields; pool
+        # workers finish concurrently, so all mutation goes through this lock
+        self._metrics_lock = threading.Lock()
 
     def _should_inject_failure(self, task: Task, attempt: int) -> bool:
         if self.config.failure_rate <= 0.0:
@@ -73,7 +77,8 @@ class Executor:
             except Exception as error:  # noqa: BLE001 - retried below
                 metrics.duration_s = time.perf_counter() - started
                 metrics.failed = True
-                stage.add_task(metrics)
+                with self._metrics_lock:
+                    stage.add_task(metrics)
                 last_error = error
                 continue
             metrics.duration_s = time.perf_counter() - started
@@ -82,7 +87,8 @@ class Executor:
             metrics.shuffle_bytes_read = task_context.shuffle_bytes_read
             metrics.shuffle_bytes_written = task_context.shuffle_bytes_written
             metrics.cache_hits = task_context.cache_hits
-            stage.add_task(metrics)
+            with self._metrics_lock:
+                stage.add_task(metrics)
             return TaskResult(task, value, metrics)
         raise TaskError(
             f"task {task.task_id} failed after "

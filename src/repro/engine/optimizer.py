@@ -1,0 +1,360 @@
+"""Rule-based optimizer and physical lowering for logical plans.
+
+The optimizer rewrites the logical plan a :class:`~repro.engine.dataset.Dataset`
+recorded, then :func:`lower_plan` turns the optimized plan back into physical
+datasets the DAG scheduler can run.  Five rules ship today (see
+:data:`repro.config.KNOWN_OPTIMIZER_RULES`):
+
+``cache_prune``
+    Replace a subtree whose root is fully materialised in the block store by
+    a direct scan of the cached blocks, so nothing below it is re-planned or
+    re-executed.
+``pushdown``
+    Move filters below repartition and sort boundaries, and projections below
+    repartitions, so fewer/narrower records cross the shuffle.
+``shuffle_elim``
+    Drop the shuffle of an aggregation whose input is already partitioned by
+    the same partitioner (e.g. ``reduce_by_key(n).group_by_key(n)``): the
+    keys are co-located, so a narrow per-partition pass suffices.
+``map_side_combine``
+    Rewrite per-key aggregations to pre-combine on the map side, shrinking
+    the bytes written to the shuffle.
+``fuse_narrow``
+    Collapse chains of narrow operators (map/filter/flat_map/project) into a
+    single pipelined physical operator.
+
+Rewrites never mutate nodes: a rule returns copies (``copy_with``) for the
+parts it changes and the untouched originals elsewhere.  Lowering exploits
+that: an original node lowers to the physical dataset the API already built
+(preserving shuffle/cache reuse), and rewritten nodes are lowered at most
+once per context thanks to a structural-signature memo.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ..config import EngineConfig
+from ..errors import PlanError
+from . import dataset as physical
+from .plan import (AggregateNode, CoalesceNode, CoGroupNode, DistinctNode,
+                   FilterNode, FlatMapNode, FusedNode, GroupByKeyNode,
+                   JoinNode, LogicalNode, MapNode, MapPartitionsNode,
+                   PhysicalScanNode, ProjectNode, RepartitionNode, SampleNode,
+                   SortNode, SourceNode, UnionNode, output_partitioning)
+
+#: Narrow record-at-a-time operators the ``fuse_narrow`` rule may collapse.
+_FUSABLE = (MapNode, FilterNode, FlatMapNode, ProjectNode)
+
+#: Upper bound on pushdown fixpoint iterations (a filter can sink through at
+#: most this many shuffle boundaries; real plans have a handful).
+_MAX_PUSHDOWN_PASSES = 10
+
+#: Cap on the context-wide lowered-plan memo.  Long-running contexts (e.g.
+#: streaming, one fresh plan per micro-batch) would otherwise pin every
+#: batch's physical lineage forever; evicting oldest entries only costs
+#: re-lowering if an old plan resurfaces.
+_LOWERED_MEMO_LIMIT = 512
+
+
+class OptimizationResult:
+    """The outcome of one optimizer run over a logical plan."""
+
+    def __init__(self, plan: LogicalNode, applied: List[str],
+                 rules: List[str]):
+        self.plan = plan
+        #: Rule names, one entry per rewrite that fired, in application order.
+        self.applied = applied
+        #: Rules that were enabled for the run.
+        self.rules = rules
+
+    @property
+    def changed(self) -> bool:
+        """True when at least one rewrite fired."""
+        return bool(self.applied)
+
+
+class PlanOptimizer:
+    """Applies the enabled rewrite rules to logical plans."""
+
+    def __init__(self, config: EngineConfig, block_store):
+        self.config = config
+        self.block_store = block_store
+
+    # -- public API ---------------------------------------------------------
+
+    def optimize(self, plan: LogicalNode) -> OptimizationResult:
+        """Rewrite ``plan`` with every enabled rule, in canonical order."""
+        rules = list(self.config.optimizer_rules)
+        applied: List[str] = []
+        node = plan
+        if "cache_prune" in rules:
+            node = self._prune_cached(node, applied)
+        if "pushdown" in rules:
+            node = self._push_down(node, applied)
+        if "shuffle_elim" in rules:
+            node = self._eliminate_shuffles(node, applied)
+        if "map_side_combine" in rules:
+            node = self._insert_combines(node, applied)
+        if "fuse_narrow" in rules:
+            node = self._fuse_narrow(node, applied)
+        return OptimizationResult(node, applied, rules)
+
+    # -- generic bottom-up rewriting ----------------------------------------
+
+    def _transform(self, node: LogicalNode,
+                   rule: Callable[[LogicalNode], LogicalNode]) -> LogicalNode:
+        """Apply ``rule`` to every node, children first.
+
+        A node whose children were rewritten is itself copied, so any node
+        returned unchanged is guaranteed to head a fully original subtree.
+        """
+        new_children = [self._transform(child, rule) for child in node.children]
+        if any(new is not old for new, old in zip(new_children, node.children)):
+            node = node.copy_with(children=new_children)
+        return rule(node)
+
+    # -- rule: cache pruning ------------------------------------------------
+
+    def _materialized_physical(self, node: LogicalNode):
+        """The fully cached physical dataset behind ``node``, if any."""
+        ds = node.dataset
+        if ds is None or not ds.is_cached:
+            return None
+        for candidate in (ds._executable, ds):
+            if candidate is None or not candidate.is_cached:
+                continue
+            if self.block_store.contains_all(candidate.id,
+                                             candidate.num_partitions):
+                return candidate
+        return None
+
+    def _prune_cached(self, node: LogicalNode, applied: List[str]) -> LogicalNode:
+        materialized = self._materialized_physical(node)
+        if materialized is not None and node.children:
+            applied.append("cache_prune")
+            return PhysicalScanNode(materialized)
+        new_children = [self._prune_cached(child, applied)
+                        for child in node.children]
+        if any(new is not old for new, old in zip(new_children, node.children)):
+            node = node.copy_with(children=new_children)
+        return node
+
+    # -- rule: filter / projection pushdown ---------------------------------
+
+    def _push_down(self, node: LogicalNode, applied: List[str]) -> LogicalNode:
+        for _ in range(_MAX_PUSHDOWN_PASSES):
+            fired: List[bool] = []
+
+            def rule(n: LogicalNode) -> LogicalNode:
+                swap = None
+                if isinstance(n, FilterNode) and \
+                        isinstance(n.child, (RepartitionNode, SortNode)):
+                    swap = n.child
+                elif isinstance(n, ProjectNode) and \
+                        isinstance(n.child, RepartitionNode):
+                    swap = n.child
+                if swap is None or n.is_cached or swap.is_cached:
+                    return n
+                fired.append(True)
+                applied.append("pushdown")
+                pushed = n.copy_with(children=[swap.child])
+                return swap.copy_with(children=[pushed])
+
+            node = self._transform(node, rule)
+            if not fired:
+                break
+        return node
+
+    # -- rule: shuffle elimination ------------------------------------------
+
+    def _eliminate_shuffles(self, node: LogicalNode,
+                            applied: List[str]) -> LogicalNode:
+        def rule(n: LogicalNode) -> LogicalNode:
+            if isinstance(n, (AggregateNode, GroupByKeyNode)) and not n.local:
+                partitioning = output_partitioning(n.child)
+                if partitioning is not None and partitioning[0] == "key" and \
+                        partitioning[1] == n.partitioner:
+                    applied.append("shuffle_elim")
+                    return n.copy_with(local=True, variant=n.variant + "|local")
+            if isinstance(n, DistinctNode) and not n.local:
+                partitioning = output_partitioning(n.child)
+                if partitioning is not None and partitioning[0] == "record" and \
+                        partitioning[1] == n.partitioner:
+                    applied.append("shuffle_elim")
+                    return n.copy_with(local=True, variant=n.variant + "|local")
+            return n
+
+        return self._transform(node, rule)
+
+    # -- rule: map-side combining -------------------------------------------
+
+    def _insert_combines(self, node: LogicalNode,
+                         applied: List[str]) -> LogicalNode:
+        def rule(n: LogicalNode) -> LogicalNode:
+            if isinstance(n, AggregateNode) and not n.local and \
+                    not n.map_side_combine:
+                applied.append("map_side_combine")
+                return n.copy_with(map_side_combine=True,
+                                   variant=n.variant + "|combine")
+            return n
+
+        return self._transform(node, rule)
+
+    # -- rule: narrow-operator fusion ---------------------------------------
+
+    def _fuse_narrow(self, node: LogicalNode, applied: List[str]) -> LogicalNode:
+        def fusable(n: LogicalNode) -> bool:
+            return isinstance(n, _FUSABLE) and not n.is_cached
+
+        def rule(n: LogicalNode) -> LogicalNode:
+            if not fusable(n):
+                return n
+            child = n.child
+            if isinstance(child, FusedNode):
+                applied.append("fuse_narrow")
+                return FusedNode(child.child, child.stages + [n])
+            if fusable(child):
+                applied.append("fuse_narrow")
+                return FusedNode(child.child, [child, n])
+            return n
+
+        return self._transform(node, rule)
+
+
+# ---------------------------------------------------------------------------
+# Lowering: optimized logical plan -> physical datasets
+# ---------------------------------------------------------------------------
+
+
+def _stage_of(node: LogicalNode):
+    """The ``(kind, func)`` pair of one fused narrow stage."""
+    if isinstance(node, MapNode):
+        return ("map", node.func)
+    if isinstance(node, FilterNode):
+        return ("filter", node.predicate)
+    if isinstance(node, FlatMapNode):
+        return ("flat_map", node.func)
+    if isinstance(node, ProjectNode):
+        return ("project", physical.field_projector(node.fields))
+    raise PlanError(f"operator {node.op!r} cannot be fused")
+
+
+def lower_plan(node: LogicalNode, ctx) -> "physical.Dataset":
+    """Turn an optimized logical plan into a runnable physical dataset.
+
+    Original (unrewritten) nodes lower to the physical dataset the API built;
+    rewritten nodes are constructed once per context and shared across plans
+    via their structural signature, so repeated actions — and sibling
+    datasets sharing a lineage prefix — reuse the same shuffles and caches.
+    """
+    if node.dataset is not None:
+        return node.dataset
+    signature = node.signature()
+    built = ctx._lowered_plans.get(signature)
+    if built is None:
+        built = _build_physical(node, ctx)
+        ctx._lowered_plans[signature] = built
+        if len(ctx._lowered_plans) > _LOWERED_MEMO_LIMIT:
+            # drop the oldest half (dict preserves insertion order)
+            for stale in list(ctx._lowered_plans)[:_LOWERED_MEMO_LIMIT // 2]:
+                del ctx._lowered_plans[stale]
+    origin = node.origin_dataset
+    if origin is not None and origin.is_cached and not built.is_cached:
+        # the rewritten physical stands in for a cached API dataset: cache it
+        # too and remember the mirror so unpersist() can evict it
+        built.is_cached = True
+        origin._cache_mirrors.append(built)
+    return built
+
+
+def _build_physical(node: LogicalNode, ctx) -> "physical.Dataset":
+    """Construct the physical dataset of one rewritten logical node."""
+    d = physical
+    if isinstance(node, (SourceNode, PhysicalScanNode)):
+        # leaves always carry their physical dataset; reaching this branch
+        # means the plan was built by hand without one
+        raise PlanError(f"cannot lower {node.op} node without a physical dataset")
+    if isinstance(node, MapNode):
+        return d.MappedDataset(lower_plan(node.child, ctx), node.func)
+    if isinstance(node, FilterNode):
+        return d.FilteredDataset(lower_plan(node.child, ctx), node.predicate)
+    if isinstance(node, FlatMapNode):
+        return d.FlatMappedDataset(lower_plan(node.child, ctx), node.func)
+    if isinstance(node, ProjectNode):
+        parent = lower_plan(node.child, ctx)
+        built = d.MappedDataset(parent, d.field_projector(node.fields))
+        return built.set_name("project")
+    if isinstance(node, MapPartitionsNode):
+        return d.MapPartitionsDataset(lower_plan(node.child, ctx), node.func,
+                                      with_index=node.with_index)
+    if isinstance(node, SampleNode):
+        return d.SampleDataset(lower_plan(node.child, ctx), node.fraction,
+                               node.seed)
+    if isinstance(node, CoalesceNode):
+        return d.CoalescedDataset(lower_plan(node.child, ctx),
+                                  node.num_partitions)
+    if isinstance(node, FusedNode):
+        stages = [_stage_of(stage) for stage in node.stages]
+        return d.FusedDataset(lower_plan(node.child, ctx), stages)
+    if isinstance(node, UnionNode):
+        parents = [lower_plan(child, ctx) for child in node.children]
+        return d.UnionDataset(ctx, parents)
+    if isinstance(node, RepartitionNode):
+        return d.ShuffledDataset(
+            lower_plan(node.child, ctx), node.partitioner,
+            d.record_bucketer(node.partitioner),
+            name=f"repartition({node.partitioner.num_partitions})")
+    if isinstance(node, SortNode):
+        key_func, ascending = node.key_func, node.ascending
+
+        def reduce_side(records):
+            return sorted(records, key=key_func, reverse=not ascending)
+
+        return d.ShuffledDataset(lower_plan(node.child, ctx), node.partitioner,
+                                 d.record_bucketer(node.partitioner),
+                                 reduce_side=reduce_side, name="sort_by")
+    if isinstance(node, DistinctNode):
+        parent = lower_plan(node.child, ctx)
+        if node.local:
+            built = d.MapPartitionsDataset(parent, d.local_distinct)
+            return built.set_name("distinct(local)")
+        return d.ShuffledDataset(parent, node.partitioner,
+                                 d.distinct_map_side(node.partitioner),
+                                 reduce_side=d.distinct_reduce, name="distinct")
+    if isinstance(node, GroupByKeyNode):
+        parent = lower_plan(node.child, ctx)
+        if node.local:
+            built = d.MapPartitionsDataset(parent, d.local_group)
+            return built.set_name("group_by_key(local)")
+        return d.ShuffledDataset(parent, node.partitioner,
+                                 d.key_bucketer(node.partitioner),
+                                 reduce_side=d.group_reduce,
+                                 name="group_by_key")
+    if isinstance(node, AggregateNode):
+        parent = lower_plan(node.child, ctx)
+        if node.local:
+            built = d.MapPartitionsDataset(
+                parent, d.local_aggregate(node.create_combiner, node.merge_value))
+            return built.set_name(f"{node.name}(local)")
+        if node.map_side_combine:
+            return d.ShuffledDataset(
+                parent, node.partitioner,
+                d.combining_map_side(node.create_combiner, node.merge_value,
+                                     node.partitioner),
+                reduce_side=d.merge_combiners_reduce(node.merge_combiners),
+                name=node.name)
+        return d.ShuffledDataset(
+            parent, node.partitioner, d.key_bucketer(node.partitioner),
+            reduce_side=d.fold_values_reduce(node.create_combiner,
+                                             node.merge_value),
+            name=node.name)
+    if isinstance(node, CoGroupNode):
+        left = lower_plan(node.children[0], ctx)
+        right = lower_plan(node.children[1], ctx)
+        return d.CoGroupedDataset(left, right, node.partitioner)
+    if isinstance(node, JoinNode):
+        parent = lower_plan(node.child, ctx)
+        return d.FlatMappedDataset(parent, node.emit).set_name(
+            d.join_display_name(node.how))
+    raise PlanError(f"cannot lower unknown logical node {node.op!r}")

@@ -1,0 +1,410 @@
+"""Logical plan IR sitting between the Dataset API and the DAG scheduler.
+
+Every :class:`~repro.engine.dataset.Dataset` transformation records a
+:class:`LogicalNode` describing *what* was asked for, independently of *how*
+it will execute.  When an action runs, the owning engine context hands the
+logical plan to the rule-based :class:`~repro.engine.optimizer.PlanOptimizer`,
+lowers the optimized plan back to physical datasets and only then schedules
+stages.  This is the same three-stage shape production declarative engines
+use (logical plan -> optimizer -> physical plan) and is what lets deployment
+hints (partitions, map-side combining, streaming micro-batches) steer
+execution without touching user code.
+
+Nodes form an immutable tree: rewrite rules never mutate a node in place but
+produce copies via :meth:`LogicalNode.copy_with`.  Original nodes keep a
+reference to the physical dataset the API eagerly built (``dataset``); a node
+returned unchanged by the optimizer therefore lowers to that exact physical
+object, preserving shuffle and cache reuse across jobs.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+#: Monotonic identity for logical nodes.  Copies produced by rewrite rules
+#: keep the origin id of the node they derive from, so that structurally
+#: identical rewrites of the same lineage share one lowered physical dataset.
+_ORIGIN_COUNTER = itertools.count()
+
+
+class LogicalNode:
+    """One operator of the logical plan."""
+
+    op = "node"
+    #: True when lowering this node introduces a shuffle boundary.
+    is_shuffle = False
+
+    def __init__(self, children: Sequence["LogicalNode"], dataset=None):
+        self.children: List[LogicalNode] = list(children)
+        #: The physical dataset the API built for this node; ``None`` on
+        #: copies produced by rewrite rules.
+        self.dataset = dataset
+        #: The API dataset this node (or the node it was copied from)
+        #: originated at; survives copies so cache flags can be propagated
+        #: onto rewritten physical plans.
+        self.origin_dataset = dataset
+        self.origin_id = next(_ORIGIN_COUNTER)
+        #: Rewrite tag ("", "combine", "local", ...) distinguishing variants
+        #: of the same origin in lowering signatures.
+        self.variant = ""
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def child(self) -> "LogicalNode":
+        """The single input of a unary node."""
+        return self.children[0]
+
+    def copy_with(self, children: Optional[Sequence["LogicalNode"]] = None,
+                  **attrs: Any) -> "LogicalNode":
+        """Return a rewritten copy; it keeps the origin but drops ``dataset``."""
+        clone = copy.copy(self)
+        clone.children = list(self.children if children is None else children)
+        clone.dataset = None
+        for name, value in attrs.items():
+            setattr(clone, name, value)
+        return clone
+
+    def signature(self) -> Tuple[Any, ...]:
+        """Structural identity used to share lowered physical datasets."""
+        return (self.op, self.variant, self.origin_id,
+                tuple(child.signature() for child in self.children))
+
+    @property
+    def is_cached(self) -> bool:
+        """True when the API dataset this node originated at is cached."""
+        return self.origin_dataset is not None and self.origin_dataset.is_cached
+
+    # -- display ------------------------------------------------------------
+
+    def details(self) -> str:
+        """Operator-specific attributes shown by ``explain()``."""
+        return ""
+
+    def label(self) -> str:
+        """One-line rendering of this node."""
+        parts = [self.op.capitalize() if self.op.islower() else self.op]
+        details = self.details()
+        attrs = [details] if details else []
+        if self.is_cached:
+            attrs.append("cached")
+        if attrs:
+            parts.append(f"[{', '.join(attrs)}]")
+        return "".join(parts)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} op={self.op} variant={self.variant!r}>"
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+class SourceNode(LogicalNode):
+    """A leaf: an in-memory collection or an external data source."""
+
+    op = "source"
+
+    def __init__(self, dataset):
+        super().__init__([], dataset=dataset)
+
+    def details(self) -> str:
+        if self.dataset is None:
+            return ""
+        return f"{self.dataset.name}, partitions={self.dataset.num_partitions}"
+
+
+class PhysicalScanNode(LogicalNode):
+    """A leaf wrapping an already materialised physical dataset.
+
+    Inserted by the cache-pruning rule: the whole subtree below a fully
+    cached dataset is replaced by a direct scan of its cached blocks.
+    """
+
+    op = "cached_scan"
+
+    def __init__(self, dataset):
+        super().__init__([], dataset=dataset)
+
+    def details(self) -> str:
+        if self.dataset is None:
+            return ""
+        return f"{self.dataset.name}, partitions={self.dataset.num_partitions}"
+
+
+# ---------------------------------------------------------------------------
+# Narrow unary operators
+# ---------------------------------------------------------------------------
+
+
+class MapNode(LogicalNode):
+    op = "map"
+
+    def __init__(self, child: LogicalNode, func: Callable[[Any], Any], dataset=None):
+        super().__init__([child], dataset=dataset)
+        self.func = func
+
+
+class FilterNode(LogicalNode):
+    op = "filter"
+
+    def __init__(self, child: LogicalNode, predicate: Callable[[Any], bool],
+                 dataset=None):
+        super().__init__([child], dataset=dataset)
+        self.predicate = predicate
+
+
+class FlatMapNode(LogicalNode):
+    op = "flat_map"
+
+    def __init__(self, child: LogicalNode, func: Callable[[Any], Iterable[Any]],
+                 dataset=None):
+        super().__init__([child], dataset=dataset)
+        self.func = func
+
+
+class ProjectNode(LogicalNode):
+    """Keep a subset of the fields of dict records."""
+
+    op = "project"
+
+    def __init__(self, child: LogicalNode, fields: Sequence[str], dataset=None):
+        super().__init__([child], dataset=dataset)
+        self.fields = list(fields)
+
+    def details(self) -> str:
+        return f"fields={self.fields}"
+
+
+class MapPartitionsNode(LogicalNode):
+    op = "map_partitions"
+
+    def __init__(self, child: LogicalNode, func: Callable[..., Iterable[Any]],
+                 with_index: bool = False, dataset=None):
+        super().__init__([child], dataset=dataset)
+        self.func = func
+        self.with_index = with_index
+
+
+class SampleNode(LogicalNode):
+    op = "sample"
+
+    def __init__(self, child: LogicalNode, fraction: float, seed: int, dataset=None):
+        super().__init__([child], dataset=dataset)
+        self.fraction = fraction
+        self.seed = seed
+
+    def details(self) -> str:
+        return f"fraction={self.fraction}"
+
+
+class CoalesceNode(LogicalNode):
+    op = "coalesce"
+
+    def __init__(self, child: LogicalNode, num_partitions: int, dataset=None):
+        super().__init__([child], dataset=dataset)
+        self.num_partitions = num_partitions
+
+    def details(self) -> str:
+        return f"partitions={self.num_partitions}"
+
+
+class FusedNode(LogicalNode):
+    """A pipeline of narrow operators fused into one physical operator.
+
+    ``stages`` holds the original narrow nodes bottom-to-top; lowering turns
+    them into a single :class:`~repro.engine.dataset.FusedDataset` so one task
+    evaluates the whole chain without intermediate dataset objects.
+    """
+
+    op = "fused"
+
+    def __init__(self, child: LogicalNode, stages: Sequence[LogicalNode]):
+        super().__init__([child], dataset=None)
+        self.stages = list(stages)
+        self.origin_dataset = self.stages[-1].origin_dataset
+        self.origin_id = self.stages[-1].origin_id
+        self.variant = "fused:" + ",".join(str(s.origin_id) for s in self.stages)
+
+    def details(self) -> str:
+        return "+".join(stage.op for stage in self.stages)
+
+
+# ---------------------------------------------------------------------------
+# Wide (shuffle) operators
+# ---------------------------------------------------------------------------
+
+
+class RepartitionNode(LogicalNode):
+    op = "repartition"
+    is_shuffle = True
+
+    def __init__(self, child: LogicalNode, partitioner, dataset=None):
+        super().__init__([child], dataset=dataset)
+        self.partitioner = partitioner
+
+    def details(self) -> str:
+        return f"partitions={self.partitioner.num_partitions}"
+
+
+class SortNode(LogicalNode):
+    op = "sort"
+    is_shuffle = True
+
+    def __init__(self, child: LogicalNode, key_func, ascending: bool,
+                 partitioner, dataset=None):
+        super().__init__([child], dataset=dataset)
+        self.key_func = key_func
+        self.ascending = ascending
+        self.partitioner = partitioner
+
+    def details(self) -> str:
+        return (f"partitions={self.partitioner.num_partitions}, "
+                f"ascending={self.ascending}")
+
+
+class DistinctNode(LogicalNode):
+    op = "distinct"
+
+    def __init__(self, child: LogicalNode, partitioner, dataset=None,
+                 local: bool = False):
+        super().__init__([child], dataset=dataset)
+        self.partitioner = partitioner
+        self.local = local
+
+    @property
+    def is_shuffle(self) -> bool:  # type: ignore[override]
+        return not self.local
+
+    def details(self) -> str:
+        mode = "local" if self.local else "shuffle"
+        return f"partitions={self.partitioner.num_partitions}, {mode}"
+
+
+class GroupByKeyNode(LogicalNode):
+    op = "group_by_key"
+
+    def __init__(self, child: LogicalNode, partitioner, dataset=None,
+                 local: bool = False):
+        super().__init__([child], dataset=dataset)
+        self.partitioner = partitioner
+        self.local = local
+
+    @property
+    def is_shuffle(self) -> bool:  # type: ignore[override]
+        return not self.local
+
+    def details(self) -> str:
+        mode = "local" if self.local else "shuffle"
+        return f"partitions={self.partitioner.num_partitions}, {mode}"
+
+
+class AggregateNode(LogicalNode):
+    """Per-key aggregation (``combine_by_key`` and everything built on it)."""
+
+    op = "aggregate"
+
+    def __init__(self, child: LogicalNode, create_combiner, merge_value,
+                 merge_combiners, partitioner, name: str = "combine_by_key",
+                 dataset=None, map_side_combine: bool = False,
+                 local: bool = False):
+        super().__init__([child], dataset=dataset)
+        self.create_combiner = create_combiner
+        self.merge_value = merge_value
+        self.merge_combiners = merge_combiners
+        self.partitioner = partitioner
+        self.name = name
+        self.map_side_combine = map_side_combine
+        self.local = local
+
+    @property
+    def is_shuffle(self) -> bool:  # type: ignore[override]
+        return not self.local
+
+    def details(self) -> str:
+        attrs = [self.name, f"partitions={self.partitioner.num_partitions}"]
+        if self.local:
+            attrs.append("local")
+        elif self.map_side_combine:
+            attrs.append("map_side_combine")
+        return ", ".join(attrs)
+
+
+class CoGroupNode(LogicalNode):
+    op = "cogroup"
+    is_shuffle = True
+
+    def __init__(self, children: Sequence[LogicalNode], partitioner,
+                 dataset=None):
+        super().__init__(children, dataset=dataset)
+        self.partitioner = partitioner
+
+    def details(self) -> str:
+        return f"partitions={self.partitioner.num_partitions}"
+
+
+class JoinNode(LogicalNode):
+    """The pair-emitting stage of a join over a cogroup."""
+
+    op = "join"
+
+    def __init__(self, child: LogicalNode, emit, how: str = "inner", dataset=None):
+        super().__init__([child], dataset=dataset)
+        self.emit = emit
+        self.how = how
+
+    def details(self) -> str:
+        return self.how
+
+
+class UnionNode(LogicalNode):
+    op = "union"
+
+    def __init__(self, children: Sequence[LogicalNode], dataset=None):
+        super().__init__(children, dataset=dataset)
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def output_partitioning(node: LogicalNode) -> Optional[Tuple[str, Any]]:
+    """How the records produced by ``node`` are partitioned, if known.
+
+    Returns ``("key", partitioner)`` when key-value records are co-located by
+    the key of the pair, ``("record", partitioner)`` when whole records are,
+    and ``None`` when nothing can be guaranteed.  Local (shuffle-eliminated)
+    aggregations preserve the partitioning of their input.
+    """
+    if isinstance(node, (AggregateNode, GroupByKeyNode)):
+        if node.local:
+            return output_partitioning(node.child)
+        return ("key", node.partitioner)
+    if isinstance(node, DistinctNode):
+        if node.local:
+            return output_partitioning(node.child)
+        return ("record", node.partitioner)
+    return None
+
+
+def render_plan(node: LogicalNode, indent: int = 0) -> List[str]:
+    """Render a logical plan as indented lines (used by ``explain()``)."""
+    lines = ["  " * indent + node.label()]
+    for child in node.children:
+        lines.extend(render_plan(child, indent + 1))
+    return lines
+
+
+def count_nodes(node: LogicalNode, predicate: Callable[[LogicalNode], bool]) -> int:
+    """Count the nodes of a plan satisfying ``predicate`` (used by tests)."""
+    total = 1 if predicate(node) else 0
+    return total + sum(count_nodes(child, predicate) for child in node.children)
+
+
+def count_shuffles(node: LogicalNode) -> int:
+    """Number of shuffle boundaries a plan will execute."""
+    return count_nodes(node, lambda n: bool(n.is_shuffle))

@@ -50,14 +50,10 @@ class ResultTask(Task):
         self._func = func
 
     def run(self, task_context: TaskContext) -> Any:
-        iterator = self._dataset.iterator(self.partition, task_context)
-
-        def counting(source: Iterator[Any]) -> Iterator[Any]:
-            for record in source:
-                task_context.records_written += 1
-                yield record
-
-        return self._func(counting(iterator))
+        # records the action consumes are *reads* (sources and caches count
+        # them while the iterator is drained); ``records_written`` is
+        # reserved for materialised output: shuffle files and cached blocks
+        return self._func(self._dataset.iterator(self.partition, task_context))
 
 
 class DAGScheduler:
@@ -106,8 +102,7 @@ class DAGScheduler:
     def _is_fully_cached(self, dataset: Dataset) -> bool:
         if not dataset.is_cached:
             return False
-        return all(self.block_store.contains(dataset.id, partition)
-                   for partition in range(dataset.num_partitions))
+        return self.block_store.contains_all(dataset.id, dataset.num_partitions)
 
     def _ensure_shuffle_outputs(self, dataset: Dataset, job: JobMetrics,
                                 visited: Dict[int, bool]) -> None:

@@ -76,6 +76,17 @@ class BlockStore:
         with self._lock:
             return (dataset_id, partition) in self._blocks
 
+    def contains_all(self, dataset_id: int, num_partitions: int) -> bool:
+        """True when every partition of the dataset is currently cached.
+
+        The single source of truth for "fully materialised", shared by the
+        scheduler (skip upstream stages) and the plan optimizer (prune the
+        subtree below a cached dataset).
+        """
+        with self._lock:
+            return all((dataset_id, partition) in self._blocks
+                       for partition in range(num_partitions))
+
     # -- management -------------------------------------------------------------
 
     def evict_dataset(self, dataset_id: int) -> int:

@@ -34,8 +34,9 @@ class FieldProjectionService(Service):
 
     def execute(self, context: ServiceContext) -> ServiceResult:
         fields: List[str] = self.params["fields"]
-        dataset = context.require_dataset().map(
-            lambda record: {name: record.get(name) for name in fields})
+        # a first-class projection (not an opaque map) so the engine's plan
+        # optimizer can push it below shuffle boundaries and fuse it
+        dataset = context.require_dataset().project(fields)
         schema = context.schema.project(
             [name for name in fields if context.schema.has_field(name)]
         ) if context.schema else None

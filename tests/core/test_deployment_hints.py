@@ -1,0 +1,66 @@
+"""Deployment layer -> engine optimizer hint threading."""
+
+from __future__ import annotations
+
+from repro.config import KNOWN_OPTIMIZER_RULES
+from repro.core.compiler import CampaignCompiler
+
+
+def _spec(**deployment):
+    return {
+        "name": "hints",
+        "policy": "open_data",
+        "source": {"scenario": "churn", "num_records": 2000},
+        "deployment": deployment,
+        "goals": [{
+            "id": "g",
+            "task": "descriptive",
+            "params": {"fields": ["monthly_charges"]},
+        }],
+    }
+
+
+class TestOptimizerHints:
+    def test_default_deployment_enables_every_rule(self):
+        campaign = CampaignCompiler().compile(_spec(num_partitions=4))
+        deployment = campaign.deployment
+        assert deployment.engine_config.optimizer_rules == KNOWN_OPTIMIZER_RULES
+        hints = deployment.optimizer_hints
+        assert hints["target_partitions"] == deployment.num_partitions == 4
+        assert hints["map_side_combine"] is True
+        assert hints["micro_batch_records"] is None
+
+    def test_map_side_combine_toggle(self):
+        campaign = CampaignCompiler().compile(
+            _spec(num_partitions=4, map_side_combine=False))
+        rules = campaign.deployment.engine_config.optimizer_rules
+        assert "map_side_combine" not in rules
+        assert "fuse_narrow" in rules
+        assert campaign.deployment.optimizer_hints["map_side_combine"] is False
+
+    def test_optimizer_disabled_entirely(self):
+        campaign = CampaignCompiler().compile(_spec(num_partitions=4, optimizer=False))
+        assert campaign.deployment.engine_config.optimizer_rules == ()
+        assert campaign.deployment.optimizer_hints["optimizer_rules"] == []
+
+    def test_explicit_rule_subset(self):
+        campaign = CampaignCompiler().compile(
+            _spec(num_partitions=4, optimizer_rules=["fuse_narrow", "pushdown"]))
+        assert campaign.deployment.engine_config.optimizer_rules == \
+            ("fuse_narrow", "pushdown")
+
+    def test_streaming_deployment_emits_micro_batch_hint(self):
+        spec = _spec(num_partitions=2)
+        spec["source"]["streaming"] = True
+        spec["source"]["batch_size"] = 250
+        campaign = CampaignCompiler().compile(spec)
+        assert campaign.deployment.optimizer_hints["micro_batch_records"] == 250
+
+    def test_hints_serialised_in_as_dict(self):
+        campaign = CampaignCompiler().compile(_spec(num_partitions=4))
+        payload = campaign.deployment.as_dict()
+        assert payload["optimizer_hints"]["target_partitions"] == 4
+
+    def test_hints_shown_in_describe(self):
+        campaign = CampaignCompiler().compile(_spec(num_partitions=4))
+        assert "optimizer:" in campaign.deployment.describe()
