@@ -22,6 +22,8 @@ KNOWN_OPTIMIZER_RULES: Tuple[str, ...] = (
     "shuffle_elim",      # drop a shuffle when the child partitioning matches
     "map_side_combine",  # pre-aggregate on the map side of reduce_by_key &co
     "fuse_narrow",       # fuse chains of narrow ops into one operator
+    "broadcast_join",    # hash-join against a collected small side, no shuffle
+    "coalesce_shuffle",  # shrink reduce partition counts on small shuffles
 )
 
 
@@ -55,6 +57,19 @@ class EngineConfig:
         Which logical-plan rewrite rules are enabled (see
         :data:`KNOWN_OPTIMIZER_RULES`).  An empty tuple disables plan
         optimization; benchmarks toggle individual rules to A/B them.
+    broadcast_threshold_bytes:
+        Joins whose build side is estimated below this size are lowered to a
+        broadcast hash join instead of a shuffle cogroup (``broadcast_join``
+        rule).  ``0`` disables broadcast join selection entirely.
+    target_partition_bytes:
+        Target post-shuffle partition size for the ``coalesce_shuffle`` rule:
+        when a shuffle's estimated output, divided by its partition count,
+        falls below this target, the reduce partition count is shrunk.
+        ``0`` (the default) disables shuffle coalescing.
+    adaptive_enabled:
+        Re-run the cost-based optimizer rules between shuffle-map stages,
+        feeding actual map-output sizes back into the plan so mis-estimated
+        joins still switch to broadcast (and shuffles coalesce) at runtime.
     """
 
     num_workers: int = 4
@@ -65,6 +80,9 @@ class EngineConfig:
     failure_rate: float = 0.0
     seed: int = 0
     optimizer_rules: Tuple[str, ...] = KNOWN_OPTIMIZER_RULES
+    broadcast_threshold_bytes: int = 10 * 1024 * 1024
+    target_partition_bytes: int = 0
+    adaptive_enabled: bool = True
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -77,6 +95,10 @@ class EngineConfig:
             raise ConfigurationError("memory_budget_bytes must be >= 0")
         if not 0.0 <= self.failure_rate < 1.0:
             raise ConfigurationError("failure_rate must be in [0, 1)")
+        if self.broadcast_threshold_bytes < 0:
+            raise ConfigurationError("broadcast_threshold_bytes must be >= 0")
+        if self.target_partition_bytes < 0:
+            raise ConfigurationError("target_partition_bytes must be >= 0")
         if isinstance(self.optimizer_rules, str):
             # tuple("pushdown") would explode into characters and produce a
             # baffling unknown-rules error; demand a proper sequence instead

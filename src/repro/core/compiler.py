@@ -297,6 +297,7 @@ class ProceduralToDeployment:
             self._default_partitions(num_records)
         num_workers = int(preferences.get("num_workers", 0)) or min(4, num_partitions)
         optimizer_rules = self._optimizer_rules(preferences)
+        cost_overrides = self._cost_model_overrides(preferences)
         engine_config = EngineConfig(
             num_workers=num_workers,
             default_parallelism=num_partitions,
@@ -304,6 +305,7 @@ class ProceduralToDeployment:
             failure_rate=float(preferences.get("failure_rate", 0.0)),
             seed=int(preferences.get("seed", 0)),
             optimizer_rules=optimizer_rules,
+            **cost_overrides,
         )
         cluster_profile = str(preferences.get("cluster_profile", "local"))
         max_batches = preferences.get("max_batches")
@@ -315,6 +317,9 @@ class ProceduralToDeployment:
             "optimizer_rules": list(optimizer_rules),
             "micro_batch_records": (declarative.source.batch_size
                                     if declarative.source.streaming else None),
+            "broadcast_threshold_bytes": engine_config.broadcast_threshold_bytes,
+            "target_partition_bytes": engine_config.target_partition_bytes,
+            "adaptive": engine_config.adaptive_enabled,
         }
         return DeploymentModel(
             procedural=procedural,
@@ -345,6 +350,27 @@ class ProceduralToDeployment:
         if not preferences.get("map_side_combine", True):
             rules = [rule for rule in rules if rule != "map_side_combine"]
         return tuple(rules)
+
+    @staticmethod
+    def _cost_model_overrides(preferences: Dict[str, Any]) -> Dict[str, Any]:
+        """Cost-model knobs of the engine's statistics layer.
+
+        ``broadcast_threshold_bytes`` bounds the build side of a broadcast
+        join, ``target_partition_bytes`` turns on post-shuffle partition
+        coalescing, ``adaptive`` toggles mid-job re-optimization.  Values are
+        validated by ``EngineConfig.__post_init__``; only knobs the campaign
+        actually sets are overridden, so engine defaults stay in one place.
+        """
+        overrides: Dict[str, Any] = {}
+        if "broadcast_threshold_bytes" in preferences:
+            overrides["broadcast_threshold_bytes"] = \
+                int(preferences["broadcast_threshold_bytes"])
+        if "target_partition_bytes" in preferences:
+            overrides["target_partition_bytes"] = \
+                int(preferences["target_partition_bytes"])
+        if "adaptive" in preferences:
+            overrides["adaptive_enabled"] = bool(preferences["adaptive"])
+        return overrides
 
     @staticmethod
     def _default_partitions(num_records: int) -> int:

@@ -78,6 +78,10 @@ class DeploymentModel:
             rules = self.optimizer_hints.get("optimizer_rules") or []
             lines.append(
                 f"  optimizer: {', '.join(rules) if rules else 'disabled'}")
+            threshold = self.optimizer_hints.get("broadcast_threshold_bytes")
+            if threshold:
+                lines.append(f"  broadcast threshold: {threshold} bytes"
+                             f" (adaptive={'on' if self.optimizer_hints.get('adaptive') else 'off'})")
         lines.extend(["", self.procedural.describe()])
         return "\n".join(lines)
 

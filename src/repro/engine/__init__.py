@@ -9,8 +9,9 @@ streaming and a cluster cost simulator for what-if deployment analysis.
 from .context import EngineContext
 from .dataset import Dataset
 from .metrics import JobMetrics, MetricsRegistry, StageMetrics, TaskMetrics, merge_job_metrics
-from .optimizer import OptimizationResult, PlanOptimizer, lower_plan
+from .optimizer import OptimizationResult, PlanOptimizer, lower_plan, plan_cost
 from .plan import LogicalNode, count_shuffles, render_plan
+from .stats import StatsEstimate, StatsEstimator
 from .partitioner import HashPartitioner, Partitioner, RangePartitioner, RoundRobinPartitioner
 from .simulator import (BUILTIN_PROFILES, ClusterProfile, CostModel,
                         DeploymentEstimate, DeploymentSimulator)
@@ -23,8 +24,11 @@ __all__ = [
     "PlanOptimizer",
     "OptimizationResult",
     "lower_plan",
+    "plan_cost",
     "render_plan",
     "count_shuffles",
+    "StatsEstimate",
+    "StatsEstimator",
     "JobMetrics",
     "StageMetrics",
     "TaskMetrics",

@@ -33,11 +33,13 @@ class EngineContext:
         self.metrics = MetricsRegistry()
         self.scheduler = DAGScheduler(self.config, self.shuffle_manager,
                                       self.block_store, self.metrics)
-        self.optimizer = PlanOptimizer(self.config, self.block_store)
         #: Structural signature -> physical dataset, shared by plan lowering
         #: so sibling plans reuse identical rewritten subtrees (and their
         #: shuffle outputs / cached blocks).
         self._lowered_plans = {}
+        self.optimizer = PlanOptimizer(self.config, self.block_store,
+                                       self.shuffle_manager,
+                                       self._lowered_plans)
         #: Bumped by Dataset.cache()/unpersist(); memoised executables from
         #: an older epoch are re-planned so rewrites respect the new cache
         #: state (fusion barriers, pruning, mirror caching).
@@ -110,11 +112,55 @@ class EngineContext:
 
         The dataset's logical plan is optimized and lowered to a physical
         plan first (memoised per dataset); with the optimizer disabled — or
-        when no rule fires — the dataset the API built runs verbatim.
+        when no rule fires — the dataset the API built runs verbatim.  With
+        adaptive re-optimization enabled, the scheduler additionally re-runs
+        the cost-based rules between shuffle-map stages, swapping in a better
+        physical plan when actual map-output sizes contradict the estimates.
         """
         self._check_active()
         executable = self._executable_for(dataset)
-        return self.scheduler.run_job(executable, func, partitions, description)
+        replanner = None
+        if partitions is None and dataset.plan is not None and \
+                self._adaptive_can_replan():
+            replanner = self._adaptive_replanner(dataset)
+        return self.scheduler.run_job(executable, func, partitions, description,
+                                      replanner=replanner)
+
+    def _adaptive_can_replan(self) -> bool:
+        """Whether mid-job re-optimization could change anything at all.
+
+        Re-planning after every shuffle stage only pays off when a
+        cost-based rule is enabled *and* armed; otherwise the optimizer
+        provably returns the same plan and the per-stage overhead is waste.
+        """
+        if not self.config.adaptive_enabled:
+            return False
+        rules = self.config.optimizer_rules
+        return ("broadcast_join" in rules and
+                self.config.broadcast_threshold_bytes > 0) or \
+               ("coalesce_shuffle" in rules and
+                self.config.target_partition_bytes > 0)
+
+    def _adaptive_replanner(self, dataset: Dataset) -> Callable[[], Dataset]:
+        """A callback re-optimizing ``dataset``'s plan with fresh statistics.
+
+        Invoked by the scheduler after each completed shuffle-map stage; the
+        statistics layer then sees the stage's actual map-output sizes, so
+        the cost-based rules may pick a different execution shape for the
+        not-yet-executed suffix of the plan.  Unchanged decisions lower to
+        the memoised physical objects, making the callback a no-op.
+        """
+        def replan() -> Dataset:
+            result = self.optimizer.optimize(dataset.plan)
+            if result.changed:
+                executable = lower_plan(result.plan, self)
+            else:
+                executable = dataset
+            dataset._executable = executable
+            dataset._executable_epoch = self._cache_epoch
+            return executable
+
+        return replan
 
     def _executable_for(self, dataset: Dataset, result=None) -> Dataset:
         """The physical dataset actions on ``dataset`` should execute.
@@ -144,11 +190,20 @@ class EngineContext:
         return "\n".join(self.scheduler.explain(dataset))
 
     def explain_dataset(self, dataset: Dataset) -> str:
-        """Render logical, optimized and physical plans (``Dataset.explain``)."""
+        """Render logical, optimized and physical plans (``Dataset.explain``).
+
+        Every logical node carries the statistics layer's per-node estimated
+        rows and bytes (``~`` marks heuristics, exact numbers come from
+        caches, in-memory sources and completed shuffles); the optimized
+        section additionally reports the rules that fired — including the
+        cost-based ``broadcast_join`` strategy choice — and the plan's
+        estimated cost under the documented cost model.
+        """
         lines: List[str] = ["== Logical Plan =="]
         if dataset.plan is None:
             lines.append("(no logical plan recorded; physical dataset)")
         else:
+            self.optimizer.estimator.annotate(dataset.plan)
             lines.extend(render_plan(dataset.plan))
         lines.append("")
         lines.append("== Optimized Plan ==")
@@ -163,6 +218,8 @@ class EngineContext:
                 lines.append(f"rules fired: {', '.join(fired)}")
             else:
                 lines.append("rules fired: none")
+            if result.cost:
+                lines.append(f"estimated cost: {result.cost:,.0f}")
         lines.append("")
         lines.append("== Physical Plan ==")
         lines.extend(self.scheduler.explain(

@@ -202,6 +202,67 @@ class ShuffleDependency(Dependency):
         self.partitioner = partitioner
         self.map_side = map_side
         self.shuffle_id = shuffle_id
+        #: Estimated map-output bytes, stamped by the statistics layer; the
+        #: scheduler runs cheaper pending shuffle stages first so adaptive
+        #: re-optimization learns actual sizes before the expensive stages.
+        self.estimated_bytes: Optional[float] = None
+
+
+class Broadcast:
+    """A value collected once on the driver and shared by every task."""
+
+    def __init__(self) -> None:
+        self.value: Any = None
+        self.ready = False
+
+    def set(self, value: Any) -> None:
+        self.value = value
+        self.ready = True
+
+
+class BroadcastDependency(Dependency):
+    """The child needs the *whole* parent collected into a driver-side value.
+
+    The DAG scheduler fills the :class:`Broadcast` holder (running the parent
+    as a nested job) before any task of the child executes.  ``kind`` selects
+    what is collected from the parent's key-value records:
+
+    ``key_values``
+        ``{key: [value, ...]}`` — the hash table of a broadcast join build side.
+    ``key_set``
+        ``{key, ...}`` — used to emit unmatched build-side rows of outer joins.
+    """
+
+    KINDS = ("key_values", "key_set")
+
+    def __init__(self, parent: "Dataset", holder: Broadcast, kind: str):
+        super().__init__(parent)
+        if kind not in self.KINDS:
+            raise PlanError(f"unknown broadcast collection kind {kind!r}")
+        self.holder = holder
+        self.kind = kind
+
+    def collect(self, iterator: Iterator[Any]) -> Any:
+        """Per-partition collection function, run as a result task."""
+        if self.kind == "key_values":
+            grouped: Dict[Any, List[Any]] = {}
+            for key, value in iterator:
+                grouped.setdefault(key, []).append(value)
+            return grouped
+        return {key for key, _ in iterator}
+
+    def assemble(self, partials: List[Any]) -> Any:
+        """Merge the per-partition payloads into the broadcast value."""
+        if self.kind == "key_values":
+            merged: Dict[Any, List[Any]] = {}
+            for partial in partials:
+                for key, values in partial.items():
+                    merged.setdefault(key, []).extend(values)
+            return merged
+        keys: set = set()
+        for partial in partials:
+            keys.update(partial)
+        return keys
 
 
 # ---------------------------------------------------------------------------
@@ -1051,3 +1112,93 @@ class CoGroupedDataset(Dataset):
                     grouped[key] = ([], [])
                 grouped[key][tag].append(value)
         return iter(grouped.items())
+
+
+def broadcast_preserves_build(how: str, build_side: str) -> bool:
+    """Whether a broadcast join must emit *unmatched build-side* rows.
+
+    Outer joins preserve unmatched rows of specific sides; when the
+    preserved side is the broadcast (build) side, the streamed pass over the
+    other side never sees those rows and a dedicated unmatched pass is
+    required (priced into the cost model by the ``broadcast_join`` rule).
+    """
+    if how == "full_outer":
+        return True
+    if build_side == "left":
+        return how in ("left_outer", "subtract_by_key")
+    return how == "right_outer"
+
+
+class BroadcastJoinDataset(Dataset):
+    """A join evaluated as a narrow broadcast hash join.
+
+    The *build* side is collected into a ``{key: [values]}`` hash map by the
+    scheduler (a :class:`BroadcastDependency`); each partition of the
+    *stream* side is then joined against it locally, reusing the exact
+    ``emit`` function of the shuffle-cogroup form so every join variant
+    produces identical pairs.  When the join preserves unmatched build-side
+    rows (see :func:`broadcast_preserves_build`), one extra partition emits
+    them using a broadcast of the stream side's key set.
+    """
+
+    def __init__(self, stream: Dataset, build: Dataset, emit,
+                 how: str, build_side: str):
+        self._emit = emit
+        self._how = how
+        self._build_side = build_side
+        self._build_holder = Broadcast()
+        dependencies: List[Dependency] = [
+            NarrowDependency(stream),
+            BroadcastDependency(build, self._build_holder, "key_values"),
+        ]
+        self._emits_unmatched_build = broadcast_preserves_build(how, build_side)
+        self._stream_keys_holder: Optional[Broadcast] = None
+        if self._emits_unmatched_build:
+            self._stream_keys_holder = Broadcast()
+            dependencies.append(
+                BroadcastDependency(stream, self._stream_keys_holder, "key_set"))
+        num_partitions = stream.num_partitions + \
+            (1 if self._emits_unmatched_build else 0)
+        super().__init__(stream.ctx, num_partitions, dependencies,
+                         name=f"broadcast_{join_display_name(how)}"
+                              f"({build_side})")
+
+    @property
+    def _stream(self) -> Dataset:
+        return self.dependencies[0].parent
+
+    def _pair(self, key: Any, stream_values: List[Any],
+              build_values: List[Any]) -> Any:
+        """Orient one cogroup-shaped pair in the join's left/right order."""
+        if self._build_side == "right":
+            return (key, (stream_values, build_values))
+        return (key, (build_values, stream_values))
+
+    def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
+        if not self._build_holder.ready:
+            raise PlanError(
+                f"broadcast input of {self.name} was not prepared; "
+                "broadcast joins must run through the DAG scheduler")
+        build_map: Dict[Any, List[Any]] = self._build_holder.value
+        stream = self._stream
+        if partition < stream.num_partitions:
+            grouped: Dict[Any, List[Any]] = {}
+            for key, value in stream.iterator(partition, task_context):
+                grouped.setdefault(key, []).append(value)
+            for key, values in grouped.items():
+                pair = self._pair(key, values, build_map.get(key, []))
+                for produced in self._emit(pair):
+                    yield produced
+            return
+        # the unmatched-build partition: build keys never seen by the stream
+        if self._stream_keys_holder is None or not self._stream_keys_holder.ready:
+            raise PlanError(
+                f"stream key set of {self.name} was not prepared; "
+                "broadcast joins must run through the DAG scheduler")
+        stream_keys = self._stream_keys_holder.value
+        for key, values in build_map.items():
+            if key in stream_keys:
+                continue
+            pair = self._pair(key, [], values)
+            for produced in self._emit(pair):
+                yield produced

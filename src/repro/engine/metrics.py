@@ -110,6 +110,9 @@ class JobMetrics:
     started_at: float = field(default_factory=time.time)
     finished_at: Optional[float] = None
     stages: List[StageMetrics] = field(default_factory=list)
+    #: Times the adaptive optimizer swapped the physical plan mid-job after
+    #: actual shuffle map-output sizes contradicted the static estimates.
+    adaptive_replans: int = 0
 
     def add_stage(self, stage: StageMetrics) -> None:
         """Attach a completed stage to the job."""
@@ -181,6 +184,7 @@ class JobMetrics:
             "records_written": self.records_written,
             "shuffle_bytes": self.shuffle_bytes,
             "cache_hits": self.cache_hits,
+            "adaptive_replans": self.adaptive_replans,
         }
 
 
@@ -202,6 +206,7 @@ def merge_job_metrics(jobs: Iterable[JobMetrics]) -> Dict[str, float]:
         "records_written": sum(j.records_written for j in jobs),
         "shuffle_bytes": sum(j.shuffle_bytes for j in jobs),
         "cache_hits": sum(j.cache_hits for j in jobs),
+        "adaptive_replans": sum(j.adaptive_replans for j in jobs),
     }
     return summary
 

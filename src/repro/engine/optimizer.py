@@ -1,8 +1,8 @@
-"""Rule-based optimizer and physical lowering for logical plans.
+"""Rule-based optimizer, cost model and physical lowering for logical plans.
 
 The optimizer rewrites the logical plan a :class:`~repro.engine.dataset.Dataset`
 recorded, then :func:`lower_plan` turns the optimized plan back into physical
-datasets the DAG scheduler can run.  Five rules ship today (see
+datasets the DAG scheduler can run.  Seven rules ship today (see
 :data:`repro.config.KNOWN_OPTIMIZER_RULES`):
 
 ``cache_prune``
@@ -19,9 +19,31 @@ datasets the DAG scheduler can run.  Five rules ship today (see
 ``map_side_combine``
     Rewrite per-key aggregations to pre-combine on the map side, shrinking
     the bytes written to the shuffle.
+``broadcast_join``
+    Cost-based join strategy selection: when one join input's estimated size
+    is below ``EngineConfig.broadcast_threshold_bytes``, replace the shuffle
+    cogroup with a narrow broadcast hash join (all join variants supported).
+``coalesce_shuffle``
+    Cost-based partition sizing: shrink a shuffle's reduce partition count
+    when its estimated output divided by the partition count falls below
+    ``EngineConfig.target_partition_bytes``.
 ``fuse_narrow``
     Collapse chains of narrow operators (map/filter/flat_map/project) into a
     single pipelined physical operator.
+
+The two cost-based rules read the :class:`~repro.engine.stats.StatsEstimate`
+annotations a :class:`~repro.engine.stats.StatsEstimator` writes onto the
+plan right before they run; re-running the optimizer after a shuffle-map
+stage completes therefore folds *actual* sizes into the decisions (adaptive
+re-optimization, driven by the DAG scheduler).
+
+The cost model is deliberately simple and documented in
+docs/architecture.md::
+
+    cost(plan) = Σ_node  bytes(node)                      # pipelined scan
+               + Σ_shuffle 2 × bytes(shuffle input)       # write + read
+               + Σ_broadcast bytes(build) × partitions    # replication
+               + Σ_unmatched-pass bytes(stream)           # extra key-set scan
 
 Rewrites never mutate nodes: a rule returns copies (``copy_with``) for the
 parts it changes and the untouched originals elsewhere.  Lowering exploits
@@ -32,16 +54,20 @@ once per context thanks to a structural-signature memo.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, List, Optional
 
 from ..config import EngineConfig
 from ..errors import PlanError
 from . import dataset as physical
-from .plan import (AggregateNode, CoalesceNode, CoGroupNode, DistinctNode,
-                   FilterNode, FlatMapNode, FusedNode, GroupByKeyNode,
-                   JoinNode, LogicalNode, MapNode, MapPartitionsNode,
-                   PhysicalScanNode, ProjectNode, RepartitionNode, SampleNode,
-                   SortNode, SourceNode, UnionNode, output_partitioning)
+from .partitioner import HashPartitioner, RoundRobinPartitioner
+from .plan import (AggregateNode, BroadcastJoinNode, CoalesceNode, CoGroupNode,
+                   DistinctNode, FilterNode, FlatMapNode, FusedNode,
+                   GroupByKeyNode, JoinNode, LogicalNode, MapNode,
+                   MapPartitionsNode, PhysicalScanNode, ProjectNode,
+                   RepartitionNode, SampleNode, SortNode, SourceNode,
+                   UnionNode, output_partitioning)
+from .stats import StatsEstimator
 
 #: Narrow record-at-a-time operators the ``fuse_narrow`` rule may collapse.
 _FUSABLE = (MapNode, FilterNode, FlatMapNode, ProjectNode)
@@ -56,17 +82,64 @@ _MAX_PUSHDOWN_PASSES = 10
 #: re-lowering if an old plan resurfaces.
 _LOWERED_MEMO_LIMIT = 512
 
+# -- cost model weights ------------------------------------------------------
+
+#: Every shuffled byte is written to and read back from the shuffle store.
+SHUFFLE_WEIGHT = 2.0
+#: Every byte an operator outputs is scanned once by its consumer.
+SCAN_WEIGHT = 1.0
+#: A broadcast build side is (conceptually) replicated to every stream task.
+BROADCAST_WEIGHT = 1.0
+
+
+def plan_cost(plan: LogicalNode) -> float:
+    """Estimated cost of an (annotated) plan under the documented model.
+
+    Nodes without statistics contribute nothing, so the value is a lower
+    bound; it is meant for *comparing* alternative shapes of the same plan,
+    which share the same unknown parts.
+    """
+    total = 0.0
+    for node in _iter_nodes(plan):
+        if node.stats is not None:
+            total += node.stats.size_bytes * SCAN_WEIGHT
+        if node.is_shuffle:
+            for child in node.children:
+                if child.stats is not None:
+                    total += child.stats.size_bytes * SHUFFLE_WEIGHT
+        if isinstance(node, BroadcastJoinNode):
+            build = node.children[1] if node.broadcast_side == "right" \
+                else node.children[0]
+            stream = node.children[0] if node.broadcast_side == "right" \
+                else node.children[1]
+            if build.stats is not None:
+                total += build.stats.size_bytes * BROADCAST_WEIGHT * \
+                    node.parallelism
+            if physical.broadcast_preserves_build(node.how, node.broadcast_side) \
+                    and stream.stats is not None:
+                total += stream.stats.size_bytes * SCAN_WEIGHT
+    return total
+
+
+def _iter_nodes(node: LogicalNode):
+    yield node
+    for child in node.children:
+        yield from _iter_nodes(child)
+
 
 class OptimizationResult:
     """The outcome of one optimizer run over a logical plan."""
 
     def __init__(self, plan: LogicalNode, applied: List[str],
-                 rules: List[str]):
+                 rules: List[str], cost: Optional[float] = None):
         self.plan = plan
         #: Rule names, one entry per rewrite that fired, in application order.
         self.applied = applied
         #: Rules that were enabled for the run.
         self.rules = rules
+        #: Estimated cost of the optimized plan (cost-model lower bound),
+        #: ``None`` when no statistics layer was available.
+        self.cost = cost
 
     @property
     def changed(self) -> bool:
@@ -77,14 +150,24 @@ class OptimizationResult:
 class PlanOptimizer:
     """Applies the enabled rewrite rules to logical plans."""
 
-    def __init__(self, config: EngineConfig, block_store):
+    def __init__(self, config: EngineConfig, block_store,
+                 shuffle_manager=None, lowered_plans=None):
         self.config = config
         self.block_store = block_store
+        #: Statistics layer shared by the cost-based rules and ``explain()``.
+        self.estimator = StatsEstimator(config, block_store, shuffle_manager,
+                                        lowered_plans)
 
     # -- public API ---------------------------------------------------------
 
     def optimize(self, plan: LogicalNode) -> OptimizationResult:
-        """Rewrite ``plan`` with every enabled rule, in canonical order."""
+        """Rewrite ``plan`` with every enabled rule, in canonical order.
+
+        The structural rules run first; the plan is then annotated with
+        statistics (folding in any *actual* sizes of already-completed
+        shuffle map stages) before the cost-based rules decide join strategy
+        and partition sizing on it.
+        """
         rules = list(self.config.optimizer_rules)
         applied: List[str] = []
         node = plan
@@ -96,9 +179,18 @@ class PlanOptimizer:
             node = self._eliminate_shuffles(node, applied)
         if "map_side_combine" in rules:
             node = self._insert_combines(node, applied)
+        # fusion must precede annotation: the annotated plan then has the
+        # exact shape (and structural signatures) of the plan that executes,
+        # so actual sizes of its completed shuffles resolve on re-planning
         if "fuse_narrow" in rules:
             node = self._fuse_narrow(node, applied)
-        return OptimizationResult(node, applied, rules)
+        self.estimator.annotate(node)
+        if "broadcast_join" in rules:
+            node = self._broadcast_joins(node, applied)
+        if "coalesce_shuffle" in rules:
+            node = self._coalesce_shuffles(node, applied)
+        self.estimator.annotate(node)
+        return OptimizationResult(node, applied, rules, cost=plan_cost(node))
 
     # -- generic bottom-up rewriting ----------------------------------------
 
@@ -201,6 +293,121 @@ class PlanOptimizer:
 
         return self._transform(node, rule)
 
+    # -- rule: cost-based broadcast join selection ---------------------------
+
+    def _broadcast_joins(self, node: LogicalNode,
+                         applied: List[str]) -> LogicalNode:
+        threshold = self.config.broadcast_threshold_bytes
+        if threshold <= 0:
+            return node
+
+        def rule(n: LogicalNode) -> LogicalNode:
+            if not isinstance(n, JoinNode) or not isinstance(n.child, CoGroupNode):
+                return n
+            cogroup = n.child
+            if n.is_cached or cogroup.is_cached:
+                return n
+            if self._shuffle_already_ran(cogroup):
+                return n  # both map stages are done; keep reusing their output
+            side = self._choose_broadcast_side(n, cogroup, threshold)
+            if side is None:
+                return n
+            applied.append("broadcast_join")
+            rewritten = BroadcastJoinNode(
+                list(cogroup.children), n.emit, n.how, side, origin=n,
+                parallelism=cogroup.partitioner.num_partitions)
+            rewritten.stats = n.stats
+            return rewritten
+
+        return self._transform(node, rule)
+
+    def _choose_broadcast_side(self, join: JoinNode, cogroup: CoGroupNode,
+                               threshold: int) -> Optional[str]:
+        """Pick the cheapest eligible build side, or ``None`` to keep the shuffle.
+
+        A side is eligible when its estimated size is known and below the
+        broadcast threshold.  Sides whose unmatched rows the join preserves
+        (e.g. the right side of a ``right_outer``) additionally need an extra
+        pass collecting the stream side's key set, so they are only chosen
+        when the cost model still beats the shuffle cogroup.
+        """
+        side_stats = {"left": cogroup.children[0].stats,
+                      "right": cogroup.children[1].stats}
+        parallelism = cogroup.partitioner.num_partitions
+        shuffle_cost = None
+        if side_stats["left"] is not None and side_stats["right"] is not None:
+            shuffle_cost = (side_stats["left"].size_bytes +
+                            side_stats["right"].size_bytes) * SHUFFLE_WEIGHT
+        candidates = []
+        for side in ("right", "left"):  # conventional build side wins ties
+            build = side_stats[side]
+            if build is None or build.size_bytes > threshold:
+                continue
+            stream = side_stats["left" if side == "right" else "right"]
+            needs_unmatched = physical.broadcast_preserves_build(join.how, side)
+            cost = build.size_bytes * BROADCAST_WEIGHT * parallelism
+            if needs_unmatched:
+                if stream is None or shuffle_cost is None:
+                    continue  # cannot price the extra stream key-set pass
+                cost += stream.size_bytes * SCAN_WEIGHT
+                if cost >= shuffle_cost:
+                    continue
+            candidates.append((cost, side))
+        if not candidates:
+            return None
+        return min(candidates, key=lambda pair: pair[0])[1]
+
+    def _shuffle_already_ran(self, node: LogicalNode) -> bool:
+        """True when every map stage feeding this node's shuffle completed.
+
+        Rewriting such a node would throw away work that is already done and
+        re-execute it under a new shuffle id, so the cost-based rules leave
+        it alone (the shuffle outputs keep being reused instead).
+        """
+        manager = self.estimator.shuffle_manager
+        if manager is None:
+            return False
+        ds = self.estimator._physical_of(node)
+        if isinstance(ds, physical.ShuffledDataset):
+            return manager.map_output_stats(
+                ds.shuffle_dependency.shuffle_id) is not None
+        if isinstance(ds, physical.CoGroupedDataset):
+            return all(manager.map_output_stats(dep.shuffle_id) is not None
+                       for dep in ds.dependencies)
+        return False
+
+    # -- rule: cost-based shuffle coalescing ---------------------------------
+
+    def _coalesce_shuffles(self, node: LogicalNode,
+                           applied: List[str]) -> LogicalNode:
+        target = self.config.target_partition_bytes
+        if target <= 0:
+            return node
+
+        def rule(n: LogicalNode) -> LogicalNode:
+            if not n.is_shuffle or n.is_cached or isinstance(n, SortNode):
+                return n
+            partitioner = getattr(n, "partitioner", None)
+            if not isinstance(partitioner, (HashPartitioner,
+                                            RoundRobinPartitioner)):
+                return n
+            if n.stats is None or self._shuffle_already_ran(n):
+                return n
+            current = partitioner.num_partitions
+            wanted = max(1, math.ceil(n.stats.size_bytes / target))
+            if wanted >= current:
+                return n
+            if isinstance(partitioner, RoundRobinPartitioner):
+                replacement = RoundRobinPartitioner(wanted,
+                                                    seed=self.config.seed)
+            else:
+                replacement = HashPartitioner(wanted)
+            applied.append("coalesce_shuffle")
+            return n.copy_with(partitioner=replacement,
+                               variant=n.variant + f"|coalesce{wanted}")
+
+        return self._transform(node, rule)
+
     # -- rule: narrow-operator fusion ---------------------------------------
 
     def _fuse_narrow(self, node: LogicalNode, applied: List[str]) -> LogicalNode:
@@ -254,6 +461,7 @@ def lower_plan(node: LogicalNode, ctx) -> "physical.Dataset":
     built = ctx._lowered_plans.get(signature)
     if built is None:
         built = _build_physical(node, ctx)
+        _stamp_shuffle_estimates(node, built)
         ctx._lowered_plans[signature] = built
         if len(ctx._lowered_plans) > _LOWERED_MEMO_LIMIT:
             # drop the oldest half (dict preserves insertion order)
@@ -266,6 +474,24 @@ def lower_plan(node: LogicalNode, ctx) -> "physical.Dataset":
         built.is_cached = True
         origin._cache_mirrors.append(built)
     return built
+
+
+def _stamp_shuffle_estimates(node: LogicalNode, built) -> None:
+    """Copy the plan's input-size estimates onto freshly built shuffle deps.
+
+    The scheduler uses ``ShuffleDependency.estimated_bytes`` to run cheaper
+    pending map stages first in adaptive mode; rewritten nodes only exist as
+    physical datasets from this point on, so the hints must be transferred
+    here (original nodes are stamped directly by the statistics estimator).
+    """
+    if isinstance(built, physical.ShuffledDataset) and node.children:
+        child_stats = node.children[0].stats
+        if child_stats is not None:
+            built.shuffle_dependency.estimated_bytes = child_stats.size_bytes
+    elif isinstance(built, physical.CoGroupedDataset):
+        for child, dependency in zip(node.children, built.dependencies):
+            if child.stats is not None:
+                dependency.estimated_bytes = child.stats.size_bytes
 
 
 def _build_physical(node: LogicalNode, ctx) -> "physical.Dataset":
@@ -353,6 +579,15 @@ def _build_physical(node: LogicalNode, ctx) -> "physical.Dataset":
         left = lower_plan(node.children[0], ctx)
         right = lower_plan(node.children[1], ctx)
         return d.CoGroupedDataset(left, right, node.partitioner)
+    if isinstance(node, BroadcastJoinNode):
+        left = lower_plan(node.children[0], ctx)
+        right = lower_plan(node.children[1], ctx)
+        if node.broadcast_side == "right":
+            stream, build = left, right
+        else:
+            stream, build = right, left
+        return d.BroadcastJoinDataset(stream, build, node.emit, node.how,
+                                      node.broadcast_side)
     if isinstance(node, JoinNode):
         parent = lower_plan(node.child, ctx)
         return d.FlatMappedDataset(parent, node.emit).set_name(

@@ -49,6 +49,10 @@ class LogicalNode:
         #: Rewrite tag ("", "combine", "local", ...) distinguishing variants
         #: of the same origin in lowering signatures.
         self.variant = ""
+        #: :class:`repro.engine.stats.StatsEstimate` annotation, written by
+        #: the statistics layer on every optimizer run; ``None`` before the
+        #: first estimation (and on operators with unknown cardinality).
+        self.stats = None
 
     # -- structure ----------------------------------------------------------
 
@@ -92,6 +96,8 @@ class LogicalNode:
             attrs.append("cached")
         if attrs:
             parts.append(f"[{', '.join(attrs)}]")
+        if self.stats is not None:
+            parts.append(f"  ({self.stats.render()})")
         return "".join(parts)
 
     def __repr__(self) -> str:
@@ -128,6 +134,17 @@ class PhysicalScanNode(LogicalNode):
 
     def __init__(self, dataset):
         super().__init__([], dataset=dataset)
+
+    def signature(self) -> Tuple[Any, ...]:
+        """Keyed by the scanned dataset, not the origin counter.
+
+        Scan nodes are built fresh on every optimizer run; a counter-based
+        identity would make every run's plan look new, defeating the lowered
+        -plan memo (and causing adaptive re-optimization to re-execute
+        shuffles above a cached dataset on every re-plan).
+        """
+        ds_id = self.dataset.id if self.dataset is not None else self.origin_id
+        return (self.op, self.variant, ("scan", ds_id), ())
 
     def details(self) -> str:
         if self.dataset is None:
@@ -358,6 +375,37 @@ class JoinNode(LogicalNode):
 
     def details(self) -> str:
         return self.how
+
+
+class BroadcastJoinNode(LogicalNode):
+    """A join lowered to a broadcast hash join instead of a shuffle cogroup.
+
+    Produced by the cost-based ``broadcast_join`` rule when one side's
+    estimated size falls below the broadcast threshold: the small (*build*)
+    side is collected into a hash map once, and the large (*stream*) side is
+    joined against it with a narrow per-partition pass — no shuffle at all.
+    ``children`` keeps the join's ``[left, right]`` inputs in API order.
+    """
+
+    op = "broadcast_join"
+
+    def __init__(self, children: Sequence[LogicalNode], emit, how: str,
+                 broadcast_side: str, origin: LogicalNode,
+                 parallelism: int = 1):
+        super().__init__(children, dataset=None)
+        self.emit = emit
+        self.how = how
+        #: Which input ("left" or "right") is collected and broadcast.
+        self.broadcast_side = broadcast_side
+        #: Stream-side task count the build side is replicated to; cost-model
+        #: input recorded by the rewrite that produced this node.
+        self.parallelism = parallelism
+        self.origin_dataset = origin.origin_dataset
+        self.origin_id = origin.origin_id
+        self.variant = f"broadcast:{broadcast_side}"
+
+    def details(self) -> str:
+        return f"{self.how}, broadcast={self.broadcast_side}"
 
 
 class UnionNode(LogicalNode):

@@ -2,10 +2,21 @@
 
 The scheduler walks the lineage of the dataset an action was invoked on,
 executes one *shuffle-map stage* for every shuffle dependency whose output is
-not yet available, and finally runs the *result stage* that applies the
-action's partition function.  Shuffle outputs are kept between jobs so that
-re-running an action on the same dataset (or on a descendant) does not repeat
-the shuffle, mirroring the behaviour of production engines.
+not yet available, fills every *broadcast* input (collecting the build side
+of broadcast joins as a nested job), and finally runs the *result stage* that
+applies the action's partition function.  Shuffle outputs are kept between
+jobs so that re-running an action on the same dataset (or on a descendant)
+does not repeat the shuffle, mirroring the behaviour of production engines.
+
+**Adaptive re-optimization**: when the context supplies a ``replanner``, the
+scheduler re-invokes it after every completed shuffle-map stage.  The
+replanner re-runs the cost-based optimizer rules with the *actual* map-output
+sizes now available and returns a (possibly different) physical dataset for
+the rest of the job — this is how a join whose small side was mis-estimated
+still switches to a broadcast hash join at runtime, before the expensive
+side's shuffle ever runs.  Pending shuffle stages are executed cheapest-first
+(by estimated map-output bytes) so the cheap evidence arrives before the
+expensive stages it can cancel.
 """
 
 from __future__ import annotations
@@ -14,9 +25,14 @@ import itertools
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..config import EngineConfig
-from .dataset import Dataset, ShuffleDependency, TaskContext
+from .dataset import (BroadcastDependency, Dataset, Dependency,
+                      ShuffleDependency, TaskContext)
 from .executor import Executor, Task
 from .metrics import JobMetrics, StageMetrics
+
+#: Upper bound on accepted adaptive re-plans per job; a backstop against a
+#: (buggy) replanner oscillating between plan shapes forever.
+_MAX_ADAPTIVE_REPLANS = 20
 
 
 class ShuffleMapTask(Task):
@@ -73,12 +89,18 @@ class DAGScheduler:
 
     def run_job(self, dataset: Dataset, func: Callable[[Iterator[Any]], Any],
                 partitions: Optional[Sequence[int]] = None,
-                description: str = "") -> List[Any]:
-        """Run ``func`` over the requested partitions of ``dataset``."""
+                description: str = "",
+                replanner: Optional[Callable[[], Dataset]] = None) -> List[Any]:
+        """Run ``func`` over the requested partitions of ``dataset``.
+
+        ``replanner``, when given, is called after each completed shuffle-map
+        stage and may return a replacement physical dataset for the rest of
+        the job (adaptive re-optimization); it must only be supplied for
+        whole-dataset jobs, since a replacement may change partitioning.
+        """
         job = JobMetrics(job_id=next(self._job_counter), description=description)
         try:
-            visited: Dict[int, bool] = {}
-            self._ensure_shuffle_outputs(dataset, job, visited)
+            dataset = self._execute_prerequisites(dataset, job, replanner)
             if partitions is None:
                 partitions = range(dataset.num_partitions)
             stage = StageMetrics(stage_id=next(self._stage_counter),
@@ -104,22 +126,95 @@ class DAGScheduler:
             return False
         return self.block_store.contains_all(dataset.id, dataset.num_partitions)
 
-    def _ensure_shuffle_outputs(self, dataset: Dataset, job: JobMetrics,
-                                visited: Dict[int, bool]) -> None:
-        """Recursively run the map stage of every missing shuffle under ``dataset``."""
-        if dataset.id in visited:
-            return
-        visited[dataset.id] = True
-        if self._is_fully_cached(dataset):
-            return
-        for dependency in dataset.dependencies:
-            if isinstance(dependency, ShuffleDependency):
-                if self.shuffle_manager.is_complete(dependency.shuffle_id):
-                    continue
-                self._ensure_shuffle_outputs(dependency.parent, job, visited)
-                self._run_shuffle_stage(dependency, job)
-            else:
-                self._ensure_shuffle_outputs(dependency.parent, job, visited)
+    def _execute_prerequisites(self, dataset: Dataset, job: JobMetrics,
+                               replanner: Optional[Callable[[], Dataset]]) -> Dataset:
+        """Run every missing shuffle-map stage and broadcast collection.
+
+        One prerequisite is executed per iteration; in adaptive mode the
+        replanner then gets a chance to swap the remaining physical plan, and
+        the (possibly new) lineage is re-examined from scratch.  Returns the
+        dataset the result stage should execute.
+        """
+        while True:
+            ready = self._ready_prerequisites(dataset)
+            if not ready:
+                return dataset
+            dependency = self._pick_prerequisite(ready, replanner is not None)
+            if isinstance(dependency, BroadcastDependency):
+                self._fill_broadcast(dependency)
+                continue
+            self._run_shuffle_stage(dependency, job)
+            if replanner is not None and \
+                    job.adaptive_replans < _MAX_ADAPTIVE_REPLANS:
+                replanned = replanner()
+                if replanned is not dataset:
+                    dataset = replanned
+                    job.adaptive_replans += 1
+
+    def _ready_prerequisites(self, dataset: Dataset) -> List[Dependency]:
+        """Pending shuffle/broadcast dependencies whose own inputs are ready.
+
+        Deepest-first, left-to-right, skipping anything beneath a complete
+        shuffle, a filled broadcast or a fully cached dataset — the same
+        boundaries job execution observes.
+        """
+        ready: List[Dependency] = []
+        satisfied: Dict[int, bool] = {}
+
+        def walk(node: Dataset) -> bool:
+            if node.id in satisfied:
+                return satisfied[node.id]
+            ok = True
+            if not self._is_fully_cached(node):
+                for dependency in node.dependencies:
+                    if isinstance(dependency, ShuffleDependency):
+                        if self.shuffle_manager.is_complete(dependency.shuffle_id):
+                            continue
+                        if walk(dependency.parent):
+                            ready.append(dependency)
+                        ok = False
+                    elif isinstance(dependency, BroadcastDependency):
+                        if dependency.holder.ready:
+                            continue
+                        if walk(dependency.parent):
+                            ready.append(dependency)
+                        ok = False
+                    elif not walk(dependency.parent):
+                        ok = False
+            satisfied[node.id] = ok
+            return ok
+
+        walk(dataset)
+        return ready
+
+    @staticmethod
+    def _pick_prerequisite(ready: List[Dependency], adaptive: bool) -> Dependency:
+        """Choose the next prerequisite to execute.
+
+        Plain jobs keep the discovery (deepest-first) order.  Adaptive jobs
+        run the cheapest pending stage first — by the estimated map-output
+        bytes the statistics layer stamped on the dependency — so actual
+        sizes of cheap stages can re-shape the plan before expensive stages
+        run; broadcast fills (small by construction) go first.
+        """
+        if not adaptive:
+            return ready[0]
+
+        def cost(indexed) -> tuple:
+            index, dependency = indexed
+            if isinstance(dependency, BroadcastDependency):
+                return (-1.0, index)
+            estimated = dependency.estimated_bytes
+            return (estimated if estimated is not None else float("inf"), index)
+
+        return min(enumerate(ready), key=cost)[1]
+
+    def _fill_broadcast(self, dependency: BroadcastDependency) -> None:
+        """Collect a broadcast input by running its parent as a nested job."""
+        parent = dependency.parent
+        partials = self.run_job(parent, dependency.collect,
+                                description=f"broadcast {parent.name}")
+        dependency.holder.set(dependency.assemble(partials))
 
     def _run_shuffle_stage(self, dependency: ShuffleDependency, job: JobMetrics) -> None:
         parent = dependency.parent
@@ -147,7 +242,11 @@ class DAGScheduler:
                          f"[id={node.id}, partitions={node.num_partitions}"
                          f"{', cached' if node.is_cached else ''}]")
             for dependency in node.dependencies:
-                marker = "(shuffle)" if isinstance(dependency, ShuffleDependency) else ""
+                marker = ""
+                if isinstance(dependency, ShuffleDependency):
+                    marker = "(shuffle)"
+                elif isinstance(dependency, BroadcastDependency):
+                    marker = f"(broadcast {dependency.kind})"
                 if marker:
                     lines.append(f"{indent}  {marker}")
                 walk(dependency.parent, depth + 1)

@@ -11,23 +11,38 @@ from __future__ import annotations
 
 import pickle
 import threading
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ShuffleError
 
 _SAMPLE_SIZE = 20
 
 
-def estimate_bytes(records: List[Any], compressed: bool = True) -> int:
+def _stride_sample(records: Sequence[Any], size: int) -> List[Any]:
+    """Pick up to ``size`` records evenly spread across ``records``.
+
+    A head sample (``records[:size]``) is badly biased on sorted or
+    heterogeneous data — e.g. buckets whose small records sort first — so the
+    sample strides the whole sequence instead.
+    """
+    total = len(records)
+    if total <= size:
+        return list(records)
+    step = total / size
+    return [records[int(index * step)] for index in range(size)]
+
+
+def estimate_bytes(records: Sequence[Any], compressed: bool = True) -> int:
     """Estimate the serialised size of ``records``.
 
-    A small sample is pickled and the average record size is extrapolated.
-    When ``compressed`` is true a constant 2.5x compression ratio is applied,
-    mimicking the default block compression of production shuffles.
+    A small stride-sample across the whole sequence is pickled and the
+    average record size is extrapolated.  When ``compressed`` is true a
+    constant 2.5x compression ratio is applied, mimicking the default block
+    compression of production shuffles.
     """
     if not records:
         return 0
-    sample = records[:_SAMPLE_SIZE]
+    sample = _stride_sample(records, _SAMPLE_SIZE)
     try:
         sample_bytes = len(pickle.dumps(sample, protocol=pickle.HIGHEST_PROTOCOL))
     except Exception:
@@ -48,6 +63,7 @@ class ShuffleManager:
         self._completed_maps: Dict[int, set] = {}
         self._expected_maps: Dict[int, int] = {}
         self._bytes_written: Dict[int, int] = {}
+        self._records_written: Dict[int, int] = {}
         self.compression = compression
 
     # -- map side ------------------------------------------------------------
@@ -58,11 +74,13 @@ class ShuffleManager:
             self._expected_maps.setdefault(shuffle_id, num_map_partitions)
             self._completed_maps.setdefault(shuffle_id, set())
             self._bytes_written.setdefault(shuffle_id, 0)
+            self._records_written.setdefault(shuffle_id, 0)
 
     def write_map_output(self, shuffle_id: int, map_partition: int,
                          buckets: Dict[int, List[Any]]) -> int:
         """Store the buckets produced by one map task; return bytes written."""
         written = 0
+        records_out = 0
         with self._lock:
             if shuffle_id not in self._expected_maps:
                 raise ShuffleError(f"shuffle {shuffle_id} was never registered")
@@ -70,8 +88,10 @@ class ShuffleManager:
                 key = (shuffle_id, map_partition, reduce_partition)
                 self._buckets[key] = list(records)
                 written += estimate_bytes(records, self.compression)
+                records_out += len(records)
             self._completed_maps[shuffle_id].add(map_partition)
             self._bytes_written[shuffle_id] += written
+            self._records_written[shuffle_id] += records_out
         return written
 
     # -- reduce side ----------------------------------------------------------
@@ -105,6 +125,20 @@ class ShuffleManager:
         with self._lock:
             return self._bytes_written.get(shuffle_id, 0)
 
+    def map_output_stats(self, shuffle_id: int) -> Optional[Tuple[int, int]]:
+        """Actual ``(records, bytes)`` of a *complete* shuffle's map output.
+
+        ``None`` while any map task is still missing.  This is the runtime
+        feedback the statistics layer prefers over plan-time estimates when a
+        shuffle-map stage has already executed (adaptive re-optimization).
+        """
+        with self._lock:
+            expected = self._expected_maps.get(shuffle_id)
+            if expected is None or len(self._completed_maps[shuffle_id]) < expected:
+                return None
+            return (self._records_written[shuffle_id],
+                    self._bytes_written[shuffle_id])
+
     def remove_shuffle(self, shuffle_id: int) -> None:
         """Discard all data of a shuffle (called when a job finishes)."""
         with self._lock:
@@ -113,6 +147,7 @@ class ShuffleManager:
             self._completed_maps.pop(shuffle_id, None)
             self._expected_maps.pop(shuffle_id, None)
             self._bytes_written.pop(shuffle_id, None)
+            self._records_written.pop(shuffle_id, None)
 
     def clear(self) -> None:
         """Discard every shuffle (used when an engine context shuts down)."""
@@ -121,3 +156,4 @@ class ShuffleManager:
             self._completed_maps.clear()
             self._expected_maps.clear()
             self._bytes_written.clear()
+            self._records_written.clear()

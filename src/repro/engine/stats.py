@@ -1,0 +1,285 @@
+"""Statistics layer: per-node row/byte estimates feeding the cost model.
+
+Production engines decide execution shape (broadcast vs shuffle joins,
+partition counts) from *statistics*: source sizes, selectivity heuristics and
+— at runtime — the actual sizes of completed shuffle map outputs.  This
+module supplies that layer for the logical plan IR:
+
+* :class:`StatsEstimate` — the per-node annotation (`rows`, `size_bytes`,
+  and whether the numbers were *observed* rather than guessed).
+* :class:`StatsEstimator` — walks a logical plan bottom-up and annotates
+  every node, combining three sources in decreasing order of trust:
+
+  1. **actuals** — completed shuffle map outputs (via
+     :meth:`repro.engine.shuffle.ShuffleManager.map_output_stats`) and fully
+     cached block-store datasets;
+  2. **source sampling** — in-memory collections are stride-sampled with the
+     same :func:`repro.engine.shuffle.estimate_bytes` accounting the shuffle
+     uses, so estimates and actuals are directly comparable;
+  3. **selectivity heuristics** — fixed per-operator factors (filters keep
+     half their input, aggregations one fifth, ...), the classic textbook
+     defaults.
+
+The estimator also stamps ``estimated_bytes`` onto resolvable physical
+:class:`~repro.engine.dataset.ShuffleDependency` objects, which lets the DAG
+scheduler run the cheapest pending shuffle-map stage first — exactly the
+ordering that gives adaptive re-optimization the best chance to cancel the
+expensive stages it makes redundant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import EngineConfig
+from . import dataset as physical
+from .plan import (AggregateNode, BroadcastJoinNode, CoalesceNode, CoGroupNode,
+                   DistinctNode, FilterNode, FlatMapNode, FusedNode,
+                   GroupByKeyNode, JoinNode, LogicalNode, MapNode,
+                   MapPartitionsNode, PhysicalScanNode, ProjectNode,
+                   RepartitionNode, SampleNode, SortNode, SourceNode,
+                   UnionNode)
+from .shuffle import estimate_bytes
+
+# -- selectivity heuristics (applied when no actuals are available) ----------
+
+#: Fraction of records assumed to survive a filter.
+FILTER_SELECTIVITY = 0.5
+#: Rows-out / rows-in assumed for a flat_map (neutral by default).
+FLAT_MAP_GROWTH = 1.0
+#: Byte shrink assumed for a field projection.
+PROJECT_BYTES_RATIO = 0.6
+#: Fraction of records assumed to survive de-duplication.
+DISTINCT_RATIO = 0.5
+#: Output rows / input rows assumed for per-key aggregation and grouping.
+AGGREGATE_RATIO = 0.2
+#: Serialised bytes assumed per record of an external data source.
+DEFAULT_RECORD_BYTES = 64
+
+
+def format_bytes(size: float) -> str:
+    """Render a byte count the way ``explain()`` shows it (``1.5KiB`` ...)."""
+    size = float(size)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            if unit == "B":
+                return f"{int(size)}B"
+            return f"{size:.1f}{unit}"
+        size /= 1024
+    return f"{size:.1f}GiB"  # pragma: no cover - unreachable
+
+
+@dataclass(frozen=True)
+class StatsEstimate:
+    """Estimated output of one logical operator."""
+
+    rows: float
+    size_bytes: float
+    #: True when the numbers were observed (cached blocks, completed shuffle
+    #: map outputs, in-memory collections), False for heuristic propagation.
+    exact: bool = False
+
+    def scaled(self, row_factor: float,
+               byte_factor: Optional[float] = None) -> "StatsEstimate":
+        """Derive a downstream estimate; derived numbers are never exact."""
+        if byte_factor is None:
+            byte_factor = row_factor
+        return StatsEstimate(rows=self.rows * row_factor,
+                             size_bytes=self.size_bytes * byte_factor,
+                             exact=False)
+
+    def render(self) -> str:
+        """Compact rendering used by plan labels: ``~120 rows, ~3.4KiB``."""
+        marker = "" if self.exact else "~"
+        return f"{marker}{self.rows:,.0f} rows, {marker}{format_bytes(self.size_bytes)}"
+
+
+class StatsEstimator:
+    """Annotates logical plans with :class:`StatsEstimate` per node."""
+
+    def __init__(self, config: EngineConfig, block_store=None,
+                 shuffle_manager=None, lowered_plans=None):
+        self.config = config
+        self.block_store = block_store
+        self.shuffle_manager = shuffle_manager
+        #: The context's structural-signature -> physical dataset memo; lets
+        #: the estimator resolve the physical form of *rewritten* nodes so
+        #: their completed shuffles feed back into later optimizer runs.
+        self.lowered_plans = lowered_plans if lowered_plans is not None else {}
+
+    # -- public API ---------------------------------------------------------
+
+    def annotate(self, plan: LogicalNode) -> Optional[StatsEstimate]:
+        """Annotate ``plan`` bottom-up; returns the root estimate."""
+        return self._estimate(plan)
+
+    # -- resolution helpers -------------------------------------------------
+
+    def _physical_of(self, node: LogicalNode):
+        """The physical dataset this node lowers to, when already built."""
+        if node.dataset is not None:
+            return node.dataset
+        return self.lowered_plans.get(node.signature())
+
+    def _shuffle_actual(self, node: LogicalNode) -> Optional[StatsEstimate]:
+        """Actual map-output stats of a shuffle node whose stage already ran."""
+        if self.shuffle_manager is None:
+            return None
+        ds = self._physical_of(node)
+        if not isinstance(ds, physical.ShuffledDataset):
+            return None
+        dependency = ds.shuffle_dependency
+        actual = self.shuffle_manager.map_output_stats(dependency.shuffle_id)
+        if actual is None:
+            return None
+        records, size = actual
+        return StatsEstimate(rows=float(records), size_bytes=float(size),
+                             exact=True)
+
+    def _cached_actual(self, node: LogicalNode) -> Optional[StatsEstimate]:
+        """Actual stats of a node whose physical dataset is fully cached."""
+        if self.block_store is None:
+            return None
+        ds = node.dataset
+        if ds is None or not ds.is_cached:
+            return None
+        actual = self.block_store.dataset_stats(ds.id, ds.num_partitions)
+        if actual is None:
+            return None
+        rows, size = actual
+        return StatsEstimate(rows=float(rows), size_bytes=float(size),
+                             exact=True)
+
+    def _stamp_shuffle_hint(self, node: LogicalNode,
+                            child: Optional[StatsEstimate]) -> None:
+        """Record the pre-shuffle size on the physical dependency, if any."""
+        if child is None:
+            return
+        ds = self._physical_of(node)
+        if isinstance(ds, physical.ShuffledDataset):
+            ds.shuffle_dependency.estimated_bytes = child.size_bytes
+
+    # -- estimation ---------------------------------------------------------
+
+    def _estimate(self, node: LogicalNode) -> Optional[StatsEstimate]:
+        children = [self._estimate(child) for child in node.children]
+        if isinstance(node, CoGroupNode):
+            self._override_cogroup_inputs(node, children)
+        stats = self._node_stats(node, children)
+        node.stats = stats
+        return stats
+
+    def _override_cogroup_inputs(self, node: CoGroupNode, children) -> None:
+        """Feed actual per-side map-output sizes back into a cogroup's inputs.
+
+        A cogroup shuffles each side independently; once a side's map stage
+        has run, its actual output size *is* the size of that input — the
+        signal that lets adaptive re-optimization flip a mis-estimated join
+        to broadcast mid-job.
+        """
+        if self.shuffle_manager is None:
+            return
+        ds = self._physical_of(node)
+        if not isinstance(ds, physical.CoGroupedDataset):
+            return
+        for index, dependency in enumerate(ds.dependencies):
+            actual = self.shuffle_manager.map_output_stats(dependency.shuffle_id)
+            if actual is not None:
+                records, size = actual
+                children[index] = StatsEstimate(rows=float(records),
+                                                size_bytes=float(size),
+                                                exact=True)
+                node.children[index].stats = children[index]
+            if children[index] is not None:
+                dependency.estimated_bytes = children[index].size_bytes
+
+    def _node_stats(self, node: LogicalNode,
+                    children) -> Optional[StatsEstimate]:
+        child = children[0] if children else None
+
+        if isinstance(node, (SourceNode, PhysicalScanNode)):
+            return self._leaf_stats(node)
+
+        # shuffle operators: prefer the actual map output once it exists
+        if isinstance(node, (RepartitionNode, SortNode, DistinctNode,
+                             GroupByKeyNode, AggregateNode)) and node.is_shuffle:
+            actual = self._shuffle_actual(node)
+            self._stamp_shuffle_hint(node, child)
+            if actual is not None:
+                return actual
+
+        if isinstance(node, (MapNode, CoalesceNode)):
+            return child
+        if isinstance(node, FilterNode):
+            return child.scaled(FILTER_SELECTIVITY) if child else None
+        if isinstance(node, FlatMapNode):
+            return child.scaled(FLAT_MAP_GROWTH) if child else None
+        if isinstance(node, ProjectNode):
+            return child.scaled(1.0, PROJECT_BYTES_RATIO) if child else None
+        if isinstance(node, SampleNode):
+            return child.scaled(node.fraction) if child else None
+        if isinstance(node, FusedNode):
+            return self._fused_stats(node, child)
+        if isinstance(node, MapPartitionsNode):
+            return None  # arbitrary per-partition function: unknown output
+        if isinstance(node, (RepartitionNode, SortNode)):
+            return child
+        if isinstance(node, DistinctNode):
+            return child.scaled(DISTINCT_RATIO) if child else None
+        if isinstance(node, (GroupByKeyNode, AggregateNode)):
+            return child.scaled(AGGREGATE_RATIO, AGGREGATE_RATIO) if child else None
+        if isinstance(node, CoGroupNode):
+            if any(c is None for c in children):
+                return None
+            return StatsEstimate(
+                rows=max(c.rows for c in children),
+                size_bytes=sum(c.size_bytes for c in children))
+        if isinstance(node, JoinNode):
+            return child
+        if isinstance(node, BroadcastJoinNode):
+            if any(c is None for c in children):
+                return None
+            stream = children[0] if node.broadcast_side == "right" else children[1]
+            return StatsEstimate(rows=stream.rows,
+                                 size_bytes=sum(c.size_bytes for c in children))
+        if isinstance(node, UnionNode):
+            if any(c is None for c in children):
+                return None
+            return StatsEstimate(rows=sum(c.rows for c in children),
+                                 size_bytes=sum(c.size_bytes for c in children))
+        return None
+
+    def _fused_stats(self, node: FusedNode,
+                     child: Optional[StatsEstimate]) -> Optional[StatsEstimate]:
+        if child is None:
+            return None
+        stats = child
+        for stage in node.stages:
+            if isinstance(stage, FilterNode):
+                stats = stats.scaled(FILTER_SELECTIVITY)
+            elif isinstance(stage, FlatMapNode):
+                stats = stats.scaled(FLAT_MAP_GROWTH)
+            elif isinstance(stage, ProjectNode):
+                stats = stats.scaled(1.0, PROJECT_BYTES_RATIO)
+        return stats
+
+    def _leaf_stats(self, node: LogicalNode) -> Optional[StatsEstimate]:
+        cached = self._cached_actual(node)
+        if cached is not None:
+            return cached
+        ds = node.dataset
+        if ds is None:
+            return None
+        data = getattr(ds, "_data", None)
+        if data is not None:
+            return StatsEstimate(
+                rows=float(len(data)),
+                size_bytes=float(estimate_bytes(
+                    data, self.config.shuffle_compression)),
+                exact=True)
+        size_hint = getattr(ds, "_size_hint", None)
+        if size_hint is not None:
+            return StatsEstimate(rows=float(size_hint),
+                                 size_bytes=float(size_hint) * DEFAULT_RECORD_BYTES)
+        return None

@@ -87,6 +87,24 @@ class BlockStore:
             return all((dataset_id, partition) in self._blocks
                        for partition in range(num_partitions))
 
+    def dataset_stats(self, dataset_id: int,
+                      num_partitions: int) -> Optional[Tuple[int, int]]:
+        """Actual ``(rows, bytes)`` of a fully cached dataset, else ``None``.
+
+        Used by the statistics layer: a materialised cache is an exact source
+        of row and byte counts, better than any plan-time estimate.
+        """
+        with self._lock:
+            rows = 0
+            size = 0
+            for partition in range(num_partitions):
+                key = (dataset_id, partition)
+                if key not in self._blocks:
+                    return None
+                rows += len(self._blocks[key])
+                size += self._sizes[key]
+            return rows, size
+
     # -- management -------------------------------------------------------------
 
     def evict_dataset(self, dataset_id: int) -> int:

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
-from repro.config import KNOWN_OPTIMIZER_RULES
+import pytest
+
+from repro.config import KNOWN_OPTIMIZER_RULES, EngineConfig
 from repro.core.compiler import CampaignCompiler
+from repro.errors import ConfigurationError
 
 
 def _spec(**deployment):
@@ -55,6 +58,45 @@ class TestOptimizerHints:
         spec["source"]["batch_size"] = 250
         campaign = CampaignCompiler().compile(spec)
         assert campaign.deployment.optimizer_hints["micro_batch_records"] == 250
+
+    def test_default_cost_model_thresholds(self):
+        campaign = CampaignCompiler().compile(_spec(num_partitions=4))
+        config = campaign.deployment.engine_config
+        assert config.broadcast_threshold_bytes == \
+            EngineConfig.broadcast_threshold_bytes
+        assert config.target_partition_bytes == 0
+        assert config.adaptive_enabled is True
+        hints = campaign.deployment.optimizer_hints
+        assert hints["broadcast_threshold_bytes"] == \
+            config.broadcast_threshold_bytes
+        assert hints["target_partition_bytes"] == 0
+        assert hints["adaptive"] is True
+
+    def test_cost_model_thresholds_from_spec(self):
+        campaign = CampaignCompiler().compile(
+            _spec(num_partitions=4, broadcast_threshold_bytes=123_456,
+                  target_partition_bytes=65_536, adaptive=False))
+        config = campaign.deployment.engine_config
+        assert config.broadcast_threshold_bytes == 123_456
+        assert config.target_partition_bytes == 65_536
+        assert config.adaptive_enabled is False
+        hints = campaign.deployment.optimizer_hints
+        assert hints["broadcast_threshold_bytes"] == 123_456
+        assert hints["target_partition_bytes"] == 65_536
+        assert hints["adaptive"] is False
+
+    def test_negative_thresholds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignCompiler().compile(
+                _spec(num_partitions=4, broadcast_threshold_bytes=-1))
+        with pytest.raises(ConfigurationError):
+            CampaignCompiler().compile(
+                _spec(num_partitions=4, target_partition_bytes=-5))
+
+    def test_broadcast_threshold_shown_in_describe(self):
+        campaign = CampaignCompiler().compile(
+            _spec(num_partitions=4, broadcast_threshold_bytes=2048))
+        assert "broadcast threshold: 2048 bytes" in campaign.deployment.describe()
 
     def test_hints_serialised_in_as_dict(self):
         campaign = CampaignCompiler().compile(_spec(num_partitions=4))

@@ -25,12 +25,24 @@ class TestStages:
         assert len(shuffle_stages) == 1
         assert shuffle_stages[0].num_tasks == 4
 
-    def test_join_runs_two_shuffle_stages(self, engine):
+    def test_join_runs_two_shuffle_stages(self):
+        # pin the shuffle-cogroup strategy: a tiny side would otherwise be
+        # broadcast (see test_broadcast_join.py for that path)
+        config = EngineConfig(num_workers=2, default_parallelism=4, seed=1,
+                              broadcast_threshold_bytes=0)
+        with EngineContext(config) as engine:
+            left = engine.parallelize([(1, "a")], 2)
+            right = engine.parallelize([(1, "b")], 2)
+            left.join(right).collect()
+            job = engine.metrics.jobs[-1]
+            assert sum(1 for s in job.stages if s.is_shuffle_map) == 2
+
+    def test_small_join_broadcasts_by_default(self, engine):
         left = engine.parallelize([(1, "a")], 2)
         right = engine.parallelize([(1, "b")], 2)
-        left.join(right).collect()
+        assert left.join(right).collect() == [(1, ("a", "b"))]
         job = engine.metrics.jobs[-1]
-        assert sum(1 for s in job.stages if s.is_shuffle_map) == 2
+        assert sum(1 for s in job.stages if s.is_shuffle_map) == 0
 
     def test_shuffle_output_reused_across_jobs(self, engine):
         reduced = engine.range(40, num_partitions=4).map(lambda x: (x % 4, x)) \
