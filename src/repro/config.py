@@ -70,6 +70,13 @@ class EngineConfig:
         Re-run the cost-based optimizer rules between shuffle-map stages,
         feeding actual map-output sizes back into the plan so mis-estimated
         joins still switch to broadcast (and shuffles coalesce) at runtime.
+    batch_size:
+        Number of records per batch in vectorized (batch-at-a-time)
+        execution.  Tasks drain ``Dataset.batch_iterator`` and the narrow
+        operators process whole record lists per call instead of resuming a
+        generator per record; results and record/byte metrics are identical
+        to record-at-a-time execution for every batch size.  ``0`` disables
+        batching entirely and tasks fall back to the per-record iterators.
     """
 
     num_workers: int = 4
@@ -83,6 +90,7 @@ class EngineConfig:
     broadcast_threshold_bytes: int = 10 * 1024 * 1024
     target_partition_bytes: int = 0
     adaptive_enabled: bool = True
+    batch_size: int = 1024
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -99,6 +107,9 @@ class EngineConfig:
             raise ConfigurationError("broadcast_threshold_bytes must be >= 0")
         if self.target_partition_bytes < 0:
             raise ConfigurationError("target_partition_bytes must be >= 0")
+        if self.batch_size < 0:
+            raise ConfigurationError(
+                "batch_size must be >= 0 (0 disables batch execution)")
         if isinstance(self.optimizer_rules, str):
             # tuple("pushdown") would explode into characters and produce a
             # baffling unknown-rules error; demand a proper sequence instead

@@ -320,6 +320,7 @@ class ProceduralToDeployment:
             "broadcast_threshold_bytes": engine_config.broadcast_threshold_bytes,
             "target_partition_bytes": engine_config.target_partition_bytes,
             "adaptive": engine_config.adaptive_enabled,
+            "batch_size": engine_config.batch_size,
         }
         return DeploymentModel(
             procedural=procedural,
@@ -353,11 +354,13 @@ class ProceduralToDeployment:
 
     @staticmethod
     def _cost_model_overrides(preferences: Dict[str, Any]) -> Dict[str, Any]:
-        """Cost-model knobs of the engine's statistics layer.
+        """Cost-model and execution knobs of the engine's physical layer.
 
         ``broadcast_threshold_bytes`` bounds the build side of a broadcast
         join, ``target_partition_bytes`` turns on post-shuffle partition
-        coalescing, ``adaptive`` toggles mid-job re-optimization.  Values are
+        coalescing, ``adaptive`` toggles mid-job re-optimization, and
+        ``batch_size`` tunes vectorized batch execution per campaign
+        (``0`` falls back to record-at-a-time iterators).  Values are
         validated by ``EngineConfig.__post_init__``; only knobs the campaign
         actually sets are overridden, so engine defaults stay in one place.
         """
@@ -370,6 +373,8 @@ class ProceduralToDeployment:
                 int(preferences["target_partition_bytes"])
         if "adaptive" in preferences:
             overrides["adaptive_enabled"] = bool(preferences["adaptive"])
+        if "batch_size" in preferences:
+            overrides["batch_size"] = int(preferences["batch_size"])
         return overrides
 
     @staticmethod

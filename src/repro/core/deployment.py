@@ -82,6 +82,12 @@ class DeploymentModel:
             if threshold:
                 lines.append(f"  broadcast threshold: {threshold} bytes"
                              f" (adaptive={'on' if self.optimizer_hints.get('adaptive') else 'off'})")
+            engine_batch = self.optimizer_hints.get("batch_size")
+            if engine_batch is not None:
+                lines.append(
+                    "  vectorized execution: "
+                    + (f"{engine_batch}-record batches" if engine_batch
+                       else "off (record-at-a-time)"))
         lines.extend(["", self.procedural.describe()])
         return "\n".join(lines)
 

@@ -242,6 +242,7 @@ class EngineContext:
         if self._stopped:
             return
         self._stopped = True
+        self.scheduler.executor.shutdown()
         self.shuffle_manager.clear()
         self.block_store.clear()
         self._lowered_plans.clear()

@@ -26,37 +26,136 @@ from .partitioner import HashPartitioner, Partitioner, RangePartitioner, RoundRo
 
 
 # ---------------------------------------------------------------------------
+# Batch plumbing
+#
+# Vectorized execution moves records through the physical layer as plain
+# Python lists of ~``EngineConfig.batch_size`` records.  Operators with a
+# native batch kernel override ``Dataset.compute_batches``; everything else
+# falls back to chunking its record-at-a-time ``compute``.
+# ---------------------------------------------------------------------------
+
+
+def chunk_list(records: List[Any], batch_size: int) -> Iterator[List[Any]]:
+    """Slice an in-memory list into batches of at most ``batch_size``."""
+    for start in range(0, len(records), batch_size):
+        yield records[start:start + batch_size]
+
+
+def chunk_iterator(iterator: Iterator[Any], batch_size: int) -> Iterator[List[Any]]:
+    """Drain any iterable into batches of at most ``batch_size``."""
+    iterator = iter(iterator)
+    while True:
+        batch = list(itertools.islice(iterator, batch_size))
+        if not batch:
+            return
+        yield batch
+
+
+# Action partition functions, like the map-side bucketers, carry a
+# ``process_batches`` companion so result tasks in batch mode never unroll
+# batches back into a per-record iterator for the hottest actions.
+
+
+def collect_partition(iterator: Iterator[Any]) -> List[Any]:
+    """Result-side of ``collect``: materialise the partition."""
+    return list(iterator)
+
+
+def _collect_batches(batches: Iterable[List[Any]]) -> List[Any]:
+    records: List[Any] = []
+    extend = records.extend
+    for batch in batches:
+        extend(batch)
+    return records
+
+
+collect_partition.process_batches = _collect_batches
+
+
+def count_partition(iterator: Iterator[Any]) -> int:
+    """Result-side of ``count``: tally the partition's records."""
+    return sum(1 for _ in iterator)
+
+
+def _count_batches(batches: Iterable[List[Any]]) -> int:
+    return sum(map(len, batches))
+
+
+count_partition.process_batches = _count_batches
+
+
+# ---------------------------------------------------------------------------
 # Shuffle building blocks
 #
 # These module-level factories build the map-side and reduce-side functions of
 # every wide transformation.  They are shared between the Dataset API (which
 # records the *unoptimized* physical form) and the plan optimizer's lowering
 # (which may pick a different physical form, e.g. map-side combining).
+#
+# Every map-side function carries a ``process_batches`` attribute: the batch
+# analogue consuming an iterable of record lists.  It produces byte-identical
+# buckets (same records, same order) so shuffle contents and byte accounting
+# do not depend on the execution mode or batch size.
 # ---------------------------------------------------------------------------
 
 
 def record_bucketer(partitioner: Partitioner):
     """Map side: bucket whole records by ``partitioner`` (repartition, sort)."""
+    partition_for = partitioner.partition_for
+
     def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
         buckets: Dict[int, List[Any]] = {}
+        setdefault = buckets.setdefault
         for record in iterator:
-            buckets.setdefault(partitioner.partition_for(record), []).append(record)
+            setdefault(partition_for(record), []).append(record)
         return buckets
+
+    def process_batches(batches: Iterable[List[Any]]) -> Dict[int, List[Any]]:
+        buckets: Dict[int, List[Any]] = {}
+        setdefault = buckets.setdefault
+        for batch in batches:
+            for record in batch:
+                setdefault(partition_for(record), []).append(record)
+        return buckets
+
+    map_side.process_batches = process_batches
     return map_side
 
 
 def key_bucketer(partitioner: Partitioner):
     """Map side: bucket ``(key, value)`` pairs by key, without combining."""
+    partition_for = partitioner.partition_for
+
     def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
         buckets: Dict[int, List[Any]] = {}
+        setdefault = buckets.setdefault
         for key, value in iterator:
-            buckets.setdefault(partitioner.partition_for(key), []).append((key, value))
+            setdefault(partition_for(key), []).append((key, value))
         return buckets
+
+    def process_batches(batches: Iterable[List[Any]]) -> Dict[int, List[Any]]:
+        buckets: Dict[int, List[Any]] = {}
+        setdefault = buckets.setdefault
+        for batch in batches:
+            for key, value in batch:
+                setdefault(partition_for(key), []).append((key, value))
+        return buckets
+
+    map_side.process_batches = process_batches
     return map_side
 
 
 def combining_map_side(create_combiner, merge_value, partitioner: Partitioner):
     """Map side with per-key pre-aggregation (inserted by the optimizer)."""
+    partition_for = partitioner.partition_for
+
+    def bucket_combined(combined: Dict[Any, Any]) -> Dict[int, List[Any]]:
+        buckets: Dict[int, List[Any]] = {}
+        setdefault = buckets.setdefault
+        for key, combiner in combined.items():
+            setdefault(partition_for(key), []).append((key, combiner))
+        return buckets
+
     def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
         combined: Dict[Any, Any] = {}
         for key, value in iterator:
@@ -64,10 +163,19 @@ def combining_map_side(create_combiner, merge_value, partitioner: Partitioner):
                 combined[key] = merge_value(combined[key], value)
             else:
                 combined[key] = create_combiner(value)
-        buckets: Dict[int, List[Any]] = {}
-        for key, combiner in combined.items():
-            buckets.setdefault(partitioner.partition_for(key), []).append((key, combiner))
-        return buckets
+        return bucket_combined(combined)
+
+    def process_batches(batches: Iterable[List[Any]]) -> Dict[int, List[Any]]:
+        combined: Dict[Any, Any] = {}
+        for batch in batches:
+            for key, value in batch:
+                if key in combined:
+                    combined[key] = merge_value(combined[key], value)
+                else:
+                    combined[key] = create_combiner(value)
+        return bucket_combined(combined)
+
+    map_side.process_batches = process_batches
     return map_side
 
 
@@ -120,15 +228,32 @@ local_group = group_reduce
 
 def distinct_map_side(partitioner: Partitioner):
     """Map side of ``distinct``: de-duplicate locally, bucket by record."""
+    partition_for = partitioner.partition_for
+
     def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
         buckets: Dict[int, List[Any]] = {}
+        setdefault = buckets.setdefault
         seen = set()
         for record in iterator:
             if record in seen:
                 continue
             seen.add(record)
-            buckets.setdefault(partitioner.partition_for(record), []).append(record)
+            setdefault(partition_for(record), []).append(record)
         return buckets
+
+    def process_batches(batches: Iterable[List[Any]]) -> Dict[int, List[Any]]:
+        buckets: Dict[int, List[Any]] = {}
+        setdefault = buckets.setdefault
+        seen = set()
+        for batch in batches:
+            for record in batch:
+                if record in seen:
+                    continue
+                seen.add(record)
+                setdefault(partition_for(record), []).append(record)
+        return buckets
+
+    map_side.process_batches = process_batches
     return map_side
 
 
@@ -170,6 +295,8 @@ class TaskContext:
         self.shuffle_bytes_read = 0
         self.shuffle_bytes_written = 0
         self.cache_hits = 0
+        #: Batches drained by the task (0 under record-at-a-time execution).
+        self.batches_processed = 0
 
 
 # ---------------------------------------------------------------------------
@@ -315,6 +442,42 @@ class Dataset:
             return iter(records)
         return self.compute(partition, task_context)
 
+    def compute_batches(self, partition: int, task_context: TaskContext,
+                        batch_size: int) -> Iterator[List[Any]]:
+        """Compute one partition as batches of at most ``batch_size`` records.
+
+        The base implementation chunks the record-at-a-time :meth:`compute`,
+        so any operator works in batch mode; operators on the hot path
+        override this with a native kernel that processes whole lists per
+        call (and pulls its parent through :meth:`batch_iterator`, keeping
+        the batch pipeline unbroken).
+        """
+        return chunk_iterator(self.compute(partition, task_context), batch_size)
+
+    def batch_iterator(self, partition: int,
+                       task_context: TaskContext) -> Iterator[List[Any]]:
+        """Batch analogue of :meth:`iterator`: honours the cache.
+
+        Yields the same records in the same order as :meth:`iterator`, in
+        lists of at most ``EngineConfig.batch_size`` records, with identical
+        record/byte metric accounting (counted once per batch or cached
+        block instead of once per record).
+        """
+        batch_size = max(1, self.ctx.config.batch_size)
+        if self.is_cached:
+            cached = self.ctx.block_store.get(self.id, partition)
+            if cached is not None:
+                task_context.cache_hits += 1
+                task_context.records_read += len(cached)
+                return chunk_list(cached, batch_size)
+            records: List[Any] = []
+            for batch in self.compute_batches(partition, task_context, batch_size):
+                records.extend(batch)
+            self.ctx.block_store.put(self.id, partition, records)
+            task_context.records_written += len(records)
+            return chunk_list(records, batch_size)
+        return self.compute_batches(partition, task_context, batch_size)
+
     @property
     def parents(self) -> List["Dataset"]:
         """The parent datasets this dataset is derived from."""
@@ -434,7 +597,7 @@ class Dataset:
         must not shift records between partitions under the offsets.
         """
         pinned = self.ctx._executable_for(self)
-        sizes = self.ctx.run_job(self, lambda it: sum(1 for _ in it),
+        sizes = self.ctx.run_job(self, count_partition,
                                  description=f"zip_with_index sizes of {self.name}")
         offsets = [0]
         for size in sizes[:-1]:
@@ -643,7 +806,8 @@ class Dataset:
 
     def collect(self) -> List[Any]:
         """Return every record as a local list."""
-        partitions = self.ctx.run_job(self, list, description=f"collect {self.name}")
+        partitions = self.ctx.run_job(self, collect_partition,
+                                      description=f"collect {self.name}")
         return list(itertools.chain.from_iterable(partitions))
 
     def collect_as_map(self) -> Dict[Any, Any]:
@@ -652,7 +816,7 @@ class Dataset:
 
     def count(self) -> int:
         """Return the number of records."""
-        partitions = self.ctx.run_job(self, lambda it: sum(1 for _ in it),
+        partitions = self.ctx.run_job(self, count_partition,
                                       description=f"count {self.name}")
         return sum(partitions)
 
@@ -882,6 +1046,16 @@ class ParallelCollectionDataset(Dataset):
             task_context.records_read += 1
             yield record
 
+    def compute_batches(self, partition: int, task_context: TaskContext,
+                        batch_size: int) -> Iterator[List[Any]]:
+        total = len(self._data)
+        start = (partition * total) // self.num_partitions
+        end = ((partition + 1) * total) // self.num_partitions
+        for low in range(start, end, batch_size):
+            batch = self._data[low:min(low + batch_size, end)]
+            task_context.records_read += len(batch)
+            yield batch
+
 
 class SourceDataset(Dataset):
     """A dataset backed by a :class:`repro.data.sources.DataSource`."""
@@ -896,6 +1070,13 @@ class SourceDataset(Dataset):
             task_context.records_read += 1
             yield record
 
+    def compute_batches(self, partition: int, task_context: TaskContext,
+                        batch_size: int) -> Iterator[List[Any]]:
+        reader = self._source.read_partition(partition, self.num_partitions)
+        for batch in chunk_iterator(reader, batch_size):
+            task_context.records_read += len(batch)
+            yield batch
+
 
 class MappedDataset(Dataset):
     """Result of :meth:`Dataset.map`."""
@@ -909,6 +1090,13 @@ class MappedDataset(Dataset):
         parent = self.dependencies[0].parent
         return map(self._func, parent.iterator(partition, task_context))
 
+    def compute_batches(self, partition: int, task_context: TaskContext,
+                        batch_size: int) -> Iterator[List[Any]]:
+        func = self._func
+        parent = self.dependencies[0].parent
+        for batch in parent.batch_iterator(partition, task_context):
+            yield list(map(func, batch))
+
 
 class FilteredDataset(Dataset):
     """Result of :meth:`Dataset.filter`."""
@@ -921,6 +1109,15 @@ class FilteredDataset(Dataset):
     def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
         parent = self.dependencies[0].parent
         return filter(self._predicate, parent.iterator(partition, task_context))
+
+    def compute_batches(self, partition: int, task_context: TaskContext,
+                        batch_size: int) -> Iterator[List[Any]]:
+        predicate = self._predicate
+        parent = self.dependencies[0].parent
+        for batch in parent.batch_iterator(partition, task_context):
+            kept = list(filter(predicate, batch))
+            if kept:
+                yield kept
 
 
 class FlatMappedDataset(Dataset):
@@ -936,6 +1133,17 @@ class FlatMappedDataset(Dataset):
         for record in parent.iterator(partition, task_context):
             for produced in self._func(record):
                 yield produced
+
+    def compute_batches(self, partition: int, task_context: TaskContext,
+                        batch_size: int) -> Iterator[List[Any]]:
+        # expansion is streamed at C level and re-chunked: materialising a
+        # whole input batch's expansion in one list trashes allocator
+        # locality when records fan out (e.g. join emission after cogroup)
+        parent = self.dependencies[0].parent
+        records = itertools.chain.from_iterable(
+            map(self._func, itertools.chain.from_iterable(
+                parent.batch_iterator(partition, task_context))))
+        return chunk_iterator(records, batch_size)
 
 
 class MapPartitionsDataset(Dataset):
@@ -991,6 +1199,37 @@ class FusedDataset(Dataset):
                 iterator = itertools.chain.from_iterable(map(func, iterator))
         return iterator
 
+    def compute_batches(self, partition: int, task_context: TaskContext,
+                        batch_size: int) -> Iterator[List[Any]]:
+        parent = self.dependencies[0].parent
+        stages = self._stages
+        if any(kind == "flat_map" for kind, _ in stages):
+            # expansions stream at C level and re-chunk (see
+            # FlatMappedDataset.compute_batches); the parent still feeds
+            # the chain batch-at-a-time
+            iterator: Iterator[Any] = itertools.chain.from_iterable(
+                parent.batch_iterator(partition, task_context))
+            for kind, func in stages:
+                if kind in ("map", "project"):
+                    iterator = map(func, iterator)
+                elif kind == "filter":
+                    iterator = filter(func, iterator)
+                else:  # flat_map
+                    iterator = itertools.chain.from_iterable(map(func, iterator))
+            yield from chunk_iterator(iterator, batch_size)
+            return
+        # the whole fused chain is composed into one C-level map/filter
+        # pipeline evaluated per batch: a single output list per batch, no
+        # intermediate lists, no per-record generator resumptions
+        for batch in parent.batch_iterator(partition, task_context):
+            chain: Any = batch
+            for kind, func in stages:
+                chain = filter(func, chain) if kind == "filter" \
+                    else map(func, chain)
+            produced = list(chain)
+            if produced:
+                yield produced
+
 
 class UnionDataset(Dataset):
     """Concatenation of several datasets."""
@@ -1011,6 +1250,11 @@ class UnionDataset(Dataset):
         parent, parent_partition = self._offsets[partition]
         return parent.iterator(parent_partition, task_context)
 
+    def compute_batches(self, partition: int, task_context: TaskContext,
+                        batch_size: int) -> Iterator[List[Any]]:
+        parent, parent_partition = self._offsets[partition]
+        return parent.batch_iterator(parent_partition, task_context)
+
 
 class SampleDataset(Dataset):
     """Bernoulli sample of a parent dataset."""
@@ -1028,6 +1272,18 @@ class SampleDataset(Dataset):
             if rng.random() < self._fraction:
                 yield record
 
+    def compute_batches(self, partition: int, task_context: TaskContext,
+                        batch_size: int) -> Iterator[List[Any]]:
+        # one rng.random() call per record in partition order, exactly like
+        # compute(), so both modes keep the same records for a given seed
+        parent = self.dependencies[0].parent
+        rand = random.Random(f"{self._seed}:{partition}").random
+        fraction = self._fraction
+        for batch in parent.batch_iterator(partition, task_context):
+            kept = [record for record in batch if rand() < fraction]
+            if kept:
+                yield kept
+
 
 class CoalescedDataset(Dataset):
     """Merge parent partitions into fewer child partitions without a shuffle."""
@@ -1044,6 +1300,13 @@ class CoalescedDataset(Dataset):
         for parent_partition in self._groups[partition]:
             for record in parent.iterator(parent_partition, task_context):
                 yield record
+
+    def compute_batches(self, partition: int, task_context: TaskContext,
+                        batch_size: int) -> Iterator[List[Any]]:
+        parent = self.dependencies[0].parent
+        for parent_partition in self._groups[partition]:
+            for batch in parent.batch_iterator(parent_partition, task_context):
+                yield batch
 
 
 # ---------------------------------------------------------------------------
@@ -1078,6 +1341,19 @@ class ShuffledDataset(Dataset):
             return iter(records)
         return iter(self._reduce_side(records))
 
+    def compute_batches(self, partition: int, task_context: TaskContext,
+                        batch_size: int) -> Iterator[List[Any]]:
+        dependency = self.shuffle_dependency
+        records, size = self.ctx.shuffle_manager.read_reduce_input(
+            dependency.shuffle_id, partition)
+        task_context.shuffle_bytes_read += size
+        if self._reduce_side is not None:
+            reduced = self._reduce_side(records)
+            if isinstance(reduced, list):
+                return chunk_list(reduced, batch_size)
+            return chunk_iterator(reduced, batch_size)
+        return chunk_list(records, batch_size)
+
 
 class CoGroupedDataset(Dataset):
     """Shuffle-based cogroup of two key-value datasets."""
@@ -1085,13 +1361,25 @@ class CoGroupedDataset(Dataset):
     def __init__(self, left: Dataset, right: Dataset, partitioner: Partitioner):
         ctx = left.ctx
 
+        partition_for = partitioner.partition_for
+
         def tagged_map_side(tag: int) -> Callable[[Iterator[Any]], Dict[int, List[Any]]]:
             def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
                 buckets: Dict[int, List[Any]] = {}
+                setdefault = buckets.setdefault
                 for key, value in iterator:
-                    buckets.setdefault(partitioner.partition_for(key), []).append(
-                        (key, tag, value))
+                    setdefault(partition_for(key), []).append((key, tag, value))
                 return buckets
+
+            def process_batches(batches) -> Dict[int, List[Any]]:
+                buckets: Dict[int, List[Any]] = {}
+                setdefault = buckets.setdefault
+                for batch in batches:
+                    for key, value in batch:
+                        setdefault(partition_for(key), []).append((key, tag, value))
+                return buckets
+
+            map_side.process_batches = process_batches
             return map_side
 
         left_dep = ShuffleDependency(left, partitioner, tagged_map_side(0),
@@ -1202,3 +1490,35 @@ class BroadcastJoinDataset(Dataset):
             pair = self._pair(key, [], values)
             for produced in self._emit(pair):
                 yield produced
+
+    def compute_batches(self, partition: int, task_context: TaskContext,
+                        batch_size: int) -> Iterator[List[Any]]:
+        stream = self._stream
+        if partition >= stream.num_partitions:
+            # the unmatched-build partition is bounded by the (small)
+            # broadcast build side: chunking the record path is enough
+            yield from chunk_iterator(
+                self.compute(partition, task_context), batch_size)
+            return
+        if not self._build_holder.ready:
+            raise PlanError(
+                f"broadcast input of {self.name} was not prepared; "
+                "broadcast joins must run through the DAG scheduler")
+        # same grouping as compute(), fed by the stream's batch pipeline;
+        # grouped insertion order is first-appearance order in both modes
+        grouped: Dict[Any, List[Any]] = {}
+        setdefault = grouped.setdefault
+        for batch in stream.batch_iterator(partition, task_context):
+            for key, value in batch:
+                setdefault(key, []).append(value)
+        build_map: Dict[Any, List[Any]] = self._build_holder.value
+        produced: List[Any] = []
+        extend = produced.extend
+        for key, values in grouped.items():
+            extend(self._emit(self._pair(key, values, build_map.get(key, []))))
+            if len(produced) >= batch_size:
+                yield produced
+                produced = []
+                extend = produced.extend
+        if produced:
+            yield produced

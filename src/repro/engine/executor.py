@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, wait
 from typing import Any, List, Sequence, Tuple
 
 from ..config import EngineConfig
@@ -48,13 +48,36 @@ class TaskResult:
 
 
 class Executor:
-    """Runs tasks on a thread pool, honouring retries and fault injection."""
+    """Runs tasks on a thread pool, honouring retries and fault injection.
+
+    The worker pool is created lazily on the first multi-task stage and then
+    lives for the executor's lifetime — stages no longer pay thread spawn and
+    join costs.  :meth:`shutdown` (called by ``EngineContext.stop``) releases
+    the threads.
+    """
 
     def __init__(self, config: EngineConfig):
         self.config = config
         # StageMetrics.add_task mutates unguarded aggregate fields; pool
         # workers finish concurrently, so all mutation goes through this lock
         self._metrics_lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def _get_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.config.num_workers,
+                    thread_name_prefix="repro-worker")
+            return self._pool
+
+    def shutdown(self) -> None:
+        """Release the persistent worker pool (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def _should_inject_failure(self, task: Task, attempt: int) -> bool:
         if self.config.failure_rate <= 0.0:
@@ -87,6 +110,7 @@ class Executor:
             metrics.shuffle_bytes_read = task_context.shuffle_bytes_read
             metrics.shuffle_bytes_written = task_context.shuffle_bytes_written
             metrics.cache_hits = task_context.cache_hits
+            metrics.batches_processed = task_context.batches_processed
             with self._metrics_lock:
                 stage.add_task(metrics)
             return TaskResult(task, value, metrics)
@@ -96,18 +120,35 @@ class Executor:
             task_id=task.task_id, cause=last_error)
 
     def execute_stage(self, tasks: Sequence[Task], stage: StageMetrics) -> List[TaskResult]:
-        """Run every task of a stage and return results in task order."""
+        """Run every task of a stage and return results in task order.
+
+        Single-task stages short-circuit the pool and run inline; every
+        other stage goes through the persistent pool (a one-worker pool
+        executes tasks sequentially in submission order, so ``num_workers=1``
+        stays deterministic).  ``stage.wall_clock_s`` is recorded identically
+        on both paths.
+        """
         started = time.perf_counter()
         results: List[Tuple[int, TaskResult]] = []
-        if self.config.num_workers <= 1 or len(tasks) <= 1:
+        if len(tasks) <= 1:
             for index, task in enumerate(tasks):
                 results.append((index, self._run_one(task, stage)))
         else:
-            with ThreadPoolExecutor(max_workers=self.config.num_workers) as pool:
-                futures = [(index, pool.submit(self._run_one, task, stage))
-                           for index, task in enumerate(tasks)]
+            pool = self._get_pool()
+            futures = [(index, pool.submit(self._run_one, task, stage))
+                       for index, task in enumerate(tasks)]
+            try:
                 for index, future in futures:
                     results.append((index, future.result()))
+            except BaseException:
+                # the pool outlives the stage, so a failed stage must not
+                # leak stragglers into it: cancel what has not started and
+                # join what has, restoring the all-tasks-settled guarantee
+                # the per-stage pool's shutdown used to provide
+                for _, future in futures:
+                    future.cancel()
+                wait([future for _, future in futures])
+                raise
         stage.wall_clock_s = time.perf_counter() - started
         results.sort(key=lambda pair: pair[0])
         return [result for _, result in results]

@@ -27,6 +27,9 @@ class TaskMetrics:
     shuffle_bytes_written: int = 0
     shuffle_bytes_read: int = 0
     cache_hits: int = 0
+    #: Batches the task drained under vectorized execution (0 when the
+    #: engine runs record-at-a-time); record/byte counts are mode-invariant.
+    batches_processed: int = 0
     failed: bool = False
 
     def as_dict(self) -> Dict[str, float]:
@@ -42,6 +45,7 @@ class TaskMetrics:
             "shuffle_bytes_written": self.shuffle_bytes_written,
             "shuffle_bytes_read": self.shuffle_bytes_read,
             "cache_hits": self.cache_hits,
+            "batches_processed": self.batches_processed,
             "failed": self.failed,
         }
 
@@ -62,6 +66,7 @@ class StageMetrics:
     shuffle_bytes_written: int = 0
     shuffle_bytes_read: int = 0
     cache_hits: int = 0
+    batches_processed: int = 0
     tasks: List[TaskMetrics] = field(default_factory=list)
 
     def add_task(self, task: TaskMetrics) -> None:
@@ -76,6 +81,7 @@ class StageMetrics:
         self.shuffle_bytes_written += task.shuffle_bytes_written
         self.shuffle_bytes_read += task.shuffle_bytes_read
         self.cache_hits += task.cache_hits
+        self.batches_processed += task.batches_processed
 
     @property
     def max_task_duration_s(self) -> float:
@@ -98,6 +104,7 @@ class StageMetrics:
             "shuffle_bytes_written": self.shuffle_bytes_written,
             "shuffle_bytes_read": self.shuffle_bytes_read,
             "cache_hits": self.cache_hits,
+            "batches_processed": self.batches_processed,
         }
 
 
@@ -170,6 +177,11 @@ class JobMetrics:
         """Number of partitions served from the cache."""
         return sum(s.cache_hits for s in self.stages)
 
+    @property
+    def batches_processed(self) -> int:
+        """Batches drained by the job's tasks (0 in record-at-a-time mode)."""
+        return sum(s.batches_processed for s in self.stages)
+
     def as_dict(self) -> Dict[str, float]:
         """Return a flat dictionary summary, the unit of run comparison."""
         return {
@@ -184,6 +196,7 @@ class JobMetrics:
             "records_written": self.records_written,
             "shuffle_bytes": self.shuffle_bytes,
             "cache_hits": self.cache_hits,
+            "batches_processed": self.batches_processed,
             "adaptive_replans": self.adaptive_replans,
         }
 
@@ -206,6 +219,7 @@ def merge_job_metrics(jobs: Iterable[JobMetrics]) -> Dict[str, float]:
         "records_written": sum(j.records_written for j in jobs),
         "shuffle_bytes": sum(j.shuffle_bytes for j in jobs),
         "cache_hits": sum(j.cache_hits for j in jobs),
+        "batches_processed": sum(j.batches_processed for j in jobs),
         "adaptive_replans": sum(j.adaptive_replans for j in jobs),
     }
     return summary

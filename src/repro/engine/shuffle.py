@@ -60,6 +60,10 @@ class ShuffleManager:
     def __init__(self, compression: bool = True):
         self._lock = threading.Lock()
         self._buckets: Dict[Tuple[int, int, int], List[Any]] = {}
+        #: Per-bucket byte estimates, measured once on the map side; the
+        #: reduce side sums these instead of re-sampling and re-pickling the
+        #: very data the map side already measured.
+        self._bucket_bytes: Dict[Tuple[int, int, int], int] = {}
         self._completed_maps: Dict[int, set] = {}
         self._expected_maps: Dict[int, int] = {}
         self._bytes_written: Dict[int, int] = {}
@@ -78,17 +82,32 @@ class ShuffleManager:
 
     def write_map_output(self, shuffle_id: int, map_partition: int,
                          buckets: Dict[int, List[Any]]) -> int:
-        """Store the buckets produced by one map task; return bytes written."""
-        written = 0
-        records_out = 0
+        """Store the buckets produced by one map task; return bytes written.
+
+        Bucket copies and byte estimation (which pickles a sample of every
+        bucket) happen *outside* the global lock so concurrent map tasks
+        never serialise behind each other; the lock only guards the final
+        dictionary swap-in and counter updates.
+        """
         with self._lock:
             if shuffle_id not in self._expected_maps:
                 raise ShuffleError(f"shuffle {shuffle_id} was never registered")
-            for reduce_partition, records in buckets.items():
-                key = (shuffle_id, map_partition, reduce_partition)
-                self._buckets[key] = list(records)
-                written += estimate_bytes(records, self.compression)
-                records_out += len(records)
+        staged: List[Tuple[Tuple[int, int, int], List[Any], int]] = []
+        written = 0
+        records_out = 0
+        for reduce_partition, records in buckets.items():
+            key = (shuffle_id, map_partition, reduce_partition)
+            copied = list(records)
+            size = estimate_bytes(copied, self.compression)
+            staged.append((key, copied, size))
+            written += size
+            records_out += len(copied)
+        with self._lock:
+            if shuffle_id not in self._expected_maps:
+                raise ShuffleError(f"shuffle {shuffle_id} was never registered")
+            for key, copied, size in staged:
+                self._buckets[key] = copied
+                self._bucket_bytes[key] = size
             self._completed_maps[shuffle_id].add(map_partition)
             self._bytes_written[shuffle_id] += written
             self._records_written[shuffle_id] += records_out
@@ -105,7 +124,13 @@ class ShuffleManager:
             return len(self._completed_maps[shuffle_id]) >= expected
 
     def read_reduce_input(self, shuffle_id: int, reduce_partition: int) -> Tuple[List[Any], int]:
-        """Return (records, estimated bytes) addressed to ``reduce_partition``."""
+        """Return (records, estimated bytes) addressed to ``reduce_partition``.
+
+        The byte count is the sum of the per-bucket estimates measured when
+        the map side wrote its output — no data is re-sampled or re-pickled
+        on the read path, and read-side accounting matches write-side
+        accounting exactly.
+        """
         with self._lock:
             if shuffle_id not in self._expected_maps:
                 raise ShuffleError(f"shuffle {shuffle_id} was never registered")
@@ -113,10 +138,14 @@ class ShuffleManager:
                 raise ShuffleError(
                     f"shuffle {shuffle_id} read before all map outputs were written")
             records: List[Any] = []
+            size = 0
             for map_partition in sorted(self._completed_maps[shuffle_id]):
                 key = (shuffle_id, map_partition, reduce_partition)
-                records.extend(self._buckets.get(key, []))
-        return records, estimate_bytes(records, self.compression)
+                bucket = self._buckets.get(key)
+                if bucket:
+                    records.extend(bucket)
+                    size += self._bucket_bytes.get(key, 0)
+        return records, size
 
     # -- bookkeeping -----------------------------------------------------------
 
@@ -142,8 +171,12 @@ class ShuffleManager:
     def remove_shuffle(self, shuffle_id: int) -> None:
         """Discard all data of a shuffle (called when a job finishes)."""
         with self._lock:
-            self._buckets = {key: value for key, value in self._buckets.items()
-                             if key[0] != shuffle_id}
+            # delete only the matching keys; rebuilding the whole dict would
+            # copy every other shuffle's entries under the lock
+            stale = [key for key in self._buckets if key[0] == shuffle_id]
+            for key in stale:
+                del self._buckets[key]
+                self._bucket_bytes.pop(key, None)
             self._completed_maps.pop(shuffle_id, None)
             self._expected_maps.pop(shuffle_id, None)
             self._bytes_written.pop(shuffle_id, None)
@@ -153,6 +186,7 @@ class ShuffleManager:
         """Discard every shuffle (used when an engine context shuts down)."""
         with self._lock:
             self._buckets.clear()
+            self._bucket_bytes.clear()
             self._completed_maps.clear()
             self._expected_maps.clear()
             self._bytes_written.clear()

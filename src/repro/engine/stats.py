@@ -107,6 +107,11 @@ class StatsEstimator:
         #: the estimator resolve the physical form of *rewritten* nodes so
         #: their completed shuffles feed back into later optimizer runs.
         self.lowered_plans = lowered_plans if lowered_plans is not None else {}
+        #: Dataset id -> leaf estimate.  Sampling an in-memory source pickles
+        #: a stride sample, and adaptive re-optimization re-annotates the
+        #: plan after every shuffle-map stage; source data is immutable, so
+        #: its estimate is measured exactly once per dataset.
+        self._leaf_cache: dict = {}
 
     # -- public API ---------------------------------------------------------
 
@@ -273,11 +278,15 @@ class StatsEstimator:
             return None
         data = getattr(ds, "_data", None)
         if data is not None:
-            return StatsEstimate(
-                rows=float(len(data)),
-                size_bytes=float(estimate_bytes(
-                    data, self.config.shuffle_compression)),
-                exact=True)
+            memo = self._leaf_cache.get(ds.id)
+            if memo is None:
+                memo = StatsEstimate(
+                    rows=float(len(data)),
+                    size_bytes=float(estimate_bytes(
+                        data, self.config.shuffle_compression)),
+                    exact=True)
+                self._leaf_cache[ds.id] = memo
+            return memo
         size_hint = getattr(ds, "_size_hint", None)
         if size_hint is not None:
             return StatsEstimate(rows=float(size_hint),

@@ -93,6 +93,30 @@ class TestOptimizerHints:
             CampaignCompiler().compile(
                 _spec(num_partitions=4, target_partition_bytes=-5))
 
+    def test_default_engine_batch_size_hint(self):
+        campaign = CampaignCompiler().compile(_spec(num_partitions=4))
+        config = campaign.deployment.engine_config
+        assert config.batch_size == EngineConfig.batch_size
+        assert campaign.deployment.optimizer_hints["batch_size"] == \
+            config.batch_size
+
+    def test_engine_batch_size_from_spec(self):
+        campaign = CampaignCompiler().compile(
+            _spec(num_partitions=4, batch_size=256))
+        assert campaign.deployment.engine_config.batch_size == 256
+        assert campaign.deployment.optimizer_hints["batch_size"] == 256
+        assert "256-record batches" in campaign.deployment.describe()
+
+    def test_engine_batching_disabled_from_spec(self):
+        campaign = CampaignCompiler().compile(
+            _spec(num_partitions=4, batch_size=0))
+        assert campaign.deployment.engine_config.batch_size == 0
+        assert "record-at-a-time" in campaign.deployment.describe()
+
+    def test_negative_engine_batch_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignCompiler().compile(_spec(num_partitions=4, batch_size=-8))
+
     def test_broadcast_threshold_shown_in_describe(self):
         campaign = CampaignCompiler().compile(
             _spec(num_partitions=4, broadcast_threshold_bytes=2048))

@@ -1,0 +1,306 @@
+"""Batch/record execution parity: vectorized mode is a pure optimization.
+
+Every pipeline must produce identical results with batching disabled
+(``batch_size=0``), with degenerate one-record batches (``batch_size=1``),
+with an odd batch size that never divides the partition sizes evenly
+(``batch_size=7``) and with the default batch size — and the record/byte
+metrics (records read/written, shuffle bytes) must not depend on the
+execution mode either.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import EngineConfig
+from repro.engine.context import EngineContext
+from repro.errors import ShuffleError
+
+#: The batch sizes every parity scenario is evaluated under; 0 disables
+#: batching entirely (the record-at-a-time reference execution).
+BATCH_SIZES = (0, 1, 7, 1024)
+
+
+def _ctx(batch_size: int, **overrides) -> EngineContext:
+    config = EngineConfig(num_workers=2, default_parallelism=4, seed=3,
+                          batch_size=batch_size, **overrides)
+    return EngineContext(config)
+
+
+def _run(scenario, batch_size: int, **overrides):
+    """Run ``scenario(ctx)`` under one batch size; return (result, metrics)."""
+    with _ctx(batch_size, **overrides) as ctx:
+        result = scenario(ctx)
+        summary = ctx.metrics.summary()
+    return result, summary
+
+
+#: Metric keys that must be identical whatever the execution mode is.
+_MODE_INVARIANT = ("records_read", "records_written", "shuffle_bytes",
+                   "cache_hits", "num_tasks", "num_stages")
+
+
+def assert_parity(scenario, **overrides):
+    """Assert result and metric parity of a scenario across batch sizes."""
+    reference, reference_metrics = _run(scenario, batch_size=0, **overrides)
+    for batch_size in BATCH_SIZES[1:]:
+        result, metrics = _run(scenario, batch_size, **overrides)
+        assert result == reference, f"results differ at batch_size={batch_size}"
+        for key in _MODE_INVARIANT:
+            assert metrics[key] == reference_metrics[key], \
+                f"{key} differs at batch_size={batch_size}"
+
+
+class TestNarrowParity:
+    def test_map_filter_flat_map_chain(self):
+        def scenario(ctx):
+            return (ctx.range(500, num_partitions=4)
+                    .map(lambda v: v * 3)
+                    .filter(lambda v: v % 2 == 0)
+                    .flat_map(lambda v: (v, -v))
+                    .map(lambda v: v + 1)
+                    .collect())
+        assert_parity(scenario)
+
+    def test_chain_without_optimizer_runs_unfused(self):
+        def scenario(ctx):
+            return (ctx.range(400, num_partitions=3)
+                    .map(lambda v: v + 10)
+                    .filter(lambda v: v % 5 != 0)
+                    .collect())
+        assert_parity(scenario, optimizer_rules=())
+
+    def test_project_union_and_coalesce(self):
+        def scenario(ctx):
+            rows = ctx.parallelize(
+                [{"id": i, "value": i * 2, "noise": "x"} for i in range(200)], 4)
+            more = ctx.parallelize(
+                [{"id": 1000 + i, "value": i, "noise": "y"} for i in range(50)], 2)
+            return (rows.union(more).project(["id", "value"])
+                    .coalesce(2).collect())
+        assert_parity(scenario)
+
+    def test_sample_keeps_the_same_records_per_seed(self):
+        def scenario(ctx):
+            return ctx.range(2_000, num_partitions=4).sample(0.3, seed=11).collect()
+        assert_parity(scenario)
+
+    def test_map_partitions_fallback(self):
+        def scenario(ctx):
+            return (ctx.range(300, num_partitions=4)
+                    .map(lambda v: v + 1)
+                    .map_partitions(lambda it: [sum(it)])
+                    .collect())
+        assert_parity(scenario)
+
+    def test_take_first_and_count(self):
+        def scenario(ctx):
+            ds = ctx.range(1_000, num_partitions=5).filter(lambda v: v % 7 != 0)
+            return (ds.take(13), ds.first(), ds.count())
+        # early-stopping actions read ahead in whole batches, so record
+        # counts legitimately differ for batch_size > 1; results never do,
+        # and batch_size=1 reproduces the record path bit for bit
+        reference, reference_metrics = _run(scenario, batch_size=0)
+        for batch_size in BATCH_SIZES[1:]:
+            result, metrics = _run(scenario, batch_size)
+            assert result == reference
+        _, one_metrics = _run(scenario, batch_size=1)
+        for key in _MODE_INVARIANT:
+            assert one_metrics[key] == reference_metrics[key]
+
+    def test_cached_dataset_round_trip(self):
+        def scenario(ctx):
+            ds = ctx.range(600, num_partitions=4).map(lambda v: v * v).cache()
+            first = ds.collect()      # computes and materialises the blocks
+            second = ds.collect()     # must be served from the cache
+            return (first, second)
+        assert_parity(scenario)
+
+
+class TestWideParity:
+    def test_shuffled_dataset_group_by_key(self):
+        def scenario(ctx):
+            pairs = ctx.range(400, num_partitions=4).map(lambda v: (v % 13, v))
+            grouped = pairs.group_by_key().map_values(sorted).collect()
+            return sorted(grouped)
+        assert_parity(scenario)
+
+    def test_reduce_by_key_with_map_side_combine(self):
+        def scenario(ctx):
+            return sorted(
+                ctx.range(900, num_partitions=4)
+                .map(lambda v: (v % 31, 1))
+                .reduce_by_key(lambda left, right: left + right)
+                .collect())
+        assert_parity(scenario)
+
+    def test_distinct_repartition_and_sort(self):
+        def scenario(ctx):
+            ds = ctx.parallelize([v % 40 for v in range(500)], 4)
+            return (sorted(ds.distinct().collect()),
+                    sorted(ds.repartition(3).collect()),
+                    ds.sort_by(lambda v: -v).collect())
+        assert_parity(scenario)
+
+    def test_cogrouped_dataset(self):
+        def scenario(ctx):
+            left = ctx.range(200, num_partitions=4).map(lambda v: (v % 10, v))
+            right = ctx.range(60, num_partitions=3).map(lambda v: (v % 10, -v))
+            cogrouped = left.cogroup(right).map(
+                lambda pair: (pair[0], sorted(pair[1][0]), sorted(pair[1][1])))
+            return sorted(cogrouped.collect())
+        assert_parity(scenario)
+
+    def test_shuffle_join_parity(self):
+        def scenario(ctx):
+            left = ctx.range(300, num_partitions=4).map(lambda v: (v % 20, v))
+            right = ctx.range(80, num_partitions=2).map(lambda v: (v % 20, -v))
+            return sorted(left.join(right).collect())
+        # broadcast disabled: the join stays a shuffle cogroup
+        assert_parity(scenario, broadcast_threshold_bytes=0)
+
+    @pytest.mark.parametrize("how", ["join", "left_outer_join",
+                                     "right_outer_join", "full_outer_join",
+                                     "subtract_by_key"])
+    def test_broadcast_join_parity(self, how):
+        def scenario(ctx):
+            big = ctx.range(400, num_partitions=4).map(lambda v: (v % 25, v))
+            small = ctx.parallelize([(k, f"dim-{k}") for k in range(12)], 2)
+            joined = getattr(big, how)(small)
+            return sorted(joined.collect())
+        # a generous threshold forces the broadcast lowering (including the
+        # unmatched-build partition of the outer variants)
+        assert_parity(scenario, broadcast_threshold_bytes=64 * 1024 * 1024)
+
+    def test_shuffle_byte_accounting_is_mode_invariant(self):
+        def scenario(ctx):
+            pairs = ctx.range(600, num_partitions=4).map(lambda v: (v % 17, v))
+            grouped = pairs.group_by_key().collect()
+            jobs = ctx.metrics.jobs
+            read = sum(s.shuffle_bytes_read for j in jobs for s in j.stages)
+            written = sum(s.shuffle_bytes_written for j in jobs for s in j.stages)
+            assert read == written > 0
+            return sorted((key, sorted(values)) for key, values in grouped)
+        assert_parity(scenario)
+
+
+class TestBatchProperties:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.lists(st.integers(-100, 100), max_size=120),
+           batch_size=st.sampled_from([1, 2, 3, 5, 16]),
+           num_partitions=st.integers(1, 5))
+    def test_pipeline_parity_property(self, data, batch_size, num_partitions):
+        def scenario(ctx):
+            ds = (ctx.parallelize(data, num_partitions)
+                  .map(lambda v: v * 2)
+                  .filter(lambda v: v % 3 != 0)
+                  .flat_map(lambda v: (v,) if v > 0 else (v, v)))
+            return (ds.collect(),
+                    sorted(ds.map(lambda v: (v % 5, 1))
+                           .reduce_by_key(lambda a, b: a + b).collect()))
+        reference, reference_metrics = _run(scenario, batch_size=0)
+        result, metrics = _run(scenario, batch_size=batch_size)
+        assert result == reference
+        for key in _MODE_INVARIANT:
+            assert metrics[key] == reference_metrics[key]
+
+    def test_batches_processed_metric(self):
+        def scenario(ctx):
+            return (ctx.range(100, num_partitions=4)
+                    .map(lambda v: (v % 5, v))
+                    .group_by_key().count())
+        _, record_metrics = _run(scenario, batch_size=0)
+        assert record_metrics["batches_processed"] == 0
+        _, batched_metrics = _run(scenario, batch_size=16)
+        assert batched_metrics["batches_processed"] > 0
+        # smaller batches -> strictly more batches for the same job
+        _, tiny_metrics = _run(scenario, batch_size=1)
+        assert tiny_metrics["batches_processed"] > \
+            batched_metrics["batches_processed"]
+
+
+class TestExecutorPool:
+    def test_pool_persists_across_stages(self):
+        with _ctx(batch_size=64) as ctx:
+            executor = ctx.scheduler.executor
+            ctx.range(100, num_partitions=4).map(lambda v: (v % 3, v)) \
+                .group_by_key().count()
+            pool = executor._pool
+            assert pool is not None, "multi-task stages must use the pool"
+            ctx.range(50, num_partitions=4).count()
+            assert executor._pool is pool, "the pool must be reused, not rebuilt"
+
+    def test_single_task_stage_does_not_build_a_pool(self):
+        with _ctx(batch_size=64) as ctx:
+            ctx.range(10, num_partitions=1).count()
+            assert ctx.scheduler.executor._pool is None
+
+    def test_stop_shuts_the_pool_down(self):
+        ctx = _ctx(batch_size=64)
+        ctx.range(100, num_partitions=4).count()
+        executor = ctx.scheduler.executor
+        assert executor._pool is not None
+        ctx.stop()
+        assert executor._pool is None
+
+    def test_failed_stage_leaves_no_stragglers_in_the_pool(self):
+        import time as _time
+        from repro.errors import TaskError
+
+        finished = []
+
+        def work(partition, iterator):
+            if partition == 0:
+                raise RuntimeError("boom")
+            _time.sleep(0.05)
+            finished.append(partition)
+            return iterator
+
+        with _ctx(batch_size=16, max_task_retries=0) as ctx:
+            ds = ctx.range(400, num_partitions=4).map_partitions_with_index(work)
+            with pytest.raises(TaskError):
+                ds.count()
+            # the persistent pool must have settled every submitted task
+            # before the stage error propagated: nothing may still be
+            # running (or start later) against the dead stage
+            settled = list(finished)
+            _time.sleep(0.2)
+            assert finished == settled
+
+    def test_wall_clock_recorded_on_both_paths(self):
+        for partitions in (1, 4):
+            with _ctx(batch_size=64) as ctx:
+                ctx.range(200, num_partitions=partitions).count()
+                stage = ctx.metrics.jobs[-1].stages[-1]
+                assert stage.wall_clock_s > 0.0
+
+
+class TestShuffleManagerHygiene:
+    def test_unregistered_shuffle_still_rejected(self):
+        with _ctx(batch_size=8) as ctx:
+            with pytest.raises(ShuffleError):
+                ctx.shuffle_manager.write_map_output(999, 0, {0: [1, 2]})
+
+    def test_reduce_bytes_equal_map_side_measurements(self):
+        with _ctx(batch_size=8) as ctx:
+            manager = ctx.shuffle_manager
+            manager.register_shuffle(7, num_map_partitions=2)
+            written = manager.write_map_output(7, 0, {0: [1, 2, 3], 1: [4]})
+            written += manager.write_map_output(7, 1, {0: [5], 1: [6, 7]})
+            read = sum(manager.read_reduce_input(7, p)[1] for p in (0, 1))
+            assert read == written == manager.bytes_written(7)
+
+    def test_remove_shuffle_only_drops_matching_buckets(self):
+        with _ctx(batch_size=8) as ctx:
+            manager = ctx.shuffle_manager
+            manager.register_shuffle(1, num_map_partitions=1)
+            manager.register_shuffle(2, num_map_partitions=1)
+            manager.write_map_output(1, 0, {0: ["a"]})
+            manager.write_map_output(2, 0, {0: ["b"]})
+            manager.remove_shuffle(1)
+            assert manager.read_reduce_input(2, 0)[0] == ["b"]
+            with pytest.raises(ShuffleError):
+                manager.read_reduce_input(1, 0)
