@@ -1,0 +1,103 @@
+"""Aggregate every machine-readable benchmark into one trajectory table.
+
+Each benchmark harness emits ``results/BENCH_<EXP>.json`` (the standard
+shape produced by :func:`bench_utils.emit_json`).  This script folds all of
+them into ``results/TRAJECTORY.md``: a summary table of every experiment on
+record plus the per-experiment result tables rendered as markdown — the
+cross-PR view of how the engine's headline numbers move over time.
+
+Run it after a benchmark sweep::
+
+    PYTHONPATH=src python -m pytest benchmarks/ -q --import-mode=importlib
+    python benchmarks/collect_results.py
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Dict, List
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+OUTPUT_PATH = os.path.join(RESULTS_DIR, "TRAJECTORY.md")
+
+
+def load_payloads() -> List[Dict]:
+    """Read every BENCH_*.json, ordered by experiment number."""
+    payloads = []
+    for path in glob.glob(os.path.join(RESULTS_DIR, "BENCH_*.json")):
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["_file"] = os.path.basename(path)
+        payloads.append(payload)
+
+    def order(payload: Dict):
+        name = payload.get("experiment", "")
+        digits = "".join(ch for ch in name if ch.isdigit())
+        return (int(digits) if digits else 0, name)
+
+    return sorted(payloads, key=order)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.0f}" if abs(value) >= 1000 else f"{value:.3f}"
+    return str(value).replace("|", "\\|")
+
+
+def markdown_table(headers: List[str], rows: List[Dict]) -> List[str]:
+    """Render the emit_json row dicts as a GitHub-flavoured markdown table."""
+    lines = ["| " + " | ".join(headers) + " |",
+             "| " + " | ".join("---" for _ in headers) + " |"]
+    for row in rows:
+        lines.append("| " + " | ".join(_cell(row.get(header, ""))
+                                       for header in headers) + " |")
+    return lines
+
+
+def build_trajectory(payloads: List[Dict]) -> str:
+    lines = [
+        "# Benchmark trajectory",
+        "",
+        "Aggregated from every `results/BENCH_*.json` by "
+        "`benchmarks/collect_results.py`; regenerate after a benchmark "
+        "sweep.",
+        "",
+        "| experiment | title | rows | source |",
+        "| --- | --- | --- | --- |",
+    ]
+    for payload in payloads:
+        lines.append(
+            f"| {payload.get('experiment', '?')} "
+            f"| {_cell(payload.get('title', ''))} "
+            f"| {len(payload.get('rows', []))} "
+            f"| `{payload['_file']}` |")
+    for payload in payloads:
+        lines.extend(["",
+                      f"## {payload.get('experiment', '?')} — "
+                      f"{payload.get('title', '')}", ""])
+        lines.extend(markdown_table(payload.get("headers", []),
+                                    payload.get("rows", [])))
+        notes = payload.get("notes", [])
+        if notes:
+            lines.append("")
+            lines.extend(f"- {note}" for note in notes)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main() -> str:
+    payloads = load_payloads()
+    if not payloads:
+        raise SystemExit(f"no BENCH_*.json files found under {RESULTS_DIR}")
+    text = build_trajectory(payloads)
+    with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"wrote {OUTPUT_PATH} ({len(payloads)} experiments)")
+    return OUTPUT_PATH
+
+
+if __name__ == "__main__":
+    main()

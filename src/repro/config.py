@@ -24,6 +24,7 @@ KNOWN_OPTIMIZER_RULES: Tuple[str, ...] = (
     "fuse_narrow",       # fuse chains of narrow ops into one operator
     "broadcast_join",    # hash-join against a collected small side, no shuffle
     "coalesce_shuffle",  # shrink reduce partition counts on small shuffles
+    "split_skewed_shuffle",  # fan a fat reduce partition out over map slices
 )
 
 
@@ -69,7 +70,25 @@ class EngineConfig:
     adaptive_enabled:
         Re-run the cost-based optimizer rules between shuffle-map stages,
         feeding actual map-output sizes back into the plan so mis-estimated
-        joins still switch to broadcast (and shuffles coalesce) at runtime.
+        joins still switch to broadcast (shuffles coalesce, and skewed
+        reduce partitions split) at runtime.
+    skew_split_factor:
+        Maximum number of parallel sub-partition reads a skewed reduce
+        partition is fanned out into by the ``split_skewed_shuffle`` rule —
+        the runtime counterpart of ``coalesce_shuffle``: where coalescing
+        shrinks many small partitions, splitting fans one fat partition out
+        over disjoint map-output slices, each served as its own task.
+        Splits only ever fall between map slices (never inside one map
+        task's combined output for a key), and partial per-slice reductions
+        are re-merged with the operator's combiner, so results are
+        identical to the unsplit plan.  ``0`` or ``1`` disables skew
+        splitting entirely.
+    skew_min_partition_bytes:
+        A reduce partition is only considered skewed when its actual
+        map-output bytes reach this floor *and* exceed twice the median
+        partition size of its shuffle.  The default keeps the rule out of
+        small local jobs where a straggler costs microseconds; benchmarks
+        and deployments lower it to exercise splitting on modest data.
     batch_size:
         Number of records per batch in vectorized (batch-at-a-time)
         execution.  Tasks drain ``Dataset.batch_iterator`` and the narrow
@@ -91,6 +110,8 @@ class EngineConfig:
     target_partition_bytes: int = 0
     adaptive_enabled: bool = True
     batch_size: int = 1024
+    skew_split_factor: int = 4
+    skew_min_partition_bytes: int = 32 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -110,6 +131,11 @@ class EngineConfig:
         if self.batch_size < 0:
             raise ConfigurationError(
                 "batch_size must be >= 0 (0 disables batch execution)")
+        if self.skew_split_factor < 0:
+            raise ConfigurationError(
+                "skew_split_factor must be >= 0 (0 disables skew splitting)")
+        if self.skew_min_partition_bytes < 0:
+            raise ConfigurationError("skew_min_partition_bytes must be >= 0")
         if isinstance(self.optimizer_rules, str):
             # tuple("pushdown") would explode into characters and produce a
             # baffling unknown-rules error; demand a proper sequence instead

@@ -321,6 +321,8 @@ class ProceduralToDeployment:
             "target_partition_bytes": engine_config.target_partition_bytes,
             "adaptive": engine_config.adaptive_enabled,
             "batch_size": engine_config.batch_size,
+            "skew_split_factor": engine_config.skew_split_factor,
+            "skew_min_partition_bytes": engine_config.skew_min_partition_bytes,
         }
         return DeploymentModel(
             procedural=procedural,
@@ -358,9 +360,11 @@ class ProceduralToDeployment:
 
         ``broadcast_threshold_bytes`` bounds the build side of a broadcast
         join, ``target_partition_bytes`` turns on post-shuffle partition
-        coalescing, ``adaptive`` toggles mid-job re-optimization, and
+        coalescing, ``adaptive`` toggles mid-job re-optimization,
         ``batch_size`` tunes vectorized batch execution per campaign
-        (``0`` falls back to record-at-a-time iterators).  Values are
+        (``0`` falls back to record-at-a-time iterators), and
+        ``skew_split_factor`` / ``skew_min_partition_bytes`` steer runtime
+        skew splitting of straggler reduce partitions.  Values are
         validated by ``EngineConfig.__post_init__``; only knobs the campaign
         actually sets are overridden, so engine defaults stay in one place.
         """
@@ -375,6 +379,12 @@ class ProceduralToDeployment:
             overrides["adaptive_enabled"] = bool(preferences["adaptive"])
         if "batch_size" in preferences:
             overrides["batch_size"] = int(preferences["batch_size"])
+        if "skew_split_factor" in preferences:
+            overrides["skew_split_factor"] = \
+                int(preferences["skew_split_factor"])
+        if "skew_min_partition_bytes" in preferences:
+            overrides["skew_min_partition_bytes"] = \
+                int(preferences["skew_min_partition_bytes"])
         return overrides
 
     @staticmethod

@@ -88,6 +88,13 @@ class DeploymentModel:
                     "  vectorized execution: "
                     + (f"{engine_batch}-record batches" if engine_batch
                        else "off (record-at-a-time)"))
+            skew_factor = self.optimizer_hints.get("skew_split_factor")
+            if skew_factor is not None:
+                lines.append(
+                    "  skew splitting: "
+                    + (f"up to {skew_factor} sub-reads per skewed partition"
+                       if skew_factor and skew_factor > 1
+                       else "off"))
         lines.extend(["", self.procedural.describe()])
         return "\n".join(lines)
 

@@ -31,8 +31,14 @@ class EngineContext:
         self.shuffle_manager = ShuffleManager(compression=self.config.shuffle_compression)
         self.block_store = BlockStore(memory_budget_bytes=self.config.memory_budget_bytes)
         self.metrics = MetricsRegistry()
+        #: (build dataset id, collection kind) -> collected broadcast value;
+        #: lets jobs reuse broadcast build sides across joins instead of
+        #: re-running the nested collection job.  Invalidated per dataset by
+        #: ``Dataset.unpersist()`` and wholesale by ``stop()``.
+        self.broadcast_builds = {}
         self.scheduler = DAGScheduler(self.config, self.shuffle_manager,
-                                      self.block_store, self.metrics)
+                                      self.block_store, self.metrics,
+                                      broadcast_builds=self.broadcast_builds)
         #: Structural signature -> physical dataset, shared by plan lowering
         #: so sibling plans reuse identical rewritten subtrees (and their
         #: shuffle outputs / cached blocks).
@@ -139,7 +145,9 @@ class EngineContext:
         return ("broadcast_join" in rules and
                 self.config.broadcast_threshold_bytes > 0) or \
                ("coalesce_shuffle" in rules and
-                self.config.target_partition_bytes > 0)
+                self.config.target_partition_bytes > 0) or \
+               ("split_skewed_shuffle" in rules and
+                self.config.skew_split_factor > 1)
 
     def _adaptive_replanner(self, dataset: Dataset) -> Callable[[], Dataset]:
         """A callback re-optimizing ``dataset``'s plan with fresh statistics.
@@ -184,6 +192,17 @@ class EngineContext:
         dataset._executable = executable
         dataset._executable_epoch = self._cache_epoch
         return executable
+
+    def invalidate_broadcast_builds(self, *dataset_ids: int) -> None:
+        """Drop cached broadcast build sides collected from these datasets.
+
+        Called by ``Dataset.unpersist()`` (for the dataset and its lowered
+        cache mirrors): once the user drops a dataset's materialisation, any
+        broadcast hash maps collected from it are dropped too.
+        """
+        stale = [key for key in self.broadcast_builds if key[0] in dataset_ids]
+        for key in stale:
+            del self.broadcast_builds[key]
 
     def explain(self, dataset: Dataset) -> str:
         """Return the textual physical lineage of a dataset."""
@@ -245,6 +264,7 @@ class EngineContext:
         self.scheduler.executor.shutdown()
         self.shuffle_manager.clear()
         self.block_store.clear()
+        self.broadcast_builds.clear()
         self._lowered_plans.clear()
 
     def __enter__(self) -> "EngineContext":

@@ -179,17 +179,122 @@ def combining_map_side(create_combiner, merge_value, partitioner: Partitioner):
     return map_side
 
 
+def _fold_combiners(records: Iterable[Any], merge_combiners) -> Dict[Any, Any]:
+    """Merge ``(key, combiner)`` pairs into per-key combiners, in order.
+
+    The single fold shared by the full reduce and its per-slice form, so
+    the split path cannot drift from the unsplit semantics.
+    """
+    merged: Dict[Any, Any] = {}
+    for key, combiner in records:
+        if key in merged:
+            merged[key] = merge_combiners(merged[key], combiner)
+        else:
+            merged[key] = combiner
+    return merged
+
+
 def merge_combiners_reduce(merge_combiners):
     """Reduce side matching :func:`combining_map_side`: merge combiners."""
     def reduce_side(records: List[Any]) -> Iterable[Any]:
-        merged: Dict[Any, Any] = {}
-        for key, combiner in records:
+        return _fold_combiners(records, merge_combiners).items()
+    return reduce_side
+
+
+# ---------------------------------------------------------------------------
+# Slice semantics for skew-aware sub-partition reads
+#
+# A skewed reduce partition can be served as several sub-reads over disjoint
+# map-output slices (``ShuffleManager.read_reduce_input(..., map_range=...)``).
+# Each wide operator that supports splitting supplies a ``(slice_reduce,
+# merge_slices)`` pair: ``slice_reduce`` applies the reduce semantics to one
+# slice's records, ``merge_slices`` folds the per-slice partials — in map
+# range order — into output identical to the unsplit reduce (same records,
+# same order).  Splits only ever fall *between* map slices, never inside one
+# map task's combined run for a key, so per-key grouping stays correct and
+# aggregations re-merge through their combiner.
+# ---------------------------------------------------------------------------
+
+
+def _merge_combiner_partials(merge_combiners, partials):
+    """Fold per-slice ``{key: combiner}`` dicts, preserving first-appearance
+    key order (identical to the unsplit single-pass fold)."""
+    merged: Dict[Any, Any] = {}
+    for partial in partials:
+        for key, combiner in partial.items():
             if key in merged:
                 merged[key] = merge_combiners(merged[key], combiner)
             else:
                 merged[key] = combiner
+    return merged.items()
+
+
+def combiner_slice_merge(merge_combiners):
+    """Slice semantics matching :func:`merge_combiners_reduce`."""
+    def slice_reduce(records: List[Any]) -> Dict[Any, Any]:
+        return _fold_combiners(records, merge_combiners)
+
+    def merge_slices(partials: List[Dict[Any, Any]]) -> Iterable[Any]:
+        return _merge_combiner_partials(merge_combiners, partials)
+
+    return slice_reduce, merge_slices
+
+
+def grouping_slice_merge():
+    """Slice semantics matching :func:`group_reduce` (per-key value lists)."""
+    def merge_slices(partials: List[Dict[Any, List[Any]]]) -> Iterable[Any]:
+        merged: Dict[Any, List[Any]] = {}
+        for partial in partials:
+            for key, values in partial.items():
+                existing = merged.get(key)
+                if existing is None:
+                    # the per-slice lists are throwaway: adopt, then extend
+                    merged[key] = values
+                else:
+                    existing.extend(values)
         return merged.items()
-    return reduce_side
+
+    return _group_pairs, merge_slices
+
+
+def distinct_slice_merge():
+    """Slice semantics matching :func:`distinct_reduce` (ordered dedupe)."""
+    def slice_reduce(records: List[Any]) -> List[Any]:
+        return list(distinct_reduce(records))
+
+    def merge_slices(partials: List[List[Any]]) -> List[Any]:
+        return list(distinct_reduce(itertools.chain.from_iterable(partials)))
+
+    return slice_reduce, merge_slices
+
+
+def sorted_slice_merge(key_func, ascending: bool):
+    """Slice semantics matching the sort reduce: sorted runs + stable merge.
+
+    ``heapq.merge`` is stable and prefers earlier iterables on ties, so
+    merging per-slice runs in map range order reproduces exactly what one
+    stable sort of the concatenated records would yield.
+    """
+    def slice_reduce(records: List[Any]) -> List[Any]:
+        return sorted(records, key=key_func, reverse=not ascending)
+
+    def merge_slices(partials: List[List[Any]]) -> List[Any]:
+        return list(heapq.merge(*partials, key=key_func,
+                                reverse=not ascending))
+
+    return slice_reduce, merge_slices
+
+
+def _fold_values(records: Iterable[Any], create_combiner,
+                 merge_value) -> Dict[Any, Any]:
+    """Fold raw ``(key, value)`` pairs into per-key combiners, in order."""
+    merged: Dict[Any, Any] = {}
+    for key, value in records:
+        if key in merged:
+            merged[key] = merge_value(merged[key], value)
+        else:
+            merged[key] = create_combiner(value)
+    return merged
 
 
 def fold_values_reduce(create_combiner, merge_value):
@@ -199,13 +304,7 @@ def fold_values_reduce(create_combiner, merge_value):
     aggregation used when the optimizer eliminates the shuffle.
     """
     def reduce_side(records: Iterable[Any]) -> Iterable[Any]:
-        merged: Dict[Any, Any] = {}
-        for key, value in records:
-            if key in merged:
-                merged[key] = merge_value(merged[key], value)
-            else:
-                merged[key] = create_combiner(value)
-        return merged.items()
+        return _fold_values(records, create_combiner, merge_value).items()
     return reduce_side
 
 
@@ -214,12 +313,18 @@ def fold_values_reduce(create_combiner, merge_value):
 local_aggregate = fold_values_reduce
 
 
+def _group_pairs(records: Iterable[Any]) -> Dict[Any, List[Any]]:
+    """Group ``(key, value)`` pairs into per-key value lists, in order."""
+    grouped: Dict[Any, List[Any]] = {}
+    setdefault = grouped.setdefault
+    for key, value in records:
+        setdefault(key, []).append(value)
+    return grouped
+
+
 def group_reduce(records: Iterable[Any]) -> Iterable[Any]:
     """Group ``(key, value)`` pairs; reduce side of ``group_by_key``."""
-    grouped: Dict[Any, List[Any]] = {}
-    for key, value in records:
-        grouped.setdefault(key, []).append(value)
-    return grouped.items()
+    return _group_pairs(records).items()
 
 
 #: Narrow per-partition grouping (shuffle eliminated by the optimizer).
@@ -532,10 +637,15 @@ class Dataset:
         """Drop any cached partitions and stop caching new ones."""
         self.is_cached = False
         self.ctx.block_store.evict_dataset(self.id)
+        invalidated = [self.id]
         for mirror in self._cache_mirrors:
             mirror.is_cached = False
             self.ctx.block_store.evict_dataset(mirror.id)
+            invalidated.append(mirror.id)
         self._cache_mirrors.clear()
+        # collected broadcast build sides derived from this dataset (or its
+        # lowered mirrors) are dropped with the cache
+        self.ctx.invalidate_broadcast_builds(*invalidated)
         self._executable = None
         self.ctx._cache_epoch += 1
         return self
@@ -662,7 +772,8 @@ class Dataset:
         num_partitions = num_partitions or self.num_partitions
         partitioner = HashPartitioner(num_partitions)
         ds = ShuffledDataset(self, partitioner, distinct_map_side(partitioner),
-                             reduce_side=distinct_reduce, name="distinct")
+                             reduce_side=distinct_reduce, name="distinct",
+                             slices=distinct_slice_merge())
         return ds._attach_plan(logical.DistinctNode, partitioner)
 
     def group_by_key(self, num_partitions: Optional[int] = None) -> "Dataset":
@@ -670,7 +781,8 @@ class Dataset:
         num_partitions = num_partitions or self.num_partitions
         partitioner = HashPartitioner(num_partitions)
         ds = ShuffledDataset(self, partitioner, key_bucketer(partitioner),
-                             reduce_side=group_reduce, name="group_by_key")
+                             reduce_side=group_reduce, name="group_by_key",
+                             slices=grouping_slice_merge())
         return ds._attach_plan(logical.GroupByKeyNode, partitioner)
 
     def group_by(self, func: Callable[[Any], Any],
@@ -690,6 +802,11 @@ class Dataset:
         """
         num_partitions = num_partitions or self.num_partitions
         partitioner = HashPartitioner(num_partitions)
+        # no slice spec: an *uncombined* aggregation only executes when the
+        # map-side-combine rewrite is disabled, which signals the caller does
+        # not trust merge_combiners associativity — re-merging skew slices
+        # through it would make the same assumption, so such datasets report
+        # supports_slice_reads=False and are never split
         ds = ShuffledDataset(
             self, partitioner, key_bucketer(partitioner),
             reduce_side=fold_values_reduce(create_combiner, merge_value),
@@ -726,7 +843,8 @@ class Dataset:
             return sorted(records, key=key_func, reverse=not ascending)
 
         ds = ShuffledDataset(self, partitioner, record_bucketer(partitioner),
-                             reduce_side=reduce_side, name="sort_by")
+                             reduce_side=reduce_side, name="sort_by",
+                             slices=sorted_slice_merge(key_func, ascending))
         return ds._attach_plan(logical.SortNode, key_func, ascending, partitioner)
 
     def sort_by_key(self, ascending: bool = True,
@@ -1314,25 +1432,110 @@ class CoalescedDataset(Dataset):
 # ---------------------------------------------------------------------------
 
 
-class ShuffledDataset(Dataset):
-    """A dataset whose partitions are produced by a shuffle."""
+class SplittableShuffleRead:
+    """Skew-split plumbing shared by the shuffle-reading datasets.
+
+    The ``split_skewed_shuffle`` rule stamps a *split plan* — per reduce
+    partition, a list of ``(dependency_index, map_lo, map_hi)`` slice units —
+    onto the physical dataset once actual map-output bytes identify a
+    straggler partition.  The scheduler then runs one task per unit
+    (:meth:`read_slice`), merges the per-slice partials back in unit order
+    (:meth:`install_slice_result`) and the partition's normal compute
+    consumes the merged records instead of re-reading the whole shuffle.
+    Overrides are one-shot: each job's sub-read stage installs them fresh.
+    """
+
+    def _init_split_state(self) -> None:
+        self._split_plan: Dict[int, List[Tuple[int, int, int]]] = {}
+        self._slice_results: Dict[int, Any] = {}
+
+    @property
+    def split_plan(self) -> Dict[int, List[Tuple[int, int, int]]]:
+        """Reduce partition -> slice units, empty when no skew was found."""
+        return self._split_plan
+
+    def set_split_plan(self, plan: Dict[int, List[Tuple[int, int, int]]]) -> None:
+        """Record the per-reduce-partition split plan (rule-stamped)."""
+        self._split_plan = {partition: list(units)
+                            for partition, units in plan.items()}
+
+    @property
+    def supports_slice_reads(self) -> bool:
+        """Whether this dataset can serve a partition as merged sub-reads."""
+        raise NotImplementedError
+
+    def read_slice(self, partition: int, unit: Tuple[int, int, int],
+                   task_context: TaskContext) -> Any:
+        """Read one map-output slice and apply the per-slice reduction."""
+        raise NotImplementedError
+
+    def install_slice_result(self, partition: int, partials: List[Any]) -> None:
+        """Merge per-slice partials (in unit order) into the partition override."""
+        raise NotImplementedError
+
+    def _pop_override(self, partition: int):
+        return self._slice_results.pop(partition, None)
+
+
+class ShuffledDataset(Dataset, SplittableShuffleRead):
+    """A dataset whose partitions are produced by a shuffle.
+
+    ``slices`` optionally carries the ``(slice_reduce, merge_slices)`` pair
+    (see the slice-semantics factories above) that lets a skewed reduce
+    partition be computed as parallel sub-reads over disjoint map-output
+    slices with results identical to the unsplit read.
+    """
 
     def __init__(self, parent: Dataset, partitioner: Partitioner,
                  map_side: Callable[[Iterator[Any]], Dict[int, List[Any]]],
                  reduce_side: Optional[Callable[[List[Any]], Iterable[Any]]] = None,
-                 name: str = "shuffle"):
+                 name: str = "shuffle",
+                 slices: Optional[Tuple[Callable, Callable]] = None):
         ctx = parent.ctx
         shuffle_id = ctx._next_shuffle_id()
         dependency = ShuffleDependency(parent, partitioner, map_side, shuffle_id)
         super().__init__(ctx, partitioner.num_partitions, [dependency], name=name)
         self._reduce_side = reduce_side
+        self._slice_reduce, self._merge_slices = slices or (None, None)
+        self._init_split_state()
 
     @property
     def shuffle_dependency(self) -> ShuffleDependency:
         """The single shuffle dependency feeding this dataset."""
         return self.dependencies[0]
 
+    @property
+    def supports_slice_reads(self) -> bool:
+        # a reduce-side-less shuffle (repartition) splits by concatenation;
+        # anything else needs explicit slice semantics
+        return self._reduce_side is None or self._merge_slices is not None
+
+    def read_slice(self, partition: int, unit: Tuple[int, int, int],
+                   task_context: TaskContext) -> Any:
+        _, map_lo, map_hi = unit
+        records, size = self.ctx.shuffle_manager.read_reduce_input(
+            self.shuffle_dependency.shuffle_id, partition,
+            map_range=(map_lo, map_hi))
+        task_context.shuffle_bytes_read += size
+        if self._slice_reduce is not None:
+            return self._slice_reduce(records)
+        return records
+
+    def install_slice_result(self, partition: int, partials: List[Any]) -> None:
+        if self._merge_slices is not None:
+            merged = self._merge_slices(partials)
+        else:
+            merged = []
+            for partial in partials:
+                merged.extend(partial)
+        self._slice_results[partition] = merged
+
     def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
+        override = self._pop_override(partition)
+        if override is not None:
+            # already fully reduced by the sub-read tasks (bytes were
+            # accounted there); serve the merged records as-is
+            return iter(override)
         dependency = self.shuffle_dependency
         records, size = self.ctx.shuffle_manager.read_reduce_input(
             dependency.shuffle_id, partition)
@@ -1343,6 +1546,11 @@ class ShuffledDataset(Dataset):
 
     def compute_batches(self, partition: int, task_context: TaskContext,
                         batch_size: int) -> Iterator[List[Any]]:
+        override = self._pop_override(partition)
+        if override is not None:
+            if isinstance(override, list):
+                return chunk_list(override, batch_size)
+            return chunk_iterator(override, batch_size)
         dependency = self.shuffle_dependency
         records, size = self.ctx.shuffle_manager.read_reduce_input(
             dependency.shuffle_id, partition)
@@ -1355,7 +1563,7 @@ class ShuffledDataset(Dataset):
         return chunk_list(records, batch_size)
 
 
-class CoGroupedDataset(Dataset):
+class CoGroupedDataset(Dataset, SplittableShuffleRead):
     """Shuffle-based cogroup of two key-value datasets."""
 
     def __init__(self, left: Dataset, right: Dataset, partitioner: Partitioner):
@@ -1388,8 +1596,45 @@ class CoGroupedDataset(Dataset):
                                       ctx._next_shuffle_id())
         super().__init__(ctx, partitioner.num_partitions, [left_dep, right_dep],
                          name="cogroup")
+        self._init_split_state()
+
+    @property
+    def supports_slice_reads(self) -> bool:
+        return True
+
+    def read_slice(self, partition: int, unit: Tuple[int, int, int],
+                   task_context: TaskContext) -> Dict[Any, Tuple[List[Any], List[Any]]]:
+        dep_index, map_lo, map_hi = unit
+        dependency = self.dependencies[dep_index]
+        records, size = self.ctx.shuffle_manager.read_reduce_input(
+            dependency.shuffle_id, partition, map_range=(map_lo, map_hi))
+        task_context.shuffle_bytes_read += size
+        grouped: Dict[Any, Tuple[List[Any], List[Any]]] = {}
+        for key, tag, value in records:
+            if key not in grouped:
+                grouped[key] = ([], [])
+            grouped[key][tag].append(value)
+        return grouped
+
+    def install_slice_result(self, partition: int, partials: List[Any]) -> None:
+        # partials arrive in unit order (left slices first, then right), so
+        # first-appearance key order and per-tag value order both match the
+        # unsplit read exactly
+        merged: Dict[Any, Tuple[List[Any], List[Any]]] = {}
+        for partial in partials:
+            for key, (left_values, right_values) in partial.items():
+                slot = merged.get(key)
+                if slot is None:
+                    merged[key] = (left_values, right_values)
+                else:
+                    slot[0].extend(left_values)
+                    slot[1].extend(right_values)
+        self._slice_results[partition] = merged
 
     def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
+        override = self._pop_override(partition)
+        if override is not None:
+            return iter(override.items())
         grouped: Dict[Any, Tuple[List[Any], List[Any]]] = {}
         for dependency in self.dependencies:
             records, size = self.ctx.shuffle_manager.read_reduce_input(

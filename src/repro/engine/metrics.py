@@ -120,6 +120,12 @@ class JobMetrics:
     #: Times the adaptive optimizer swapped the physical plan mid-job after
     #: actual shuffle map-output sizes contradicted the static estimates.
     adaptive_replans: int = 0
+    #: Skewed reduce partitions this job served as parallel sub-partition
+    #: reads (the ``split_skewed_shuffle`` rule's runtime effect).
+    skew_splits: int = 0
+    #: Broadcast build sides served from the context-wide build cache
+    #: instead of being re-collected by a nested job.
+    broadcast_reuses: int = 0
 
     def add_stage(self, stage: StageMetrics) -> None:
         """Attach a completed stage to the job."""
@@ -198,6 +204,8 @@ class JobMetrics:
             "cache_hits": self.cache_hits,
             "batches_processed": self.batches_processed,
             "adaptive_replans": self.adaptive_replans,
+            "skew_splits": self.skew_splits,
+            "broadcast_reuses": self.broadcast_reuses,
         }
 
 
@@ -221,6 +229,8 @@ def merge_job_metrics(jobs: Iterable[JobMetrics]) -> Dict[str, float]:
         "cache_hits": sum(j.cache_hits for j in jobs),
         "batches_processed": sum(j.batches_processed for j in jobs),
         "adaptive_replans": sum(j.adaptive_replans for j in jobs),
+        "skew_splits": sum(j.skew_splits for j in jobs),
+        "broadcast_reuses": sum(j.broadcast_reuses for j in jobs),
     }
     return summary
 

@@ -55,7 +55,8 @@ once per context thanks to a structural-signature memo.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, List, Optional
+import statistics
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..config import EngineConfig
 from ..errors import PlanError
@@ -75,6 +76,11 @@ _FUSABLE = (MapNode, FilterNode, FlatMapNode, ProjectNode)
 #: Upper bound on pushdown fixpoint iterations (a filter can sink through at
 #: most this many shuffle boundaries; real plans have a handful).
 _MAX_PUSHDOWN_PASSES = 10
+
+#: A reduce partition counts as skewed when its map-output bytes exceed this
+#: multiple of the shuffle's median partition size (and the configured
+#: ``skew_min_partition_bytes`` floor), mirroring the classic AQE detection.
+SKEW_MEDIAN_FACTOR = 2.0
 
 #: Cap on the context-wide lowered-plan memo.  Long-running contexts (e.g.
 #: streaming, one fresh plan per micro-batch) would otherwise pin every
@@ -125,6 +131,44 @@ def _iter_nodes(node: LogicalNode):
     yield node
     for child in node.children:
         yield from _iter_nodes(child)
+
+
+def _balanced_ranges(map_bytes: List[Tuple[int, int]],
+                     wanted: int) -> List[Tuple[int, int]]:
+    """Cut the map-partition index space into byte-balanced contiguous ranges.
+
+    ``map_bytes`` lists ``(map_partition, bytes)`` in index order for every
+    expected map partition.  The returned ``[lo, hi)`` ranges are disjoint,
+    cover the whole index space, and each carries roughly ``total/wanted``
+    bytes; at most ``wanted`` ranges are produced (fewer when single map
+    buckets dominate — a split never cuts inside one map's bucket).
+    """
+    if not map_bytes:
+        return [(0, 0)]
+    lo = map_bytes[0][0]
+    hi = map_bytes[-1][0] + 1
+    total = sum(size for _, size in map_bytes)
+    if wanted <= 1 or total <= 0:
+        return [(lo, hi)]
+    ranges: List[Tuple[int, int]] = []
+    start, accumulated, remaining = lo, 0, total
+    for index, (map_partition, size) in enumerate(map_bytes):
+        accumulated += size
+        if len(ranges) >= wanted - 1 or map_partition + 1 >= hi:
+            continue
+        # cut where the range is closest to its fair share of what's left:
+        # extending past the midpoint of the next bucket would overshoot
+        # more than cutting here undershoots (keeps byte-estimate jitter
+        # from merging ranges and re-creating a straggler sub-read)
+        slots_left = wanted - len(ranges)
+        next_size = map_bytes[index + 1][1] if index + 1 < len(map_bytes) else 0
+        if accumulated + next_size / 2 > remaining / slots_left:
+            ranges.append((start, map_partition + 1))
+            start = map_partition + 1
+            remaining -= accumulated
+            accumulated = 0
+    ranges.append((start, hi))
+    return ranges
 
 
 class OptimizationResult:
@@ -189,6 +233,8 @@ class PlanOptimizer:
             node = self._broadcast_joins(node, applied)
         if "coalesce_shuffle" in rules:
             node = self._coalesce_shuffles(node, applied)
+        if "split_skewed_shuffle" in rules:
+            self._split_skewed_shuffles(node, applied)
         self.estimator.annotate(node)
         return OptimizationResult(node, applied, rules, cost=plan_cost(node))
 
@@ -408,6 +454,91 @@ class PlanOptimizer:
 
         return self._transform(node, rule)
 
+    # -- rule: runtime skew splitting ----------------------------------------
+
+    def _split_skewed_shuffles(self, node: LogicalNode,
+                               applied: List[str]) -> None:
+        """Annotate completed shuffles whose reduce partitions are skewed.
+
+        The AQE counterpart of ``coalesce_shuffle``: where coalescing
+        shrinks many small partitions, this rule fans one fat partition out
+        over disjoint map-output slices, each served as its own parallel
+        sub-read task.  It only fires once the shuffle's map stages have
+        completed — i.e. during adaptive re-plans (or follow-up actions on
+        the same lineage), when *actual* per-partition bytes are known — and
+        never rewrites the plan structurally: the split plan is stamped onto
+        the existing physical dataset, so the completed shuffle output keeps
+        being reused.  Splits fall only between map slices, never inside one
+        map task's combined run for a key, and the per-slice partials
+        re-merge through the operator's combiner, so results are identical
+        to the unsplit read.
+        """
+        factor = self.config.skew_split_factor
+        manager = self.estimator.shuffle_manager
+        if factor < 2 or manager is None:
+            return
+        min_bytes = self.config.skew_min_partition_bytes
+        for n in _iter_nodes(node):
+            if not n.is_shuffle or n.is_cached:
+                continue
+            ds = self.estimator._physical_of(n)
+            if isinstance(ds, physical.CoGroupedDataset):
+                dependencies = list(ds.dependencies)
+            elif isinstance(ds, physical.ShuffledDataset):
+                dependencies = [ds.shuffle_dependency]
+            else:
+                continue
+            if not ds.supports_slice_reads:
+                continue
+            if any(manager.map_output_stats(dep.shuffle_id) is None
+                   for dep in dependencies):
+                continue
+            plan = self._skew_split_plan(ds, dependencies, factor, min_bytes)
+            if not plan:
+                continue
+            n.skew_split = {partition: len(units)
+                            for partition, units in plan.items()}
+            if plan != ds.split_plan:
+                ds.set_split_plan(plan)
+                applied.append("split_skewed_shuffle")
+
+    def _skew_split_plan(self, ds, dependencies, factor: int, min_bytes: int
+                         ) -> Dict[int, List[Tuple[int, int, int]]]:
+        """Compute ``{reduce_partition: [(dep_index, map_lo, map_hi), ...]}``.
+
+        A partition is skewed when its bytes reach the configured floor and
+        :data:`SKEW_MEDIAN_FACTOR` times the shuffle's median partition (the
+        median gate is waived for single-partition shuffles, which have no
+        siblings to compare against).  Each dependency's map range is then
+        cut into contiguous slices balanced by actual bucket bytes, the fat
+        side getting proportionally more slices.
+        """
+        manager = self.estimator.shuffle_manager
+        per_dep = [manager.reduce_partition_bytes(dep.shuffle_id)
+                   for dep in dependencies]
+        totals = [sum(sizes.get(partition, 0) for sizes in per_dep)
+                  for partition in range(ds.num_partitions)]
+        median = statistics.median(totals)
+        plan: Dict[int, List[Tuple[int, int, int]]] = {}
+        for partition, total in enumerate(totals):
+            if total < max(1, min_bytes):
+                continue
+            if ds.num_partitions > 1 and total < SKEW_MEDIAN_FACTOR * median:
+                continue
+            target = total / factor
+            units: List[Tuple[int, int, int]] = []
+            for dep_index, dep in enumerate(dependencies):
+                dep_bytes = per_dep[dep_index].get(partition, 0)
+                wanted = min(factor, max(1, round(dep_bytes / target))) \
+                    if target > 0 else 1
+                slices = manager.reduce_partition_map_bytes(dep.shuffle_id,
+                                                            partition)
+                units.extend((dep_index, lo, hi)
+                             for lo, hi in _balanced_ranges(slices, wanted))
+            if len(units) > len(dependencies):  # something actually split
+                plan[partition] = units
+        return plan
+
     # -- rule: narrow-operator fusion ---------------------------------------
 
     def _fuse_narrow(self, node: LogicalNode, applied: List[str]) -> LogicalNode:
@@ -539,7 +670,9 @@ def _build_physical(node: LogicalNode, ctx) -> "physical.Dataset":
 
         return d.ShuffledDataset(lower_plan(node.child, ctx), node.partitioner,
                                  d.record_bucketer(node.partitioner),
-                                 reduce_side=reduce_side, name="sort_by")
+                                 reduce_side=reduce_side, name="sort_by",
+                                 slices=d.sorted_slice_merge(key_func,
+                                                             ascending))
     if isinstance(node, DistinctNode):
         parent = lower_plan(node.child, ctx)
         if node.local:
@@ -547,7 +680,8 @@ def _build_physical(node: LogicalNode, ctx) -> "physical.Dataset":
             return built.set_name("distinct(local)")
         return d.ShuffledDataset(parent, node.partitioner,
                                  d.distinct_map_side(node.partitioner),
-                                 reduce_side=d.distinct_reduce, name="distinct")
+                                 reduce_side=d.distinct_reduce, name="distinct",
+                                 slices=d.distinct_slice_merge())
     if isinstance(node, GroupByKeyNode):
         parent = lower_plan(node.child, ctx)
         if node.local:
@@ -556,7 +690,8 @@ def _build_physical(node: LogicalNode, ctx) -> "physical.Dataset":
         return d.ShuffledDataset(parent, node.partitioner,
                                  d.key_bucketer(node.partitioner),
                                  reduce_side=d.group_reduce,
-                                 name="group_by_key")
+                                 name="group_by_key",
+                                 slices=d.grouping_slice_merge())
     if isinstance(node, AggregateNode):
         parent = lower_plan(node.child, ctx)
         if node.local:
@@ -569,7 +704,10 @@ def _build_physical(node: LogicalNode, ctx) -> "physical.Dataset":
                 d.combining_map_side(node.create_combiner, node.merge_value,
                                      node.partitioner),
                 reduce_side=d.merge_combiners_reduce(node.merge_combiners),
-                name=node.name)
+                name=node.name,
+                slices=d.combiner_slice_merge(node.merge_combiners))
+        # uncombined (map_side_combine rewrite disabled): no slice spec, so
+        # the skew rule never re-merges through a distrusted merge_combiners
         return d.ShuffledDataset(
             parent, node.partitioner, d.key_bucketer(node.partitioner),
             reduce_side=d.fold_values_reduce(node.create_combiner,

@@ -53,6 +53,15 @@ class LogicalNode:
         #: the statistics layer on every optimizer run; ``None`` before the
         #: first estimation (and on operators with unknown cardinality).
         self.stats = None
+        #: :class:`repro.engine.stats.KeyDistribution` annotation of the
+        #: operator's key-bearing input (distinct keys, heavy-hitter
+        #: shares), sampled from sources and completed shuffles; ``None``
+        #: when no key distribution could be observed.
+        self.key_stats = None
+        #: Runtime skew-split decision: ``{reduce_partition: sub_reads}``
+        #: stamped by the ``split_skewed_shuffle`` rule once actual
+        #: map-output bytes mark a partition as skewed; ``None`` otherwise.
+        self.skew_split = None
 
     # -- structure ----------------------------------------------------------
 
@@ -98,6 +107,13 @@ class LogicalNode:
             parts.append(f"[{', '.join(attrs)}]")
         if self.stats is not None:
             parts.append(f"  ({self.stats.render()})")
+        if self.key_stats is not None:
+            parts.append(f"  ({self.key_stats.render()})")
+        if self.skew_split:
+            splits = ", ".join(f"p{partition}->{sub_reads} sub-reads"
+                               for partition, sub_reads
+                               in sorted(self.skew_split.items()))
+            parts.append(f"  (skew split: {splits})")
         return "".join(parts)
 
     def __repr__(self) -> str:

@@ -25,14 +25,22 @@ import itertools
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..config import EngineConfig
-from .dataset import (BroadcastDependency, Dataset, Dependency,
-                      ShuffleDependency, TaskContext)
+from .dataset import (BroadcastDependency, CoGroupedDataset, Dataset,
+                      Dependency, ShuffleDependency, ShuffledDataset,
+                      TaskContext)
 from .executor import Executor, Task
 from .metrics import JobMetrics, StageMetrics
 
 #: Upper bound on accepted adaptive re-plans per job; a backstop against a
 #: (buggy) replanner oscillating between plan shapes forever.
 _MAX_ADAPTIVE_REPLANS = 20
+
+#: Cap on cached broadcast build sides.  Long-running contexts (streaming:
+#: one fresh build side per micro-batch) would otherwise pin every
+#: collected hash map forever; evicting the oldest entries only costs
+#: re-collecting if an old build side resurfaces (same discipline as the
+#: lowered-plan memo).
+_BROADCAST_BUILDS_LIMIT = 64
 
 
 def _counted_batches(batches: Iterator[List[Any]],
@@ -79,6 +87,26 @@ class ShuffleMapTask(Task):
         return written_records
 
 
+class SkewSliceTask(Task):
+    """Reads one map-output slice of a skewed reduce partition.
+
+    The per-slice reduction (grouping, combiner folds, sorted runs) happens
+    inside the task, so the straggler partition's work is spread over as
+    many parallel tasks as the split plan carries slices; the driver then
+    merges the partials back in slice order before the result stage runs.
+    """
+
+    def __init__(self, task_id: str, stage_id: int, partition: int,
+                 dataset: Dataset, unit):
+        super().__init__(task_id, stage_id, partition)
+        self._dataset = dataset
+        self._unit = unit
+
+    def run(self, task_context: TaskContext) -> Any:
+        return self._dataset.read_slice(self.partition, self._unit,
+                                        task_context)
+
+
 class ResultTask(Task):
     """Computes one partition of the final dataset and applies the action."""
 
@@ -110,11 +138,16 @@ class DAGScheduler:
     """Turns actions on datasets into stages of tasks and executes them."""
 
     def __init__(self, config: EngineConfig, shuffle_manager, block_store,
-                 metrics_registry):
+                 metrics_registry, broadcast_builds: Optional[Dict] = None):
         self.config = config
         self.shuffle_manager = shuffle_manager
         self.block_store = block_store
         self.metrics_registry = metrics_registry
+        #: Context-wide cache of collected broadcast build sides, keyed by
+        #: ``(build dataset id, collection kind)``; lets a later job joining
+        #: against the same build side skip the nested collection job.
+        self.broadcast_builds = broadcast_builds if broadcast_builds is not None \
+            else {}
         self.executor = Executor(config)
         self._job_counter = itertools.count()
         self._stage_counter = itertools.count()
@@ -136,6 +169,9 @@ class DAGScheduler:
         try:
             dataset = self._execute_prerequisites(dataset, job, replanner)
             if partitions is None:
+                # whole-dataset jobs serve skew-split reduce partitions as
+                # parallel sub-reads before the result stage consumes them
+                self._execute_skew_splits(dataset, job)
                 partitions = range(dataset.num_partitions)
             stage = StageMetrics(stage_id=next(self._stage_counter),
                                  name=f"result:{dataset.name}", is_shuffle_map=False)
@@ -175,7 +211,7 @@ class DAGScheduler:
                 return dataset
             dependency = self._pick_prerequisite(ready, replanner is not None)
             if isinstance(dependency, BroadcastDependency):
-                self._fill_broadcast(dependency)
+                self._fill_broadcast(dependency, job)
                 continue
             self._run_shuffle_stage(dependency, job)
             if replanner is not None and \
@@ -243,15 +279,115 @@ class DAGScheduler:
 
         return min(enumerate(ready), key=cost)[1]
 
-    def _fill_broadcast(self, dependency: BroadcastDependency) -> None:
-        """Collect a broadcast input by running its parent as a nested job."""
+    def _fill_broadcast(self, dependency: BroadcastDependency,
+                        job: JobMetrics) -> None:
+        """Collect a broadcast input, reusing a prior job's collection.
+
+        Collected build sides are cached per ``(build dataset id, kind)``:
+        datasets are immutable, so a later join against the same build side
+        can skip the nested collection job entirely.  The context
+        invalidates entries when the build dataset is unpersisted and on
+        shutdown.  Cached values are shared read-only by every consumer.
+        """
         parent = dependency.parent
+        cache_key = (parent.id, dependency.kind)
+        cached = self.broadcast_builds.get(cache_key)
+        if cached is not None:
+            dependency.holder.set(cached)
+            job.broadcast_reuses += 1
+            return
         partials = self.run_job(parent, dependency.collect,
                                 description=f"broadcast {parent.name}")
-        dependency.holder.set(dependency.assemble(partials))
+        value = dependency.assemble(partials)
+        self.broadcast_builds[cache_key] = value
+        if len(self.broadcast_builds) > _BROADCAST_BUILDS_LIMIT:
+            # drop the oldest half (dict preserves insertion order)
+            for stale in list(self.broadcast_builds)[:_BROADCAST_BUILDS_LIMIT // 2]:
+                del self.broadcast_builds[stale]
+        dependency.holder.set(value)
+
+    # -- skew-split sub-partition reads -------------------------------------
+
+    def _collect_split_datasets(self, dataset: Dataset) -> List[Dataset]:
+        """Shuffle-reading datasets with a split plan the result stage hits.
+
+        Walks the narrow closure the result tasks will pull through,
+        stopping at fully cached datasets (served from blocks), broadcast
+        inputs (filled separately) and shuffle reads themselves (nothing
+        below them executes again).  Known over-approximation: a *partially*
+        cached dataset between the shuffle and the result stage is walked
+        through, so a partition whose derived block happens to be cached
+        still gets its sub-reads computed (and then unused) — being
+        per-partition path-aware through non-1:1 narrow ops (coalesce,
+        union) is not worth the complexity for that corner.
+        """
+        found: List[Dataset] = []
+        seen: set = set()
+
+        def walk(node: Dataset) -> None:
+            if node.id in seen:
+                return
+            seen.add(node.id)
+            if self._is_fully_cached(node):
+                return
+            if isinstance(node, (ShuffledDataset, CoGroupedDataset)):
+                if node.split_plan and node.supports_slice_reads:
+                    found.append(node)
+                return
+            for dependency in node.dependencies:
+                if isinstance(dependency, BroadcastDependency):
+                    continue
+                walk(dependency.parent)
+
+        walk(dataset)
+        return found
+
+    def _execute_skew_splits(self, dataset: Dataset, job: JobMetrics) -> None:
+        """Serve skew-split reduce partitions as parallel sub-read stages.
+
+        For every split partition, one task per map-output slice applies the
+        per-slice reduction on the persistent executor pool; the partials
+        are then merged in slice order on the driver and installed as the
+        partition's one-shot compute override, so the result stage consumes
+        records identical to the unsplit read without re-doing the heavy
+        reduce work in a single straggler task.
+        """
+        for ds in self._collect_split_datasets(dataset):
+            pending = []
+            for partition, units in sorted(ds.split_plan.items()):
+                if ds.is_cached and self.block_store.contains(ds.id, partition):
+                    continue  # served from the cache; no read happens
+                pending.append((partition, units))
+            if not pending:
+                continue
+            stage = StageMetrics(stage_id=next(self._stage_counter),
+                                 name=f"skew-split:{ds.name}",
+                                 is_shuffle_map=False)
+            tasks = [SkewSliceTask(
+                task_id=f"job{job.job_id}-s{stage.stage_id}-p{partition}.{index}",
+                stage_id=stage.stage_id, partition=partition,
+                dataset=ds, unit=unit)
+                for partition, units in pending
+                for index, unit in enumerate(units)]
+            try:
+                results = self.executor.execute_stage(tasks, stage)
+            finally:
+                job.add_stage(stage)
+            cursor = 0
+            for partition, units in pending:
+                partials = [result.value
+                            for result in results[cursor:cursor + len(units)]]
+                cursor += len(units)
+                ds.install_slice_result(partition, partials)
+                job.skew_splits += 1
 
     def _run_shuffle_stage(self, dependency: ShuffleDependency, job: JobMetrics) -> None:
         parent = dependency.parent
+        # a skewed upstream shuffle read by this map stage benefits from
+        # splitting exactly like one read by the result stage: its split
+        # plan (stamped by the replan that followed the upstream stage)
+        # is served as sub-reads before the straggler map task would run
+        self._execute_skew_splits(parent, job)
         self.shuffle_manager.register_shuffle(dependency.shuffle_id,
                                               parent.num_partitions)
         stage = StageMetrics(stage_id=next(self._stage_counter),

@@ -10,6 +10,7 @@ bucket so that shuffle volume can be reported without serialising everything.
 from __future__ import annotations
 
 import pickle
+import random
 import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -64,6 +65,10 @@ class ShuffleManager:
         #: reduce side sums these instead of re-sampling and re-pickling the
         #: very data the map side already measured.
         self._bucket_bytes: Dict[Tuple[int, int, int], int] = {}
+        #: (shuffle_id, reduce_partition) -> byte total, maintained
+        #: incrementally on write so skew detection (which runs on every
+        #: adaptive re-plan) never scans all buckets under the lock.
+        self._reduce_bytes: Dict[Tuple[int, int], int] = {}
         self._completed_maps: Dict[int, set] = {}
         self._expected_maps: Dict[int, int] = {}
         self._bytes_written: Dict[int, int] = {}
@@ -106,8 +111,12 @@ class ShuffleManager:
             if shuffle_id not in self._expected_maps:
                 raise ShuffleError(f"shuffle {shuffle_id} was never registered")
             for key, copied, size in staged:
+                previous = self._bucket_bytes.get(key)
                 self._buckets[key] = copied
                 self._bucket_bytes[key] = size
+                reduce_key = (shuffle_id, key[2])
+                self._reduce_bytes[reduce_key] = \
+                    self._reduce_bytes.get(reduce_key, 0) - (previous or 0) + size
             self._completed_maps[shuffle_id].add(map_partition)
             self._bytes_written[shuffle_id] += written
             self._records_written[shuffle_id] += records_out
@@ -123,13 +132,25 @@ class ShuffleManager:
                 return False
             return len(self._completed_maps[shuffle_id]) >= expected
 
-    def read_reduce_input(self, shuffle_id: int, reduce_partition: int) -> Tuple[List[Any], int]:
+    def read_reduce_input(self, shuffle_id: int, reduce_partition: int,
+                          map_range: Optional[Tuple[int, int]] = None
+                          ) -> Tuple[List[Any], int]:
         """Return (records, estimated bytes) addressed to ``reduce_partition``.
+
+        ``map_range=(lo, hi)`` restricts the read to the buckets written by
+        map partitions ``lo <= m < hi``: one oversized reduce partition can
+        be served as several sub-reads over disjoint map-output slices whose
+        concatenation (in range order) is exactly the full read.
 
         The byte count is the sum of the per-bucket estimates measured when
         the map side wrote its output — no data is re-sampled or re-pickled
         on the read path, and read-side accounting matches write-side
-        accounting exactly.
+        accounting exactly.  Only the bucket-reference snapshot happens
+        under the manager lock; the concatenation — linear in the partition
+        size — runs outside it, so concurrent sub-partition readers never
+        serialise behind each other (the same discipline the write side
+        applies to bucket copies).  Buckets are immutable once written,
+        which is what makes the snapshot safe.
         """
         with self._lock:
             if shuffle_id not in self._expected_maps:
@@ -137,15 +158,81 @@ class ShuffleManager:
             if len(self._completed_maps[shuffle_id]) < self._expected_maps[shuffle_id]:
                 raise ShuffleError(
                     f"shuffle {shuffle_id} read before all map outputs were written")
-            records: List[Any] = []
+            buckets: List[List[Any]] = []
             size = 0
             for map_partition in sorted(self._completed_maps[shuffle_id]):
+                if map_range is not None and \
+                        not map_range[0] <= map_partition < map_range[1]:
+                    continue
                 key = (shuffle_id, map_partition, reduce_partition)
                 bucket = self._buckets.get(key)
                 if bucket:
-                    records.extend(bucket)
+                    buckets.append(bucket)
                     size += self._bucket_bytes.get(key, 0)
+        records: List[Any] = []
+        for bucket in buckets:
+            records.extend(bucket)
         return records, size
+
+    def reduce_partition_bytes(self, shuffle_id: int) -> Dict[int, int]:
+        """Per-reduce-partition byte totals of a shuffle's map output.
+
+        Aggregates the per-bucket estimates measured on the write side; this
+        is the signal the ``split_skewed_shuffle`` rule reads after the map
+        stages complete to decide which reduce partitions are skewed.  The
+        totals are maintained incrementally by :meth:`write_map_output`, so
+        this never scans buckets under the lock.
+        """
+        with self._lock:
+            return {reduce_partition: size
+                    for (sid, reduce_partition), size in self._reduce_bytes.items()
+                    if sid == shuffle_id}
+
+    def reduce_partition_map_bytes(self, shuffle_id: int,
+                                   reduce_partition: int) -> List[Tuple[int, int]]:
+        """Bytes each map partition contributed to one reduce partition.
+
+        Returns ``[(map_partition, bytes), ...]`` for every expected map
+        partition in index order (0 for maps that wrote nothing to this
+        reduce partition) — the weights the skew rule balances contiguous
+        map ranges over.
+        """
+        with self._lock:
+            expected = self._expected_maps.get(shuffle_id, 0)
+            return [(m, self._bucket_bytes.get((shuffle_id, m, reduce_partition), 0))
+                    for m in range(expected)]
+
+    def sample_records(self, shuffle_id: int, size: int) -> List[Any]:
+        """A seeded random sample of up to ``size`` records across buckets.
+
+        Used by the statistics layer to estimate key distributions (distinct
+        keys, heavy-hitter shares) of a completed shuffle's map output.  The
+        sample positions come from a deterministic seeded RNG rather than a
+        stride: striding over data whose keys repeat periodically (very
+        common in generated workloads) aliases onto a tiny subset of keys.
+        The bucket references are snapshotted under the lock — in sorted
+        bucket-key order, since dict order follows the nondeterministic
+        completion order of concurrent map tasks — and indexing happens
+        outside it, so identical runs sample identical records.
+        """
+        with self._lock:
+            buckets = [bucket for key, bucket in sorted(self._buckets.items())
+                       if key[0] == shuffle_id and bucket]
+        total = sum(len(bucket) for bucket in buckets)
+        if total == 0 or size <= 0:
+            return []
+        if total <= size:
+            return [record for bucket in buckets for record in bucket]
+        rng = random.Random(f"shuffle-sample:{shuffle_id}")
+        positions = sorted(rng.sample(range(total), size))
+        sample: List[Any] = []
+        bucket_index, offset = 0, 0
+        for position in positions:
+            while position - offset >= len(buckets[bucket_index]):
+                offset += len(buckets[bucket_index])
+                bucket_index += 1
+            sample.append(buckets[bucket_index][position - offset])
+        return sample
 
     # -- bookkeeping -----------------------------------------------------------
 
@@ -177,6 +264,10 @@ class ShuffleManager:
             for key in stale:
                 del self._buckets[key]
                 self._bucket_bytes.pop(key, None)
+            stale_reduce = [key for key in self._reduce_bytes
+                            if key[0] == shuffle_id]
+            for key in stale_reduce:
+                del self._reduce_bytes[key]
             self._completed_maps.pop(shuffle_id, None)
             self._expected_maps.pop(shuffle_id, None)
             self._bytes_written.pop(shuffle_id, None)
@@ -187,6 +278,7 @@ class ShuffleManager:
         with self._lock:
             self._buckets.clear()
             self._bucket_bytes.clear()
+            self._reduce_bytes.clear()
             self._completed_maps.clear()
             self._expected_maps.clear()
             self._bytes_written.clear()

@@ -29,8 +29,10 @@ expensive stages it makes redundant.
 
 from __future__ import annotations
 
+import random
+from collections import Counter
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional, Tuple
 
 from ..config import EngineConfig
 from . import dataset as physical
@@ -56,6 +58,49 @@ DISTINCT_RATIO = 0.5
 AGGREGATE_RATIO = 0.2
 #: Serialised bytes assumed per record of an external data source.
 DEFAULT_RECORD_BYTES = 64
+
+# -- key-distribution sampling ----------------------------------------------
+
+#: Records stride-sampled when estimating a key distribution.
+KEY_SAMPLE_SIZE = 512
+#: Heavy hitters tracked per distribution (the top-k keys by share).
+TOP_KEY_COUNT = 5
+#: When the sample's distinct share is at most this, keys repeat often
+#: enough that the sample has very likely seen (nearly) every key and the
+#: sampled distinct count is taken as the population's.
+KEY_REPEAT_CONFIDENCE = 0.5
+
+
+@dataclass(frozen=True)
+class KeyDistribution:
+    """Sampled key distribution of a key-bearing source or shuffle input.
+
+    ``distinct_keys`` estimates the number of distinct keys in the whole
+    input (exact when the sample covered every record); ``top_shares`` holds
+    the ``(key, share_of_sampled_records)`` of the heaviest keys.  The
+    distribution feeds two consumers: aggregate/group/distinct output
+    cardinality (rows out ≈ distinct keys) and skew prediction (a dominant
+    ``max_share`` announces the straggler the runtime split rule will
+    confirm against actual partition bytes).
+    """
+
+    distinct_keys: float
+    top_shares: Tuple[Tuple[Any, float], ...]
+    sampled_records: int
+    exact: bool = False
+
+    @property
+    def max_share(self) -> float:
+        """Share of the heaviest key among the sampled records."""
+        return self.top_shares[0][1] if self.top_shares else 0.0
+
+    def render(self) -> str:
+        """Compact rendering used by plan labels: ``keys ~12, hot 80%``."""
+        marker = "" if self.exact else "~"
+        text = f"keys {marker}{self.distinct_keys:,.0f}"
+        if self.max_share > 0:
+            text += f", hot {self.max_share:.0%}"
+        return text
 
 
 def format_bytes(size: float) -> str:
@@ -112,6 +157,9 @@ class StatsEstimator:
         #: plan after every shuffle-map stage; source data is immutable, so
         #: its estimate is measured exactly once per dataset.
         self._leaf_cache: dict = {}
+        #: Memoised :class:`KeyDistribution` per sampled input (source data
+        #: and completed shuffle map outputs are both immutable).
+        self._key_cache: dict = {}
 
     # -- public API ---------------------------------------------------------
 
@@ -155,6 +203,111 @@ class StatsEstimator:
         rows, size = actual
         return StatsEstimate(rows=float(rows), size_bytes=float(size),
                              exact=True)
+
+    # -- key distributions ---------------------------------------------------
+
+    def _distribution_from_sample(self, sample, total_rows: float, key_of
+                                  ) -> Optional[KeyDistribution]:
+        """Build a :class:`KeyDistribution` from sampled records.
+
+        The distinct-count extrapolation is deliberately crude: a sample
+        whose keys repeat has very likely seen (nearly) every key, while an
+        all-distinct sample scales linearly with the population — the two
+        regimes that matter for aggregate cardinality and skew prediction.
+        """
+        try:
+            counts = Counter(key_of(record) for record in sample)
+        except (TypeError, IndexError, KeyError):
+            return None  # records are not key-bearing / keys unhashable
+        sampled = len(sample)
+        if not counts or sampled == 0:
+            return None
+        distinct = len(counts)
+        if sampled >= total_rows:
+            estimate, exact = float(distinct), True
+        elif distinct <= sampled * KEY_REPEAT_CONFIDENCE:
+            estimate, exact = float(distinct), False
+        else:
+            estimate = min(float(total_rows), distinct * total_rows / sampled)
+            exact = False
+        top = tuple((key, count / sampled)
+                    for key, count in counts.most_common(TOP_KEY_COUNT))
+        return KeyDistribution(distinct_keys=estimate, top_shares=top,
+                               sampled_records=sampled, exact=exact)
+
+    def key_distribution(self, node: LogicalNode) -> Optional[KeyDistribution]:
+        """Sampled key distribution of ``node``'s key-bearing input.
+
+        Prefers the *actual* map output of the node's completed shuffle(s);
+        before the shuffle runs, an in-memory pair source directly below the
+        node is sampled instead.  Returns ``None`` when neither is
+        observable (e.g. a UDF map sits between the source and the shuffle).
+        """
+        if isinstance(node, DistinctNode):
+            def key_of(record):
+                return record
+        elif isinstance(node, (AggregateNode, GroupByKeyNode, CoGroupNode)):
+            def key_of(record):
+                return record[0]
+        else:
+            return None
+        distribution = self._shuffle_key_distribution(node, key_of)
+        if distribution is not None:
+            return distribution
+        return self._source_key_distribution(node, key_of)
+
+    def _shuffle_key_distribution(self, node: LogicalNode, key_of
+                                  ) -> Optional[KeyDistribution]:
+        if self.shuffle_manager is None:
+            return None
+        ds = self._physical_of(node)
+        if isinstance(ds, physical.ShuffledDataset):
+            dependencies = [ds.shuffle_dependency]
+        elif isinstance(ds, physical.CoGroupedDataset):
+            dependencies = list(ds.dependencies)
+        else:
+            return None
+        actuals = [self.shuffle_manager.map_output_stats(dep.shuffle_id)
+                   for dep in dependencies]
+        if any(actual is None for actual in actuals):
+            return None
+        cache_key = ("shuffle",) + tuple(dep.shuffle_id for dep in dependencies)
+        if cache_key not in self._key_cache:
+            total = sum(records for records, _ in actuals)
+            per_dep = max(1, KEY_SAMPLE_SIZE // len(dependencies))
+            sample = []
+            for dep in dependencies:
+                sample.extend(self.shuffle_manager.sample_records(
+                    dep.shuffle_id, per_dep))
+            self._key_cache[cache_key] = self._distribution_from_sample(
+                sample, total, key_of)
+        return self._key_cache[cache_key]
+
+    def _source_key_distribution(self, node: LogicalNode, key_of
+                                 ) -> Optional[KeyDistribution]:
+        if isinstance(node, CoGroupNode):
+            return None  # two inputs; only runtime shuffle samples apply
+        child = node.children[0]
+        ds = child.dataset
+        data = getattr(ds, "_data", None) if ds is not None else None
+        if not data:
+            return None
+        if not isinstance(node, DistinctNode):
+            probe = data[0]
+            if not (isinstance(probe, tuple) and len(probe) == 2):
+                return None
+        cache_key = ("source", ds.id, type(node).__name__)
+        if cache_key not in self._key_cache:
+            if len(data) <= KEY_SAMPLE_SIZE:
+                sample = data
+            else:
+                # seeded random, not a stride: striding aliases badly onto
+                # periodically repeating keys (i % k generators and the like)
+                rng = random.Random(f"source-sample:{ds.id}")
+                sample = rng.sample(data, KEY_SAMPLE_SIZE)
+            self._key_cache[cache_key] = self._distribution_from_sample(
+                sample, len(data), key_of)
+        return self._key_cache[cache_key]
 
     def _stamp_shuffle_hint(self, node: LogicalNode,
                             child: Optional[StatsEstimate]) -> None:
@@ -209,10 +362,12 @@ class StatsEstimator:
         # shuffle operators: prefer the actual map output once it exists
         if isinstance(node, (RepartitionNode, SortNode, DistinctNode,
                              GroupByKeyNode, AggregateNode)) and node.is_shuffle:
+            if isinstance(node, (DistinctNode, GroupByKeyNode, AggregateNode)):
+                node.key_stats = self.key_distribution(node)
             actual = self._shuffle_actual(node)
             self._stamp_shuffle_hint(node, child)
             if actual is not None:
-                return actual
+                return self._keyed_output_from_actual(node, actual)
 
         if isinstance(node, (MapNode, CoalesceNode)):
             return child
@@ -231,10 +386,17 @@ class StatsEstimator:
         if isinstance(node, (RepartitionNode, SortNode)):
             return child
         if isinstance(node, DistinctNode):
+            refined = self._keyed_output_estimate(node, child)
+            if refined is not None:
+                return refined
             return child.scaled(DISTINCT_RATIO) if child else None
         if isinstance(node, (GroupByKeyNode, AggregateNode)):
+            refined = self._keyed_output_estimate(node, child)
+            if refined is not None:
+                return refined
             return child.scaled(AGGREGATE_RATIO, AGGREGATE_RATIO) if child else None
         if isinstance(node, CoGroupNode):
+            node.key_stats = self.key_distribution(node)
             if any(c is None for c in children):
                 return None
             return StatsEstimate(
@@ -254,6 +416,50 @@ class StatsEstimator:
             return StatsEstimate(rows=sum(c.rows for c in children),
                                  size_bytes=sum(c.size_bytes for c in children))
         return None
+
+    def _keyed_output_from_actual(self, node: LogicalNode,
+                                  actual: StatsEstimate) -> StatsEstimate:
+        """Refine a completed shuffle's map-output stats into reduce output.
+
+        The map output of a grouping/aggregation/distinct is still keyed
+        per-record (or per map-side combiner); the reduce merges those down
+        to one record per distinct key, so the sampled key distribution is
+        the better output-cardinality signal.  Grouping keeps every value,
+        so its output bytes stay at the map-output size; aggregations and
+        distinct shrink proportionally to the key ratio.
+        """
+        distribution = node.key_stats
+        if distribution is None or actual.rows <= 0 or \
+                not isinstance(node, (DistinctNode, GroupByKeyNode,
+                                      AggregateNode)):
+            return actual
+        rows = min(actual.rows, distribution.distinct_keys)
+        if rows <= 0:
+            return actual
+        if isinstance(node, GroupByKeyNode):
+            size = actual.size_bytes
+        else:
+            size = actual.size_bytes * (rows / actual.rows)
+        return StatsEstimate(rows=rows, size_bytes=size,
+                             exact=actual.exact and distribution.exact)
+
+    def _keyed_output_estimate(self, node: LogicalNode,
+                               child: Optional[StatsEstimate]
+                               ) -> Optional[StatsEstimate]:
+        """Plan-time cardinality from a sampled pair source, if observable."""
+        distribution = node.key_stats
+        if distribution is None or child is None or child.rows <= 0 or \
+                not node.is_shuffle:
+            # local (shuffle-eliminated) variants merge keys per partition
+            # only; the whole-input distinct count does not bound their
+            # output, so the generic heuristics stay in charge
+            return None
+        rows = min(child.rows, distribution.distinct_keys)
+        if isinstance(node, GroupByKeyNode):
+            size = child.size_bytes
+        else:
+            size = child.size_bytes * (rows / child.rows)
+        return StatsEstimate(rows=rows, size_bytes=size, exact=False)
 
     def _fused_stats(self, node: FusedNode,
                      child: Optional[StatsEstimate]) -> Optional[StatsEstimate]:

@@ -130,3 +130,36 @@ class TestOptimizerHints:
     def test_hints_shown_in_describe(self):
         campaign = CampaignCompiler().compile(_spec(num_partitions=4))
         assert "optimizer:" in campaign.deployment.describe()
+
+    def test_skew_split_hints_default(self):
+        campaign = CampaignCompiler().compile(_spec(num_partitions=4))
+        config = campaign.deployment.engine_config
+        hints = campaign.deployment.optimizer_hints
+        assert config.skew_split_factor == EngineConfig.skew_split_factor
+        assert hints["skew_split_factor"] == config.skew_split_factor
+        assert hints["skew_min_partition_bytes"] == \
+            config.skew_min_partition_bytes
+
+    def test_skew_split_factor_from_spec(self):
+        campaign = CampaignCompiler().compile(
+            _spec(num_partitions=4, skew_split_factor=8,
+                  skew_min_partition_bytes=4096))
+        config = campaign.deployment.engine_config
+        assert config.skew_split_factor == 8
+        assert config.skew_min_partition_bytes == 4096
+        assert campaign.deployment.optimizer_hints["skew_split_factor"] == 8
+        assert "up to 8 sub-reads" in campaign.deployment.describe()
+
+    def test_skew_split_disabled_from_spec(self):
+        campaign = CampaignCompiler().compile(
+            _spec(num_partitions=4, skew_split_factor=0))
+        assert campaign.deployment.engine_config.skew_split_factor == 0
+        assert "skew splitting: off" in campaign.deployment.describe()
+
+    def test_negative_skew_settings_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignCompiler().compile(
+                _spec(num_partitions=4, skew_split_factor=-1))
+        with pytest.raises(ConfigurationError):
+            CampaignCompiler().compile(
+                _spec(num_partitions=4, skew_min_partition_bytes=-1))

@@ -293,6 +293,68 @@ class TestCoalesceShuffle:
             assert sorted(ds.collect()) == list(range(500))
 
 
+class TestBroadcastBuildReuse:
+    """Collected broadcast build sides are cached per build dataset."""
+
+    def fact_and_dim(self, ctx):
+        fact = ctx.parallelize([(i % 10, i) for i in range(2000)], 4)
+        dim = ctx.parallelize([(i, f"d{i}") for i in range(10)], 2)
+        return fact, dim
+
+    @staticmethod
+    def broadcast_jobs(ctx):
+        return sum(1 for job in ctx.metrics.jobs
+                   if job.description.startswith("broadcast"))
+
+    def test_second_join_reuses_the_collected_build(self):
+        with broadcast_engine() as ctx:
+            fact, dim = self.fact_and_dim(ctx)
+            first = fact.join(dim).count()
+            assert self.broadcast_jobs(ctx) == 1
+            second = fact.map_values(lambda v: v * 2).join(dim).count()
+            assert first == second == 2000
+            # no second nested collection job ran; the reuse was counted
+            assert self.broadcast_jobs(ctx) == 1
+            assert ctx.metrics.summary()["broadcast_reuses"] == 1
+
+    def test_unpersist_invalidates_the_cached_build(self):
+        with broadcast_engine() as ctx:
+            fact, dim = self.fact_and_dim(ctx)
+            fact.join(dim).count()
+            assert any(key[0] == dim.id for key in ctx.broadcast_builds)
+            dim.unpersist()
+            assert not any(key[0] == dim.id for key in ctx.broadcast_builds)
+            # the next join re-collects and re-caches
+            fact.map_values(str).join(dim).count()
+            assert self.broadcast_jobs(ctx) == 2
+            assert any(key[0] == dim.id for key in ctx.broadcast_builds)
+
+    def test_stop_clears_the_build_cache(self):
+        ctx = broadcast_engine()
+        fact, dim = self.fact_and_dim(ctx)
+        fact.join(dim).count()
+        assert ctx.broadcast_builds
+        ctx.stop()
+        assert not ctx.broadcast_builds
+
+    def test_key_set_and_key_values_cached_separately(self):
+        """An outer join preserving the build side collects both kinds."""
+        with broadcast_engine() as ctx:
+            fact, dim = self.fact_and_dim(ctx)
+            fact.right_outer_join(dim).count()
+            kinds = {key[1] for key in ctx.broadcast_builds}
+            assert kinds == {"key_values", "key_set"}
+
+    def test_reused_build_produces_identical_results(self):
+        with broadcast_engine() as ctx:
+            fact, dim = self.fact_and_dim(ctx)
+            first = sorted(fact.join(dim).collect())
+            second = sorted(fact.join(dim).collect())
+            third = sorted(fact.map_values(lambda v: v).join(dim).collect())
+            assert first == second
+            assert sorted((k, (v, d)) for k, (v, d) in third) == first
+
+
 # ---------------------------------------------------------------------------
 # helpers
 # ---------------------------------------------------------------------------

@@ -12,7 +12,7 @@ from repro.config import EngineConfig
 from repro.engine import EngineContext, plan_cost
 from repro.engine.shuffle import estimate_bytes
 from repro.engine.stats import (AGGREGATE_RATIO, FILTER_SELECTIVITY,
-                                StatsEstimate, format_bytes)
+                                KeyDistribution, StatsEstimate, format_bytes)
 
 
 def make_engine(**overrides) -> EngineContext:
@@ -157,6 +157,77 @@ class TestPlanAnnotation:
             assert "rows" in text
             assert "200 rows" in text
             assert "estimated cost:" in text
+
+
+# ---------------------------------------------------------------------------
+# Key distributions: distinct keys, heavy hitters, cardinality refinement
+# ---------------------------------------------------------------------------
+
+
+class TestKeyDistributions:
+    def test_pair_source_distribution_sampled(self):
+        pairs = [(i % 4, i) for i in range(200)]
+        with make_engine() as ctx:
+            ds = ctx.parallelize(pairs, 4).group_by_key(4)
+            ctx.optimizer.estimator.annotate(ds.plan)
+            distribution = ds.plan.key_stats
+            assert distribution is not None
+            assert distribution.distinct_keys == 4
+            # 4 keys in uniform rotation: the top key holds ~25%
+            assert distribution.max_share == pytest.approx(0.25, abs=0.05)
+
+    def test_heavy_hitter_share_detected(self):
+        pairs = [(0 if i % 10 < 8 else i % 7 + 1, i) for i in range(500)]
+        with make_engine() as ctx:
+            ds = ctx.parallelize(pairs, 4).group_by_key(4)
+            ctx.optimizer.estimator.annotate(ds.plan)
+            distribution = ds.plan.key_stats
+            assert distribution.top_shares[0][0] == 0
+            assert distribution.max_share == pytest.approx(0.8, abs=0.1)
+
+    def test_group_by_cardinality_uses_distinct_keys(self):
+        """Direct pair source: rows out ≈ distinct keys, not 20% of input."""
+        pairs = [(i % 6, i) for i in range(600)]
+        with make_engine() as ctx:
+            ds = ctx.parallelize(pairs, 4).group_by_key(4)
+            ctx.optimizer.estimator.annotate(ds.plan)
+            assert ds.plan.stats.rows == 6
+
+    def test_udf_map_blocks_source_sampling(self):
+        """A UDF between source and shuffle: heuristics stay in charge."""
+        with make_engine() as ctx:
+            ds = (ctx.range(1000, num_partitions=4)
+                  .map(lambda x: (x % 5, x)).group_by_key(4))
+            ctx.optimizer.estimator.annotate(ds.plan)
+            assert ds.plan.key_stats is None
+            assert ds.plan.stats.rows == pytest.approx(1000 * AGGREGATE_RATIO)
+
+    def test_completed_shuffle_distribution_is_exact_on_small_data(self):
+        with make_engine() as ctx:
+            ds = (ctx.range(200, num_partitions=4)
+                  .map(lambda x: (x % 3, x)).group_by_key(4))
+            ds.collect()
+            ctx.optimizer.estimator.annotate(ds.plan)
+            distribution = ds.plan.key_stats
+            assert distribution is not None and distribution.exact
+            assert distribution.distinct_keys == 3
+            # and the group_by output cardinality follows the key count
+            assert ds.plan.stats.rows == 3
+
+    def test_non_pair_source_yields_no_distribution(self):
+        with make_engine() as ctx:
+            ds = ctx.range(100, num_partitions=2).group_by_key(2)
+            # records are ints, not pairs: sampling must bail gracefully
+            ctx.optimizer.estimator.annotate(ds.plan)
+            assert ds.plan.key_stats is None
+
+    def test_render(self):
+        distribution = KeyDistribution(distinct_keys=12, top_shares=((0, 0.8),),
+                                       sampled_records=100, exact=True)
+        assert distribution.render() == "keys 12, hot 80%"
+        estimated = KeyDistribution(distinct_keys=40, top_shares=((1, 0.1),),
+                                    sampled_records=100)
+        assert estimated.render().startswith("keys ~40")
 
 
 # ---------------------------------------------------------------------------
