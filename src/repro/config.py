@@ -96,6 +96,17 @@ class EngineConfig:
         generator per record; results and record/byte metrics are identical
         to record-at-a-time execution for every batch size.  ``0`` disables
         batching entirely and tasks fall back to the per-record iterators.
+    shuffle_memory_bytes:
+        Budget for memory-bounded execution: the total estimated bytes the
+        engine may keep resident for shuffle map-output buckets and
+        reduce-side merge partials.  When the budget is exceeded, the
+        shuffle manager spills cold buckets to per-context spill files and
+        the wide operators (aggregate/group/distinct/sort/cogroup) switch
+        to an external merge that folds bounded in-memory runs, spills
+        them, and streams a k-way merge — results, order and shuffle
+        metrics stay identical to the resident path; only the ``spills`` /
+        ``spill_bytes`` counters and wall-clock differ.  ``0`` (the
+        default) keeps execution fully resident and behaviour unchanged.
     """
 
     num_workers: int = 4
@@ -112,6 +123,7 @@ class EngineConfig:
     batch_size: int = 1024
     skew_split_factor: int = 4
     skew_min_partition_bytes: int = 32 * 1024 * 1024
+    shuffle_memory_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -136,6 +148,9 @@ class EngineConfig:
                 "skew_split_factor must be >= 0 (0 disables skew splitting)")
         if self.skew_min_partition_bytes < 0:
             raise ConfigurationError("skew_min_partition_bytes must be >= 0")
+        if self.shuffle_memory_bytes < 0:
+            raise ConfigurationError(
+                "shuffle_memory_bytes must be >= 0 (0 disables the budget)")
         if isinstance(self.optimizer_rules, str):
             # tuple("pushdown") would explode into characters and produce a
             # baffling unknown-rules error; demand a proper sequence instead

@@ -323,6 +323,7 @@ class ProceduralToDeployment:
             "batch_size": engine_config.batch_size,
             "skew_split_factor": engine_config.skew_split_factor,
             "skew_min_partition_bytes": engine_config.skew_min_partition_bytes,
+            "shuffle_memory_bytes": engine_config.shuffle_memory_bytes,
         }
         return DeploymentModel(
             procedural=procedural,
@@ -364,9 +365,11 @@ class ProceduralToDeployment:
         ``batch_size`` tunes vectorized batch execution per campaign
         (``0`` falls back to record-at-a-time iterators), and
         ``skew_split_factor`` / ``skew_min_partition_bytes`` steer runtime
-        skew splitting of straggler reduce partitions.  Values are
-        validated by ``EngineConfig.__post_init__``; only knobs the campaign
-        actually sets are overridden, so engine defaults stay in one place.
+        skew splitting of straggler reduce partitions, and
+        ``shuffle_memory_bytes`` caps resident shuffle state for
+        memory-bounded (spill-to-disk) execution.  Values are validated by
+        ``EngineConfig.__post_init__``; only knobs the campaign actually
+        sets are overridden, so engine defaults stay in one place.
         """
         overrides: Dict[str, Any] = {}
         if "broadcast_threshold_bytes" in preferences:
@@ -385,6 +388,9 @@ class ProceduralToDeployment:
         if "skew_min_partition_bytes" in preferences:
             overrides["skew_min_partition_bytes"] = \
                 int(preferences["skew_min_partition_bytes"])
+        if "shuffle_memory_bytes" in preferences:
+            overrides["shuffle_memory_bytes"] = \
+                int(preferences["shuffle_memory_bytes"])
         return overrides
 
     @staticmethod

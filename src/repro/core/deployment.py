@@ -95,6 +95,12 @@ class DeploymentModel:
                     + (f"up to {skew_factor} sub-reads per skewed partition"
                        if skew_factor and skew_factor > 1
                        else "off"))
+            memory_cap = self.optimizer_hints.get("shuffle_memory_bytes")
+            if memory_cap is not None:
+                lines.append(
+                    "  shuffle memory: "
+                    + (f"bounded at {memory_cap} bytes (spill-to-disk)"
+                       if memory_cap else "unbounded (fully resident)"))
         lines.extend(["", self.procedural.describe()])
         return "\n".join(lines)
 

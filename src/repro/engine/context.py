@@ -8,12 +8,15 @@ registry and the DAG scheduler, and offers factory methods to create datasets.
 from __future__ import annotations
 
 import itertools
+import shutil
+import tempfile
 import threading
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence
 
 from ..config import DEFAULT_ENGINE_CONFIG, EngineConfig
 from ..errors import EngineError, SourceError
 from .dataset import Dataset, ParallelCollectionDataset, SourceDataset
+from .memory import MemoryManager
 from .metrics import MetricsRegistry
 from .optimizer import PlanOptimizer, lower_plan
 from .plan import SourceNode, render_plan
@@ -28,7 +31,17 @@ class EngineContext:
     def __init__(self, config: Optional[EngineConfig] = None, name: str = "repro-engine"):
         self.config = config or DEFAULT_ENGINE_CONFIG
         self.name = name
-        self.shuffle_manager = ShuffleManager(compression=self.config.shuffle_compression)
+        #: Tracks shuffle-bucket and reduce-partial residency against
+        #: ``EngineConfig.shuffle_memory_bytes`` (0 = unbounded: residency is
+        #: still tracked for reporting, nothing ever spills).
+        self.memory_manager = MemoryManager(self.config.shuffle_memory_bytes)
+        #: Lazily created directory holding every spill file of this
+        #: context; removed (recursively) by :meth:`stop`.
+        self._spill_root: Optional[str] = None
+        self.shuffle_manager = ShuffleManager(
+            compression=self.config.shuffle_compression,
+            memory_manager=self.memory_manager,
+            spill_dir=self.spill_dir)
         self.block_store = BlockStore(memory_budget_bytes=self.config.memory_budget_bytes)
         self.metrics = MetricsRegistry()
         #: (build dataset id, collection kind) -> collected broadcast value;
@@ -54,6 +67,22 @@ class EngineContext:
         self._shuffle_counter = itertools.count()
         self._lock = threading.Lock()
         self._stopped = False
+
+    # -- spill directory ---------------------------------------------------------
+
+    def spill_dir(self) -> str:
+        """The context's spill directory, created on first use.
+
+        Shuffle bucket spills and reduce-side merge runs all land here; the
+        whole tree is removed by :meth:`stop`, so no spill file outlives the
+        context (run files are additionally deleted as soon as their merge
+        drains, and a shuffle's spill file when the shuffle is removed).
+        """
+        with self._lock:
+            if self._spill_root is None:
+                self._spill_root = tempfile.mkdtemp(
+                    prefix=f"repro-spill-{self.name}-")
+            return self._spill_root
 
     # -- id generation ----------------------------------------------------------
 
@@ -266,6 +295,11 @@ class EngineContext:
         self.block_store.clear()
         self.broadcast_builds.clear()
         self._lowered_plans.clear()
+        if self._spill_root is not None:
+            # shuffle_manager.clear() already deleted every live spill file;
+            # the recursive removal sweeps up anything a failed job left
+            shutil.rmtree(self._spill_root, ignore_errors=True)
+            self._spill_root = None
 
     def __enter__(self) -> "EngineContext":
         return self

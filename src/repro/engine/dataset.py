@@ -22,6 +22,7 @@ from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
 
 from ..errors import PlanError
 from . import plan as logical
+from .memory import SpillRun
 from .partitioner import HashPartitioner, Partitioner, RangePartitioner, RoundRobinPartitioner
 
 
@@ -402,6 +403,89 @@ class TaskContext:
         self.cache_hits = 0
         #: Batches drained by the task (0 under record-at-a-time execution).
         self.batches_processed = 0
+        #: Spill events (shuffle buckets or reduce-side runs written to
+        #: disk) this task triggered, and the serialised bytes they moved.
+        self.spills = 0
+        self.spill_bytes = 0
+        #: High-water mark of memory-manager-tracked shuffle residency
+        #: observed while this task ran (resident buckets + merge partials).
+        self.peak_shuffle_bytes = 0
+
+    def note_peak(self, used_bytes: int) -> None:
+        """Record one observation of the tracked shuffle residency."""
+        if used_bytes > self.peak_shuffle_bytes:
+            self.peak_shuffle_bytes = used_bytes
+
+
+def _note_memory_peak(ctx, task_context: TaskContext) -> None:
+    """Sample the context's tracked shuffle residency into the task."""
+    memory = getattr(ctx, "memory_manager", None)
+    if memory is not None:
+        task_context.note_peak(memory.used_bytes)
+
+
+class _ExternalRunAccumulator:
+    """Run-spilling protocol shared by the memory-bounded reduce paths.
+
+    Tracks the estimated bytes of the caller's current in-memory run
+    against the per-task budget (reserving them with the memory manager),
+    spills completed runs to disk, and owns the cleanup of run files and
+    the reservation.  Pickling failures mark the task unspillable — it
+    keeps accumulating resident, the correct-but-unbounded fallback —
+    while disk failures (OSError) propagate: silently growing unbounded
+    would defeat the configured budget.
+    """
+
+    def __init__(self, ctx, task_context: TaskContext, owner):
+        self._ctx = ctx
+        self._memory = ctx.memory_manager
+        self._task_context = task_context
+        self._owner = owner
+        self._budget = self._memory.task_run_budget(ctx.config.num_workers)
+        self._bytes = 0
+        self._spillable = True
+        self.runs: List[SpillRun] = []
+
+    def add_bytes(self, size: int) -> None:
+        """Account one streamed bucket's estimated bytes to the run."""
+        self._bytes += size
+        self._task_context.note_peak(
+            self._memory.reserve(self._owner, self._bytes))
+
+    def maybe_spill(self, make_partial: Callable[[], Any]) -> bool:
+        """Spill the current run when it outgrew the budget.
+
+        ``make_partial`` produces the run's reduced partial (user reduce
+        code runs inside it); returns True when the run was spilled and the
+        caller must start a fresh one.
+        """
+        if self._bytes <= self._budget or not self._spillable:
+            return False
+        partial = make_partial()  # user reduce code: its errors propagate
+        try:
+            kind, payload = SpillRun.serialise(partial)
+        except Exception:
+            # unpicklable records: stop trying, keep the run resident
+            self._spillable = False
+            return False
+        # disk failures below (OSError) propagate deliberately
+        run = SpillRun.write(self._ctx.spill_dir(), kind, payload)
+        self.runs.append(run)
+        self._task_context.spills += 1
+        self._task_context.spill_bytes += run.nbytes
+        self._bytes = 0
+        self._memory.reserve(self._owner, 0)
+        return True
+
+    def release(self) -> None:
+        """Drop the memory reservation (run files stay with the caller)."""
+        self._memory.release(self._owner)
+
+    def cleanup(self) -> None:
+        """Delete every run file and drop the reservation."""
+        for run in self.runs:
+            run.delete()
+        self.release()
 
 
 # ---------------------------------------------------------------------------
@@ -1517,6 +1601,7 @@ class ShuffledDataset(Dataset, SplittableShuffleRead):
             self.shuffle_dependency.shuffle_id, partition,
             map_range=(map_lo, map_hi))
         task_context.shuffle_bytes_read += size
+        _note_memory_peak(self.ctx, task_context)
         if self._slice_reduce is not None:
             return self._slice_reduce(records)
         return records
@@ -1530,16 +1615,108 @@ class ShuffledDataset(Dataset, SplittableShuffleRead):
                 merged.extend(partial)
         self._slice_results[partition] = merged
 
+    # -- memory-bounded external merge ----------------------------------------
+
+    def _external_merge_enabled(self) -> bool:
+        """Whether this partition read should run the spillable reduce.
+
+        Requires a bounded memory manager and a spill directory on the
+        context, plus per-operator slice-merge semantics (or no reduce side
+        at all — plain repartitions merge by concatenation).  Operators
+        without slice semantics (uncombined aggregations, whose combiner
+        associativity the caller distrusts) always reduce resident.
+        """
+        memory = getattr(self.ctx, "memory_manager", None)
+        if memory is None or not memory.bounded or \
+                getattr(self.ctx, "spill_dir", None) is None:
+            return False
+        return self._reduce_side is None or self._merge_slices is not None
+
+    def _compute_external(self, partition: int,
+                          task_context: TaskContext) -> Iterator[Any]:
+        """Memory-bounded reduce of one partition.
+
+        Buckets are streamed in map order (spilled buckets loaded one at a
+        time); records accumulate into an in-memory run whose estimated
+        bytes are reserved with the memory manager.  When a run outgrows
+        the per-task budget it is reduced with the operator's per-slice
+        semantics and spilled; the final output is the slice merge of the
+        spilled runs plus the resident tail — record-identical to the
+        resident reduce, because runs are consecutive chunks of the very
+        stream the resident path reduces in one pass.
+        """
+        ctx = self.ctx
+        owner = ("task-merge", id(task_context), self.id, partition)
+        accumulator = _ExternalRunAccumulator(ctx, task_context, owner)
+        current: List[Any] = []
+
+        def close_run():
+            return self._slice_reduce(current) \
+                if self._slice_reduce is not None else current
+
+        try:
+            for bucket, size in ctx.shuffle_manager.iter_reduce_input(
+                    self.shuffle_dependency.shuffle_id, partition):
+                task_context.shuffle_bytes_read += size
+                current.extend(bucket)
+                accumulator.add_bytes(size)
+                if accumulator.maybe_spill(close_run):
+                    current = []
+            if not accumulator.runs:
+                # everything fit: reduce exactly like the resident path
+                accumulator.release()
+                if self._reduce_side is None:
+                    return iter(current)
+                return iter(self._reduce_side(current))
+            tail = close_run()
+        except BaseException:
+            accumulator.cleanup()
+            raise
+        return self._drain_runs(accumulator, tail)
+
+    def _drain_runs(self, accumulator: _ExternalRunAccumulator,
+                    tail: Any) -> Iterator[Any]:
+        """Stream the slice merge of spilled runs + the resident tail.
+
+        Dict partials (grouping, combiner folds) are loaded one run at a
+        time; list partials (sorted runs, distinct runs, raw records) are
+        streamed frame by frame, which is what lets the sort's stable heap
+        merge run with one bounded batch per run resident.  Run files are
+        deleted — and the merge reservation released — when the stream is
+        exhausted (or closed).
+        """
+        runs = accumulator.runs
+        try:
+            if self._merge_slices is None:
+                merged: Iterable[Any] = itertools.chain(
+                    itertools.chain.from_iterable(
+                        run.iter_records() for run in runs),
+                    tail)
+            elif isinstance(tail, dict):
+                partials = itertools.chain(
+                    (run.load_dict() for run in runs), [tail])
+                merged = self._merge_slices(partials)
+            else:
+                streams = [run.iter_records() for run in runs] + [iter(tail)]
+                merged = self._merge_slices(streams)
+            for record in merged:
+                yield record
+        finally:
+            accumulator.cleanup()
+
     def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
         override = self._pop_override(partition)
         if override is not None:
             # already fully reduced by the sub-read tasks (bytes were
             # accounted there); serve the merged records as-is
             return iter(override)
+        if self._external_merge_enabled():
+            return self._compute_external(partition, task_context)
         dependency = self.shuffle_dependency
         records, size = self.ctx.shuffle_manager.read_reduce_input(
             dependency.shuffle_id, partition)
         task_context.shuffle_bytes_read += size
+        _note_memory_peak(self.ctx, task_context)
         if self._reduce_side is None:
             return iter(records)
         return iter(self._reduce_side(records))
@@ -1551,16 +1728,39 @@ class ShuffledDataset(Dataset, SplittableShuffleRead):
             if isinstance(override, list):
                 return chunk_list(override, batch_size)
             return chunk_iterator(override, batch_size)
+        if self._external_merge_enabled():
+            return chunk_iterator(
+                self._compute_external(partition, task_context), batch_size)
         dependency = self.shuffle_dependency
         records, size = self.ctx.shuffle_manager.read_reduce_input(
             dependency.shuffle_id, partition)
         task_context.shuffle_bytes_read += size
+        _note_memory_peak(self.ctx, task_context)
         if self._reduce_side is not None:
             reduced = self._reduce_side(records)
             if isinstance(reduced, list):
                 return chunk_list(reduced, batch_size)
             return chunk_iterator(reduced, batch_size)
         return chunk_list(records, batch_size)
+
+
+def _merge_cogroup_partials(partials) -> Dict[Any, Tuple[List[Any], List[Any]]]:
+    """Fold ``{key: ([left], [right])}`` partials, in order.
+
+    Shared by the skew-split slice merge and the memory-bounded run merge:
+    first-appearance key order and per-tag value order both reproduce what
+    one single-pass grouping of the concatenated input would yield.
+    """
+    merged: Dict[Any, Tuple[List[Any], List[Any]]] = {}
+    for partial in partials:
+        for key, (left_values, right_values) in partial.items():
+            slot = merged.get(key)
+            if slot is None:
+                merged[key] = (left_values, right_values)
+            else:
+                slot[0].extend(left_values)
+                slot[1].extend(right_values)
+    return merged
 
 
 class CoGroupedDataset(Dataset, SplittableShuffleRead):
@@ -1609,6 +1809,7 @@ class CoGroupedDataset(Dataset, SplittableShuffleRead):
         records, size = self.ctx.shuffle_manager.read_reduce_input(
             dependency.shuffle_id, partition, map_range=(map_lo, map_hi))
         task_context.shuffle_bytes_read += size
+        _note_memory_peak(self.ctx, task_context)
         grouped: Dict[Any, Tuple[List[Any], List[Any]]] = {}
         for key, tag, value in records:
             if key not in grouped:
@@ -1620,21 +1821,56 @@ class CoGroupedDataset(Dataset, SplittableShuffleRead):
         # partials arrive in unit order (left slices first, then right), so
         # first-appearance key order and per-tag value order both match the
         # unsplit read exactly
-        merged: Dict[Any, Tuple[List[Any], List[Any]]] = {}
-        for partial in partials:
-            for key, (left_values, right_values) in partial.items():
-                slot = merged.get(key)
-                if slot is None:
-                    merged[key] = (left_values, right_values)
-                else:
-                    slot[0].extend(left_values)
-                    slot[1].extend(right_values)
-        self._slice_results[partition] = merged
+        self._slice_results[partition] = _merge_cogroup_partials(partials)
+
+    def _external_merge_enabled(self) -> bool:
+        """Memory-bounded cogrouping needs a bounded manager + spill dir."""
+        memory = getattr(self.ctx, "memory_manager", None)
+        return memory is not None and memory.bounded and \
+            getattr(self.ctx, "spill_dir", None) is not None
+
+    def _compute_external(self, partition: int,
+                          task_context: TaskContext) -> Iterator[Any]:
+        """Memory-bounded cogroup: bounded grouped partials, spilled runs.
+
+        Buckets stream in dependency order (left slices first, then right),
+        grouping into a bounded ``{key: ([left], [right])}`` partial that is
+        spilled whenever its estimated input bytes outgrow the per-task
+        budget; partials then re-merge in run order — first-appearance key
+        order and per-tag value order both match the resident single-pass
+        grouping exactly (the same argument as ``install_slice_result``).
+        """
+        ctx = self.ctx
+        owner = ("task-merge", id(task_context), self.id, partition)
+        accumulator = _ExternalRunAccumulator(ctx, task_context, owner)
+        current: Dict[Any, Tuple[List[Any], List[Any]]] = {}
+        try:
+            for dependency in self.dependencies:
+                for bucket, size in ctx.shuffle_manager.iter_reduce_input(
+                        dependency.shuffle_id, partition):
+                    task_context.shuffle_bytes_read += size
+                    for key, tag, value in bucket:
+                        slot = current.get(key)
+                        if slot is None:
+                            current[key] = slot = ([], [])
+                        slot[tag].append(value)
+                    accumulator.add_bytes(size)
+                    if accumulator.maybe_spill(lambda: current):
+                        current = {}
+            if not accumulator.runs:
+                return iter(current.items())
+            merged = _merge_cogroup_partials(itertools.chain(
+                (run.load_dict() for run in accumulator.runs), [current]))
+            return iter(merged.items())
+        finally:
+            accumulator.cleanup()
 
     def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
         override = self._pop_override(partition)
         if override is not None:
             return iter(override.items())
+        if self._external_merge_enabled():
+            return self._compute_external(partition, task_context)
         grouped: Dict[Any, Tuple[List[Any], List[Any]]] = {}
         for dependency in self.dependencies:
             records, size = self.ctx.shuffle_manager.read_reduce_input(
@@ -1644,6 +1880,7 @@ class CoGroupedDataset(Dataset, SplittableShuffleRead):
                 if key not in grouped:
                     grouped[key] = ([], [])
                 grouped[key][tag].append(value)
+        _note_memory_peak(self.ctx, task_context)
         return iter(grouped.items())
 
 

@@ -111,6 +111,9 @@ class Executor:
             metrics.shuffle_bytes_written = task_context.shuffle_bytes_written
             metrics.cache_hits = task_context.cache_hits
             metrics.batches_processed = task_context.batches_processed
+            metrics.spills = task_context.spills
+            metrics.spill_bytes = task_context.spill_bytes
+            metrics.peak_shuffle_bytes = task_context.peak_shuffle_bytes
             with self._metrics_lock:
                 stage.add_task(metrics)
             return TaskResult(task, value, metrics)

@@ -1,0 +1,244 @@
+"""Task memory manager and spill-file plumbing for memory-bounded execution.
+
+The engine's shuffle path is resident by default: map-output buckets and
+reduce-side intermediates live in Python lists, so the largest workload is
+bounded by RAM.  When ``EngineConfig.shuffle_memory_bytes`` is set, the
+:class:`MemoryManager` tracks every shuffle bucket and reduce-side partial
+against that budget, and the owners react to pressure by *spilling*:
+
+* the :class:`~repro.engine.shuffle.ShuffleManager` serialises cold buckets
+  to a per-shuffle spill file and streams them back on read;
+* the wide operators in :mod:`repro.engine.dataset` fold their input into
+  bounded partials, spill finished runs (:class:`SpillRun`) and merge the
+  runs back with the per-operator slice-merge semantics.
+
+Accounting deliberately reuses the estimated byte sizes the shuffle layer
+already measures (``estimate_bytes``), so bounded and unbounded runs report
+identical shuffle metrics; only the spill counters differ.
+
+All spill payloads are *pickle-framed*: a payload is a sequence of pickled
+record batches, which lets readers stream a large bucket or run back one
+frame at a time instead of materialising it whole.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import tempfile
+import threading
+from typing import Any, BinaryIO, Dict, Iterator, List, Sequence, Tuple
+
+#: Records per pickle frame in spill payloads.  Small enough that streaming
+#: readers hold one bounded batch in memory, large enough that framing
+#: overhead is negligible.
+SPILL_FRAME_RECORDS = 4096
+
+
+class MemoryManager:
+    """Tracks per-owner memory reservations against a shared budget.
+
+    Owners (the shuffle manager's resident buckets, one entry per spilling
+    reduce task) record *absolute* reservations; the manager maintains the
+    total and its high-water mark.  With ``budget_bytes == 0`` the manager
+    is unbounded: reservations are still tracked (so peak residency can be
+    reported) but nobody is ever asked to spill.
+    """
+
+    def __init__(self, budget_bytes: int = 0):
+        self.budget_bytes = max(0, int(budget_bytes))
+        self._lock = threading.Lock()
+        self._reservations: Dict[Any, int] = {}
+        self._used = 0
+        self._peak = 0
+
+    @property
+    def bounded(self) -> bool:
+        """True when a non-zero budget is configured."""
+        return self.budget_bytes > 0
+
+    def reserve(self, owner: Any, nbytes: int) -> int:
+        """Set ``owner``'s reservation to ``nbytes``; return total used bytes."""
+        nbytes = max(0, int(nbytes))
+        with self._lock:
+            previous = self._reservations.pop(owner, 0)
+            if nbytes:
+                self._reservations[owner] = nbytes
+            self._used += nbytes - previous
+            if self._used > self._peak:
+                self._peak = self._used
+            return self._used
+
+    def release(self, owner: Any) -> None:
+        """Drop ``owner``'s reservation entirely."""
+        self.reserve(owner, 0)
+
+    @property
+    def used_bytes(self) -> int:
+        """Currently reserved bytes across all owners."""
+        with self._lock:
+            return self._used
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark of :attr:`used_bytes` since the last reset."""
+        with self._lock:
+            return self._peak
+
+    def reset_peak(self) -> None:
+        """Reset the high-water mark to the current usage (benchmarks)."""
+        with self._lock:
+            self._peak = self._used
+
+    def task_run_budget(self, num_workers: int) -> int:
+        """Per-task byte budget of one reduce-side in-memory run.
+
+        A quarter of the global budget, split across the worker slots that
+        may be merging concurrently — so even with every slot holding a
+        full run on top of a budget-full bucket store (plus one in-flight
+        map output), total tracked residency stays within ~1.5x the budget.
+        ``0`` when the manager is unbounded (callers then never engage the
+        external path).
+        """
+        if not self.bounded:
+            return 0
+        return max(1, self.budget_bytes // (4 * max(1, num_workers)))
+
+
+# ---------------------------------------------------------------------------
+# Pickle-framed spill payloads
+# ---------------------------------------------------------------------------
+
+
+def dump_frames(records: Sequence[Any]) -> bytes:
+    """Serialise ``records`` as a sequence of pickled batches (frames)."""
+    buffer = io.BytesIO()
+    for start in range(0, len(records), SPILL_FRAME_RECORDS):
+        pickle.dump(records[start:start + SPILL_FRAME_RECORDS], buffer,
+                    protocol=pickle.HIGHEST_PROTOCOL)
+    return buffer.getvalue()
+
+
+def load_frames(path: str, offset: int, length: int) -> List[Any]:
+    """Load a whole framed payload back into one record list."""
+    records: List[Any] = []
+    for batch in iter_frames(path, offset, length):
+        records.extend(batch)
+    return records
+
+
+def iter_frames(path: str, offset: int, length: int) -> Iterator[List[Any]]:
+    """Stream a framed payload back one batch at a time."""
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        end = offset + length
+        while handle.tell() < end:
+            yield pickle.load(handle)
+
+
+class SpillRun:
+    """One spilled reduce-side partial: a sorted run / dict of combiners.
+
+    ``kind`` records how the payload was framed so the merge phase knows how
+    to bring it back:
+
+    ``"list"``
+        frames of records; :meth:`iter_records` streams them (sorted runs
+        feed ``heapq.merge`` without ever materialising the whole run).
+    ``"dict"``
+        frames of ``(key, value)`` items; :meth:`load_dict` rebuilds the
+        partial dict (grouping and combiner merges fold partials one at a
+        time, so at most one run is resident during the merge).
+    """
+
+    def __init__(self, path: str, kind: str, nbytes: int):
+        self.path = path
+        self.kind = kind
+        self.nbytes = nbytes
+
+    @staticmethod
+    def serialise(partial: Any) -> Tuple[str, bytes]:
+        """Frame one partial into a ``(kind, payload)`` pair.
+
+        Kept separate from :meth:`write` so callers can tell a *pickling*
+        failure (keep the partial resident) apart from a *disk* failure
+        (OSError, which must propagate — silently growing unbounded would
+        defeat the configured memory budget).
+        """
+        if isinstance(partial, dict):
+            return "dict", dump_frames(list(partial.items()))
+        return "list", dump_frames(list(partial))
+
+    @classmethod
+    def write(cls, spill_dir: str, kind: str, payload: bytes) -> "SpillRun":
+        """Write one serialised payload to its own file under ``spill_dir``."""
+        descriptor, path = tempfile.mkstemp(prefix="run-", suffix=".spill",
+                                            dir=spill_dir)
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(payload)
+        return cls(path, kind, len(payload))
+
+    @classmethod
+    def spill(cls, spill_dir: str, partial: Any) -> "SpillRun":
+        """Serialise and write one partial (convenience composition)."""
+        kind, payload = cls.serialise(partial)
+        return cls.write(spill_dir, kind, payload)
+
+    def iter_records(self) -> Iterator[Any]:
+        """Stream a ``list`` run back record by record (one frame resident)."""
+        for batch in iter_frames(self.path, 0, self.nbytes):
+            for record in batch:
+                yield record
+
+    def load_dict(self) -> Dict[Any, Any]:
+        """Rebuild a ``dict`` run (frames of items) into one dict."""
+        rebuilt: Dict[Any, Any] = {}
+        for batch in iter_frames(self.path, 0, self.nbytes):
+            rebuilt.update(batch)
+        return rebuilt
+
+    def delete(self) -> None:
+        """Remove the run file (idempotent)."""
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass
+
+
+class SpillFile:
+    """Append-only pickle-framed spill file shared by one shuffle's buckets.
+
+    Writers append framed payloads and record ``(offset, length)`` spans;
+    spans are immutable once written, so readers open their own handle and
+    read concurrently without coordination.  Overwritten buckets (task
+    retries) simply leak their stale span until the file is deleted with the
+    shuffle — spill files live exactly as long as their shuffle's data.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle: BinaryIO = open(path, "wb")
+
+    def append(self, payload: bytes) -> Tuple[int, int]:
+        """Append one framed payload; return its ``(offset, length)`` span.
+
+        The offset is re-read from the file on every append, so a previous
+        append that died mid-write (disk full) cannot desynchronise later
+        spans from the actual file contents.
+        """
+        self._handle.seek(0, os.SEEK_END)
+        offset = self._handle.tell()
+        self._handle.write(payload)
+        self._handle.flush()
+        return offset, len(payload)
+
+    def close(self) -> None:
+        """Close the write handle and delete the file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass

@@ -30,6 +30,14 @@ class TaskMetrics:
     #: Batches the task drained under vectorized execution (0 when the
     #: engine runs record-at-a-time); record/byte counts are mode-invariant.
     batches_processed: int = 0
+    #: Spill events this task triggered under memory-bounded execution
+    #: (shuffle buckets or reduce-side merge runs written to disk) and the
+    #: serialised bytes they moved; 0 under the unbounded default.
+    spills: int = 0
+    spill_bytes: int = 0
+    #: High-water mark of tracked shuffle residency (resident buckets plus
+    #: merge partials, estimated bytes) observed while the task ran.
+    peak_shuffle_bytes: int = 0
     failed: bool = False
 
     def as_dict(self) -> Dict[str, float]:
@@ -46,6 +54,9 @@ class TaskMetrics:
             "shuffle_bytes_read": self.shuffle_bytes_read,
             "cache_hits": self.cache_hits,
             "batches_processed": self.batches_processed,
+            "spills": self.spills,
+            "spill_bytes": self.spill_bytes,
+            "peak_shuffle_bytes": self.peak_shuffle_bytes,
             "failed": self.failed,
         }
 
@@ -67,6 +78,11 @@ class StageMetrics:
     shuffle_bytes_read: int = 0
     cache_hits: int = 0
     batches_processed: int = 0
+    spills: int = 0
+    spill_bytes: int = 0
+    #: Maximum tracked shuffle residency any task of the stage observed
+    #: (a high-water mark, so stages aggregate by max, not by sum).
+    peak_shuffle_bytes: int = 0
     tasks: List[TaskMetrics] = field(default_factory=list)
 
     def add_task(self, task: TaskMetrics) -> None:
@@ -82,6 +98,10 @@ class StageMetrics:
         self.shuffle_bytes_read += task.shuffle_bytes_read
         self.cache_hits += task.cache_hits
         self.batches_processed += task.batches_processed
+        self.spills += task.spills
+        self.spill_bytes += task.spill_bytes
+        if task.peak_shuffle_bytes > self.peak_shuffle_bytes:
+            self.peak_shuffle_bytes = task.peak_shuffle_bytes
 
     @property
     def max_task_duration_s(self) -> float:
@@ -105,6 +125,9 @@ class StageMetrics:
             "shuffle_bytes_read": self.shuffle_bytes_read,
             "cache_hits": self.cache_hits,
             "batches_processed": self.batches_processed,
+            "spills": self.spills,
+            "spill_bytes": self.spill_bytes,
+            "peak_shuffle_bytes": self.peak_shuffle_bytes,
         }
 
 
@@ -188,6 +211,21 @@ class JobMetrics:
         """Batches drained by the job's tasks (0 in record-at-a-time mode)."""
         return sum(s.batches_processed for s in self.stages)
 
+    @property
+    def spills(self) -> int:
+        """Spill events (buckets + merge runs) under memory-bounded execution."""
+        return sum(s.spills for s in self.stages)
+
+    @property
+    def spill_bytes(self) -> int:
+        """Serialised bytes moved to spill files by this job's tasks."""
+        return sum(s.spill_bytes for s in self.stages)
+
+    @property
+    def peak_shuffle_bytes(self) -> int:
+        """Highest tracked shuffle residency observed across the job's stages."""
+        return max((s.peak_shuffle_bytes for s in self.stages), default=0)
+
     def as_dict(self) -> Dict[str, float]:
         """Return a flat dictionary summary, the unit of run comparison."""
         return {
@@ -206,6 +244,9 @@ class JobMetrics:
             "adaptive_replans": self.adaptive_replans,
             "skew_splits": self.skew_splits,
             "broadcast_reuses": self.broadcast_reuses,
+            "spills": self.spills,
+            "spill_bytes": self.spill_bytes,
+            "peak_shuffle_bytes": self.peak_shuffle_bytes,
         }
 
 
@@ -231,6 +272,10 @@ def merge_job_metrics(jobs: Iterable[JobMetrics]) -> Dict[str, float]:
         "adaptive_replans": sum(j.adaptive_replans for j in jobs),
         "skew_splits": sum(j.skew_splits for j in jobs),
         "broadcast_reuses": sum(j.broadcast_reuses for j in jobs),
+        "spills": sum(j.spills for j in jobs),
+        "spill_bytes": sum(j.spill_bytes for j in jobs),
+        "peak_shuffle_bytes": max((j.peak_shuffle_bytes for j in jobs),
+                                  default=0),
     }
     return summary
 

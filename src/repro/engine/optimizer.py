@@ -44,6 +44,8 @@ docs/architecture.md::
                + Σ_shuffle 2 × bytes(shuffle input)       # write + read
                + Σ_broadcast bytes(build) × partitions    # replication
                + Σ_unmatched-pass bytes(stream)           # extra key-set scan
+               + Σ_skewed-shuffle (max − balanced partition bytes)
+                                  × idle reduce slots     # straggler price
 
 Rewrites never mutate nodes: a rule returns copies (``copy_with``) for the
 parts it changes and the untouched originals elsewhere.  Lowering exploits
@@ -96,6 +98,42 @@ SHUFFLE_WEIGHT = 2.0
 SCAN_WEIGHT = 1.0
 #: A broadcast build side is (conceptually) replicated to every stream task.
 BROADCAST_WEIGHT = 1.0
+#: Weight of the skew surcharge priced onto shuffles with a sampled hot key:
+#: the bytes by which the predicted *largest* reduce partition exceeds the
+#: balanced share, charged once per reduce slot left idle behind the
+#: straggler.  On a real cluster a stage finishes no earlier than its
+#: slowest task, so the straggler — not the average — is what the shuffle
+#: actually costs.
+SKEW_STRAGGLER_WEIGHT = 1.0
+
+
+def skew_surcharge(node: LogicalNode) -> float:
+    """Straggler price of a shuffle whose key distribution is skewed.
+
+    Uses the sampled :class:`~repro.engine.stats.KeyDistribution` stamped on
+    key-bearing shuffle nodes (``key_stats``) to predict the largest reduce
+    partition's byte share; the surcharge is the excess over a balanced
+    partition, multiplied by the reduce slots idling while it runs.  Nodes
+    without a sampled distribution (or without skew) price to zero, keeping
+    the model unchanged for uniform data.
+    """
+    distribution = getattr(node, "key_stats", None)
+    partitioner = getattr(node, "partitioner", None)
+    if distribution is None or partitioner is None:
+        return 0.0
+    parallelism = partitioner.num_partitions
+    if parallelism <= 1:
+        return 0.0
+    input_bytes = sum(child.stats.size_bytes for child in node.children
+                      if child.stats is not None)
+    if input_bytes <= 0:
+        return 0.0
+    hot = distribution.predicted_max_partition_share(parallelism)
+    balanced = 1.0 / parallelism
+    if hot <= balanced:
+        return 0.0
+    return input_bytes * (hot - balanced) * (parallelism - 1) * \
+        SKEW_STRAGGLER_WEIGHT
 
 
 def plan_cost(plan: LogicalNode) -> float:
@@ -113,6 +151,7 @@ def plan_cost(plan: LogicalNode) -> float:
             for child in node.children:
                 if child.stats is not None:
                     total += child.stats.size_bytes * SHUFFLE_WEIGHT
+            total += skew_surcharge(node)
         if isinstance(node, BroadcastJoinNode):
             build = node.children[1] if node.broadcast_side == "right" \
                 else node.children[0]
@@ -382,8 +421,12 @@ class PlanOptimizer:
         parallelism = cogroup.partitioner.num_partitions
         shuffle_cost = None
         if side_stats["left"] is not None and side_stats["right"] is not None:
+            # a hot key makes the shuffle cogroup pay for its straggler
+            # partition, not just total bytes — skew pricing is what flips
+            # hot-key joins to broadcast that balanced pricing would keep
             shuffle_cost = (side_stats["left"].size_bytes +
-                            side_stats["right"].size_bytes) * SHUFFLE_WEIGHT
+                            side_stats["right"].size_bytes) * SHUFFLE_WEIGHT + \
+                skew_surcharge(cogroup)
         candidates = []
         for side in ("right", "left"):  # conventional build side wins ties
             build = side_stats[side]

@@ -81,7 +81,8 @@ class ShuffleMapTask(Task):
             buckets = map_side(parent.iterator(self.partition, task_context))
         written_records = sum(len(records) for records in buckets.values())
         written_bytes = self._shuffle_manager.write_map_output(
-            self._dependency.shuffle_id, self.partition, buckets)
+            self._dependency.shuffle_id, self.partition, buckets,
+            task_context=task_context)
         task_context.records_written += written_records
         task_context.shuffle_bytes_written += written_bytes
         return written_records
@@ -184,10 +185,39 @@ class DAGScheduler:
             finally:
                 job.add_stage(stage)
             return [result.value for result in results]
+        except BaseException:
+            # a failed job never completed its pending shuffles; drop their
+            # partial map outputs (and any spill files backing them) — they
+            # would be rewritten wholesale on retry anyway
+            self._discard_incomplete_shuffles(dataset)
+            raise
         finally:
             # failed jobs are registered too, so their attempts stay inspectable
             job.finish()
             self.metrics_registry.register(job)
+
+    def _discard_incomplete_shuffles(self, dataset: Dataset) -> None:
+        """Drop every incomplete shuffle in ``dataset``'s lineage.
+
+        Called when a job fails: a shuffle whose map stage never finished is
+        re-run from scratch by the next job (every map task rewrites its
+        buckets), so keeping its partial buckets — resident or spilled to
+        disk — only pins memory and spill files.  Complete shuffles are
+        kept; their reuse across jobs is unchanged.
+        """
+        seen: set = set()
+
+        def walk(node: Dataset) -> None:
+            if node.id in seen:
+                return
+            seen.add(node.id)
+            for dependency in node.dependencies:
+                if isinstance(dependency, ShuffleDependency) and \
+                        not self.shuffle_manager.is_complete(dependency.shuffle_id):
+                    self.shuffle_manager.remove_shuffle(dependency.shuffle_id)
+                walk(dependency.parent)
+
+        walk(dataset)
 
     # -- shuffle stages ----------------------------------------------------------
 

@@ -1,20 +1,31 @@
-"""In-memory shuffle manager.
+"""Shuffle manager with optional spill-to-disk buckets.
 
 Wide transformations are executed in two steps, exactly as in a distributed
 engine: map-side tasks bucket their output records by reduce partition and
 register the buckets here; reduce-side tasks then fetch and concatenate the
 buckets addressed to them.  Byte accounting is estimated from a sample of the
 bucket so that shuffle volume can be reported without serialising everything.
+
+By default every bucket stays resident.  When the owning context runs
+memory-bounded (``EngineConfig.shuffle_memory_bytes`` > 0, tracked by a
+:class:`~repro.engine.memory.MemoryManager`), writes that push the resident
+total over the budget spill the coldest buckets to a per-shuffle spill file
+(pickle-framed, see :mod:`repro.engine.memory`); reads — full, ranged
+(``map_range=``) and streaming — transparently bring spilled buckets back.
+Byte accounting always uses the map-side estimates measured at write time,
+so bounded and unbounded runs report identical shuffle metrics.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import random
 import threading
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ShuffleError
+from .memory import MemoryManager, SpillFile, dump_frames, load_frames
 
 _SAMPLE_SIZE = 20
 
@@ -39,18 +50,23 @@ def estimate_bytes(records: Sequence[Any], compressed: bool = True) -> int:
     A small stride-sample across the whole sequence is pickled and the
     average record size is extrapolated.  When ``compressed`` is true a
     constant 2.5x compression ratio is applied, mimicking the default block
-    compression of production shuffles.
+    compression of production shuffles.  Unpicklable records fall back to
+    ``repr`` lengths; that fallback never applies the compression divisor —
+    a ``repr`` is not a compressible serialised payload, and dividing it
+    systematically undercounted such buckets.
     """
     if not records:
         return 0
     sample = _stride_sample(records, _SAMPLE_SIZE)
+    fallback = False
     try:
         sample_bytes = len(pickle.dumps(sample, protocol=pickle.HIGHEST_PROTOCOL))
     except Exception:
         sample_bytes = sum(len(repr(record)) for record in sample)
+        fallback = True
     per_record = max(1.0, sample_bytes / len(sample))
     total = int(per_record * len(records))
-    if compressed:
+    if compressed and not fallback:
         total = int(total / 2.5)
     return max(1, total)
 
@@ -58,12 +74,15 @@ def estimate_bytes(records: Sequence[Any], compressed: bool = True) -> int:
 class ShuffleManager:
     """Stores map-side shuffle output, keyed by shuffle id and partition."""
 
-    def __init__(self, compression: bool = True):
+    def __init__(self, compression: bool = True,
+                 memory_manager: Optional[MemoryManager] = None,
+                 spill_dir=None):
         self._lock = threading.Lock()
         self._buckets: Dict[Tuple[int, int, int], List[Any]] = {}
         #: Per-bucket byte estimates, measured once on the map side; the
         #: reduce side sums these instead of re-sampling and re-pickling the
-        #: very data the map side already measured.
+        #: very data the map side already measured.  Entries survive a
+        #: bucket's spill: accounting never depends on where the bucket is.
         self._bucket_bytes: Dict[Tuple[int, int, int], int] = {}
         #: (shuffle_id, reduce_partition) -> byte total, maintained
         #: incrementally on write so skew detection (which runs on every
@@ -74,6 +93,44 @@ class ShuffleManager:
         self._bytes_written: Dict[int, int] = {}
         self._records_written: Dict[int, int] = {}
         self.compression = compression
+        #: Memory accounting: resident bucket bytes are reserved with the
+        #: context's memory manager under one owner key; ``None`` keeps the
+        #: manager optional for directly constructed ShuffleManagers.
+        self.memory = memory_manager
+        #: Zero-argument callable returning the context's spill directory
+        #: (created lazily); ``None`` disables spilling entirely.
+        self._spill_dir = spill_dir
+        #: Bucket key -> ``(offset, length, record_count)`` span in its
+        #: shuffle's spill file, for buckets currently on disk.
+        self._spilled: Dict[Tuple[int, int, int], Tuple[int, int, int]] = {}
+        #: Buckets whose records refused to pickle; they stay resident.
+        self._unspillable: set = set()
+        self._spill_files: Dict[int, SpillFile] = {}
+        #: Estimated bytes of all resident (non-spilled) buckets.
+        self._resident_bytes = 0
+        self._spill_count = 0
+        self._spill_bytes = 0
+
+    # -- memory accounting -----------------------------------------------------
+
+    @property
+    def _memory_owner(self) -> Tuple[str, int]:
+        return ("shuffle-buckets", id(self))
+
+    def _sync_memory(self) -> None:
+        """Mirror the resident bucket total into the memory manager."""
+        if self.memory is not None:
+            self.memory.reserve(self._memory_owner, self._resident_bytes)
+
+    def resident_bytes(self) -> int:
+        """Estimated bytes of the buckets currently held in memory."""
+        with self._lock:
+            return self._resident_bytes
+
+    def spill_stats(self) -> Tuple[int, int]:
+        """Lifetime ``(buckets spilled, serialised bytes spilled)``."""
+        with self._lock:
+            return self._spill_count, self._spill_bytes
 
     # -- map side ------------------------------------------------------------
 
@@ -86,13 +143,18 @@ class ShuffleManager:
             self._records_written.setdefault(shuffle_id, 0)
 
     def write_map_output(self, shuffle_id: int, map_partition: int,
-                         buckets: Dict[int, List[Any]]) -> int:
+                         buckets: Dict[int, List[Any]],
+                         task_context=None) -> int:
         """Store the buckets produced by one map task; return bytes written.
 
         Bucket copies and byte estimation (which pickles a sample of every
         bucket) happen *outside* the global lock so concurrent map tasks
         never serialise behind each other; the lock only guards the final
-        dictionary swap-in and counter updates.
+        dictionary swap-in and counter updates.  Under a memory budget the
+        swap-in is followed — still under the lock — by spilling the coldest
+        buckets until the resident total fits again; ``task_context`` (when
+        given) receives the spill counters and the residency high-water
+        mark.
         """
         with self._lock:
             if shuffle_id not in self._expected_maps:
@@ -112,15 +174,73 @@ class ShuffleManager:
                 raise ShuffleError(f"shuffle {shuffle_id} was never registered")
             for key, copied, size in staged:
                 previous = self._bucket_bytes.get(key)
+                if previous is not None and key in self._buckets:
+                    self._resident_bytes -= previous
+                # a retried task overwrites its old output; a previously
+                # spilled span just goes stale in the append-only file
+                self._spilled.pop(key, None)
+                self._unspillable.discard(key)
                 self._buckets[key] = copied
                 self._bucket_bytes[key] = size
+                self._resident_bytes += size
                 reduce_key = (shuffle_id, key[2])
                 self._reduce_bytes[reduce_key] = \
                     self._reduce_bytes.get(reduce_key, 0) - (previous or 0) + size
             self._completed_maps[shuffle_id].add(map_partition)
             self._bytes_written[shuffle_id] += written
             self._records_written[shuffle_id] += records_out
+            self._sync_memory()
+            if task_context is not None and self.memory is not None:
+                task_context.note_peak(self.memory.used_bytes)
+            self._spill_over_budget(task_context)
         return written
+
+    def _spill_over_budget(self, task_context=None) -> None:
+        """Spill the coldest buckets until the resident total fits the budget.
+
+        Called with the manager lock held.  Victims are taken in bucket
+        insertion order (oldest write first); each is serialised as a
+        pickle-framed payload appended to its shuffle's spill file, its
+        records are dropped from memory, and its byte *estimate* stays on
+        record so read-side accounting is unchanged.  Buckets that refuse to
+        pickle are marked unspillable and stay resident.  Spilling performs
+        file I/O under the lock — the price of a consistent resident total;
+        the unbounded default path never reaches this method.
+        """
+        if self.memory is None or not self.memory.bounded or \
+                self._spill_dir is None:
+            return
+        budget = self.memory.budget_bytes
+        if self._resident_bytes <= budget:
+            return
+        for key in list(self._buckets):
+            if self._resident_bytes <= budget:
+                break
+            if key in self._unspillable:
+                continue
+            bucket = self._buckets[key]
+            if not bucket:
+                continue
+            try:
+                payload = dump_frames(bucket)
+            except Exception:
+                self._unspillable.add(key)
+                continue
+            spill_file = self._spill_files.get(key[0])
+            if spill_file is None:
+                spill_file = SpillFile(os.path.join(
+                    self._spill_dir(), f"shuffle-{key[0]}.spill"))
+                self._spill_files[key[0]] = spill_file
+            offset, length = spill_file.append(payload)
+            self._spilled[key] = (offset, length, len(bucket))
+            del self._buckets[key]
+            self._resident_bytes -= self._bucket_bytes.get(key, 0)
+            self._spill_count += 1
+            self._spill_bytes += length
+            if task_context is not None:
+                task_context.spills += 1
+                task_context.spill_bytes += length
+        self._sync_memory()
 
     # -- reduce side ----------------------------------------------------------
 
@@ -131,6 +251,39 @@ class ShuffleManager:
             if expected is None:
                 return False
             return len(self._completed_maps[shuffle_id]) >= expected
+
+    def _bucket_refs(self, shuffle_id: int, reduce_partition: int,
+                     map_range: Optional[Tuple[int, int]]):
+        """Snapshot (records-or-span, size) refs in map order; lock held.
+
+        Resident buckets contribute their (immutable) list reference,
+        spilled buckets the ``(path, offset, length)`` span of their framed
+        payload; either way the size is the write-side estimate.
+        """
+        refs: List[Tuple[Optional[List[Any]],
+                         Optional[Tuple[str, int, int]], int]] = []
+        for map_partition in sorted(self._completed_maps[shuffle_id]):
+            if map_range is not None and \
+                    not map_range[0] <= map_partition < map_range[1]:
+                continue
+            key = (shuffle_id, map_partition, reduce_partition)
+            size = self._bucket_bytes.get(key, 0)
+            bucket = self._buckets.get(key)
+            if bucket:
+                refs.append((bucket, None, size))
+                continue
+            span = self._spilled.get(key)
+            if span is not None:
+                spill_file = self._spill_files[shuffle_id]
+                refs.append((None, (spill_file.path, span[0], span[1]), size))
+        return refs
+
+    def _check_readable(self, shuffle_id: int) -> None:
+        if shuffle_id not in self._expected_maps:
+            raise ShuffleError(f"shuffle {shuffle_id} was never registered")
+        if len(self._completed_maps[shuffle_id]) < self._expected_maps[shuffle_id]:
+            raise ShuffleError(
+                f"shuffle {shuffle_id} read before all map outputs were written")
 
     def read_reduce_input(self, shuffle_id: int, reduce_partition: int,
                           map_range: Optional[Tuple[int, int]] = None
@@ -145,34 +298,43 @@ class ShuffleManager:
         The byte count is the sum of the per-bucket estimates measured when
         the map side wrote its output — no data is re-sampled or re-pickled
         on the read path, and read-side accounting matches write-side
-        accounting exactly.  Only the bucket-reference snapshot happens
-        under the manager lock; the concatenation — linear in the partition
-        size — runs outside it, so concurrent sub-partition readers never
-        serialise behind each other (the same discipline the write side
-        applies to bucket copies).  Buckets are immutable once written,
-        which is what makes the snapshot safe.
+        accounting exactly (spilled buckets included).  Only the bucket-ref
+        snapshot happens under the manager lock; concatenation and any
+        spill-file reads — linear in the partition size — run outside it, so
+        concurrent sub-partition readers never serialise behind each other.
+        Resident buckets are immutable once written and spill-file spans are
+        append-only, which is what makes the snapshot safe.
         """
         with self._lock:
-            if shuffle_id not in self._expected_maps:
-                raise ShuffleError(f"shuffle {shuffle_id} was never registered")
-            if len(self._completed_maps[shuffle_id]) < self._expected_maps[shuffle_id]:
-                raise ShuffleError(
-                    f"shuffle {shuffle_id} read before all map outputs were written")
-            buckets: List[List[Any]] = []
-            size = 0
-            for map_partition in sorted(self._completed_maps[shuffle_id]):
-                if map_range is not None and \
-                        not map_range[0] <= map_partition < map_range[1]:
-                    continue
-                key = (shuffle_id, map_partition, reduce_partition)
-                bucket = self._buckets.get(key)
-                if bucket:
-                    buckets.append(bucket)
-                    size += self._bucket_bytes.get(key, 0)
+            self._check_readable(shuffle_id)
+            refs = self._bucket_refs(shuffle_id, reduce_partition, map_range)
         records: List[Any] = []
-        for bucket in buckets:
+        size = 0
+        for bucket, span, bucket_size in refs:
+            if bucket is None:
+                bucket = load_frames(*span)
             records.extend(bucket)
+            size += bucket_size
         return records, size
+
+    def iter_reduce_input(self, shuffle_id: int, reduce_partition: int,
+                          map_range: Optional[Tuple[int, int]] = None
+                          ) -> Iterator[Tuple[List[Any], int]]:
+        """Stream ``(bucket records, estimated bytes)`` in map order.
+
+        The streaming counterpart of :meth:`read_reduce_input` used by the
+        memory-bounded external merge: spilled buckets are loaded one at a
+        time, so at most one bucket's records are brought back per step
+        instead of the whole partition.  Concatenating every yielded bucket
+        (and summing the sizes) reproduces the full read exactly.
+        """
+        with self._lock:
+            self._check_readable(shuffle_id)
+            refs = self._bucket_refs(shuffle_id, reduce_partition, map_range)
+        for bucket, span, bucket_size in refs:
+            if bucket is None:
+                bucket = load_frames(*span)
+            yield bucket, bucket_size
 
     def reduce_partition_bytes(self, shuffle_id: int) -> Dict[int, int]:
         """Per-reduce-partition byte totals of a shuffle's map output.
@@ -213,25 +375,51 @@ class ShuffleManager:
         The bucket references are snapshotted under the lock — in sorted
         bucket-key order, since dict order follows the nondeterministic
         completion order of concurrent map tasks — and indexing happens
-        outside it, so identical runs sample identical records.
+        outside it, so identical runs sample identical records.  Spilled
+        buckets participate with the record counts captured at spill time
+        and are only loaded when a sampled position actually falls inside
+        them, so memory-bounded runs sample the very same records.
         """
         with self._lock:
-            buckets = [bucket for key, bucket in sorted(self._buckets.items())
-                       if key[0] == shuffle_id and bucket]
-        total = sum(len(bucket) for bucket in buckets)
+            entries: List[Tuple[Optional[List[Any]],
+                                Optional[Tuple[str, int, int]], int]] = []
+            keys = set(self._buckets) | set(self._spilled)
+            for key in sorted(k for k in keys if k[0] == shuffle_id):
+                bucket = self._buckets.get(key)
+                if bucket:
+                    entries.append((bucket, None, len(bucket)))
+                    continue
+                span = self._spilled.get(key)
+                if span is not None and span[2] > 0:
+                    spill_file = self._spill_files[shuffle_id]
+                    entries.append(
+                        (None, (spill_file.path, span[0], span[1]), span[2]))
+        total = sum(count for _, _, count in entries)
         if total == 0 or size <= 0:
             return []
+
+        def materialise(entry):
+            bucket, span, _ = entry
+            return bucket if bucket is not None else load_frames(*span)
+
         if total <= size:
-            return [record for bucket in buckets for record in bucket]
+            sample: List[Any] = []
+            for entry in entries:
+                sample.extend(materialise(entry))
+            return sample
         rng = random.Random(f"shuffle-sample:{shuffle_id}")
         positions = sorted(rng.sample(range(total), size))
-        sample: List[Any] = []
-        bucket_index, offset = 0, 0
+        sample = []
+        entry_index, offset = 0, 0
+        loaded: Optional[List[Any]] = None
         for position in positions:
-            while position - offset >= len(buckets[bucket_index]):
-                offset += len(buckets[bucket_index])
-                bucket_index += 1
-            sample.append(buckets[bucket_index][position - offset])
+            while position - offset >= entries[entry_index][2]:
+                offset += entries[entry_index][2]
+                entry_index += 1
+                loaded = None
+            if loaded is None:
+                loaded = materialise(entries[entry_index])
+            sample.append(loaded[position - offset])
         return sample
 
     # -- bookkeeping -----------------------------------------------------------
@@ -256,14 +444,21 @@ class ShuffleManager:
                     self._bytes_written[shuffle_id])
 
     def remove_shuffle(self, shuffle_id: int) -> None:
-        """Discard all data of a shuffle (called when a job finishes)."""
+        """Discard all data of a shuffle, including its spill file."""
         with self._lock:
             # delete only the matching keys; rebuilding the whole dict would
             # copy every other shuffle's entries under the lock
             stale = [key for key in self._buckets if key[0] == shuffle_id]
             for key in stale:
+                self._resident_bytes -= self._bucket_bytes.get(key, 0)
                 del self._buckets[key]
-                self._bucket_bytes.pop(key, None)
+            for key in [key for key in self._spilled if key[0] == shuffle_id]:
+                del self._spilled[key]
+            for key in [key for key in self._bucket_bytes
+                        if key[0] == shuffle_id]:
+                del self._bucket_bytes[key]
+            self._unspillable = {key for key in self._unspillable
+                                 if key[0] != shuffle_id}
             stale_reduce = [key for key in self._reduce_bytes
                             if key[0] == shuffle_id]
             for key in stale_reduce:
@@ -272,6 +467,10 @@ class ShuffleManager:
             self._expected_maps.pop(shuffle_id, None)
             self._bytes_written.pop(shuffle_id, None)
             self._records_written.pop(shuffle_id, None)
+            spill_file = self._spill_files.pop(shuffle_id, None)
+            if spill_file is not None:
+                spill_file.close()
+            self._sync_memory()
 
     def clear(self) -> None:
         """Discard every shuffle (used when an engine context shuts down)."""
@@ -283,3 +482,10 @@ class ShuffleManager:
             self._expected_maps.clear()
             self._bytes_written.clear()
             self._records_written.clear()
+            self._spilled.clear()
+            self._unspillable.clear()
+            for spill_file in self._spill_files.values():
+                spill_file.close()
+            self._spill_files.clear()
+            self._resident_bytes = 0
+            self._sync_memory()

@@ -94,6 +94,22 @@ class KeyDistribution:
         """Share of the heaviest key among the sampled records."""
         return self.top_shares[0][1] if self.top_shares else 0.0
 
+    def predicted_max_partition_share(self, num_partitions: int) -> float:
+        """Predicted share of the *largest* reduce partition after hashing.
+
+        The heaviest key lands whole in one partition; the remaining
+        records spread roughly uniformly over all partitions.  The hot
+        partition therefore carries about ``max_share`` plus its uniform
+        share of the rest — the signal the cost model uses to price the
+        straggler of a skewed shuffle instead of assuming balance.
+        """
+        if num_partitions <= 1:
+            return 1.0
+        uniform = 1.0 / num_partitions
+        if self.max_share <= 0.0:
+            return uniform
+        return min(1.0, self.max_share + (1.0 - self.max_share) * uniform)
+
     def render(self) -> str:
         """Compact rendering used by plan labels: ``keys ~12, hot 80%``."""
         marker = "" if self.exact else "~"
@@ -286,7 +302,7 @@ class StatsEstimator:
     def _source_key_distribution(self, node: LogicalNode, key_of
                                  ) -> Optional[KeyDistribution]:
         if isinstance(node, CoGroupNode):
-            return None  # two inputs; only runtime shuffle samples apply
+            return self._cogroup_source_distribution(node, key_of)
         child = node.children[0]
         ds = child.dataset
         data = getattr(ds, "_data", None) if ds is not None else None
@@ -307,6 +323,43 @@ class StatsEstimator:
                 sample = rng.sample(data, KEY_SAMPLE_SIZE)
             self._key_cache[cache_key] = self._distribution_from_sample(
                 sample, len(data), key_of)
+        return self._key_cache[cache_key]
+
+    def _cogroup_source_distribution(self, node: CoGroupNode, key_of
+                                     ) -> Optional[KeyDistribution]:
+        """Plan-time key distribution of a cogroup fed by in-memory sources.
+
+        Both sides must be directly observable pair collections (a UDF map
+        in between makes the keys unobservable); each side contributes
+        samples proportionally to its row count, so a hot key on either
+        input surfaces in the combined distribution — the signal that lets
+        the cost model price a skewed join's straggler *before* its
+        shuffles run (once they have run, the actual map outputs take over
+        via :meth:`_shuffle_key_distribution`).
+        """
+        sides = []
+        for child in node.children:
+            ds = child.dataset
+            data = getattr(ds, "_data", None) if ds is not None else None
+            if not data:
+                return None
+            probe = data[0]
+            if not (isinstance(probe, tuple) and len(probe) == 2):
+                return None
+            sides.append((ds.id, data))
+        cache_key = ("source-cogroup",) + tuple(ds_id for ds_id, _ in sides)
+        if cache_key not in self._key_cache:
+            total = sum(len(data) for _, data in sides)
+            sample: list = []
+            for ds_id, data in sides:
+                wanted = max(1, round(KEY_SAMPLE_SIZE * len(data) / total))
+                if len(data) <= wanted:
+                    sample.extend(data)
+                else:
+                    rng = random.Random(f"source-sample:{ds_id}")
+                    sample.extend(rng.sample(data, wanted))
+            self._key_cache[cache_key] = self._distribution_from_sample(
+                sample, total, key_of)
         return self._key_cache[cache_key]
 
     def _stamp_shuffle_hint(self, node: LogicalNode,

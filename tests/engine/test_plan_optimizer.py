@@ -365,6 +365,71 @@ def test_property_each_rule_alone_preserves_results(rule):
 # ---------------------------------------------------------------------------
 
 
+class TestSkewPricedCost:
+    """The cost model prices the predicted max reduce partition, so the
+    straggler — not the average — drives join strategy selection."""
+
+    LEFT_ROWS = 20_000
+    RIGHT = [(k % 51, ("dim", k)) for k in range(12_000)]
+
+    @staticmethod
+    def _left(hot: bool):
+        if hot:
+            return [(0 if i % 10 < 8 else i % 50 + 1, i) for i in range(20_000)]
+        return [(i % 50, i) for i in range(20_000)]
+
+    def _strategy(self, hot: bool) -> str:
+        # threshold sized between the two inputs: only the right (build)
+        # side is broadcast-eligible, and a right_outer join's preserved
+        # build side forces the cost comparison against the shuffle cogroup
+        config = EngineConfig(num_workers=2, default_parallelism=4, seed=1,
+                              broadcast_threshold_bytes=60_000,
+                              adaptive_enabled=False)
+        with EngineContext(config) as ctx:
+            left = ctx.parallelize(self._left(hot), 4)
+            right = ctx.parallelize(self.RIGHT, 2)
+            join = left.right_outer_join(right, 4)
+            result = ctx.optimizer.optimize(join.plan)
+            return "broadcast" if "broadcast_join" in result.applied \
+                else "shuffle"
+
+    def test_hot_key_join_flips_to_broadcast(self):
+        assert self._strategy(hot=False) == "shuffle"
+        assert self._strategy(hot=True) == "broadcast"
+
+    def test_flip_is_driven_by_the_straggler_surcharge(self, monkeypatch):
+        from repro.engine import optimizer as optimizer_module
+        monkeypatch.setattr(optimizer_module, "SKEW_STRAGGLER_WEIGHT", 0.0)
+        assert self._strategy(hot=True) == "shuffle"
+
+    def test_surcharge_scales_with_the_hot_key(self):
+        from repro.engine.optimizer import skew_surcharge
+        config = EngineConfig(num_workers=2, default_parallelism=4, seed=1)
+        with EngineContext(config) as ctx:
+            uniform = ctx.parallelize(self._left(hot=False), 4).group_by_key(4)
+            hot = ctx.parallelize(self._left(hot=True), 4).group_by_key(4)
+            for ds in (uniform, hot):
+                ctx.optimizer.estimator.annotate(ds.plan)
+            # near-uniform keys price a near-zero surcharge; the 80%-hot
+            # key pays for the straggler partition it predicts
+            assert skew_surcharge(hot.plan) > \
+                10 * skew_surcharge(uniform.plan)
+            input_bytes = hot.plan.children[0].stats.size_bytes
+            assert skew_surcharge(hot.plan) > input_bytes
+
+    def test_predicted_max_partition_share(self):
+        from repro.engine.stats import KeyDistribution
+        uniform = KeyDistribution(distinct_keys=100, top_shares=((7, 0.01),),
+                                  sampled_records=100)
+        skewed = KeyDistribution(distinct_keys=10, top_shares=((0, 0.8),),
+                                 sampled_records=100)
+        assert uniform.predicted_max_partition_share(4) == pytest.approx(
+            0.01 + 0.99 * 0.25)
+        assert skewed.predicted_max_partition_share(4) == pytest.approx(
+            0.8 + 0.2 * 0.25)
+        assert skewed.predicted_max_partition_share(1) == 1.0
+
+
 class TestOptimizerConfig:
     def test_unknown_rule_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -29,6 +29,20 @@ class TestEstimateBytes:
         assert estimate_bytes(records, compressed=True) < \
             estimate_bytes(records, compressed=False)
 
+    def test_unpicklable_fallback_skips_compression(self):
+        """Regression: the repr-length fallback used to divide by the 2.5x
+        compression ratio too, systematically undercounting unpicklable
+        buckets — a repr is not a compressible serialised payload."""
+        records = [lambda: None] * 200  # lambdas refuse to pickle
+        assert estimate_bytes(records, compressed=True) == \
+            estimate_bytes(records, compressed=False)
+
+    def test_unpicklable_fallback_counts_repr_lengths(self):
+        records = [lambda: None] * 200
+        per_record = len(repr(records[0]))
+        estimated = estimate_bytes(records, compressed=True)
+        assert estimated >= 200 * (per_record // 2)
+
 
 class TestShuffleManager:
     def test_write_then_read_roundtrip(self):

@@ -49,7 +49,8 @@ class TestRunCommand:
         assert exit_code == 0
         assert "hard objectives met: True" in output
         assert "accuracy" in output
-        record = json.loads(open(output_path, encoding="utf-8").read())
+        with open(output_path, encoding="utf-8") as handle:
+            record = json.load(handle)
         assert record["campaign"] == "test-churn"
         assert record["option_label"] == "cli"
 
