@@ -324,6 +324,7 @@ class ProceduralToDeployment:
             "skew_split_factor": engine_config.skew_split_factor,
             "skew_min_partition_bytes": engine_config.skew_min_partition_bytes,
             "shuffle_memory_bytes": engine_config.shuffle_memory_bytes,
+            "executor_backend": engine_config.executor_backend,
         }
         return DeploymentModel(
             procedural=procedural,
@@ -367,7 +368,9 @@ class ProceduralToDeployment:
         ``skew_split_factor`` / ``skew_min_partition_bytes`` steer runtime
         skew splitting of straggler reduce partitions, and
         ``shuffle_memory_bytes`` caps resident shuffle state for
-        memory-bounded (spill-to-disk) execution.  Values are validated by
+        memory-bounded (spill-to-disk) execution, and ``executor_backend``
+        picks the task execution substrate (``"thread"`` or ``"process"``
+        multiprocessing workers).  Values are validated by
         ``EngineConfig.__post_init__``; only knobs the campaign actually
         sets are overridden, so engine defaults stay in one place.
         """
@@ -391,6 +394,9 @@ class ProceduralToDeployment:
         if "shuffle_memory_bytes" in preferences:
             overrides["shuffle_memory_bytes"] = \
                 int(preferences["shuffle_memory_bytes"])
+        if "executor_backend" in preferences:
+            overrides["executor_backend"] = \
+                str(preferences["executor_backend"])
         return overrides
 
     @staticmethod

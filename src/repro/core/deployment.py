@@ -101,6 +101,15 @@ class DeploymentModel:
                     "  shuffle memory: "
                     + (f"bounded at {memory_cap} bytes (spill-to-disk)"
                        if memory_cap else "unbounded (fully resident)"))
+            backend = self.optimizer_hints.get("executor_backend")
+            if backend is not None:
+                lines.append(
+                    "  executor backend: "
+                    + (f"process ({self.engine_config.num_workers} "
+                       "worker processes, spill-file shuffle transport)"
+                       if backend == "process"
+                       else f"thread ({self.engine_config.num_workers} "
+                            "in-process workers)"))
         lines.extend(["", self.procedural.describe()])
         return "\n".join(lines)
 

@@ -8,6 +8,7 @@ registry and the DAG scheduler, and offers factory methods to create datasets.
 from __future__ import annotations
 
 import itertools
+import os
 import shutil
 import tempfile
 import threading
@@ -23,6 +24,7 @@ from .plan import SourceNode, render_plan
 from .scheduler import DAGScheduler
 from .shuffle import ShuffleManager
 from .storage import BlockStore
+from .transport import LocalDirShuffleTransport
 
 
 class EngineContext:
@@ -38,10 +40,19 @@ class EngineContext:
         #: Lazily created directory holding every spill file of this
         #: context; removed (recursively) by :meth:`stop`.
         self._spill_root: Optional[str] = None
+        self._lock = threading.Lock()
+        #: Shuffle transport of the process backend: payload and map-output
+        #: frame files live under the context's spill root, so they can
+        #: never outlive the context.  ``None`` on the thread backend.
+        self._transport = None
+        if self.config.executor_backend == "process":
+            self._transport = LocalDirShuffleTransport(
+                os.path.join(self.spill_dir(), "transport"))
         self.shuffle_manager = ShuffleManager(
             compression=self.config.shuffle_compression,
             memory_manager=self.memory_manager,
-            spill_dir=self.spill_dir)
+            spill_dir=self.spill_dir,
+            transport=self._transport)
         self.block_store = BlockStore(memory_budget_bytes=self.config.memory_budget_bytes)
         self.metrics = MetricsRegistry()
         #: (build dataset id, collection kind) -> collected broadcast value;
@@ -51,7 +62,9 @@ class EngineContext:
         self.broadcast_builds = {}
         self.scheduler = DAGScheduler(self.config, self.shuffle_manager,
                                       self.block_store, self.metrics,
-                                      broadcast_builds=self.broadcast_builds)
+                                      broadcast_builds=self.broadcast_builds,
+                                      memory_manager=self.memory_manager,
+                                      transport=self._transport)
         #: Structural signature -> physical dataset, shared by plan lowering
         #: so sibling plans reuse identical rewritten subtrees (and their
         #: shuffle outputs / cached blocks).
@@ -65,7 +78,6 @@ class EngineContext:
         self._cache_epoch = 0
         self._dataset_counter = itertools.count()
         self._shuffle_counter = itertools.count()
-        self._lock = threading.Lock()
         self._stopped = False
 
     # -- spill directory ---------------------------------------------------------
@@ -295,6 +307,8 @@ class EngineContext:
         self.block_store.clear()
         self.broadcast_builds.clear()
         self._lowered_plans.clear()
+        if self._transport is not None:
+            self._transport.cleanup()
         if self._spill_root is not None:
             # shuffle_manager.clear() already deleted every live spill file;
             # the recursive removal sweeps up anything a failed job left

@@ -611,6 +611,26 @@ class Dataset:
 
     # -- plumbing -------------------------------------------------------------
 
+    def __getstate__(self):
+        """Pickle a dataset for shipment to a worker process.
+
+        Driver-only state never crosses the boundary: the engine context is
+        replaced by the worker's own (reattached by the worker runtime after
+        unpickling, walking the task graph), and the logical plan, memoised
+        executable and cache mirrors are plan-time artefacts the worker
+        never evaluates.  Everything else — including installed skew-slice
+        results — ships as is.
+        """
+        state = self.__dict__.copy()
+        state["ctx"] = None
+        state["plan"] = None
+        state["_executable"] = None
+        state["_cache_mirrors"] = []
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
     def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
         """Compute the records of one partition (narrow evaluation)."""
         raise NotImplementedError

@@ -1,28 +1,66 @@
-"""Task executor with a thread pool, retries and fault injection.
+"""Task executors: thread pool and forked worker processes.
 
-The executor is deliberately simple: tasks are Python callables operating on
-in-memory partitions, run on a pool of worker threads.  What matters for the
-reproduction is that the execution exposes the same *shape* as a distributed
-engine — per-task metrics, stragglers, retried attempts — so that campaign
-runs can be compared and the cluster simulator can extrapolate costs.
+Tasks are Python callables operating on in-memory partitions.  What matters
+for the reproduction is that the execution exposes the same *shape* as a
+distributed engine — per-task metrics, stragglers, retried attempts — so
+that campaign runs can be compared and the cluster simulator can
+extrapolate costs.  Two backends implement that shape behind one interface
+(``execute_stage`` / ``shutdown``), selected by
+``EngineConfig.executor_backend``:
+
+:class:`Executor`
+    the default thread pool — simple, shares the driver address space,
+    bounded by the GIL for CPU-bound work;
+:class:`ProcessExecutor`
+    forked worker processes — stage payloads are pickled to the workers
+    over a :class:`~repro.engine.transport.ShuffleTransport` and map output
+    comes back as pickle-framed spill-file spans, so CPU-bound jobs get
+    real multi-core speedups while results, retries, fault injection and
+    metrics stay backend-invariant.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import random
+import tempfile
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor, wait
-from typing import Any, List, Sequence, Tuple
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..config import EngineConfig
-from ..errors import TaskError
-from .dataset import TaskContext
+from ..errors import SerializationError, TaskError
+from . import serializer
+from .dataset import ShuffleDependency, TaskContext
 from .metrics import StageMetrics, TaskMetrics
+
+#: The ``TaskContext`` counters copied verbatim into ``TaskMetrics`` after a
+#: successful attempt — and, on the process backend, shipped back across the
+#: process boundary inside the task result dict.  One list, two backends:
+#: a counter added here flows through both.
+_TASK_COUNTERS = ("records_read", "records_written", "shuffle_bytes_read",
+                  "shuffle_bytes_written", "cache_hits", "batches_processed",
+                  "spills", "spill_bytes", "peak_shuffle_bytes")
 
 
 class InjectedFailure(RuntimeError):
     """Raised by the fault injector to simulate a spurious task failure."""
+
+
+def should_inject_failure(config: EngineConfig, task_id: str,
+                          attempt: int) -> bool:
+    """Seeded per ``(seed, task id, attempt)`` fault-injection decision.
+
+    A module function rather than an executor method so worker processes
+    evaluate the *same* decision for the same attempt — fault injection is
+    deterministic across backends.
+    """
+    if config.failure_rate <= 0.0:
+        return False
+    rng = random.Random(f"{config.seed}:{task_id}:{attempt}")
+    return rng.random() < config.failure_rate
 
 
 class Task:
@@ -80,10 +118,7 @@ class Executor:
             pool.shutdown(wait=True)
 
     def _should_inject_failure(self, task: Task, attempt: int) -> bool:
-        if self.config.failure_rate <= 0.0:
-            return False
-        rng = random.Random(f"{self.config.seed}:{task.task_id}:{attempt}")
-        return rng.random() < self.config.failure_rate
+        return should_inject_failure(self.config, task.task_id, attempt)
 
     def _run_one(self, task: Task, stage: StageMetrics) -> TaskResult:
         last_error: Exception | None = None
@@ -105,15 +140,8 @@ class Executor:
                 last_error = error
                 continue
             metrics.duration_s = time.perf_counter() - started
-            metrics.records_read = task_context.records_read
-            metrics.records_written = task_context.records_written
-            metrics.shuffle_bytes_read = task_context.shuffle_bytes_read
-            metrics.shuffle_bytes_written = task_context.shuffle_bytes_written
-            metrics.cache_hits = task_context.cache_hits
-            metrics.batches_processed = task_context.batches_processed
-            metrics.spills = task_context.spills
-            metrics.spill_bytes = task_context.spill_bytes
-            metrics.peak_shuffle_bytes = task_context.peak_shuffle_bytes
+            for name in _TASK_COUNTERS:
+                setattr(metrics, name, getattr(task_context, name))
             with self._metrics_lock:
                 stage.add_task(metrics)
             return TaskResult(task, value, metrics)
@@ -155,3 +183,299 @@ class Executor:
         stage.wall_clock_s = time.perf_counter() - started
         results.sort(key=lambda pair: pair[0])
         return [result for _, result in results]
+
+
+def _walk_task_datasets(tasks: Sequence[Task]) -> List[Any]:
+    """Every dataset reachable from the tasks' graphs, unique by identity."""
+    datasets: List[Any] = []
+    seen: set = set()
+
+    def walk(dataset: Any) -> None:
+        if dataset is None or id(dataset) in seen:
+            return
+        seen.add(id(dataset))
+        datasets.append(dataset)
+        for dependency in dataset.dependencies:
+            walk(dependency.parent)
+
+    for task in tasks:
+        walk(getattr(task, "_dataset", None))
+        dependency = getattr(task, "_dependency", None)
+        if dependency is not None:
+            walk(dependency.parent)
+    return datasets
+
+
+def _dumps_error(value: Any) -> Optional[str]:
+    try:
+        serializer.dumps(value)
+        return None
+    except Exception as fault:  # noqa: BLE001 - diagnosis only
+        return str(fault) or type(fault).__name__
+
+
+def _diagnose_unpicklable(tasks: Sequence[Task], datasets: List[Any],
+                          error: Exception) -> str:
+    """Name the graph node that cannot cross the process boundary.
+
+    Probes every dataset's state attribute by attribute (dependencies
+    excluded — their parents are probed as datasets, their own closures
+    separately), so the failure message points at the offending node and
+    field instead of at an anonymous pickling traceback.
+    """
+    for dataset in datasets:
+        state = dataset.__getstate__()
+        state.pop("dependencies", None)
+        for attribute, value in state.items():
+            fault = _dumps_error(value)
+            if fault is not None:
+                return (f"cannot ship stage to worker processes: dataset "
+                        f"'{dataset.name}' (id {dataset.id}) holds "
+                        f"unpicklable state in {attribute!r}: {fault}")
+        for dependency in dataset.dependencies:
+            for attribute, value in vars(dependency).items():
+                if attribute == "parent":
+                    continue
+                fault = _dumps_error(value)
+                if fault is not None:
+                    return (f"cannot ship stage to worker processes: "
+                            f"{type(dependency).__name__} of dataset "
+                            f"'{dataset.name}' (id {dataset.id}) holds "
+                            f"unpicklable state in {attribute!r}: {fault}")
+    for task in tasks:
+        func = getattr(task, "_func", None)
+        if func is not None:
+            fault = _dumps_error(func)
+            if fault is not None:
+                return (f"cannot ship stage to worker processes: task "
+                        f"{task.task_id} action function is unpicklable: "
+                        f"{fault}")
+    return f"cannot ship stage to worker processes: {error}"
+
+
+class ProcessExecutor:
+    """Runs tasks on forked worker processes — the multi-core backend.
+
+    Same interface and observable behaviour as :class:`Executor`; the
+    differences are mechanical.  Each stage is serialized once into a
+    payload (task graphs, the span catalog of complete upstream shuffles,
+    cached blocks) published through the shuffle transport; workers run
+    tasks out of that payload and return plain dicts carrying the value,
+    the ``TaskContext`` counters, map-output spans and dirty cache blocks.
+    The driver settles results in submission order: it registers map
+    output with the shuffle manager, adopts cached blocks, folds worker
+    peaks with the driver-tracked residency, and drives the retry loop —
+    fault injection is evaluated *inside* the worker with the same seeded
+    decision as the thread backend, so a given attempt fails identically
+    on both.
+    """
+
+    def __init__(self, config: EngineConfig, shuffle_manager=None,
+                 block_store=None, memory_manager=None, transport=None):
+        self.config = config
+        self._shuffle_manager = shuffle_manager
+        self._block_store = block_store
+        self._memory = memory_manager
+        if transport is None:
+            # directly constructed executors (no engine context) still need
+            # somewhere for payloads and map output to live
+            from .transport import LocalDirShuffleTransport
+            transport = LocalDirShuffleTransport(
+                tempfile.mkdtemp(prefix="repro-transport-"))
+            self._owns_transport = True
+        else:
+            self._owns_transport = False
+        self._transport = transport
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    # -- pool lifecycle -----------------------------------------------------
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                from . import worker as worker_runtime
+                # fork keeps worker start cheap and inherits loaded modules;
+                # platforms without it (Windows) fall back to their default
+                methods = multiprocessing.get_all_start_methods()
+                mp_context = multiprocessing.get_context(
+                    "fork" if "fork" in methods else None)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.config.num_workers,
+                    mp_context=mp_context,
+                    initializer=worker_runtime.initialize_worker,
+                    initargs=(serializer.dumps(self.config),
+                              self._transport.root))
+            return self._pool
+
+    def _discard_pool(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        """Join the worker processes (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        if self._owns_transport:
+            self._transport.cleanup()
+
+    # -- stage publication --------------------------------------------------
+
+    def _publish_stage(self, tasks: Sequence[Task]) -> str:
+        datasets = _walk_task_datasets(tasks)
+        payload = {
+            "tasks": list(tasks),
+            "catalog": self._build_catalog(datasets),
+            "blocks": self._collect_blocks(datasets),
+        }
+        try:
+            data = serializer.dumps(payload)
+        except Exception as error:  # noqa: BLE001 - rethrown with diagnosis
+            raise SerializationError(
+                _diagnose_unpicklable(tasks, datasets, error)) from error
+        token = self._transport.publish_stage(data)
+        # one-shot skew-slice overrides just shipped inside the payload;
+        # the worker copies own them now, and a stale driver copy would
+        # replay into a later job's payload
+        for dataset in datasets:
+            overrides = getattr(dataset, "_slice_results", None)
+            if overrides:
+                overrides.clear()
+        return token
+
+    def _build_catalog(self, datasets: List[Any]) -> Dict[int, Any]:
+        if self._shuffle_manager is None:
+            return {}
+        catalog: Dict[int, Any] = {}
+        for dataset in datasets:
+            for dependency in dataset.dependencies:
+                if not isinstance(dependency, ShuffleDependency):
+                    continue
+                shuffle_id = dependency.shuffle_id
+                if shuffle_id not in catalog and \
+                        self._shuffle_manager.is_complete(shuffle_id):
+                    catalog[shuffle_id] = \
+                        self._shuffle_manager.export_catalog(shuffle_id)
+        return catalog
+
+    def _collect_blocks(self, datasets: List[Any]) -> Dict[Tuple[int, int], Any]:
+        if self._block_store is None:
+            return {}
+        blocks: Dict[Tuple[int, int], Any] = {}
+        for dataset in datasets:
+            if not dataset.is_cached:
+                continue
+            cached = self._block_store.snapshot_dataset(dataset.id,
+                                                        dataset.num_partitions)
+            for partition, records in cached.items():
+                blocks[(dataset.id, partition)] = records
+        return blocks
+
+    # -- result settlement --------------------------------------------------
+
+    def _adopt_blocks(self, blocks) -> None:
+        if not blocks or self._block_store is None:
+            return
+        for (dataset_id, partition), records in blocks.items():
+            self._block_store.put(dataset_id, partition, records)
+
+    def _settle_task(self, pool: ProcessPoolExecutor, token: str, task: Task,
+                     index: int, future, stage: StageMetrics) -> TaskResult:
+        from . import worker as worker_runtime
+        attempt = 0
+        while True:
+            outcome = future.result()
+            metrics = TaskMetrics(task_id=task.task_id, stage_id=task.stage_id,
+                                  partition_index=task.partition,
+                                  attempt=attempt)
+            metrics.duration_s = outcome["duration_s"]
+            # blocks cached before a failure stay cached, as on the thread
+            # backend where the driver store is written directly
+            self._adopt_blocks(outcome.get("blocks"))
+            if outcome["ok"]:
+                for name in _TASK_COUNTERS:
+                    setattr(metrics, name, outcome["counters"][name])
+                map_output = outcome.get("map_output")
+                if map_output is not None and self._shuffle_manager is not None:
+                    self._shuffle_manager.register_external_map_output(
+                        map_output["shuffle_id"], map_output["map_partition"],
+                        map_output["spans"])
+                if self._memory is not None:
+                    # fold the driver-tracked residency (external spans
+                    # registered so far) into the worker-observed peak,
+                    # mirroring the write-time samples the thread backend's
+                    # tasks take while buckets accumulate
+                    metrics.peak_shuffle_bytes = max(
+                        metrics.peak_shuffle_bytes, self._memory.used_bytes)
+                stage.add_task(metrics)
+                return TaskResult(task, outcome["value"], metrics)
+            metrics.failed = True
+            stage.add_task(metrics)
+            kind, message, trace = outcome["error"]
+            if attempt >= self.config.max_task_retries:
+                raise TaskError(
+                    f"task {task.task_id} failed after "
+                    f"{self.config.max_task_retries + 1} attempts: {message}",
+                    task_id=task.task_id,
+                    cause=RuntimeError(f"{kind} in worker process:\n{trace}"))
+            attempt += 1
+            future = pool.submit(worker_runtime.run_stage_task,
+                                 token, index, attempt)
+
+    def execute_stage(self, tasks: Sequence[Task],
+                      stage: StageMetrics) -> List[TaskResult]:
+        """Run every task of a stage on the worker pool; results in task order.
+
+        Results are settled in submission order on the driver thread (no
+        metrics lock needed), retries are resubmitted against the published
+        payload, and the payload file is discarded when the stage settles.
+        """
+        started = time.perf_counter()
+        if not tasks:
+            stage.wall_clock_s = time.perf_counter() - started
+            return []
+        from . import worker as worker_runtime
+        token = self._publish_stage(tasks)
+        try:
+            pool = self._get_pool()
+            futures = [pool.submit(worker_runtime.run_stage_task,
+                                   token, index, 0)
+                       for index in range(len(tasks))]
+            results: List[TaskResult] = []
+            try:
+                for index, task in enumerate(tasks):
+                    results.append(self._settle_task(
+                        pool, token, task, index, futures[index], stage))
+            except BrokenProcessPool:
+                # a worker died hard (crash, OOM kill); the pool is
+                # unusable, so drop it — the next stage forks a fresh one
+                self._discard_pool()
+                raise
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                wait(futures)
+                raise
+        finally:
+            self._transport.discard_stage(token)
+            stage.wall_clock_s = time.perf_counter() - started
+        return results
+
+
+def create_executor(config: EngineConfig, shuffle_manager=None,
+                    block_store=None, memory_manager=None, transport=None):
+    """Build the executor ``config.executor_backend`` selects.
+
+    The thread backend ignores the collaborator arguments — it shares the
+    driver's address space and needs no registration or transport.
+    """
+    if config.executor_backend == "process":
+        return ProcessExecutor(config, shuffle_manager=shuffle_manager,
+                               block_store=block_store,
+                               memory_manager=memory_manager,
+                               transport=transport)
+    return Executor(config)

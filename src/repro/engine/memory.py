@@ -206,6 +206,38 @@ class SpillRun:
             pass
 
 
+class FrameFileWriter:
+    """Append-only frame-file writer whose spans outlive the writer.
+
+    The shuffle *transport* counterpart of :class:`SpillFile`: map tasks on
+    the process backend write their per-reduce buckets as framed payloads
+    into one file per map attempt and hand the ``(offset, length)`` spans to
+    the driver, so the file must survive :meth:`close` — it is deleted with
+    its shuffle by the transport, not by the writer.  The file is created
+    lazily on the first append; an output-less map task leaves no file
+    behind.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle: BinaryIO | None = None
+
+    def append(self, payload: bytes) -> Tuple[int, int]:
+        """Append one framed payload; return its ``(offset, length)`` span."""
+        if self._handle is None:
+            self._handle = open(self.path, "wb")
+        offset = self._handle.tell()
+        self._handle.write(payload)
+        self._handle.flush()
+        return offset, len(payload)
+
+    def close(self) -> None:
+        """Close the write handle, keeping the file for readers (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
 class SpillFile:
     """Append-only pickle-framed spill file shared by one shuffle's buckets.
 

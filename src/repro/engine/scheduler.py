@@ -28,7 +28,7 @@ from ..config import EngineConfig
 from .dataset import (BroadcastDependency, CoGroupedDataset, Dataset,
                       Dependency, ShuffleDependency, ShuffledDataset,
                       TaskContext)
-from .executor import Executor, Task
+from .executor import Task, create_executor
 from .metrics import JobMetrics, StageMetrics
 
 #: Upper bound on accepted adaptive re-plans per job; a backstop against a
@@ -65,6 +65,13 @@ class ShuffleMapTask(Task):
         super().__init__(task_id, stage_id, partition)
         self._dependency = dependency
         self._shuffle_manager = shuffle_manager
+
+    def __getstate__(self):
+        # the driver's shuffle manager stays home; the worker runtime
+        # installs its own shuffle client after unpickling
+        state = self.__dict__.copy()
+        state["_shuffle_manager"] = None
+        return state
 
     def run(self, task_context: TaskContext) -> Any:
         parent = self._dependency.parent
@@ -139,7 +146,8 @@ class DAGScheduler:
     """Turns actions on datasets into stages of tasks and executes them."""
 
     def __init__(self, config: EngineConfig, shuffle_manager, block_store,
-                 metrics_registry, broadcast_builds: Optional[Dict] = None):
+                 metrics_registry, broadcast_builds: Optional[Dict] = None,
+                 memory_manager=None, transport=None):
         self.config = config
         self.shuffle_manager = shuffle_manager
         self.block_store = block_store
@@ -149,7 +157,13 @@ class DAGScheduler:
         #: against the same build side skip the nested collection job.
         self.broadcast_builds = broadcast_builds if broadcast_builds is not None \
             else {}
-        self.executor = Executor(config)
+        #: Thread or process executor per ``config.executor_backend``; the
+        #: process backend needs the scheduler's collaborators to publish
+        #: payloads and settle worker results on the driver side.
+        self.executor = create_executor(config, shuffle_manager=shuffle_manager,
+                                        block_store=block_store,
+                                        memory_manager=memory_manager,
+                                        transport=transport)
         self._job_counter = itertools.count()
         self._stage_counter = itertools.count()
 

@@ -1,0 +1,44 @@
+"""Closure-capable serialization for the process execution backend.
+
+The Dataset API is lambda-heavy (``key_by``, ``map_values``, user pipelines),
+and the standard library pickler refuses plain functions defined at call
+sites.  When ``cloudpickle`` is importable it is used for *dumping*, which
+handles closures, lambdas and locally defined classes; its output is ordinary
+pickle data, so *loading* always goes through :func:`pickle.loads` and worker
+processes need no extra dependency to read a payload.  Without cloudpickle
+the engine still works for module-level functions, and the preflight check in
+the process executor reports exactly which dataset captured something the
+plain pickler cannot handle.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+try:  # pragma: no cover - exercised implicitly on every process-backend run
+    import cloudpickle as _cloudpickle
+except ImportError:  # pragma: no cover - image ships cloudpickle
+    _cloudpickle = None
+
+
+def dumps(obj: Any) -> bytes:
+    """Serialize ``obj`` with closure support when available."""
+    if _cloudpickle is not None:
+        return _cloudpickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def loads(data: bytes) -> Any:
+    """Deserialize data produced by :func:`dumps`."""
+    return pickle.loads(data)
+
+
+def backend_name() -> str:
+    """Name of the pickler in use (``cloudpickle`` or ``pickle``)."""
+    return "pickle" if _cloudpickle is None else "cloudpickle"
+
+
+def supports_closures() -> bool:
+    """True when lambdas and closures can be shipped to worker processes."""
+    return _cloudpickle is not None

@@ -76,7 +76,7 @@ class ShuffleManager:
 
     def __init__(self, compression: bool = True,
                  memory_manager: Optional[MemoryManager] = None,
-                 spill_dir=None):
+                 spill_dir=None, transport=None):
         self._lock = threading.Lock()
         self._buckets: Dict[Tuple[int, int, int], List[Any]] = {}
         #: Per-bucket byte estimates, measured once on the map side; the
@@ -110,6 +110,16 @@ class ShuffleManager:
         self._resident_bytes = 0
         self._spill_count = 0
         self._spill_bytes = 0
+        #: Shuffle transport of the process backend; owns the frame files
+        #: that external (worker-written) map output lives in.  ``None`` on
+        #: the thread backend.
+        self.transport = transport
+        #: Bucket key -> ``(path, offset, length, record_count)`` span for
+        #: buckets written by worker processes as transport frame files.
+        self._external: Dict[Tuple[int, int, int],
+                             Tuple[str, int, int, int]] = {}
+        #: Estimated bytes of all external buckets.
+        self._external_bytes = 0
 
     # -- memory accounting -----------------------------------------------------
 
@@ -121,6 +131,21 @@ class ShuffleManager:
         """Mirror the resident bucket total into the memory manager."""
         if self.memory is not None:
             self.memory.reserve(self._memory_owner, self._resident_bytes)
+
+    @property
+    def _external_owner(self) -> Tuple[str, int]:
+        return ("shuffle-external", id(self))
+
+    def _sync_external(self) -> None:
+        """Mirror the external bucket total into the memory manager.
+
+        External spans live on disk, so under a bounded budget they must
+        not consume it; in the unbounded default they stand in for the
+        resident buckets the thread backend would have held, which keeps
+        peak-residency accounting backend-invariant.
+        """
+        if self.memory is not None and not self.memory.bounded:
+            self.memory.reserve(self._external_owner, self._external_bytes)
 
     def resident_bytes(self) -> int:
         """Estimated bytes of the buckets currently held in memory."""
@@ -242,6 +267,102 @@ class ShuffleManager:
                 task_context.spill_bytes += length
         self._sync_memory()
 
+    def register_external_map_output(
+            self, shuffle_id: int, map_partition: int,
+            spans: Dict[int, Tuple[str, int, int, int, int]]) -> int:
+        """Adopt map output a worker process wrote as transport frame files.
+
+        ``spans`` maps each reduce partition to the ``(path, offset,
+        length, record_count, estimated_bytes)`` span of its pickle-framed
+        bucket; the bytes are the worker-side ``estimate_bytes`` measurement,
+        so read-side accounting matches the thread backend exactly.  Retried
+        map tasks overwrite their previous registration the same way
+        :meth:`write_map_output` overwrites resident buckets; the stale frame
+        file lives on until the shuffle is removed.  Returns the estimated
+        bytes written, mirroring :meth:`write_map_output`.
+        """
+        with self._lock:
+            if shuffle_id not in self._expected_maps:
+                raise ShuffleError(f"shuffle {shuffle_id} was never registered")
+            written = 0
+            records_out = 0
+            for reduce_partition, span in spans.items():
+                path, offset, length, count, size = span
+                key = (shuffle_id, map_partition, reduce_partition)
+                previous = self._bucket_bytes.get(key)
+                if previous is not None:
+                    if key in self._buckets:
+                        self._resident_bytes -= previous
+                        del self._buckets[key]
+                    if key in self._external:
+                        self._external_bytes -= previous
+                self._spilled.pop(key, None)
+                self._unspillable.discard(key)
+                self._external[key] = (path, offset, length, count)
+                self._bucket_bytes[key] = size
+                self._external_bytes += size
+                reduce_key = (shuffle_id, reduce_partition)
+                self._reduce_bytes[reduce_key] = \
+                    self._reduce_bytes.get(reduce_key, 0) - (previous or 0) + size
+                written += size
+                records_out += count
+            self._completed_maps[shuffle_id].add(map_partition)
+            self._bytes_written[shuffle_id] += written
+            self._records_written[shuffle_id] += records_out
+            self._sync_memory()
+            self._sync_external()
+        return written
+
+    def export_catalog(self, shuffle_id: int) -> Dict[str, Any]:
+        """Span catalog of one complete shuffle for worker-process reads.
+
+        Returns ``{"maps": [map partitions in order], "buckets": {(map,
+        reduce): (path, offset, length, record_count, estimated_bytes)}}``.
+        External and spilled buckets are already framed on disk and export
+        their spans directly.  Resident buckets — only reachable when a
+        directly constructed manager mixed thread-side writes into a
+        process-backend read — are dumped to transport frame files on
+        demand, one file per bucket, swept with the shuffle; an unpicklable
+        resident bucket cannot cross the process boundary and the pickling
+        error propagates.
+        """
+        with self._lock:
+            self._check_readable(shuffle_id)
+            maps = sorted(self._completed_maps[shuffle_id])
+            buckets: Dict[Tuple[int, int], Tuple[str, int, int, int, int]] = {}
+            resident: List[Tuple[Tuple[int, int], List[Any], int]] = []
+            for key, size in self._bucket_bytes.items():
+                if key[0] != shuffle_id:
+                    continue
+                entry = (key[1], key[2])
+                external = self._external.get(key)
+                if external is not None:
+                    if external[3] > 0:
+                        buckets[entry] = (external[0], external[1],
+                                          external[2], external[3], size)
+                    continue
+                span = self._spilled.get(key)
+                if span is not None:
+                    path = self._spill_files[shuffle_id].path
+                    buckets[entry] = (path, span[0], span[1], span[2], size)
+                    continue
+                bucket = self._buckets.get(key)
+                if bucket:
+                    resident.append((entry, bucket, size))
+        if resident:
+            if self.transport is None:
+                raise ShuffleError(
+                    f"shuffle {shuffle_id} holds resident buckets but no "
+                    f"transport is attached to export them")
+            for (map_partition, reduce_partition), bucket, size in resident:
+                writer = self.transport.map_output_writer(shuffle_id,
+                                                          map_partition)
+                offset, length = writer.append(dump_frames(bucket))
+                writer.close()
+                buckets[(map_partition, reduce_partition)] = \
+                    (writer.path, offset, length, len(bucket), size)
+        return {"maps": maps, "buckets": buckets}
+
     # -- reduce side ----------------------------------------------------------
 
     def is_complete(self, shuffle_id: int) -> bool:
@@ -276,6 +397,11 @@ class ShuffleManager:
             if span is not None:
                 spill_file = self._spill_files[shuffle_id]
                 refs.append((None, (spill_file.path, span[0], span[1]), size))
+                continue
+            external = self._external.get(key)
+            if external is not None and external[3] > 0:
+                refs.append(
+                    (None, (external[0], external[1], external[2]), size))
         return refs
 
     def _check_readable(self, shuffle_id: int) -> None:
@@ -383,7 +509,7 @@ class ShuffleManager:
         with self._lock:
             entries: List[Tuple[Optional[List[Any]],
                                 Optional[Tuple[str, int, int]], int]] = []
-            keys = set(self._buckets) | set(self._spilled)
+            keys = set(self._buckets) | set(self._spilled) | set(self._external)
             for key in sorted(k for k in keys if k[0] == shuffle_id):
                 bucket = self._buckets.get(key)
                 if bucket:
@@ -394,6 +520,11 @@ class ShuffleManager:
                     spill_file = self._spill_files[shuffle_id]
                     entries.append(
                         (None, (spill_file.path, span[0], span[1]), span[2]))
+                    continue
+                external = self._external.get(key)
+                if external is not None and external[3] > 0:
+                    entries.append((None, (external[0], external[1],
+                                           external[2]), external[3]))
         total = sum(count for _, _, count in entries)
         if total == 0 or size <= 0:
             return []
@@ -454,6 +585,9 @@ class ShuffleManager:
                 del self._buckets[key]
             for key in [key for key in self._spilled if key[0] == shuffle_id]:
                 del self._spilled[key]
+            for key in [key for key in self._external if key[0] == shuffle_id]:
+                self._external_bytes -= self._bucket_bytes.get(key, 0)
+                del self._external[key]
             for key in [key for key in self._bucket_bytes
                         if key[0] == shuffle_id]:
                 del self._bucket_bytes[key]
@@ -471,10 +605,18 @@ class ShuffleManager:
             if spill_file is not None:
                 spill_file.close()
             self._sync_memory()
+            self._sync_external()
+            # sweeps registered frame files and partial output of failed
+            # map attempts alike
+            if self.transport is not None:
+                self.transport.remove_shuffle(shuffle_id)
 
     def clear(self) -> None:
         """Discard every shuffle (used when an engine context shuts down)."""
         with self._lock:
+            if self.transport is not None:
+                for shuffle_id in self._expected_maps:
+                    self.transport.remove_shuffle(shuffle_id)
             self._buckets.clear()
             self._bucket_bytes.clear()
             self._reduce_bytes.clear()
@@ -487,5 +629,8 @@ class ShuffleManager:
             for spill_file in self._spill_files.values():
                 spill_file.close()
             self._spill_files.clear()
+            self._external.clear()
+            self._external_bytes = 0
             self._resident_bytes = 0
             self._sync_memory()
+            self._sync_external()

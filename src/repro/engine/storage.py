@@ -105,6 +105,22 @@ class BlockStore:
                 size += self._sizes[key]
             return rows, size
 
+    def snapshot_dataset(self, dataset_id: int,
+                         num_partitions: int) -> Dict[int, List[Any]]:
+        """Currently cached partitions of a dataset, keyed by partition.
+
+        Used to seed worker-process block stores on the process backend; a
+        bookkeeping read, so — unlike :meth:`get` — it moves nothing in the
+        LRU order and touches no hit/miss counter.
+        """
+        with self._lock:
+            blocks: Dict[int, List[Any]] = {}
+            for partition in range(num_partitions):
+                records = self._blocks.get((dataset_id, partition))
+                if records is not None:
+                    blocks[partition] = records
+            return blocks
+
     # -- management -------------------------------------------------------------
 
     def evict_dataset(self, dataset_id: int) -> int:

@@ -1,0 +1,107 @@
+"""Shuffle transport: how payloads and map output move between processes.
+
+On the thread backend every task shares the driver's address space, so
+shuffle buckets live in the :class:`~repro.engine.shuffle.ShuffleManager`'s
+in-memory dict.  The process backend has no shared memory: stage payloads
+(task graphs, cached blocks, the shuffle catalog) and shuffle map output
+must cross the process boundary explicitly.  A :class:`ShuffleTransport`
+owns that movement:
+
+* the driver *publishes* one serialized payload per stage and hands workers
+  an opaque token (a file path for the local-dir implementation);
+* workers write each map task's buckets as pickle-framed payloads (the PR 5
+  spill-file format, see :mod:`repro.engine.memory`) into per-shuffle files
+  and report ``(path, offset, length)`` spans back with the task result;
+* reduce and ranged-skew reads stream the framed spans back with
+  :func:`~repro.engine.memory.load_frames` — the very code path spilled
+  buckets already use;
+* the transport removes a shuffle's files when the driver forgets the
+  shuffle, which also sweeps partial output of failed stages.
+
+:class:`LocalDirShuffleTransport` is the single-machine implementation: one
+directory shared by driver and workers.  A socket- or dir-per-node transport
+for distributed workers can drop in behind the same interface later; spans
+would then name transport-relative locations instead of absolute paths.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import shutil
+
+from .memory import FrameFileWriter
+
+
+class ShuffleTransport:
+    """Moves stage payloads and shuffle map output between processes."""
+
+    def publish_stage(self, payload: bytes) -> str:
+        """Store one serialized stage payload; return a worker-readable token."""
+        raise NotImplementedError
+
+    def discard_stage(self, token: str) -> None:
+        """Drop a published stage payload (idempotent)."""
+        raise NotImplementedError
+
+    def map_output_writer(self, shuffle_id: int,
+                          map_partition: int) -> FrameFileWriter:
+        """Open a frame writer for one map task's output of one shuffle."""
+        raise NotImplementedError
+
+    def remove_shuffle(self, shuffle_id: int) -> None:
+        """Delete every file of a shuffle, registered or partial (idempotent)."""
+        raise NotImplementedError
+
+    def cleanup(self) -> None:
+        """Delete everything the transport owns (idempotent)."""
+        raise NotImplementedError
+
+
+class LocalDirShuffleTransport(ShuffleTransport):
+    """Single-machine transport: one shared directory of frame files.
+
+    The driver creates the root (under the engine context's spill directory)
+    and each forked worker attaches to the same path.  File names carry the
+    writer's pid and a per-process sequence number, so concurrent workers
+    and task retries never collide: a retried map attempt writes a fresh
+    file and the driver registers only the spans of the attempt that
+    succeeded.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self._seq = itertools.count()
+
+    def _unique_name(self, prefix: str, suffix: str) -> str:
+        return f"{prefix}-{os.getpid()}-{next(self._seq)}{suffix}"
+
+    def publish_stage(self, payload: bytes) -> str:
+        path = os.path.join(self.root, self._unique_name("stage", ".payload"))
+        with open(path, "wb") as handle:
+            handle.write(payload)
+        return path
+
+    def discard_stage(self, token: str) -> None:
+        try:
+            os.remove(token)
+        except OSError:
+            pass
+
+    def shuffle_dir(self, shuffle_id: int) -> str:
+        """Directory holding every frame file of one shuffle."""
+        return os.path.join(self.root, f"shuffle-{shuffle_id}")
+
+    def map_output_writer(self, shuffle_id: int,
+                          map_partition: int) -> FrameFileWriter:
+        directory = self.shuffle_dir(shuffle_id)
+        os.makedirs(directory, exist_ok=True)
+        name = self._unique_name(f"map-{map_partition}", ".data")
+        return FrameFileWriter(os.path.join(directory, name))
+
+    def remove_shuffle(self, shuffle_id: int) -> None:
+        shutil.rmtree(self.shuffle_dir(shuffle_id), ignore_errors=True)
+
+    def cleanup(self) -> None:
+        shutil.rmtree(self.root, ignore_errors=True)

@@ -1,0 +1,305 @@
+"""Worker-process runtime of the process execution backend.
+
+Each worker process (forked by :class:`~repro.engine.executor.ProcessExecutor`)
+holds one :class:`WorkerContext` — a stand-in for the driver's
+``EngineContext`` exposing exactly the surface task graphs touch while
+computing partitions: ``config``, a :class:`WorkerBlockStore`, a
+:class:`WorkerShuffleClient`, a fresh
+:class:`~repro.engine.memory.MemoryManager` and a per-process spill
+directory.  The driver publishes one serialized *payload* per stage (task
+graphs, the span catalog of every complete upstream shuffle, cached blocks);
+workers deserialize it once, reattach the worker context to every dataset in
+the task graphs, and then answer ``run_stage_task(payload, index, attempt)``
+calls with a plain result dict: the task value, the nine ``TaskContext``
+counters, the spans of any map output written, and dirty cache blocks — so
+byte/spill/peak accounting flows back across the process boundary and job
+metrics stay backend-invariant.
+
+Fault injection runs *inside* the worker with the same seeded decision
+function the thread backend uses (``seed:task_id:attempt``), so a given
+attempt fails identically on both backends.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import shutil
+import tempfile
+import time
+import traceback
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import serializer
+from .dataset import TaskContext
+from .executor import _TASK_COUNTERS, InjectedFailure, should_inject_failure
+from .memory import MemoryManager, dump_frames, load_frames
+from .shuffle import ShuffleError, estimate_bytes
+from .storage import BlockStore
+from .transport import LocalDirShuffleTransport
+
+#: Deserialized stage payloads kept per worker; stages of one job arrive in
+#: order, so a handful covers retries without unbounded growth.
+_PAYLOAD_CACHE_SIZE = 4
+
+
+class WorkerShuffleClient:
+    """The worker's view of shuffle data: catalog reads, frame-file writes.
+
+    Reads are driven by the *span catalog* the driver ships with each stage
+    payload: for every complete upstream shuffle, the ``(path, offset,
+    length, record count, estimated bytes)`` span of each pickle-framed
+    bucket.  Reads stream the frames back with
+    :func:`~repro.engine.memory.load_frames` and sum the write-side byte
+    estimates, exactly like the driver's ShuffleManager, so read accounting
+    is backend-invariant.  Writes frame each bucket into a transport file
+    and stash the spans for the task result to carry back to the driver.
+    """
+
+    def __init__(self, transport: LocalDirShuffleTransport, compression: bool):
+        self._transport = transport
+        self.compression = compression
+        self._catalog: Dict[int, Dict[str, Any]] = {}
+        self._last_map_output: Optional[Dict[str, Any]] = None
+
+    # -- catalog ------------------------------------------------------------
+
+    def install_catalog(self, catalog: Dict[int, Dict[str, Any]]) -> None:
+        """Merge a stage payload's catalog; later stages refresh per shuffle."""
+        self._catalog.update(catalog)
+
+    def _entry(self, shuffle_id: int) -> Dict[str, Any]:
+        entry = self._catalog.get(shuffle_id)
+        if entry is None:
+            raise ShuffleError(
+                f"shuffle {shuffle_id} is not in this worker's span catalog "
+                f"(read before all map outputs were written?)")
+        return entry
+
+    def _spans(self, shuffle_id: int, reduce_partition: int,
+               map_range: Optional[Tuple[int, int]]):
+        entry = self._entry(shuffle_id)
+        spans = []
+        for map_partition in entry["maps"]:
+            if map_range is not None and \
+                    not map_range[0] <= map_partition < map_range[1]:
+                continue
+            span = entry["buckets"].get((map_partition, reduce_partition))
+            if span is not None:
+                spans.append(span)
+        return spans
+
+    # -- reduce side --------------------------------------------------------
+
+    def read_reduce_input(self, shuffle_id: int, reduce_partition: int,
+                          map_range: Optional[Tuple[int, int]] = None
+                          ) -> Tuple[List[Any], int]:
+        """Return (records, estimated bytes) addressed to ``reduce_partition``."""
+        records: List[Any] = []
+        size = 0
+        for path, offset, length, _count, est in \
+                self._spans(shuffle_id, reduce_partition, map_range):
+            records.extend(load_frames(path, offset, length))
+            size += est
+        return records, size
+
+    def iter_reduce_input(self, shuffle_id: int, reduce_partition: int,
+                          map_range: Optional[Tuple[int, int]] = None):
+        """Stream ``(bucket records, estimated bytes)`` in map order."""
+        for path, offset, length, _count, est in \
+                self._spans(shuffle_id, reduce_partition, map_range):
+            yield load_frames(path, offset, length), est
+
+    # -- map side -----------------------------------------------------------
+
+    def write_map_output(self, shuffle_id: int, map_partition: int,
+                         buckets: Dict[int, List[Any]],
+                         task_context=None) -> int:
+        """Frame one map task's buckets to a transport file; return est. bytes.
+
+        Byte accounting mirrors the driver's ``write_map_output``: every
+        bucket's size is the same ``estimate_bytes`` measurement the thread
+        backend records, so the driver-side registration reproduces
+        identical shuffle metrics.  The spans are kept on the client until
+        :meth:`take_map_output` hands them to the task result.
+        """
+        writer = self._transport.map_output_writer(shuffle_id, map_partition)
+        spans: Dict[int, Tuple[str, int, int, int, int]] = {}
+        written = 0
+        try:
+            for reduce_partition, records in buckets.items():
+                size = estimate_bytes(list(records), self.compression)
+                offset, length = writer.append(dump_frames(records))
+                spans[reduce_partition] = \
+                    (writer.path, offset, length, len(records), size)
+                written += size
+        finally:
+            writer.close()
+        self._last_map_output = {"shuffle_id": shuffle_id,
+                                 "map_partition": map_partition,
+                                 "spans": spans}
+        return written
+
+    def take_map_output(self) -> Optional[Dict[str, Any]]:
+        """Pop the spans of the map output written since the last take."""
+        output, self._last_map_output = self._last_map_output, None
+        return output
+
+
+class WorkerBlockStore(BlockStore):
+    """A :class:`BlockStore` that tracks blocks cached since the last task.
+
+    Workers cannot share the driver's cache, so the driver seeds each stage
+    payload with the relevant cached blocks (:meth:`seed`, which bypasses
+    dirty tracking) and the task result carries back whatever the task
+    cached (:meth:`drain_dirty`) for the driver to adopt — the next stage's
+    payload then serves those partitions as cache hits everywhere.
+    """
+
+    def __init__(self, memory_budget_bytes: int):
+        super().__init__(memory_budget_bytes)
+        self._dirty: Dict[Tuple[int, int], List[Any]] = {}
+
+    def put(self, dataset_id: int, partition: int, records: List[Any]) -> None:
+        super().put(dataset_id, partition, records)
+        # keep our own reference: the block may be LRU-evicted before the
+        # task finishes, but the driver must still adopt it
+        self._dirty[(dataset_id, partition)] = list(records)
+
+    def seed(self, blocks: Dict[Tuple[int, int], List[Any]]) -> None:
+        for (dataset_id, partition), records in blocks.items():
+            BlockStore.put(self, dataset_id, partition, records)
+
+    def drain_dirty(self) -> Dict[Tuple[int, int], List[Any]]:
+        dirty, self._dirty = self._dirty, {}
+        return dirty
+
+
+class WorkerContext:
+    """Stand-in for ``EngineContext`` inside a worker process."""
+
+    def __init__(self, config, transport: LocalDirShuffleTransport):
+        self.config = config
+        self.memory_manager = MemoryManager(config.shuffle_memory_bytes)
+        self.block_store = WorkerBlockStore(config.memory_budget_bytes)
+        self.shuffle_manager = WorkerShuffleClient(transport,
+                                                   config.shuffle_compression)
+        self._spill_root: Optional[str] = None
+
+    def spill_dir(self) -> str:
+        """Per-process spill directory, created lazily (external merges)."""
+        if self._spill_root is None:
+            self._spill_root = tempfile.mkdtemp(
+                prefix=f"repro-worker-{os.getpid()}-")
+        return self._spill_root
+
+    def cleanup(self) -> None:
+        if self._spill_root is not None:
+            shutil.rmtree(self._spill_root, ignore_errors=True)
+            self._spill_root = None
+
+
+class _WorkerState:
+    def __init__(self, ctx: WorkerContext):
+        self.ctx = ctx
+        self.payloads: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+
+_STATE: Optional[_WorkerState] = None
+
+
+def initialize_worker(config_bytes: bytes, transport_root: str) -> None:
+    """Process-pool initializer: build this worker's context once."""
+    global _STATE
+    config = serializer.loads(config_bytes)
+    transport = LocalDirShuffleTransport(transport_root)
+    _STATE = _WorkerState(WorkerContext(config, transport))
+    atexit.register(_STATE.ctx.cleanup)
+
+
+def _attach_graph(task: Any, ctx: WorkerContext, seen: set) -> None:
+    """Reattach the worker context to every dataset a task can reach.
+
+    ``Dataset.__getstate__`` strips the driver context before pickling;
+    this walk installs the worker's stand-in on the deserialized graph.
+    Duck-typed on the task attributes (``_dataset`` for result/skew-slice
+    tasks, ``_dependency``/``_shuffle_manager`` for shuffle-map tasks) so
+    custom task classes ship without registration.
+    """
+
+    def walk(dataset: Any) -> None:
+        if dataset is None or id(dataset) in seen:
+            return
+        seen.add(id(dataset))
+        dataset.ctx = ctx
+        for dependency in dataset.dependencies:
+            walk(dependency.parent)
+
+    walk(getattr(task, "_dataset", None))
+    dependency = getattr(task, "_dependency", None)
+    if dependency is not None:
+        walk(dependency.parent)
+    if hasattr(task, "_shuffle_manager"):
+        task._shuffle_manager = ctx.shuffle_manager
+
+
+def _load_payload(state: _WorkerState, payload_path: str) -> Dict[str, Any]:
+    payload = state.payloads.get(payload_path)
+    if payload is not None:
+        state.payloads.move_to_end(payload_path)
+        return payload
+    with open(payload_path, "rb") as handle:
+        payload = serializer.loads(handle.read())
+    state.ctx.shuffle_manager.install_catalog(payload.get("catalog") or {})
+    state.ctx.block_store.seed(payload.get("blocks") or {})
+    seen: set = set()
+    for task in payload["tasks"]:
+        _attach_graph(task, state.ctx, seen)
+    state.payloads[payload_path] = payload
+    while len(state.payloads) > _PAYLOAD_CACHE_SIZE:
+        state.payloads.popitem(last=False)
+    return payload
+
+
+def run_stage_task(payload_path: str, task_index: int,
+                   attempt: int) -> Dict[str, Any]:
+    """Run one task of a published stage payload; return a plain result dict.
+
+    The dict is the cross-process task protocol: ``ok``, ``duration_s``,
+    and either ``error`` (exception type name, message, formatted traceback)
+    or ``value`` plus the counters, map-output spans and dirty cache blocks
+    the driver folds back into its own metrics, shuffle manager and block
+    store.  Failed attempts still return their dirty blocks — on the thread
+    backend a block cached before the failure stays cached too.
+    """
+    state = _STATE
+    if state is None:
+        raise RuntimeError("worker process was not initialized")
+    payload = _load_payload(state, payload_path)
+    task = payload["tasks"][task_index]
+    task_context = TaskContext()
+    started = time.perf_counter()
+    try:
+        if should_inject_failure(state.ctx.config, task.task_id, attempt):
+            raise InjectedFailure(
+                f"injected failure for {task.task_id} attempt {attempt}")
+        value = task.run(task_context)
+    except Exception as error:  # noqa: BLE001 - crosses the process boundary
+        state.ctx.shuffle_manager.take_map_output()  # drop partial spans
+        return {
+            "ok": False,
+            "duration_s": time.perf_counter() - started,
+            "error": (type(error).__name__, str(error),
+                      traceback.format_exc()),
+            "blocks": state.ctx.block_store.drain_dirty(),
+        }
+    return {
+        "ok": True,
+        "duration_s": time.perf_counter() - started,
+        "value": value,
+        "counters": {name: getattr(task_context, name)
+                     for name in _TASK_COUNTERS},
+        "map_output": state.ctx.shuffle_manager.take_map_output(),
+        "blocks": state.ctx.block_store.drain_dirty(),
+    }

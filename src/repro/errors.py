@@ -39,6 +39,10 @@ class TaskError(EngineError):
         self.cause = cause
 
 
+class SerializationError(EngineError):
+    """A task graph cannot be pickled for the process execution backend."""
+
+
 class ShuffleError(EngineError):
     """Shuffle data requested before the producing stage completed."""
 

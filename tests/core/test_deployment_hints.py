@@ -163,3 +163,28 @@ class TestOptimizerHints:
         with pytest.raises(ConfigurationError):
             CampaignCompiler().compile(
                 _spec(num_partitions=4, skew_min_partition_bytes=-1))
+
+    def test_executor_backend_default_hint(self):
+        campaign = CampaignCompiler().compile(_spec(num_partitions=4))
+        config = campaign.deployment.engine_config
+        assert config.executor_backend == "thread"
+        assert campaign.deployment.optimizer_hints["executor_backend"] == \
+            "thread"
+        assert "executor backend: thread" in campaign.deployment.describe()
+
+    def test_executor_backend_from_spec(self):
+        campaign = CampaignCompiler().compile(
+            _spec(num_partitions=4, executor_backend="process",
+                  num_workers=3))
+        config = campaign.deployment.engine_config
+        assert config.executor_backend == "process"
+        assert config.num_workers == 3
+        assert campaign.deployment.optimizer_hints["executor_backend"] == \
+            "process"
+        assert "executor backend: process (3 worker processes" in \
+            campaign.deployment.describe()
+
+    def test_unknown_executor_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignCompiler().compile(
+                _spec(num_partitions=4, executor_backend="fiber"))

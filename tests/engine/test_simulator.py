@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.config import EngineConfig
+from repro.engine.context import EngineContext
 from repro.engine.metrics import JobMetrics, StageMetrics, TaskMetrics
 from repro.engine.simulator import (BUILTIN_PROFILES, ClusterProfile, CostModel,
                                     DeploymentSimulator)
@@ -129,3 +133,64 @@ class TestDeploymentSimulator:
         estimates = DeploymentSimulator().compare(engine.metrics.jobs,
                                                   ["local", "medium-8"])
         assert all(estimate.estimated_wall_clock_s > 0 for estimate in estimates)
+
+
+class TestCostModelAgainstMeasuredProcessBackend:
+    """Validate the simulator against a *measured* multi-process run.
+
+    Until now every multi-worker wall clock in this repo was simulated.  The
+    process backend makes the comparison real: profile the workload serially
+    (one thread worker), feed that measured profile to the cost model with a
+    cluster profile describing this host's actual parallel slots, and check
+    the estimate against the wall clock of an actual ``executor_backend=
+    "process"`` run.
+
+    The band is deliberately generous (4x either way): the model knows
+    nothing about fork/IPC/pickling overhead, and on a single-core host the
+    process pool adds overhead without adding parallelism.  The point is
+    that the estimate is *grounded* — the right order of magnitude — not
+    that it is precise.
+    """
+
+    WORKERS = 2
+    ERROR_BAND = 4.0
+
+    @staticmethod
+    def _run_workload(config: EngineConfig) -> float:
+        def burn(pair):
+            key, value = pair
+            acc = value
+            for _ in range(150):
+                acc = (acc * 31 + 7) % 1_000_003
+            return key, acc
+
+        with EngineContext(config) as ctx:
+            data = [(i % 16, i) for i in range(24_000)]
+            (ctx.parallelize(data, 8)
+             .map(burn)
+             .reduce_by_key(lambda a, b: a + b, 8)
+             .collect())
+            return (ctx.metrics.summary()["wall_clock_s"],
+                    list(ctx.metrics.jobs))
+
+    def test_simulated_wall_clock_brackets_measured_process_run(self):
+        pytest.importorskip("cloudpickle")
+        serial_wall, serial_jobs = self._run_workload(
+            EngineConfig(num_workers=1, default_parallelism=8, seed=1))
+        host_profile = ClusterProfile(
+            "this-host", num_workers=1,
+            cores_per_worker=min(self.WORKERS, os.cpu_count() or 1))
+        estimate = CostModel().estimate_jobs(serial_jobs, host_profile)
+        measured_wall, _ = self._run_workload(
+            EngineConfig(num_workers=self.WORKERS, default_parallelism=8,
+                         seed=1, executor_backend="process"))
+        assert estimate.estimated_wall_clock_s > 0
+        assert measured_wall <= estimate.estimated_wall_clock_s * self.ERROR_BAND, \
+            (f"measured process wall {measured_wall:.3f}s is more than "
+             f"{self.ERROR_BAND}x the simulated {estimate.estimated_wall_clock_s:.3f}s")
+        assert measured_wall >= estimate.estimated_wall_clock_s / self.ERROR_BAND, \
+            (f"measured process wall {measured_wall:.3f}s is less than "
+             f"1/{self.ERROR_BAND} of the simulated "
+             f"{estimate.estimated_wall_clock_s:.3f}s")
+        # sanity: the serial profile itself is CPU-bound enough to matter
+        assert serial_wall > 0.1
