@@ -13,6 +13,7 @@ import csv
 from typing import Any, Dict, Iterator, List, Optional
 
 from ..errors import SourceError
+from ..engine.columnar import ColumnBatch
 from ..engine.streaming import StreamSource
 from .generators import DataGenerator
 from .schemas import Schema
@@ -34,6 +35,23 @@ class DataSource:
         """Yield the records belonging to ``partition`` of ``num_partitions``."""
         raise NotImplementedError
 
+    def read_partition_columns(self, partition: int, num_partitions: int,
+                               fields: Optional[List[str]] = None
+                               ) -> Optional[ColumnBatch]:
+        """One partition as a :class:`ColumnBatch`, or ``None`` without a schema.
+
+        ``fields`` restricts the read to the listed columns (projection-aware
+        scan); by default every schema field is materialised.  The base
+        implementation pivots :meth:`read_partition`'s row dicts; sources
+        that hold data column-wise override it to skip rows entirely.
+        """
+        schema = getattr(self, "schema", None)
+        if schema is None:
+            return None
+        names = list(fields) if fields is not None else schema.field_names
+        records = list(self.read_partition(partition, num_partitions))
+        return ColumnBatch.from_records(records, names)
+
     def read_all(self) -> Iterator[Record]:
         """Yield every record (single-partition convenience read)."""
         return self.read_partition(0, 1)
@@ -49,6 +67,10 @@ class InMemorySource(DataSource):
         super().__init__(name)
         self._records = list(records)
         self.schema = schema
+        #: Lazily pivoted column store ({field: full-length value vector}),
+        #: built on the first columnar read and shared by every partition —
+        #: records are immutable, so the pivot happens at most once.
+        self._column_store: Optional[Dict[str, List[Any]]] = None
 
     def estimated_size(self) -> int:
         return len(self._records)
@@ -58,6 +80,29 @@ class InMemorySource(DataSource):
         start = (partition * total) // num_partitions
         end = ((partition + 1) * total) // num_partitions
         return iter(self._records[start:end])
+
+    def read_partition_columns(self, partition: int, num_partitions: int,
+                               fields: Optional[List[str]] = None
+                               ) -> Optional[ColumnBatch]:
+        if self.schema is None:
+            return None
+        names = list(fields) if fields is not None else self.schema.field_names
+        if any(not self.schema.has_field(name) for name in names):
+            # a pruned read asking for non-schema fields (hand-built plans):
+            # let the row-pivoting base handle the .get(name) -> None fill
+            return super().read_partition_columns(partition, num_partitions,
+                                                  names)
+        if self._column_store is None:
+            self._column_store = {
+                name: [record.get(name) for record in self._records]
+                for name in self.schema.field_names}
+        total = len(self._records)
+        start = (partition * total) // num_partitions
+        end = ((partition + 1) * total) // num_partitions
+        return ColumnBatch(
+            tuple(names),
+            {name: self._column_store[name][start:end] for name in names},
+            end - start)
 
 
 class GeneratorSource(DataSource):

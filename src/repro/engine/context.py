@@ -52,7 +52,8 @@ class EngineContext:
             compression=self.config.shuffle_compression,
             memory_manager=self.memory_manager,
             spill_dir=self.spill_dir,
-            transport=self._transport)
+            transport=self._transport,
+            codec=self.config.spill_codec)
         self.block_store = BlockStore(memory_budget_bytes=self.config.memory_budget_bytes)
         self.metrics = MetricsRegistry()
         #: (build dataset id, collection kind) -> collected broadcast value;

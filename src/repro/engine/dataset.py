@@ -22,7 +22,8 @@ from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
 
 from ..errors import PlanError
 from . import plan as logical
-from .memory import SpillRun
+from .columnar import ColumnBatch
+from .memory import CODEC_NONE, SpillRun
 from .partitioner import HashPartitioner, Partitioner, RangePartitioner, RoundRobinPartitioner
 
 
@@ -377,9 +378,16 @@ local_distinct = distinct_reduce
 
 
 def field_projector(fields: List[str]):
-    """Record function of ``project``: keep only the listed dict fields."""
+    """Record function of ``project``: keep only the listed dict fields.
+
+    The ``projection_fields`` marker lets batch kernels recognise the
+    function as a pure field selection and run it as a
+    :meth:`~repro.engine.columnar.ColumnBatch.project` column-reference
+    operation when the incoming batch is columnar.
+    """
     def project(record: Any) -> Dict[str, Any]:
         return {name: record.get(name) for name in fields}
+    project.projection_fields = tuple(fields)
     return project
 
 
@@ -444,6 +452,9 @@ class _ExternalRunAccumulator:
         self._budget = self._memory.task_run_budget(ctx.config.num_workers)
         self._bytes = 0
         self._spillable = True
+        #: Frame codec of the owning shuffle manager (driver or worker
+        #: client); spilled runs are compressed exactly like bucket spills.
+        self._codec = getattr(ctx.shuffle_manager, "codec", CODEC_NONE)
         self.runs: List[SpillRun] = []
 
     def add_bytes(self, size: int) -> None:
@@ -463,7 +474,7 @@ class _ExternalRunAccumulator:
             return False
         partial = make_partial()  # user reduce code: its errors propagate
         try:
-            kind, payload = SpillRun.serialise(partial)
+            kind, payload = SpillRun.serialise(partial, self._codec)
         except Exception:
             # unpicklable records: stop trying, keep the run resident
             self._spillable = False
@@ -932,8 +943,15 @@ class Dataset:
                                    seq_func, comb_func, num_partitions)
 
     def sort_by(self, key_func: Callable[[Any], Any], ascending: bool = True,
-                num_partitions: Optional[int] = None) -> "Dataset":
-        """Globally sort the records by ``key_func`` (range shuffle + local sort)."""
+                num_partitions: Optional[int] = None,
+                key_fields: Optional[List[str]] = None) -> "Dataset":
+        """Globally sort the records by ``key_func`` (range shuffle + local sort).
+
+        ``key_fields`` optionally declares which dict fields ``key_func``
+        reads; the optimizer may then sink projections keeping all of them
+        below the sort's shuffle (key-preservation analysis) so narrower
+        records cross the wire.
+        """
         num_partitions = num_partitions or self.num_partitions
         sample_fraction = min(1.0, 2000.0 / max(1, self._estimated_size()))
         sample = self.sample(sample_fraction, seed=self.ctx.config.seed).collect()
@@ -949,7 +967,8 @@ class Dataset:
         ds = ShuffledDataset(self, partitioner, record_bucketer(partitioner),
                              reduce_side=reduce_side, name="sort_by",
                              slices=sorted_slice_merge(key_func, ascending))
-        return ds._attach_plan(logical.SortNode, key_func, ascending, partitioner)
+        return ds._attach_plan(logical.SortNode, key_func, ascending, partitioner,
+                               key_fields=key_fields)
 
     def sort_by_key(self, ascending: bool = True,
                     num_partitions: Optional[int] = None) -> "Dataset":
@@ -1280,22 +1299,52 @@ class ParallelCollectionDataset(Dataset):
 
 
 class SourceDataset(Dataset):
-    """A dataset backed by a :class:`repro.data.sources.DataSource`."""
+    """A dataset backed by a :class:`repro.data.sources.DataSource`.
 
-    def __init__(self, ctx, source, num_partitions: int):
-        super().__init__(ctx, num_partitions, [], name=f"source({source.name})")
+    ``columns`` restricts the scan to the listed schema fields (a pruned,
+    projection-aware scan lowered from a
+    :class:`~repro.engine.plan.ProjectedScanNode`); ``None`` reads every
+    field.  When the engine runs columnar (``EngineConfig.columnar_enabled``)
+    and the source carries a schema, batches are produced as
+    :class:`~repro.engine.columnar.ColumnBatch` vectors; otherwise — and on
+    the record-at-a-time path — row dicts flow exactly as before.
+    """
+
+    def __init__(self, ctx, source, num_partitions: int,
+                 columns: Optional[List[str]] = None):
+        name = f"source({source.name})"
+        if columns is not None:
+            name = f"source({source.name})[{','.join(columns)}]"
+        super().__init__(ctx, num_partitions, [], name=name)
         self._source = source
+        self._columns = list(columns) if columns is not None else None
         self._size_hint = source.estimated_size()
 
+    def _rows(self, partition: int) -> Iterator[Any]:
+        records = self._source.read_partition(partition, self.num_partitions)
+        if self._columns is None:
+            return iter(records)
+        names = self._columns
+        return ({name: record.get(name) for name in names}
+                for record in records)
+
     def compute(self, partition: int, task_context: TaskContext) -> Iterator[Any]:
-        for record in self._source.read_partition(partition, self.num_partitions):
+        for record in self._rows(partition):
             task_context.records_read += 1
             yield record
 
     def compute_batches(self, partition: int, task_context: TaskContext,
                         batch_size: int) -> Iterator[List[Any]]:
-        reader = self._source.read_partition(partition, self.num_partitions)
-        for batch in chunk_iterator(reader, batch_size):
+        if getattr(self.ctx.config, "columnar_enabled", False):
+            columns = self._source.read_partition_columns(
+                partition, self.num_partitions, self._columns)
+            if columns is not None:
+                for start in range(0, len(columns), batch_size):
+                    chunk = columns.slice(start, start + batch_size)
+                    task_context.records_read += len(chunk)
+                    yield chunk
+                return
+        for batch in chunk_iterator(self._rows(partition), batch_size):
             task_context.records_read += len(batch)
             yield batch
 
@@ -1315,9 +1364,16 @@ class MappedDataset(Dataset):
     def compute_batches(self, partition: int, task_context: TaskContext,
                         batch_size: int) -> Iterator[List[Any]]:
         func = self._func
+        fields = getattr(func, "projection_fields", None)
         parent = self.dependencies[0].parent
         for batch in parent.batch_iterator(partition, task_context):
-            yield list(map(func, batch))
+            if fields is not None and isinstance(batch, ColumnBatch) and \
+                    batch.has_fields(fields):
+                # pure field selection over a columnar batch: select column
+                # references instead of building a dict per record
+                yield batch.project(fields)
+            else:
+                yield list(map(func, batch))
 
 
 class FilteredDataset(Dataset):
@@ -1445,7 +1501,21 @@ class FusedDataset(Dataset):
         # intermediate lists, no per-record generator resumptions
         for batch in parent.batch_iterator(partition, task_context):
             chain: Any = batch
-            for kind, func in stages:
+            index = 0
+            # leading projection stages over a columnar batch stay columnar:
+            # each is a column-reference selection, no rows are built until
+            # (unless) a non-projection stage needs them
+            while index < len(stages) and isinstance(chain, ColumnBatch):
+                fields = getattr(stages[index][1], "projection_fields", None)
+                if fields is None or not chain.has_fields(fields):
+                    break
+                chain = chain.project(fields)
+                index += 1
+            if index == len(stages):
+                if len(chain):
+                    yield chain
+                continue
+            for kind, func in stages[index:]:
                 chain = filter(func, chain) if kind == "filter" \
                     else map(func, chain)
             produced = list(chain)

@@ -18,7 +18,10 @@ identical shuffle metrics; only the spill counters differ.
 
 All spill payloads are *pickle-framed*: a payload is a sequence of pickled
 record batches, which lets readers stream a large bucket or run back one
-frame at a time instead of materialising it whole.
+frame at a time instead of materialising it whole.  Each frame is
+self-describing — a small header carries the compression codec and payload
+length — so readers need no configuration and mixed-codec files (e.g. after
+a config change mid-context) stream back correctly.
 """
 
 from __future__ import annotations
@@ -26,14 +29,92 @@ from __future__ import annotations
 import io
 import os
 import pickle
+import struct
 import tempfile
 import threading
+import zlib
 from typing import Any, BinaryIO, Dict, Iterator, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+try:  # optional accelerator codec; zlib is the stdlib fallback
+    import lz4.frame as _lz4
+except ImportError:  # pragma: no cover - lz4 is an optional dependency
+    _lz4 = None
 
 #: Records per pickle frame in spill payloads.  Small enough that streaming
 #: readers hold one bounded batch in memory, large enough that framing
 #: overhead is negligible.
 SPILL_FRAME_RECORDS = 4096
+
+# -- frame codecs -------------------------------------------------------------
+
+#: Frame codec ids, stored in every frame header.
+CODEC_NONE = 0
+CODEC_ZLIB = 1
+CODEC_LZ4 = 2
+
+_CODEC_IDS = {"none": CODEC_NONE, "zlib": CODEC_ZLIB, "lz4": CODEC_LZ4}
+_CODEC_NAMES = {value: key for key, value in _CODEC_IDS.items()}
+
+#: Per-frame header: one codec byte + the compressed payload length.
+_FRAME_HEADER = struct.Struct("<BI")
+
+
+def lz4_available() -> bool:
+    """Whether the optional ``lz4`` package is importable."""
+    return _lz4 is not None
+
+
+def codec_name(codec: int) -> str:
+    """The configuration name of a frame codec id (for docs and benchmarks)."""
+    return _CODEC_NAMES.get(codec, f"unknown-{codec}")
+
+
+def resolve_codec(name: str = "auto", enabled: bool = True) -> int:
+    """Resolve a configured codec name to a frame codec id.
+
+    ``auto`` prefers lz4 when the optional package is importable and falls
+    back to the stdlib zlib otherwise; asking for ``lz4`` explicitly on a
+    host without the package is a configuration error rather than a silent
+    downgrade.  ``enabled=False`` (compression switched off) always resolves
+    to :data:`CODEC_NONE`.
+    """
+    if not enabled:
+        return CODEC_NONE
+    key = (name or "auto").lower()
+    if key == "auto":
+        return CODEC_LZ4 if _lz4 is not None else CODEC_ZLIB
+    if key not in _CODEC_IDS:
+        raise ConfigurationError(f"unknown spill codec {name!r}; expected "
+                                 "one of: auto, none, zlib, lz4")
+    codec = _CODEC_IDS[key]
+    if codec == CODEC_LZ4 and _lz4 is None:
+        raise ConfigurationError("spill codec 'lz4' requested but the lz4 "
+                                 "package is not installed")
+    return codec
+
+
+def encode_payload(raw: bytes, codec: int) -> bytes:
+    """Compress one raw frame payload with ``codec``.
+
+    zlib runs at level 1: spill and transport frames are written once and
+    read back within the same job, so encode speed dominates ratio.
+    """
+    if codec == CODEC_ZLIB:
+        return zlib.compress(raw, 1)
+    if codec == CODEC_LZ4:
+        return _lz4.compress(raw)  # pragma: no cover - needs optional lz4
+    return raw
+
+
+def decode_payload(payload: bytes, codec: int) -> bytes:
+    """Decompress one frame payload written by :func:`encode_payload`."""
+    if codec == CODEC_ZLIB:
+        return zlib.decompress(payload)
+    if codec == CODEC_LZ4:
+        return _lz4.decompress(payload)  # pragma: no cover - optional lz4
+    return payload
 
 
 class MemoryManager:
@@ -111,12 +192,21 @@ class MemoryManager:
 # ---------------------------------------------------------------------------
 
 
-def dump_frames(records: Sequence[Any]) -> bytes:
-    """Serialise ``records`` as a sequence of pickled batches (frames)."""
+def dump_frames(records: Sequence[Any], codec: int = CODEC_NONE) -> bytes:
+    """Serialise ``records`` as a sequence of pickled, headed batch frames.
+
+    Every frame is ``header (codec id, payload length) + payload``; with a
+    compressing ``codec`` the payload is the compressed pickle, so the
+    returned length is the *measured* on-disk size — the number the spill
+    and shuffle byte counters report.
+    """
     buffer = io.BytesIO()
     for start in range(0, len(records), SPILL_FRAME_RECORDS):
-        pickle.dump(records[start:start + SPILL_FRAME_RECORDS], buffer,
-                    protocol=pickle.HIGHEST_PROTOCOL)
+        raw = pickle.dumps(records[start:start + SPILL_FRAME_RECORDS],
+                           protocol=pickle.HIGHEST_PROTOCOL)
+        payload = encode_payload(raw, codec)
+        buffer.write(_FRAME_HEADER.pack(codec, len(payload)))
+        buffer.write(payload)
     return buffer.getvalue()
 
 
@@ -129,12 +219,18 @@ def load_frames(path: str, offset: int, length: int) -> List[Any]:
 
 
 def iter_frames(path: str, offset: int, length: int) -> Iterator[List[Any]]:
-    """Stream a framed payload back one batch at a time."""
+    """Stream a framed payload back one batch at a time.
+
+    The per-frame headers make the payload self-describing: the reader
+    needs no codec configuration, and frames written under different codecs
+    coexist in one file.
+    """
     with open(path, "rb") as handle:
         handle.seek(offset)
         end = offset + length
         while handle.tell() < end:
-            yield pickle.load(handle)
+            codec, size = _FRAME_HEADER.unpack(handle.read(_FRAME_HEADER.size))
+            yield pickle.loads(decode_payload(handle.read(size), codec))
 
 
 class SpillRun:
@@ -158,7 +254,7 @@ class SpillRun:
         self.nbytes = nbytes
 
     @staticmethod
-    def serialise(partial: Any) -> Tuple[str, bytes]:
+    def serialise(partial: Any, codec: int = CODEC_NONE) -> Tuple[str, bytes]:
         """Frame one partial into a ``(kind, payload)`` pair.
 
         Kept separate from :meth:`write` so callers can tell a *pickling*
@@ -167,8 +263,8 @@ class SpillRun:
         defeat the configured memory budget).
         """
         if isinstance(partial, dict):
-            return "dict", dump_frames(list(partial.items()))
-        return "list", dump_frames(list(partial))
+            return "dict", dump_frames(list(partial.items()), codec)
+        return "list", dump_frames(list(partial), codec)
 
     @classmethod
     def write(cls, spill_dir: str, kind: str, payload: bytes) -> "SpillRun":
@@ -180,9 +276,10 @@ class SpillRun:
         return cls(path, kind, len(payload))
 
     @classmethod
-    def spill(cls, spill_dir: str, partial: Any) -> "SpillRun":
+    def spill(cls, spill_dir: str, partial: Any,
+              codec: int = CODEC_NONE) -> "SpillRun":
         """Serialise and write one partial (convenience composition)."""
-        kind, payload = cls.serialise(partial)
+        kind, payload = cls.serialise(partial, codec)
         return cls.write(spill_dir, kind, payload)
 
     def iter_records(self) -> Iterator[Any]:

@@ -11,7 +11,13 @@ datasets the DAG scheduler can run.  Seven rules ship today (see
     re-executed.
 ``pushdown``
     Move filters below repartition and sort boundaries, and projections below
-    repartitions, so fewer/narrower records cross the shuffle.
+    shuffles that provably route records independently of the projected-away
+    fields (key-preservation analysis: round-robin repartitions always; sorts
+    when their declared ``key_fields`` survive the projection), so
+    fewer/narrower records cross the shuffle.  Projections reaching a
+    schema-bearing source fold into the scan itself
+    (:class:`~repro.engine.plan.ProjectedScanNode`), which then materialises
+    only the surviving columns; adjacent projections collapse.
 ``shuffle_elim``
     Drop the shuffle of an aggregation whose input is already partitioned by
     the same partitioner (e.g. ``reduce_by_key(n).group_by_key(n)``): the
@@ -67,9 +73,9 @@ from .partitioner import HashPartitioner, RoundRobinPartitioner
 from .plan import (AggregateNode, BroadcastJoinNode, CoalesceNode, CoGroupNode,
                    DistinctNode, FilterNode, FlatMapNode, FusedNode,
                    GroupByKeyNode, JoinNode, LogicalNode, MapNode,
-                   MapPartitionsNode, PhysicalScanNode, ProjectNode,
-                   RepartitionNode, SampleNode, SortNode, SourceNode,
-                   UnionNode, output_partitioning)
+                   MapPartitionsNode, PhysicalScanNode, ProjectedScanNode,
+                   ProjectNode, RepartitionNode, SampleNode, SortNode,
+                   SourceNode, UnionNode, output_partitioning)
 from .stats import StatsEstimator
 
 #: Narrow record-at-a-time operators the ``fuse_narrow`` rule may collapse.
@@ -210,6 +216,29 @@ def _balanced_ranges(map_bytes: List[Tuple[int, int]],
     return ranges
 
 
+def projection_preserves_keys(project: ProjectNode,
+                              shuffle: LogicalNode) -> bool:
+    """True when sinking ``project`` below ``shuffle`` cannot change routing.
+
+    A projection may only cross a shuffle whose record routing is provably
+    independent of the fields it drops:
+
+    * a round-robin repartition routes by an internal counter — any
+      projection is safe;
+    * a hash/range repartition routes by record content — dropping a field
+      changes the hash, so projections must stay above;
+    * a sort routes (and orders) through its key function; only when the
+      sort declares ``key_fields`` and the projection keeps them all is
+      the key function guaranteed to observe identical values.
+    """
+    if isinstance(shuffle, RepartitionNode):
+        return isinstance(shuffle.partitioner, RoundRobinPartitioner)
+    if isinstance(shuffle, SortNode):
+        return shuffle.key_fields is not None and \
+            set(shuffle.key_fields) <= set(project.fields)
+    return False
+
+
 class OptimizationResult:
     """The outcome of one optimizer run over a logical plan."""
 
@@ -324,24 +353,83 @@ class PlanOptimizer:
             fired: List[bool] = []
 
             def rule(n: LogicalNode) -> LogicalNode:
-                swap = None
                 if isinstance(n, FilterNode) and \
                         isinstance(n.child, (RepartitionNode, SortNode)):
                     swap = n.child
-                elif isinstance(n, ProjectNode) and \
-                        isinstance(n.child, RepartitionNode):
-                    swap = n.child
-                if swap is None or n.is_cached or swap.is_cached:
-                    return n
-                fired.append(True)
-                applied.append("pushdown")
-                pushed = n.copy_with(children=[swap.child])
-                return swap.copy_with(children=[pushed])
+                    if n.is_cached or swap.is_cached:
+                        return n
+                    fired.append(True)
+                    applied.append("pushdown")
+                    pushed = n.copy_with(children=[swap.child])
+                    return swap.copy_with(children=[pushed])
+                if isinstance(n, ProjectNode):
+                    return self._push_down_project(n, fired, applied)
+                return n
 
             node = self._transform(node, rule)
             if not fired:
                 break
         return node
+
+    def _push_down_project(self, n: ProjectNode, fired: List[bool],
+                           applied: List[str]) -> LogicalNode:
+        """One pushdown step for a projection: sink, collapse or fold."""
+        child = n.child
+        if n.is_cached or child.is_cached:
+            return n
+        if isinstance(child, (RepartitionNode, SortNode)) and \
+                projection_preserves_keys(n, child):
+            fired.append(True)
+            applied.append("pushdown")
+            pushed = n.copy_with(children=[child.child])
+            return child.copy_with(children=[pushed])
+        if isinstance(child, ProjectNode) and \
+                set(n.fields) <= set(child.fields):
+            # the outer field set survives the inner projection unchanged,
+            # so one projection suffices (fields outside the inner set
+            # would have been nulled and must NOT collapse)
+            fired.append(True)
+            applied.append("pushdown")
+            return n.copy_with(children=[child.child])
+        if isinstance(child, ProjectedScanNode) and \
+                set(n.fields) <= set(child.fields):
+            fired.append(True)
+            applied.append("pushdown")
+            return self._projected_scan(child.source_dataset, n)
+        if isinstance(child, SourceNode):
+            scan = self._fold_projected_scan(n, child)
+            if scan is not None:
+                fired.append(True)
+                applied.append("pushdown")
+                return scan
+        return n
+
+    def _fold_projected_scan(self, n: ProjectNode,
+                             child: SourceNode) -> Optional[ProjectedScanNode]:
+        """Fold ``Project(Source)`` into a pruned scan, when provably safe.
+
+        Requires a schema declaring every projected field: projecting a
+        field the schema does not know must materialise it as ``None``
+        (``record.get`` semantics), which a pruned scan of schema columns
+        could not reproduce.  Hand-pruned scans are left alone.
+        """
+        ds = child.dataset
+        source = getattr(ds, "_source", None) if ds is not None else None
+        schema = getattr(source, "schema", None) if source is not None else None
+        if schema is None or getattr(ds, "_columns", None) is not None:
+            return None
+        if not all(schema.has_field(field) for field in n.fields):
+            return None
+        return self._projected_scan(ds, n)
+
+    @staticmethod
+    def _projected_scan(source_dataset, n: ProjectNode) -> ProjectedScanNode:
+        scan = ProjectedScanNode(source_dataset, n.fields)
+        # the pruned scan produces exactly the projection's records: inherit
+        # its origin so cache flags propagate to the right lineage
+        scan.origin_dataset = n.origin_dataset
+        scan.origin_id = n.origin_id
+        return scan
 
     # -- rule: shuffle elimination ------------------------------------------
 
@@ -671,6 +759,10 @@ def _stamp_shuffle_estimates(node: LogicalNode, built) -> None:
 def _build_physical(node: LogicalNode, ctx) -> "physical.Dataset":
     """Construct the physical dataset of one rewritten logical node."""
     d = physical
+    if isinstance(node, ProjectedScanNode):
+        origin = node.source_dataset
+        return d.SourceDataset(ctx, origin._source, origin.num_partitions,
+                               columns=node.fields)
     if isinstance(node, (SourceNode, PhysicalScanNode)):
         # leaves always carry their physical dataset; reaching this branch
         # means the plan was built by hand without one

@@ -168,6 +168,40 @@ class PhysicalScanNode(LogicalNode):
         return f"{self.dataset.name}, partitions={self.dataset.num_partitions}"
 
 
+class ProjectedScanNode(LogicalNode):
+    """A leaf scanning only some fields of a schema-bearing source.
+
+    Produced by the pushdown rule when a projection reaches a
+    :class:`SourceNode` whose source declares a schema covering the
+    projected fields: the project folds *into* the scan, which then
+    materialises only the surviving columns
+    (``SourceDataset(columns=...)``).  ``source_dataset`` is the original
+    full-width physical scan; lowering builds the pruned dataset fresh.
+    """
+
+    op = "pruned_scan"
+
+    def __init__(self, source_dataset, fields: Sequence[str]):
+        super().__init__([], dataset=None)
+        self.source_dataset = source_dataset
+        self.fields = list(fields)
+
+    def signature(self) -> Tuple[Any, ...]:
+        """Keyed by the scanned dataset and field set, not the origin counter.
+
+        Like :class:`PhysicalScanNode`: the node is rebuilt on every
+        optimizer run, so a counter-based identity would defeat the
+        lowered-plan memo and re-create the pruned physical dataset (and
+        everything above it) per action.
+        """
+        return (self.op, self.variant,
+                ("scan", self.source_dataset.id, tuple(self.fields)), ())
+
+    def details(self) -> str:
+        return (f"{self.source_dataset.name}, fields={self.fields}, "
+                f"partitions={self.source_dataset.num_partitions}")
+
+
 # ---------------------------------------------------------------------------
 # Narrow unary operators
 # ---------------------------------------------------------------------------
@@ -288,15 +322,25 @@ class SortNode(LogicalNode):
     is_shuffle = True
 
     def __init__(self, child: LogicalNode, key_func, ascending: bool,
-                 partitioner, dataset=None):
+                 partitioner, dataset=None, key_fields=None):
         super().__init__([child], dataset=dataset)
         self.key_func = key_func
         self.ascending = ascending
         self.partitioner = partitioner
+        #: Optional declaration of the record fields ``key_func`` reads
+        #: (``sort_by(..., key_fields=[...])``).  Key-preservation analysis:
+        #: a projection that keeps every key field may sink below the sort,
+        #: because both the range routing and the local sort observe only
+        #: those fields.  ``None`` means the key function is opaque and
+        #: projections must stay above.
+        self.key_fields = list(key_fields) if key_fields is not None else None
 
     def details(self) -> str:
-        return (f"partitions={self.partitioner.num_partitions}, "
+        text = (f"partitions={self.partitioner.num_partitions}, "
                 f"ascending={self.ascending}")
+        if self.key_fields is not None:
+            text += f", key_fields={self.key_fields}"
+        return text
 
 
 class DistinctNode(LogicalNode):

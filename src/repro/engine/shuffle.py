@@ -10,10 +10,12 @@ By default every bucket stays resident.  When the owning context runs
 memory-bounded (``EngineConfig.shuffle_memory_bytes`` > 0, tracked by a
 :class:`~repro.engine.memory.MemoryManager`), writes that push the resident
 total over the budget spill the coldest buckets to a per-shuffle spill file
-(pickle-framed, see :mod:`repro.engine.memory`); reads — full, ranged
-(``map_range=``) and streaming — transparently bring spilled buckets back.
-Byte accounting always uses the map-side estimates measured at write time,
-so bounded and unbounded runs report identical shuffle metrics.
+(pickle-framed and codec-compressed, see :mod:`repro.engine.memory`); reads
+— full, ranged (``map_range=``) and streaming — transparently bring spilled
+buckets back.  Byte accounting always uses the map-side estimates measured
+at write time, so bounded and unbounded runs report identical shuffle
+metrics; with compression on, the estimates are scaled by the measured
+ratio of the active codec rather than a simulated constant.
 """
 
 from __future__ import annotations
@@ -25,9 +27,15 @@ import threading
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ShuffleError
-from .memory import MemoryManager, SpillFile, dump_frames, load_frames
+from .memory import (CODEC_NONE, MemoryManager, SpillFile, dump_frames,
+                     encode_payload, load_frames, resolve_codec)
 
 _SAMPLE_SIZE = 20
+#: Records in the (larger) sample used to *measure* the compression ratio.
+#: Codecs need enough context to find repetition; a 20-record sample is
+#: overhead-dominated and would systematically understate the ratio the
+#: 4096-record spill frames actually achieve.
+_RATIO_SAMPLE_SIZE = 256
 
 
 def _stride_sample(records: Sequence[Any], size: int) -> List[Any]:
@@ -44,15 +52,20 @@ def _stride_sample(records: Sequence[Any], size: int) -> List[Any]:
     return [records[int(index * step)] for index in range(size)]
 
 
-def estimate_bytes(records: Sequence[Any], compressed: bool = True) -> int:
+def estimate_bytes(records: Sequence[Any], compressed: bool = True,
+                   codec: Optional[int] = None) -> int:
     """Estimate the serialised size of ``records``.
 
     A small stride-sample across the whole sequence is pickled and the
-    average record size is extrapolated.  When ``compressed`` is true a
-    constant 2.5x compression ratio is applied, mimicking the default block
-    compression of production shuffles.  Unpicklable records fall back to
-    ``repr`` lengths; that fallback never applies the compression divisor —
-    a ``repr`` is not a compressible serialised payload, and dividing it
+    average record size is extrapolated.  When ``compressed`` is true the
+    extrapolation is scaled by a *measured* compression ratio: a larger
+    stride sample is pickled and run through the active frame codec (the
+    one spill and transport frames are actually written with), replacing the
+    constant 2.5x ratio earlier revisions merely simulated.  The ratio is
+    capped at 1.0 — tiny payloads where codec overhead wins never inflate
+    the estimate above the uncompressed one.  Unpicklable records fall back
+    to ``repr`` lengths; that fallback never applies compression — a
+    ``repr`` is not a compressible serialised payload, and scaling it
     systematically undercounted such buckets.
     """
     if not records:
@@ -67,7 +80,14 @@ def estimate_bytes(records: Sequence[Any], compressed: bool = True) -> int:
     per_record = max(1.0, sample_bytes / len(sample))
     total = int(per_record * len(records))
     if compressed and not fallback:
-        total = int(total / 2.5)
+        if codec is None:
+            codec = resolve_codec()
+        if codec != CODEC_NONE:
+            ratio_sample = _stride_sample(records, _RATIO_SAMPLE_SIZE)
+            raw = pickle.dumps(ratio_sample,
+                               protocol=pickle.HIGHEST_PROTOCOL)
+            ratio = min(1.0, len(encode_payload(raw, codec)) / max(1, len(raw)))
+            total = int(total * ratio)
     return max(1, total)
 
 
@@ -76,7 +96,7 @@ class ShuffleManager:
 
     def __init__(self, compression: bool = True,
                  memory_manager: Optional[MemoryManager] = None,
-                 spill_dir=None, transport=None):
+                 spill_dir=None, transport=None, codec: str = "auto"):
         self._lock = threading.Lock()
         self._buckets: Dict[Tuple[int, int, int], List[Any]] = {}
         #: Per-bucket byte estimates, measured once on the map side; the
@@ -93,6 +113,10 @@ class ShuffleManager:
         self._bytes_written: Dict[int, int] = {}
         self._records_written: Dict[int, int] = {}
         self.compression = compression
+        #: Resolved frame codec id; every spill-file and transport frame this
+        #: manager writes is compressed with it, and ``estimate_bytes``
+        #: measures its ratio so accounting matches the on-disk format.
+        self.codec = resolve_codec(codec, compression)
         #: Memory accounting: resident bucket bytes are reserved with the
         #: context's memory manager under one owner key; ``None`` keeps the
         #: manager optional for directly constructed ShuffleManagers.
@@ -190,7 +214,7 @@ class ShuffleManager:
         for reduce_partition, records in buckets.items():
             key = (shuffle_id, map_partition, reduce_partition)
             copied = list(records)
-            size = estimate_bytes(copied, self.compression)
+            size = estimate_bytes(copied, self.compression, self.codec)
             staged.append((key, copied, size))
             written += size
             records_out += len(copied)
@@ -247,7 +271,7 @@ class ShuffleManager:
             if not bucket:
                 continue
             try:
-                payload = dump_frames(bucket)
+                payload = dump_frames(bucket, self.codec)
             except Exception:
                 self._unspillable.add(key)
                 continue
@@ -357,7 +381,7 @@ class ShuffleManager:
             for (map_partition, reduce_partition), bucket, size in resident:
                 writer = self.transport.map_output_writer(shuffle_id,
                                                           map_partition)
-                offset, length = writer.append(dump_frames(bucket))
+                offset, length = writer.append(dump_frames(bucket, self.codec))
                 writer.close()
                 buckets[(map_partition, reduce_partition)] = \
                     (writer.path, offset, length, len(bucket), size)

@@ -39,9 +39,10 @@ from . import dataset as physical
 from .plan import (AggregateNode, BroadcastJoinNode, CoalesceNode, CoGroupNode,
                    DistinctNode, FilterNode, FlatMapNode, FusedNode,
                    GroupByKeyNode, JoinNode, LogicalNode, MapNode,
-                   MapPartitionsNode, PhysicalScanNode, ProjectNode,
-                   RepartitionNode, SampleNode, SortNode, SourceNode,
-                   UnionNode)
+                   MapPartitionsNode, PhysicalScanNode, ProjectedScanNode,
+                   ProjectNode, RepartitionNode, SampleNode, SortNode,
+                   SourceNode, UnionNode)
+from .memory import resolve_codec
 from .shuffle import estimate_bytes
 
 # -- selectivity heuristics (applied when no actuals are available) ----------
@@ -164,6 +165,10 @@ class StatsEstimator:
         self.config = config
         self.block_store = block_store
         self.shuffle_manager = shuffle_manager
+        #: Resolved frame codec id, so leaf sampling measures the same
+        #: compression ratio the shuffle manager's accounting uses.
+        self._codec = resolve_codec(getattr(config, "spill_codec", "auto"),
+                                    config.shuffle_compression)
         #: The context's structural-signature -> physical dataset memo; lets
         #: the estimator resolve the physical form of *rewritten* nodes so
         #: their completed shuffles feed back into later optimizer runs.
@@ -411,6 +416,12 @@ class StatsEstimator:
 
         if isinstance(node, (SourceNode, PhysicalScanNode)):
             return self._leaf_stats(node)
+        if isinstance(node, ProjectedScanNode):
+            # a pruned scan is its source leaf shrunk by the projection: the
+            # same byte ratio the ProjectNode it replaced would have applied
+            base = self._dataset_stats(node.source_dataset)
+            return base.scaled(1.0, PROJECT_BYTES_RATIO) \
+                if base is not None else None
 
         # shuffle operators: prefer the actual map output once it exists
         if isinstance(node, (RepartitionNode, SortNode, DistinctNode,
@@ -532,7 +543,9 @@ class StatsEstimator:
         cached = self._cached_actual(node)
         if cached is not None:
             return cached
-        ds = node.dataset
+        return self._dataset_stats(node.dataset)
+
+    def _dataset_stats(self, ds) -> Optional[StatsEstimate]:
         if ds is None:
             return None
         data = getattr(ds, "_data", None)
@@ -542,7 +555,7 @@ class StatsEstimator:
                 memo = StatsEstimate(
                     rows=float(len(data)),
                     size_bytes=float(estimate_bytes(
-                        data, self.config.shuffle_compression)),
+                        data, self.config.shuffle_compression, self._codec)),
                     exact=True)
                 self._leaf_cache[ds.id] = memo
             return memo

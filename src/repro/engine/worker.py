@@ -34,7 +34,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from . import serializer
 from .dataset import TaskContext
 from .executor import _TASK_COUNTERS, InjectedFailure, should_inject_failure
-from .memory import MemoryManager, dump_frames, load_frames
+from .memory import (CODEC_NONE, MemoryManager, dump_frames, load_frames,
+                     resolve_codec)
 from .shuffle import ShuffleError, estimate_bytes
 from .storage import BlockStore
 from .transport import LocalDirShuffleTransport
@@ -57,9 +58,14 @@ class WorkerShuffleClient:
     and stash the spans for the task result to carry back to the driver.
     """
 
-    def __init__(self, transport: LocalDirShuffleTransport, compression: bool):
+    def __init__(self, transport: LocalDirShuffleTransport, compression: bool,
+                 codec: int = CODEC_NONE):
         self._transport = transport
         self.compression = compression
+        #: Frame codec id; must match the driver's resolved codec so the
+        #: spans a worker writes carry the same measured byte estimates the
+        #: thread backend would have recorded.
+        self.codec = codec
         self._catalog: Dict[int, Dict[str, Any]] = {}
         self._last_map_output: Optional[Dict[str, Any]] = None
 
@@ -129,8 +135,9 @@ class WorkerShuffleClient:
         written = 0
         try:
             for reduce_partition, records in buckets.items():
-                size = estimate_bytes(list(records), self.compression)
-                offset, length = writer.append(dump_frames(records))
+                size = estimate_bytes(list(records), self.compression,
+                                      self.codec)
+                offset, length = writer.append(dump_frames(records, self.codec))
                 spans[reduce_partition] = \
                     (writer.path, offset, length, len(records), size)
                 written += size
@@ -183,8 +190,9 @@ class WorkerContext:
         self.config = config
         self.memory_manager = MemoryManager(config.shuffle_memory_bytes)
         self.block_store = WorkerBlockStore(config.memory_budget_bytes)
-        self.shuffle_manager = WorkerShuffleClient(transport,
-                                                   config.shuffle_compression)
+        self.shuffle_manager = WorkerShuffleClient(
+            transport, config.shuffle_compression,
+            resolve_codec(config.spill_codec, config.shuffle_compression))
         self._spill_root: Optional[str] = None
 
     def spill_dir(self) -> str:

@@ -1,0 +1,357 @@
+"""Columnar batches, projection-aware scans and compressed spill frames.
+
+Three contracts under test:
+
+* :class:`~repro.engine.columnar.ColumnBatch` round-trips rows exactly
+  (iteration, projection, slicing, null masks) — including a hypothesis
+  property over generated records;
+* columnar execution is invisible: for every wide operator, results, order
+  and every non-timing metric are identical with ``columnar_enabled`` on or
+  off, across batch sizes and both executor backends;
+* compressed spill frames: codec resolution, frame round-trips, measured
+  byte estimates that are backend- and codec-consistent, and spill files
+  that actually shrink under compression.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import EngineConfig
+from repro.data.schemas import Field, Schema
+from repro.data.sources import InMemorySource
+from repro.engine.columnar import ColumnBatch
+from repro.engine.context import EngineContext
+from repro.engine.memory import (CODEC_LZ4, CODEC_NONE, CODEC_ZLIB,
+                                 codec_name, decode_payload, dump_frames,
+                                 encode_payload, iter_frames, load_frames,
+                                 lz4_available, resolve_codec)
+from repro.engine.shuffle import estimate_bytes
+from repro.errors import ConfigurationError
+
+from test_memory_bounded import DATA, OTHER_SIDE, PIPELINES, TINY_CAP
+
+SCHEMA = Schema(name="kv_records",
+                fields=(Field("k", "int"), Field("v", "int")))
+
+RECORDS = [{"k": k, "v": v} for k, v in DATA]
+
+#: Metric keys that legitimately differ across executor backends and
+#: columnar modes (everything else must match exactly).
+_TIMING_KEYS = ("wall_clock_s", "total_task_time_s")
+
+
+def make_engine(columnar: bool, batch_size: int = 1024,
+                backend: str = "thread", **overrides) -> EngineContext:
+    options = {"num_workers": 2, "default_parallelism": 4, "seed": 1,
+               "batch_size": batch_size, "columnar_enabled": columnar,
+               "executor_backend": backend, "broadcast_threshold_bytes": 0}
+    options.update(overrides)
+    return EngineContext(EngineConfig(**options))
+
+
+def run_schema_pipeline(pipeline_name: str, columnar: bool,
+                        batch_size: int = 1024, backend: str = "thread",
+                        **overrides):
+    """One wide pipeline over a schema-bearing scan; results + metrics."""
+    build = PIPELINES[pipeline_name]
+    with make_engine(columnar, batch_size, backend, **overrides) as ctx:
+        base = ctx.from_source(InMemorySource("kv", RECORDS, schema=SCHEMA),
+                               num_partitions=4)
+        kv = base.map(lambda record: (record["k"], record["v"]))
+        ds = build(kv, ctx.parallelize(OTHER_SIDE, 2))
+        first = ds.collect()
+        second = ds.collect()
+        summary = ctx.metrics.summary()
+        comparable = {key: value for key, value in summary.items()
+                      if key not in _TIMING_KEYS}
+        return first, second, comparable
+
+
+# ---------------------------------------------------------------------------
+# ColumnBatch
+# ---------------------------------------------------------------------------
+
+
+class TestColumnBatch:
+    def test_from_records_roundtrip(self):
+        records = [{"a": 1, "b": "x"}, {"a": 2, "b": None}]
+        batch = ColumnBatch.from_records(records, ["a", "b"])
+        assert len(batch) == 2
+        assert batch.to_records() == records
+        assert list(batch) == records
+
+    def test_missing_fields_read_as_none(self):
+        batch = ColumnBatch.from_records([{"a": 1}], ["a", "b"])
+        assert batch.to_records() == [{"a": 1, "b": None}]
+
+    def test_column_and_null_mask(self):
+        batch = ColumnBatch.from_records(
+            [{"a": 1}, {"a": None}, {"a": 3}], ["a"])
+        assert batch.column("a") == [1, None, 3]
+        assert batch.null_mask("a") == [False, True, False]
+        # masks are cached per batch
+        assert batch.null_mask("a") is batch.null_mask("a")
+
+    def test_project_shares_column_vectors(self):
+        batch = ColumnBatch.from_records(
+            [{"a": i, "b": -i, "c": str(i)} for i in range(100)],
+            ["a", "b", "c"])
+        projected = batch.project(["a", "c"])
+        assert projected.fields == ("a", "c")
+        assert len(projected) == 100
+        assert projected.column("a") is batch.column("a")
+        assert projected.to_records() == \
+            [{"a": i, "c": str(i)} for i in range(100)]
+
+    def test_project_to_zero_fields_keeps_length(self):
+        batch = ColumnBatch.from_records([{"a": 1}, {"a": 2}], ["a"])
+        empty = batch.project([])
+        assert len(empty) == 2
+        assert empty.to_records() == [{}, {}]
+
+    def test_slice(self):
+        batch = ColumnBatch.from_records(
+            [{"a": i} for i in range(10)], ["a"])
+        chunk = batch.slice(3, 7)
+        assert len(chunk) == 4
+        assert chunk.to_records() == [{"a": i} for i in range(3, 7)]
+        assert len(batch.slice(8, 100)) == 2
+        assert len(batch.slice(20, 30)) == 0
+
+    def test_has_fields(self):
+        batch = ColumnBatch.from_records([{"a": 1, "b": 2}], ["a", "b"])
+        assert batch.has_fields(["a"])
+        assert batch.has_fields(["a", "b"])
+        assert not batch.has_fields(["a", "z"])
+
+    @settings(max_examples=60, deadline=None)
+    @given(records=st.lists(st.fixed_dictionaries({
+               "a": st.integers(-1000, 1000),
+               "b": st.one_of(st.none(), st.text(max_size=6)),
+               "c": st.floats(allow_nan=False, allow_infinity=False)}),
+               max_size=40),
+           keep=st.lists(st.sampled_from(["a", "b", "c"]), unique=True),
+           cut=st.integers(0, 45))
+    def test_roundtrip_property(self, records, keep, cut):
+        """from_records -> iterate/project/slice reproduces row semantics."""
+        fields = ["a", "b", "c"]
+        batch = ColumnBatch.from_records(records, fields)
+        assert len(batch) == len(records)
+        assert batch.to_records() == records
+        assert batch.project(keep).to_records() == \
+            [{name: record.get(name) for name in keep} for record in records]
+        assert batch.slice(0, cut).to_records() == records[:cut]
+        assert batch.null_mask("b") == \
+            [record["b"] is None for record in records]
+
+
+# ---------------------------------------------------------------------------
+# Columnar scans
+# ---------------------------------------------------------------------------
+
+
+class TestColumnarScan:
+    def test_schema_scan_produces_column_batches(self):
+        with make_engine(columnar=True) as ctx:
+            ds = ctx.from_source(InMemorySource("kv", RECORDS, schema=SCHEMA),
+                                 num_partitions=2)
+            batches = list(ds.compute_batches(0, _task_context(), 100))
+            assert batches and all(isinstance(b, ColumnBatch) for b in batches)
+            assert sum(len(b) for b in batches) == len(RECORDS) // 2
+
+    def test_columnar_disabled_produces_row_lists(self):
+        with make_engine(columnar=False) as ctx:
+            ds = ctx.from_source(InMemorySource("kv", RECORDS, schema=SCHEMA),
+                                 num_partitions=2)
+            batches = list(ds.compute_batches(0, _task_context(), 100))
+            assert batches and all(isinstance(b, list) for b in batches)
+
+    def test_schemaless_source_falls_back_to_rows(self):
+        with make_engine(columnar=True) as ctx:
+            ds = ctx.from_source(InMemorySource("kv", RECORDS, schema=None),
+                                 num_partitions=2)
+            batches = list(ds.compute_batches(0, _task_context(), 100))
+            assert batches and all(isinstance(b, list) for b in batches)
+
+    def test_pruned_scan_reads_only_requested_columns(self):
+        source = InMemorySource("kv", RECORDS, schema=SCHEMA)
+        with make_engine(columnar=True) as ctx:
+            ds = ctx.from_source(source, num_partitions=2).project(["v"])
+            rows = ds.collect()
+            assert rows == [{"v": v} for _, v in DATA]
+            # the source pivoted its records into the shared column store
+            assert source._column_store is not None
+
+    def test_count_over_projection_matches_rows(self):
+        with make_engine(columnar=True) as ctx:
+            ds = ctx.from_source(InMemorySource("kv", RECORDS, schema=SCHEMA),
+                                 num_partitions=4).project(["k"])
+            assert ds.count() == len(RECORDS)
+
+
+def _task_context():
+    from repro.engine.dataset import TaskContext
+    return TaskContext()
+
+
+# ---------------------------------------------------------------------------
+# Parity: columnar on/off x batch size x backend, all wide operators
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("batch_size", [0, 1, 1024])
+@pytest.mark.parametrize("pipeline_name", sorted(PIPELINES))
+def test_columnar_parity_thread(pipeline_name, batch_size):
+    """Columnar on/off agree record-for-record and metric-for-metric."""
+    on_first, on_second, on_metrics = run_schema_pipeline(
+        pipeline_name, columnar=True, batch_size=batch_size)
+    off_first, off_second, off_metrics = run_schema_pipeline(
+        pipeline_name, columnar=False, batch_size=batch_size)
+    assert on_first == off_first
+    assert on_second == off_second
+    assert on_metrics == off_metrics
+
+
+@pytest.mark.parametrize("pipeline_name", sorted(PIPELINES))
+def test_columnar_parity_process_backend(pipeline_name):
+    """The process backend sees the same columnar results and metrics."""
+    thread = run_schema_pipeline(pipeline_name, columnar=True)
+    process = run_schema_pipeline(pipeline_name, columnar=True,
+                                  backend="process")
+    assert process == thread
+
+
+# ---------------------------------------------------------------------------
+# Codec resolution and frame round-trips
+# ---------------------------------------------------------------------------
+
+
+class TestCodecResolution:
+    def test_disabled_compression_resolves_to_none(self):
+        assert resolve_codec("auto", enabled=False) == CODEC_NONE
+        assert resolve_codec("zlib", enabled=False) == CODEC_NONE
+
+    def test_auto_prefers_lz4_else_zlib(self):
+        resolved = resolve_codec("auto", enabled=True)
+        assert resolved == (CODEC_LZ4 if lz4_available() else CODEC_ZLIB)
+
+    def test_explicit_codecs(self):
+        assert resolve_codec("none", enabled=True) == CODEC_NONE
+        assert resolve_codec("zlib", enabled=True) == CODEC_ZLIB
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_codec("snappy", enabled=True)
+
+    def test_explicit_lz4_without_package_rejected(self):
+        if lz4_available():  # pragma: no cover - depends on environment
+            assert resolve_codec("lz4", enabled=True) == CODEC_LZ4
+        else:
+            with pytest.raises(ConfigurationError):
+                resolve_codec("lz4", enabled=True)
+
+    def test_config_validates_spill_codec(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(spill_codec="gzip")
+
+    def test_codec_names(self):
+        assert codec_name(CODEC_NONE) == "none"
+        assert codec_name(CODEC_ZLIB) == "zlib"
+        assert codec_name(CODEC_LZ4) == "lz4"
+
+
+class TestCompressedFrames:
+    def test_payload_roundtrip(self):
+        raw = b"abcabcabc" * 500
+        for codec in (CODEC_NONE, CODEC_ZLIB):
+            assert decode_payload(encode_payload(raw, codec), codec) == raw
+        assert len(encode_payload(raw, CODEC_ZLIB)) < len(raw)
+
+    def test_frames_roundtrip_compressed(self, tmp_path):
+        records = [{"url": f"/page/{i % 20}", "status": 200}
+                   for i in range(10_000)]
+        plain = dump_frames(records, CODEC_NONE)
+        packed = dump_frames(records, CODEC_ZLIB)
+        assert len(packed) < len(plain) / 2
+        path = tmp_path / "frames.bin"
+        path.write_bytes(packed)
+        assert load_frames(str(path), 0, len(packed)) == records
+
+    def test_mixed_codec_frames_in_one_file(self, tmp_path):
+        """Frames are self-describing: readers never consult the config."""
+        head = dump_frames(["a"] * 10, CODEC_NONE)
+        tail = dump_frames(["b"] * 10, CODEC_ZLIB)
+        path = tmp_path / "mixed.bin"
+        path.write_bytes(head + tail)
+        frames = list(iter_frames(str(path), 0, len(head) + len(tail)))
+        assert frames == [["a"] * 10, ["b"] * 10]
+
+    def test_measured_estimate_tracks_codec(self):
+        records = [{"url": f"/api/items?page={i % 20}", "service": "frontend"}
+                   for i in range(2000)]
+        plain = estimate_bytes(records, compressed=False)
+        packed = estimate_bytes(records, compressed=True, codec=CODEC_ZLIB)
+        unpacked = estimate_bytes(records, compressed=True, codec=CODEC_NONE)
+        assert packed < plain / 2  # measured ratio, not the old constant
+        assert unpacked == plain  # codec none measures nothing away
+
+
+# ---------------------------------------------------------------------------
+# Backend- and codec-consistent byte accounting; spill shrinkage
+# ---------------------------------------------------------------------------
+
+#: Compressible pair records (web-log-ish values) for the byte tests.
+LOG_PAIRS = [(i % 7, f"GET /api/items?page={i % 20}&session=s{i % 10:04d}")
+             for i in range(2000)]
+
+
+def run_log_group_by(backend: str, codec: str, **overrides):
+    options = {"num_workers": 2, "default_parallelism": 4, "seed": 1,
+               "executor_backend": backend, "spill_codec": codec,
+               "broadcast_threshold_bytes": 0}
+    options.update(overrides)
+    with EngineContext(EngineConfig(**options)) as ctx:
+        result = ctx.parallelize(LOG_PAIRS, 4).group_by_key(4).collect()
+        summary = ctx.metrics.summary()
+        comparable = {key: value for key, value in summary.items()
+                      if key not in _TIMING_KEYS}
+        return result, comparable
+
+
+@pytest.mark.parametrize("codec", ["none", "zlib"])
+def test_byte_metrics_backend_invariant_per_codec(codec):
+    """Write-side measured estimates agree across thread/process backends."""
+    thread = run_log_group_by("thread", codec)
+    process = run_log_group_by("process", codec)
+    assert process == thread
+
+
+def test_compressed_estimates_below_uncompressed():
+    _, none_metrics = run_log_group_by("thread", "none")
+    _, zlib_metrics = run_log_group_by("thread", "zlib")
+    assert zlib_metrics["shuffle_bytes"] < none_metrics["shuffle_bytes"]
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_skew_split_parity_under_compression(backend):
+    """Skew-split sub-reads stay exact over compressed, spilled shuffles."""
+    overrides = {"skew_split_factor": 4, "skew_min_partition_bytes": 1,
+                 "shuffle_memory_bytes": TINY_CAP}
+    result, metrics = run_log_group_by(backend, "zlib", **overrides)
+    plain_result, _ = run_log_group_by("thread", "none")
+    assert result == plain_result
+    assert metrics["spills"] > 0
+
+
+def test_compression_shrinks_spill_bytes():
+    """Acceptance: compressed spill frames move >= 2x fewer bytes to disk."""
+    compressed_result, compressed = run_log_group_by(
+        "thread", "zlib", shuffle_memory_bytes=TINY_CAP)
+    plain_result, plain = run_log_group_by(
+        "thread", "none", shuffle_memory_bytes=TINY_CAP)
+    assert compressed_result == plain_result
+    assert plain["spills"] > 0 and compressed["spills"] > 0
+    assert compressed["spill_bytes"] * 2 <= plain["spill_bytes"]

@@ -230,10 +230,13 @@ class TestLockLightReads:
             except Exception as error:  # pragma: no cover - failure path
                 errors.append(error)
 
-        def writer():
+        def writer(base):
+            # each writer owns a disjoint shuffle-id range, matching the
+            # context's globally unique _next_shuffle_id allocation — two
+            # producers never register/remove the same shuffle id
             try:
                 for round_index in range(30):
-                    shuffle_id = 100 + round_index
+                    shuffle_id = base + round_index
                     manager.register_shuffle(shuffle_id, num_map_partitions=1)
                     manager.write_map_output(shuffle_id, 0,
                                              {0: list(range(200))})
@@ -242,7 +245,8 @@ class TestLockLightReads:
                 errors.append(error)
 
         threads = [threading.Thread(target=reader) for _ in range(4)] + \
-                  [threading.Thread(target=writer) for _ in range(2)]
+                  [threading.Thread(target=writer, args=(base,))
+                   for base in (100, 200)]
         for thread in threads:
             thread.start()
         for thread in threads:
