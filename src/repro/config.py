@@ -71,7 +71,46 @@ class EngineConfig:
         non-byte metrics are identical either way.
     failure_rate:
         Probability that any task fails spuriously; used by tests and by the
-        fault-injection benchmarks.  ``0.0`` disables fault injection.
+        fault-injection benchmarks.  ``0.0`` disables fault injection.  The
+        decision is seeded per ``(seed, task id, attempt)``, so a given
+        attempt fails identically on both executor backends and retried
+        attempts draw fresh decisions.
+    crash_failure_rate:
+        Probability that a task *crashes its worker* instead of failing
+        cleanly, seeded per ``(seed, task id, attempt)`` like
+        ``failure_rate``.  On the process backend the worker hard-exits
+        mid-task (after computing, before reporting), breaking the pool —
+        the driver respawns it and resubmits the stage's unfinished tasks,
+        bounded by ``max_stage_retries``.  On the thread backend a crash
+        cannot take the driver down, so the decision degrades to an
+        injected task failure handled by the ordinary retry loop.  ``0.0``
+        disables crash injection.
+    corruption_rate:
+        Probability that a written spill/transport frame payload is
+        corrupted (truncated or bit-flipped) on its way to disk, evaluated
+        once per writing task / spill event from the engine seed.  The
+        checksummed frame headers detect the damage on read, the reduce
+        side raises :class:`~repro.errors.FetchFailedError` naming the lost
+        ``(shuffle_id, map_partition)``, and the scheduler recomputes
+        exactly the lost map partitions from lineage.  Only frames actually
+        written are eligible: process-backend transport frames, and bucket
+        spill frames under a bounded ``shuffle_memory_bytes``.  ``0.0``
+        disables corruption injection.
+    task_timeout_s:
+        Driver-side deadline, in seconds, on settling each process-backend
+        task.  A task whose result does not arrive in time is counted in
+        ``timed_out_tasks``, retried on a fresh submission (bounded by
+        ``max_task_retries``), and a late result from the abandoned attempt
+        is discarded — its map output is never registered.  ``0`` (the
+        default) disables deadlines; the thread backend ignores this knob
+        because an in-process task cannot be abandoned.
+    max_stage_retries:
+        How many times a stage may be re-executed for fault recovery before
+        the job is aborted: lineage recomputation rounds after a
+        ``FetchFailedError`` and pool-respawn resubmissions after a worker
+        crash (``BrokenProcessPool``) both count against it, independently
+        per stage.  ``0`` disables stage-level recovery and the first lost
+        output or crashed pool fails the job.
     seed:
         Seed for the engine's own random decisions (fault injection,
         sampling of shuffle sizes).
@@ -153,6 +192,10 @@ class EngineConfig:
     spill_codec: str = "auto"
     columnar_enabled: bool = True
     failure_rate: float = 0.0
+    crash_failure_rate: float = 0.0
+    corruption_rate: float = 0.0
+    task_timeout_s: float = 0.0
+    max_stage_retries: int = 2
     seed: int = 0
     optimizer_rules: Tuple[str, ...] = KNOWN_OPTIMIZER_RULES
     broadcast_threshold_bytes: int = 10 * 1024 * 1024
@@ -175,6 +218,17 @@ class EngineConfig:
             raise ConfigurationError("memory_budget_bytes must be >= 0")
         if not 0.0 <= self.failure_rate < 1.0:
             raise ConfigurationError("failure_rate must be in [0, 1)")
+        if not 0.0 <= self.crash_failure_rate < 1.0:
+            raise ConfigurationError("crash_failure_rate must be in [0, 1)")
+        if not 0.0 <= self.corruption_rate < 1.0:
+            raise ConfigurationError("corruption_rate must be in [0, 1)")
+        if self.task_timeout_s < 0:
+            raise ConfigurationError(
+                "task_timeout_s must be >= 0 (0 disables task deadlines)")
+        if self.max_stage_retries < 0:
+            raise ConfigurationError(
+                "max_stage_retries must be >= 0 (0 disables stage-level "
+                "fault recovery)")
         if self.broadcast_threshold_bytes < 0:
             raise ConfigurationError("broadcast_threshold_bytes must be >= 0")
         if self.target_partition_bytes < 0:

@@ -53,7 +53,9 @@ class EngineContext:
             memory_manager=self.memory_manager,
             spill_dir=self.spill_dir,
             transport=self._transport,
-            codec=self.config.spill_codec)
+            codec=self.config.spill_codec,
+            corruption_rate=self.config.corruption_rate,
+            seed=self.config.seed)
         self.block_store = BlockStore(memory_budget_bytes=self.config.memory_budget_bytes)
         self.metrics = MetricsRegistry()
         #: (build dataset id, collection kind) -> collected broadcast value;

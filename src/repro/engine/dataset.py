@@ -102,10 +102,16 @@ count_partition.process_batches = _count_batches
 
 
 def record_bucketer(partitioner: Partitioner):
-    """Map side: bucket whole records by ``partitioner`` (repartition, sort)."""
-    partition_for = partitioner.partition_for
+    """Map side: bucket whole records by ``partitioner`` (repartition, sort).
+
+    The assignment function is taken per invocation
+    (:meth:`~repro.engine.partitioner.Partitioner.task_partition_for`) so
+    positional partitioners restart their rotation for every task attempt —
+    a recomputed map task rebuilds byte-identical buckets.
+    """
 
     def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
+        partition_for = partitioner.task_partition_for()
         buckets: Dict[int, List[Any]] = {}
         setdefault = buckets.setdefault
         for record in iterator:
@@ -113,6 +119,7 @@ def record_bucketer(partitioner: Partitioner):
         return buckets
 
     def process_batches(batches: Iterable[List[Any]]) -> Dict[int, List[Any]]:
+        partition_for = partitioner.task_partition_for()
         buckets: Dict[int, List[Any]] = {}
         setdefault = buckets.setdefault
         for batch in batches:
@@ -126,9 +133,9 @@ def record_bucketer(partitioner: Partitioner):
 
 def key_bucketer(partitioner: Partitioner):
     """Map side: bucket ``(key, value)`` pairs by key, without combining."""
-    partition_for = partitioner.partition_for
 
     def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
+        partition_for = partitioner.task_partition_for()
         buckets: Dict[int, List[Any]] = {}
         setdefault = buckets.setdefault
         for key, value in iterator:
@@ -136,6 +143,7 @@ def key_bucketer(partitioner: Partitioner):
         return buckets
 
     def process_batches(batches: Iterable[List[Any]]) -> Dict[int, List[Any]]:
+        partition_for = partitioner.task_partition_for()
         buckets: Dict[int, List[Any]] = {}
         setdefault = buckets.setdefault
         for batch in batches:
@@ -149,9 +157,9 @@ def key_bucketer(partitioner: Partitioner):
 
 def combining_map_side(create_combiner, merge_value, partitioner: Partitioner):
     """Map side with per-key pre-aggregation (inserted by the optimizer)."""
-    partition_for = partitioner.partition_for
 
     def bucket_combined(combined: Dict[Any, Any]) -> Dict[int, List[Any]]:
+        partition_for = partitioner.task_partition_for()
         buckets: Dict[int, List[Any]] = {}
         setdefault = buckets.setdefault
         for key, combiner in combined.items():
@@ -335,9 +343,9 @@ local_group = group_reduce
 
 def distinct_map_side(partitioner: Partitioner):
     """Map side of ``distinct``: de-duplicate locally, bucket by record."""
-    partition_for = partitioner.partition_for
 
     def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
+        partition_for = partitioner.task_partition_for()
         buckets: Dict[int, List[Any]] = {}
         setdefault = buckets.setdefault
         seen = set()
@@ -349,6 +357,7 @@ def distinct_map_side(partitioner: Partitioner):
         return buckets
 
     def process_batches(batches: Iterable[List[Any]]) -> Dict[int, List[Any]]:
+        partition_for = partitioner.task_partition_for()
         buckets: Dict[int, List[Any]] = {}
         setdefault = buckets.setdefault
         seen = set()
@@ -1859,10 +1868,9 @@ class CoGroupedDataset(Dataset, SplittableShuffleRead):
     def __init__(self, left: Dataset, right: Dataset, partitioner: Partitioner):
         ctx = left.ctx
 
-        partition_for = partitioner.partition_for
-
         def tagged_map_side(tag: int) -> Callable[[Iterator[Any]], Dict[int, List[Any]]]:
             def map_side(iterator: Iterator[Any]) -> Dict[int, List[Any]]:
+                partition_for = partitioner.task_partition_for()
                 buckets: Dict[int, List[Any]] = {}
                 setdefault = buckets.setdefault
                 for key, value in iterator:
@@ -1870,6 +1878,7 @@ class CoGroupedDataset(Dataset, SplittableShuffleRead):
                 return buckets
 
             def process_batches(batches) -> Dict[int, List[Any]]:
+                partition_for = partitioner.task_partition_for()
                 buckets: Dict[int, List[Any]] = {}
                 setdefault = buckets.setdefault
                 for batch in batches:

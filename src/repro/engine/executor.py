@@ -26,12 +26,14 @@ import random
 import tempfile
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures import wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..config import EngineConfig
-from ..errors import SerializationError, TaskError
+from ..errors import FetchFailedError, SerializationError, TaskError
 from . import serializer
 from .dataset import ShuffleDependency, TaskContext
 from .metrics import StageMetrics, TaskMetrics
@@ -61,6 +63,22 @@ def should_inject_failure(config: EngineConfig, task_id: str,
         return False
     rng = random.Random(f"{config.seed}:{task_id}:{attempt}")
     return rng.random() < config.failure_rate
+
+
+def should_inject_crash(config: EngineConfig, task_id: str,
+                        attempt: int) -> bool:
+    """Seeded decision for ``crash_failure_rate`` (hard worker death).
+
+    Keyed separately from :func:`should_inject_failure` (note the
+    ``crash:`` tag) so enabling one knob never perturbs the other's
+    decisions.  On the process backend a hit makes the worker ``os._exit``
+    mid-task; the thread backend degrades it to an ordinary injected
+    failure since a thread cannot lose its process.
+    """
+    if config.crash_failure_rate <= 0.0:
+        return False
+    rng = random.Random(f"{config.seed}:crash:{task_id}:{attempt}")
+    return rng.random() < config.crash_failure_rate
 
 
 class Task:
@@ -131,7 +149,23 @@ class Executor:
                 if self._should_inject_failure(task, attempt):
                     raise InjectedFailure(
                         f"injected failure for {task.task_id} attempt {attempt}")
+                if should_inject_crash(self.config, task.task_id, attempt):
+                    # no process to kill on this backend: the crash knob
+                    # degrades to a plain retried failure, keeping the
+                    # attempt sequence seeded and the results identical
+                    raise InjectedFailure(
+                        f"injected crash for {task.task_id} attempt {attempt}")
                 value = task.run(task_context)
+            except FetchFailedError:
+                # lost shuffle output will not heal on retry — the same
+                # damaged bytes would be read again.  Record the failed
+                # attempt and let the scheduler invalidate the map output
+                # and recompute it from lineage.
+                metrics.duration_s = time.perf_counter() - started
+                metrics.failed = True
+                with self._metrics_lock:
+                    stage.add_task(metrics)
+                raise
             except Exception as error:  # noqa: BLE001 - retried below
                 metrics.duration_s = time.perf_counter() - started
                 metrics.failed = True
@@ -384,11 +418,34 @@ class ProcessExecutor:
             self._block_store.put(dataset_id, partition, records)
 
     def _settle_task(self, pool: ProcessPoolExecutor, token: str, task: Task,
-                     index: int, future, stage: StageMetrics) -> TaskResult:
+                     index: int, future, stage: StageMetrics,
+                     attempts: List[int]) -> TaskResult:
         from . import worker as worker_runtime
-        attempt = 0
         while True:
-            outcome = future.result()
+            attempt = attempts[index]
+            try:
+                outcome = future.result(
+                    timeout=self.config.task_timeout_s or None)
+            except FutureTimeout:
+                # driver-side deadline: abandon the attempt.  The worker may
+                # still finish it, but its result is never consumed, so its
+                # map-output spans never register and its value is discarded
+                # — only the fresh attempt below can settle the task.
+                metrics = TaskMetrics(
+                    task_id=task.task_id, stage_id=task.stage_id,
+                    partition_index=task.partition, attempt=attempt,
+                    duration_s=self.config.task_timeout_s,
+                    failed=True, timed_out=True)
+                stage.add_task(metrics)
+                if attempt >= self.config.max_task_retries:
+                    raise TaskError(
+                        f"task {task.task_id} exceeded its "
+                        f"{self.config.task_timeout_s}s deadline on "
+                        f"{attempt + 1} attempts", task_id=task.task_id)
+                attempts[index] = attempt + 1
+                future = pool.submit(worker_runtime.run_stage_task,
+                                     token, index, attempts[index])
+                continue
             metrics = TaskMetrics(task_id=task.task_id, stage_id=task.stage_id,
                                   partition_index=task.partition,
                                   attempt=attempt)
@@ -416,15 +473,23 @@ class ProcessExecutor:
             metrics.failed = True
             stage.add_task(metrics)
             kind, message, trace = outcome["error"]
+            fetch_failed = outcome.get("fetch_failed")
+            if fetch_failed is not None:
+                # same rule as the thread backend: a lost map output will
+                # not heal on a task retry, so hand it straight to the
+                # scheduler for lineage recomputation
+                raise FetchFailedError(message,
+                                       shuffle_id=fetch_failed[0],
+                                       map_partition=fetch_failed[1])
             if attempt >= self.config.max_task_retries:
                 raise TaskError(
                     f"task {task.task_id} failed after "
                     f"{self.config.max_task_retries + 1} attempts: {message}",
                     task_id=task.task_id,
                     cause=RuntimeError(f"{kind} in worker process:\n{trace}"))
-            attempt += 1
+            attempts[index] = attempt + 1
             future = pool.submit(worker_runtime.run_stage_task,
-                                 token, index, attempt)
+                                 token, index, attempts[index])
 
     def execute_stage(self, tasks: Sequence[Task],
                       stage: StageMetrics) -> List[TaskResult]:
@@ -433,6 +498,13 @@ class ProcessExecutor:
         Results are settled in submission order on the driver thread (no
         metrics lock needed), retries are resubmitted against the published
         payload, and the payload file is discarded when the stage settles.
+
+        A worker that dies hard (injected crash, OOM kill) breaks the whole
+        :class:`ProcessPoolExecutor`; rather than failing the job the stage
+        forks a fresh pool and resubmits only its unfinished tasks, each on
+        a fresh attempt number so seeded fault decisions are re-drawn.  Up
+        to ``max_stage_retries`` such respawns are tolerated per stage, each
+        counted in ``stage.retries``.
         """
         started = time.perf_counter()
         if not tasks:
@@ -441,29 +513,47 @@ class ProcessExecutor:
         from . import worker as worker_runtime
         token = self._publish_stage(tasks)
         try:
-            pool = self._get_pool()
-            futures = [pool.submit(worker_runtime.run_stage_task,
-                                   token, index, 0)
-                       for index in range(len(tasks))]
-            results: List[TaskResult] = []
-            try:
-                for index, task in enumerate(tasks):
-                    results.append(self._settle_task(
-                        pool, token, task, index, futures[index], stage))
-            except BrokenProcessPool:
-                # a worker died hard (crash, OOM kill); the pool is
-                # unusable, so drop it — the next stage forks a fresh one
-                self._discard_pool()
-                raise
-            except BaseException:
-                for future in futures:
-                    future.cancel()
-                wait(futures)
-                raise
+            completed: Dict[int, TaskResult] = {}
+            attempts = [0] * len(tasks)
+            pool_crashes = 0
+            while len(completed) < len(tasks):
+                pool = self._get_pool()
+                pending = [index for index in range(len(tasks))
+                           if index not in completed]
+                futures: Dict[int, Any] = {}
+                try:
+                    # submits stay inside the handler's reach: a crash in a
+                    # *previous* stage attempt can leave the shared pool
+                    # broken, surfacing only when the next submit is made
+                    for index in pending:
+                        futures[index] = pool.submit(
+                            worker_runtime.run_stage_task,
+                            token, index, attempts[index])
+                    for index in pending:
+                        completed[index] = self._settle_task(
+                            pool, token, tasks[index], index, futures[index],
+                            stage, attempts)
+                except BrokenProcessPool:
+                    # every unfinished future of the dead pool is lost;
+                    # tasks settled before the crash keep their results and
+                    # their registered map output
+                    self._discard_pool()
+                    pool_crashes += 1
+                    if pool_crashes > self.config.max_stage_retries:
+                        raise
+                    for index in range(len(tasks)):
+                        if index not in completed:
+                            attempts[index] += 1
+                    stage.retries += 1
+                except BaseException:
+                    for future in futures.values():
+                        future.cancel()
+                    wait(list(futures.values()))
+                    raise
         finally:
             self._transport.discard_stage(token)
             stage.wall_clock_s = time.perf_counter() - started
-        return results
+        return [completed[index] for index in range(len(tasks))]
 
 
 def create_executor(config: EngineConfig, shuffle_manager=None,

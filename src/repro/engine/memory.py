@@ -22,6 +22,14 @@ frame at a time instead of materialising it whole.  Each frame is
 self-describing — a small header carries the compression codec and payload
 length — so readers need no configuration and mixed-codec files (e.g. after
 a config change mid-context) stream back correctly.
+
+Frames written by this revision additionally carry a CRC32 of their payload
+(the header's codec byte sets :data:`CRC_FLAG` to announce it) and every
+read verifies it: a mismatch — or any malformed header a truncated or
+bit-flipped file produces — raises
+:class:`~repro.errors.ShuffleCorruptionError` instead of feeding garbage
+downstream.  Checksum-less frames written by earlier revisions still read
+back; they simply skip verification.
 """
 
 from __future__ import annotations
@@ -29,13 +37,14 @@ from __future__ import annotations
 import io
 import os
 import pickle
+import random
 import struct
 import tempfile
 import threading
 import zlib
 from typing import Any, BinaryIO, Dict, Iterator, List, Sequence, Tuple
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ShuffleCorruptionError
 
 try:  # optional accelerator codec; zlib is the stdlib fallback
     import lz4.frame as _lz4
@@ -59,6 +68,14 @@ _CODEC_NAMES = {value: key for key, value in _CODEC_IDS.items()}
 
 #: Per-frame header: one codec byte + the compressed payload length.
 _FRAME_HEADER = struct.Struct("<BI")
+
+#: Bit set on the header's codec byte when a CRC32 of the payload follows
+#: the header.  Frames written before the checksum era leave it clear and
+#: read back unverified, so mixed files stay streamable.
+CRC_FLAG = 0x80
+
+#: The CRC32 trailer of checksummed frames, between header and payload.
+_FRAME_CRC = struct.Struct("<I")
 
 
 def lz4_available() -> bool:
@@ -115,6 +132,40 @@ def decode_payload(payload: bytes, codec: int) -> bytes:
     if codec == CODEC_LZ4:
         return _lz4.decompress(payload)  # pragma: no cover - optional lz4
     return payload
+
+
+# -- corruption fault injection ----------------------------------------------
+
+
+def should_corrupt(seed: int, rate: float, key: str) -> bool:
+    """Seeded per-write corruption decision (``EngineConfig.corruption_rate``).
+
+    Mirrors the executor's ``should_inject_failure`` discipline: the
+    decision is a pure function of ``(seed, key)``, so identical runs
+    corrupt identical writes and a *re*-written payload (recomputed map
+    output, re-spilled bucket — both carry a fresh key) draws a fresh
+    decision instead of rotting forever.
+    """
+    if rate <= 0.0:
+        return False
+    rng = random.Random(f"{seed}:corrupt:{key}")
+    return rng.random() < rate
+
+
+def corrupt_payload(payload: bytes, seed: int, key: str) -> bytes:
+    """Deterministically damage one framed payload (fault injection).
+
+    Half the draws truncate the payload mid-frame, the other half flip one
+    bit at a seeded position — the two disk-rot shapes the checksummed
+    readers must catch.  Tiny payloads always truncate (an empty payload
+    stays empty: nothing to corrupt means nothing to detect, harmless).
+    """
+    rng = random.Random(f"{seed}:corrupt-shape:{key}")
+    if len(payload) < 8 or rng.random() < 0.5:
+        return payload[:len(payload) // 2]
+    position = rng.randrange(len(payload))
+    flipped = payload[position] ^ (1 << rng.randrange(8))
+    return payload[:position] + bytes([flipped]) + payload[position + 1:]
 
 
 class MemoryManager:
@@ -195,17 +246,19 @@ class MemoryManager:
 def dump_frames(records: Sequence[Any], codec: int = CODEC_NONE) -> bytes:
     """Serialise ``records`` as a sequence of pickled, headed batch frames.
 
-    Every frame is ``header (codec id, payload length) + payload``; with a
-    compressing ``codec`` the payload is the compressed pickle, so the
-    returned length is the *measured* on-disk size — the number the spill
-    and shuffle byte counters report.
+    Every frame is ``header (codec id | CRC_FLAG, payload length) + CRC32 +
+    payload``; with a compressing ``codec`` the payload is the compressed
+    pickle, so the returned length is the *measured* on-disk size — the
+    number the spill and shuffle byte counters report.  The CRC32 lets
+    every read verify the payload survived the disk round trip.
     """
     buffer = io.BytesIO()
     for start in range(0, len(records), SPILL_FRAME_RECORDS):
         raw = pickle.dumps(records[start:start + SPILL_FRAME_RECORDS],
                            protocol=pickle.HIGHEST_PROTOCOL)
         payload = encode_payload(raw, codec)
-        buffer.write(_FRAME_HEADER.pack(codec, len(payload)))
+        buffer.write(_FRAME_HEADER.pack(codec | CRC_FLAG, len(payload)))
+        buffer.write(_FRAME_CRC.pack(zlib.crc32(payload)))
         buffer.write(payload)
     return buffer.getvalue()
 
@@ -219,18 +272,60 @@ def load_frames(path: str, offset: int, length: int) -> List[Any]:
 
 
 def iter_frames(path: str, offset: int, length: int) -> Iterator[List[Any]]:
-    """Stream a framed payload back one batch at a time.
+    """Stream a framed payload back one batch at a time, verifying CRCs.
 
     The per-frame headers make the payload self-describing: the reader
     needs no codec configuration, and frames written under different codecs
-    coexist in one file.
+    coexist in one file.  Checksummed frames (:data:`CRC_FLAG` set) have
+    their payload verified against the recorded CRC32; legacy frames are
+    decoded as before.  Any integrity failure — CRC mismatch, truncated
+    header or payload, unknown codec byte, undecodable legacy payload —
+    raises :class:`~repro.errors.ShuffleCorruptionError` naming the file
+    and frame offset, never yielding garbage records.
     """
-    with open(path, "rb") as handle:
+    try:
+        handle = open(path, "rb")
+    except OSError as error:
+        raise ShuffleCorruptionError(
+            f"framed payload {path!r} is unreadable: {error}",
+            path=path, offset=offset) from error
+    with handle:
         handle.seek(offset)
         end = offset + length
         while handle.tell() < end:
-            codec, size = _FRAME_HEADER.unpack(handle.read(_FRAME_HEADER.size))
-            yield pickle.loads(decode_payload(handle.read(size), codec))
+            frame_offset = handle.tell()
+
+            def corrupt(reason: str, cause: Exception = None):
+                error = ShuffleCorruptionError(
+                    f"corrupt frame in {path!r} at offset {frame_offset}: "
+                    f"{reason}", path=path, offset=frame_offset)
+                raise error from cause
+
+            header = handle.read(_FRAME_HEADER.size)
+            if len(header) < _FRAME_HEADER.size:
+                corrupt("truncated frame header")
+            flagged_codec, size = _FRAME_HEADER.unpack(header)
+            codec = flagged_codec & ~CRC_FLAG
+            if codec not in _CODEC_NAMES:
+                corrupt(f"unknown codec byte {flagged_codec:#x}")
+            expected_crc = None
+            if flagged_codec & CRC_FLAG:
+                trailer = handle.read(_FRAME_CRC.size)
+                if len(trailer) < _FRAME_CRC.size:
+                    corrupt("truncated frame checksum")
+                (expected_crc,) = _FRAME_CRC.unpack(trailer)
+            payload = handle.read(size)
+            if len(payload) < size:
+                corrupt(f"payload truncated to {len(payload)} of {size} bytes")
+            if expected_crc is not None and zlib.crc32(payload) != expected_crc:
+                corrupt(f"CRC32 mismatch over {size} payload bytes")
+            try:
+                batch = pickle.loads(decode_payload(payload, codec))
+            except Exception as error:  # noqa: BLE001 - legacy frame rot
+                # only reachable for un-checksummed legacy frames (a CRC
+                # match guarantees the payload decodes as written)
+                corrupt(f"payload failed to decode: {error}", error)
+            yield batch
 
 
 class SpillRun:

@@ -39,6 +39,10 @@ class TaskMetrics:
     #: merge partials, estimated bytes) observed while the task ran.
     peak_shuffle_bytes: int = 0
     failed: bool = False
+    #: True when this (failed) attempt was abandoned because it overran the
+    #: driver-side ``task_timeout_s`` deadline; its late result, if any, was
+    #: discarded.
+    timed_out: bool = False
 
     def as_dict(self) -> Dict[str, float]:
         """Return a plain dictionary view useful for reports."""
@@ -58,6 +62,7 @@ class TaskMetrics:
             "spill_bytes": self.spill_bytes,
             "peak_shuffle_bytes": self.peak_shuffle_bytes,
             "failed": self.failed,
+            "timed_out": self.timed_out,
         }
 
 
@@ -83,6 +88,12 @@ class StageMetrics:
     #: Maximum tracked shuffle residency any task of the stage observed
     #: (a high-water mark, so stages aggregate by max, not by sum).
     peak_shuffle_bytes: int = 0
+    #: Task attempts abandoned at the ``task_timeout_s`` deadline (each is
+    #: also counted as a failed attempt).
+    timed_out_tasks: int = 0
+    #: Whole-stage re-executions: executor-level pool crashes that forced a
+    #: resubmission of the stage's unfinished tasks.
+    retries: int = 0
     tasks: List[TaskMetrics] = field(default_factory=list)
 
     def add_task(self, task: TaskMetrics) -> None:
@@ -91,6 +102,8 @@ class StageMetrics:
         self.num_tasks += 1
         if task.failed:
             self.num_failed_attempts += 1
+        if task.timed_out:
+            self.timed_out_tasks += 1
         self.duration_s += task.duration_s
         self.records_read += task.records_read
         self.records_written += task.records_written
@@ -128,6 +141,8 @@ class StageMetrics:
             "spills": self.spills,
             "spill_bytes": self.spill_bytes,
             "peak_shuffle_bytes": self.peak_shuffle_bytes,
+            "timed_out_tasks": self.timed_out_tasks,
+            "retries": self.retries,
         }
 
 
@@ -149,10 +164,20 @@ class JobMetrics:
     #: Broadcast build sides served from the context-wide build cache
     #: instead of being re-collected by a nested job.
     broadcast_reuses: int = 0
+    #: Stage re-executions of any kind: executor pool crashes that resubmit
+    #: a stage's unfinished tasks, plus scheduler-level stage retries after
+    #: a fetch failure triggered lineage recomputation.
+    stage_retries: int = 0
+    #: Map tasks re-run from lineage to restore lost shuffle output.
+    recomputed_tasks: int = 0
+    #: Map outputs invalidated after a reduce-side fetch failure (missing
+    #: or corrupt shuffle spans).
+    lost_map_outputs: int = 0
 
     def add_stage(self, stage: StageMetrics) -> None:
         """Attach a completed stage to the job."""
         self.stages.append(stage)
+        self.stage_retries += stage.retries
 
     def finish(self) -> None:
         """Mark the job as finished now."""
@@ -226,6 +251,11 @@ class JobMetrics:
         """Highest tracked shuffle residency observed across the job's stages."""
         return max((s.peak_shuffle_bytes for s in self.stages), default=0)
 
+    @property
+    def timed_out_tasks(self) -> int:
+        """Task attempts abandoned at the ``task_timeout_s`` deadline."""
+        return sum(s.timed_out_tasks for s in self.stages)
+
     def as_dict(self) -> Dict[str, float]:
         """Return a flat dictionary summary, the unit of run comparison."""
         return {
@@ -247,6 +277,10 @@ class JobMetrics:
             "spills": self.spills,
             "spill_bytes": self.spill_bytes,
             "peak_shuffle_bytes": self.peak_shuffle_bytes,
+            "stage_retries": self.stage_retries,
+            "recomputed_tasks": self.recomputed_tasks,
+            "lost_map_outputs": self.lost_map_outputs,
+            "timed_out_tasks": self.timed_out_tasks,
         }
 
 
@@ -276,6 +310,10 @@ def merge_job_metrics(jobs: Iterable[JobMetrics]) -> Dict[str, float]:
         "spill_bytes": sum(j.spill_bytes for j in jobs),
         "peak_shuffle_bytes": max((j.peak_shuffle_bytes for j in jobs),
                                   default=0),
+        "stage_retries": sum(j.stage_retries for j in jobs),
+        "recomputed_tasks": sum(j.recomputed_tasks for j in jobs),
+        "lost_map_outputs": sum(j.lost_map_outputs for j in jobs),
+        "timed_out_tasks": sum(j.timed_out_tasks for j in jobs),
     }
     return summary
 

@@ -63,6 +63,18 @@ class Partitioner:
         """Return the partition index the key is assigned to."""
         raise NotImplementedError
 
+    def task_partition_for(self) -> Callable[[Any], int]:
+        """Return the assignment function one map-task invocation should use.
+
+        Stateless partitioners simply hand out :meth:`partition_for`.
+        Stateful ones (round-robin) return a *fresh* assignment closure so
+        that a task's placement is a pure function of record order within
+        its own partition — never of what other tasks, earlier jobs, or
+        failed attempts consumed.  Fault recovery depends on this: a
+        recomputed map task must rebuild byte-identical buckets.
+        """
+        return self.partition_for
+
     def __eq__(self, other: object) -> bool:
         return type(self) is type(other) and self.__dict__ == other.__dict__
 
@@ -123,17 +135,45 @@ class RangePartitioner(Partitioner):
 
 
 class RoundRobinPartitioner(Partitioner):
-    """Spread records evenly regardless of key; used by ``repartition``."""
+    """Spread records evenly regardless of key; used by ``repartition``.
+
+    Round-robin placement is inherently positional, so the rotation state
+    lives in the per-task closure :meth:`task_partition_for` returns — not
+    on the shared instance.  A retried or recomputed map task therefore
+    reproduces exactly the buckets of the original attempt, and two
+    partitioner instances with the same shape stay equal (the optimizer
+    compares partitioners when deciding whether a shuffle can be reused).
+    """
 
     def __init__(self, num_partitions: int, seed: int = 0):
         super().__init__(num_partitions)
         self._seed = seed
-        self._counter = random.Random(seed).randrange(num_partitions)
+        self._start = random.Random(seed).randrange(num_partitions)
+        self._counter = self._start
 
     def partition_for(self, key: Any) -> int:
         index = self._counter % self.num_partitions
         self._counter += 1
         return index
+
+    def task_partition_for(self) -> Callable[[Any], int]:
+        state = {"next": self._start}
+        num_partitions = self.num_partitions
+
+        def assign(key: Any) -> int:
+            index = state["next"]
+            state["next"] = (index + 1) % num_partitions
+            return index
+
+        return assign
+
+    def __eq__(self, other: object) -> bool:
+        return (type(self) is type(other)
+                and self.num_partitions == other.num_partitions
+                and self._seed == other._seed)
+
+    def __hash__(self) -> int:  # pragma: no cover - partitioners rarely hashed
+        return hash(("RoundRobinPartitioner", self.num_partitions, self._seed))
 
     def __repr__(self) -> str:
         return f"RoundRobinPartitioner({self.num_partitions})"

@@ -25,6 +25,7 @@ import itertools
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..config import EngineConfig
+from ..errors import FetchFailedError
 from .dataset import (BroadcastDependency, CoGroupedDataset, Dataset,
                       Dependency, ShuffleDependency, ShuffledDataset,
                       TaskContext)
@@ -188,16 +189,21 @@ class DAGScheduler:
                 # parallel sub-reads before the result stage consumes them
                 self._execute_skew_splits(dataset, job)
                 partitions = range(dataset.num_partitions)
-            stage = StageMetrics(stage_id=next(self._stage_counter),
-                                 name=f"result:{dataset.name}", is_shuffle_map=False)
-            tasks = [ResultTask(task_id=f"job{job.job_id}-s{stage.stage_id}-p{p}",
-                                stage_id=stage.stage_id, partition=p,
-                                dataset=dataset, func=func)
-                     for p in partitions]
-            try:
-                results = self.executor.execute_stage(tasks, stage)
-            finally:
-                job.add_stage(stage)
+            result_dataset = dataset
+
+            def build_result_stage():
+                stage = StageMetrics(stage_id=next(self._stage_counter),
+                                     name=f"result:{result_dataset.name}",
+                                     is_shuffle_map=False)
+                tasks = [
+                    ResultTask(task_id=f"job{job.job_id}-s{stage.stage_id}-p{p}",
+                               stage_id=stage.stage_id, partition=p,
+                               dataset=result_dataset, func=func)
+                    for p in partitions]
+                return stage, tasks
+
+            results = self._execute_stage_with_recovery(
+                job, dataset, build_result_stage)
             return [result.value for result in results]
         except BaseException:
             # a failed job never completed its pending shuffles; drop their
@@ -232,6 +238,89 @@ class DAGScheduler:
                 walk(dependency.parent)
 
         walk(dataset)
+
+    # -- lineage-based fault recovery -----------------------------------------
+
+    def _execute_stage_with_recovery(self, job: JobMetrics, lineage: Dataset,
+                                     build: Callable,
+                                     register_failed: bool = True) -> List[Any]:
+        """Run a stage, recovering lost shuffle output from lineage.
+
+        ``build`` freshly returns ``(stage metrics, tasks)`` per attempt —
+        fresh stage ids mean fresh task ids, so retried attempts draw fresh
+        seeded fault decisions and an injected fault cannot repeat forever.
+        A :class:`FetchFailedError` (a reduce-side read hit a missing or
+        corrupt map-output span) invalidates exactly the lost map partition,
+        re-runs it from ``lineage``, and retries the consuming stage,
+        bounded by ``max_stage_retries`` per consuming stage.
+
+        Fetch-failed attempts are always folded into the job — their settled
+        tasks wrote real shuffle output the retry will consume.  Attempts
+        killed by any other error follow ``register_failed``, which
+        preserves each call site's historical accounting (failed result and
+        skew stages are registered, failed map stages are not).
+        """
+        retries = 0
+        while True:
+            stage, tasks = build()
+            try:
+                results = self.executor.execute_stage(tasks, stage)
+            except FetchFailedError as error:
+                job.add_stage(stage)
+                if retries >= self.config.max_stage_retries:
+                    raise
+                retries += 1
+                job.stage_retries += 1
+                self._recover_lost_output(job, lineage, error)
+                continue
+            except BaseException:
+                if register_failed:
+                    job.add_stage(stage)
+                raise
+            job.add_stage(stage)
+            return results
+
+    def _find_shuffle_dependency(self, lineage: Dataset,
+                                 shuffle_id: int) -> Optional[ShuffleDependency]:
+        """The lineage's shuffle dependency feeding ``shuffle_id``, if any."""
+        seen: set = set()
+
+        def walk(node: Dataset) -> Optional[ShuffleDependency]:
+            if node.id in seen:
+                return None
+            seen.add(node.id)
+            for dependency in node.dependencies:
+                if isinstance(dependency, ShuffleDependency) and \
+                        dependency.shuffle_id == shuffle_id:
+                    return dependency
+                found = walk(dependency.parent)
+                if found is not None:
+                    return found
+            return None
+
+        return walk(lineage)
+
+    def _recover_lost_output(self, job: JobMetrics, lineage: Dataset,
+                             error: FetchFailedError) -> None:
+        """Restore one lost map output by re-running it from lineage.
+
+        Drops the stale span from the shuffle manager, then executes a
+        shuffle-map stage over only the missing map partitions of that
+        shuffle.  The recompute reads its own upstream shuffles through the
+        same recovery wrapper, so a corrupt ancestor is healed recursively
+        (bounded by lineage depth times ``max_stage_retries``).
+        """
+        dependency = self._find_shuffle_dependency(lineage, error.shuffle_id)
+        if dependency is None:
+            # the lost shuffle is not reachable from this lineage (stale
+            # context state); nothing to recompute from
+            raise error
+        self.shuffle_manager.invalidate_map_output(error.shuffle_id,
+                                                   error.map_partition)
+        job.lost_map_outputs += 1
+        missing = self.shuffle_manager.missing_map_partitions(error.shuffle_id)
+        job.recomputed_tasks += len(missing)
+        self._run_shuffle_stage(dependency, job, recompute=True)
 
     # -- shuffle stages ----------------------------------------------------------
 
@@ -404,19 +493,23 @@ class DAGScheduler:
                 pending.append((partition, units))
             if not pending:
                 continue
-            stage = StageMetrics(stage_id=next(self._stage_counter),
-                                 name=f"skew-split:{ds.name}",
-                                 is_shuffle_map=False)
-            tasks = [SkewSliceTask(
-                task_id=f"job{job.job_id}-s{stage.stage_id}-p{partition}.{index}",
-                stage_id=stage.stage_id, partition=partition,
-                dataset=ds, unit=unit)
-                for partition, units in pending
-                for index, unit in enumerate(units)]
-            try:
-                results = self.executor.execute_stage(tasks, stage)
-            finally:
-                job.add_stage(stage)
+            split_dataset = ds
+
+            def build_skew_stage():
+                stage = StageMetrics(stage_id=next(self._stage_counter),
+                                     name=f"skew-split:{split_dataset.name}",
+                                     is_shuffle_map=False)
+                tasks = [SkewSliceTask(
+                    task_id=(f"job{job.job_id}-s{stage.stage_id}"
+                             f"-p{partition}.{index}"),
+                    stage_id=stage.stage_id, partition=partition,
+                    dataset=split_dataset, unit=unit)
+                    for partition, units in pending
+                    for index, unit in enumerate(units)]
+                return stage, tasks
+
+            results = self._execute_stage_with_recovery(job, ds,
+                                                        build_skew_stage)
             cursor = 0
             for partition, units in pending:
                 partials = [result.value
@@ -425,24 +518,36 @@ class DAGScheduler:
                 ds.install_slice_result(partition, partials)
                 job.skew_splits += 1
 
-    def _run_shuffle_stage(self, dependency: ShuffleDependency, job: JobMetrics) -> None:
+    def _run_shuffle_stage(self, dependency: ShuffleDependency,
+                           job: JobMetrics, recompute: bool = False) -> None:
         parent = dependency.parent
-        # a skewed upstream shuffle read by this map stage benefits from
-        # splitting exactly like one read by the result stage: its split
-        # plan (stamped by the replan that followed the upstream stage)
-        # is served as sub-reads before the straggler map task would run
-        self._execute_skew_splits(parent, job)
+        if not recompute:
+            # a skewed upstream shuffle read by this map stage benefits from
+            # splitting exactly like one read by the result stage: its split
+            # plan (stamped by the replan that followed the upstream stage)
+            # is served as sub-reads before the straggler map task would run
+            self._execute_skew_splits(parent, job)
         self.shuffle_manager.register_shuffle(dependency.shuffle_id,
                                               parent.num_partitions)
-        stage = StageMetrics(stage_id=next(self._stage_counter),
-                             name=f"shuffle:{parent.name}", is_shuffle_map=True)
-        tasks = [ShuffleMapTask(
-            task_id=f"job{job.job_id}-s{stage.stage_id}-p{p}",
-            stage_id=stage.stage_id, partition=p,
-            dependency=dependency, shuffle_manager=self.shuffle_manager)
-            for p in range(parent.num_partitions)]
-        self.executor.execute_stage(tasks, stage)
-        job.add_stage(stage)
+        shuffle_id = dependency.shuffle_id
+        label = f"{'recompute' if recompute else 'shuffle'}:{parent.name}"
+
+        def build_map_stage():
+            # only the still-missing map partitions run: everything for a
+            # fresh shuffle, just the invalidated ones on a recompute, and
+            # on a stage retry whatever the previous attempt left unwritten
+            pending = self.shuffle_manager.missing_map_partitions(shuffle_id)
+            stage = StageMetrics(stage_id=next(self._stage_counter),
+                                 name=label, is_shuffle_map=True)
+            tasks = [ShuffleMapTask(
+                task_id=f"job{job.job_id}-s{stage.stage_id}-p{p}",
+                stage_id=stage.stage_id, partition=p,
+                dependency=dependency, shuffle_manager=self.shuffle_manager)
+                for p in pending]
+            return stage, tasks
+
+        self._execute_stage_with_recovery(job, parent, build_map_stage,
+                                          register_failed=False)
 
     # -- introspection ------------------------------------------------------------
 

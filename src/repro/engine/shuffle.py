@@ -26,9 +26,10 @@ import random
 import threading
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import ShuffleError
-from .memory import (CODEC_NONE, MemoryManager, SpillFile, dump_frames,
-                     encode_payload, load_frames, resolve_codec)
+from ..errors import FetchFailedError, ShuffleCorruptionError, ShuffleError
+from .memory import (CODEC_NONE, MemoryManager, SpillFile, corrupt_payload,
+                     dump_frames, encode_payload, load_frames, resolve_codec,
+                     should_corrupt)
 
 _SAMPLE_SIZE = 20
 #: Records in the (larger) sample used to *measure* the compression ratio.
@@ -96,7 +97,8 @@ class ShuffleManager:
 
     def __init__(self, compression: bool = True,
                  memory_manager: Optional[MemoryManager] = None,
-                 spill_dir=None, transport=None, codec: str = "auto"):
+                 spill_dir=None, transport=None, codec: str = "auto",
+                 corruption_rate: float = 0.0, seed: int = 0):
         self._lock = threading.Lock()
         self._buckets: Dict[Tuple[int, int, int], List[Any]] = {}
         #: Per-bucket byte estimates, measured once on the map side; the
@@ -134,6 +136,13 @@ class ShuffleManager:
         self._resident_bytes = 0
         self._spill_count = 0
         self._spill_bytes = 0
+        #: Seeded corruption fault injection (``EngineConfig.
+        #: corruption_rate``): each spill event draws a decision keyed by a
+        #: monotonic sequence number, so a re-spilled (recomputed) bucket is
+        #: not doomed to re-corrupt.
+        self._corruption_rate = corruption_rate
+        self._seed = seed
+        self._spill_seq = 0
         #: Shuffle transport of the process backend; owns the frame files
         #: that external (worker-written) map output lives in.  ``None`` on
         #: the thread backend.
@@ -181,6 +190,19 @@ class ShuffleManager:
         with self._lock:
             return self._spill_count, self._spill_bytes
 
+    def _bucket_records_locked(self, key: Tuple[int, int, int]) -> int:
+        """Record count of one bucket wherever it lives (lock held)."""
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            return len(bucket)
+        span = self._spilled.get(key)
+        if span is not None:
+            return span[2]
+        external = self._external.get(key)
+        if external is not None:
+            return external[3]
+        return 0
+
     # -- map side ------------------------------------------------------------
 
     def register_shuffle(self, shuffle_id: int, num_map_partitions: int) -> None:
@@ -221,12 +243,23 @@ class ShuffleManager:
         with self._lock:
             if shuffle_id not in self._expected_maps:
                 raise ShuffleError(f"shuffle {shuffle_id} was never registered")
+            stale_bytes = 0
+            stale_records = 0
             for key, copied, size in staged:
                 previous = self._bucket_bytes.get(key)
-                if previous is not None and key in self._buckets:
-                    self._resident_bytes -= previous
-                # a retried task overwrites its old output; a previously
-                # spilled span just goes stale in the append-only file
+                if previous is not None:
+                    # a retried (or stage-retried) task overwrites its old
+                    # output: retract the stale attempt's contribution from
+                    # the per-shuffle totals so `bytes_written` and
+                    # `map_output_stats` never double-count; a previously
+                    # spilled span just goes stale in the append-only file
+                    stale_bytes += previous
+                    stale_records += self._bucket_records_locked(key)
+                    if key in self._buckets:
+                        self._resident_bytes -= previous
+                    if key in self._external:
+                        self._external_bytes -= previous
+                        del self._external[key]
                 self._spilled.pop(key, None)
                 self._unspillable.discard(key)
                 self._buckets[key] = copied
@@ -236,9 +269,10 @@ class ShuffleManager:
                 self._reduce_bytes[reduce_key] = \
                     self._reduce_bytes.get(reduce_key, 0) - (previous or 0) + size
             self._completed_maps[shuffle_id].add(map_partition)
-            self._bytes_written[shuffle_id] += written
-            self._records_written[shuffle_id] += records_out
+            self._bytes_written[shuffle_id] += written - stale_bytes
+            self._records_written[shuffle_id] += records_out - stale_records
             self._sync_memory()
+            self._sync_external()
             if task_context is not None and self.memory is not None:
                 task_context.note_peak(self.memory.used_bytes)
             self._spill_over_budget(task_context)
@@ -275,6 +309,14 @@ class ShuffleManager:
             except Exception:
                 self._unspillable.add(key)
                 continue
+            self._spill_seq += 1
+            if should_corrupt(self._seed, self._corruption_rate,
+                              f"spill:{self._spill_seq}"):
+                # fault injection: damage the payload *on disk only* — the
+                # write-side accounting stays truthful, and the read side
+                # must detect the damage via the frame CRC
+                payload = corrupt_payload(payload, self._seed,
+                                          f"spill:{self._spill_seq}")
             spill_file = self._spill_files.get(key[0])
             if spill_file is None:
                 spill_file = SpillFile(os.path.join(
@@ -310,11 +352,17 @@ class ShuffleManager:
                 raise ShuffleError(f"shuffle {shuffle_id} was never registered")
             written = 0
             records_out = 0
+            stale_bytes = 0
+            stale_records = 0
             for reduce_partition, span in spans.items():
                 path, offset, length, count, size = span
                 key = (shuffle_id, map_partition, reduce_partition)
                 previous = self._bucket_bytes.get(key)
                 if previous is not None:
+                    # same retraction as `write_map_output`: a re-registered
+                    # map partition replaces, never adds to, the totals
+                    stale_bytes += previous
+                    stale_records += self._bucket_records_locked(key)
                     if key in self._buckets:
                         self._resident_bytes -= previous
                         del self._buckets[key]
@@ -331,8 +379,8 @@ class ShuffleManager:
                 written += size
                 records_out += count
             self._completed_maps[shuffle_id].add(map_partition)
-            self._bytes_written[shuffle_id] += written
-            self._records_written[shuffle_id] += records_out
+            self._bytes_written[shuffle_id] += written - stale_bytes
+            self._records_written[shuffle_id] += records_out - stale_records
             self._sync_memory()
             self._sync_external()
         return written
@@ -403,9 +451,11 @@ class ShuffleManager:
 
         Resident buckets contribute their (immutable) list reference,
         spilled buckets the ``(path, offset, length)`` span of their framed
-        payload; either way the size is the write-side estimate.
+        payload; either way the size is the write-side estimate.  Each ref
+        carries the map partition it came from so read-side integrity
+        failures can name the exact lost output.
         """
-        refs: List[Tuple[Optional[List[Any]],
+        refs: List[Tuple[int, Optional[List[Any]],
                          Optional[Tuple[str, int, int]], int]] = []
         for map_partition in sorted(self._completed_maps[shuffle_id]):
             if map_range is not None and \
@@ -415,18 +465,37 @@ class ShuffleManager:
             size = self._bucket_bytes.get(key, 0)
             bucket = self._buckets.get(key)
             if bucket:
-                refs.append((bucket, None, size))
+                refs.append((map_partition, bucket, None, size))
                 continue
             span = self._spilled.get(key)
             if span is not None:
                 spill_file = self._spill_files[shuffle_id]
-                refs.append((None, (spill_file.path, span[0], span[1]), size))
+                refs.append((map_partition,
+                             None, (spill_file.path, span[0], span[1]), size))
                 continue
             external = self._external.get(key)
             if external is not None and external[3] > 0:
-                refs.append(
-                    (None, (external[0], external[1], external[2]), size))
+                refs.append((map_partition, None,
+                             (external[0], external[1], external[2]), size))
         return refs
+
+    def _load_span(self, shuffle_id: int, map_partition: int,
+                   span: Tuple[str, int, int]) -> List[Any]:
+        """Load one framed bucket span, converting damage to a fetch failure.
+
+        A corrupt (or vanished) span means one map partition's output is
+        lost; :class:`FetchFailedError` names it so the scheduler can
+        invalidate exactly that output and recompute it from lineage rather
+        than failing the job or blindly retrying the reduce task against the
+        same damaged bytes.
+        """
+        try:
+            return load_frames(*span)
+        except ShuffleCorruptionError as exc:
+            raise FetchFailedError(
+                f"lost map output {map_partition} of shuffle {shuffle_id}: "
+                f"{exc}", shuffle_id=shuffle_id,
+                map_partition=map_partition) from exc
 
     def _check_readable(self, shuffle_id: int) -> None:
         if shuffle_id not in self._expected_maps:
@@ -460,9 +529,9 @@ class ShuffleManager:
             refs = self._bucket_refs(shuffle_id, reduce_partition, map_range)
         records: List[Any] = []
         size = 0
-        for bucket, span, bucket_size in refs:
+        for map_partition, bucket, span, bucket_size in refs:
             if bucket is None:
-                bucket = load_frames(*span)
+                bucket = self._load_span(shuffle_id, map_partition, span)
             records.extend(bucket)
             size += bucket_size
         return records, size
@@ -481,9 +550,9 @@ class ShuffleManager:
         with self._lock:
             self._check_readable(shuffle_id)
             refs = self._bucket_refs(shuffle_id, reduce_partition, map_range)
-        for bucket, span, bucket_size in refs:
+        for map_partition, bucket, span, bucket_size in refs:
             if bucket is None:
-                bucket = load_frames(*span)
+                bucket = self._load_span(shuffle_id, map_partition, span)
             yield bucket, bucket_size
 
     def reduce_partition_bytes(self, shuffle_id: int) -> Dict[int, int]:
@@ -555,7 +624,15 @@ class ShuffleManager:
 
         def materialise(entry):
             bucket, span, _ = entry
-            return bucket if bucket is not None else load_frames(*span)
+            if bucket is not None:
+                return bucket
+            try:
+                return load_frames(*span)
+            except ShuffleCorruptionError:
+                # sampling is advisory (statistics only): a damaged span
+                # contributes nothing here — the authoritative read path
+                # will surface it as a fetch failure
+                return []
 
         if total <= size:
             sample: List[Any] = []
@@ -574,7 +651,8 @@ class ShuffleManager:
                 loaded = None
             if loaded is None:
                 loaded = materialise(entries[entry_index])
-            sample.append(loaded[position - offset])
+            if position - offset < len(loaded):
+                sample.append(loaded[position - offset])
         return sample
 
     # -- bookkeeping -----------------------------------------------------------
@@ -597,6 +675,64 @@ class ShuffleManager:
                 return None
             return (self._records_written[shuffle_id],
                     self._bytes_written[shuffle_id])
+
+    def invalidate_map_output(self, shuffle_id: int,
+                              map_partition: int) -> bool:
+        """Drop one map partition's output after a fetch failure.
+
+        Removes every bucket the partition contributed — resident, spilled
+        or external — retracts its share of the per-shuffle and per-reduce
+        byte/record totals, and un-marks the partition as completed so
+        :meth:`is_complete` turns false and :meth:`missing_map_partitions`
+        reports it.  The scheduler then recomputes just that partition from
+        lineage and re-registers its output.  Stale spans in append-only
+        spill/transport files are simply abandoned (they are swept with the
+        shuffle).  Returns True when the partition had registered output.
+        """
+        with self._lock:
+            completed = self._completed_maps.get(shuffle_id)
+            if completed is None or map_partition not in completed:
+                return False
+            stale = [key for key in self._bucket_bytes
+                     if key[0] == shuffle_id and key[1] == map_partition]
+            for key in stale:
+                size = self._bucket_bytes[key]
+                self._bytes_written[shuffle_id] -= size
+                self._records_written[shuffle_id] -= \
+                    self._bucket_records_locked(key)
+                if key in self._buckets:
+                    self._resident_bytes -= size
+                    del self._buckets[key]
+                if key in self._external:
+                    self._external_bytes -= size
+                    del self._external[key]
+                self._spilled.pop(key, None)
+                self._unspillable.discard(key)
+                del self._bucket_bytes[key]
+                reduce_key = (shuffle_id, key[2])
+                remaining = self._reduce_bytes.get(reduce_key, 0) - size
+                if remaining > 0:
+                    self._reduce_bytes[reduce_key] = remaining
+                else:
+                    self._reduce_bytes.pop(reduce_key, None)
+            completed.discard(map_partition)
+            self._sync_memory()
+            self._sync_external()
+            return True
+
+    def missing_map_partitions(self, shuffle_id: int) -> List[int]:
+        """Expected map partitions whose output is absent (sorted).
+
+        Non-empty between an :meth:`invalidate_map_output` and the lineage
+        recomputation that restores the lost output; also lists partitions
+        that never reported at all.
+        """
+        with self._lock:
+            expected = self._expected_maps.get(shuffle_id)
+            if expected is None:
+                return []
+            completed = self._completed_maps.get(shuffle_id, set())
+            return [m for m in range(expected) if m not in completed]
 
     def remove_shuffle(self, shuffle_id: int) -> None:
         """Discard all data of a shuffle, including its spill file."""

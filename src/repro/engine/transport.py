@@ -29,6 +29,7 @@ from __future__ import annotations
 import itertools
 import os
 import shutil
+import tempfile
 
 from .memory import FrameFileWriter
 
@@ -102,6 +103,19 @@ class LocalDirShuffleTransport(ShuffleTransport):
 
     def remove_shuffle(self, shuffle_id: int) -> None:
         shutil.rmtree(self.shuffle_dir(shuffle_id), ignore_errors=True)
+
+    def worker_scratch_dir(self) -> str:
+        """Fresh per-process scratch directory under the transport root.
+
+        Worker processes put their spill directories here rather than in a
+        free-standing temp dir: a worker that dies hard (``os._exit`` under
+        crash injection, OOM kill) never runs its ``atexit`` sweeper, but a
+        scratch dir inside the root is still reclaimed by the driver's
+        :meth:`cleanup` — crashes cannot leak disk.
+        """
+        base = os.path.join(self.root, "scratch")
+        os.makedirs(base, exist_ok=True)
+        return tempfile.mkdtemp(prefix=f"worker-{os.getpid()}-", dir=base)
 
     def cleanup(self) -> None:
         shutil.rmtree(self.root, ignore_errors=True)

@@ -25,17 +25,18 @@ from __future__ import annotations
 import atexit
 import os
 import shutil
-import tempfile
 import time
 import traceback
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..errors import FetchFailedError, ShuffleCorruptionError
 from . import serializer
 from .dataset import TaskContext
-from .executor import _TASK_COUNTERS, InjectedFailure, should_inject_failure
-from .memory import (CODEC_NONE, MemoryManager, dump_frames, load_frames,
-                     resolve_codec)
+from .executor import (_TASK_COUNTERS, InjectedFailure, should_inject_crash,
+                       should_inject_failure)
+from .memory import (CODEC_NONE, MemoryManager, corrupt_payload, dump_frames,
+                     load_frames, resolve_codec, should_corrupt)
 from .shuffle import ShuffleError, estimate_bytes
 from .storage import BlockStore
 from .transport import LocalDirShuffleTransport
@@ -59,7 +60,8 @@ class WorkerShuffleClient:
     """
 
     def __init__(self, transport: LocalDirShuffleTransport, compression: bool,
-                 codec: int = CODEC_NONE):
+                 codec: int = CODEC_NONE, corruption_rate: float = 0.0,
+                 seed: int = 0):
         self._transport = transport
         self.compression = compression
         #: Frame codec id; must match the driver's resolved codec so the
@@ -68,6 +70,24 @@ class WorkerShuffleClient:
         self.codec = codec
         self._catalog: Dict[int, Dict[str, Any]] = {}
         self._last_map_output: Optional[Dict[str, Any]] = None
+        #: Seeded corruption injection (``EngineConfig.corruption_rate``):
+        #: armed per task attempt by :meth:`begin_task`, fired at most once
+        #: on the next transport frame written.
+        self._corruption_rate = corruption_rate
+        self._seed = seed
+        self._corrupt_key: Optional[str] = None
+
+    def begin_task(self, task_id: str, attempt: int) -> None:
+        """Draw this attempt's corruption decision (keyed per attempt).
+
+        A recomputed or retried attempt draws a fresh decision, so an
+        injected corruption is recoverable rather than repeating forever.
+        """
+        key = f"{task_id}:{attempt}"
+        if should_corrupt(self._seed, self._corruption_rate, key):
+            self._corrupt_key = key
+        else:
+            self._corrupt_key = None
 
     # -- catalog ------------------------------------------------------------
 
@@ -93,8 +113,25 @@ class WorkerShuffleClient:
                 continue
             span = entry["buckets"].get((map_partition, reduce_partition))
             if span is not None:
-                spans.append(span)
+                spans.append((map_partition, span))
         return spans
+
+    def _load_span(self, shuffle_id: int, map_partition: int, path: str,
+                   offset: int, length: int) -> List[Any]:
+        """Load one catalogued span; damage becomes a named fetch failure.
+
+        Mirrors the driver-side ShuffleManager: a corrupt or vanished span
+        is reported as :class:`FetchFailedError` carrying ``(shuffle_id,
+        map_partition)`` so the driver can invalidate exactly that map
+        output and recompute it from lineage.
+        """
+        try:
+            return load_frames(path, offset, length)
+        except ShuffleCorruptionError as exc:
+            raise FetchFailedError(
+                f"lost map output {map_partition} of shuffle {shuffle_id}: "
+                f"{exc}", shuffle_id=shuffle_id,
+                map_partition=map_partition) from exc
 
     # -- reduce side --------------------------------------------------------
 
@@ -104,18 +141,20 @@ class WorkerShuffleClient:
         """Return (records, estimated bytes) addressed to ``reduce_partition``."""
         records: List[Any] = []
         size = 0
-        for path, offset, length, _count, est in \
+        for map_partition, (path, offset, length, _count, est) in \
                 self._spans(shuffle_id, reduce_partition, map_range):
-            records.extend(load_frames(path, offset, length))
+            records.extend(self._load_span(shuffle_id, map_partition,
+                                           path, offset, length))
             size += est
         return records, size
 
     def iter_reduce_input(self, shuffle_id: int, reduce_partition: int,
                           map_range: Optional[Tuple[int, int]] = None):
         """Stream ``(bucket records, estimated bytes)`` in map order."""
-        for path, offset, length, _count, est in \
+        for map_partition, (path, offset, length, _count, est) in \
                 self._spans(shuffle_id, reduce_partition, map_range):
-            yield load_frames(path, offset, length), est
+            yield self._load_span(shuffle_id, map_partition,
+                                  path, offset, length), est
 
     # -- map side -----------------------------------------------------------
 
@@ -137,7 +176,15 @@ class WorkerShuffleClient:
             for reduce_partition, records in buckets.items():
                 size = estimate_bytes(list(records), self.compression,
                                       self.codec)
-                offset, length = writer.append(dump_frames(records, self.codec))
+                payload = dump_frames(records, self.codec)
+                if self._corrupt_key is not None:
+                    # fault injection: damage the on-disk bytes of one
+                    # bucket; the span and its accounting stay truthful, so
+                    # only the read-side CRC can expose the loss
+                    payload = corrupt_payload(payload, self._seed,
+                                              self._corrupt_key)
+                    self._corrupt_key = None
+                offset, length = writer.append(payload)
                 spans[reduce_partition] = \
                     (writer.path, offset, length, len(records), size)
                 written += size
@@ -192,14 +239,20 @@ class WorkerContext:
         self.block_store = WorkerBlockStore(config.memory_budget_bytes)
         self.shuffle_manager = WorkerShuffleClient(
             transport, config.shuffle_compression,
-            resolve_codec(config.spill_codec, config.shuffle_compression))
+            resolve_codec(config.spill_codec, config.shuffle_compression),
+            corruption_rate=config.corruption_rate, seed=config.seed)
+        self._transport = transport
         self._spill_root: Optional[str] = None
 
     def spill_dir(self) -> str:
-        """Per-process spill directory, created lazily (external merges)."""
+        """Per-process spill directory, created lazily (external merges).
+
+        Lives under the transport root so a hard worker death (which skips
+        ``atexit``) cannot leak it: the driver's transport cleanup sweeps
+        it with everything else.
+        """
         if self._spill_root is None:
-            self._spill_root = tempfile.mkdtemp(
-                prefix=f"repro-worker-{os.getpid()}-")
+            self._spill_root = self._transport.worker_scratch_dir()
         return self._spill_root
 
     def cleanup(self) -> None:
@@ -287,21 +340,33 @@ def run_stage_task(payload_path: str, task_index: int,
     payload = _load_payload(state, payload_path)
     task = payload["tasks"][task_index]
     task_context = TaskContext()
+    state.ctx.shuffle_manager.begin_task(task.task_id, attempt)
     started = time.perf_counter()
     try:
         if should_inject_failure(state.ctx.config, task.task_id, attempt):
             raise InjectedFailure(
                 f"injected failure for {task.task_id} attempt {attempt}")
         value = task.run(task_context)
+        if should_inject_crash(state.ctx.config, task.task_id, attempt):
+            # hard death *after* the work: the task has already written
+            # transport frames and cached blocks, none of which ever reach
+            # the driver — exactly the partial-output mess a killed worker
+            # leaves behind.  ``os._exit`` skips atexit sweepers on purpose.
+            os._exit(17)
     except Exception as error:  # noqa: BLE001 - crosses the process boundary
         state.ctx.shuffle_manager.take_map_output()  # drop partial spans
-        return {
+        outcome = {
             "ok": False,
             "duration_s": time.perf_counter() - started,
             "error": (type(error).__name__, str(error),
                       traceback.format_exc()),
             "blocks": state.ctx.block_store.drain_dirty(),
         }
+        if isinstance(error, FetchFailedError):
+            # structured coordinates survive the boundary so the driver can
+            # rethrow a real FetchFailedError for the scheduler
+            outcome["fetch_failed"] = (error.shuffle_id, error.map_partition)
+        return outcome
     return {
         "ok": True,
         "duration_s": time.perf_counter() - started,

@@ -47,6 +47,36 @@ class ShuffleError(EngineError):
     """Shuffle data requested before the producing stage completed."""
 
 
+class ShuffleCorruptionError(ShuffleError):
+    """A pickle-framed spill/transport payload failed its integrity check.
+
+    Raised on the read path when a frame's CRC32 does not match its payload,
+    when a frame header is malformed (truncated file, flipped header bits)
+    or when a checksum-less legacy frame no longer unpickles.  The reader
+    never feeds a corrupt payload downstream.
+    """
+
+    def __init__(self, message: str, path: str = "", offset: int = -1):
+        super().__init__(message)
+        self.path = path
+        self.offset = offset
+
+
+class FetchFailedError(ShuffleError):
+    """A reduce-side read lost one map partition's shuffle output.
+
+    Carries the ``(shuffle_id, map_partition)`` coordinates of the lost or
+    corrupt span so the scheduler can invalidate exactly that map output and
+    recompute it from lineage instead of failing the job.
+    """
+
+    def __init__(self, message: str, shuffle_id: int = -1,
+                 map_partition: int = -1):
+        super().__init__(message)
+        self.shuffle_id = shuffle_id
+        self.map_partition = map_partition
+
+
 class StorageError(EngineError):
     """The storage layer could not honour a cache/persist request."""
 

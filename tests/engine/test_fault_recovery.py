@@ -1,0 +1,508 @@
+"""Lineage-based fault recovery: crashes, corruption, deadlines, recovery.
+
+The contract under test: with seeded faults injected — spurious task
+failures (``failure_rate``), hard worker deaths (``crash_failure_rate``),
+damaged spill/transport frames (``corruption_rate``) — every wide operator
+still returns *identical* results to a fault-free run, on both executor
+backends, because the engine detects the damage (checksummed frames),
+invalidates exactly the lost map output, recomputes it from lineage and
+retries the consuming stage.  Recovery must be visible in the job metrics
+(``stage_retries``, ``recomputed_tasks``, ``lost_map_outputs``,
+``timed_out_tasks``) and must never leak spill or transport files.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import EngineConfig
+from repro.engine import serializer
+from repro.engine.context import EngineContext
+from repro.engine.memory import (CODEC_NONE, CRC_FLAG, corrupt_payload,
+                                 dump_frames, load_frames, should_corrupt)
+from repro.engine.shuffle import ShuffleManager
+from repro.errors import (FetchFailedError, ShuffleCorruptionError,
+                          TaskError)
+
+from test_memory_bounded import DATA, OTHER_SIDE, PIPELINES, TINY_CAP
+
+_HAVE_CLOSURES = serializer.supports_closures()
+
+needs_closures = pytest.mark.skipif(
+    not _HAVE_CLOSURES,
+    reason="shipping task closures to worker processes needs cloudpickle")
+
+
+def make_engine(backend: str, batch_size: int = 1024,
+                **overrides) -> EngineContext:
+    options = {"num_workers": 2, "default_parallelism": 4, "seed": 1,
+               "batch_size": batch_size, "executor_backend": backend}
+    options.update(overrides)
+    return EngineContext(EngineConfig(**options))
+
+
+def run_clean(backend: str, pipeline_name: str, batch_size: int = 1024,
+              **overrides):
+    """Fault-free reference run of one wide pipeline (collect twice)."""
+    build = PIPELINES[pipeline_name]
+    with make_engine(backend, batch_size=batch_size,
+                     broadcast_threshold_bytes=0, **overrides) as ctx:
+        ds = build(ctx.parallelize(DATA, 4), ctx.parallelize(OTHER_SIDE, 2))
+        first = ds.collect()
+        second = ds.collect()
+        return first, second, ctx.metrics.summary()
+
+
+# -- checksummed frames --------------------------------------------------------
+
+
+_HEADER = struct.Struct("<BI")
+
+
+def test_frames_round_trip_and_carry_crc(tmp_path):
+    records = [(i % 7, f"value-{i}") for i in range(100)]
+    payload = dump_frames(records, CODEC_NONE)
+    assert payload[0] & CRC_FLAG, "new frames must announce their checksum"
+    path = str(tmp_path / "frames.bin")
+    with open(path, "wb") as handle:
+        handle.write(payload)
+    assert load_frames(path, 0, len(payload)) == records
+
+
+def test_legacy_checksumless_frames_still_read_back(tmp_path):
+    """Frames written before the CRC era carry no checksum and must load."""
+    import pickle
+    records = [("legacy", i) for i in range(50)]
+    raw = pickle.dumps(records, protocol=pickle.HIGHEST_PROTOCOL)
+    legacy = _HEADER.pack(CODEC_NONE, len(raw)) + raw  # no CRC_FLAG, no CRC
+    path = str(tmp_path / "legacy.bin")
+    with open(path, "wb") as handle:
+        handle.write(legacy)
+    assert load_frames(path, 0, len(legacy)) == records
+
+
+def test_bit_flip_is_detected_by_crc(tmp_path):
+    records = [(i, i * i) for i in range(200)]
+    payload = dump_frames(records, CODEC_NONE)
+    flipped = bytearray(payload)
+    flipped[len(payload) // 2] ^= 0x10  # damage the payload region
+    path = str(tmp_path / "flipped.bin")
+    with open(path, "wb") as handle:
+        handle.write(bytes(flipped))
+    with pytest.raises(ShuffleCorruptionError) as excinfo:
+        load_frames(path, 0, len(flipped))
+    assert excinfo.value.path == path
+
+
+def test_truncated_payload_is_detected(tmp_path):
+    payload = dump_frames([(i, "x" * 20) for i in range(100)], CODEC_NONE)
+    path = str(tmp_path / "truncated.bin")
+    with open(path, "wb") as handle:
+        handle.write(payload[:len(payload) // 2])
+    with pytest.raises(ShuffleCorruptionError):
+        load_frames(path, 0, len(payload))
+
+
+def test_unknown_codec_byte_is_detected(tmp_path):
+    path = str(tmp_path / "garbage.bin")
+    with open(path, "wb") as handle:
+        handle.write(_HEADER.pack(0x7F, 4) + b"ruin")
+    with pytest.raises(ShuffleCorruptionError):
+        load_frames(path, 0, _HEADER.size + 4)
+
+
+def test_missing_file_is_a_corruption_error():
+    with pytest.raises(ShuffleCorruptionError):
+        load_frames("/nonexistent/shuffle-99.spill", 0, 64)
+
+
+def test_corruption_injection_is_seeded_and_deterministic():
+    decisions = [should_corrupt(5, 0.5, f"t{i}:0") for i in range(64)]
+    assert decisions == [should_corrupt(5, 0.5, f"t{i}:0") for i in range(64)]
+    assert any(decisions) and not all(decisions)
+    assert not any(should_corrupt(5, 0.0, f"t{i}:0") for i in range(64))
+    payload = dump_frames([(i, i) for i in range(100)], CODEC_NONE)
+    damaged = corrupt_payload(payload, 5, "t3:0")
+    assert damaged == corrupt_payload(payload, 5, "t3:0")
+    assert damaged != payload
+
+
+# -- invalidation and lineage bookkeeping --------------------------------------
+
+
+BUCKETS = {0: [("a", i) for i in range(30)], 1: [("b", i) for i in range(15)]}
+
+
+def test_invalidate_map_output_unmarks_and_retracts():
+    manager = ShuffleManager(compression=False)
+    manager.register_shuffle(3, 2)
+    manager.write_map_output(3, 0, BUCKETS)
+    manager.write_map_output(3, 1, BUCKETS)
+    clean_stats = manager.map_output_stats(3)
+    assert manager.is_complete(3)
+    assert manager.missing_map_partitions(3) == []
+
+    assert manager.invalidate_map_output(3, 1)
+    assert not manager.is_complete(3)
+    assert manager.missing_map_partitions(3) == [1]
+    assert manager.map_output_stats(3) is None, \
+        "an incomplete shuffle must not report runtime stats"
+
+    # the lineage recomputation path: rewrite only the lost partition
+    manager.write_map_output(3, 1, BUCKETS)
+    assert manager.is_complete(3)
+    assert manager.map_output_stats(3) == clean_stats
+    assert manager.reduce_partition_bytes(3) == {
+        0: manager.reduce_partition_bytes(3)[0],
+        1: manager.reduce_partition_bytes(3)[1]}
+
+
+def test_invalidate_unknown_partition_is_a_noop():
+    manager = ShuffleManager(compression=False)
+    manager.register_shuffle(4, 2)
+    manager.write_map_output(4, 0, BUCKETS)
+    assert not manager.invalidate_map_output(4, 1)  # never written
+    assert not manager.invalidate_map_output(9, 0)  # never registered
+    assert manager.missing_map_partitions(4) == [1]
+
+
+# -- retried-attempt accounting (double-count regression) ----------------------
+
+
+def test_retried_map_attempt_does_not_double_count():
+    """A rewritten map partition replaces its totals instead of adding."""
+    manager = ShuffleManager(compression=False)
+    manager.register_shuffle(7, 2)
+    manager.write_map_output(7, 0, BUCKETS)
+    manager.write_map_output(7, 1, BUCKETS)
+    clean_stats = manager.map_output_stats(7)
+    clean_reduce = manager.reduce_partition_bytes(7)
+
+    # a retried (or recomputed) attempt rewrites partition 0 wholesale
+    manager.write_map_output(7, 0, BUCKETS)
+    assert manager.map_output_stats(7) == clean_stats
+    assert manager.bytes_written(7) == clean_stats[1]
+    assert manager.reduce_partition_bytes(7) == clean_reduce
+
+
+def test_retried_external_registration_does_not_double_count(tmp_path):
+    from repro.engine.memory import FrameFileWriter
+    from repro.engine.shuffle import estimate_bytes
+
+    manager = ShuffleManager(compression=False)
+    manager.register_shuffle(8, 1)
+
+    def register(attempt: int):
+        writer = FrameFileWriter(str(tmp_path / f"map-0-a{attempt}.data"))
+        spans = {}
+        for reduce_partition, records in BUCKETS.items():
+            size = estimate_bytes(records, False, CODEC_NONE)
+            offset, length = writer.append(dump_frames(records, CODEC_NONE))
+            spans[reduce_partition] = (writer.path, offset, length,
+                                       len(records), size)
+        writer.close()
+        manager.register_external_map_output(8, 0, spans)
+
+    register(0)
+    clean_stats = manager.map_output_stats(8)
+    register(1)  # the retried attempt overwrites, never adds
+    assert manager.map_output_stats(8) == clean_stats
+    assert manager.bytes_written(8) == clean_stats[1]
+
+
+# -- chaos matrix: all wide operators survive injected faults ------------------
+
+
+#: Fault rates low enough that the bounded retry budgets converge for every
+#: (pipeline, backend) cell, high enough that faults actually fire across
+#: the matrix (asserted in the aggregate below).
+CHAOS = {"failure_rate": 0.05, "crash_failure_rate": 0.05,
+         "corruption_rate": 0.05, "max_task_retries": 8,
+         "max_stage_retries": 8, "seed": 7}
+
+_fault_hits = {"thread": 0, "process": 0}
+
+
+def run_chaos(backend: str, pipeline_name: str):
+    build = PIPELINES[pipeline_name]
+    overrides = dict(CHAOS)
+    if backend == "thread":
+        # thread-backend corruption fires on *spill* frames; a tiny budget
+        # makes every bucket cross the disk
+        overrides["shuffle_memory_bytes"] = TINY_CAP
+    with make_engine(backend, broadcast_threshold_bytes=0,
+                     **overrides) as ctx:
+        ds = build(ctx.parallelize(DATA, 4), ctx.parallelize(OTHER_SIDE, 2))
+        first = ds.collect()
+        second = ds.collect()
+        summary = ctx.metrics.summary()
+        return first, second, summary
+
+
+@pytest.mark.parametrize("pipeline_name", sorted(PIPELINES))
+def test_chaos_thread_backend_matches_fault_free(pipeline_name):
+    first, second, summary = run_chaos("thread", pipeline_name)
+    clean_first, clean_second, _ = run_clean("thread", pipeline_name,
+                                             seed=CHAOS["seed"])
+    assert first == clean_first
+    assert second == clean_second
+    _fault_hits["thread"] += (summary["num_failed_attempts"]
+                              + summary["lost_map_outputs"])
+
+
+@needs_closures
+@pytest.mark.parametrize("pipeline_name", sorted(PIPELINES))
+def test_chaos_process_backend_matches_fault_free(pipeline_name):
+    first, second, summary = run_chaos("process", pipeline_name)
+    clean_first, clean_second, _ = run_clean("thread", pipeline_name,
+                                             seed=CHAOS["seed"])
+    assert first == clean_first
+    assert second == clean_second
+    _fault_hits["process"] += (summary["num_failed_attempts"]
+                               + summary["lost_map_outputs"]
+                               + summary["stage_retries"])
+
+
+@needs_closures
+def test_chaos_matrix_actually_injected_faults():
+    """Guards the matrix above against silently running fault-free."""
+    assert _fault_hits["thread"] > 0
+    assert _fault_hits["process"] > 0
+
+
+# -- crash recovery: jobs survive a broken process pool ------------------------
+
+
+@needs_closures
+def test_job_survives_broken_process_pool():
+    with make_engine("process", crash_failure_rate=0.2, seed=1,
+                     max_stage_retries=8) as ctx:
+        ds = ctx.parallelize(DATA, 4).reduce_by_key(lambda a, b: a + b, 4)
+        result = ds.collect()
+        job = ctx.metrics.jobs[-1]
+        assert job.stage_retries > 0, \
+            "a 20% crash rate over 8 tasks must kill at least one worker"
+    with make_engine("thread") as ctx:
+        expected = (ctx.parallelize(DATA, 4)
+                    .reduce_by_key(lambda a, b: a + b, 4).collect())
+    assert result == expected
+
+
+@needs_closures
+def test_crash_retries_are_bounded():
+    with make_engine("process", crash_failure_rate=0.97, seed=1,
+                     max_stage_retries=2) as ctx:
+        with pytest.raises(Exception):
+            ctx.parallelize(DATA, 4).group_by_key(4).collect()
+
+
+# -- corruption recovery: manual mid-file damage -------------------------------
+
+
+def _flip_byte_mid_file(path: str) -> None:
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.seek(size // 2)
+        byte = handle.read(1)
+        handle.seek(size // 2)
+        handle.write(bytes([byte[0] ^ 0x40]))
+
+
+def _corrupt_one_shuffle_file(root: str, pattern: str) -> str:
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in sorted(filenames):
+            if pattern in name or pattern in dirpath:
+                path = os.path.join(dirpath, name)
+                if os.path.getsize(path) > 16:
+                    _flip_byte_mid_file(path)
+                    return path
+    raise AssertionError(f"no {pattern!r} file found under {root}")
+
+
+def test_corrupt_spill_frame_triggers_recomputation_thread():
+    """Thread backend: a damaged spill span is recomputed from lineage."""
+    with make_engine("thread", shuffle_memory_bytes=TINY_CAP,
+                     max_stage_retries=4) as ctx:
+        ds = ctx.parallelize(DATA, 4).group_by_key(4)
+        first = ds.collect()
+        _corrupt_one_shuffle_file(ctx._spill_root, ".spill")
+        second = ds.collect()  # re-reads the shuffle, hits the bad CRC
+        assert second == first
+        job = ctx.metrics.jobs[-1]
+        assert job.lost_map_outputs > 0
+        assert job.recomputed_tasks > 0
+        assert job.stage_retries > 0
+
+
+@needs_closures
+def test_corrupt_transport_frame_triggers_recomputation_process():
+    """Process backend: a damaged transport frame is recomputed."""
+    with make_engine("process", max_stage_retries=4) as ctx:
+        ds = ctx.parallelize(DATA, 4).group_by_key(4)
+        first = ds.collect()
+        _corrupt_one_shuffle_file(
+            os.path.join(ctx._spill_root, "transport"), "map-")
+        second = ds.collect()
+        assert second == first
+        job = ctx.metrics.jobs[-1]
+        assert job.lost_map_outputs > 0
+        assert job.recomputed_tasks > 0
+        assert job.stage_retries > 0
+
+
+def test_fetch_failure_without_retries_propagates():
+    with make_engine("thread", shuffle_memory_bytes=TINY_CAP,
+                     max_stage_retries=0) as ctx:
+        ds = ctx.parallelize(DATA, 4).group_by_key(4)
+        ds.collect()
+        _corrupt_one_shuffle_file(ctx._spill_root, ".spill")
+        with pytest.raises(FetchFailedError):
+            ds.collect()
+
+
+# -- task deadlines ------------------------------------------------------------
+
+
+@needs_closures
+def test_task_deadline_abandons_and_retries(tmp_path):
+    marker = str(tmp_path / "slept-once")
+
+    def slow_once(pair):
+        if pair[0] == 0 and not os.path.exists(marker):
+            open(marker, "w").close()
+            time.sleep(3.0)
+        return pair
+
+    with make_engine("process", task_timeout_s=0.75, num_workers=2,
+                     default_parallelism=2) as ctx:
+        data = [(i % 2, i) for i in range(20)]
+        result = ctx.parallelize(data, 2).map(slow_once).collect()
+        job = ctx.metrics.jobs[-1]
+        assert sorted(result) == sorted(data), \
+            "the late attempt's result must be discarded, not merged"
+        assert job.timed_out_tasks == 1
+        timed_out = [task for stage in job.stages for task in stage.tasks
+                     if task.timed_out]
+        assert len(timed_out) == 1 and timed_out[0].failed
+
+
+@needs_closures
+def test_task_deadline_exhaustion_raises(tmp_path):
+    def always_slow(pair):
+        time.sleep(3.0)
+        return pair
+
+    with make_engine("process", task_timeout_s=0.5, max_task_retries=1,
+                     default_parallelism=2) as ctx:
+        with pytest.raises(TaskError) as excinfo:
+            ctx.parallelize([(0, 1), (1, 2)], 2).map(always_slow).collect()
+        assert "deadline" in str(excinfo.value)
+
+
+# -- no-leak regression --------------------------------------------------------
+
+
+def _leftover_shuffle_files(root: str) -> list:
+    found = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in filenames:
+            if "shuffle-" in dirpath or "shuffle-" in name \
+                    or name.endswith(".payload"):
+                found.append(os.path.join(dirpath, name))
+    return sorted(found)
+
+
+@needs_closures
+def test_no_leak_after_crashing_stage_and_failed_job():
+    """Worker crashes and failed jobs leave no shuffle/payload files behind."""
+    def explode(pair):
+        if pair[1] == 799:
+            raise ValueError("boom")
+        return pair
+
+    ctx = make_engine("process", crash_failure_rate=0.2, seed=1,
+                      max_stage_retries=8, max_task_retries=0)
+    try:
+        # a crashing-but-successful job, then a failing one
+        assert ctx.parallelize(DATA, 4).repartition(4).count() == len(DATA)
+        ctx.shuffle_manager.clear()
+        with pytest.raises(TaskError):
+            ctx.parallelize(DATA, 4).map(explode).group_by_key(4).collect()
+        root = ctx._spill_root
+        assert not _leftover_shuffle_files(root), \
+            "failed jobs must sweep stage payloads and partial map output"
+    finally:
+        ctx.stop()
+    assert not os.path.isdir(root), \
+        "the context spill root (transport and worker scratch included) " \
+        "must die with stop()"
+
+
+def test_no_leak_after_failed_job_thread_backend():
+    def explode(pair):
+        if pair[1] == 799:
+            raise ValueError("boom")
+        return pair
+
+    ctx = make_engine("thread", shuffle_memory_bytes=TINY_CAP,
+                      max_task_retries=0)
+    try:
+        with pytest.raises(TaskError):
+            ctx.parallelize(DATA, 4).map(explode).group_by_key(4).collect()
+        root = ctx._spill_root
+        if root is not None:
+            assert not _leftover_shuffle_files(root)
+    finally:
+        ctx.stop()
+    if root is not None:
+        assert not os.path.isdir(root)
+
+
+# -- property: single-fault runs are observably fault-free ---------------------
+
+
+#: Metric keys that legitimately differ once attempts are retried: timings,
+#: the failure tallies themselves, and scheduling-dependent residency.
+_FAULT_VOLATILE = ("wall_clock_s", "total_task_time_s",
+                   "num_failed_attempts", "num_tasks", "spills",
+                   "spill_bytes", "peak_shuffle_bytes")
+
+
+def _comparable(summary: dict) -> dict:
+    out = {key: value for key, value in summary.items()
+           if key not in _FAULT_VOLATILE}
+    # attempts vary under retries; *successful* tasks must not
+    out["num_successful_tasks"] = (summary["num_tasks"]
+                                   - summary["num_failed_attempts"])
+    return out
+
+
+@pytest.mark.parametrize("backend",
+                         ["thread",
+                          pytest.param("process", marks=needs_closures)])
+@settings(max_examples=5, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       pipeline_name=st.sampled_from(sorted(PIPELINES)),
+       batch_size=st.sampled_from([0, 1, 1024]))
+def test_seeded_failures_leave_results_and_metrics_intact(
+        backend, seed, pipeline_name, batch_size):
+    """Plain injected failures: retried attempts change *only* the failure
+    tallies — results and every other metric match a fault-free run, and
+    the recovery counters stay zero (no output was ever lost)."""
+    faulty = run_clean(backend, pipeline_name, batch_size=batch_size,
+                       seed=seed, failure_rate=0.1, max_task_retries=8)
+    clean = run_clean(backend, pipeline_name, batch_size=batch_size,
+                      seed=seed)
+    assert faulty[0] == clean[0]
+    assert faulty[1] == clean[1]
+    assert _comparable(faulty[2]) == _comparable(clean[2])
+    for counter in ("stage_retries", "recomputed_tasks",
+                    "lost_map_outputs", "timed_out_tasks"):
+        assert faulty[2][counter] == 0
