@@ -167,6 +167,72 @@ class EngineConfig:
         metrics stay identical to the resident path; only the ``spills`` /
         ``spill_bytes`` counters and wall-clock differ.  ``0`` (the
         default) keeps execution fully resident and behaviour unchanged.
+    shuffle_transport:
+        How reduce-side reads reach shuffle map output.  ``"local"`` (the
+        default) reads frame files directly from the shared filesystem.
+        ``"tcp"`` starts a per-context shuffle server
+        (:class:`~repro.engine.shuffle_server.ShuffleServer`) and routes
+        every external-span read through a length-prefixed TCP protocol —
+        the networked shuffle plane a multi-node deployment would use.
+        Map output is written through the transport on *both* executor
+        backends under ``"tcp"``, so results, order and all non-timing
+        metrics are transport-invariant (under a bounded
+        ``shuffle_memory_bytes`` only the bucket-spill counters differ:
+        transport-backed buckets live on disk and never need spilling).
+    fetch_max_retries:
+        Bounded retries of one shuffle fetch before the client escalates to
+        :class:`~repro.errors.FetchFailedError` and stage-level lineage
+        recovery takes over as the second line of defense.  Retried on
+        connection errors, timeouts, dropped responses and per-frame CRC
+        failures; each retry draws fresh seeded network-chaos decisions.
+        ``0`` escalates on the first failure.
+    fetch_backoff_s:
+        Base delay of the fetch client's seeded exponential backoff: retry
+        ``n`` sleeps ``fetch_backoff_s * 2**n`` (capped, with deterministic
+        ±50% jitter keyed on the engine seed and fetch coordinates).  ``0``
+        retries immediately.
+    fetch_timeout_s:
+        Connect/read timeout, in seconds, of one TCP fetch attempt.  Must
+        exceed ``network_delay_s`` or every fetch times out.
+    network_drop_rate:
+        Probability that the shuffle server drops a fetch (closes the
+        connection without replying), seeded per ``(request, attempt)`` so
+        a retried fetch draws a fresh decision.  Exercises the fetch-retry
+        ladder deterministically; ``0.0`` disables drop injection.
+    network_delay_s:
+        Fixed per-request delay, in seconds, the shuffle server sleeps
+        before serving a fetch — simulated network latency.  ``0`` serves
+        immediately.
+    heartbeat_interval_s:
+        Interval at which process-backend workers write heartbeat files
+        under the transport root for the driver's
+        :class:`~repro.engine.scheduler.NodeHealthTracker` to check
+        between stages.  ``0`` (the default) disables heartbeats.
+    heartbeat_timeout_s:
+        Age beyond which a worker's heartbeat file counts as stale and
+        the worker is blacklisted directly — the timeout already encodes
+        several missed beats, independent of
+        ``blacklist_failure_threshold``.  ``0`` (the default) derives
+        ``4 * heartbeat_interval_s``.
+    blacklist_failure_threshold:
+        Consecutive worker-attributed failures (task failures, or fetch
+        failures charged to the span's producer; successes reset the
+        count) after which a worker is blacklisted: its pool is recycled at the next stage boundary so no
+        further tasks schedule onto it, its registered map outputs are
+        invalidated and proactively recomputed from lineage, and the job's
+        ``blacklisted_workers`` counter ticks.  ``0`` (the default)
+        disables blacklisting.
+    speculation_multiplier:
+        Speculative execution (process backend): once a stage is at least
+        ``speculation_quantile`` complete, a running task older than
+        ``speculation_multiplier`` times the median successful task runtime
+        is re-launched as a duplicate attempt; the first result wins and
+        the loser's map-output spans are discarded unregistered.  Counted
+        in ``speculative_launches`` / ``speculative_wins``.  ``0`` (the
+        default) disables speculation.
+    speculation_quantile:
+        Fraction of a stage's tasks that must have completed before
+        stragglers are considered for speculative re-launch.
     executor_backend:
         ``"thread"`` (the default) runs tasks on a thread pool in the
         driver process; ``"process"`` runs them on ``num_workers`` forked
@@ -205,6 +271,17 @@ class EngineConfig:
     skew_split_factor: int = 4
     skew_min_partition_bytes: int = 32 * 1024 * 1024
     shuffle_memory_bytes: int = 0
+    shuffle_transport: str = "local"
+    fetch_max_retries: int = 3
+    fetch_backoff_s: float = 0.05
+    fetch_timeout_s: float = 5.0
+    network_drop_rate: float = 0.0
+    network_delay_s: float = 0.0
+    heartbeat_interval_s: float = 0.0
+    heartbeat_timeout_s: float = 0.0
+    blacklist_failure_threshold: int = 0
+    speculation_multiplier: float = 0.0
+    speculation_quantile: float = 0.75
     executor_backend: str = "thread"
 
     def __post_init__(self) -> None:
@@ -244,6 +321,45 @@ class EngineConfig:
         if self.shuffle_memory_bytes < 0:
             raise ConfigurationError(
                 "shuffle_memory_bytes must be >= 0 (0 disables the budget)")
+        if self.shuffle_transport not in ("local", "tcp"):
+            raise ConfigurationError(
+                f"shuffle_transport must be 'local' or 'tcp', "
+                f"got {self.shuffle_transport!r}")
+        if self.fetch_max_retries < 0:
+            raise ConfigurationError(
+                "fetch_max_retries must be >= 0 (0 escalates to stage-level "
+                "recovery on the first fetch failure)")
+        if self.fetch_backoff_s < 0:
+            raise ConfigurationError("fetch_backoff_s must be >= 0")
+        if self.fetch_timeout_s <= 0:
+            raise ConfigurationError("fetch_timeout_s must be > 0")
+        if not 0.0 <= self.network_drop_rate < 1.0:
+            raise ConfigurationError("network_drop_rate must be in [0, 1)")
+        if self.network_delay_s < 0:
+            raise ConfigurationError("network_delay_s must be >= 0")
+        if self.network_delay_s >= self.fetch_timeout_s and \
+                self.network_delay_s > 0:
+            raise ConfigurationError(
+                "network_delay_s must be below fetch_timeout_s or every "
+                "fetch times out")
+        if self.heartbeat_interval_s < 0:
+            raise ConfigurationError(
+                "heartbeat_interval_s must be >= 0 (0 disables heartbeats)")
+        if self.heartbeat_timeout_s < 0:
+            raise ConfigurationError(
+                "heartbeat_timeout_s must be >= 0 (0 derives 4x the "
+                "heartbeat interval)")
+        if self.blacklist_failure_threshold < 0:
+            raise ConfigurationError(
+                "blacklist_failure_threshold must be >= 0 (0 disables "
+                "worker blacklisting)")
+        if self.speculation_multiplier < 0:
+            raise ConfigurationError(
+                "speculation_multiplier must be >= 0 (0 disables "
+                "speculative execution)")
+        if not 0.0 < self.speculation_quantile <= 1.0:
+            raise ConfigurationError(
+                "speculation_quantile must be in (0, 1]")
         if self.spill_codec not in ("auto", "none", "zlib", "lz4"):
             raise ConfigurationError(
                 f"spill_codec must be 'auto', 'none', 'zlib' or 'lz4', "

@@ -325,6 +325,11 @@ class ProceduralToDeployment:
             "skew_min_partition_bytes": engine_config.skew_min_partition_bytes,
             "shuffle_memory_bytes": engine_config.shuffle_memory_bytes,
             "executor_backend": engine_config.executor_backend,
+            "shuffle_transport": engine_config.shuffle_transport,
+            "fetch_max_retries": engine_config.fetch_max_retries,
+            "speculation_multiplier": engine_config.speculation_multiplier,
+            "blacklist_failure_threshold":
+                engine_config.blacklist_failure_threshold,
         }
         return DeploymentModel(
             procedural=procedural,
@@ -370,7 +375,14 @@ class ProceduralToDeployment:
         ``shuffle_memory_bytes`` caps resident shuffle state for
         memory-bounded (spill-to-disk) execution, and ``executor_backend``
         picks the task execution substrate (``"thread"`` or ``"process"``
-        multiprocessing workers).  Values are validated by
+        multiprocessing workers).  ``shuffle_transport`` selects how reduce
+        tasks fetch map output (``"local"`` shared files or ``"tcp"``
+        networked fetches), ``fetch_max_retries`` bounds the per-span
+        retry/backoff loop of the networked fetch client,
+        ``speculation_multiplier`` arms speculative re-execution of
+        straggler tasks, and ``blacklist_failure_threshold`` is the number
+        of consecutive failures after which a worker stops receiving new
+        work.  Values are validated by
         ``EngineConfig.__post_init__``; only knobs the campaign actually
         sets are overridden, so engine defaults stay in one place.
         """
@@ -397,6 +409,18 @@ class ProceduralToDeployment:
         if "executor_backend" in preferences:
             overrides["executor_backend"] = \
                 str(preferences["executor_backend"])
+        if "shuffle_transport" in preferences:
+            overrides["shuffle_transport"] = \
+                str(preferences["shuffle_transport"])
+        if "fetch_max_retries" in preferences:
+            overrides["fetch_max_retries"] = \
+                int(preferences["fetch_max_retries"])
+        if "speculation_multiplier" in preferences:
+            overrides["speculation_multiplier"] = \
+                float(preferences["speculation_multiplier"])
+        if "blacklist_failure_threshold" in preferences:
+            overrides["blacklist_failure_threshold"] = \
+                int(preferences["blacklist_failure_threshold"])
         return overrides
 
     @staticmethod

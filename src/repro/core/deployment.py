@@ -110,6 +110,27 @@ class DeploymentModel:
                        if backend == "process"
                        else f"thread ({self.engine_config.num_workers} "
                             "in-process workers)"))
+            transport = self.optimizer_hints.get("shuffle_transport")
+            if transport is not None:
+                retries = self.optimizer_hints.get("fetch_max_retries")
+                lines.append(
+                    "  shuffle transport: "
+                    + (f"tcp (networked fetches, up to {retries} "
+                       "retries per span)"
+                       if transport == "tcp"
+                       else "local (shared spill files)"))
+            speculation = self.optimizer_hints.get("speculation_multiplier")
+            if speculation is not None:
+                lines.append(
+                    "  speculative execution: "
+                    + (f"stragglers over {speculation}x median relaunched"
+                       if speculation else "off"))
+            blacklist = self.optimizer_hints.get("blacklist_failure_threshold")
+            if blacklist is not None:
+                lines.append(
+                    "  worker blacklisting: "
+                    + (f"after {blacklist} consecutive failures"
+                       if blacklist else "off"))
         lines.extend(["", self.procedural.describe()])
         return "\n".join(lines)
 

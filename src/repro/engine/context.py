@@ -23,8 +23,10 @@ from .optimizer import PlanOptimizer, lower_plan
 from .plan import SourceNode, render_plan
 from .scheduler import DAGScheduler
 from .shuffle import ShuffleManager
+from .retry import RetryPolicy
+from .shuffle_server import ShuffleServer
 from .storage import BlockStore
-from .transport import LocalDirShuffleTransport
+from .transport import LocalDirShuffleTransport, TcpShuffleTransport
 
 
 class EngineContext:
@@ -43,11 +45,33 @@ class EngineContext:
         self._lock = threading.Lock()
         #: Shuffle transport of the process backend: payload and map-output
         #: frame files live under the context's spill root, so they can
-        #: never outlive the context.  ``None`` on the thread backend.
+        #: never outlive the context.  ``None`` on the thread backend with
+        #: the default local transport.  With ``shuffle_transport == "tcp"``
+        #: a :class:`ShuffleServer` additionally serves those files over a
+        #: socket and every span read goes through the fetch client — on
+        #: either backend, so the thread backend exercises the same wire
+        #: path the parity suite pins.
         self._transport = None
-        if self.config.executor_backend == "process":
-            self._transport = LocalDirShuffleTransport(
-                os.path.join(self.spill_dir(), "transport"))
+        self._shuffle_server: Optional[ShuffleServer] = None
+        if self.config.executor_backend == "process" or \
+                self.config.shuffle_transport == "tcp":
+            transport_root = os.path.join(self.spill_dir(), "transport")
+            if self.config.shuffle_transport == "tcp":
+                self._shuffle_server = ShuffleServer(
+                    transport_root,
+                    drop_rate=self.config.network_drop_rate,
+                    delay_s=self.config.network_delay_s,
+                    corruption_rate=self.config.corruption_rate,
+                    seed=self.config.seed)
+                self._transport = TcpShuffleTransport(
+                    transport_root, self._shuffle_server.address,
+                    policy=RetryPolicy(
+                        max_retries=self.config.fetch_max_retries,
+                        backoff_s=self.config.fetch_backoff_s,
+                        seed=self.config.seed),
+                    timeout_s=self.config.fetch_timeout_s)
+            else:
+                self._transport = LocalDirShuffleTransport(transport_root)
         self.shuffle_manager = ShuffleManager(
             compression=self.config.shuffle_compression,
             memory_manager=self.memory_manager,
@@ -310,6 +334,9 @@ class EngineContext:
         self.block_store.clear()
         self.broadcast_builds.clear()
         self._lowered_plans.clear()
+        if self._shuffle_server is not None:
+            self._shuffle_server.stop()
+            self._shuffle_server = None
         if self._transport is not None:
             self._transport.cleanup()
         if self._spill_root is not None:

@@ -427,6 +427,10 @@ class TaskContext:
         #: High-water mark of memory-manager-tracked shuffle residency
         #: observed while this task ran (resident buckets + merge partials).
         self.peak_shuffle_bytes = 0
+        #: Networked-shuffle fetch attempts this task retried (transient
+        #: socket failures, dropped responses, wire-corrupt frames) before
+        #: succeeding; 0 on the local transport or a clean network.
+        self.fetch_retries = 0
 
     def note_peak(self, used_bytes: int) -> None:
         """Record one observation of the tracked shuffle residency."""

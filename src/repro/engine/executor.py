@@ -21,14 +21,15 @@ extrapolate costs.  Two backends implement that shape behind one interface
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import random
+import statistics
 import tempfile
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeout
-from concurrent.futures import wait
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -44,7 +45,16 @@ from .metrics import StageMetrics, TaskMetrics
 #: a counter added here flows through both.
 _TASK_COUNTERS = ("records_read", "records_written", "shuffle_bytes_read",
                   "shuffle_bytes_written", "cache_hits", "batches_processed",
-                  "spills", "spill_bytes", "peak_shuffle_bytes")
+                  "spills", "spill_bytes", "peak_shuffle_bytes",
+                  "fetch_retries")
+
+#: Floor on the speculation threshold: tasks faster than this are never
+#: worth duplicating — the relaunch overhead exceeds any possible win.
+_SPECULATION_MIN_S = 0.05
+
+#: Poll interval for the settle loop when deadlines, speculation or
+#: heartbeat checks need the driver to wake up between task completions.
+_POLL_S = 0.02
 
 
 class InjectedFailure(RuntimeError):
@@ -305,11 +315,13 @@ class ProcessExecutor:
     """
 
     def __init__(self, config: EngineConfig, shuffle_manager=None,
-                 block_store=None, memory_manager=None, transport=None):
+                 block_store=None, memory_manager=None, transport=None,
+                 health_tracker=None):
         self.config = config
         self._shuffle_manager = shuffle_manager
         self._block_store = block_store
         self._memory = memory_manager
+        self._health = health_tracker
         if transport is None:
             # directly constructed executors (no engine context) still need
             # somewhere for payloads and map output to live
@@ -322,6 +334,10 @@ class ProcessExecutor:
         self._transport = transport
         self._pool: ProcessPoolExecutor | None = None
         self._pool_lock = threading.Lock()
+        #: Worker pids observed in settled outcomes of the current pool —
+        #: the blacklist check recycles the pool when one of them goes bad
+        #: (a ``ProcessPoolExecutor`` cannot route around a single worker).
+        self._pool_pids: set = set()
 
     # -- pool lifecycle -----------------------------------------------------
 
@@ -339,14 +355,28 @@ class ProcessExecutor:
                     mp_context=mp_context,
                     initializer=worker_runtime.initialize_worker,
                     initargs=(serializer.dumps(self.config),
-                              self._transport.root))
+                              self._transport.worker_spec()))
             return self._pool
 
     def _discard_pool(self) -> None:
         with self._pool_lock:
             pool, self._pool = self._pool, None
+            self._pool_pids.clear()
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
+
+    def _recycle_blacklisted_pool(self) -> None:
+        """Replace the pool when a blacklisted worker is (or may be) in it.
+
+        A ``ProcessPoolExecutor`` offers no per-worker routing, so "stop
+        scheduling onto a blacklisted worker" means forking a fresh pool at
+        the next stage boundary; settled tasks keep their results, and the
+        blacklisted process is simply no longer there to receive work.
+        """
+        if self._health is None or not self._health.blacklisted:
+            return
+        if any(self._health.is_blacklisted(pid) for pid in self._pool_pids):
+            self._discard_pool()
 
     def shutdown(self) -> None:
         """Join the worker processes (idempotent)."""
@@ -417,87 +447,164 @@ class ProcessExecutor:
         for (dataset_id, partition), records in blocks.items():
             self._block_store.put(dataset_id, partition, records)
 
-    def _settle_task(self, pool: ProcessPoolExecutor, token: str, task: Task,
-                     index: int, future, stage: StageMetrics,
-                     attempts: List[int]) -> TaskResult:
-        from . import worker as worker_runtime
-        while True:
-            attempt = attempts[index]
-            try:
-                outcome = future.result(
-                    timeout=self.config.task_timeout_s or None)
-            except FutureTimeout:
-                # driver-side deadline: abandon the attempt.  The worker may
-                # still finish it, but its result is never consumed, so its
-                # map-output spans never register and its value is discarded
-                # — only the fresh attempt below can settle the task.
-                metrics = TaskMetrics(
-                    task_id=task.task_id, stage_id=task.stage_id,
-                    partition_index=task.partition, attempt=attempt,
-                    duration_s=self.config.task_timeout_s,
-                    failed=True, timed_out=True)
-                stage.add_task(metrics)
-                if attempt >= self.config.max_task_retries:
-                    raise TaskError(
-                        f"task {task.task_id} exceeded its "
-                        f"{self.config.task_timeout_s}s deadline on "
-                        f"{attempt + 1} attempts", task_id=task.task_id)
-                attempts[index] = attempt + 1
-                future = pool.submit(worker_runtime.run_stage_task,
-                                     token, index, attempts[index])
+    def _task_metrics(self, task: Task, info: "_Attempt") -> TaskMetrics:
+        return TaskMetrics(task_id=task.task_id, stage_id=task.stage_id,
+                           partition_index=task.partition,
+                           attempt=info.attempt, speculative=info.speculative)
+
+    def _settle_attempt(self, outcome: Dict[str, Any], info: "_Attempt",
+                        drive: "_StageDrive") -> None:
+        """Fold one finished attempt into the stage.
+
+        Losers of a speculation race (their index already settled) only
+        donate their cached blocks — no metrics, no map-output
+        registration, no value: first result wins and the duplicate's
+        spans are simply never registered (the PR 8 replace-not-double-
+        count accounting makes a late registration harmless anyway, but
+        discarding is cleaner).  Failures consume one unit of the task's
+        retry budget; the budget is only *enforced* when no other attempt
+        of the task is still in flight, so a speculative duplicate gets to
+        finish what the original could not.
+        """
+        task = drive.tasks[info.index]
+        worker = outcome.get("worker")
+        if worker is not None:
+            self._pool_pids.add(worker)
+        # blocks cached before a failure (or by a speculation loser) stay
+        # cached, as on the thread backend where the driver store is
+        # written directly
+        self._adopt_blocks(outcome.get("blocks"))
+        if info.index in drive.completed:
+            return
+        metrics = self._task_metrics(task, info)
+        metrics.duration_s = outcome["duration_s"]
+        if outcome["ok"]:
+            for name in _TASK_COUNTERS:
+                setattr(metrics, name, outcome["counters"].get(name, 0))
+            map_output = outcome.get("map_output")
+            if map_output is not None and self._shuffle_manager is not None:
+                self._shuffle_manager.register_external_map_output(
+                    map_output["shuffle_id"], map_output["map_partition"],
+                    map_output["spans"], worker=worker)
+            if self._memory is not None:
+                # fold the driver-tracked residency (external spans
+                # registered so far) into the worker-observed peak,
+                # mirroring the write-time samples the thread backend's
+                # tasks take while buckets accumulate
+                metrics.peak_shuffle_bytes = max(
+                    metrics.peak_shuffle_bytes, self._memory.used_bytes)
+            drive.stage.add_task(metrics)
+            if info.speculative:
+                drive.stage.speculative_wins += 1
+            if self._health is not None and worker is not None:
+                self._health.record_success(worker)
+            drive.durations.append(metrics.duration_s)
+            drive.completed[info.index] = TaskResult(task, outcome["value"],
+                                                     metrics)
+            return
+        metrics.failed = True
+        drive.stage.add_task(metrics)
+        kind, message, trace = outcome["error"]
+        fetch_failed = outcome.get("fetch_failed")
+        if fetch_failed is not None:
+            # same rule as the thread backend: a lost map output will not
+            # heal on a task retry, so hand it straight to the scheduler
+            # for lineage recomputation.  The *producer* of the damaged
+            # span takes the health strike, not this reader — the
+            # scheduler knows who that is.
+            raise FetchFailedError(message,
+                                   shuffle_id=fetch_failed[0],
+                                   map_partition=fetch_failed[1])
+        if self._health is not None and worker is not None:
+            self._health.record_failure(worker, kind="task")
+        drive.failures[info.index] += 1
+        if drive.failures[info.index] > self.config.max_task_retries:
+            if drive.has_active(info.index):
+                return  # a speculative duplicate may still settle the task
+            raise TaskError(
+                f"task {task.task_id} failed after "
+                f"{drive.failures[info.index]} attempts: {message}",
+                task_id=task.task_id,
+                cause=RuntimeError(f"{kind} in worker process:\n{trace}"))
+        if not drive.has_active(info.index):
+            drive.submit(info.index)
+
+    def _enforce_deadlines(self, drive: "_StageDrive") -> None:
+        """Abandon attempts that overran ``task_timeout_s`` while running.
+
+        The deadline clock starts when the attempt begins *executing* (not
+        when it is queued behind a busy pool), so a deep stage on a small
+        pool never times out tasks that were merely waiting their turn.
+        An abandoned attempt keeps running in the worker, but its future
+        is dropped from the drive: the result is never consumed, its
+        map-output spans never register, its value is discarded.
+        """
+        timeout = self.config.task_timeout_s
+        if not timeout:
+            return
+        now = time.perf_counter()
+        for future, info in list(drive.active.items()):
+            if info.started is None or now - info.started <= timeout:
                 continue
-            metrics = TaskMetrics(task_id=task.task_id, stage_id=task.stage_id,
-                                  partition_index=task.partition,
-                                  attempt=attempt)
-            metrics.duration_s = outcome["duration_s"]
-            # blocks cached before a failure stay cached, as on the thread
-            # backend where the driver store is written directly
-            self._adopt_blocks(outcome.get("blocks"))
-            if outcome["ok"]:
-                for name in _TASK_COUNTERS:
-                    setattr(metrics, name, outcome["counters"][name])
-                map_output = outcome.get("map_output")
-                if map_output is not None and self._shuffle_manager is not None:
-                    self._shuffle_manager.register_external_map_output(
-                        map_output["shuffle_id"], map_output["map_partition"],
-                        map_output["spans"])
-                if self._memory is not None:
-                    # fold the driver-tracked residency (external spans
-                    # registered so far) into the worker-observed peak,
-                    # mirroring the write-time samples the thread backend's
-                    # tasks take while buckets accumulate
-                    metrics.peak_shuffle_bytes = max(
-                        metrics.peak_shuffle_bytes, self._memory.used_bytes)
-                stage.add_task(metrics)
-                return TaskResult(task, outcome["value"], metrics)
+            future.cancel()
+            del drive.active[future]
+            if info.index in drive.completed:
+                continue
+            task = drive.tasks[info.index]
+            metrics = self._task_metrics(task, info)
+            metrics.duration_s = timeout
             metrics.failed = True
-            stage.add_task(metrics)
-            kind, message, trace = outcome["error"]
-            fetch_failed = outcome.get("fetch_failed")
-            if fetch_failed is not None:
-                # same rule as the thread backend: a lost map output will
-                # not heal on a task retry, so hand it straight to the
-                # scheduler for lineage recomputation
-                raise FetchFailedError(message,
-                                       shuffle_id=fetch_failed[0],
-                                       map_partition=fetch_failed[1])
-            if attempt >= self.config.max_task_retries:
+            metrics.timed_out = True
+            drive.stage.add_task(metrics)
+            drive.failures[info.index] += 1
+            if drive.failures[info.index] > self.config.max_task_retries:
+                if drive.has_active(info.index):
+                    continue
                 raise TaskError(
-                    f"task {task.task_id} failed after "
-                    f"{self.config.max_task_retries + 1} attempts: {message}",
-                    task_id=task.task_id,
-                    cause=RuntimeError(f"{kind} in worker process:\n{trace}"))
-            attempts[index] = attempt + 1
-            future = pool.submit(worker_runtime.run_stage_task,
-                                 token, index, attempts[index])
+                    f"task {task.task_id} exceeded its {timeout}s deadline "
+                    f"on {drive.failures[info.index]} attempts",
+                    task_id=task.task_id)
+            if not drive.has_active(info.index):
+                drive.submit(info.index)
+
+    def _launch_speculations(self, drive: "_StageDrive") -> None:
+        """Duplicate stragglers once most of the stage has finished.
+
+        Armed only past the ``speculation_quantile`` completion mark so the
+        median runtime is a meaningful baseline; an attempt running longer
+        than ``speculation_multiplier``× that median (floored at
+        ``_SPECULATION_MIN_S``) gets one duplicate per pool generation,
+        submitted with a fresh attempt number.  First result wins.
+        """
+        multiplier = self.config.speculation_multiplier
+        total = len(drive.tasks)
+        if multiplier <= 0 or total <= 1 or not drive.durations:
+            return
+        needed = max(1, math.ceil(total * self.config.speculation_quantile))
+        if len(drive.completed) < needed:
+            return
+        threshold = max(multiplier * statistics.median(drive.durations),
+                        _SPECULATION_MIN_S)
+        now = time.perf_counter()
+        for future, info in list(drive.active.items()):
+            if info.speculative or info.index in drive.speculated:
+                continue
+            if info.index in drive.completed:
+                continue
+            if info.started is None or now - info.started <= threshold:
+                continue
+            drive.speculated.add(info.index)
+            drive.submit(info.index, speculative=True)
+            drive.stage.speculative_launches += 1
 
     def execute_stage(self, tasks: Sequence[Task],
                       stage: StageMetrics) -> List[TaskResult]:
         """Run every task of a stage on the worker pool; results in task order.
 
-        Results are settled in submission order on the driver thread (no
-        metrics lock needed), retries are resubmitted against the published
-        payload, and the payload file is discarded when the stage settles.
+        The driver settles attempts as they finish (``FIRST_COMPLETED``
+        waits), resubmits retries against the published payload, enforces
+        running-time deadlines, launches speculative duplicates for
+        stragglers, and discards the payload file when the stage settles.
 
         A worker that dies hard (injected crash, OOM kill) breaks the whole
         :class:`ProcessPoolExecutor`; rather than failing the job the stage
@@ -510,29 +617,25 @@ class ProcessExecutor:
         if not tasks:
             stage.wall_clock_s = time.perf_counter() - started
             return []
-        from . import worker as worker_runtime
+        if self._health is not None:
+            self._health.check_heartbeats()
+            self._recycle_blacklisted_pool()
         token = self._publish_stage(tasks)
+        drive = _StageDrive(self, tasks, stage, token)
         try:
-            completed: Dict[int, TaskResult] = {}
-            attempts = [0] * len(tasks)
             pool_crashes = 0
-            while len(completed) < len(tasks):
-                pool = self._get_pool()
-                pending = [index for index in range(len(tasks))
-                           if index not in completed]
-                futures: Dict[int, Any] = {}
+            while len(drive.completed) < len(tasks):
+                drive.pool = self._get_pool()
+                drive.active.clear()
+                drive.speculated.clear()
                 try:
                     # submits stay inside the handler's reach: a crash in a
                     # *previous* stage attempt can leave the shared pool
                     # broken, surfacing only when the next submit is made
-                    for index in pending:
-                        futures[index] = pool.submit(
-                            worker_runtime.run_stage_task,
-                            token, index, attempts[index])
-                    for index in pending:
-                        completed[index] = self._settle_task(
-                            pool, token, tasks[index], index, futures[index],
-                            stage, attempts)
+                    for index in range(len(tasks)):
+                        if index not in drive.completed:
+                            drive.submit(index)
+                    self._drive(drive)
                 except BrokenProcessPool:
                     # every unfinished future of the dead pool is lost;
                     # tasks settled before the crash keep their results and
@@ -541,23 +644,102 @@ class ProcessExecutor:
                     pool_crashes += 1
                     if pool_crashes > self.config.max_stage_retries:
                         raise
-                    for index in range(len(tasks)):
-                        if index not in completed:
-                            attempts[index] += 1
+                    # resubmission draws from the monotonic next_attempt
+                    # counters, so the respawned generation re-runs every
+                    # unfinished task on a fresh attempt number and fresh
+                    # seeded fault decisions
                     stage.retries += 1
                 except BaseException:
-                    for future in futures.values():
+                    for future in drive.active:
                         future.cancel()
-                    wait(list(futures.values()))
+                    wait(list(drive.active))
                     raise
         finally:
             self._transport.discard_stage(token)
             stage.wall_clock_s = time.perf_counter() - started
-        return [completed[index] for index in range(len(tasks))]
+        return [drive.completed[index] for index in range(len(tasks))]
+
+    def _drive(self, drive: "_StageDrive") -> None:
+        """Settle the stage's in-flight attempts until every task completes."""
+        poll = None
+        if (self.config.task_timeout_s
+                or self.config.speculation_multiplier > 0
+                or (self._health is not None and self._health.watches_beats)):
+            poll = _POLL_S
+        while len(drive.completed) < len(drive.tasks):
+            done, _ = wait(list(drive.active), timeout=poll,
+                           return_when=FIRST_COMPLETED)
+            for future in done:
+                info = drive.active.pop(future)
+                # a dead pool surfaces here as BrokenProcessPool and is
+                # handled one frame up; anything else is a driver bug
+                self._settle_attempt(future.result(), info, drive)
+            # the deadline/speculation clock starts when an attempt begins
+            # *executing*, not when it is queued behind a busy pool
+            now = time.perf_counter()
+            for future, info in drive.active.items():
+                if info.started is None and future.running():
+                    info.started = now
+            self._enforce_deadlines(drive)
+            self._launch_speculations(drive)
+            if self._health is not None:
+                self._health.check_heartbeats()
+
+
+class _Attempt:
+    """Driver-side record of one in-flight task attempt."""
+
+    __slots__ = ("index", "attempt", "speculative", "started")
+
+    def __init__(self, index: int, attempt: int, speculative: bool):
+        self.index = index
+        self.attempt = attempt
+        self.speculative = speculative
+        #: ``perf_counter`` stamp of the first poll that saw the future
+        #: running; ``None`` while queued (deadlines and speculation only
+        #: measure execution time, never queue time).
+        self.started: Optional[float] = None
+
+
+class _StageDrive:
+    """Mutable state of one stage execution on the process backend."""
+
+    def __init__(self, executor: "ProcessExecutor", tasks: Sequence[Task],
+                 stage: StageMetrics, token: str):
+        self.tasks = tasks
+        self.stage = stage
+        self.token = token
+        self.pool: Optional[ProcessPoolExecutor] = None
+        self.completed: Dict[int, TaskResult] = {}
+        self.active: Dict[Any, _Attempt] = {}
+        #: Failed attempts per task index (the retry budget's ledger).
+        self.failures: List[int] = [0] * len(tasks)
+        #: Next attempt number per task index — monotonic so every
+        #: resubmission (retry, crash respawn, speculation) draws fresh
+        #: seeded fault decisions.
+        self.next_attempt: List[int] = [0] * len(tasks)
+        #: Task indices already speculated in the current pool generation.
+        self.speculated: set = set()
+        #: Durations of successful attempts (median feeds speculation).
+        self.durations: List[float] = []
+
+    def has_active(self, index: int) -> bool:
+        """Is any attempt of task ``index`` still in flight?"""
+        return any(info.index == index for info in self.active.values())
+
+    def submit(self, index: int, speculative: bool = False) -> None:
+        """Submit the next attempt of task ``index`` to the current pool."""
+        from . import worker as worker_runtime
+        attempt = self.next_attempt[index]
+        self.next_attempt[index] = attempt + 1
+        future = self.pool.submit(worker_runtime.run_stage_task,
+                                  self.token, index, attempt)
+        self.active[future] = _Attempt(index, attempt, speculative)
 
 
 def create_executor(config: EngineConfig, shuffle_manager=None,
-                    block_store=None, memory_manager=None, transport=None):
+                    block_store=None, memory_manager=None, transport=None,
+                    health_tracker=None):
     """Build the executor ``config.executor_backend`` selects.
 
     The thread backend ignores the collaborator arguments — it shares the
@@ -567,5 +749,6 @@ def create_executor(config: EngineConfig, shuffle_manager=None,
         return ProcessExecutor(config, shuffle_manager=shuffle_manager,
                                block_store=block_store,
                                memory_manager=memory_manager,
-                               transport=transport)
+                               transport=transport,
+                               health_tracker=health_tracker)
     return Executor(config)

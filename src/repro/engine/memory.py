@@ -271,6 +271,22 @@ def load_frames(path: str, offset: int, length: int) -> List[Any]:
     return records
 
 
+def load_frames_bytes(payload: bytes, label: str = "<fetched>") -> List[Any]:
+    """Load a framed payload already held in memory (a TCP-fetched span).
+
+    The networked shuffle's fetch client verifies every frame of a fetched
+    span through this path — the very CRC/structure checks on-disk reads
+    run — so a payload damaged on the wire is caught before a single
+    record reaches the reduce side.  ``label`` names the payload's origin
+    in :class:`~repro.errors.ShuffleCorruptionError` diagnostics.
+    """
+    records: List[Any] = []
+    for batch in _iter_frame_stream(io.BytesIO(payload), 0, len(payload),
+                                    label):
+        records.extend(batch)
+    return records
+
+
 def iter_frames(path: str, offset: int, length: int) -> Iterator[List[Any]]:
     """Stream a framed payload back one batch at a time, verifying CRCs.
 
@@ -290,42 +306,48 @@ def iter_frames(path: str, offset: int, length: int) -> Iterator[List[Any]]:
             f"framed payload {path!r} is unreadable: {error}",
             path=path, offset=offset) from error
     with handle:
-        handle.seek(offset)
-        end = offset + length
-        while handle.tell() < end:
-            frame_offset = handle.tell()
+        yield from _iter_frame_stream(handle, offset, length, path)
 
-            def corrupt(reason: str, cause: Exception = None):
-                error = ShuffleCorruptionError(
-                    f"corrupt frame in {path!r} at offset {frame_offset}: "
-                    f"{reason}", path=path, offset=frame_offset)
-                raise error from cause
 
-            header = handle.read(_FRAME_HEADER.size)
-            if len(header) < _FRAME_HEADER.size:
-                corrupt("truncated frame header")
-            flagged_codec, size = _FRAME_HEADER.unpack(header)
-            codec = flagged_codec & ~CRC_FLAG
-            if codec not in _CODEC_NAMES:
-                corrupt(f"unknown codec byte {flagged_codec:#x}")
-            expected_crc = None
-            if flagged_codec & CRC_FLAG:
-                trailer = handle.read(_FRAME_CRC.size)
-                if len(trailer) < _FRAME_CRC.size:
-                    corrupt("truncated frame checksum")
-                (expected_crc,) = _FRAME_CRC.unpack(trailer)
-            payload = handle.read(size)
-            if len(payload) < size:
-                corrupt(f"payload truncated to {len(payload)} of {size} bytes")
-            if expected_crc is not None and zlib.crc32(payload) != expected_crc:
-                corrupt(f"CRC32 mismatch over {size} payload bytes")
-            try:
-                batch = pickle.loads(decode_payload(payload, codec))
-            except Exception as error:  # noqa: BLE001 - legacy frame rot
-                # only reachable for un-checksummed legacy frames (a CRC
-                # match guarantees the payload decodes as written)
-                corrupt(f"payload failed to decode: {error}", error)
-            yield batch
+def _iter_frame_stream(handle: BinaryIO, offset: int, length: int,
+                       label: str) -> Iterator[List[Any]]:
+    """Frame-decoding core shared by file and in-memory payload readers."""
+    handle.seek(offset)
+    end = offset + length
+    while handle.tell() < end:
+        frame_offset = handle.tell()
+
+        def corrupt(reason: str, cause: Exception = None):
+            error = ShuffleCorruptionError(
+                f"corrupt frame in {label!r} at offset {frame_offset}: "
+                f"{reason}", path=label, offset=frame_offset)
+            raise error from cause
+
+        header = handle.read(_FRAME_HEADER.size)
+        if len(header) < _FRAME_HEADER.size:
+            corrupt("truncated frame header")
+        flagged_codec, size = _FRAME_HEADER.unpack(header)
+        codec = flagged_codec & ~CRC_FLAG
+        if codec not in _CODEC_NAMES:
+            corrupt(f"unknown codec byte {flagged_codec:#x}")
+        expected_crc = None
+        if flagged_codec & CRC_FLAG:
+            trailer = handle.read(_FRAME_CRC.size)
+            if len(trailer) < _FRAME_CRC.size:
+                corrupt("truncated frame checksum")
+            (expected_crc,) = _FRAME_CRC.unpack(trailer)
+        payload = handle.read(size)
+        if len(payload) < size:
+            corrupt(f"payload truncated to {len(payload)} of {size} bytes")
+        if expected_crc is not None and zlib.crc32(payload) != expected_crc:
+            corrupt(f"CRC32 mismatch over {size} payload bytes")
+        try:
+            batch = pickle.loads(decode_payload(payload, codec))
+        except Exception as error:  # noqa: BLE001 - legacy frame rot
+            # only reachable for un-checksummed legacy frames (a CRC
+            # match guarantees the payload decodes as written)
+            corrupt(f"payload failed to decode: {error}", error)
+        yield batch
 
 
 class SpillRun:

@@ -38,11 +38,18 @@ class TaskMetrics:
     #: High-water mark of tracked shuffle residency (resident buckets plus
     #: merge partials, estimated bytes) observed while the task ran.
     peak_shuffle_bytes: int = 0
+    #: Networked-shuffle fetches this task retried (socket failures,
+    #: dropped responses, wire-corrupt frames) before succeeding; 0 on the
+    #: local transport.
+    fetch_retries: int = 0
     failed: bool = False
     #: True when this (failed) attempt was abandoned because it overran the
     #: driver-side ``task_timeout_s`` deadline; its late result, if any, was
     #: discarded.
     timed_out: bool = False
+    #: True when this attempt was a speculative duplicate of a straggler
+    #: (launched after the stage crossed ``speculation_quantile``).
+    speculative: bool = False
 
     def as_dict(self) -> Dict[str, float]:
         """Return a plain dictionary view useful for reports."""
@@ -61,8 +68,10 @@ class TaskMetrics:
             "spills": self.spills,
             "spill_bytes": self.spill_bytes,
             "peak_shuffle_bytes": self.peak_shuffle_bytes,
+            "fetch_retries": self.fetch_retries,
             "failed": self.failed,
             "timed_out": self.timed_out,
+            "speculative": self.speculative,
         }
 
 
@@ -94,6 +103,14 @@ class StageMetrics:
     #: Whole-stage re-executions: executor-level pool crashes that forced a
     #: resubmission of the stage's unfinished tasks.
     retries: int = 0
+    #: Networked-shuffle fetch retries across the stage's tasks (plus
+    #: driver-side fetches drained into the stage by the scheduler).
+    fetch_retries: int = 0
+    #: Speculative duplicates launched for stragglers of this stage, and
+    #: the ones that finished before the original attempt (first-result
+    #: wins; the loser's output is discarded).
+    speculative_launches: int = 0
+    speculative_wins: int = 0
     tasks: List[TaskMetrics] = field(default_factory=list)
 
     def add_task(self, task: TaskMetrics) -> None:
@@ -113,6 +130,7 @@ class StageMetrics:
         self.batches_processed += task.batches_processed
         self.spills += task.spills
         self.spill_bytes += task.spill_bytes
+        self.fetch_retries += task.fetch_retries
         if task.peak_shuffle_bytes > self.peak_shuffle_bytes:
             self.peak_shuffle_bytes = task.peak_shuffle_bytes
 
@@ -143,6 +161,9 @@ class StageMetrics:
             "peak_shuffle_bytes": self.peak_shuffle_bytes,
             "timed_out_tasks": self.timed_out_tasks,
             "retries": self.retries,
+            "fetch_retries": self.fetch_retries,
+            "speculative_launches": self.speculative_launches,
+            "speculative_wins": self.speculative_wins,
         }
 
 
@@ -173,6 +194,10 @@ class JobMetrics:
     #: Map outputs invalidated after a reduce-side fetch failure (missing
     #: or corrupt shuffle spans).
     lost_map_outputs: int = 0
+    #: Workers the :class:`~repro.engine.scheduler.NodeHealthTracker`
+    #: blacklisted during this job (missed heartbeats or repeated
+    #: fetch/task failures); their map outputs were proactively recomputed.
+    blacklisted_workers: int = 0
 
     def add_stage(self, stage: StageMetrics) -> None:
         """Attach a completed stage to the job."""
@@ -256,6 +281,21 @@ class JobMetrics:
         """Task attempts abandoned at the ``task_timeout_s`` deadline."""
         return sum(s.timed_out_tasks for s in self.stages)
 
+    @property
+    def fetch_retries(self) -> int:
+        """Networked-shuffle fetches retried before succeeding."""
+        return sum(s.fetch_retries for s in self.stages)
+
+    @property
+    def speculative_launches(self) -> int:
+        """Speculative straggler duplicates launched across all stages."""
+        return sum(s.speculative_launches for s in self.stages)
+
+    @property
+    def speculative_wins(self) -> int:
+        """Speculative duplicates that beat the original attempt."""
+        return sum(s.speculative_wins for s in self.stages)
+
     def as_dict(self) -> Dict[str, float]:
         """Return a flat dictionary summary, the unit of run comparison."""
         return {
@@ -281,6 +321,10 @@ class JobMetrics:
             "recomputed_tasks": self.recomputed_tasks,
             "lost_map_outputs": self.lost_map_outputs,
             "timed_out_tasks": self.timed_out_tasks,
+            "fetch_retries": self.fetch_retries,
+            "speculative_launches": self.speculative_launches,
+            "speculative_wins": self.speculative_wins,
+            "blacklisted_workers": self.blacklisted_workers,
         }
 
 
@@ -314,6 +358,10 @@ def merge_job_metrics(jobs: Iterable[JobMetrics]) -> Dict[str, float]:
         "recomputed_tasks": sum(j.recomputed_tasks for j in jobs),
         "lost_map_outputs": sum(j.lost_map_outputs for j in jobs),
         "timed_out_tasks": sum(j.timed_out_tasks for j in jobs),
+        "fetch_retries": sum(j.fetch_retries for j in jobs),
+        "speculative_launches": sum(j.speculative_launches for j in jobs),
+        "speculative_wins": sum(j.speculative_wins for j in jobs),
+        "blacklisted_workers": sum(j.blacklisted_workers for j in jobs),
     }
     return summary
 

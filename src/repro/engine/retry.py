@@ -1,0 +1,95 @@
+"""Shared seeded retry policy: bounded attempts, exponential backoff, jitter.
+
+One policy object serves both retry loops the engine runs:
+
+* the TCP shuffle fetch client retries transient network failures
+  (connection errors, dropped responses, per-frame CRC mismatches) with a
+  real backoff before escalating to stage-level recovery;
+* the :class:`~repro.engine.scheduler.DAGScheduler` bounds its
+  fetch-failure/lineage-recompute loop with the same policy (no backoff —
+  the recompute itself is the wait), replacing the ad-hoc
+  ``max_stage_retries`` counting earlier revisions inlined.
+
+Jitter is *deterministic*: drawn from a seeded RNG keyed on ``(seed, retry
+key, attempt)``, so identical runs sleep identical delays and tests can
+assert exact schedules.  Decorrelation across callers comes from the key —
+every fetch passes its own coordinates — not from wall-clock entropy.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with seeded exponential backoff.
+
+    ``max_retries`` counts *re*-tries: ``run`` makes up to
+    ``max_retries + 1`` attempts.  Retry ``n`` (0-based) sleeps
+    ``backoff_s * multiplier**n``, capped at ``max_backoff_s`` and scaled
+    by a deterministic jitter factor in ``[1 - jitter, 1 + jitter]``.
+    ``backoff_s == 0`` retries immediately (the scheduler's stage loop).
+    """
+
+    max_retries: int = 3
+    backoff_s: float = 0.0
+    multiplier: float = 2.0
+    max_backoff_s: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.backoff_s < 0:
+            raise ConfigurationError("backoff_s must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+        if self.max_backoff_s < 0:
+            raise ConfigurationError("max_backoff_s must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0, 1]")
+
+    def delay_s(self, attempt: int, key: str = "") -> float:
+        """Seeded backoff delay before retry ``attempt`` (0-based)."""
+        if self.backoff_s <= 0:
+            return 0.0
+        delay = min(self.backoff_s * (self.multiplier ** attempt),
+                    self.max_backoff_s)
+        if self.jitter > 0:
+            rng = random.Random(f"{self.seed}:retry:{key}:{attempt}")
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
+
+    def run(self, fn: Callable[[int], object], key: str = "",
+            retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+            on_retry: Optional[Callable[[int, BaseException], None]] = None,
+            sleep: Callable[[float], None] = time.sleep):
+        """Call ``fn(attempt)`` until it succeeds or the budget is spent.
+
+        Only exceptions in ``retry_on`` are retried; anything else — and
+        the last ``retry_on`` error once ``max_retries`` is exhausted —
+        propagates to the caller.  ``on_retry(attempt, error)`` runs before
+        each backoff sleep (fetch clients count retries there; the
+        scheduler recomputes lost lineage there — an exception it raises
+        aborts the loop immediately, which is exactly what an unrecoverable
+        loss should do).
+        """
+        for attempt in range(self.max_retries + 1):
+            try:
+                return fn(attempt)
+            except retry_on as error:
+                if attempt >= self.max_retries:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                delay = self.delay_s(attempt, key)
+                if delay > 0:
+                    sleep(delay)
+        raise AssertionError("unreachable: the loop returns or raises")

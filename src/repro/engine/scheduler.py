@@ -22,6 +22,9 @@ expensive stages it can cancel.
 from __future__ import annotations
 
 import itertools
+import os
+import threading
+import time
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..config import EngineConfig
@@ -31,6 +34,7 @@ from .dataset import (BroadcastDependency, CoGroupedDataset, Dataset,
                       TaskContext)
 from .executor import Task, create_executor
 from .metrics import JobMetrics, StageMetrics
+from .retry import RetryPolicy
 
 #: Upper bound on accepted adaptive re-plans per job; a backstop against a
 #: (buggy) replanner oscillating between plan shapes forever.
@@ -42,6 +46,116 @@ _MAX_ADAPTIVE_REPLANS = 20
 #: re-collecting if an old build side resurfaces (same discipline as the
 #: lowered-plan memo).
 _BROADCAST_BUILDS_LIMIT = 64
+
+
+class NodeHealthTracker:
+    """Driver-side ledger of worker health: strikes, beats, blacklist.
+
+    Two signals feed it.  *Failure strikes*: the executor reports each
+    worker-attributed task failure (and the scheduler each fetch failure,
+    against the span's producer); ``blacklist_failure_threshold``
+    consecutive strikes — a success resets the count — blacklist the
+    worker.  *Heartbeats*: pool workers touch a per-pid file every
+    ``heartbeat_interval_s``; a file stale beyond ``heartbeat_timeout_s``
+    blacklists its worker directly (the timeout already encodes several
+    missed beats).  Blacklisted workers are removed from scheduling (the
+    executor recycles its pool) and their map outputs are proactively
+    invalidated and recomputed by the scheduler, which drains
+    :meth:`drain_new` between stages.  All methods are thread-safe.
+    """
+
+    def __init__(self, failure_threshold: int = 0,
+                 heartbeat_timeout_s: float = 0.0,
+                 heartbeat_dir: Optional[Callable[[], str]] = None,
+                 clock: Callable[[], float] = time.time):
+        self.failure_threshold = failure_threshold
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self._heartbeat_dir = heartbeat_dir
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._strikes: Dict[Any, int] = {}
+        self._blacklist: set = set()
+        self._new: List[Any] = []
+
+    @property
+    def strikes_enabled(self) -> bool:
+        """True when repeated failures can blacklist a worker."""
+        return self.failure_threshold > 0
+
+    @property
+    def watches_beats(self) -> bool:
+        """True when heartbeat staleness is being monitored."""
+        return self.heartbeat_timeout_s > 0 and self._heartbeat_dir is not None
+
+    def _add_to_blacklist(self, worker: Any) -> bool:
+        """Blacklist ``worker`` (lock held); True if newly added."""
+        if worker in self._blacklist:
+            return False
+        self._blacklist.add(worker)
+        self._new.append(worker)
+        self._strikes.pop(worker, None)
+        return True
+
+    def record_failure(self, worker: Any, kind: str = "task") -> bool:
+        """Count one failure against ``worker``; True if it got blacklisted.
+
+        ``kind`` ("task" or "fetch") is informational — both feed the same
+        consecutive-strike count, per the issue's "repeated fetch/task
+        failures" rule.
+        """
+        if not self.strikes_enabled or worker is None:
+            return False
+        with self._lock:
+            if worker in self._blacklist:
+                return False
+            self._strikes[worker] = self._strikes.get(worker, 0) + 1
+            if self._strikes[worker] >= self.failure_threshold:
+                return self._add_to_blacklist(worker)
+        return False
+
+    def record_success(self, worker: Any) -> None:
+        """A completed task resets the worker's consecutive-failure count."""
+        with self._lock:
+            self._strikes.pop(worker, None)
+
+    def is_blacklisted(self, worker: Any) -> bool:
+        with self._lock:
+            return worker in self._blacklist
+
+    @property
+    def blacklisted(self) -> set:
+        """Snapshot of every blacklisted worker identity."""
+        with self._lock:
+            return set(self._blacklist)
+
+    def drain_new(self) -> List[Any]:
+        """Workers blacklisted since the last drain (scheduler absorbs them)."""
+        with self._lock:
+            new, self._new = self._new, []
+            return new
+
+    def check_heartbeats(self) -> List[Any]:
+        """Blacklist workers whose beat file went stale; returns them."""
+        if not self.watches_beats:
+            return []
+        try:
+            entries = list(os.scandir(self._heartbeat_dir()))
+        except OSError:
+            return []
+        now = self._clock()
+        stale: List[Any] = []
+        for entry in entries:
+            try:
+                pid = int(entry.name)
+                mtime = entry.stat().st_mtime
+            except (ValueError, OSError):
+                continue
+            if now - mtime <= self.heartbeat_timeout_s:
+                continue
+            with self._lock:
+                if self._add_to_blacklist(pid):
+                    stale.append(pid)
+        return stale
 
 
 def _counted_batches(batches: Iterator[List[Any]],
@@ -158,13 +272,35 @@ class DAGScheduler:
         #: against the same build side skip the nested collection job.
         self.broadcast_builds = broadcast_builds if broadcast_builds is not None \
             else {}
+        #: Worker health ledger; only the process backend has workers whose
+        #: identity (a pid) outlives a task, so only it gets a tracker —
+        #: and only when a health knob is actually on.  Heartbeat watching
+        #: additionally needs a shared transport for the beat files.
+        self.health: Optional[NodeHealthTracker] = None
+        if config.executor_backend == "process" and \
+                (config.blacklist_failure_threshold > 0
+                 or config.heartbeat_interval_s > 0):
+            timeout = config.heartbeat_timeout_s or \
+                4 * config.heartbeat_interval_s
+            self.health = NodeHealthTracker(
+                failure_threshold=config.blacklist_failure_threshold,
+                heartbeat_timeout_s=(timeout if config.heartbeat_interval_s > 0
+                                     and transport is not None else 0.0),
+                heartbeat_dir=(transport.heartbeat_dir
+                               if transport is not None else None))
+        #: Shared retry policy bounding the fetch-failure/lineage-recompute
+        #: loop; no backoff — the recompute itself is the wait.
+        self.stage_retry_policy = RetryPolicy(
+            max_retries=config.max_stage_retries, backoff_s=0.0,
+            seed=config.seed)
         #: Thread or process executor per ``config.executor_backend``; the
         #: process backend needs the scheduler's collaborators to publish
         #: payloads and settle worker results on the driver side.
         self.executor = create_executor(config, shuffle_manager=shuffle_manager,
                                         block_store=block_store,
                                         memory_manager=memory_manager,
-                                        transport=transport)
+                                        transport=transport,
+                                        health_tracker=self.health)
         self._job_counter = itertools.count()
         self._stage_counter = itertools.count()
 
@@ -259,26 +395,67 @@ class DAGScheduler:
         killed by any other error follow ``register_failed``, which
         preserves each call site's historical accounting (failed result and
         skew stages are registered, failed map stages are not).
+
+        The loop itself is the shared :class:`~repro.engine.retry.RetryPolicy`
+        (``max_stage_retries`` attempts, no backoff): recovery — absorbing
+        any newly blacklisted workers, then recomputing the lost output —
+        runs in the policy's ``on_retry`` hook, so an unrecoverable loss
+        (unreachable lineage) aborts the loop by raising out of the hook.
         """
-        retries = 0
-        while True:
+
+        def attempt_stage(attempt: int) -> List[Any]:
             stage, tasks = build()
             try:
                 results = self.executor.execute_stage(tasks, stage)
-            except FetchFailedError as error:
+            except FetchFailedError:
+                stage.fetch_retries += self.shuffle_manager.drain_fetch_retries()
                 job.add_stage(stage)
-                if retries >= self.config.max_stage_retries:
-                    raise
-                retries += 1
-                job.stage_retries += 1
-                self._recover_lost_output(job, lineage, error)
-                continue
+                raise
             except BaseException:
                 if register_failed:
                     job.add_stage(stage)
                 raise
+            # driver-side retried reads (local spill re-reads, thread-backend
+            # TCP fetches) surface at stage granularity; worker-side ones
+            # already arrived inside the task counters
+            stage.fetch_retries += self.shuffle_manager.drain_fetch_retries()
             job.add_stage(stage)
+            self._absorb_health(job, lineage)
             return results
+
+        def recover(attempt: int, error: BaseException) -> None:
+            job.stage_retries += 1
+            self._absorb_health(job, lineage)
+            self._recover_lost_output(job, lineage, error)
+
+        return self.stage_retry_policy.run(
+            attempt_stage, retry_on=(FetchFailedError,), on_retry=recover)
+
+    def _absorb_health(self, job: JobMetrics, lineage: Dataset) -> None:
+        """Fold newly blacklisted workers into the job and heal their output.
+
+        Every map output a blacklisted worker produced is invalidated
+        (suspect bytes must not be read again) and — when the owning
+        shuffle is reachable from the current lineage — recomputed
+        immediately, so the next stage never trips over a half-invalidated
+        shuffle.  Shuffles outside this lineage simply turn incomplete and
+        heal lazily when a later job's prerequisite walk re-runs their
+        missing partitions.
+        """
+        if self.health is None:
+            return
+        for worker in self.health.drain_new():
+            job.blacklisted_workers += 1
+            lost = self.shuffle_manager.invalidate_worker_outputs(worker)
+            job.lost_map_outputs += len(lost)
+            for shuffle_id in sorted({sid for sid, _ in lost}):
+                dependency = self._find_shuffle_dependency(lineage, shuffle_id)
+                if dependency is None:
+                    continue
+                missing = self.shuffle_manager.missing_map_partitions(
+                    shuffle_id)
+                job.recomputed_tasks += len(missing)
+                self._run_shuffle_stage(dependency, job, recompute=True)
 
     def _find_shuffle_dependency(self, lineage: Dataset,
                                  shuffle_id: int) -> Optional[ShuffleDependency]:
@@ -315,6 +492,13 @@ class DAGScheduler:
             # the lost shuffle is not reachable from this lineage (stale
             # context state); nothing to recompute from
             raise error
+        if self.health is not None:
+            # the *producer* of the unreadable span takes the health strike
+            # — repeated fetch failures against one worker's output are how
+            # a node serving rotten bytes gets blacklisted
+            producer = self.shuffle_manager.producer_of(error.shuffle_id,
+                                                        error.map_partition)
+            self.health.record_failure(producer, kind="fetch")
         self.shuffle_manager.invalidate_map_output(error.shuffle_id,
                                                    error.map_partition)
         job.lost_map_outputs += 1

@@ -153,6 +153,15 @@ class ShuffleManager:
                              Tuple[str, int, int, int]] = {}
         #: Estimated bytes of all external buckets.
         self._external_bytes = 0
+        #: ``(shuffle_id, map_partition)`` -> producer identity (worker pid
+        #: or ``"driver"``) of externally registered map output; health
+        #: tracking uses it to blame fetch failures on the producer and to
+        #: invalidate a blacklisted worker's outputs wholesale.
+        self._producers: Dict[Tuple[int, int], Any] = {}
+        #: Local re-reads of spilled spans that healed a transient
+        #: corruption read (drained into stage metrics alongside the
+        #: transport's network fetch retries).
+        self._fetch_retries = 0
 
     # -- memory accounting -----------------------------------------------------
 
@@ -230,6 +239,12 @@ class ShuffleManager:
         with self._lock:
             if shuffle_id not in self._expected_maps:
                 raise ShuffleError(f"shuffle {shuffle_id} was never registered")
+        if self.transport is not None and self.transport.networked:
+            # networked shuffle: even driver-side (thread backend) map
+            # output goes through transport frame files, so reduce reads
+            # cross the wire and the whole retry/CRC ladder is exercised
+            return self._write_networked_map_output(shuffle_id, map_partition,
+                                                    buckets, task_context)
         staged: List[Tuple[Tuple[int, int, int], List[Any], int]] = []
         written = 0
         records_out = 0
@@ -333,9 +348,46 @@ class ShuffleManager:
                 task_context.spill_bytes += length
         self._sync_memory()
 
+    def _write_networked_map_output(self, shuffle_id: int, map_partition: int,
+                                    buckets: Dict[int, List[Any]],
+                                    task_context=None) -> int:
+        """Frame one map task's buckets to transport files and register them.
+
+        The networked twin of the resident write path: buckets are framed
+        (with the same measured byte estimates), optionally damaged by the
+        seeded corruption injector — keyed by a monotonic sequence so a
+        recomputed bucket draws a fresh decision — and registered as
+        external spans that every reader fetches over TCP.
+        """
+        writer = self.transport.map_output_writer(shuffle_id, map_partition)
+        spans: Dict[int, Tuple[str, int, int, int, int]] = {}
+        try:
+            for reduce_partition, records in buckets.items():
+                copied = list(records)
+                size = estimate_bytes(copied, self.compression, self.codec)
+                payload = dump_frames(copied, self.codec)
+                with self._lock:
+                    self._spill_seq += 1
+                    seq = self._spill_seq
+                if should_corrupt(self._seed, self._corruption_rate,
+                                  f"transport:{seq}"):
+                    payload = corrupt_payload(payload, self._seed,
+                                              f"transport:{seq}")
+                offset, length = writer.append(payload)
+                spans[reduce_partition] = \
+                    (writer.path, offset, length, len(copied), size)
+        finally:
+            writer.close()
+        written = self.register_external_map_output(shuffle_id, map_partition,
+                                                    spans, worker="driver")
+        if task_context is not None and self.memory is not None:
+            task_context.note_peak(self.memory.used_bytes)
+        return written
+
     def register_external_map_output(
             self, shuffle_id: int, map_partition: int,
-            spans: Dict[int, Tuple[str, int, int, int, int]]) -> int:
+            spans: Dict[int, Tuple[str, int, int, int, int]],
+            worker: Any = None) -> int:
         """Adopt map output a worker process wrote as transport frame files.
 
         ``spans`` maps each reduce partition to the ``(path, offset,
@@ -379,6 +431,8 @@ class ShuffleManager:
                 written += size
                 records_out += count
             self._completed_maps[shuffle_id].add(map_partition)
+            if worker is not None:
+                self._producers[(shuffle_id, map_partition)] = worker
             self._bytes_written[shuffle_id] += written - stale_bytes
             self._records_written[shuffle_id] += records_out - stale_records
             self._sync_memory()
@@ -453,10 +507,12 @@ class ShuffleManager:
         spilled buckets the ``(path, offset, length)`` span of their framed
         payload; either way the size is the write-side estimate.  Each ref
         carries the map partition it came from so read-side integrity
-        failures can name the exact lost output.
+        failures can name the exact lost output, plus a flag marking
+        locally *spilled* spans — those never cross the transport and get
+        the cheap in-place re-read on corruption.
         """
         refs: List[Tuple[int, Optional[List[Any]],
-                         Optional[Tuple[str, int, int]], int]] = []
+                         Optional[Tuple[str, int, int]], int, bool]] = []
         for map_partition in sorted(self._completed_maps[shuffle_id]):
             if map_range is not None and \
                     not map_range[0] <= map_partition < map_range[1]:
@@ -465,37 +521,86 @@ class ShuffleManager:
             size = self._bucket_bytes.get(key, 0)
             bucket = self._buckets.get(key)
             if bucket:
-                refs.append((map_partition, bucket, None, size))
+                refs.append((map_partition, bucket, None, size, False))
                 continue
             span = self._spilled.get(key)
             if span is not None:
                 spill_file = self._spill_files[shuffle_id]
-                refs.append((map_partition,
-                             None, (spill_file.path, span[0], span[1]), size))
+                refs.append((map_partition, None,
+                             (spill_file.path, span[0], span[1]), size, True))
                 continue
             external = self._external.get(key)
             if external is not None and external[3] > 0:
                 refs.append((map_partition, None,
-                             (external[0], external[1], external[2]), size))
+                             (external[0], external[1], external[2]),
+                             size, False))
         return refs
 
     def _load_span(self, shuffle_id: int, map_partition: int,
-                   span: Tuple[str, int, int]) -> List[Any]:
+                   span: Tuple[str, int, int],
+                   spilled: bool = False) -> List[Any]:
         """Load one framed bucket span, converting damage to a fetch failure.
 
-        A corrupt (or vanished) span means one map partition's output is
-        lost; :class:`FetchFailedError` names it so the scheduler can
-        invalidate exactly that output and recompute it from lineage rather
-        than failing the job or blindly retrying the reduce task against the
-        same damaged bytes.
+        External spans go through the transport — a plain file read on the
+        local transport, a retried CRC-verified TCP fetch on the networked
+        one.  A locally *spilled* span gets one bounded in-place re-read
+        before escalating: a transient read glitch on the driver's own disk
+        does not warrant recomputing the map partition from lineage (the
+        cheap path).  A span that still cannot be produced means one map
+        partition's output is lost; :class:`FetchFailedError` names it so
+        the scheduler can invalidate exactly that output and recompute it
+        from lineage rather than failing the job or blindly retrying the
+        reduce task against the same damaged bytes.
         """
         try:
+            if spilled:
+                try:
+                    return load_frames(*span)
+                except ShuffleCorruptionError:
+                    with self._lock:
+                        self._fetch_retries += 1
+                    return load_frames(*span)
+            if self.transport is not None:
+                return self.transport.read_span(*span)
             return load_frames(*span)
         except ShuffleCorruptionError as exc:
             raise FetchFailedError(
                 f"lost map output {map_partition} of shuffle {shuffle_id}: "
                 f"{exc}", shuffle_id=shuffle_id,
                 map_partition=map_partition) from exc
+
+    def drain_fetch_retries(self) -> int:
+        """Retried reads (local re-reads + network fetches) since last drain.
+
+        Driver-side counts only: worker processes drain their own transport
+        and ship the count back inside the task counters.
+        """
+        with self._lock:
+            count, self._fetch_retries = self._fetch_retries, 0
+        if self.transport is not None:
+            count += self.transport.drain_fetch_retries()
+        return count
+
+    def producer_of(self, shuffle_id: int, map_partition: int) -> Any:
+        """Worker identity that registered a map output (None if unknown)."""
+        with self._lock:
+            return self._producers.get((shuffle_id, map_partition))
+
+    def invalidate_worker_outputs(self, worker: Any) -> List[Tuple[int, int]]:
+        """Drop every map output a (blacklisted) worker produced.
+
+        Returns the ``(shuffle_id, map_partition)`` pairs actually
+        invalidated so the scheduler can count the loss and recompute the
+        affected shuffles proactively instead of waiting for reads to fail.
+        """
+        with self._lock:
+            owned = [key for key, who in self._producers.items()
+                     if who == worker]
+        lost = []
+        for shuffle_id, map_partition in owned:
+            if self.invalidate_map_output(shuffle_id, map_partition):
+                lost.append((shuffle_id, map_partition))
+        return lost
 
     def _check_readable(self, shuffle_id: int) -> None:
         if shuffle_id not in self._expected_maps:
@@ -529,9 +634,10 @@ class ShuffleManager:
             refs = self._bucket_refs(shuffle_id, reduce_partition, map_range)
         records: List[Any] = []
         size = 0
-        for map_partition, bucket, span, bucket_size in refs:
+        for map_partition, bucket, span, bucket_size, spilled in refs:
             if bucket is None:
-                bucket = self._load_span(shuffle_id, map_partition, span)
+                bucket = self._load_span(shuffle_id, map_partition, span,
+                                         spilled)
             records.extend(bucket)
             size += bucket_size
         return records, size
@@ -550,9 +656,10 @@ class ShuffleManager:
         with self._lock:
             self._check_readable(shuffle_id)
             refs = self._bucket_refs(shuffle_id, reduce_partition, map_range)
-        for map_partition, bucket, span, bucket_size in refs:
+        for map_partition, bucket, span, bucket_size, spilled in refs:
             if bucket is None:
-                bucket = self._load_span(shuffle_id, map_partition, span)
+                bucket = self._load_span(shuffle_id, map_partition, span,
+                                         spilled)
             yield bucket, bucket_size
 
     def reduce_partition_bytes(self, shuffle_id: int) -> Dict[int, int]:
@@ -716,6 +823,7 @@ class ShuffleManager:
                 else:
                     self._reduce_bytes.pop(reduce_key, None)
             completed.discard(map_partition)
+            self._producers.pop((shuffle_id, map_partition), None)
             self._sync_memory()
             self._sync_external()
             return True
@@ -761,6 +869,9 @@ class ShuffleManager:
             self._expected_maps.pop(shuffle_id, None)
             self._bytes_written.pop(shuffle_id, None)
             self._records_written.pop(shuffle_id, None)
+            for key in [key for key in self._producers
+                        if key[0] == shuffle_id]:
+                del self._producers[key]
             spill_file = self._spill_files.pop(shuffle_id, None)
             if spill_file is not None:
                 spill_file.close()
@@ -791,6 +902,8 @@ class ShuffleManager:
             self._spill_files.clear()
             self._external.clear()
             self._external_bytes = 0
+            self._producers.clear()
+            self._fetch_retries = 0
             self._resident_bytes = 0
             self._sync_memory()
             self._sync_external()

@@ -19,9 +19,12 @@ owns that movement:
   shuffle, which also sweeps partial output of failed stages.
 
 :class:`LocalDirShuffleTransport` is the single-machine implementation: one
-directory shared by driver and workers.  A socket- or dir-per-node transport
-for distributed workers can drop in behind the same interface later; spans
-would then name transport-relative locations instead of absolute paths.
+directory shared by driver and workers.  :class:`TcpShuffleTransport`
+(``EngineConfig.shuffle_transport = "tcp"``) layers the networked read path
+on top: writes still land in the transport root, but span *reads* go
+through the :mod:`~repro.engine.shuffle_server` fetch client — retried,
+backed off, CRC-verified — exactly as a multi-node deployment would fetch
+remote map output.
 """
 
 from __future__ import annotations
@@ -30,12 +33,18 @@ import itertools
 import os
 import shutil
 import tempfile
+from typing import Any, Dict, List, Optional, Tuple
 
-from .memory import FrameFileWriter
+from .memory import FrameFileWriter, load_frames
+from .retry import RetryPolicy
 
 
 class ShuffleTransport:
     """Moves stage payloads and shuffle map output between processes."""
+
+    #: Networked transports route span reads through a fetch client; the
+    #: shuffle layer uses this to pick the external-write path.
+    networked = False
 
     def publish_stage(self, payload: bytes) -> str:
         """Store one serialized stage payload; return a worker-readable token."""
@@ -49,6 +58,14 @@ class ShuffleTransport:
                           map_partition: int) -> FrameFileWriter:
         """Open a frame writer for one map task's output of one shuffle."""
         raise NotImplementedError
+
+    def read_span(self, path: str, offset: int, length: int) -> List[Any]:
+        """Read one registered span's records back (local file read here)."""
+        return load_frames(path, offset, length)
+
+    def drain_fetch_retries(self) -> int:
+        """Fetch retries accumulated since the last drain (0 when local)."""
+        return 0
 
     def remove_shuffle(self, shuffle_id: int) -> None:
         """Delete every file of a shuffle, registered or partial (idempotent)."""
@@ -117,5 +134,79 @@ class LocalDirShuffleTransport(ShuffleTransport):
         os.makedirs(base, exist_ok=True)
         return tempfile.mkdtemp(prefix=f"worker-{os.getpid()}-", dir=base)
 
+    def heartbeat_dir(self) -> str:
+        """Directory where pool workers drop liveness beats (mtime files)."""
+        directory = os.path.join(self.root, "heartbeats")
+        os.makedirs(directory, exist_ok=True)
+        return directory
+
+    def worker_spec(self) -> Dict[str, Any]:
+        """Picklable recipe a forked worker rebuilds its transport from."""
+        return {"mode": "local", "root": self.root}
+
     def cleanup(self) -> None:
         shutil.rmtree(self.root, ignore_errors=True)
+
+
+class TcpShuffleTransport(LocalDirShuffleTransport):
+    """Networked transport: local writes, TCP span reads with retries.
+
+    Map output is still written into the shared root (the server process
+    exports exactly that directory), but every span *read* is a fetch
+    through :class:`~repro.engine.shuffle_server.ShuffleFetchClient` —
+    connect/read timeouts, bounded seeded retries, per-frame CRC checks.
+    A span that falls outside the root (a worker-local spill file being
+    re-read) silently takes the local path; only registered transport
+    spans cross the wire.  This is the single-box stand-in for per-node
+    shuffle services: the read path, failure modes, and metrics are the
+    ones a real cluster would exercise.
+    """
+
+    networked = True
+
+    def __init__(self, root: str, address: Tuple[str, int],
+                 policy: Optional[RetryPolicy] = None,
+                 timeout_s: float = 5.0):
+        super().__init__(root)
+        from .shuffle_server import ShuffleFetchClient
+        self.address = (address[0], int(address[1]))
+        self._policy = policy if policy is not None else RetryPolicy()
+        self._timeout_s = timeout_s
+        self._client = ShuffleFetchClient(self.address, self._policy,
+                                          timeout_s)
+
+    def read_span(self, path: str, offset: int, length: int) -> List[Any]:
+        absolute = os.path.abspath(path)
+        root = os.path.abspath(self.root)
+        if not absolute.startswith(root + os.sep):
+            return load_frames(path, offset, length)
+        relpath = os.path.relpath(absolute, root)
+        return self._client.fetch_records(relpath, offset, length)
+
+    def drain_fetch_retries(self) -> int:
+        return self._client.drain_retries()
+
+    def worker_spec(self) -> Dict[str, Any]:
+        return {"mode": "tcp", "root": self.root, "address": list(self.address),
+                "timeout_s": self._timeout_s}
+
+
+def build_worker_transport(spec: Any, config: Any) -> LocalDirShuffleTransport:
+    """Rebuild a transport inside a forked worker from its pickled spec.
+
+    Accepts a bare root path (the pre-TCP initializer protocol) for
+    compatibility with payloads written by older drivers.  TCP workers get
+    their own fetch client configured from the engine knobs, so worker-side
+    reduce fetches retry and back off exactly like driver-side ones.
+    """
+    if isinstance(spec, str):
+        return LocalDirShuffleTransport(spec)
+    if spec.get("mode") == "tcp":
+        policy = RetryPolicy(max_retries=config.fetch_max_retries,
+                             backoff_s=config.fetch_backoff_s,
+                             seed=config.seed)
+        return TcpShuffleTransport(spec["root"], tuple(spec["address"]),
+                                   policy=policy,
+                                   timeout_s=spec.get("timeout_s",
+                                                      config.fetch_timeout_s))
+    return LocalDirShuffleTransport(spec["root"])

@@ -25,6 +25,7 @@ from __future__ import annotations
 import atexit
 import os
 import shutil
+import threading
 import time
 import traceback
 from collections import OrderedDict
@@ -36,10 +37,10 @@ from .dataset import TaskContext
 from .executor import (_TASK_COUNTERS, InjectedFailure, should_inject_crash,
                        should_inject_failure)
 from .memory import (CODEC_NONE, MemoryManager, corrupt_payload, dump_frames,
-                     load_frames, resolve_codec, should_corrupt)
+                     resolve_codec, should_corrupt)
 from .shuffle import ShuffleError, estimate_bytes
 from .storage import BlockStore
-from .transport import LocalDirShuffleTransport
+from .transport import LocalDirShuffleTransport, build_worker_transport
 
 #: Deserialized stage payloads kept per worker; stages of one job arrive in
 #: order, so a handful covers retries without unbounded growth.
@@ -120,13 +121,16 @@ class WorkerShuffleClient:
                    offset: int, length: int) -> List[Any]:
         """Load one catalogued span; damage becomes a named fetch failure.
 
-        Mirrors the driver-side ShuffleManager: a corrupt or vanished span
-        is reported as :class:`FetchFailedError` carrying ``(shuffle_id,
-        map_partition)`` so the driver can invalidate exactly that map
-        output and recompute it from lineage.
+        The read goes through the transport: a local file read on the
+        single-box transport, a retried CRC-verified TCP fetch on the
+        networked one.  Either way a span that cannot be produced is
+        reported as :class:`FetchFailedError` carrying ``(shuffle_id,
+        map_partition)`` — mirroring the driver-side ShuffleManager — so
+        the driver can invalidate exactly that map output and recompute it
+        from lineage.
         """
         try:
-            return load_frames(path, offset, length)
+            return self._transport.read_span(path, offset, length)
         except ShuffleCorruptionError as exc:
             raise FetchFailedError(
                 f"lost map output {map_partition} of shuffle {shuffle_id}: "
@@ -270,13 +274,47 @@ class _WorkerState:
 _STATE: Optional[_WorkerState] = None
 
 
-def initialize_worker(config_bytes: bytes, transport_root: str) -> None:
-    """Process-pool initializer: build this worker's context once."""
+def _heartbeat_loop(directory: str, interval_s: float) -> None:
+    """Touch this worker's beat file forever (daemon thread).
+
+    Liveness is the file's mtime: the driver-side
+    :class:`~repro.engine.scheduler.NodeHealthTracker` compares it against
+    ``heartbeat_timeout_s``.  A wedged or killed worker stops touching the
+    file and goes stale; write errors are swallowed — a missing beat *is*
+    the signal, crashing the worker over it would invert the design.
+    """
+    path = os.path.join(directory, str(os.getpid()))
+    while True:
+        try:
+            with open(path, "a"):
+                pass
+            os.utime(path, None)
+        except OSError:
+            pass
+        time.sleep(interval_s)
+
+
+def initialize_worker(config_bytes: bytes, transport_spec: Any) -> None:
+    """Process-pool initializer: build this worker's context once.
+
+    ``transport_spec`` is the driver transport's
+    :meth:`~repro.engine.transport.ShuffleTransport.worker_spec` (a bare
+    root path from pre-TCP drivers is still accepted): TCP workers rebuild
+    a fetch client with the driver's retry knobs, local workers attach to
+    the shared directory.  When heartbeats are configured the worker also
+    starts its liveness thread here, before the first task runs.
+    """
     global _STATE
     config = serializer.loads(config_bytes)
-    transport = LocalDirShuffleTransport(transport_root)
+    transport = build_worker_transport(transport_spec, config)
     _STATE = _WorkerState(WorkerContext(config, transport))
     atexit.register(_STATE.ctx.cleanup)
+    if config.heartbeat_interval_s > 0:
+        beat = threading.Thread(
+            target=_heartbeat_loop,
+            args=(transport.heartbeat_dir(), config.heartbeat_interval_s),
+            name="worker-heartbeat", daemon=True)
+        beat.start()
 
 
 def _attach_graph(task: Any, ctx: WorkerContext, seen: set) -> None:
@@ -355,18 +393,23 @@ def run_stage_task(payload_path: str, task_index: int,
             os._exit(17)
     except Exception as error:  # noqa: BLE001 - crosses the process boundary
         state.ctx.shuffle_manager.take_map_output()  # drop partial spans
+        state.ctx._transport.drain_fetch_retries()  # don't leak into next task
         outcome = {
             "ok": False,
             "duration_s": time.perf_counter() - started,
             "error": (type(error).__name__, str(error),
                       traceback.format_exc()),
             "blocks": state.ctx.block_store.drain_dirty(),
+            "worker": os.getpid(),
         }
         if isinstance(error, FetchFailedError):
             # structured coordinates survive the boundary so the driver can
             # rethrow a real FetchFailedError for the scheduler
             outcome["fetch_failed"] = (error.shuffle_id, error.map_partition)
         return outcome
+    # network fetches this task survived (TCP transport retries) become
+    # the task's fetch_retries counter, shipped with the other nine
+    task_context.fetch_retries += state.ctx._transport.drain_fetch_retries()
     return {
         "ok": True,
         "duration_s": time.perf_counter() - started,
@@ -375,4 +418,5 @@ def run_stage_task(payload_path: str, task_index: int,
                      for name in _TASK_COUNTERS},
         "map_output": state.ctx.shuffle_manager.take_map_output(),
         "blocks": state.ctx.block_store.drain_dirty(),
+        "worker": os.getpid(),
     }

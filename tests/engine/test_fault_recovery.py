@@ -276,6 +276,84 @@ def test_chaos_matrix_actually_injected_faults():
     assert _fault_hits["process"] > 0
 
 
+# -- network chaos matrix: TCP shuffle under drops, delays and wire rot --------
+
+
+#: Network fault rates for the TCP transport: dropped connections, delayed
+#: replies and on-the-wire corruption, stacked on top of injected worker
+#: crashes.  Low enough for the fetch-retry and stage-retry budgets to
+#: converge everywhere, high enough to actually fire (asserted below).
+NETWORK_CHAOS = {"network_drop_rate": 0.08, "network_delay_s": 0.002,
+                 "corruption_rate": 0.05, "fetch_max_retries": 4,
+                 "fetch_backoff_s": 0.001, "max_task_retries": 8,
+                 "max_stage_retries": 8, "seed": 7}
+
+_network_fault_hits = {"thread": 0, "process": 0}
+
+
+def run_network_chaos(backend: str, pipeline_name: str,
+                      batch_size: int = 1024, **extra):
+    build = PIPELINES[pipeline_name]
+    overrides = dict(NETWORK_CHAOS)
+    overrides.update(extra)
+    with make_engine(backend, batch_size=batch_size,
+                     broadcast_threshold_bytes=0, shuffle_transport="tcp",
+                     **overrides) as ctx:
+        ds = build(ctx.parallelize(DATA, 4), ctx.parallelize(OTHER_SIDE, 2))
+        first = ds.collect()
+        second = ds.collect()
+        summary = ctx.metrics.summary()
+        return first, second, summary
+
+
+@pytest.mark.parametrize("pipeline_name", sorted(PIPELINES))
+def test_network_chaos_thread_backend_matches_fault_free(pipeline_name):
+    first, second, summary = run_network_chaos("thread", pipeline_name)
+    clean_first, clean_second, _ = run_clean(
+        "thread", pipeline_name, seed=NETWORK_CHAOS["seed"])
+    assert first == clean_first
+    assert second == clean_second
+    _network_fault_hits["thread"] += (summary["fetch_retries"]
+                                      + summary["stage_retries"])
+
+
+@needs_closures
+@pytest.mark.parametrize("pipeline_name", sorted(PIPELINES))
+def test_network_chaos_process_backend_matches_fault_free(pipeline_name):
+    first, second, summary = run_network_chaos(
+        "process", pipeline_name, crash_failure_rate=0.05)
+    clean_first, clean_second, _ = run_clean(
+        "thread", pipeline_name, seed=NETWORK_CHAOS["seed"])
+    assert first == clean_first
+    assert second == clean_second
+    _network_fault_hits["process"] += (summary["fetch_retries"]
+                                       + summary["stage_retries"])
+
+
+@pytest.mark.parametrize("batch_size", [0, 1])
+@pytest.mark.parametrize("backend", ["thread",
+                                     pytest.param("process",
+                                                  marks=needs_closures)])
+def test_network_chaos_across_batch_sizes(backend, batch_size):
+    """Record-at-a-time and single-record batches survive the wire too."""
+    for pipeline_name in ("reduce_by_key", "join"):
+        first, second, _ = run_network_chaos(backend, pipeline_name,
+                                             batch_size=batch_size)
+        clean_first, clean_second, _ = run_clean(
+            "thread", pipeline_name, batch_size=batch_size,
+            seed=NETWORK_CHAOS["seed"])
+        assert first == clean_first
+        assert second == clean_second
+
+
+def test_network_chaos_matrix_actually_retried_fetches():
+    """Guards the network matrix against silently running fault-free: the
+    injected drops and wire rot must surface as counted fetch retries."""
+    assert _network_fault_hits["thread"] > 0
+    if _HAVE_CLOSURES:
+        assert _network_fault_hits["process"] > 0
+
+
 # -- crash recovery: jobs survive a broken process pool ------------------------
 
 
