@@ -8,7 +8,7 @@ user can turn is a named field with a default, mirroring the style of
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from .errors import ConfigurationError
 
@@ -222,6 +222,46 @@ class EngineConfig:
         invalidated and proactively recomputed from lineage, and the job's
         ``blacklisted_workers`` counter ticks.  ``0`` (the default)
         disables blacklisting.
+    blacklist_cooldown_s:
+        Rehabilitation window for blacklisted workers: a worker stays
+        blacklisted for this many seconds and is then eligible again with
+        its strike count reset — a transient stall (GC pause, brief disk
+        contention) no longer shrinks the pool permanently.  A
+        rehabilitated worker that keeps failing re-earns its blacklisting
+        through the ordinary ``blacklist_failure_threshold`` ladder.  ``0``
+        (the default) keeps the pre-cooldown behaviour: blacklisting is
+        forever.
+    checkpoint_dir:
+        Durable directory for the recovery layer: the write-ahead job
+        journal (``engine/journal.py``) and checkpoint partition files are
+        written here with atomic tmp+rename+fsync discipline, and — when
+        set — shuffle transport frames are rooted here instead of the
+        per-context temporary spill directory, so settled map-output spans
+        survive a driver crash.  The directory is created on demand and is
+        *not* removed by ``EngineContext.stop()``; it is the handle a later
+        ``recover_from=`` resume replays.  ``None`` (the default) disables
+        journaling and checkpointing entirely.
+    checkpoint_interval:
+        Automatic checkpoint cadence, counted in settled shuffle stages:
+        every N-th completed shuffle whose consuming dataset supports
+        checkpointing has that dataset's partitions materialised to
+        checksummed spill-format files under ``checkpoint_dir`` and its
+        lineage truncated to a checkpoint scan, so stage-retry
+        recomputation and recovery replay stop there instead of walking
+        back to the sources.  Requires ``checkpoint_dir``; ``0`` (the
+        default) leaves checkpointing fully manual
+        (``Dataset.checkpoint()``).
+    recover_from:
+        Path of a previous run's ``checkpoint_dir`` to resume from.  A
+        fresh ``EngineContext`` replays the journal found there,
+        revalidates every recorded shuffle span and checkpoint file by
+        frame CRC (corrupt or missing entries are dropped and their
+        partitions recomputed from lineage — the journal is a hint, never
+        a correctness dependency), re-registers the surviving map outputs
+        with the ``ShuffleManager``, and the scheduler then runs only the
+        unfinished suffix of the stage graph.  Counted in
+        ``stages_recovered`` / ``recovery_invalid_entries``.  ``None``
+        (the default) starts cold.
     speculation_multiplier:
         Speculative execution (process backend): once a stage is at least
         ``speculation_quantile`` complete, a running task older than
@@ -280,9 +320,13 @@ class EngineConfig:
     heartbeat_interval_s: float = 0.0
     heartbeat_timeout_s: float = 0.0
     blacklist_failure_threshold: int = 0
+    blacklist_cooldown_s: float = 0.0
     speculation_multiplier: float = 0.0
     speculation_quantile: float = 0.75
     executor_backend: str = "thread"
+    checkpoint_dir: Optional[str] = None
+    checkpoint_interval: int = 0
+    recover_from: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -353,6 +397,17 @@ class EngineConfig:
             raise ConfigurationError(
                 "blacklist_failure_threshold must be >= 0 (0 disables "
                 "worker blacklisting)")
+        if self.blacklist_cooldown_s < 0:
+            raise ConfigurationError(
+                "blacklist_cooldown_s must be >= 0 (0 blacklists forever)")
+        if self.checkpoint_interval < 0:
+            raise ConfigurationError(
+                "checkpoint_interval must be >= 0 (0 leaves checkpointing "
+                "manual)")
+        if self.checkpoint_interval > 0 and not self.checkpoint_dir:
+            raise ConfigurationError(
+                "checkpoint_interval requires checkpoint_dir: automatic "
+                "checkpoints need a durable directory to land in")
         if self.speculation_multiplier < 0:
             raise ConfigurationError(
                 "speculation_multiplier must be >= 0 (0 disables "

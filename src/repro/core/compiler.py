@@ -330,6 +330,10 @@ class ProceduralToDeployment:
             "speculation_multiplier": engine_config.speculation_multiplier,
             "blacklist_failure_threshold":
                 engine_config.blacklist_failure_threshold,
+            "blacklist_cooldown_s": engine_config.blacklist_cooldown_s,
+            "checkpoint_dir": engine_config.checkpoint_dir,
+            "checkpoint_interval": engine_config.checkpoint_interval,
+            "recover_from": engine_config.recover_from,
         }
         return DeploymentModel(
             procedural=procedural,
@@ -382,7 +386,11 @@ class ProceduralToDeployment:
         ``speculation_multiplier`` arms speculative re-execution of
         straggler tasks, and ``blacklist_failure_threshold`` is the number
         of consecutive failures after which a worker stops receiving new
-        work.  Values are validated by
+        work (``blacklist_cooldown_s`` rehabilitates it after that many
+        seconds).  ``checkpoint_dir`` turns on the durable job journal,
+        ``checkpoint_interval`` automates checkpointing every N settled
+        shuffle stages, and ``recover_from`` resumes a campaign from a
+        previous run's journal.  Values are validated by
         ``EngineConfig.__post_init__``; only knobs the campaign actually
         sets are overridden, so engine defaults stay in one place.
         """
@@ -421,6 +429,16 @@ class ProceduralToDeployment:
         if "blacklist_failure_threshold" in preferences:
             overrides["blacklist_failure_threshold"] = \
                 int(preferences["blacklist_failure_threshold"])
+        if "blacklist_cooldown_s" in preferences:
+            overrides["blacklist_cooldown_s"] = \
+                float(preferences["blacklist_cooldown_s"])
+        if "checkpoint_dir" in preferences:
+            overrides["checkpoint_dir"] = str(preferences["checkpoint_dir"])
+        if "checkpoint_interval" in preferences:
+            overrides["checkpoint_interval"] = \
+                int(preferences["checkpoint_interval"])
+        if "recover_from" in preferences:
+            overrides["recover_from"] = str(preferences["recover_from"])
         return overrides
 
     @staticmethod

@@ -127,10 +127,25 @@ class DeploymentModel:
                        if speculation else "off"))
             blacklist = self.optimizer_hints.get("blacklist_failure_threshold")
             if blacklist is not None:
+                cooldown = self.optimizer_hints.get("blacklist_cooldown_s")
                 lines.append(
                     "  worker blacklisting: "
                     + (f"after {blacklist} consecutive failures"
+                       + (f", rehabilitated after {cooldown}s"
+                          if cooldown else "")
                        if blacklist else "off"))
+            checkpoint_dir = self.optimizer_hints.get("checkpoint_dir")
+            if checkpoint_dir:
+                interval = self.optimizer_hints.get("checkpoint_interval")
+                lines.append(
+                    f"  durable checkpoints: journaled under {checkpoint_dir}"
+                    + (f", auto every {interval} shuffle stages"
+                       if interval else " (manual Dataset.checkpoint())"))
+            recover_from = self.optimizer_hints.get("recover_from")
+            if recover_from:
+                lines.append(
+                    f"  recovery: resume from journal at {recover_from} "
+                    "(CRC-revalidated, lineage fallback)")
         lines.extend(["", self.procedural.describe()])
         return "\n".join(lines)
 

@@ -15,9 +15,13 @@ import threading
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence
 
 from ..config import DEFAULT_ENGINE_CONFIG, EngineConfig
-from ..errors import EngineError, SourceError
-from .dataset import Dataset, ParallelCollectionDataset, SourceDataset
-from .memory import MemoryManager
+from ..errors import (CheckpointCorruptionError, ConfigurationError,
+                      EngineError, SourceError)
+from .dataset import (CheckpointEntry, Dataset, ParallelCollectionDataset,
+                      SourceDataset, collect_partition)
+from .journal import (JobJournal, atomic_write_bytes, load_journal_state,
+                      plan_signature_key, validate_checkpoint_entry)
+from .memory import MemoryManager, dump_frames, resolve_codec
 from .metrics import MetricsRegistry
 from .optimizer import PlanOptimizer, lower_plan
 from .plan import SourceNode, render_plan
@@ -53,9 +57,45 @@ class EngineContext:
         #: path the parity suite pins.
         self._transport = None
         self._shuffle_server: Optional[ShuffleServer] = None
+        #: Root of every durable artefact (journal, checkpoint files,
+        #: durable shuffle frames); ``None`` without ``checkpoint_dir`` or
+        #: ``recover_from``.  Writes go to ``checkpoint_dir``; a context
+        #: built only to resume reads ``recover_from`` and journals nothing.
+        self._checkpoint_root: Optional[str] = None
+        if self.config.checkpoint_dir or self.config.recover_from:
+            self._checkpoint_root = os.path.abspath(
+                self.config.checkpoint_dir or self.config.recover_from)
+        self._journal: Optional[JobJournal] = None
+        if self.config.checkpoint_dir:
+            self._journal = JobJournal(self._checkpoint_root)
+        #: Journal entries replayed from ``recover_from``, keyed as the
+        #: journal recorded them; validated lazily and popped on adoption.
+        self._recovered_shuffles: dict = {}
+        self._recovered_checkpoints: dict = {}
+        #: dataset id -> dataset with a live checkpoint (invalidation path).
+        self._checkpointed: dict = {}
+        #: Reentrancy guard: a checkpoint's own collection job must not
+        #: trigger further automatic checkpoints.
+        self._checkpointing = False
+        #: Recovery/checkpoint tallies the scheduler folds into the next
+        #: finished job's metrics (shared dict, drained there).
+        self.recovery_counters = {"checkpoints_written": 0,
+                                  "stages_recovered": 0,
+                                  "recovery_invalid_entries": 0}
+        if self.config.recover_from:
+            self._replay_journal(self.config.recover_from)
         if self.config.executor_backend == "process" or \
                 self.config.shuffle_transport == "tcp":
-            transport_root = os.path.join(self.spill_dir(), "transport")
+            if self._checkpoint_root is not None:
+                # durable root: shuffle frame files survive a driver crash
+                # and the journal's span catalog can point the next run at
+                # them; cleanup() sweeps only the ephemeral pieces
+                transport_root = os.path.join(self._checkpoint_root,
+                                              "transport")
+                durable = True
+            else:
+                transport_root = os.path.join(self.spill_dir(), "transport")
+                durable = False
             if self.config.shuffle_transport == "tcp":
                 self._shuffle_server = ShuffleServer(
                     transport_root,
@@ -69,9 +109,10 @@ class EngineContext:
                         max_retries=self.config.fetch_max_retries,
                         backoff_s=self.config.fetch_backoff_s,
                         seed=self.config.seed),
-                    timeout_s=self.config.fetch_timeout_s)
+                    timeout_s=self.config.fetch_timeout_s, durable=durable)
             else:
-                self._transport = LocalDirShuffleTransport(transport_root)
+                self._transport = LocalDirShuffleTransport(transport_root,
+                                                           durable=durable)
         self.shuffle_manager = ShuffleManager(
             compression=self.config.shuffle_compression,
             memory_manager=self.memory_manager,
@@ -91,7 +132,11 @@ class EngineContext:
                                       self.block_store, self.metrics,
                                       broadcast_builds=self.broadcast_builds,
                                       memory_manager=self.memory_manager,
-                                      transport=self._transport)
+                                      transport=self._transport,
+                                      journal=self._journal,
+                                      recovered_shuffles=self._recovered_shuffles,
+                                      recovery_counters=self.recovery_counters,
+                                      checkpoint_hook=self._auto_checkpoint)
         #: Structural signature -> physical dataset, shared by plan lowering
         #: so sibling plans reuse identical rewritten subtrees (and their
         #: shuffle outputs / cached blocks).
@@ -122,6 +167,129 @@ class EngineContext:
                 self._spill_root = tempfile.mkdtemp(
                     prefix=f"repro-spill-{self.name}-")
             return self._spill_root
+
+    # -- durable checkpoints and recovery ----------------------------------------
+
+    def _replay_journal(self, directory: str) -> None:
+        """Load a prior run's journal; its entries become adoption *hints*.
+
+        Every recorded shuffle span and checkpoint file is CRC-revalidated
+        before anything adopts it, so an unreadable or stale journal (or
+        one pointing at corrupt files) only costs recomputation.
+        """
+        state = load_journal_state(directory)
+        if state is None:
+            # no parseable journal: cold start, count the degradation
+            self.recovery_counters["recovery_invalid_entries"] += 1
+            return
+        self._recovered_shuffles.update(state.get("shuffles", {}))
+        self._recovered_checkpoints.update(state.get("checkpoints", {}))
+
+    def checkpoints_dir(self) -> str:
+        """Directory holding checkpoint partition files (created on use)."""
+        if self._checkpoint_root is None:
+            raise ConfigurationError(
+                "Dataset.checkpoint() requires EngineConfig.checkpoint_dir")
+        directory = os.path.join(self._checkpoint_root, "checkpoints")
+        os.makedirs(directory, exist_ok=True)
+        return directory
+
+    def checkpoint_dataset(self, dataset: Dataset) -> None:
+        """Materialise ``dataset`` durably (behind ``Dataset.checkpoint``).
+
+        Adopts the recovered checkpoint recorded under the same plan
+        signature when its files still pass their CRCs; otherwise runs one
+        collection job and writes every partition as an atomically renamed,
+        fsynced frame file.
+        """
+        self._check_active()
+        if dataset._checkpoint is not None:
+            return
+        directory = self.checkpoints_dir()
+        key = plan_signature_key(dataset.plan) if dataset.plan is not None \
+            else f"dataset:{dataset.id}"
+        if self._adopt_recovered_checkpoint(dataset, key):
+            return
+        partials = self.run_job(dataset, collect_partition,
+                                description=f"checkpoint:{dataset.name}")
+        codec = resolve_codec(self.config.spill_codec,
+                              self.config.shuffle_compression)
+        files: List[str] = []
+        rows: List[int] = []
+        size_bytes = 0
+        for partition, records in enumerate(partials):
+            path = os.path.join(directory,
+                                f"ds-{dataset.id}-part-{partition}.data")
+            payload = dump_frames(records, codec)
+            atomic_write_bytes(path, payload)
+            files.append(path)
+            rows.append(len(records))
+            size_bytes += len(payload)
+        self._install_checkpoint(dataset,
+                                 CheckpointEntry(key, files, rows, size_bytes))
+        self.recovery_counters["checkpoints_written"] += 1
+        if self._journal is not None:
+            self._journal.record_checkpoint(key, dataset.name, len(files),
+                                            files, rows)
+
+    def _adopt_recovered_checkpoint(self, dataset: Dataset, key: str) -> bool:
+        """Back ``dataset`` with a recovered checkpoint if it revalidates."""
+        entry = self._recovered_checkpoints.pop(key, None)
+        if entry is None:
+            return False
+        valid, invalid = validate_checkpoint_entry(entry)
+        if not valid:
+            self.recovery_counters["recovery_invalid_entries"] += \
+                max(1, invalid)
+            if self._journal is not None:
+                self._journal.forget_checkpoint(key)
+            return False
+        files = [str(path) for path in entry["files"]]
+        rows = [int(count) for count in entry["rows"]]
+        size_bytes = sum(os.path.getsize(path) for path in files)
+        self._install_checkpoint(dataset,
+                                 CheckpointEntry(key, files, rows, size_bytes))
+        self.recovery_counters["stages_recovered"] += 1
+        return True
+
+    def _install_checkpoint(self, dataset: Dataset,
+                            entry: CheckpointEntry) -> None:
+        dataset._checkpoint = entry
+        dataset._executable = None
+        self._checkpointed[dataset.id] = dataset
+        # lineage truncation changes what the optimizer may rewrite, exactly
+        # like a cache flag flip: re-plan every memoised executable
+        self._cache_epoch += 1
+
+    def _discard_checkpoint(self, dataset_id: int) -> bool:
+        """Drop a poisoned checkpoint; True when there was one to drop."""
+        dataset = self._checkpointed.pop(dataset_id, None)
+        if dataset is None or dataset._checkpoint is None:
+            return False
+        entry = dataset._checkpoint
+        dataset._checkpoint = None
+        dataset._executable = None
+        self._cache_epoch += 1
+        self.recovery_counters["recovery_invalid_entries"] += 1
+        if self._journal is not None and entry.key:
+            self._journal.forget_checkpoint(entry.key)
+        return True
+
+    def _auto_checkpoint(self, dataset: Dataset) -> None:
+        """Scheduler hook: checkpoint ``dataset`` after its shuffle settled.
+
+        Fired every ``checkpoint_interval`` settled shuffle-map stages.  The
+        nested collection job reads the just-completed shuffle, so the write
+        costs one pass over the stage output, not a recomputation; the guard
+        keeps that nested job from checkpointing recursively.
+        """
+        if self._checkpointing or dataset._checkpoint is not None:
+            return
+        self._checkpointing = True
+        try:
+            self.checkpoint_dataset(dataset)
+        finally:
+            self._checkpointing = False
 
     # -- id generation ----------------------------------------------------------
 
@@ -192,13 +360,24 @@ class EngineContext:
         physical plan when actual map-output sizes contradict the estimates.
         """
         self._check_active()
-        executable = self._executable_for(dataset)
-        replanner = None
-        if partitions is None and dataset.plan is not None and \
-                self._adaptive_can_replan():
-            replanner = self._adaptive_replanner(dataset)
-        return self.scheduler.run_job(executable, func, partitions, description,
-                                      replanner=replanner)
+        while True:
+            executable = self._executable_for(dataset)
+            replanner = None
+            if partitions is None and dataset.plan is not None and \
+                    self._adaptive_can_replan():
+                replanner = self._adaptive_replanner(dataset)
+            try:
+                return self.scheduler.run_job(executable, func, partitions,
+                                              description,
+                                              replanner=replanner)
+            except CheckpointCorruptionError as error:
+                # a checkpoint file failed its CRC mid-job: drop the
+                # checkpoint (journal entry included) and re-plan — the
+                # retry recomputes from lineage, costing time, never
+                # correctness.  Each retry consumes one checkpoint, so the
+                # loop is bounded.
+                if not self._discard_checkpoint(error.dataset_id):
+                    raise
 
     def _adaptive_can_replan(self) -> bool:
         """Whether mid-job re-optimization could change anything at all.

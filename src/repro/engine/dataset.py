@@ -16,14 +16,16 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 import random
 from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
                     Tuple)
 
-from ..errors import PlanError
+from ..errors import (CheckpointCorruptionError, PlanError,
+                      ShuffleCorruptionError)
 from . import plan as logical
 from .columnar import ColumnBatch
-from .memory import CODEC_NONE, SpillRun
+from .memory import CODEC_NONE, SpillRun, load_frames
 from .partitioner import HashPartitioner, Partitioner, RangePartitioner, RoundRobinPartitioner
 
 
@@ -610,6 +612,25 @@ class BroadcastDependency(Dependency):
 # ---------------------------------------------------------------------------
 
 
+class CheckpointEntry:
+    """Metadata of one durable dataset checkpoint.
+
+    One checksummed frame file per partition plus the per-partition record
+    counts and total payload size.  The entry is plain picklable state: a
+    worker process ships it with the dataset and serves the files directly
+    (they live under ``checkpoint_dir``, outside any per-run scratch tree).
+    """
+
+    def __init__(self, key: Optional[str], files: List[str], rows: List[int],
+                 size_bytes: int):
+        #: Journal key the checkpoint was registered under (``None`` when
+        #: the owning context has no journal).
+        self.key = key
+        self.files = list(files)
+        self.rows = [int(count) for count in rows]
+        self.size_bytes = int(size_bytes)
+
+
 class Dataset:
     """An immutable, lazily evaluated, partitioned collection of records."""
 
@@ -632,6 +653,10 @@ class Dataset:
         self._executable_epoch = -1
         #: Lowered physical datasets that inherited this dataset's cache flag.
         self._cache_mirrors: List["Dataset"] = []
+        #: Durable checkpoint backing this dataset, if :meth:`checkpoint`
+        #: materialised (or recovery adopted) one; partitions are then
+        #: served from its checksummed files and lineage truncates here.
+        self._checkpoint: Optional[CheckpointEntry] = None
 
     # -- plumbing -------------------------------------------------------------
 
@@ -668,11 +693,16 @@ class Dataset:
                 # records served from the cache are reads, like source reads
                 task_context.records_read += len(cached)
                 return iter(cached)
-            records = list(self.compute(partition, task_context))
+            if self.has_checkpoint:
+                records = self._checkpoint_records(partition, task_context)
+            else:
+                records = list(self.compute(partition, task_context))
             self.ctx.block_store.put(self.id, partition, records)
             # caching materialises the partition: that is written output
             task_context.records_written += len(records)
             return iter(records)
+        if self.has_checkpoint:
+            return iter(self._checkpoint_records(partition, task_context))
         return self.compute(partition, task_context)
 
     def compute_batches(self, partition: int, task_context: TaskContext,
@@ -703,12 +733,19 @@ class Dataset:
                 task_context.cache_hits += 1
                 task_context.records_read += len(cached)
                 return chunk_list(cached, batch_size)
-            records: List[Any] = []
-            for batch in self.compute_batches(partition, task_context, batch_size):
-                records.extend(batch)
+            if self.has_checkpoint:
+                records = self._checkpoint_records(partition, task_context)
+            else:
+                records = []
+                for batch in self.compute_batches(partition, task_context,
+                                                  batch_size):
+                    records.extend(batch)
             self.ctx.block_store.put(self.id, partition, records)
             task_context.records_written += len(records)
             return chunk_list(records, batch_size)
+        if self.has_checkpoint:
+            return chunk_list(self._checkpoint_records(partition, task_context),
+                              batch_size)
         return self.compute_batches(partition, task_context, batch_size)
 
     @property
@@ -777,6 +814,57 @@ class Dataset:
         self._executable = None
         self.ctx._cache_epoch += 1
         return self
+
+    # -- durable checkpointing ---------------------------------------------------
+
+    @property
+    def has_checkpoint(self) -> bool:
+        """True when a durable checkpoint currently backs this dataset."""
+        return self._checkpoint is not None
+
+    def checkpoint(self) -> "Dataset":
+        """Materialise every partition to durable, checksummed files.
+
+        Requires ``EngineConfig.checkpoint_dir``.  Runs a job collecting the
+        dataset, writes one CRC-framed file per partition (atomic
+        tmp+rename+fsync), records the checkpoint in the job journal and
+        truncates lineage here: later recomputation — stage retries, fault
+        recovery, and jobs after a driver restart with ``recover_from`` —
+        reads the files instead of re-running everything upstream.  When the
+        context was recovered and the journal carries a checkpoint for this
+        dataset's plan, the files are revalidated and adopted without
+        recomputing.  A file that later fails its CRC invalidates the whole
+        checkpoint and the job transparently falls back to lineage.
+        Idempotent while the checkpoint is live.
+        """
+        self.ctx.checkpoint_dataset(self)
+        return self
+
+    def _checkpoint_records(self, partition: int,
+                            task_context: TaskContext) -> List[Any]:
+        """Serve one partition from the checkpoint files, CRC-verified.
+
+        Any read problem — missing file, truncated payload, CRC mismatch,
+        record-count drift — raises :class:`CheckpointCorruptionError`; the
+        driver invalidates the checkpoint and re-runs the job from lineage,
+        so corruption can cost time but never correctness.
+        """
+        entry = self._checkpoint
+        path = entry.files[partition]
+        try:
+            records = load_frames(path, 0, os.path.getsize(path))
+            if len(records) != entry.rows[partition]:
+                raise ShuffleCorruptionError(
+                    f"checkpoint partition {partition} of {self.name} holds "
+                    f"{len(records)} records, expected {entry.rows[partition]}",
+                    path=path)
+        except (OSError, ShuffleCorruptionError) as error:
+            raise CheckpointCorruptionError(
+                f"checkpoint partition {partition} of {self.name} is "
+                f"unreadable: {error}", dataset_id=self.id,
+                partition=partition) from error
+        task_context.records_read += len(records)
+        return records
 
     # -- narrow transformations --------------------------------------------------
 

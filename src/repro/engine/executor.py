@@ -34,7 +34,8 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..config import EngineConfig
-from ..errors import FetchFailedError, SerializationError, TaskError
+from ..errors import (CheckpointCorruptionError, FetchFailedError,
+                      SerializationError, TaskError)
 from . import serializer
 from .dataset import ShuffleDependency, TaskContext
 from .metrics import StageMetrics, TaskMetrics
@@ -166,11 +167,11 @@ class Executor:
                     raise InjectedFailure(
                         f"injected crash for {task.task_id} attempt {attempt}")
                 value = task.run(task_context)
-            except FetchFailedError:
-                # lost shuffle output will not heal on retry — the same
-                # damaged bytes would be read again.  Record the failed
-                # attempt and let the scheduler invalidate the map output
-                # and recompute it from lineage.
+            except (CheckpointCorruptionError, FetchFailedError):
+                # lost shuffle output or a rotten checkpoint file will not
+                # heal on retry — the same damaged bytes would be read
+                # again.  Record the failed attempt and let the driver
+                # invalidate the damaged state and recompute from lineage.
                 metrics.duration_s = time.perf_counter() - started
                 metrics.failed = True
                 with self._metrics_lock:
@@ -515,6 +516,14 @@ class ProcessExecutor:
             raise FetchFailedError(message,
                                    shuffle_id=fetch_failed[0],
                                    map_partition=fetch_failed[1])
+        checkpoint_failed = outcome.get("checkpoint_failed")
+        if checkpoint_failed is not None:
+            # a corrupt checkpoint file reads identically on every retry;
+            # rethrow with coordinates so the driver drops the checkpoint
+            # and re-runs the job from lineage
+            raise CheckpointCorruptionError(message,
+                                            dataset_id=checkpoint_failed[0],
+                                            partition=checkpoint_failed[1])
         if self._health is not None and worker is not None:
             self._health.record_failure(worker, kind="task")
         drive.failures[info.index] += 1

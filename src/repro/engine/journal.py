@@ -1,0 +1,317 @@
+"""Write-ahead job journal: the durable half of driver-crash recovery.
+
+PR 8–9 made the *workers* expendable — lineage recomputes lost map output,
+crashed pools respawn — but the driver remained a single point of failure:
+kill it and the map-output catalog, the block store and every completed
+stage die with it.  The journal closes that gap.  A context configured
+with ``EngineConfig.checkpoint_dir`` records, as execution progresses:
+
+* per job: the optimized plan signature and the stage graph as stages
+  settle;
+* per completed shuffle: the full span catalog (the PR 6 ``(path, offset,
+  length, record count, estimated bytes)`` format) of its durable frame
+  files, keyed by the shuffle's structural plan signature so a restarted
+  run of the same program can match it without sharing ids;
+* per checkpoint (:meth:`~repro.engine.dataset.Dataset.checkpoint`): the
+  checksummed partition files a dataset was materialised to.
+
+Every update rewrites ``journal.json`` with tmp + rename + fsync
+discipline, so the journal on disk is always one complete, parseable
+document — a crashed write leaves the previous version intact.
+
+The journal is a **hint, never a correctness dependency**: a resumed
+context (``EngineConfig.recover_from``) revalidates every recorded span
+and checkpoint file by actually re-reading it through the checksummed
+frame reader before re-registering anything.  Corrupt, truncated or
+missing entries — including a damaged journal document itself — are
+dropped and counted (``recovery_invalid_entries``); their partitions
+recompute from lineage exactly as if the journal had never existed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ShuffleCorruptionError
+from .memory import load_frames
+
+#: On-disk journal document version; bumped on incompatible layout changes.
+JOURNAL_VERSION = 1
+
+#: File name of the journal document inside ``checkpoint_dir``.
+JOURNAL_NAME = "journal.json"
+
+
+def atomic_write_bytes(path: str, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` with tmp + rename + fsync discipline.
+
+    The payload lands in a same-directory temporary file, is fsynced, and
+    is renamed over the target; the directory is fsynced too so the rename
+    itself survives a crash.  Readers therefore only ever observe either
+    the old complete file or the new complete file.
+    """
+    directory = os.path.dirname(path) or "."
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _recovery_signature(node) -> tuple:
+    """Structural identity keyed on per-context dataset ids.
+
+    The in-memory plan signature uses module-global origin counters, which
+    drift when several contexts share one process (a resume test, a
+    notebook restart cell).  Dataset ids are allocated by a *per-context*
+    deterministic counter, so keying on the originating dataset makes the
+    journal key reproducible wherever the same program is rebuilt —
+    across process restarts and across contexts alike.
+    """
+    origin = getattr(node, "origin_dataset", None)
+    ident = origin.id if origin is not None \
+        else getattr(node, "origin_id", None)
+    return (node.op, node.variant, ident,
+            tuple(_recovery_signature(child) for child in node.children))
+
+
+def plan_signature_key(plan) -> Optional[str]:
+    """Stable string identity of a logical plan node, for journal keys.
+
+    Structural signatures are tuples of tuples; their ``repr`` is a stable
+    string for identical programs across runs (dataset ids are allocated
+    by per-context deterministic counters, so the same driver script
+    reproduces the same signatures).  ``None`` when the dataset carries no
+    logical plan.
+    """
+    if plan is None:
+        return None
+    try:
+        return repr(_recovery_signature(plan))
+    except Exception:
+        return None
+
+
+class JobJournal:
+    """Owns ``<checkpoint_dir>/journal.json`` and its atomic updates.
+
+    All mutating methods are thread-safe and each performs one full atomic
+    rewrite of the document — journals stay small (signatures, span
+    coordinates and file names, never data), so whole-document rewrites
+    are simpler and safer than an append log that would need its own
+    torn-tail handling.  Byte counts of every rewrite accumulate and are
+    drained into the running job's ``journal_bytes`` metric.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = os.path.abspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.path = os.path.join(self.directory, JOURNAL_NAME)
+        self._lock = threading.Lock()
+        self._bytes_written = 0
+        existing = load_journal_state(self.directory)
+        #: The live document.  Starting from the previous run's (parseable)
+        #: state keeps validated entries resumable across *repeated*
+        #: crashes; a fresh directory starts empty.
+        self._state: Dict[str, Any] = existing if existing is not None else {
+            "version": JOURNAL_VERSION,
+            "jobs": [],
+            "shuffles": {},
+            "checkpoints": {},
+        }
+
+    # -- recording ---------------------------------------------------------
+
+    def record_job(self, job_id: int, description: str,
+                   plan_signature: Optional[str]) -> None:
+        """Open a job entry: its id, description and optimized plan signature."""
+        with self._lock:
+            self._state["jobs"].append({
+                "job_id": job_id,
+                "description": description,
+                "plan_signature": plan_signature,
+                "stages": [],
+            })
+            self._flush_locked()
+
+    def record_stage(self, job_id: int, stage_name: str) -> None:
+        """Append one settled stage to the job's recorded stage graph."""
+        with self._lock:
+            for entry in reversed(self._state["jobs"]):
+                if entry["job_id"] == job_id:
+                    entry["stages"].append(stage_name)
+                    break
+            else:
+                return
+            self._flush_locked()
+
+    def record_shuffle(self, key: str, shuffle_id: int, num_maps: int,
+                       catalog: Dict[str, Any]) -> None:
+        """Record a settled shuffle's durable span catalog.
+
+        ``catalog`` is the :meth:`ShuffleManager.export_durable_catalog`
+        result: ``{"maps": [...], "buckets": {(map, reduce): (path, offset,
+        length, count, size)}}`` with every path durable.  Spans are stored
+        as flat lists (JSON has no tuple keys).
+        """
+        spans = [[m, r, path, offset, length, count, size]
+                 for (m, r), (path, offset, length, count, size)
+                 in sorted(catalog["buckets"].items())]
+        with self._lock:
+            self._state["shuffles"][key] = {
+                "shuffle_id": shuffle_id,
+                "num_maps": num_maps,
+                "maps": sorted(catalog["maps"]),
+                "spans": spans,
+            }
+            self._flush_locked()
+
+    def record_checkpoint(self, key: str, name: str, num_partitions: int,
+                          files: List[str], rows: List[int]) -> None:
+        """Record a materialised checkpoint: one frame file per partition."""
+        with self._lock:
+            self._state["checkpoints"][key] = {
+                "name": name,
+                "num_partitions": num_partitions,
+                "files": list(files),
+                "rows": list(rows),
+            }
+            self._flush_locked()
+
+    def forget_checkpoint(self, key: str) -> None:
+        """Drop a checkpoint entry (its files went missing or corrupt)."""
+        with self._lock:
+            if self._state["checkpoints"].pop(key, None) is not None:
+                self._flush_locked()
+
+    def forget_shuffle(self, key: str) -> None:
+        """Drop a shuffle entry (its recorded spans were invalidated)."""
+        with self._lock:
+            if self._state["shuffles"].pop(key, None) is not None:
+                self._flush_locked()
+
+    # -- metrics -----------------------------------------------------------
+
+    def drain_bytes_written(self) -> int:
+        """Journal bytes written since the last drain (``journal_bytes``)."""
+        with self._lock:
+            count, self._bytes_written = self._bytes_written, 0
+            return count
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _flush_locked(self) -> None:
+        payload = json.dumps(self._state, indent=0,
+                             sort_keys=True).encode("utf-8")
+        atomic_write_bytes(self.path, payload)
+        self._bytes_written += len(payload)
+
+
+def load_journal_state(directory: str) -> Optional[Dict[str, Any]]:
+    """Parse a journal document, or ``None`` when absent or damaged.
+
+    A truncated or otherwise unparseable journal is treated exactly like a
+    missing one — recovery degrades to a cold start — because the atomic
+    write discipline means damage can only come from outside the engine.
+    """
+    path = os.path.join(directory, JOURNAL_NAME)
+    try:
+        with open(path, "rb") as handle:
+            state = json.loads(handle.read().decode("utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(state, dict) or \
+            state.get("version") != JOURNAL_VERSION or \
+            not isinstance(state.get("shuffles"), dict) or \
+            not isinstance(state.get("checkpoints"), dict):
+        return None
+    state.setdefault("jobs", [])
+    return state
+
+
+def validate_shuffle_entry(entry: Any) -> Tuple[Dict[int, Dict[int, tuple]],
+                                                int, int]:
+    """CRC-revalidate one recorded shuffle's spans.
+
+    Every span is re-read through the checksummed frame reader and its
+    record count checked against the recorded one.  Returns ``(per-map
+    spans of fully valid map partitions, num_maps, invalid span count)``;
+    a map partition with *any* bad span is dropped wholesale, so the
+    resumed scheduler recomputes it from lineage instead of serving a
+    half-restored output.
+    """
+    try:
+        num_maps = int(entry["num_maps"])
+        spans = entry["spans"]
+    except (KeyError, TypeError, ValueError):
+        return {}, 0, 1
+    per_map: Dict[int, Dict[int, tuple]] = {}
+    bad_maps: set = set()
+    invalid = 0
+    for span in spans:
+        try:
+            map_partition, reduce_partition, path, offset, length, count, \
+                size = span
+            map_partition = int(map_partition)
+            records = load_frames(path, int(offset), int(length))
+            if len(records) != int(count):
+                raise ShuffleCorruptionError(
+                    f"span of map {map_partition} came back "
+                    f"{len(records)} records, expected {count}",
+                    path=str(path), offset=int(offset))
+        except (OSError, ShuffleCorruptionError, TypeError, ValueError):
+            invalid += 1
+            try:
+                bad_maps.add(int(span[0]))
+            except (TypeError, ValueError, IndexError):
+                pass
+            continue
+        per_map.setdefault(map_partition, {})[int(reduce_partition)] = (
+            str(path), int(offset), int(length), int(count), int(size))
+    for map_partition in bad_maps:
+        per_map.pop(map_partition, None)
+    return per_map, num_maps, invalid
+
+
+def validate_checkpoint_entry(entry: Any) -> Tuple[bool, int]:
+    """CRC-revalidate one recorded checkpoint's partition files.
+
+    Returns ``(all partitions valid, invalid file count)``.  Checkpoints
+    are adopted all-or-nothing: a dataset with one unreadable partition
+    recomputes entirely — partial adoption would complicate the read path
+    for no benefit, since lineage recomputation is always available.
+    """
+    try:
+        files = list(entry["files"])
+        rows = list(entry["rows"])
+        num_partitions = int(entry["num_partitions"])
+    except (KeyError, TypeError, ValueError):
+        return False, 1
+    if len(files) != num_partitions or len(rows) != num_partitions:
+        return False, 1
+    invalid = 0
+    for path, expected_rows in zip(files, rows):
+        try:
+            records = load_frames(path, 0, os.path.getsize(path))
+            if len(records) != int(expected_rows):
+                raise ShuffleCorruptionError(
+                    f"checkpoint partition {path!r} came back "
+                    f"{len(records)} records, expected {expected_rows}",
+                    path=str(path), offset=0)
+        except (OSError, ShuffleCorruptionError, TypeError, ValueError):
+            invalid += 1
+    return invalid == 0, invalid

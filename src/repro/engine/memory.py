@@ -445,6 +445,17 @@ class FrameFileWriter:
         self._handle.flush()
         return offset, len(payload)
 
+    def flush_and_sync(self) -> None:
+        """Force appended payloads to durable storage (fsync).
+
+        Checkpoint and journal writers call this so their spans survive a
+        driver crash; ordinary shuffle writers skip the fsync cost — their
+        files only need to outlive the *writer*, not the machine.
+        """
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
     def close(self) -> None:
         """Close the write handle, keeping the file for readers (idempotent)."""
         if self._handle is not None:

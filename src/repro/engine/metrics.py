@@ -198,6 +198,22 @@ class JobMetrics:
     #: blacklisted during this job (missed heartbeats or repeated
     #: fetch/task failures); their map outputs were proactively recomputed.
     blacklisted_workers: int = 0
+    #: Datasets whose partitions this job materialised to durable
+    #: checkpoint files (manual ``Dataset.checkpoint()`` calls and
+    #: automatic ``checkpoint_interval`` checkpoints alike).
+    checkpoints_written: int = 0
+    #: Stages this job skipped because the journal restored their output:
+    #: shuffles re-registered from recorded (CRC-revalidated) span
+    #: catalogs, plus checkpoints adopted from a previous run's files.
+    stages_recovered: int = 0
+    #: Bytes written to the write-ahead job journal on behalf of this job
+    #: (each update rewrites the journal atomically, so this is the sum of
+    #: the rewritten document sizes).
+    journal_bytes: int = 0
+    #: Journal or checkpoint entries dropped during recovery because their
+    #: spans or files were missing or failed CRC revalidation; each dropped
+    #: entry degrades to ordinary lineage recomputation.
+    recovery_invalid_entries: int = 0
 
     def add_stage(self, stage: StageMetrics) -> None:
         """Attach a completed stage to the job."""
@@ -325,6 +341,10 @@ class JobMetrics:
             "speculative_launches": self.speculative_launches,
             "speculative_wins": self.speculative_wins,
             "blacklisted_workers": self.blacklisted_workers,
+            "checkpoints_written": self.checkpoints_written,
+            "stages_recovered": self.stages_recovered,
+            "journal_bytes": self.journal_bytes,
+            "recovery_invalid_entries": self.recovery_invalid_entries,
         }
 
 
@@ -362,6 +382,11 @@ def merge_job_metrics(jobs: Iterable[JobMetrics]) -> Dict[str, float]:
         "speculative_launches": sum(j.speculative_launches for j in jobs),
         "speculative_wins": sum(j.speculative_wins for j in jobs),
         "blacklisted_workers": sum(j.blacklisted_workers for j in jobs),
+        "checkpoints_written": sum(j.checkpoints_written for j in jobs),
+        "stages_recovered": sum(j.stages_recovered for j in jobs),
+        "journal_bytes": sum(j.journal_bytes for j in jobs),
+        "recovery_invalid_entries": sum(j.recovery_invalid_entries
+                                        for j in jobs),
     }
     return summary
 

@@ -70,12 +70,12 @@ from ..config import EngineConfig
 from ..errors import PlanError
 from . import dataset as physical
 from .partitioner import HashPartitioner, RoundRobinPartitioner
-from .plan import (AggregateNode, BroadcastJoinNode, CoalesceNode, CoGroupNode,
-                   DistinctNode, FilterNode, FlatMapNode, FusedNode,
-                   GroupByKeyNode, JoinNode, LogicalNode, MapNode,
-                   MapPartitionsNode, PhysicalScanNode, ProjectedScanNode,
-                   ProjectNode, RepartitionNode, SampleNode, SortNode,
-                   SourceNode, UnionNode, output_partitioning)
+from .plan import (AggregateNode, BroadcastJoinNode, CheckpointScanNode,
+                   CoalesceNode, CoGroupNode, DistinctNode, FilterNode,
+                   FlatMapNode, FusedNode, GroupByKeyNode, JoinNode,
+                   LogicalNode, MapNode, MapPartitionsNode, PhysicalScanNode,
+                   ProjectedScanNode, ProjectNode, RepartitionNode, SampleNode,
+                   SortNode, SourceNode, UnionNode, output_partitioning)
 from .stats import StatsEstimator
 
 #: Narrow record-at-a-time operators the ``fuse_narrow`` rule may collapse.
@@ -335,11 +335,26 @@ class PlanOptimizer:
                 return candidate
         return None
 
+    @staticmethod
+    def _checkpointed_physical(node: LogicalNode):
+        """The checkpointed dataset behind ``node``, if its files are live."""
+        ds = node.dataset
+        if ds is not None and ds.has_checkpoint:
+            return ds
+        return None
+
     def _prune_cached(self, node: LogicalNode, applied: List[str]) -> LogicalNode:
         materialized = self._materialized_physical(node)
         if materialized is not None and node.children:
             applied.append("cache_prune")
             return PhysicalScanNode(materialized)
+        checkpointed = self._checkpointed_physical(node)
+        if checkpointed is not None and node.children:
+            # lineage truncation at a durable checkpoint: same shape as the
+            # cache prune, but the scan serves checksummed files that also
+            # survive restarts — recomputation and recovery stop here
+            applied.append("cache_prune")
+            return CheckpointScanNode(checkpointed)
         new_children = [self._prune_cached(child, applied)
                         for child in node.children]
         if any(new is not old for new, old in zip(new_children, node.children)):
@@ -763,7 +778,7 @@ def _build_physical(node: LogicalNode, ctx) -> "physical.Dataset":
         origin = node.source_dataset
         return d.SourceDataset(ctx, origin._source, origin.num_partitions,
                                columns=node.fields)
-    if isinstance(node, (SourceNode, PhysicalScanNode)):
+    if isinstance(node, (SourceNode, PhysicalScanNode, CheckpointScanNode)):
         # leaves always carry their physical dataset; reaching this branch
         # means the plan was built by hand without one
         raise PlanError(f"cannot lower {node.op} node without a physical dataset")

@@ -168,6 +168,40 @@ class PhysicalScanNode(LogicalNode):
         return f"{self.dataset.name}, partitions={self.dataset.num_partitions}"
 
 
+class CheckpointScanNode(LogicalNode):
+    """A leaf scanning a dataset's durable checkpoint files.
+
+    Inserted by the cache-pruning rule when a dataset has a validated
+    checkpoint (:meth:`~repro.engine.dataset.Dataset.checkpoint`): the
+    whole subtree below it is replaced by a direct scan of the checksummed
+    partition files, so stage-retry recomputation and recovery replay stop
+    at the checkpoint instead of walking the lineage back to the sources.
+    ``dataset`` is the checkpointed dataset itself — its compute path
+    serves the files and transparently falls back to lineage if a file
+    fails its CRC, so this truncation can never produce a wrong answer.
+    """
+
+    op = "checkpoint_scan"
+
+    def __init__(self, dataset):
+        super().__init__([], dataset=dataset)
+
+    def signature(self) -> Tuple[Any, ...]:
+        """Keyed by the checkpointed dataset, not the origin counter.
+
+        Same reasoning as :class:`PhysicalScanNode`: the node is rebuilt on
+        every optimizer run and a counter identity would defeat the
+        lowered-plan memo.
+        """
+        ds_id = self.dataset.id if self.dataset is not None else self.origin_id
+        return (self.op, self.variant, ("checkpoint", ds_id), ())
+
+    def details(self) -> str:
+        if self.dataset is None:
+            return ""
+        return f"{self.dataset.name}, partitions={self.dataset.num_partitions}"
+
+
 class ProjectedScanNode(LogicalNode):
     """A leaf scanning only some fields of a schema-bearing source.
 

@@ -33,6 +33,7 @@ from .dataset import (BroadcastDependency, CoGroupedDataset, Dataset,
                       Dependency, ShuffleDependency, ShuffledDataset,
                       TaskContext)
 from .executor import Task, create_executor
+from .journal import plan_signature_key, validate_shuffle_entry
 from .metrics import JobMetrics, StageMetrics
 from .retry import RetryPolicy
 
@@ -62,20 +63,33 @@ class NodeHealthTracker:
     executor recycles its pool) and their map outputs are proactively
     invalidated and recomputed by the scheduler, which drains
     :meth:`drain_new` between stages.  All methods are thread-safe.
+
+    With ``blacklist_cooldown_s > 0`` a blacklisting is a sentence, not a
+    verdict: once the cooldown elapses the worker is rehabilitated — it
+    leaves the blacklist with a clean strike ledger and may be scheduled
+    again.  A transient environmental glitch (disk-full, GC pause storms)
+    thus cannot permanently shrink the pool, while a genuinely sick node
+    that keeps failing simply earns its next sentence.  Expiry is checked
+    lazily against the injected clock on every query, so tests can drive
+    it with a fake clock.
     """
 
     def __init__(self, failure_threshold: int = 0,
                  heartbeat_timeout_s: float = 0.0,
                  heartbeat_dir: Optional[Callable[[], str]] = None,
-                 clock: Callable[[], float] = time.time):
+                 clock: Callable[[], float] = time.time,
+                 blacklist_cooldown_s: float = 0.0):
         self.failure_threshold = failure_threshold
         self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.blacklist_cooldown_s = blacklist_cooldown_s
         self._heartbeat_dir = heartbeat_dir
         self._clock = clock
         self._lock = threading.Lock()
         self._strikes: Dict[Any, int] = {}
         self._blacklist: set = set()
         self._new: List[Any] = []
+        #: worker -> clock time at which its blacklisting expires.
+        self._expiry: Dict[Any, float] = {}
 
     @property
     def strikes_enabled(self) -> bool:
@@ -94,7 +108,24 @@ class NodeHealthTracker:
         self._blacklist.add(worker)
         self._new.append(worker)
         self._strikes.pop(worker, None)
+        if self.blacklist_cooldown_s > 0:
+            self._expiry[worker] = self._clock() + self.blacklist_cooldown_s
         return True
+
+    def _release_expired_locked(self) -> List[Any]:
+        """Rehabilitate workers whose cooldown elapsed (lock held)."""
+        if not self._expiry:
+            return []
+        now = self._clock()
+        released = [worker for worker, expires_at in self._expiry.items()
+                    if expires_at <= now]
+        for worker in released:
+            del self._expiry[worker]
+            self._blacklist.discard(worker)
+            # a rehabilitated worker starts with a clean ledger — stale
+            # strikes from before the sentence must not instantly re-convict
+            self._strikes.pop(worker, None)
+        return released
 
     def record_failure(self, worker: Any, kind: str = "task") -> bool:
         """Count one failure against ``worker``; True if it got blacklisted.
@@ -106,6 +137,7 @@ class NodeHealthTracker:
         if not self.strikes_enabled or worker is None:
             return False
         with self._lock:
+            self._release_expired_locked()
             if worker in self._blacklist:
                 return False
             self._strikes[worker] = self._strikes.get(worker, 0) + 1
@@ -120,12 +152,14 @@ class NodeHealthTracker:
 
     def is_blacklisted(self, worker: Any) -> bool:
         with self._lock:
+            self._release_expired_locked()
             return worker in self._blacklist
 
     @property
     def blacklisted(self) -> set:
         """Snapshot of every blacklisted worker identity."""
         with self._lock:
+            self._release_expired_locked()
             return set(self._blacklist)
 
     def drain_new(self) -> List[Any]:
@@ -138,6 +172,8 @@ class NodeHealthTracker:
         """Blacklist workers whose beat file went stale; returns them."""
         if not self.watches_beats:
             return []
+        with self._lock:
+            self._release_expired_locked()
         try:
             entries = list(os.scandir(self._heartbeat_dir()))
         except OSError:
@@ -262,11 +298,29 @@ class DAGScheduler:
 
     def __init__(self, config: EngineConfig, shuffle_manager, block_store,
                  metrics_registry, broadcast_builds: Optional[Dict] = None,
-                 memory_manager=None, transport=None):
+                 memory_manager=None, transport=None, journal=None,
+                 recovered_shuffles: Optional[Dict] = None,
+                 recovery_counters: Optional[Dict] = None,
+                 checkpoint_hook: Optional[Callable[[Dataset], None]] = None):
         self.config = config
         self.shuffle_manager = shuffle_manager
         self.block_store = block_store
         self.metrics_registry = metrics_registry
+        #: Write-ahead job journal (``checkpoint_dir`` set); settled
+        #: shuffles export their durable span catalogs into it.
+        self.journal = journal
+        #: Shuffle entries replayed from a prior run's journal, keyed
+        #: ``"shuffle:<id>"``; revalidated and adopted lazily when the
+        #: stage that would recompute them is about to run.
+        self.recovered_shuffles = recovered_shuffles \
+            if recovered_shuffles is not None else {}
+        #: Context-owned recovery tallies, folded into each finishing job.
+        self.recovery_counters = recovery_counters \
+            if recovery_counters is not None else {}
+        #: Context callback checkpointing a dataset after its shuffle
+        #: settled (``checkpoint_interval`` automatic checkpoints).
+        self.checkpoint_hook = checkpoint_hook
+        self._settled_shuffles = 0
         #: Context-wide cache of collected broadcast build sides, keyed by
         #: ``(build dataset id, collection kind)``; lets a later job joining
         #: against the same build side skip the nested collection job.
@@ -287,7 +341,8 @@ class DAGScheduler:
                 heartbeat_timeout_s=(timeout if config.heartbeat_interval_s > 0
                                      and transport is not None else 0.0),
                 heartbeat_dir=(transport.heartbeat_dir
-                               if transport is not None else None))
+                               if transport is not None else None),
+                blacklist_cooldown_s=config.blacklist_cooldown_s)
         #: Shared retry policy bounding the fetch-failure/lineage-recompute
         #: loop; no backoff — the recompute itself is the wait.
         self.stage_retry_policy = RetryPolicy(
@@ -318,6 +373,9 @@ class DAGScheduler:
         whole-dataset jobs, since a replacement may change partitioning.
         """
         job = JobMetrics(job_id=next(self._job_counter), description=description)
+        if self.journal is not None:
+            self.journal.record_job(job.job_id, description,
+                                    plan_signature_key(dataset.plan))
         try:
             dataset = self._execute_prerequisites(dataset, job, replanner)
             if partitions is None:
@@ -348,6 +406,14 @@ class DAGScheduler:
             self._discard_incomplete_shuffles(dataset)
             raise
         finally:
+            if self.journal is not None:
+                job.journal_bytes += self.journal.drain_bytes_written()
+            for name in ("checkpoints_written", "stages_recovered",
+                         "recovery_invalid_entries"):
+                pending = self.recovery_counters.get(name, 0)
+                if pending:
+                    setattr(job, name, getattr(job, name) + pending)
+                    self.recovery_counters[name] = 0
             # failed jobs are registered too, so their attempts stay inspectable
             job.finish()
             self.metrics_registry.register(job)
@@ -531,6 +597,7 @@ class DAGScheduler:
                 self._fill_broadcast(dependency, job)
                 continue
             self._run_shuffle_stage(dependency, job)
+            self._maybe_auto_checkpoint(dataset, dependency)
             if replanner is not None and \
                     job.adaptive_replans < _MAX_ADAPTIVE_REPLANS:
                 replanned = replanner()
@@ -542,8 +609,8 @@ class DAGScheduler:
         """Pending shuffle/broadcast dependencies whose own inputs are ready.
 
         Deepest-first, left-to-right, skipping anything beneath a complete
-        shuffle, a filled broadcast or a fully cached dataset — the same
-        boundaries job execution observes.
+        shuffle, a filled broadcast, a fully cached dataset or a durable
+        checkpoint — the same boundaries job execution observes.
         """
         ready: List[Dependency] = []
         satisfied: Dict[int, bool] = {}
@@ -552,7 +619,7 @@ class DAGScheduler:
             if node.id in satisfied:
                 return satisfied[node.id]
             ok = True
-            if not self._is_fully_cached(node):
+            if not self._is_fully_cached(node) and not node.has_checkpoint:
                 for dependency in node.dependencies:
                     if isinstance(dependency, ShuffleDependency):
                         if self.shuffle_manager.is_complete(dependency.shuffle_id):
@@ -645,7 +712,7 @@ class DAGScheduler:
             if node.id in seen:
                 return
             seen.add(node.id)
-            if self._is_fully_cached(node):
+            if self._is_fully_cached(node) or node.has_checkpoint:
                 return
             if isinstance(node, (ShuffledDataset, CoGroupedDataset)):
                 if node.split_plan and node.supports_slice_reads:
@@ -714,12 +781,16 @@ class DAGScheduler:
         self.shuffle_manager.register_shuffle(dependency.shuffle_id,
                                               parent.num_partitions)
         shuffle_id = dependency.shuffle_id
+        if not recompute:
+            self._adopt_recovered_shuffle(dependency, job)
         label = f"{'recompute' if recompute else 'shuffle'}:{parent.name}"
 
         def build_map_stage():
             # only the still-missing map partitions run: everything for a
-            # fresh shuffle, just the invalidated ones on a recompute, and
-            # on a stage retry whatever the previous attempt left unwritten
+            # fresh shuffle, just the invalidated ones on a recompute, the
+            # ones journal recovery could not revalidate on a resumed run,
+            # and on a stage retry whatever the previous attempt left
+            # unwritten
             pending = self.shuffle_manager.missing_map_partitions(shuffle_id)
             stage = StageMetrics(stage_id=next(self._stage_counter),
                                  name=label, is_shuffle_map=True)
@@ -730,8 +801,99 @@ class DAGScheduler:
                 for p in pending]
             return stage, tasks
 
-        self._execute_stage_with_recovery(job, parent, build_map_stage,
-                                          register_failed=False)
+        if not self.shuffle_manager.is_complete(shuffle_id):
+            self._execute_stage_with_recovery(job, parent, build_map_stage,
+                                              register_failed=False)
+        self._journal_settled_shuffle(dependency, job, label)
+
+    def _adopt_recovered_shuffle(self, dependency: ShuffleDependency,
+                                 job: JobMetrics) -> None:
+        """Re-register a prior run's map output for this shuffle, if valid.
+
+        Every recorded span is CRC-revalidated by actually re-reading it; a
+        map partition with any bad span is dropped (and recomputed by the
+        normal missing-partition path), so the journal can only save work,
+        never corrupt a result.  A shuffle fully served by recovered spans
+        skips its map stage entirely and counts as a recovered stage.
+        """
+        if not self.recovered_shuffles:
+            return
+        key = f"shuffle:{dependency.shuffle_id}"
+        entry = self.recovered_shuffles.pop(key, None)
+        if entry is None:
+            return
+        per_map, num_maps, invalid = validate_shuffle_entry(entry)
+        if num_maps != dependency.parent.num_partitions:
+            # a different program shape landed on the same shuffle id:
+            # nothing recorded is trustworthy for this stage
+            self.recovery_counters["recovery_invalid_entries"] = \
+                self.recovery_counters.get("recovery_invalid_entries", 0) + 1
+            if self.journal is not None:
+                self.journal.forget_shuffle(key)
+            return
+        if invalid:
+            self.recovery_counters["recovery_invalid_entries"] = \
+                self.recovery_counters.get("recovery_invalid_entries", 0) + \
+                invalid
+        for map_partition, spans in sorted(per_map.items()):
+            self.shuffle_manager.register_external_map_output(
+                dependency.shuffle_id, map_partition, spans,
+                worker="recovered")
+        if per_map and self.shuffle_manager.is_complete(dependency.shuffle_id):
+            job.stages_recovered += 1
+
+    def _journal_settled_shuffle(self, dependency: ShuffleDependency,
+                                 job: JobMetrics, label: str) -> None:
+        """Record a settled shuffle's durable span catalog in the journal."""
+        if self.journal is None:
+            return
+        if not self.shuffle_manager.is_complete(dependency.shuffle_id):
+            return
+        catalog = self.shuffle_manager.export_durable_catalog(
+            dependency.shuffle_id, self.journal.directory)
+        self.journal.record_shuffle(f"shuffle:{dependency.shuffle_id}",
+                                    dependency.shuffle_id,
+                                    dependency.parent.num_partitions, catalog)
+        self.journal.record_stage(job.job_id, label)
+
+    def _maybe_auto_checkpoint(self, dataset: Dataset,
+                               dependency: ShuffleDependency) -> None:
+        """Checkpoint the settled shuffle's consumer every N shuffle stages.
+
+        ``checkpoint_interval`` counts settled shuffle-map stages across the
+        context; on every Nth one the dataset consuming the fresh shuffle
+        output is materialised through the context hook, truncating lineage
+        there for later recomputation and for journal resume.
+        """
+        interval = self.config.checkpoint_interval
+        if interval <= 0 or self.checkpoint_hook is None:
+            return
+        self._settled_shuffles += 1
+        if self._settled_shuffles % interval:
+            return
+        consumer = self._find_shuffle_consumer(dataset, dependency.shuffle_id)
+        if consumer is not None:
+            self.checkpoint_hook(consumer)
+
+    def _find_shuffle_consumer(self, lineage: Dataset,
+                               shuffle_id: int) -> Optional[Dataset]:
+        """The dataset in ``lineage`` reading shuffle ``shuffle_id``."""
+        seen: set = set()
+
+        def walk(node: Dataset) -> Optional[Dataset]:
+            if node.id in seen:
+                return None
+            seen.add(node.id)
+            for dependency in node.dependencies:
+                if isinstance(dependency, ShuffleDependency) and \
+                        dependency.shuffle_id == shuffle_id:
+                    return node
+                found = walk(dependency.parent)
+                if found is not None:
+                    return found
+            return None
+
+        return walk(lineage)
 
     # -- introspection ------------------------------------------------------------
 

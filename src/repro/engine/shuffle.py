@@ -489,6 +489,75 @@ class ShuffleManager:
                     (writer.path, offset, length, len(bucket), size)
         return {"maps": maps, "buckets": buckets}
 
+    def export_durable_catalog(self, shuffle_id: int,
+                               directory: str) -> Dict[str, Any]:
+        """Span catalog of one complete shuffle with every span durable.
+
+        The journaling twin of :meth:`export_catalog`: spans whose frame
+        files already live under ``directory`` (the engine's checkpoint
+        dir — where a durable transport roots its shuffle files) are
+        reused as-is; everything else — resident buckets, locally spilled
+        spans, external spans outside the durable root — is re-framed into
+        fsynced per-map files under ``directory/shuffle-<id>/``.  The
+        result is safe to record in the job journal: every path in it
+        survives a driver crash.
+        """
+        prefix = os.path.abspath(directory) + os.sep
+        with self._lock:
+            self._check_readable(shuffle_id)
+            maps = sorted(self._completed_maps[shuffle_id])
+            buckets: Dict[Tuple[int, int], Tuple[str, int, int, int, int]] = {}
+            pending: Dict[int, List[Tuple[int, List[Any],
+                                          Tuple[str, int, int], int]]] = {}
+            for key, size in self._bucket_bytes.items():
+                if key[0] != shuffle_id:
+                    continue
+                entry = (key[1], key[2])
+                external = self._external.get(key)
+                if external is not None:
+                    if external[3] == 0:
+                        continue
+                    if os.path.abspath(external[0]).startswith(prefix):
+                        buckets[entry] = (external[0], external[1],
+                                          external[2], external[3], size)
+                    else:
+                        pending.setdefault(key[1], []).append(
+                            (key[2], None,
+                             (external[0], external[1], external[2]), size))
+                    continue
+                span = self._spilled.get(key)
+                if span is not None:
+                    path = self._spill_files[shuffle_id].path
+                    pending.setdefault(key[1], []).append(
+                        (key[2], None, (path, span[0], span[1]), size))
+                    continue
+                bucket = self._buckets.get(key)
+                if bucket:
+                    pending.setdefault(key[1], []).append(
+                        (key[2], bucket, None, size))
+        # re-framing happens outside the lock: resident buckets are
+        # immutable once written and spill/transport files append-only
+        from .memory import FrameFileWriter
+        shuffle_dir = os.path.join(directory, f"shuffle-{shuffle_id}")
+        for map_partition, items in sorted(pending.items()):
+            os.makedirs(shuffle_dir, exist_ok=True)
+            path = os.path.join(
+                shuffle_dir,
+                f"map-{map_partition}-{os.getpid()}-journal.data")
+            writer = FrameFileWriter(path)
+            try:
+                for reduce_partition, bucket, span, size in items:
+                    if bucket is None:
+                        bucket = load_frames(*span)
+                    offset, length = writer.append(
+                        dump_frames(bucket, self.codec))
+                    buckets[(map_partition, reduce_partition)] = \
+                        (path, offset, length, len(bucket), size)
+                writer.flush_and_sync()
+            finally:
+                writer.close()
+        return {"maps": maps, "buckets": buckets}
+
     # -- reduce side ----------------------------------------------------------
 
     def is_complete(self, shuffle_id: int) -> bool:
@@ -885,7 +954,10 @@ class ShuffleManager:
     def clear(self) -> None:
         """Discard every shuffle (used when an engine context shuts down)."""
         with self._lock:
-            if self.transport is not None:
+            if self.transport is not None and not self.transport.durable:
+                # a durable transport's frame files are recovery state:
+                # they must survive stop() so a restarted context can
+                # re-register them from the journal
                 for shuffle_id in self._expected_maps:
                     self.transport.remove_shuffle(shuffle_id)
             self._buckets.clear()

@@ -35,6 +35,7 @@ chaos can key on it — the server is otherwise stateless per request.
 
 from __future__ import annotations
 
+import errno
 import os
 import posixpath
 import socket
@@ -57,6 +58,10 @@ _MAGIC = b"RSHF"
 STATUS_OK = 0
 STATUS_NOT_FOUND = 1
 STATUS_ERROR = 2
+
+
+class AddressInUseError(OSError):
+    """The requested port was taken on every bounded bind attempt."""
 
 
 def span_chaos_key(relpath: str, offset: int) -> str:
@@ -112,7 +117,8 @@ class ShuffleServer:
 
     def __init__(self, root: str, drop_rate: float = 0.0,
                  delay_s: float = 0.0, corruption_rate: float = 0.0,
-                 seed: int = 0, host: str = "127.0.0.1") -> None:
+                 seed: int = 0, host: str = "127.0.0.1", port: int = 0,
+                 bind_policy: Optional[RetryPolicy] = None) -> None:
         self.root = os.path.abspath(root)
         self._drop_rate = drop_rate
         self._delay_s = delay_s
@@ -121,14 +127,46 @@ class ShuffleServer:
         self._lock = threading.Lock()
         self._closed = False
         self.requests_served = 0
-        self._socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._socket.bind((host, 0))
-        self._socket.listen(128)
+        #: Live per-request threads, joined by :meth:`stop` so shutdown
+        #: drains in-flight responses instead of racing them.
+        self._in_flight: set = set()
+        self._socket = self._bind(host, port, bind_policy)
         self.address: Tuple[str, int] = self._socket.getsockname()
         self._thread = threading.Thread(target=self._accept_loop,
                                         name="shuffle-server", daemon=True)
         self._thread.start()
+
+    def _bind(self, host: str, port: int,
+              policy: Optional[RetryPolicy]) -> socket.socket:
+        """Bind and listen, retrying a taken port with bounded backoff.
+
+        A fixed ``port`` (multi-context test rigs, quick restarts into a
+        lingering TIME_WAIT socket) can transiently collide; retrying under
+        the shared :class:`RetryPolicy` rides that out.  Any other bind
+        error — permissions, bad interface — is not retried.  Exhaustion
+        raises :class:`AddressInUseError`.
+        """
+        if policy is None:
+            policy = RetryPolicy(max_retries=4, backoff_s=0.05,
+                                 max_backoff_s=0.5, seed=self._seed)
+
+        def bind_once(attempt: int) -> socket.socket:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            try:
+                sock.bind((host, port))
+                sock.listen(128)
+            except OSError as error:
+                sock.close()
+                if getattr(error, "errno", None) == errno.EADDRINUSE:
+                    raise AddressInUseError(
+                        f"port {port} on {host} is in use "
+                        f"(attempt {attempt + 1})") from error
+                raise
+            return sock
+
+        return policy.run(bind_once, key=f"bind:{host}:{port}",
+                          retry_on=(AddressInUseError,))
 
     def _accept_loop(self) -> None:
         while True:
@@ -138,9 +176,21 @@ class ShuffleServer:
                 return
             worker = threading.Thread(target=self._serve,
                                       args=(connection,), daemon=True)
+            with self._lock:
+                if self._closed:
+                    connection.close()
+                    return
+                self._in_flight.add(worker)
             worker.start()
 
     def _serve(self, connection: socket.socket) -> None:
+        try:
+            self._serve_request(connection)
+        finally:
+            with self._lock:
+                self._in_flight.discard(threading.current_thread())
+
+    def _serve_request(self, connection: socket.socket) -> None:
         try:
             with connection:
                 connection.settimeout(30.0)
@@ -184,7 +234,13 @@ class ShuffleServer:
             return  # a broken peer never takes the server down
 
     def stop(self) -> None:
-        """Stop accepting connections; in-flight requests drain on their own."""
+        """Graceful shutdown: stop accepting, then drain in-flight requests.
+
+        New connections are refused first (listening socket closed), then
+        every request thread already serving a response is joined — a
+        fetch that reached the server before the shutdown gets its bytes,
+        it is never cut off mid-payload.  Idempotent.
+        """
         with self._lock:
             if self._closed:
                 return
@@ -200,6 +256,13 @@ class ShuffleServer:
         except OSError:
             pass
         self._thread.join(timeout=5.0)
+        with self._lock:
+            draining = list(self._in_flight)
+        for worker in draining:
+            try:
+                worker.join(timeout=5.0)
+            except RuntimeError:
+                pass  # registered but not yet started; it will see _closed
 
 
 class FetchError(OSError):

@@ -36,12 +36,12 @@ from typing import Any, Optional, Tuple
 
 from ..config import EngineConfig
 from . import dataset as physical
-from .plan import (AggregateNode, BroadcastJoinNode, CoalesceNode, CoGroupNode,
-                   DistinctNode, FilterNode, FlatMapNode, FusedNode,
-                   GroupByKeyNode, JoinNode, LogicalNode, MapNode,
-                   MapPartitionsNode, PhysicalScanNode, ProjectedScanNode,
-                   ProjectNode, RepartitionNode, SampleNode, SortNode,
-                   SourceNode, UnionNode)
+from .plan import (AggregateNode, BroadcastJoinNode, CheckpointScanNode,
+                   CoalesceNode, CoGroupNode, DistinctNode, FilterNode,
+                   FlatMapNode, FusedNode, GroupByKeyNode, JoinNode,
+                   LogicalNode, MapNode, MapPartitionsNode, PhysicalScanNode,
+                   ProjectedScanNode, ProjectNode, RepartitionNode, SampleNode,
+                   SortNode, SourceNode, UnionNode)
 from .memory import resolve_codec
 from .shuffle import estimate_bytes
 
@@ -415,6 +415,14 @@ class StatsEstimator:
         child = children[0] if children else None
 
         if isinstance(node, (SourceNode, PhysicalScanNode)):
+            return self._leaf_stats(node)
+        if isinstance(node, CheckpointScanNode):
+            # checkpoint metadata records exact per-partition row counts
+            entry = getattr(node.dataset, "_checkpoint", None)
+            if entry is not None:
+                return StatsEstimate(rows=float(sum(entry.rows)),
+                                     size_bytes=float(entry.size_bytes),
+                                     exact=True)
             return self._leaf_stats(node)
         if isinstance(node, ProjectedScanNode):
             # a pruned scan is its source leaf shrunk by the projection: the

@@ -46,6 +46,10 @@ class ShuffleTransport:
     #: shuffle layer uses this to pick the external-write path.
     networked = False
 
+    #: Durable transports keep shuffle frame files across driver restarts
+    #: (journal-based recovery); shutdown must not sweep them.
+    durable = False
+
     def publish_stage(self, payload: bytes) -> str:
         """Store one serialized stage payload; return a worker-readable token."""
         raise NotImplementedError
@@ -87,8 +91,14 @@ class LocalDirShuffleTransport(ShuffleTransport):
     succeeded.
     """
 
-    def __init__(self, root: str):
+    def __init__(self, root: str, durable: bool = False):
         self.root = root
+        #: Durable transports root their frame files under the engine's
+        #: ``checkpoint_dir``: shuffle spans must outlive the driver process
+        #: for journal-based recovery, so :meth:`cleanup` sweeps only the
+        #: ephemeral pieces (stage payloads, worker scratch, heartbeats) and
+        #: leaves the shuffle directories in place.
+        self.durable = durable
         os.makedirs(root, exist_ok=True)
         self._seq = itertools.count()
 
@@ -145,7 +155,24 @@ class LocalDirShuffleTransport(ShuffleTransport):
         return {"mode": "local", "root": self.root}
 
     def cleanup(self) -> None:
-        shutil.rmtree(self.root, ignore_errors=True)
+        if not self.durable:
+            shutil.rmtree(self.root, ignore_errors=True)
+            return
+        # durable root: shuffle frame files must survive for recovery, but
+        # everything process-scoped is garbage once the driver exits
+        shutil.rmtree(os.path.join(self.root, "scratch"), ignore_errors=True)
+        shutil.rmtree(os.path.join(self.root, "heartbeats"),
+                      ignore_errors=True)
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return
+        for name in names:
+            if name.startswith("stage-") and name.endswith(".payload"):
+                try:
+                    os.remove(os.path.join(self.root, name))
+                except OSError:
+                    pass
 
 
 class TcpShuffleTransport(LocalDirShuffleTransport):
@@ -166,8 +193,8 @@ class TcpShuffleTransport(LocalDirShuffleTransport):
 
     def __init__(self, root: str, address: Tuple[str, int],
                  policy: Optional[RetryPolicy] = None,
-                 timeout_s: float = 5.0):
-        super().__init__(root)
+                 timeout_s: float = 5.0, durable: bool = False):
+        super().__init__(root, durable=durable)
         from .shuffle_server import ShuffleFetchClient
         self.address = (address[0], int(address[1]))
         self._policy = policy if policy is not None else RetryPolicy()

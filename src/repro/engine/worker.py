@@ -31,7 +31,8 @@ import traceback
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..errors import FetchFailedError, ShuffleCorruptionError
+from ..errors import (CheckpointCorruptionError, FetchFailedError,
+                      ShuffleCorruptionError)
 from . import serializer
 from .dataset import TaskContext
 from .executor import (_TASK_COUNTERS, InjectedFailure, should_inject_crash,
@@ -406,6 +407,10 @@ def run_stage_task(payload_path: str, task_index: int,
             # structured coordinates survive the boundary so the driver can
             # rethrow a real FetchFailedError for the scheduler
             outcome["fetch_failed"] = (error.shuffle_id, error.map_partition)
+        elif isinstance(error, CheckpointCorruptionError):
+            # likewise for a rotten checkpoint file: the driver invalidates
+            # the checkpoint and re-runs the job from lineage
+            outcome["checkpoint_failed"] = (error.dataset_id, error.partition)
         return outcome
     # network fetches this task survived (TCP transport retries) become
     # the task's fetch_retries counter, shipped with the other nine
