@@ -186,8 +186,13 @@ class EngineContext:
         self._recovered_checkpoints.update(state.get("checkpoints", {}))
 
     def checkpoints_dir(self) -> str:
-        """Directory holding checkpoint partition files (created on use)."""
-        if self._checkpoint_root is None:
+        """Directory for *writing* checkpoint partition files (created on use).
+
+        Requires ``checkpoint_dir`` proper: a recover-only context (just
+        ``recover_from``) journals nothing, so letting it write checkpoint
+        files into the recovered directory would leave them unjournaled.
+        """
+        if not self.config.checkpoint_dir:
             raise ConfigurationError(
                 "Dataset.checkpoint() requires EngineConfig.checkpoint_dir")
         directory = os.path.join(self._checkpoint_root, "checkpoints")
@@ -200,16 +205,20 @@ class EngineContext:
         Adopts the recovered checkpoint recorded under the same plan
         signature when its files still pass their CRCs; otherwise runs one
         collection job and writes every partition as an atomically renamed,
-        fsynced frame file.
+        fsynced frame file.  Adoption needs no write access, so it is
+        attempted before the ``checkpoint_dir`` requirement is enforced —
+        a recover-only context may adopt, never write.
         """
         self._check_active()
         if dataset._checkpoint is not None:
             return
-        directory = self.checkpoints_dir()
-        key = plan_signature_key(dataset.plan) if dataset.plan is not None \
-            else f"dataset:{dataset.id}"
+        # plan_signature_key can also return None (unsignable plan); the
+        # dataset-id fallback keeps the journal key a unique string either
+        # way — a None key would serialise as "null" and collide
+        key = plan_signature_key(dataset.plan) or f"dataset:{dataset.id}"
         if self._adopt_recovered_checkpoint(dataset, key):
             return
+        directory = self.checkpoints_dir()
         partials = self.run_job(dataset, collect_partition,
                                 description=f"checkpoint:{dataset.name}")
         codec = resolve_codec(self.config.spill_codec,
@@ -246,7 +255,15 @@ class EngineContext:
             return False
         files = [str(path) for path in entry["files"]]
         rows = [int(count) for count in entry["rows"]]
-        size_bytes = sum(os.path.getsize(path) for path in files)
+        try:
+            size_bytes = sum(os.path.getsize(path) for path in files)
+        except OSError:
+            # a file vanished between validation and here: same degradation
+            # as failing validation — recompute from lineage
+            self.recovery_counters["recovery_invalid_entries"] += 1
+            if self._journal is not None:
+                self._journal.forget_checkpoint(key)
+            return False
         self._install_checkpoint(dataset,
                                  CheckpointEntry(key, files, rows, size_bytes))
         self.recovery_counters["stages_recovered"] += 1

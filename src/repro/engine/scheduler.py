@@ -33,7 +33,8 @@ from .dataset import (BroadcastDependency, CoGroupedDataset, Dataset,
                       Dependency, ShuffleDependency, ShuffledDataset,
                       TaskContext)
 from .executor import Task, create_executor
-from .journal import plan_signature_key, validate_shuffle_entry
+from .journal import (plan_signature_key, shuffle_journal_key,
+                      validate_shuffle_entry)
 from .metrics import JobMetrics, StageMetrics
 from .retry import RetryPolicy
 
@@ -818,13 +819,19 @@ class DAGScheduler:
         """
         if not self.recovered_shuffles:
             return
-        key = f"shuffle:{dependency.shuffle_id}"
+        key = shuffle_journal_key(dependency)
+        if key is None:
+            return
         entry = self.recovered_shuffles.pop(key, None)
         if entry is None:
             return
         per_map, num_maps, invalid = validate_shuffle_entry(entry)
-        if num_maps != dependency.parent.num_partitions:
-            # a different program shape landed on the same shuffle id:
+        recorded_reduces = entry.get("num_reduces") \
+            if isinstance(entry, dict) else None
+        if num_maps != dependency.parent.num_partitions or \
+                recorded_reduces != dependency.partitioner.num_partitions:
+            # the signature key already rules out a different program, so
+            # this is belt-and-braces against a hand-edited journal:
             # nothing recorded is trustworthy for this stage
             self.recovery_counters["recovery_invalid_entries"] = \
                 self.recovery_counters.get("recovery_invalid_entries", 0) + 1
@@ -844,16 +851,25 @@ class DAGScheduler:
 
     def _journal_settled_shuffle(self, dependency: ShuffleDependency,
                                  job: JobMetrics, label: str) -> None:
-        """Record a settled shuffle's durable span catalog in the journal."""
+        """Record a settled shuffle's durable span catalog in the journal.
+
+        The entry is keyed by :func:`shuffle_journal_key` — shuffle id plus
+        the map-side lineage signature — so a later ``recover_from`` resume
+        of a *changed* program (which reuses the same per-context shuffle
+        ids) can never match, and adopt, this program's map output.
+        """
         if self.journal is None:
             return
         if not self.shuffle_manager.is_complete(dependency.shuffle_id):
             return
-        catalog = self.shuffle_manager.export_durable_catalog(
-            dependency.shuffle_id, self.journal.directory)
-        self.journal.record_shuffle(f"shuffle:{dependency.shuffle_id}",
-                                    dependency.shuffle_id,
-                                    dependency.parent.num_partitions, catalog)
+        key = shuffle_journal_key(dependency)
+        if key is not None:
+            catalog = self.shuffle_manager.export_durable_catalog(
+                dependency.shuffle_id, self.journal.directory)
+            self.journal.record_shuffle(
+                key, dependency.shuffle_id,
+                dependency.parent.num_partitions,
+                dependency.partitioner.num_partitions, catalog)
         self.journal.record_stage(job.job_id, label)
 
     def _maybe_auto_checkpoint(self, dataset: Dataset,

@@ -96,6 +96,9 @@ def test_load_journal_state_treats_damage_as_absence(tmp_path):
     assert load_journal_state(str(tmp_path)) is None
     path.write_bytes(b'{"version": 999, "shuffles": {}, "checkpoints": {}}')
     assert load_journal_state(str(tmp_path)) is None
+    # version-1 journals keyed shuffles by bare id — unsafe to resume from
+    path.write_bytes(b'{"version": 1, "shuffles": {}, "checkpoints": {}}')
+    assert load_journal_state(str(tmp_path)) is None
     path.write_bytes(b'[1, 2, 3]')
     assert load_journal_state(str(tmp_path)) is None
 
@@ -104,7 +107,7 @@ def test_journal_records_reload_across_instances(tmp_path):
     journal = JobJournal(str(tmp_path))
     journal.record_job(0, "job-zero", "sig-0")
     journal.record_stage(0, "shuffle:0:map")
-    journal.record_shuffle("shuffle:0", 0, 2, {
+    journal.record_shuffle("shuffle:0", 0, 2, 1, {
         "maps": [0, 1],
         "buckets": {(0, 0): ("a.data", 0, 10, 3, 10),
                     (1, 0): ("b.data", 0, 12, 4, 12)},
@@ -120,6 +123,7 @@ def test_journal_records_reload_across_instances(tmp_path):
     state = load_journal_state(reloaded.directory)
     assert state["jobs"][0]["stages"] == ["shuffle:0:map"]
     assert state["shuffles"]["shuffle:0"]["num_maps"] == 2
+    assert state["shuffles"]["shuffle:0"]["num_reduces"] == 1
     assert state["checkpoints"]["ckpt-key"]["rows"] == [3, 4]
 
     reloaded.forget_shuffle("shuffle:0")
@@ -310,6 +314,91 @@ def test_resume_with_corrupt_spans_recomputes_from_lineage(tmp_path):
         summary = ctx.metrics.summary()
     assert resumed == expected
     assert summary["recovery_invalid_entries"] >= 1
+
+
+def _run_once(tmp_path, map_func, data_end=240, **engine_kwargs):
+    """One shuffle job over ``range(0, data_end).map(map_func)``."""
+    with make_engine("thread", tmp_path / "ckpt", **engine_kwargs) as ctx:
+        pairs = ctx.range(0, data_end).map(map_func)
+        totals = sorted(pairs.reduce_by_key(lambda a, b: a + b).collect())
+        return totals, ctx.metrics.summary()
+
+
+def test_resume_never_adopts_a_changed_programs_map_output(tmp_path):
+    """Same plan shape, same partition counts — only the map logic changed.
+
+    Shuffle ids are per-context counters, so both programs use shuffle 0
+    with identical num_maps; the spans on disk pass their CRCs.  Only the
+    lineage-signature journal key stands between the resumed run and
+    silently returning the *old* program's aggregates.
+    """
+    _run_once(tmp_path, lambda x: (x % 7, x))
+    root = str(tmp_path / "ckpt")
+    resumed, summary = _run_once(tmp_path, lambda x: (x % 7, x * 10),
+                                 recover_from=root)
+    with make_engine("thread") as ctx:
+        expected = sorted(ctx.range(0, 240).map(lambda x: (x % 7, x * 10))
+                          .reduce_by_key(lambda a, b: a + b).collect())
+    assert resumed == expected
+    assert summary["stages_recovered"] == 0
+
+
+def test_resume_never_adopts_a_changed_inputs_map_output(tmp_path):
+    """Identical program over different input data must not adopt either."""
+    _run_once(tmp_path, lambda x: (x % 7, x), data_end=240)
+    root = str(tmp_path / "ckpt")
+    resumed, summary = _run_once(tmp_path, lambda x: (x % 7, x),
+                                 data_end=260, recover_from=root)
+    with make_engine("thread") as ctx:
+        expected = sorted(ctx.range(0, 260).map(lambda x: (x % 7, x))
+                          .reduce_by_key(lambda a, b: a + b).collect())
+    assert resumed == expected
+    assert summary["stages_recovered"] == 0
+
+
+def test_resume_adopts_the_same_programs_map_output(tmp_path):
+    """The twin control: an unchanged program still matches its entries."""
+    expected, _ = _run_once(tmp_path, lambda x: (x % 7, x))
+    root = str(tmp_path / "ckpt")
+    resumed, summary = _run_once(tmp_path, lambda x: (x % 7, x),
+                                 recover_from=root)
+    assert resumed == expected
+    assert summary["stages_recovered"] > 0
+
+
+def test_forget_unlinks_invalidated_files_inside_journal_root(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    span = tmp_path / "transport" / "shuffle-0" / "map-0.data"
+    os.makedirs(span.parent)
+    span.write_bytes(b"span bytes")
+    ckpt = tmp_path / "checkpoints" / "ds-0-part-0.data"
+    os.makedirs(ckpt.parent)
+    ckpt.write_bytes(b"ckpt bytes")
+    outside = tmp_path.parent / "not-ours.data"
+    outside.write_bytes(b"keep me")
+    try:
+        journal.record_shuffle("shuffle:0:sig", 0, 1, 1, {
+            "maps": [0], "buckets": {(0, 0): (str(span), 0, 10, 1, 10)}})
+        journal.record_checkpoint("ckpt-key", "ds", 2,
+                                  [str(ckpt), str(outside)], [1, 1])
+
+        # superseding an entry unlinks the files it no longer references
+        replacement = span.parent / "map-0.attempt2.data"
+        replacement.write_bytes(b"fresh")
+        journal.record_shuffle("shuffle:0:sig", 0, 1, 1, {
+            "maps": [0],
+            "buckets": {(0, 0): (str(replacement), 0, 5, 1, 5)}})
+        assert not span.exists() and replacement.exists()
+
+        journal.forget_shuffle("shuffle:0:sig")
+        assert not replacement.exists()
+        assert not replacement.parent.exists()  # emptied dir swept too
+        journal.forget_checkpoint("ckpt-key")
+        assert not ckpt.exists()
+        assert outside.exists()  # never touches files outside its root
+    finally:
+        if outside.exists():
+            outside.unlink()
 
 
 # -- driver-kill harness -------------------------------------------------------
